@@ -1,0 +1,258 @@
+// Substrate and extension benchmarks: the message-passing runtime, the
+// signal-processing and hydrocode kernels, the licensing engine, and the
+// CTP-gap and ablation sweeps.
+package hpcexport
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/controllability"
+	"repro/internal/crit"
+	"repro/internal/ctpgap"
+	"repro/internal/design"
+	"repro/internal/future"
+	"repro/internal/hydro"
+	"repro/internal/mpi"
+	"repro/internal/mpiprog"
+	"repro/internal/nwp"
+	"repro/internal/psort"
+	"repro/internal/radar"
+	"repro/internal/raytrace"
+	"repro/internal/regime"
+	"repro/internal/report"
+	"repro/internal/safeguards"
+	"repro/internal/sigproc"
+)
+
+// BenchmarkMPIAllReduce measures the collective at several rank counts.
+func BenchmarkMPIAllReduce(b *testing.B) {
+	for _, ranks := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				err := mpi.Run(ranks, func(r *mpi.Rank) error {
+					x := []float64{float64(r.ID)}
+					_, err := r.AllReduceSum(x)
+					return err
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMPIShallowWater measures the full message-passing stencil
+// program, runtime included.
+func BenchmarkMPIShallowWater(b *testing.B) {
+	seed := func(g *nwp.Grid) { g.AddGaussian(16, 16, 10, 4) }
+	for _, ranks := range []int{1, 4} {
+		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := mpiprog.ShallowWater(32, 100e3, 20, ranks, seed); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFFT measures the radix-2 transform.
+func BenchmarkFFT(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			x := make([]complex128, n)
+			for i := range x {
+				x[i] = complex(float64(i%17), float64(i%5))
+			}
+			b.SetBytes(int64(16 * n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sigproc.FFT(x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMatchedFilter measures the SIRST-style detection chain on one
+// frame row.
+func BenchmarkMatchedFilter(b *testing.B) {
+	const n = 1024
+	template := make([]complex128, n)
+	for i := 0; i < 64; i++ {
+		template[i] = complex(1, 0)
+	}
+	scene := sigproc.SyntheticScene(template, 200, 3, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sigproc.Detect(scene, template); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHydroImpact measures the hydrocode on a 200-cell impact.
+func BenchmarkHydroImpact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bar, err := hydro.NewBar(hydro.Steel, 200, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bar.SetImpact(0.5, 300)
+		if err := bar.Run(100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLicenseEvaluate measures the licensing engine.
+func BenchmarkLicenseEvaluate(b *testing.B) {
+	l := safeguards.License{Destination: "India", CTP: 8000, EndUse: "bench"}
+	for i := 0; i < b.N; i++ {
+		if _, err := safeguards.Evaluate(l, 1500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPolicyHistory measures the full timeline retro-evaluation.
+func BenchmarkPolicyHistory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := regime.History(1995.45); len(rows) == 0 {
+			b.Fatal("empty history")
+		}
+	}
+}
+
+// BenchmarkCTPGap measures the deliverable-vs-rated matrix.
+func BenchmarkCTPGap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := ctpgap.Analyze(16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ctpgap.Spreads(rows)) == 0 {
+			b.Fatal("no spreads")
+		}
+	}
+}
+
+// BenchmarkAblationLagSweep measures the frontier under the maturation-lag
+// ablation — the sensitivity sweep DESIGN.md calls out.
+func BenchmarkAblationLagSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, lag := range []float64{-1, 1, 2, 3, 4} {
+			if _, _, ok := controllability.Frontier(1995.5, controllability.Options{Lag: lag}); !ok {
+				b.Fatal("no frontier")
+			}
+		}
+	}
+}
+
+// BenchmarkAppendixExhibits regenerates the appendix exhibit set (A1-A8).
+func BenchmarkAppendixExhibits(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, build := range report.Extras() {
+			tbl, err := build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(tbl.Rows) == 0 {
+				b.Fatal("empty exhibit")
+			}
+		}
+	}
+}
+
+// BenchmarkCriticality measures the nuclear-mission kernel: one full
+// k-eigenvalue solve.
+func BenchmarkCriticality(b *testing.B) {
+	ac, err := crit.FissileSlab.CriticalHalfThickness()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := crit.Solve(crit.FissileSlab, ac, 200, 1e-10, 20000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRCS measures the physical-optics facet evaluation.
+func BenchmarkRCS(b *testing.B) {
+	f := radar.Facet{SideM: 1.5, TiltRad: 0.5}
+	for i := 0; i < b.N; i++ {
+		if _, err := f.RCS(10e9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDesignOptimization measures the sequential and simultaneous
+// procedures — the F-22 cost story as a benchmark pair.
+func BenchmarkDesignOptimization(b *testing.B) {
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := design.OptimizeSequential(32, 32); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("simultaneous", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := design.OptimizeSimultaneous(32, 32); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFutureProjection measures the long-term outlook computation.
+func BenchmarkFutureProjection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := future.Project(1992, 1999, 2010); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRayTrace renders the benchmark scene at several worker counts —
+// the replicated-problem workload the paper's cluster discussion names.
+func BenchmarkRayTrace(b *testing.B) {
+	scene := raytrace.TestScene()
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := scene.RenderParallel(160, 120, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelSort measures the database-activities kernel.
+func BenchmarkParallelSort(b *testing.B) {
+	base := make([]float64, 200000)
+	for i := range base {
+		base[i] = float64((i * 2654435761) % 1000003)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			data := make([]float64, len(base))
+			b.SetBytes(int64(8 * len(base)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				copy(data, base)
+				b.StartTimer()
+				if err := psort.Float64s(data, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

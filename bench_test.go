@@ -1,0 +1,221 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, one testing.B benchmark per exhibit, plus kernel benchmarks
+// for the substrates. Run:
+//
+//	go test -bench=. -benchmem
+//
+// The exhibit benchmarks measure full regeneration — data assembly from
+// the catalogs, the analysis, and text rendering — which is the unit of
+// work the recommended annual policy review repeats.
+package hpcexport
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/keysearch"
+	"repro/internal/linsolve"
+	"repro/internal/nwp"
+	"repro/internal/report"
+	"repro/internal/simmach"
+	"repro/internal/threshold"
+	"repro/internal/top500"
+	"repro/internal/workload"
+)
+
+// benchExhibit runs one exhibit builder b.N times.
+func benchExhibit(b *testing.B, build func() (*report.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s := tbl.String(); len(s) == 0 {
+			b.Fatal("empty exhibit")
+		}
+	}
+}
+
+// ---- Figures 1–13 -------------------------------------------------------
+
+func BenchmarkFigure01(b *testing.B) { benchExhibit(b, report.Figure01) }
+func BenchmarkFigure02(b *testing.B) { benchExhibit(b, report.Figure02) }
+func BenchmarkFigure03(b *testing.B) { benchExhibit(b, report.Figure03) }
+func BenchmarkFigure04(b *testing.B) { benchExhibit(b, report.Figure04) }
+func BenchmarkFigure05(b *testing.B) { benchExhibit(b, report.Figure05) }
+func BenchmarkFigure06(b *testing.B) { benchExhibit(b, report.Figure06) }
+func BenchmarkFigure07(b *testing.B) { benchExhibit(b, report.Figure07) }
+func BenchmarkFigure08(b *testing.B) { benchExhibit(b, report.Figure08) }
+func BenchmarkFigure09(b *testing.B) { benchExhibit(b, report.Figure09) }
+func BenchmarkFigure10(b *testing.B) { benchExhibit(b, report.Figure10) }
+func BenchmarkFigure11(b *testing.B) { benchExhibit(b, report.Figure11) }
+func BenchmarkFigure12(b *testing.B) { benchExhibit(b, report.Figure12) }
+func BenchmarkFigure13(b *testing.B) { benchExhibit(b, report.Figure13) }
+
+// ---- Tables 1–16 ----------------------------------------------------------
+
+func BenchmarkTable01(b *testing.B) { benchExhibit(b, report.Table01) }
+func BenchmarkTable02(b *testing.B) { benchExhibit(b, report.Table02) }
+func BenchmarkTable03(b *testing.B) { benchExhibit(b, report.Table03) }
+func BenchmarkTable04(b *testing.B) { benchExhibit(b, report.Table04) }
+func BenchmarkTable05(b *testing.B) { benchExhibit(b, report.Table05) }
+func BenchmarkTable06(b *testing.B) { benchExhibit(b, report.Table06) }
+func BenchmarkTable07(b *testing.B) { benchExhibit(b, report.Table07) }
+func BenchmarkTable08(b *testing.B) { benchExhibit(b, report.Table08) }
+func BenchmarkTable09(b *testing.B) { benchExhibit(b, report.Table09) }
+func BenchmarkTable10(b *testing.B) { benchExhibit(b, report.Table10) }
+func BenchmarkTable11(b *testing.B) { benchExhibit(b, report.Table11) }
+func BenchmarkTable12(b *testing.B) { benchExhibit(b, report.Table12) }
+func BenchmarkTable13(b *testing.B) { benchExhibit(b, report.Table13) }
+func BenchmarkTable14(b *testing.B) { benchExhibit(b, report.Table14) }
+func BenchmarkTable15(b *testing.B) { benchExhibit(b, report.Table15) }
+func BenchmarkTable16(b *testing.B) { benchExhibit(b, report.Table16) }
+
+// ---- Framework and substrate kernels ---------------------------------------
+
+// BenchmarkSnapshot measures one full framework application — the unit of
+// the recommended annual review.
+func BenchmarkSnapshot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := threshold.Take(1995.45); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCTPRating measures rating a 64-way SMP under the CTP rules.
+func BenchmarkCTPRating(b *testing.B) {
+	sys := NewSMP("bench", Microprocessors64()[2].Element, 64)
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.CTP(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTop500Generate measures synthesizing one installation list.
+func BenchmarkTop500Generate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := top500.Generate(1995.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimFleetStencil measures the Table 5 core: the stencil workload
+// across the six-machine spectrum.
+func BenchmarkSimFleetStencil(b *testing.B) {
+	w := workload.DefaultStencil()
+	fleet := simmach.Fleet(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range fleet {
+			if _, err := simmach.Run(m, w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkShallowWater measures the real solver at several grid sizes,
+// demonstrating the quadratic per-step cost the forecasting analysis
+// builds on.
+func BenchmarkShallowWater(b *testing.B) {
+	for _, n := range []int{32, 64, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g, err := nwp.NewGrid(n, 100e3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g.AddGaussian(n/2, n/2, 10, float64(n)/8)
+			dt := g.MaxStableDt()
+			b.SetBytes(int64(n * n * 3 * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := g.Step(dt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShallowWaterParallel measures the goroutine-parallel solver.
+func BenchmarkShallowWaterParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			g, err := nwp.NewGrid(128, 100e3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g.AddGaussian(64, 64, 10, 16)
+			dt := g.MaxStableDt()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := g.StepParallel(dt, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKeySearch measures raw exhaustive-search throughput — the
+// quantity whose parallel scaling decided the cryptology finding.
+func BenchmarkKeySearch(b *testing.B) {
+	pairs := keysearch.MakePairs(1<<40, 0x1122334455667788) // never found
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := keysearch.Search(pairs, 0, 1<<16, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSparseCG measures the conjugate-gradient kernel behind the
+// structural-mechanics cost arguments.
+func BenchmarkSparseCG(b *testing.B) {
+	m := linsolve.NewLaplace2D(64)
+	rhs := make([]float64, m.N)
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := make([]float64, m.N)
+		if _, err := linsolve.CG(m, rhs, x, 1e-8, 2000, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpMV measures the sparse matrix–vector kernel, sequential and
+// parallel.
+func BenchmarkSpMV(b *testing.B) {
+	m := linsolve.NewLaplace2D(256)
+	x := make([]float64, m.N)
+	dst := make([]float64, m.N)
+	for i := range x {
+		x[i] = float64(i % 7)
+	}
+	b.Run("sequential", func(b *testing.B) {
+		b.SetBytes(int64(m.NNZ() * 12))
+		for i := 0; i < b.N; i++ {
+			if err := m.MulVec(dst, x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.SetBytes(int64(m.NNZ() * 12))
+		for i := 0; i < b.N; i++ {
+			if err := m.MulVecParallel(dst, x, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

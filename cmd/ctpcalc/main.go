@@ -1,0 +1,180 @@
+// ctpcalc computes the Composite Theoretical Performance of a described
+// machine configuration, the calculation exporters performed against the
+// control threshold.
+//
+// Usage:
+//
+//	ctpcalc -clock 150 -fpu 1 -fxu 1 -bits 64 -procs 12 -mem shared
+//	ctpcalc -procs 64 -mem distributed -net mesh -clock 40 -fpu 1.8
+//	ctpcalc -list            # show the predefined processor elements
+//	ctpcalc -proc "Alpha 21064" -procs 12 -mem shared
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/ctp"
+	"repro/internal/units"
+)
+
+var networks = map[string]ctp.Interconnect{
+	"ethernet": ctp.Ethernet10,
+	"fddi":     ctp.FDDI,
+	"atm":      ctp.ATM155,
+	"hippi":    ctp.HiPPI,
+	"mesh":     ctp.MeshMPP,
+	"torus":    ctp.TorusMPP,
+	"fattree":  ctp.FatTree,
+	"xbar":     ctp.XBar,
+}
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list predefined processor elements and exit")
+		file  = flag.String("file", "", "read a JSON system specification instead of flags")
+		name  = flag.String("proc", "", "use a predefined processor element (substring match)")
+		clock = flag.Float64("clock", 0, "clock rate, MHz (custom element)")
+		fpu   = flag.Float64("fpu", 0, "floating-point operations per cycle (custom element)")
+		fxu   = flag.Float64("fxu", 0, "fixed-point operations per cycle (custom element)")
+		bits  = flag.Int("bits", 64, "operand word length, bits (custom element)")
+		procs = flag.Int("procs", 1, "number of processors")
+		mem   = flag.String("mem", "shared", "memory model: shared or distributed")
+		net   = flag.String("net", "mesh", "interconnect for distributed memory: ethernet, fddi, atm, hippi, mesh, torus, fattree, xbar")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("predefined processor elements:")
+		for _, e := range ctp.AllElements() {
+			fmt.Printf("  %-34s %d  TP %8.1f Mtops  (published %.1f)\n",
+				e.Name, e.Year, float64(e.TP()), e.MtopsRef)
+		}
+		return
+	}
+
+	if *file != "" {
+		rateSpecFile(*file)
+		return
+	}
+
+	elem, err := chooseElement(*name, *clock, *fpu, *fxu, *bits)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctpcalc:", err)
+		os.Exit(1)
+	}
+
+	var sys ctp.System
+	switch *mem {
+	case "shared":
+		sys = ctp.SMP("described system", elem, *procs)
+	case "distributed":
+		ic, ok := networks[strings.ToLower(*net)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ctpcalc: unknown interconnect %q\n", *net)
+			os.Exit(1)
+		}
+		sys = ctp.MPP("described system", elem, *procs, ic)
+	default:
+		fmt.Fprintf(os.Stderr, "ctpcalc: unknown memory model %q\n", *mem)
+		os.Exit(1)
+	}
+
+	rating, err := sys.CTP()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctpcalc:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("element:     %s (TP %.1f Mtops)\n", elem.Name, float64(elem.TP()))
+	fmt.Printf("processors:  %d, %s\n", *procs, sys.Memory)
+	if sys.Memory == ctp.DistributedMemory {
+		fmt.Printf("interconnect: %s (coupling %.2f)\n",
+			sys.Interconnect.Name, ctp.CouplingFactor(sys.Interconnect.Bandwidth))
+	}
+	fmt.Printf("CTP:         %s\n", rating)
+	for _, th := range []struct {
+		level float64
+		label string
+	}{
+		{195, "1991 bilateral threshold"},
+		{1500, "1994 threshold (current in the study)"},
+		{4600, "mid-1995 lower bound of controllability"},
+	} {
+		rel := "below"
+		if float64(rating) >= th.level {
+			rel = "AT OR ABOVE"
+		}
+		fmt.Printf("             %s the %s (%.0f Mtops)\n", rel, th.label, th.level)
+	}
+}
+
+// rateSpecFile rates a system described in a JSON specification file.
+func rateSpecFile(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctpcalc:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	spec, err := ctp.ParseSpec(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctpcalc:", err)
+		os.Exit(1)
+	}
+	sys, err := spec.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctpcalc:", err)
+		os.Exit(1)
+	}
+	rating, err := sys.CTP()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctpcalc:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d elements, %s\n", sys.Name, sys.Elements(), sys.Memory)
+	fmt.Printf("CTP: %s\n", rating)
+}
+
+// chooseElement resolves a predefined element by name or builds a custom
+// one from the flag values.
+func chooseElement(name string, clock, fpu, fxu float64, bits int) (ctp.Element, error) {
+	if name != "" {
+		lower := strings.ToLower(name)
+		var hits []ctp.CatalogElement
+		for _, e := range ctp.AllElements() {
+			if strings.Contains(strings.ToLower(e.Name), lower) {
+				hits = append(hits, e)
+			}
+		}
+		switch len(hits) {
+		case 1:
+			return hits[0].Element, nil
+		case 0:
+			return ctp.Element{}, fmt.Errorf("no element matches %q (try -list)", name)
+		default:
+			var names []string
+			for _, h := range hits {
+				names = append(names, h.Name)
+			}
+			return ctp.Element{}, fmt.Errorf("%q is ambiguous: %s", name, strings.Join(names, "; "))
+		}
+	}
+	if clock <= 0 || (fpu <= 0 && fxu <= 0) {
+		return ctp.Element{}, fmt.Errorf("describe a custom element with -clock and -fpu/-fxu, or pick one with -proc")
+	}
+	var fus []ctp.FunctionalUnit
+	if fpu > 0 {
+		fus = append(fus, ctp.FunctionalUnit{Kind: ctp.FloatingPoint, Bits: bits, OpsPerCycle: fpu})
+	}
+	if fxu > 0 {
+		fus = append(fus, ctp.FunctionalUnit{Kind: ctp.FixedPoint, Bits: bits, OpsPerCycle: fxu})
+	}
+	return ctp.Element{
+		Name:  fmt.Sprintf("custom %.0f MHz", clock),
+		Clock: units.MHz(clock),
+		Units: fus,
+	}, nil
+}

@@ -1,0 +1,58 @@
+// export dumps the reproduction's datasets as JSON for downstream use:
+// the system catalog, the application-requirements database, the policy
+// timeline, and the glossary.
+//
+// Usage:
+//
+//	export -what catalog     # the system records
+//	export -what apps        # the Chapter 4 applications
+//	export -what timeline    # the policy history
+//	export -what glossary    # Appendix A
+//	export -what all         # one object with all four
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apps"
+	"repro/internal/catalog"
+	"repro/internal/glossary"
+	"repro/internal/regime"
+)
+
+func main() {
+	what := flag.String("what", "all", "dataset: catalog, apps, timeline, glossary, all")
+	flag.Parse()
+
+	var v interface{}
+	switch *what {
+	case "catalog":
+		v = catalog.All()
+	case "apps":
+		v = apps.All()
+	case "timeline":
+		v = regime.Timeline()
+	case "glossary":
+		v = glossary.All()
+	case "all":
+		v = map[string]interface{}{
+			"catalog":  catalog.All(),
+			"apps":     apps.All(),
+			"timeline": regime.Timeline(),
+			"glossary": glossary.All(),
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "export: unknown dataset %q\n", *what)
+		os.Exit(1)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintln(os.Stderr, "export:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,113 @@
+// exportctl runs the basic-premises threshold analysis — the paper's
+// recommended annual review — at a given date, printing the premise
+// findings, the bounds, the application clusters, and the recommended
+// thresholds under each selection perspective.
+//
+// Usage:
+//
+//	exportctl                     # the June 1995 snapshot (Figure 11)
+//	exportctl -date 1997.5        # a later review
+//	exportctl -date 1995.45 -capability   # include Table 16
+//	exportctl -project            # add the frontier projection
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/catalog"
+	"repro/internal/threshold"
+)
+
+func main() {
+	var (
+		date       = flag.Float64("date", 1995.45, "review date as a fractional year")
+		capability = flag.Bool("capability", false, "print foreign capability (Table 16)")
+		project    = flag.Bool("project", false, "print the frontier projection")
+	)
+	flag.Parse()
+
+	s, err := threshold.Take(*date)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exportctl:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("Threshold analysis at %.2f\n", s.Date)
+	fmt.Println("==========================")
+	fmt.Printf("lower bound (line A):   %v — %s\n", s.LowerBound, s.LowerBoundSystem.Name)
+	fmt.Printf("maximum available (D):  %v — %s\n", s.MaxAvailable, s.MaxAvailableSystem.Name)
+	fmt.Println()
+
+	fmt.Println("basic premises:")
+	for _, p := range s.Premises {
+		fmt.Printf("  %s\n", p)
+	}
+	fmt.Println()
+
+	if lo, hi, ok := s.Range(); ok {
+		fmt.Printf("valid threshold range: %v – %v\n", lo, hi)
+	} else {
+		fmt.Println("NO VALID THRESHOLD RANGE: the premises do not hold")
+	}
+	fmt.Println()
+
+	fmt.Printf("applications above the lower bound: %d\n", len(s.Above))
+	for _, c := range s.Clusters {
+		marker := " "
+		if c.Significant() {
+			marker = "*"
+		}
+		fmt.Printf("  %s %s\n", marker, c)
+	}
+	fmt.Println()
+
+	for _, p := range []threshold.Perspective{
+		threshold.ControlMaximal, threshold.ApplicationDriven,
+	} {
+		if rec, ok := s.Recommend(p); ok {
+			fmt.Printf("recommended threshold (%s): %v\n", p, rec)
+		}
+	}
+
+	if *project {
+		fmt.Println()
+		fit, err := threshold.FrontierProjection(1992, 1999)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "exportctl: projection:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("frontier growth: %s\n", fit)
+		for _, target := range []float64{7500, 16000, 100000} {
+			if yr, err := fit.YearReaching(target); err == nil {
+				fmt.Printf("  frontier reaches %.0f Mtops ≈ %.1f\n", target, yr)
+			}
+		}
+		if yr, err := threshold.YearAllMinimaUncontrollable(); err == nil {
+			fmt.Printf("  all curated application minima overtaken ≈ %.1f\n", yr)
+		}
+	}
+
+	if *capability {
+		fmt.Println()
+		rows, err := threshold.Table16(*date)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "exportctl: capability:", err)
+			os.Exit(1)
+		}
+		fmt.Println("foreign capability (applications above the old 1,500 Mtops threshold):")
+		for _, r := range rows {
+			fmt.Printf("  %-55s min %8.0f  RU:%-3v PRC:%-3v IN:%-3v\n",
+				r.Application.Name, float64(r.Application.Min),
+				yn(r.Capable[catalog.Russia]), yn(r.Capable[catalog.PRC]), yn(r.Capable[catalog.India]))
+		}
+	}
+}
+
+func yn(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

@@ -1,0 +1,56 @@
+// figures regenerates the data series behind the paper's Figures 1–13.
+//
+// Usage:
+//
+//	figures              # all thirteen figures as aligned text
+//	figures -n 11        # the June 1995 threshold snapshot
+//	figures -n 6 -tsv    # tab-separated series for plotting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		n   = flag.Int("n", 0, "figure number (1-13); 0 = all")
+		tsv = flag.Bool("tsv", false, "emit tab-separated values")
+	)
+	flag.Parse()
+
+	builders := report.Figures()
+	emit := func(i int) {
+		tbl, err := builders[i]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: figure %d: %v\n", i+1, err)
+			os.Exit(1)
+		}
+		if *tsv {
+			if err := tbl.TSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		if err := tbl.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *n != 0 {
+		if *n < 1 || *n > len(builders) {
+			fmt.Fprintf(os.Stderr, "figures: no figure %d (have 1-%d)\n", *n, len(builders))
+			os.Exit(1)
+		}
+		emit(*n - 1)
+		return
+	}
+	for i := range builders {
+		emit(i)
+	}
+}

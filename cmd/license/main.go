@@ -1,0 +1,89 @@
+// license evaluates an export-license application under the supercomputer
+// regime, and can replay the policy timeline against the framework.
+//
+// Usage:
+//
+//	license -dest "South Korea" -ctp 2000                # under the 1,500 threshold
+//	license -dest India -ctp 8000 -threshold 4600        # under a raised threshold
+//	license -system "Cray C916" -dest Sweden             # rate a cataloged system
+//	license -history                                     # replay the policy timeline
+//	license -destinations                                # list known destinations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/catalog"
+	"repro/internal/regime"
+	"repro/internal/safeguards"
+	"repro/internal/units"
+)
+
+func main() {
+	var (
+		dest         = flag.String("dest", "", "destination country")
+		ctpFlag      = flag.Float64("ctp", 0, "system CTP in Mtops")
+		system       = flag.String("system", "", "catalog system name (alternative to -ctp)")
+		threshold    = flag.Float64("threshold", 1500, "control threshold in Mtops (1,500 was in force during the study)")
+		endUse       = flag.String("enduse", "", "declared end use")
+		history      = flag.Bool("history", false, "replay the policy timeline against the framework")
+		destinations = flag.Bool("destinations", false, "list known destinations and tiers")
+	)
+	flag.Parse()
+
+	switch {
+	case *history:
+		printHistory()
+	case *destinations:
+		for _, d := range safeguards.KnownDestinations() {
+			fmt.Printf("  %-16s %v\n", d, safeguards.TierOf(d))
+		}
+	default:
+		evaluate(*dest, *ctpFlag, *system, *threshold, *endUse)
+	}
+}
+
+func evaluate(dest string, ctpVal float64, system string, threshold float64, endUse string) {
+	if system != "" {
+		s, ok := catalog.Lookup(system)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "license: system %q not in catalog\n", system)
+			os.Exit(1)
+		}
+		ctpVal = float64(s.CTP)
+		fmt.Printf("system: %s\n", s)
+	}
+	if dest == "" || ctpVal <= 0 {
+		fmt.Fprintln(os.Stderr, "license: need -dest and -ctp (or -system); see -h")
+		os.Exit(1)
+	}
+	d, err := safeguards.Evaluate(safeguards.License{
+		Destination: dest,
+		CTP:         units.Mtops(ctpVal),
+		EndUse:      endUse,
+	}, units.Mtops(threshold))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "license:", err)
+		os.Exit(1)
+	}
+	fmt.Println(d)
+}
+
+func printHistory() {
+	fmt.Println("HPC export-control policy timeline, evaluated by the framework")
+	fmt.Println("===============================================================")
+	for _, e := range regime.Timeline() {
+		fmt.Printf("\n%.2f  [%v] %s\n       %s\n", e.Date, e.Kind, e.Citation, e.Summary)
+		if e.Threshold == 0 {
+			continue
+		}
+		fmt.Printf("       threshold: %s\n", e.Threshold)
+		if yr, ok := regime.YearOvertaken(e, 2000); ok {
+			fmt.Printf("       overtaken by the Western uncontrollability frontier ≈ %.1f\n", yr)
+		} else {
+			fmt.Printf("       not overtaken by 2000\n")
+		}
+	}
+}

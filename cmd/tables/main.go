@@ -1,0 +1,60 @@
+// tables regenerates the paper's Tables 1–16.
+//
+// Usage:
+//
+//	tables              # all sixteen tables as aligned text
+//	tables -n 4         # one table
+//	tables -n 5 -tsv    # tab-separated output for further processing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 0, "table number (1-16); 0 = all")
+		tsv      = flag.Bool("tsv", false, "emit tab-separated values")
+		appendix = flag.Bool("appendix", false, "emit the appendix exhibits (A1-A8) instead")
+	)
+	flag.Parse()
+
+	builders := report.Tables()
+	if *appendix {
+		builders = report.Extras()
+	}
+	emit := func(i int) {
+		tbl, err := builders[i]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tables: table %d: %v\n", i+1, err)
+			os.Exit(1)
+		}
+		if *tsv {
+			if err := tbl.TSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "tables:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		if err := tbl.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *n != 0 {
+		if *n < 1 || *n > len(builders) {
+			fmt.Fprintf(os.Stderr, "tables: no table %d (have 1-%d)\n", *n, len(builders))
+			os.Exit(1)
+		}
+		emit(*n - 1)
+		return
+	}
+	for i := range builders {
+		emit(i)
+	}
+}

@@ -1,0 +1,81 @@
+package hpcexport_test
+
+import (
+	"fmt"
+
+	hpcexport "repro"
+)
+
+// The June 1995 threshold analysis — the paper's Figure 11 in four lines.
+func ExampleTakeSnapshot() {
+	snap, err := hpcexport.TakeSnapshot(1995.45)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("lower bound:", snap.LowerBound)
+	fmt.Println("set by:", snap.LowerBoundSystem.Name)
+	fmt.Println("premises hold:", snap.Valid())
+	// Output:
+	// lower bound: 4,600 Mtops
+	// set by: Cray CS6400
+	// premises hold: true
+}
+
+// Rating a machine under the CTP rules.
+func ExampleRatedSystem() {
+	alpha := hpcexport.Microprocessors64()[2] // DEC Alpha 21064-150
+	server := hpcexport.NewSMP("12-way server", alpha.Element, 12)
+	rating, err := server.CTP()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rating)
+	// Output:
+	// 1,388 Mtops
+}
+
+// Licensing a sale under the regime in force during the study.
+func ExampleEvaluateLicense() {
+	decision, err := hpcexport.EvaluateLicense(hpcexport.ExportLicense{
+		Destination: "Sweden",
+		CTP:         2900, // an SGI Challenge XL
+	}, 1500)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(decision.Outcome)
+	fmt.Println("safeguard conditions:", len(decision.Safeguards))
+	// Output:
+	// approve with safeguards
+	// safeguard conditions: 3
+}
+
+// Looking a system up in the study's catalog.
+func ExampleCatalogLookup() {
+	sys, ok := hpcexport.CatalogLookup("Cray C916")
+	if !ok {
+		panic("missing")
+	}
+	fmt.Println(sys)
+	// Output:
+	// Cray C916 (21,125 Mtops)
+}
+
+// Expanding one of the paper's acronyms.
+func ExampleGlossaryLookup() {
+	expansion, _ := hpcexport.GlossaryLookup("CTP")
+	fmt.Println(expansion)
+	// Output:
+	// Composite Theoretical Performance
+}
+
+// Parsing an Mtops figure the way the paper prints them.
+func ExampleParseMtops() {
+	v, err := hpcexport.ParseMtops("21,125 Mtops")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(float64(v))
+	// Output:
+	// 21125
+}

@@ -1,0 +1,66 @@
+// f22design walks the paper's marquee application example — Figure 1's
+// "Range of Computational Power for the F-22 Design" — and the aircraft
+// design lineage around it (F-117A, B-2, F-22, JAST), showing how the
+// minimum requirement, the system actually used, and the most powerful
+// system available relate, and what each design could have been done on.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hpcexport "repro"
+)
+
+// lineage is the stealth-aircraft design sequence of Chapter 4.
+var lineage = []string{
+	"F-117A design",
+	"B-2 (ATB) design",
+	"F-22 design (simultaneous CEA/CFD optimization)",
+	"JAST candidate design",
+}
+
+func main() {
+	fmt.Println("Aircraft design and the computing it required")
+	fmt.Println("=============================================")
+	for _, name := range lineage {
+		app, ok := hpcexport.AppLookup(name)
+		if !ok {
+			log.Fatalf("application %q missing", name)
+		}
+		max, _ := hpcexport.MostPowerfulAsOf(float64(app.FirstYear), nil)
+		fmt.Printf("\n%s (%d)\n", app.Name, app.FirstYear)
+		fmt.Printf("  minimum:  %s\n", app.Min)
+		fmt.Printf("  actual:   %s (%s)\n", app.Actual, orDash(app.ActualName))
+		fmt.Printf("  maximum available that year: %s (%s)\n", max.CTP, max.Name)
+		fmt.Printf("  %s\n", app.Notes)
+
+		// The export-control question: could a country of concern have
+		// bought the computing for this on the open, uncontrollable
+		// market at the time of the study?
+		frontier, _, ok := hpcexport.Frontier(1995.45, hpcexport.FrontierOptions{})
+		if !ok {
+			log.Fatal("no frontier")
+		}
+		if app.Min <= frontier {
+			fmt.Printf("  → minimum below the mid-1995 frontier (%s): controls cannot deny this design\n", frontier)
+		} else {
+			fmt.Printf("  → minimum above the mid-1995 frontier (%s): still deniable by controls\n", frontier)
+		}
+	}
+
+	// Figure 1 proper.
+	fmt.Println()
+	fig, err := hpcexport.Figure(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(fig)
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "uncataloged"
+	}
+	return s
+}

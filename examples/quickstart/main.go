@@ -1,0 +1,44 @@
+// Quickstart: rate a machine under the CTP rules, check it against the
+// uncontrollability frontier, and run the full June 1995 threshold
+// analysis — the library's three core moves in thirty lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hpcexport "repro"
+)
+
+func main() {
+	// 1. Rate a machine: a 12-way Alpha SMP, the class that was eroding
+	// the supercomputer definition from below.
+	alpha := hpcexport.Microprocessors64()[2] // DEC Alpha 21064-150
+	server := hpcexport.NewSMP("12-way Alpha server", alpha.Element, 12)
+	rating, err := server.CTP()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CTP of %s: %s\n", server.Name, rating)
+
+	// 2. Where is the uncontrollability frontier in mid-1995?
+	frontier, system, ok := hpcexport.Frontier(1995.5, hpcexport.FrontierOptions{})
+	if !ok {
+		log.Fatal("no frontier")
+	}
+	fmt.Printf("mid-1995 frontier: %s (set by %s)\n", frontier, system.Name)
+
+	// 3. Run the paper's threshold analysis (Figure 11).
+	snap, err := hpcexport.TakeSnapshot(1995.45)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("premises hold: %v\n", snap.Valid())
+	fmt.Printf("lower bound %s, ceiling %s\n", snap.LowerBound, snap.MaxAvailable)
+	if rec, ok := snap.Recommend(hpcexport.ControlMaximal); ok {
+		fmt.Printf("control-maximal threshold: %s\n", rec)
+	}
+	if rec, ok := snap.Recommend(hpcexport.ApplicationDriven); ok {
+		fmt.Printf("application-driven threshold: %s\n", rec)
+	}
+}

@@ -1,0 +1,86 @@
+// stealth walks the paper's aircraft-signature narrative with live
+// physics: the flat-plate RCS model showing why faceting works at X-band
+// and fails at VHF (the F-117A vs B-2 shapes), the design-cost regimes
+// (VAX-class physical optics vs mainframe-class full-wave), and the
+// sequential-vs-simultaneous optimization economics that put the F-22 on
+// "the most powerful computer available".
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/design"
+	"repro/internal/radar"
+)
+
+func main() {
+	// 1. One square facet, tilted 30° from the threat.
+	fmt.Println("Flat facet (1.5 m), tilted 30° from the radar line of sight:")
+	f := radar.Facet{SideM: 1.5, TiltRad: 30 * math.Pi / 180}
+	for _, band := range []struct {
+		name string
+		hz   float64
+	}{
+		{"X-band fire control (10 GHz)", 10e9},
+		{"S-band search (3 GHz)", 3e9},
+		{"VHF early warning (150 MHz)", 150e6},
+	} {
+		sigma, err := f.RCS(band.hz)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bw, err := f.BeamwidthRad(band.hz)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-30s  RCS %8.1f dBsm   specular lobe ±%4.1f°\n",
+			band.name, radar.DBsm(sigma), bw*180/math.Pi)
+	}
+	fmt.Println("\nAt X-band the lobe is a degree wide: tilt the panels and the radar sees")
+	fmt.Println("nothing. At VHF the lobe covers the sky: faceting stops working, which is")
+	fmt.Println("why the B-2's low-band problem forced blended shapes and full-wave analysis.")
+
+	// 2. The design-cost regimes.
+	fmt.Println("\nShaping-analysis cost (360 aspect angles):")
+	for _, p := range []struct {
+		name string
+		body float64
+		freq float64
+	}{
+		{"F-117A-class (20 m body, X-band threats)", 20, 10e9},
+		{"B-2-class (50 m body, VHF threats)", 50, 150e6},
+	} {
+		flop, regime, err := radar.DesignCost(p.body, p.freq, 360)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-45s %v, ≈%.1e flop\n", p.name, regime, flop)
+	}
+
+	// 3. Sequential vs simultaneous optimization (the F-22 economics).
+	const n = 48
+	seq, err := design.OptimizeSequential(n, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := design.OptimizeSimultaneous(n, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nSignature/drag optimization of a 2-parameter airframe:")
+	fmt.Printf("  %-14s  %6s evals  tilt %4.1f°  fineness %4.1f  RCS %6.1f dBsm  drag %5.1f  score %6.1f\n",
+		"sequential", fmtInt(seq.Evaluations), seq.Best.TiltDeg, seq.Best.Fineness,
+		radar.DBsm(seq.Metrics.RCS), seq.Metrics.Drag, seq.Score)
+	fmt.Printf("  %-14s  %6s evals  tilt %4.1f°  fineness %4.1f  RCS %6.1f dBsm  drag %5.1f  score %6.1f\n",
+		"simultaneous", fmtInt(sim.Evaluations), sim.Best.TiltDeg, sim.Best.Fineness,
+		radar.DBsm(sim.Metrics.RCS), sim.Metrics.Drag, sim.Score)
+	fmt.Printf("\nThe sequential procedure maximizes stealth and accepts the drag — the\n")
+	fmt.Printf("F-117A, which 'operates like a light bomber'. The joint sweep finds the\n")
+	fmt.Printf("fighter compromise, at %.0f× the evaluations; on a full CFD/CEA problem\n",
+		float64(sim.Evaluations)/float64(seq.Evaluations))
+	fmt.Println("that multiplier is what pushed the F-22 onto the most powerful Cray.")
+}
+
+func fmtInt(n int) string { return fmt.Sprintf("%d", n) }

@@ -1,0 +1,121 @@
+package hpcexport
+
+import (
+	"strings"
+	"testing"
+)
+
+// Facade coverage of the mission-substrate exports.
+
+func TestAppendixAccessor(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		ex, err := Appendix(n)
+		if err != nil {
+			t.Errorf("Appendix(%d): %v", n, err)
+			continue
+		}
+		if len(ex.Rows) == 0 {
+			t.Errorf("Appendix(%d) empty", n)
+		}
+	}
+	if _, err := Appendix(0); err == nil {
+		t.Error("Appendix(0) accepted")
+	}
+	if _, err := Appendix(11); err == nil {
+		t.Error("Appendix(11) accepted")
+	}
+}
+
+func TestHydroThroughFacade(t *testing.T) {
+	bar, err := NewImpactBar(ImpactMaterial{
+		Name: "steel", Rho0: 7850, SoundSpd: 5000, Yield: 1e9, Hardening: 0.05,
+	}, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bar.SetImpact(0.5, 100)
+	if err := bar.Run(50); err != nil {
+		t.Fatal(err)
+	}
+	if bar.PeakStress() <= 0 {
+		t.Error("no stress developed")
+	}
+}
+
+func TestCriticalityThroughFacade(t *testing.T) {
+	m := FissileMaterial{Name: "toy", D: 1.2, SigmaA: 0.08, NuSigF: 0.16}
+	ac, err := m.CriticalHalfThickness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := SolveCriticality(m, ac, 100, 1e-9, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.K < 0.98 || r.K > 1.02 {
+		t.Errorf("k = %v at critical size", r.K)
+	}
+}
+
+func TestRadarAndDesignThroughFacade(t *testing.T) {
+	f := RadarFacet{SideM: 1, TiltRad: 0.5}
+	if _, err := f.RCS(10e9); err != nil {
+		t.Fatal(err)
+	}
+	flop, regime, err := DesignCostCEA(50, 150e6, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flop <= 0 || !strings.Contains(regime.String(), "resonance") {
+		t.Errorf("B-2 class problem: %v flop, %v", flop, regime)
+	}
+	res, err := OptimizeAirframe(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != 256 {
+		t.Errorf("joint sweep evaluations %d", res.Evaluations)
+	}
+	var _ AirframeDesign = res.Best
+}
+
+func TestSensorAndSwitchingThroughFacade(t *testing.T) {
+	var s IRSensor = IRSensor{Name: "t", Pixels: 1 << 16, FrameHz: 10, BandsOrOps: 1}
+	if s.RequiredMtops() <= 0 {
+		t.Error("sensor budget non-positive")
+	}
+	var n SwitchNetwork
+	if _, err := n.Latency(10); err == nil {
+		t.Error("empty network accepted")
+	}
+}
+
+func TestOutlookThroughFacade(t *testing.T) {
+	o, err := ProjectOutlook(1992, 1999, 2005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.PremiseOneFails < 2000 {
+		t.Errorf("premise one fails %v", o.PremiseOneFails)
+	}
+}
+
+func TestSortAndRenderThroughFacade(t *testing.T) {
+	data := []float64{3, 1, 2}
+	if err := ParallelSortFloat64s(data, 2); err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != 1 || data[2] != 3 {
+		t.Errorf("sorted %v", data)
+	}
+	var sc RenderScene
+	if _, err := sc.Render(4, 4); err == nil {
+		t.Error("empty scene rendered")
+	}
+}
+
+func TestGlossaryThroughFacade(t *testing.T) {
+	if v, ok := GlossaryLookup("CTP"); !ok || v == "" {
+		t.Error("glossary lookup failed")
+	}
+}

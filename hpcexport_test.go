@@ -1,0 +1,145 @@
+package hpcexport
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuickstartPath exercises the README's quick-start sequence through
+// the public API only.
+func TestQuickstartPath(t *testing.T) {
+	snap, err := TakeSnapshot(1995.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.LowerBound < 4000 || snap.LowerBound > 5000 {
+		t.Errorf("lower bound %v", snap.LowerBound)
+	}
+	rec, ok := snap.Recommend(ControlMaximal)
+	if !ok || rec <= 0 {
+		t.Fatalf("recommendation %v ok=%v", rec, ok)
+	}
+	if !snap.Valid() {
+		t.Error("premises should hold mid-1995")
+	}
+}
+
+func TestFigureAndTableAccessors(t *testing.T) {
+	for n := 1; n <= 13; n++ {
+		ex, err := Figure(n)
+		if err != nil {
+			t.Errorf("Figure(%d): %v", n, err)
+			continue
+		}
+		if len(ex.Rows) == 0 {
+			t.Errorf("Figure(%d): empty", n)
+		}
+	}
+	for n := 1; n <= 16; n++ {
+		ex, err := PaperTable(n)
+		if err != nil {
+			t.Errorf("PaperTable(%d): %v", n, err)
+			continue
+		}
+		if len(ex.Rows) == 0 {
+			t.Errorf("PaperTable(%d): empty", n)
+		}
+	}
+	if _, err := Figure(0); err == nil {
+		t.Error("Figure(0) accepted")
+	}
+	if _, err := Figure(14); err == nil {
+		t.Error("Figure(14) accepted")
+	}
+	if _, err := PaperTable(17); err == nil {
+		t.Error("PaperTable(17) accepted")
+	}
+}
+
+func TestCTPThroughFacade(t *testing.T) {
+	alpha := Microprocessors64()[2] // Alpha 21064
+	sys := NewSMP("facade SMP", alpha.Element, 12)
+	got, err := sys.CTP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= alpha.Element.TP() {
+		t.Errorf("12-way SMP CTP %v not above single element", got)
+	}
+}
+
+func TestCatalogThroughFacade(t *testing.T) {
+	s, ok := CatalogLookup("Cray C916")
+	if !ok {
+		t.Fatal("C916 missing")
+	}
+	if s.String() != "Cray C916 (21,125 Mtops)" {
+		t.Errorf("String = %q", s.String())
+	}
+	if len(CatalogIndigenous()) < 20 {
+		t.Error("indigenous catalog too small")
+	}
+}
+
+func TestFrontierThroughFacade(t *testing.T) {
+	v, sys, ok := Frontier(1995.5, FrontierOptions{})
+	if !ok || sys.Name == "" {
+		t.Fatal("no frontier")
+	}
+	if v < 4000 || v > 5000 {
+		t.Errorf("frontier %v", v)
+	}
+}
+
+func TestWeatherThroughFacade(t *testing.T) {
+	ss := WeatherScenarios()
+	if len(ss) != 5 {
+		t.Fatalf("%d scenarios", len(ss))
+	}
+	if !strings.Contains(ss[0].String(), "Mtops") {
+		t.Error("scenario string lacks units")
+	}
+}
+
+func TestKeySearchThroughFacade(t *testing.T) {
+	pairs := MakeKeyPairs(1234, 5, 6)
+	res, err := KeySearch(pairs, 0, 1<<16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Key != 1234 {
+		t.Errorf("result %+v", res)
+	}
+}
+
+func TestSimulatorThroughFacade(t *testing.T) {
+	fleet := SimFleet(8)
+	suite := WorkloadSuite()
+	r, err := RunSim(fleet[0], suite[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Speedup <= 1 {
+		t.Errorf("8-way SMP speedup %v on key search", r.Speedup)
+	}
+}
+
+func TestParseMtopsFacade(t *testing.T) {
+	v, err := ParseMtops("21,125")
+	if err != nil || v != 21125 {
+		t.Errorf("ParseMtops: %v %v", v, err)
+	}
+}
+
+func TestTrendFacade(t *testing.T) {
+	series := TrendSeries{Name: "doubling", Points: []TrendPoint{
+		{X: 1990, Y: 100}, {X: 1991, Y: 200}, {X: 1992, Y: 400},
+	}}
+	fit, err := FitExponential(series.Points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := fit.DoublingTime(); d < 0.99 || d > 1.01 {
+		t.Errorf("doubling time %v, want 1", d)
+	}
+}

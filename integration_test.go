@@ -1,0 +1,218 @@
+// Cross-package integration tests: end-to-end flows a policy analyst or a
+// downstream engineer would actually run, crossing the package seams the
+// unit tests respect.
+package hpcexport
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/controllability"
+	"repro/internal/ctp"
+	"repro/internal/ctpgap"
+	"repro/internal/future"
+	"repro/internal/nwp"
+	"repro/internal/regime"
+	"repro/internal/safeguards"
+	"repro/internal/threshold"
+	"repro/internal/units"
+)
+
+// TestLicenseFollowsSnapshot runs the full policy pipeline: take the June
+// 1995 snapshot, adopt its control-maximal recommendation as the
+// regulation, and license a machine under it — the workflow the study was
+// commissioned to enable.
+func TestLicenseFollowsSnapshot(t *testing.T) {
+	snap, err := threshold.Take(1995.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := snap.Recommend(threshold.ControlMaximal)
+	if !ok {
+		t.Fatal("no recommendation")
+	}
+
+	// A Challenge XL (2,900 Mtops) to Sweden: licensed supercomputer
+	// under the old 1,500 threshold, free under the framework's
+	// recommendation.
+	challenge, ok := CatalogLookup("SGI Challenge XL")
+	if !ok {
+		t.Fatal("catalog missing Challenge XL")
+	}
+	under1500, err := safeguards.Evaluate(safeguards.License{
+		Destination: "Sweden", CTP: challenge.CTP}, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	underRec, err := safeguards.Evaluate(safeguards.License{
+		Destination: "Sweden", CTP: challenge.CTP}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if under1500.Outcome != safeguards.Approve {
+		t.Errorf("Challenge under 1,500: %v", under1500.Outcome)
+	}
+	if underRec.Outcome != safeguards.NoLicense {
+		t.Errorf("Challenge under the recommendation: %v", underRec.Outcome)
+	}
+
+	// A C916 to the same destination stays safeguarded either way.
+	c916, _ := CatalogLookup("Cray C916")
+	d, err := safeguards.Evaluate(safeguards.License{Destination: "Sweden", CTP: c916.CTP}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Outcome != safeguards.Approve || len(d.Safeguards) == 0 {
+		t.Errorf("C916 under the recommendation: %v", d)
+	}
+}
+
+// TestSpecRatedAgainstFrontier: describe a machine as an exporter would
+// (JSON spec), rate it, and place it against the frontier and the
+// application stalactites.
+func TestSpecRatedAgainstFrontier(t *testing.T) {
+	spec := ctp.SystemSpec{
+		Name:      "proposed export",
+		Processor: "R8000-75",
+		Count:     18,
+		Memory:    "shared",
+	}
+	sys, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rating, err := sys.CTP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frontier, _, ok := controllability.Frontier(1995.45, controllability.Options{})
+	if !ok {
+		t.Fatal("no frontier")
+	}
+	// An 18-way R8000 machine rates within a factor of 2 of the
+	// PowerChallenge XL's published class and near the frontier either way.
+	if rating < frontier/2 || rating > frontier*2 {
+		t.Errorf("18-way R8000 rating %v implausibly far from the frontier %v", rating, frontier)
+	}
+	// Applications it cannot serve: everything above its rating.
+	stranded := AppsAboveBound(rating)
+	if len(stranded) == 0 {
+		t.Error("no applications above an SMP-class machine; dataset broken")
+	}
+}
+
+// TestTimelineConsistentWithReview: the regime package's verdicts and the
+// threshold package's annual review tell the same story about 1,500 Mtops.
+func TestTimelineConsistentWithReview(t *testing.T) {
+	entries, err := threshold.Review(1994.5, 1995.5, threshold.ControlMaximal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The review's 1995 lower bound exceeds 1,500…
+	last := entries[len(entries)-1]
+	if last.Snapshot.LowerBound <= 1500 {
+		t.Errorf("review lower bound %v; should exceed the 1994 threshold", last.Snapshot.LowerBound)
+	}
+	// …and the regime evaluation agrees the threshold is under water.
+	var e1500 regime.Event
+	for _, e := range regime.Timeline() {
+		if e.Kind == regime.Adopted && e.Threshold == 1500 {
+			e1500 = e
+		}
+	}
+	v := regime.EvaluateAt(e1500, 1995.45, controllability.Options{})
+	if v.Viable {
+		t.Error("regime evaluation disagrees with the review about 1,500 Mtops")
+	}
+}
+
+// TestWeatherAnchorsThresholdStory: the NWP cost model, the application
+// record, and the snapshot agree about tactical weather prediction.
+func TestWeatherAnchorsThresholdStory(t *testing.T) {
+	app, ok := AppLookup("Tactical weather prediction (45 km)")
+	if !ok {
+		t.Fatal("application missing")
+	}
+	modeled := float64(nwp.Tactical45.RequiredMtops())
+	stated := float64(app.Min)
+	if math.Abs(modeled-stated)/stated > 0.25 {
+		t.Errorf("cost model %v vs stated minimum %v diverge >25%%", modeled, stated)
+	}
+	snap, err := threshold.Take(1995.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Min <= snap.LowerBound {
+		t.Error("tactical weather below the frontier; it must anchor the military-operations cluster")
+	}
+	mo, ok := snap.FirstCluster(threshold.MilOps)
+	if !ok {
+		t.Fatal("no military-operations cluster")
+	}
+	found := false
+	for _, a := range mo.Apps {
+		if a.Name == app.Name {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("tactical weather not in the military-operations cluster")
+	}
+}
+
+// TestGapAndFutureAgree: the ctpgap measurements and the future
+// projection both say the same thing about commodity building blocks —
+// they deliver real performance that the rating rules barely see, and
+// they take over the high-end base.
+func TestGapAndFutureAgree(t *testing.T) {
+	rows, err := ctpgap.Analyze(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clusterEP, smpEP float64
+	for _, r := range rows {
+		if !strings.Contains(r.Workload, "key search") {
+			continue
+		}
+		switch {
+		case strings.Contains(r.Machine, "Ethernet"):
+			clusterEP = r.PerMtops
+		case strings.Contains(r.Machine, "SMP"):
+			smpEP = r.PerMtops
+		}
+	}
+	if clusterEP <= smpEP {
+		t.Error("rating rules fully capture cluster capability; the composition worry would be moot")
+	}
+	o, err := future.Project(1992, 1999, 2010)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(o.CompositionErodes, 1) {
+		t.Error("no composition erosion despite under-rated commodity blocks")
+	}
+}
+
+// TestUnitsFlowThroughFacade: a Mtops value survives parse → snapshot
+// comparison → license decision without unit confusion.
+func TestUnitsFlowThroughFacade(t *testing.T) {
+	v, err := units.ParseMtops("4,600 Mtops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := TakeSnapshot(1995.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != snap.LowerBound {
+		t.Errorf("parsed %v != snapshot bound %v", v, snap.LowerBound)
+	}
+	d, err := EvaluateLicense(ExportLicense{Destination: "France", CTP: v}, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Outcome != safeguards.Approve {
+		t.Errorf("at-threshold sale to an ally: %v", d.Outcome)
+	}
+}

@@ -1,0 +1,271 @@
+// Package apps is the study's application-side dataset: the national
+// security applications of Chapter 4 with their minimum computational
+// requirements (the "stalactites"), the computational technology areas and
+// functional areas of Tables 6–13, and synthetic reconstructions of the
+// DoD HPCMO survey populations behind Figures 8 and 9.
+//
+// The defining question of the study's interviews was unusual: "What is
+// the least computational power that would be sufficient to execute your
+// program?" The answer, converted to Mtops through the CTP rating of the
+// named minimum configuration, is an application's minimum requirement —
+// the only bound that matters for export control, since an application
+// whose minimum lies below the uncontrollability frontier cannot be denied
+// to anyone by hardware controls.
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/units"
+)
+
+// Mission is one of the four broad application groups of Chapter 4.
+type Mission int
+
+const (
+	NuclearWeapons Mission = iota
+	Cryptology
+	ACW // advanced conventional weapons RDT&E
+	MilitaryOperations
+)
+
+// String returns the mission group's display name.
+func (m Mission) String() string {
+	switch m {
+	case NuclearWeapons:
+		return "nuclear weapons programs"
+	case Cryptology:
+		return "cryptology"
+	case ACW:
+		return "advanced conventional weapons"
+	case MilitaryOperations:
+		return "military operations"
+	default:
+		return fmt.Sprintf("Mission(%d)", int(m))
+	}
+}
+
+// CTA is a computational technology area (Table 6), extended with the
+// developmental test and evaluation computational functions (Table 7) and
+// cryptology, "a fourteenth distinct computational area".
+type CTA int
+
+const (
+	CCM   CTA = iota // Computational Chemistry and Materials Science
+	CEA              // Computational Electromagnetics and Acoustics
+	CEN              // Computational Electronics and Nanoelectronics
+	CFD              // Computational Fluid Dynamics
+	CSM              // Computational Structural Mechanics
+	CWO              // Climate, Weather, and Ocean Modeling
+	EQM              // Environmental Quality Monitoring and Simulation
+	FMS              // Forces Modeling and Simulation / C4I
+	SIP              // Signal and Image Processing
+	DBA              // Database Activities (DT&E)
+	RTDA             // Real-Time Data Acquisition (DT&E)
+	RTMS             // Real-Time Modeling and Simulation (DT&E)
+	TA               // Test Analysis (DT&E)
+	Crypt            // Cryptology
+)
+
+// String returns the CTA's standard abbreviation.
+func (c CTA) String() string {
+	names := [...]string{"CCM", "CEA", "CEN", "CFD", "CSM", "CWO", "EQM",
+		"FMS", "SIP", "DBA", "RTDA", "RTMS", "TA", "Crypt"}
+	if int(c) < len(names) {
+		return names[c]
+	}
+	return fmt.Sprintf("CTA(%d)", int(c))
+}
+
+// Description returns the CTA's full name as given in Tables 6 and 7.
+func (c CTA) Description() string {
+	switch c {
+	case CCM:
+		return "Computational Chemistry and Materials Science"
+	case CEA:
+		return "Computational Electromagnetics and Acoustics"
+	case CEN:
+		return "Computational Electronics and Nanoelectronics"
+	case CFD:
+		return "Computational Fluid Dynamics"
+	case CSM:
+		return "Computational Structural Mechanics"
+	case CWO:
+		return "Climate, Weather, and Ocean Modeling"
+	case EQM:
+		return "Environmental Quality Monitoring and Simulation"
+	case FMS:
+		return "Forces Modeling and Simulation/C4I"
+	case SIP:
+		return "Signal and Image Processing"
+	case DBA:
+		return "Database Activities"
+	case RTDA:
+		return "Real-Time Data Acquisition"
+	case RTMS:
+		return "Real-Time Modeling and Simulation"
+	case TA:
+		return "Test Analysis"
+	case Crypt:
+		return "Cryptology"
+	default:
+		return c.String()
+	}
+}
+
+// Granularity classifies how an application's parallelism maps onto
+// loosely coupled hardware — the property that decides whether clusters of
+// uncontrollable workstations can substitute for an integrated system.
+type Granularity int
+
+const (
+	// Embarrassing: independent subproblems, essentially no communication
+	// (brute-force key search, ray tracing, replicated problems).
+	Embarrassing Granularity = iota
+	// Coarse: occasional exchange; clusters competitive.
+	Coarse
+	// Medium: regular boundary exchange (explicit stencils); clusters
+	// saturate at 8–12 nodes.
+	Medium
+	// Fine: global communication every few operations (sparse solvers,
+	// spectral methods); clusters uncompetitive.
+	Fine
+	// NotParallel: resists decomposition altogether (long sequential
+	// dependency chains, memory-bound single-image codes).
+	NotParallel
+)
+
+// String returns the granularity's display name.
+func (g Granularity) String() string {
+	switch g {
+	case Embarrassing:
+		return "embarrassingly parallel"
+	case Coarse:
+		return "coarse-grain"
+	case Medium:
+		return "medium-grain"
+	case Fine:
+		return "fine-grain"
+	case NotParallel:
+		return "not parallelizable"
+	default:
+		return fmt.Sprintf("Granularity(%d)", int(g))
+	}
+}
+
+// Application is one curated Chapter 4 application record.
+type Application struct {
+	Name        string
+	Mission     Mission
+	Area        string // functional area (Tables 8 and 13 vocabulary)
+	CTAs        []CTA
+	Min         units.Mtops // minimum useful configuration (the stalactite tip)
+	Actual      units.Mtops // configuration actually in use
+	ActualName  string      // catalog name of the actual system, if cataloged
+	FirstYear   int         // year first successfully performed (or projected)
+	RealTime    bool        // hard real-time processing requirement
+	Deployed    bool        // operational/embedded use (vs. RDT&E)
+	Granularity Granularity
+	MemoryBound bool // large closely-coupled memory requirement
+	Notes       string
+	Source      catalog.Provenance
+}
+
+// String renders the record in the paper's citation style.
+func (a Application) String() string {
+	return fmt.Sprintf("%s (min %s)", a.Name, a.Min)
+}
+
+// All returns every curated application record, sorted by minimum
+// requirement. The returned slice is a copy.
+func All() []Application {
+	out := make([]Application, len(applications))
+	copy(out, applications)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Min != out[j].Min {
+			return out[i].Min < out[j].Min
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// ByMission returns the curated applications of one mission group.
+func ByMission(m Mission) []Application {
+	var out []Application
+	for _, a := range All() {
+		if a.Mission == m {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Lookup finds a curated application by exact name.
+func Lookup(name string) (Application, bool) {
+	for _, a := range applications {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Application{}, false
+}
+
+// Minima returns the sorted minimum requirements of all curated
+// applications — the stalactite tips of Figures 2 and 10.
+func Minima() []units.Mtops {
+	all := All()
+	out := make([]units.Mtops, len(all))
+	for i, a := range all {
+		out[i] = a.Min
+	}
+	return out
+}
+
+// AboveBound returns the curated applications whose minimum requirement
+// exceeds the given bound, sorted by minimum.
+func AboveBound(bound units.Mtops) []Application {
+	var out []Application
+	for _, a := range All() {
+		if a.Min > bound {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Validate checks dataset integrity: unique names, positive minima,
+// Min ≤ Actual where both are known, years in range, and catalog
+// cross-references resolving.
+func Validate() error {
+	seen := map[string]bool{}
+	for _, a := range applications {
+		if a.Name == "" {
+			return fmt.Errorf("apps: record with empty name")
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("apps: duplicate name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Min <= 0 {
+			return fmt.Errorf("apps: %s: non-positive minimum %v", a.Name, a.Min)
+		}
+		if a.Actual != 0 && a.Actual < a.Min {
+			return fmt.Errorf("apps: %s: actual %v below minimum %v", a.Name, a.Actual, a.Min)
+		}
+		if a.FirstYear < 1940 || a.FirstYear > 2000 {
+			return fmt.Errorf("apps: %s: year %d out of range", a.Name, a.FirstYear)
+		}
+		if len(a.CTAs) == 0 {
+			return fmt.Errorf("apps: %s: no computational technology areas", a.Name)
+		}
+		if a.ActualName != "" {
+			if _, ok := catalog.Lookup(a.ActualName); !ok {
+				return fmt.Errorf("apps: %s: actual system %q not in catalog", a.Name, a.ActualName)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,341 @@
+package apps
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/catalog"
+	"repro/internal/units"
+)
+
+func TestValidate(t *testing.T) {
+	if err := Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllSortedByMin(t *testing.T) {
+	all := All()
+	if len(all) < 45 {
+		t.Fatalf("only %d curated applications", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Min < all[i-1].Min {
+			t.Errorf("All() not sorted at %q", all[i].Name)
+		}
+	}
+}
+
+func TestStatedMinima(t *testing.T) {
+	// Minimum requirements the paper prints verbatim.
+	anchors := map[string]float64{
+		"F-117A design":                                       0.8,
+		"B-2 (ATB) design":                                    189,
+		"JAST candidate design":                               3485,
+		"Trajectory image analysis (real-time)":               6,
+		"Store separation simulation (F/A-18)":                1153,
+		"Acoustic bottom contour modeling (shallow water)":    8000,
+		"TOPSAR near-real-time topographic mapping":           8000,
+		"Warhead/structure interaction (symmetric transonic)": 1098,
+		"Smart Munitions Test Suite image processing":         5194,
+		"SIRST ASCM defense (deployed)":                       13000,
+		"Visible-light sensor processing (deployed)":          24000,
+		"F-22 avionics suite":                                 9000,
+		"Global weather model (120 km)":                       200,
+		"Tactical weather prediction (45 km)":                 10000,
+		"Chem/bio defense local forecast (1 km, 3 h)":         21125,
+		"Littoral fine-grained forecast (5 km, 10 day)":       100000,
+		"Theater communications switching":                    20.8,
+		"NAASW deployed sensor suite":                         500,
+		"Robust nuclear weapons simulation":                   1400,
+	}
+	for name, want := range anchors {
+		a, ok := Lookup(name)
+		if !ok {
+			t.Errorf("missing application %q", name)
+			continue
+		}
+		if float64(a.Min) != want {
+			t.Errorf("%s: Min = %v, want %v", name, float64(a.Min), want)
+		}
+		if a.Source != catalog.Stated {
+			t.Errorf("%s: provenance %v, want stated", name, a.Source)
+		}
+	}
+}
+
+func TestByMissionPartition(t *testing.T) {
+	total := 0
+	for _, m := range []Mission{NuclearWeapons, Cryptology, ACW, MilitaryOperations} {
+		apps := ByMission(m)
+		if len(apps) == 0 {
+			t.Errorf("mission %v has no applications", m)
+		}
+		total += len(apps)
+	}
+	if total != len(All()) {
+		t.Errorf("missions partition %d apps, dataset has %d", total, len(All()))
+	}
+}
+
+func TestAboveBound(t *testing.T) {
+	above := AboveBound(4600)
+	if len(above) < 15 {
+		t.Errorf("only %d applications above the mid-1995 frontier", len(above))
+	}
+	for _, a := range above {
+		if a.Min <= 4600 {
+			t.Errorf("%s: min %v not above bound", a.Name, a.Min)
+		}
+	}
+	if len(AboveBound(1e9)) != 0 {
+		t.Error("applications above an absurd bound")
+	}
+}
+
+// TestTwoThirdsBelowFrontier encodes the key finding: "More than two-thirds
+// of the applications for which data are available can be carried out
+// using computers below the threshold of controllability defined in
+// Chapter 3."
+func TestTwoThirdsBelowFrontier(t *testing.T) {
+	const frontier = 4600 // mid-1995
+	pop := CombinedSurvey()
+	if len(pop) < 650 || len(pop) > 800 {
+		t.Fatalf("combined survey has %d entries; HPCMO covered ≈700", len(pop))
+	}
+	frac := FractionBelow(pop, frontier)
+	if frac <= 2.0/3.0 {
+		t.Errorf("%.1f%% of applications below the frontier; paper requires >2/3", frac*100)
+	}
+}
+
+// TestSevenToEightThousandBand: "Of those remaining, about five percent
+// require the use of computers in the 7,000–8,000 Mtops range."
+func TestSevenToEightThousandBand(t *testing.T) {
+	const frontier = 4600
+	var remaining []units.Mtops
+	for _, v := range CombinedSurvey() {
+		if v >= frontier {
+			remaining = append(remaining, v)
+		}
+	}
+	if len(remaining) == 0 {
+		t.Fatal("no applications above the frontier")
+	}
+	frac := FractionWithin(remaining, 7000, 8000)
+	if frac < 0.02 || frac > 0.15 {
+		t.Errorf("7,000–8,000 band holds %.1f%% of above-frontier applications; paper says about five percent", frac*100)
+	}
+	// "A smaller but still significant number of applications require the
+	// use of computers of at least 10,000 Mtops."
+	n10k := 0
+	for _, v := range remaining {
+		if v >= 10000 {
+			n10k++
+		}
+	}
+	if n10k < 5 {
+		t.Errorf("only %d applications at ≥10,000 Mtops", n10k)
+	}
+}
+
+func TestSyntheticPopulationsDeterministic(t *testing.T) {
+	a, b := STPopulation1994(), STPopulation1994()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("S&T population not deterministic")
+		}
+	}
+	c, d := DTEPopulation(1996), DTEPopulation(1996)
+	for i := range c {
+		if c[i] != d[i] {
+			t.Fatal("DT&E population not deterministic")
+		}
+	}
+}
+
+func TestSTPopulationShape(t *testing.T) {
+	pop := SurveyMtops(STPopulation1994())
+	if len(pop) != stCount {
+		t.Fatalf("S&T population size %d", len(pop))
+	}
+	// "most of today's DoD HPC applications are being performed on
+	// relatively low-power machines": the bulk below the 1,500 threshold.
+	if f := FractionBelow(pop, 1500); f < 0.6 {
+		t.Errorf("only %.1f%% of S&T population below 1,500 Mtops", f*100)
+	}
+	// But a real high tail exists.
+	top := 0
+	for _, v := range pop {
+		if v > 10000 {
+			top++
+		}
+	}
+	if top == 0 {
+		t.Error("S&T population has no high-end tail")
+	}
+}
+
+// TestDTEProjectionGrows: Figure 9's projected 1996 distribution shifts
+// right of the 1995 distribution in aggregate, even though a quarter of
+// projects migrate down onto parallel clusters.
+func TestDTEProjectionGrows(t *testing.T) {
+	cur := SurveyMtops(DTEPopulation(1995))
+	proj := SurveyMtops(DTEPopulation(1996))
+	var sc, sp float64
+	for i := range cur {
+		sc += float64(cur[i])
+		sp += float64(proj[i])
+	}
+	if sp <= sc {
+		t.Errorf("projected 1996 total %.0f not above 1995 total %.0f", sp, sc)
+	}
+	// Migration is present: some individual projects get cheaper.
+	down := 0
+	for i := range cur {
+		if proj[i] < cur[i] {
+			down++
+		}
+	}
+	if down == 0 {
+		t.Error("no projects migrated down to parallel systems")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	vals := []units.Mtops{5, 50, 150, 1000, 5000, 50000}
+	edges := []float64{0, 10, 100, 1500, 10000, math.Inf(1)}
+	got := Histogram(vals, edges)
+	want := []int{1, 1, 2, 1, 1}
+	if len(got) != len(want) {
+		t.Fatalf("histogram %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d (%v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestHistogramConservation: every value lands in exactly one bucket.
+func TestHistogramConservation(t *testing.T) {
+	f := func(raw []uint32) bool {
+		vals := make([]units.Mtops, len(raw))
+		for i, v := range raw {
+			vals[i] = units.Mtops(v % 200000)
+		}
+		counts := Histogram(vals, PolicyBins)
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		return total == len(vals)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramEdgeValues(t *testing.T) {
+	// A value exactly on an edge belongs to the bucket it opens.
+	got := Histogram([]units.Mtops{10, 100}, []float64{0, 10, 100, math.Inf(1)})
+	if got[0] != 0 || got[1] != 1 || got[2] != 1 {
+		t.Errorf("edge placement wrong: %v", got)
+	}
+}
+
+func TestFractionHelpers(t *testing.T) {
+	vals := []units.Mtops{1, 2, 3, 4}
+	if f := FractionBelow(vals, 3); f != 0.5 {
+		t.Errorf("FractionBelow = %v", f)
+	}
+	if f := FractionWithin(vals, 2, 3); f != 0.5 {
+		t.Errorf("FractionWithin = %v", f)
+	}
+	if FractionBelow(nil, 10) != 0 || FractionWithin(nil, 0, 10) != 0 {
+		t.Error("empty-slice fractions nonzero")
+	}
+}
+
+func TestTables(t *testing.T) {
+	if got := Table6(); len(got) != 9 {
+		t.Errorf("Table 6 has %d areas, want 9", len(got))
+	}
+	if got := Table7(); len(got) != 4 {
+		t.Errorf("Table 7 has %d functions, want 4", len(got))
+	}
+	if got := Table8(); len(got) != 4 {
+		t.Errorf("Table 8 has %d areas, want 4", len(got))
+	}
+	if got := Table13(); len(got) != 4 {
+		t.Errorf("Table 13 has %d areas, want 4", len(got))
+	}
+	for id, rows := range map[int][]FunctionRow{9: Table9(), 10: Table10(), 11: Table11(), 12: Table12()} {
+		if len(rows) < 5 {
+			t.Errorf("Table %d has %d rows", id, len(rows))
+		}
+		for _, r := range rows {
+			if r.Function == "" || len(r.CTAs) == 0 {
+				t.Errorf("Table %d has malformed row %+v", id, r)
+			}
+		}
+	}
+}
+
+func TestTable14And15(t *testing.T) {
+	t14, t15 := Table14(), Table15()
+	if len(t14) < 20 {
+		t.Errorf("Table 14 has %d rows", len(t14))
+	}
+	if len(t15) < 10 {
+		t.Errorf("Table 15 has %d rows", len(t15))
+	}
+	if len(t14)+len(t15) != len(All()) {
+		t.Errorf("Tables 14+15 cover %d apps, dataset has %d", len(t14)+len(t15), len(All()))
+	}
+	for i := 1; i < len(t14); i++ {
+		if t14[i].Min < t14[i-1].Min {
+			t.Error("Table 14 not sorted by minimum")
+		}
+	}
+}
+
+func TestCTAStrings(t *testing.T) {
+	if CFD.String() != "CFD" || Crypt.String() != "Crypt" {
+		t.Error("CTA abbreviations wrong")
+	}
+	if CFD.Description() != "Computational Fluid Dynamics" {
+		t.Error("CFD description wrong")
+	}
+	if CTA(99).String() != "CTA(99)" {
+		t.Error("unknown CTA formatting")
+	}
+	for _, c := range append(Table6(), Table7()...) {
+		if c.Description() == "" {
+			t.Errorf("CTA %v lacks description", c)
+		}
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if NuclearWeapons.String() != "nuclear weapons programs" || Mission(9).String() != "Mission(9)" {
+		t.Error("Mission strings")
+	}
+	if Embarrassing.String() != "embarrassingly parallel" || Granularity(9).String() != "Granularity(9)" {
+		t.Error("Granularity strings")
+	}
+}
+
+func TestApplicationString(t *testing.T) {
+	a, _ := Lookup("F-117A design")
+	if got := a.String(); got != "F-117A design (min 0.8 Mtops)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	if _, ok := Lookup("no such application"); ok {
+		t.Error("lookup of missing name succeeded")
+	}
+}

@@ -1,0 +1,495 @@
+package apps
+
+import "repro/internal/catalog"
+
+// applications is the curated Chapter 4 dataset. Every Mtops figure the
+// paper prints is carried verbatim and marked Stated; minima the paper
+// implies but does not print are Reconstructed, chosen to preserve every
+// aggregate claim the paper makes (two-thirds of applications below the
+// controllability frontier, an R&D group starting near 7,000 Mtops, a
+// military-operations group near 10,000 Mtops).
+var applications = []Application{
+	// ==================================================================
+	// Nuclear weapons programs.
+	// ==================================================================
+	{
+		Name: "First-generation nuclear weapon design", Mission: NuclearWeapons,
+		Area: "Nuclear design", CTAs: []CTA{CFD, CSM},
+		Min: 1, Actual: 67, FirstYear: 1945,
+		Granularity: Coarse,
+		Notes:       "designed with mechanical calculators; 'greatly facilitated' by a PC",
+		Source:      catalog.Stated,
+	},
+	{
+		Name: "Robust nuclear weapons simulation", Mission: NuclearWeapons,
+		Area: "Nuclear design", CTAs: []CTA{CFD, CSM},
+		Min: 1400, Actual: 1400, FirstYear: 1994,
+		Granularity: Fine, MemoryBound: true,
+		Notes:  "'fairly robust' simulations on dedicated 1,400 Mtops workstations",
+		Source: catalog.Stated,
+	},
+	{
+		Name: "Second-generation weapon design (with test data)", Mission: NuclearWeapons,
+		Area: "Nuclear design", CTAs: []CTA{CFD, CSM, CCM},
+		Min: 1500, Actual: 21125, ActualName: "Cray C916", FirstYear: 1960,
+		Granularity: Fine, MemoryBound: true,
+		Notes:  "requires ≥1,500 Mtops plus empirical test data",
+		Source: catalog.Stated,
+	},
+	{
+		Name: "Stockpile confidence simulation", Mission: NuclearWeapons,
+		Area: "Stockpile stewardship", CTAs: []CTA{CFD, CSM, CCM},
+		Min: 18000, Actual: 21125, ActualName: "Cray C916", FirstYear: 1993,
+		Granularity: Fine, MemoryBound: true,
+		Notes:  "confidence without testing requires 'the most powerful computers available'",
+		Source: catalog.Reconstructed,
+	},
+
+	// ==================================================================
+	// Cryptology.
+	// ==================================================================
+	{
+		Name: "Brute-force DES key search (24-hour)", Mission: Cryptology,
+		Area: "Cryptoanalysis", CTAs: []CTA{Crypt},
+		Min: 50, Actual: 800, FirstYear: 1993,
+		Granularity: Embarrassing,
+		Notes:       "'tailor-made for parallel processors'; any keyspace partition works",
+		Source:      catalog.Reconstructed,
+	},
+	{
+		Name: "Narrow-target cipher attack", Mission: Cryptology,
+		Area: "Cryptoanalysis", CTAs: []CTA{Crypt},
+		Min: 100, Actual: 1500, FirstYear: 1990,
+		Granularity: Embarrassing,
+		Notes:       "'limited means but limited goals': one cipher system of one country",
+		Source:      catalog.Reconstructed,
+	},
+	{
+		Name: "Cipher system design and validation", Mission: Cryptology,
+		Area: "Cryptography", CTAs: []CTA{Crypt},
+		Min: 400, Actual: 2000, FirstYear: 1988,
+		Granularity: Coarse,
+		Notes:       "design and use of encipherment systems",
+		Source:      catalog.Reconstructed,
+	},
+
+	// ==================================================================
+	// Advanced conventional weapons: aerodynamic vehicle design (Table 9).
+	// ==================================================================
+	{
+		Name: "F-117A design", Mission: ACW,
+		Area: "Aerodynamic vehicle design", CTAs: []CTA{CEA, CFD},
+		Min: 0.8, Actual: 189, ActualName: "IBM 3090/250", FirstYear: 1978,
+		Granularity: NotParallel,
+		Notes:       "a VAX-11/780 (0.8 Mtops) 'would have just met their requirements'",
+		Source:      catalog.Stated,
+	},
+	{
+		Name: "B-2 (ATB) design", Mission: ACW,
+		Area: "Aerodynamic vehicle design", CTAs: []CTA{CEA, CFD},
+		Min: 189, Actual: 189, ActualName: "IBM 3090/250", FirstYear: 1981,
+		Granularity: NotParallel,
+		Notes:       "the 189 Mtops mainframe 'was the smallest computer that could have been effectively employed'",
+		Source:      catalog.Stated,
+	},
+	{
+		Name: "F-22 design (simultaneous CEA/CFD optimization)", Mission: ACW,
+		Area: "Aerodynamic vehicle design", CTAs: []CTA{CEA, CFD, CSM},
+		Min: 500, Actual: 958, ActualName: "Cray Y-MP/2", FirstYear: 1991,
+		Granularity: Fine, MemoryBound: true,
+		Notes:  "high-resolution 3-D simulation impossible on lesser equipment; Cray 'more economical' than the 3090",
+		Source: catalog.Reconstructed,
+	},
+	{
+		Name: "JAST candidate design", Mission: ACW,
+		Area: "Aerodynamic vehicle design", CTAs: []CTA{CEA, CFD},
+		Min: 3485, Actual: 4864, ActualName: "Intel Paragon (150)", FirstYear: 1994,
+		Granularity: Medium,
+		Notes:       "the original 128-node iPSC/860 (3,485 Mtops) 'believed to be minimally sufficient'",
+		Source:      catalog.Stated,
+	},
+	{
+		Name: "Stealth cruise missile design", Mission: ACW,
+		Area: "Aerodynamic vehicle design", CTAs: []CTA{CEA, CFD},
+		Min: 2000, Actual: 4864, ActualName: "Intel Paragon (150)", FirstYear: 1993,
+		Granularity: Medium,
+		Notes:       "smaller body, fewer calculations than a fighter; computing not the limiting factor",
+		Source:      catalog.Reconstructed,
+	},
+	{
+		Name: "High-frequency (>1 GHz) scattering analysis", Mission: ACW,
+		Area: "Aerodynamic vehicle design", CTAs: []CTA{CEA},
+		Min: 300, Actual: 1153, ActualName: "SGI PowerChallenge (small)", FirstYear: 1993,
+		Granularity: Coarse,
+		Notes:       "adapted for powerful workstations",
+		Source:      catalog.Reconstructed,
+	},
+	{
+		Name: "Low-frequency resonance/inhomogeneous wave analysis", Mission: ACW,
+		Area: "Aerodynamic vehicle design", CTAs: []CTA{CEA},
+		Min: 4000, Actual: 21125, ActualName: "Cray C916", FirstYear: 1992,
+		Granularity: Fine, MemoryBound: true,
+		Notes:  "still requires large integrated systems",
+		Source: catalog.Reconstructed,
+	},
+	{
+		Name: "Flight-test processing and simulation", Mission: ACW,
+		Area: "Aerodynamic vehicle design", CTAs: []CTA{RTDA, TA},
+		Min: 1000, Actual: 3439, ActualName: "Cray T3D (small)", FirstYear: 1990,
+		Granularity: Coarse,
+		Notes:       "readily scalable; aggregate power matters more than any single machine",
+		Source:      catalog.Reconstructed,
+	},
+	{
+		Name: "Trajectory image analysis (real-time)", Mission: ACW,
+		Area: "Aerodynamic vehicle design", CTAs: []CTA{SIP, RTDA},
+		Min: 6, Actual: 3439, ActualName: "Cray T3D (small)", FirstYear: 1986, RealTime: true,
+		Granularity: Coarse,
+		Notes:       "runs 'very constrained' on a six-node VAX-8600 cluster (≈6 Mtops); the T3D processes far more sensor inputs",
+		Source:      catalog.Stated,
+	},
+	{
+		Name: "Store separation simulation (F/A-18)", Mission: ACW,
+		Area: "Aerodynamic vehicle design", CTAs: []CTA{CFD},
+		Min: 1153, Actual: 21125, ActualName: "Cray C916", FirstYear: 1994,
+		Granularity: Medium, MemoryBound: true,
+		Notes:  "'memory size is often more critical than processor performance'; runs from PowerChallenge (1,153) to C916/Paragon",
+		Source: catalog.Stated,
+	},
+
+	// ==================================================================
+	// ACW: submarine design (Table 10).
+	// ==================================================================
+	{
+		Name: "Submarine structural acoustics (CSM)", Mission: ACW,
+		Area: "Submarine design", CTAs: []CTA{CEA, CSM},
+		Min: 16000, Actual: 21125, ActualName: "Cray C916", FirstYear: 1992,
+		Granularity: NotParallel, MemoryBound: true,
+		Notes:  "10–20 h/run × ≥2,000 runs; 'little chance' of replication on uncontrolled computers",
+		Source: catalog.Reconstructed,
+	},
+	{
+		Name: "Turbulent-flow radiated noise (shallow water)", Mission: ACW,
+		Area: "Submarine design", CTAs: []CTA{CFD},
+		Min: 20000, Actual: 21125, ActualName: "Cray C916", FirstYear: 1993,
+		Granularity: NotParallel, MemoryBound: true,
+		Notes:  "needs ≥128M 64-bit words; 'the only system currently capable' is a 16-node Cray",
+		Source: catalog.Reconstructed,
+	},
+	{
+		Name: "Submarine signature reduction (shaping)", Mission: ACW,
+		Area: "Submarine design", CTAs: []CTA{CEA, CFD},
+		Min: 3000, Actual: 10056, ActualName: "Cray T3D (256)", FirstYear: 1991,
+		Granularity: Fine,
+		Notes:       "acoustic and electromagnetic signature modeling",
+		Source:      catalog.Reconstructed,
+	},
+
+	// ==================================================================
+	// ACW: surveillance and target detection (Table 11).
+	// ==================================================================
+	{
+		Name: "ATR template development", Mission: ACW,
+		Area: "Surveillance design", CTAs: []CTA{SIP, CEA},
+		Min: 7000, Actual: 24000, FirstYear: 1993,
+		Granularity: Coarse,
+		Notes:       "thousands of hours on ≥24,000 Mtops systems; convertible to very large workstation clusters",
+		Source:      catalog.Reconstructed,
+	},
+	{
+		Name: "Radar performance prediction (clutter/jamming)", Mission: ACW,
+		Area: "Surveillance design", CTAs: []CTA{CEA, SIP},
+		Min: 4500, Actual: 24000, FirstYear: 1994,
+		Granularity: Coarse,
+		Notes:       "'performance increments permit more simultaneous solutions, yielding more accurate templates'",
+		Source:      catalog.Reconstructed,
+	},
+	{
+		Name: "Acoustic bottom contour modeling (shallow water)", Mission: ACW,
+		Area: "Surveillance design", CTAs: []CTA{CEA, CWO},
+		Min: 8000, Actual: 21125, ActualName: "Cray C916", FirstYear: 1994,
+		Granularity: Fine, MemoryBound: true,
+		Notes:  "'an absolute minimum of 8,000–9,600 Mtops of processing power to execute'",
+		Source: catalog.Stated,
+	},
+	{
+		Name: "Acoustic sensor R&D (ocean modeling)", Mission: ACW,
+		Area: "Surveillance design", CTAs: []CTA{CEA, CWO},
+		Min: 16500, Actual: 21125, ActualName: "Cray C916", FirstYear: 1990,
+		Granularity: Fine, MemoryBound: true,
+		Notes:  "large finite-element and 2-D ocean acoustic models; 64-bit closely coupled memory; unsuitable for clusters",
+		Source: catalog.Reconstructed,
+	},
+	{
+		Name: "NAASW sensor physics development", Mission: ACW,
+		Area: "Surveillance design", CTAs: []CTA{CEN, SIP},
+		Min: 2000, Actual: 4600, FirstYear: 1994,
+		Granularity: Coarse,
+		Notes:       "overnight tasks on a 64–128 node Paragon (2,000–4,600 Mtops); cluster conversion costs two weeks per run",
+		Source:      catalog.Stated,
+	},
+	{
+		Name: "NAASW deployed sensor suite", Mission: MilitaryOperations,
+		Area: "ASW surveillance", CTAs: []CTA{SIP},
+		Min: 500, Actual: 500, FirstYear: 1997, RealTime: true, Deployed: true,
+		Granularity: Medium,
+		Notes:       "'expected to require only about 500 Mtops' once developed",
+		Source:      catalog.Stated,
+	},
+	{
+		Name: "Digital cartography (non-time-critical)", Mission: ACW,
+		Area: "Surveillance design", CTAs: []CTA{SIP, DBA},
+		Min: 200, Actual: 2300, ActualName: "Intel Paragon (64)", FirstYear: 1992,
+		Granularity: Embarrassing,
+		Notes:       "'economically feasible rather than the most operationally desirable computers'",
+		Source:      catalog.Reconstructed,
+	},
+	{
+		Name: "TOPSAR near-real-time topographic mapping", Mission: ACW,
+		Area: "Surveillance design", CTAs: []CTA{SIP},
+		Min: 8000, FirstYear: 1996, RealTime: true,
+		Granularity: Medium,
+		Notes:       "combat support will need 'a minimum of 8,000 Mtops and possibly as much as 24,000'; development on the NAASW Paragon",
+		Source:      catalog.Stated,
+	},
+
+	// ==================================================================
+	// ACW: survivability, protective structures, weapons lethality
+	// (Table 12).
+	// ==================================================================
+	{
+		Name: "Warhead/structure interaction (symmetric transonic)", Mission: ACW,
+		Area: "Survivability and lethality", CTAs: []CTA{CSM, CFD},
+		Min: 1098, Actual: 1098, ActualName: "Cray Model 2", FirstYear: 1990,
+		Granularity: Fine,
+		Notes:       "two hours per run on a Cray Model 2 (1,098 Mtops); full asymmetric model 40 hours",
+		Source:      catalog.Stated,
+	},
+	{
+		Name: "Advanced armor penetration modeling", Mission: ACW,
+		Area: "Survivability and lethality", CTAs: []CTA{CSM, CCM},
+		Min: 1098, Actual: 21125, ActualName: "Cray C916", FirstYear: 1991,
+		Granularity: Fine,
+		Notes:       "≈200 h/run; kinetic-kill vs hybrid armor up to 2,000 h; optimization 14,000 h per candidate",
+		Source:      catalog.Stated,
+	},
+	{
+		Name: "Weapons effects on complex structures", Mission: ACW,
+		Area: "Survivability and lethality", CTAs: []CTA{CSM},
+		Min: 10000, Actual: 21125, ActualName: "Cray C916", FirstYear: 1993,
+		Granularity: Fine, MemoryBound: true,
+		Notes:  "several hundred hours per iteration on the C916",
+		Source: catalog.Reconstructed,
+	},
+	{
+		Name: "Deep penetration weapon design", Mission: ACW,
+		Area: "Survivability and lethality", CTAs: []CTA{CSM, CCM},
+		Min: 7200, Actual: 21125, ActualName: "Cray C916", FirstYear: 1993,
+		Granularity: Fine, MemoryBound: true,
+		Notes:  "multi-strata non-linear 3-D finite elements; high pressures, short time scales, high resolution",
+		Source: catalog.Reconstructed,
+	},
+	{
+		Name: "Nuclear blast effects on structures", Mission: ACW,
+		Area: "Survivability and lethality", CTAs: []CTA{CFD, CSM},
+		Min: 3000, Actual: 21125, ActualName: "Cray C916", FirstYear: 1991,
+		Granularity: Medium,
+		Notes:       "2-D ≈200 h, 3-D ≈600 h on the C916; being adapted to the T3D (10,056) and CM-5 (10,457)",
+		Source:      catalog.Stated,
+	},
+	{
+		Name: "Smart Munitions Test Suite image processing", Mission: ACW,
+		Area: "Survivability and lethality", CTAs: []CTA{SIP, RTMS},
+		Min: 5194, Actual: 5194, ActualName: "TMC CM-5 (128)", FirstYear: 1994, RealTime: true,
+		Granularity: Medium,
+		Notes:       "128-node CM-5 partition (5,194 Mtops), upgrading to 14,410 'for additional realism'; double-wide HIPPI input at 70 MHz",
+		Source:      catalog.Stated,
+	},
+	{
+		Name: "Mobile laser weapons effects modeling", Mission: ACW,
+		Area: "Survivability and lethality", CTAs: []CTA{CEA, CCM},
+		Min: 2500, Actual: 10056, ActualName: "Cray T3D (256)", FirstYear: 1995,
+		Granularity: Fine,
+		Notes:       "new requirement generated by high-power mobile-laser development",
+		Source:      catalog.Reconstructed,
+	},
+
+	// ==================================================================
+	// Military operations (Table 13): C4I, battle management, sensors,
+	// meteorology.
+	// ==================================================================
+	{
+		Name: "SIRST ASCM defense (deployed)", Mission: MilitaryOperations,
+		Area: "Air defense", CTAs: []CTA{SIP}, RealTime: true, Deployed: true,
+		Min: 13000, Actual: 13000, FirstYear: 1997,
+		Granularity: Medium, MemoryBound: true,
+		Notes:  "≈6,500 Mflops sustained (≈13,000 Mtops) against 'Sunburn'-class sea-skimmers; a 7,400 Mtops Mercury 'might be minimally sufficient' in degraded form",
+		Source: catalog.Stated,
+	},
+	{
+		Name: "SIRST algorithm development", Mission: ACW,
+		Area: "Surveillance design", CTAs: []CTA{SIP},
+		Min: 4800, Actual: 8980, ActualName: "Intel Paragon (328)", FirstYear: 1994,
+		Granularity: Medium,
+		Notes:       "algorithms developed on a 328-node Paragon (8,980 Mtops)",
+		Source:      catalog.Reconstructed,
+	},
+	{
+		Name: "Visible-light sensor processing (deployed)", Mission: MilitaryOperations,
+		Area: "Air defense", CTAs: []CTA{SIP}, RealTime: true, Deployed: true,
+		Min: 24000, Actual: 24000, FirstYear: 1997,
+		Granularity: Medium, MemoryBound: true,
+		Notes:  "development on a 24,000 Mtops HPC; deployed suite 'will require similar computing power' in smaller, lighter form",
+		Source: catalog.Stated,
+	},
+	{
+		Name: "Integrated battle management system", Mission: MilitaryOperations,
+		Area: "C4I and battle management", CTAs: []CTA{FMS, DBA}, Deployed: true,
+		Min: 100, Actual: 1000, FirstYear: 1993,
+		Granularity: Coarse,
+		Notes:       "'efficiently provided by distributed computer systems'; SP2/PowerChallenge class, 100–1,000 Mtops",
+		Source:      catalog.Stated,
+	},
+	{
+		Name: "F-22 avionics suite", Mission: MilitaryOperations,
+		Area: "C4I and battle management", CTAs: []CTA{SIP, FMS}, RealTime: true, Deployed: true,
+		Min: 9000, Actual: 9000, FirstYear: 1997,
+		Granularity: Medium, MemoryBound: true,
+		Notes:  "1.6 million lines of code on a pair of computers with CTPs of about 9,000 Mtops; size/weight/power constrained",
+		Source: catalog.Stated,
+	},
+	{
+		Name: "AN/BSY-2 submarine combat system", Mission: MilitaryOperations,
+		Area: "C4I and battle management", CTAs: []CTA{SIP, FMS}, RealTime: true, Deployed: true,
+		Min: 200, Actual: 400, FirstYear: 1995,
+		Granularity: Coarse,
+		Notes:       "five million lines of code over 100+ embedded Motorola processors",
+		Source:      catalog.Stated,
+	},
+	{
+		Name: "Real-time battlefield simulation (obscurants/weather)", Mission: MilitaryOperations,
+		Area: "C4I and battle management", CTAs: []CTA{FMS, RTMS}, RealTime: true,
+		Min: 8000, Actual: 10056, ActualName: "Cray T3D (256)", FirstYear: 1995,
+		Granularity: Medium,
+		Notes:       "simulations executed on remote MPPs 'in excess of 8,000 Mtops'; fielded versions projected well above 1,000",
+		Source:      catalog.Stated,
+	},
+	{
+		Name: "Battlefield surveillance fusion", Mission: MilitaryOperations,
+		Area: "C4I and battle management", CTAs: []CTA{SIP, FMS, DBA}, RealTime: true, Deployed: true,
+		Min: 10500, Actual: 14410, ActualName: "TMC CM-5 (384)", FirstYear: 1996,
+		Granularity: Medium, MemoryBound: true,
+		Notes:  "wide-area sensor fusion named in the 10,000 Mtops military-operations group",
+		Source: catalog.Reconstructed,
+	},
+	{
+		Name: "ALERT theater missile warning", Mission: MilitaryOperations,
+		Area: "C4I and battle management", CTAs: []CTA{SIP, FMS}, RealTime: true, Deployed: true,
+		Min: 1700, Actual: 1700, ActualName: "SGI Onyx (server)", FirstYear: 1995,
+		Granularity: Coarse,
+		Notes:       "central suite of three Onyx servers (1,700 Mtops) plus 14 networked Onyx workstations (300 Mtops)",
+		Source:      catalog.Stated,
+	},
+	{
+		Name: "Theater communications switching", Mission: MilitaryOperations,
+		Area: "C4I and battle management", CTAs: []CTA{FMS}, RealTime: true, Deployed: true,
+		Min: 20.8, Actual: 53.3, ActualName: "Sun SPARCstation 10/30", FirstYear: 1990,
+		Granularity: Coarse,
+		Notes:       "Desert Storm ran on SPARCstation 4/300s (20.8 Mtops); the fix was software, not hardware",
+		Source:      catalog.Stated,
+	},
+	{
+		Name: "Information warfare operations", Mission: MilitaryOperations,
+		Area: "C4I and battle management", CTAs: []CTA{FMS, DBA},
+		Min: 100, Actual: 800, FirstYear: 1994,
+		Granularity: Embarrassing,
+		Notes:       "'a large number of efficiently networked workstations will prove more useful than a few HPC installations'",
+		Source:      catalog.Stated,
+	},
+	{
+		Name: "Distributed training simulation", Mission: MilitaryOperations,
+		Area: "C4I and battle management", CTAs: []CTA{FMS, RTMS},
+		Min: 800, Actual: 2000, FirstYear: 1994,
+		Granularity: Coarse,
+		Notes:       "'most of these applications are executed in a distributed fashion on uncontrollable computer systems'",
+		Source:      catalog.Stated,
+	},
+	{
+		Name: "Global weather model (120 km)", Mission: MilitaryOperations,
+		Area: "Meteorology", CTAs: []CTA{CWO},
+		Min: 200, Actual: 10625, ActualName: "Cray C90/8", FirstYear: 1988,
+		Granularity: Medium,
+		Notes:       "'a typical global weather model with 120 km resolution can be executed on a workstation in the 200 Mtops range'",
+		Source:      catalog.Stated,
+	},
+	{
+		Name: "Tactical weather prediction (45 km)", Mission: MilitaryOperations,
+		Area: "Meteorology", CTAs: []CTA{CWO}, Deployed: true,
+		Min: 10000, Actual: 10625, ActualName: "Cray C90/8", FirstYear: 1993,
+		Granularity: Medium, MemoryBound: true,
+		Notes:  "'typical tactical weather models with 45 km resolution require computers rated in excess of 10,000'; the 8-node C90 'barely adequate'",
+		Source: catalog.Stated,
+	},
+	{
+		Name: "Chem/bio defense local forecast (1 km, 3 h)", Mission: MilitaryOperations,
+		Area: "Meteorology", CTAs: []CTA{CWO}, RealTime: true, Deployed: true,
+		Min: 21125, Actual: 21125, ActualName: "Cray C916", FirstYear: 1996,
+		Granularity: Medium, MemoryBound: true,
+		Notes:  "rapid 1 km/3-hour forecasts over small areas; 'requires a Cray C916'",
+		Source: catalog.Stated,
+	},
+	{
+		Name: "Littoral fine-grained forecast (5 km, 10 day)", Mission: MilitaryOperations,
+		Area: "Meteorology", CTAs: []CTA{CWO}, Deployed: true,
+		Min: 100000, FirstYear: 1998,
+		Granularity: Medium, MemoryBound: true,
+		Notes:  "routine production requires the 64-node upgrade, 'well over 100,000 Mtops'",
+		Source: catalog.Stated,
+	},
+
+	// ==================================================================
+	// Additional applications of the survey's broad middle: all below
+	// the controllability frontier, where "most of today's DoD HPC
+	// applications are being performed".
+	// ==================================================================
+	{
+		Name: "SAR strip-map image formation", Mission: ACW,
+		Area: "Surveillance design", CTAs: []CTA{SIP},
+		Min: 900, Actual: 2300, ActualName: "Intel Paragon (64)", FirstYear: 1992,
+		Granularity: Coarse,
+		Notes:       "range-Doppler processing; FFT-dominated, batch mode",
+		Source:      catalog.Reconstructed,
+	},
+	{
+		Name: "Mine warfare acoustic modeling", Mission: ACW,
+		Area: "Surveillance design", CTAs: []CTA{CEA, CWO},
+		Min: 1200, Actual: 3439, ActualName: "Cray T3D (small)", FirstYear: 1993,
+		Granularity: Medium,
+		Notes:       "shallow-water bottom-object scattering at mine-hunting frequencies",
+		Source:      catalog.Reconstructed,
+	},
+	{
+		Name: "Corps-level wargaming model", Mission: MilitaryOperations,
+		Area: "C4I and battle management", CTAs: []CTA{FMS},
+		Min: 150, Actual: 800, FirstYear: 1991,
+		Granularity: Coarse,
+		Notes:       "aggregated combat simulation for staff exercises",
+		Source:      catalog.Reconstructed,
+	},
+	{
+		Name: "Torpedo terminal guidance processing", Mission: MilitaryOperations,
+		Area: "ASW surveillance", CTAs: []CTA{SIP}, RealTime: true, Deployed: true,
+		Min: 60, Actual: 60, FirstYear: 1992,
+		Granularity: Medium,
+		Notes:       "embedded sonar processing under severe size/power constraints",
+		Source:      catalog.Reconstructed,
+	},
+	{
+		Name: "IR scene generation for hardware-in-the-loop", Mission: ACW,
+		Area: "Survivability and lethality", CTAs: []CTA{RTMS, SIP}, RealTime: true,
+		Min: 3000, Actual: 5194, ActualName: "TMC CM-5 (128)", FirstYear: 1994,
+		Granularity: Medium,
+		Notes:       "synthetic target/background imagery fed to seeker hardware in real time",
+		Source:      catalog.Reconstructed,
+	},
+}

@@ -1,0 +1,188 @@
+package apps
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/units"
+)
+
+// Requirement is one entry of the HPCMO-style survey populations: an
+// anonymous project with a performance figure and a computational
+// technology area. The real HPCMO databases covered "approximately 700 DoD
+// HPC applications"; they are not public, so the populations here are
+// synthetic reconstructions with the aggregate shape the paper reports:
+// "the computational requirements for most of these programs fall well
+// below the uncontrollability level; many are lower than current export
+// control thresholds."
+type Requirement struct {
+	Mtops units.Mtops
+	CTA   CTA
+	Year  int
+}
+
+// Population sizes, chosen to total ≈700 like the HPCMO databases.
+const (
+	stCount  = 560 // science & technology projects (Figure 8)
+	dteCount = 140 // developmental test & evaluation projects (Figure 9)
+)
+
+// stSeed and dteSeed fix the synthetic populations; regeneration is
+// bit-identical across runs.
+const (
+	stSeed  = 1994
+	dteSeed = 1995
+)
+
+// stCTAs weights the S&T population across the Table 6 areas, CFD and CSM
+// heaviest per the paper ("CFD ... represents a significant portion of the
+// HPC performed in support of defense programs").
+var stCTAs = []CTA{CFD, CFD, CFD, CSM, CSM, CEA, CEA, CWO, SIP, SIP, FMS, CCM, CEN, EQM}
+
+// dteCTAs weights the DT&E population across the Table 7 functions.
+var dteCTAs = []CTA{RTDA, RTDA, RTMS, RTMS, RTMS, TA, TA, DBA}
+
+// lognormal draws a log-normally distributed Mtops value with the given
+// log-median and log-sigma, clipped to [lo, hi].
+func lognormal(rng *rand.Rand, median, sigma, lo, hi float64) units.Mtops {
+	v := median * math.Exp(rng.NormFloat64()*sigma)
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	return units.Mtops(v)
+}
+
+// STPopulation1994 returns the synthetic S&T survey population behind
+// Figure 8: performance levels of the machines running ≈560 S&T projects
+// in 1994. The population is a two-component mixture: roughly two-thirds of
+// projects run in the workstation/small-SMP range ("most of today's DoD
+// HPC applications are being performed on relatively low-power machines"),
+// while a high component — the programs "whose criticality to national
+// defense justifies the higher level of investment" — occupies the
+// multi-thousand-Mtops band, so that somewhat under a third of the survey
+// sits above the mid-1995 controllability frontier, matching the paper's
+// "more than two-thirds … below" aggregate.
+func STPopulation1994() []Requirement {
+	rng := rand.New(rand.NewSource(stSeed))
+	out := make([]Requirement, stCount)
+	for i := range out {
+		var m units.Mtops
+		if rng.Float64() < 0.65 {
+			m = lognormal(rng, 200, 1.3, 1, 30000)
+		} else {
+			m = lognormal(rng, 5000, 0.8, 1, 30000)
+		}
+		out[i] = Requirement{
+			Mtops: m,
+			CTA:   stCTAs[rng.Intn(len(stCTAs))],
+			Year:  1994,
+		}
+	}
+	return out
+}
+
+// DTEPopulation returns the synthetic DT&E population behind Figure 9 for
+// year 1995 (current) or 1996 (projected). The projection multiplies
+// requirements by the growth the paper describes — applications "become
+// more complex in response to the availability of more powerful
+// computers" — while a parallelizing migration moves some work down onto
+// clusters of smaller machines.
+func DTEPopulation(year int) []Requirement {
+	rng := rand.New(rand.NewSource(dteSeed))
+	out := make([]Requirement, dteCount)
+	for i := range out {
+		m := lognormal(rng, 130, 1.5, 1, 15000)
+		cta := dteCTAs[rng.Intn(len(dteCTAs))]
+		grow := 1.9 + 0.6*rng.Float64() // 1996 projected growth factor
+		parallelize := rng.Float64() < 0.25
+		if year >= 1996 {
+			if parallelize {
+				// Converted to run distributed: per-system requirement drops.
+				m = units.Mtops(float64(m) * 0.5)
+			} else {
+				m = units.Mtops(float64(m) * grow)
+			}
+		}
+		out[i] = Requirement{Mtops: m, CTA: cta, Year: year}
+	}
+	return out
+}
+
+// SurveyMtops flattens a population to its performance values.
+func SurveyMtops(reqs []Requirement) []units.Mtops {
+	out := make([]units.Mtops, len(reqs))
+	for i, r := range reqs {
+		out[i] = r.Mtops
+	}
+	return out
+}
+
+// PolicyBins are the histogram bin edges, in Mtops, used for the
+// distribution figures (8, 9, 10, 11). They mark the policy-relevant
+// landmarks: the old 195 and current 1,500 Mtops thresholds, the mid-1995
+// controllability band (4,000–5,000), the application clusters (7,000 and
+// 10,000), and the C90/C916 class.
+var PolicyBins = []float64{0, 10, 100, 195, 500, 1500, 4000, 7000, 10000, 20000, math.Inf(1)}
+
+// Histogram counts values into the bins defined by edges: bucket i covers
+// [edges[i], edges[i+1]). Values below edges[0] land in bucket 0; values
+// at or above the last finite edge land in the final bucket.
+func Histogram(values []units.Mtops, edges []float64) []int {
+	counts := make([]int, len(edges)-1)
+	for _, v := range values {
+		placed := false
+		for i := len(counts) - 1; i >= 1; i-- {
+			if float64(v) >= edges[i] {
+				counts[i]++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			counts[0]++
+		}
+	}
+	return counts
+}
+
+// FractionBelow returns the fraction of values strictly below the bound.
+func FractionBelow(values []units.Mtops, bound units.Mtops) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range values {
+		if v < bound {
+			n++
+		}
+	}
+	return float64(n) / float64(len(values))
+}
+
+// FractionWithin returns the fraction of values v with lo ≤ v ≤ hi.
+func FractionWithin(values []units.Mtops, lo, hi units.Mtops) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range values {
+		if v >= lo && v <= hi {
+			n++
+		}
+	}
+	return float64(n) / float64(len(values))
+}
+
+// CombinedSurvey returns the full ≈700-application population the paper's
+// aggregate claims quantify over: the synthetic S&T and DT&E populations
+// plus the curated Chapter 4 minima.
+func CombinedSurvey() []units.Mtops {
+	var out []units.Mtops
+	out = append(out, SurveyMtops(STPopulation1994())...)
+	out = append(out, SurveyMtops(DTEPopulation(1995))...)
+	out = append(out, Minima()...)
+	return out
+}

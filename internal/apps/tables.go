@@ -1,0 +1,136 @@
+package apps
+
+import (
+	"sort"
+
+	"repro/internal/units"
+)
+
+// Table6 returns the nine computational technology areas for science and
+// technology projects, in the paper's order.
+func Table6() []CTA {
+	return []CTA{CCM, CEA, CEN, CFD, CSM, CWO, EQM, FMS, SIP}
+}
+
+// Table7 returns the four computational functions for developmental test
+// and evaluation projects.
+func Table7() []CTA {
+	return []CTA{DBA, RTDA, RTMS, TA}
+}
+
+// Table8 returns the advanced conventional weapons functional areas
+// examined in Chapter 4.
+func Table8() []string {
+	return []string{
+		"Aerodynamic vehicle design",
+		"Submarine design",
+		"Surveillance and target detection and recognition",
+		"Survivability, protective structures, and weapons lethality",
+	}
+}
+
+// Table13 returns the military operations functional areas examined in
+// Chapter 4.
+func Table13() []string {
+	return []string{
+		"C4I, target engagement, battle management, and information warfare",
+		"Air defense sensor processing",
+		"ASW surveillance",
+		"Meteorology",
+	}
+}
+
+// FunctionRow is one row of the design-function tables (9–12): a design
+// application and the computational technology areas it draws on.
+type FunctionRow struct {
+	Function string
+	CTAs     []CTA
+}
+
+// Table9 returns the aerodynamic vehicle design functions, as printed.
+func Table9() []FunctionRow {
+	return []FunctionRow{
+		{"Airfoils (wings) and airframe", []CTA{CFD}},
+		{"Airframe structure", []CTA{CSM}},
+		{"Signature reduction", []CTA{CFD, CEA}},
+		{"Engines (turbines)", []CTA{CFD}},
+		{"Rocket motors", []CTA{CCM}},
+	}
+}
+
+// Table10 returns the submarine design functions (reconstructed from the
+// chapter narrative; the printed table body is omitted in the scan).
+func Table10() []FunctionRow {
+	return []FunctionRow{
+		{"Hull form and hydrodynamic flow", []CTA{CFD}},
+		{"Acoustic signature reduction", []CTA{CEA, CSM}},
+		{"Structural acoustics and survivability", []CTA{CSM}},
+		{"Radiated noise (turbulent flow)", []CTA{CFD}},
+		{"Weapons quieting", []CTA{CEA, CSM}},
+	}
+}
+
+// Table11 returns the surveillance design functions (reconstructed).
+func Table11() []FunctionRow {
+	return []FunctionRow{
+		{"Automatic target recognition templates", []CTA{SIP, CEA}},
+		{"Radar signature prediction", []CTA{CEA}},
+		{"Acoustic sensor modeling", []CTA{CEA, CWO}},
+		{"Non-acoustic ASW sensor physics", []CTA{CEN, SIP}},
+		{"Cartography and terrain mapping", []CTA{SIP, DBA}},
+	}
+}
+
+// Table12 returns the survivability and weapons design functions
+// (reconstructed).
+func Table12() []FunctionRow {
+	return []FunctionRow{
+		{"Warhead/structure interaction", []CTA{CSM, CFD}},
+		{"Advanced armor and penetrators", []CTA{CSM, CCM}},
+		{"Deep penetration weapons", []CTA{CSM, CCM}},
+		{"Nuclear blast effects on structures", []CTA{CFD, CSM}},
+		{"Directed-energy weapons effects", []CTA{CEA, CCM}},
+	}
+}
+
+// RequirementRow is one row of the representative-requirements summary
+// tables (14 and 15).
+type RequirementRow struct {
+	Application string
+	Min         units.Mtops
+	Actual      units.Mtops
+	RealTime    bool
+}
+
+// Table14 returns the summary of representative computational requirements
+// for RDT&E: the curated nuclear, cryptologic, and ACW applications with
+// their minimum and in-use performance levels, sorted by minimum.
+func Table14() []RequirementRow {
+	return requirementRows(func(a Application) bool {
+		return a.Mission == NuclearWeapons || a.Mission == Cryptology || a.Mission == ACW
+	})
+}
+
+// Table15 returns the summary of representative computational requirements
+// for military operations.
+func Table15() []RequirementRow {
+	return requirementRows(func(a Application) bool {
+		return a.Mission == MilitaryOperations
+	})
+}
+
+func requirementRows(pred func(Application) bool) []RequirementRow {
+	var out []RequirementRow
+	for _, a := range All() {
+		if pred(a) {
+			out = append(out, RequirementRow{
+				Application: a.Name,
+				Min:         a.Min,
+				Actual:      a.Actual,
+				RealTime:    a.RealTime,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Min < out[j].Min })
+	return out
+}

@@ -1,0 +1,77 @@
+package apps
+
+import "testing"
+
+// TestValidateCatchesViolations injects corrupted records through the
+// package dataset and checks every validator branch fires.
+func TestValidateCatchesViolations(t *testing.T) {
+	orig := applications
+	defer func() { applications = orig }()
+
+	inject := func(mutate func(*Application)) error {
+		bad := orig[0]
+		bad.Name = "injected"
+		mutate(&bad)
+		applications = append(append([]Application(nil), orig...), bad)
+		return Validate()
+	}
+
+	cases := map[string]func(*Application){
+		"empty name":   func(a *Application) { a.Name = "" },
+		"duplicate":    func(a *Application) { a.Name = orig[0].Name },
+		"zero min":     func(a *Application) { a.Min = 0 },
+		"actual < min": func(a *Application) { a.Min = 100; a.Actual = 50 },
+		"year early":   func(a *Application) { a.FirstYear = 1900 },
+		"year late":    func(a *Application) { a.FirstYear = 2050 },
+		"no CTAs":      func(a *Application) { a.CTAs = nil },
+		"bad system":   func(a *Application) { a.ActualName = "no such machine" },
+	}
+	for name, mutate := range cases {
+		if err := inject(mutate); err == nil {
+			t.Errorf("%s: validator accepted the corruption", name)
+		}
+	}
+}
+
+func TestMissionStringsExhaustive(t *testing.T) {
+	want := map[Mission]string{
+		NuclearWeapons:     "nuclear weapons programs",
+		Cryptology:         "cryptology",
+		ACW:                "advanced conventional weapons",
+		MilitaryOperations: "military operations",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("Mission(%d) = %q", int(m), m.String())
+		}
+	}
+}
+
+func TestGranularityStringsExhaustive(t *testing.T) {
+	want := map[Granularity]string{
+		Embarrassing: "embarrassingly parallel",
+		Coarse:       "coarse-grain",
+		Medium:       "medium-grain",
+		Fine:         "fine-grain",
+		NotParallel:  "not parallelizable",
+	}
+	for g, s := range want {
+		if g.String() != s {
+			t.Errorf("Granularity(%d) = %q", int(g), g.String())
+		}
+	}
+}
+
+func TestLognormalClipping(t *testing.T) {
+	// The clip bounds must hold across the deterministic populations.
+	for _, r := range STPopulation1994() {
+		if r.Mtops < 1 || r.Mtops > 30000 {
+			t.Fatalf("S&T value %v escaped the clip", r.Mtops)
+		}
+	}
+	for _, r := range DTEPopulation(1995) {
+		if r.Mtops < 1 || r.Mtops > 15000 {
+			t.Fatalf("DT&E value %v escaped the clip", r.Mtops)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package c4i models the communications-switching story of the paper's
+// military-operations chapter. "As demonstrated during Desert Storm,
+// switching is the bottleneck in telecommunications networks. … A highly
+// capable communications network does not necessarily require
+// high-performance computers. An appropriate architecture and efficient
+// software are much more critical to system performance than raw
+// computing power." The theater network "proved inadequate for
+// operational requirements in late 1990"; by the February 1991 ground
+// attack "the network was operating efficiently. No hardware was
+// upgraded, however; the entire performance enhancement was due to
+// software improvements."
+//
+// The model: a network of store-and-forward switches, each an M/M/1
+// queue whose service rate is the product of a hardware factor (the
+// switch processor's Mtops) and a software efficiency factor (protocol
+// path length). Latency explodes as utilization approaches one; the
+// Desert Storm fix is a software-factor change at constant hardware.
+package c4i
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// Switch is one store-and-forward node.
+type Switch struct {
+	Name     string
+	Rating   units.Mtops // switch processor rating
+	Software float64     // messages per second per Mtops: the software efficiency
+}
+
+// Validate reports configuration errors.
+func (s Switch) Validate() error {
+	if s.Rating <= 0 || s.Software <= 0 {
+		return fmt.Errorf("c4i: invalid switch %+v", s)
+	}
+	return nil
+}
+
+// ServiceRate returns the switch's capacity in messages per second.
+func (s Switch) ServiceRate() float64 {
+	return float64(s.Rating) * s.Software
+}
+
+// Errors returned by the model.
+var (
+	ErrSaturated = errors.New("c4i: offered load meets or exceeds capacity")
+	ErrBadLoad   = errors.New("c4i: offered load must be positive")
+)
+
+// Latency returns the mean M/M/1 sojourn time, in seconds, of a message
+// through the switch at the offered load (messages/second).
+func (s Switch) Latency(load float64) (float64, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	if load <= 0 {
+		return 0, fmt.Errorf("%w: %v", ErrBadLoad, load)
+	}
+	mu := s.ServiceRate()
+	if load >= mu {
+		return 0, fmt.Errorf("%w: %.0f msg/s against %.0f capacity", ErrSaturated, load, mu)
+	}
+	return 1 / (mu - load), nil
+}
+
+// Utilization returns load/capacity.
+func (s Switch) Utilization(load float64) float64 {
+	return load / s.ServiceRate()
+}
+
+// Network is a chain of switches a theater message transits.
+type Network struct {
+	Name     string
+	Switches []Switch
+}
+
+// Latency returns the end-to-end mean latency at the offered load, the
+// sum of the per-switch sojourn times.
+func (n Network) Latency(load float64) (float64, error) {
+	if len(n.Switches) == 0 {
+		return 0, errors.New("c4i: empty network")
+	}
+	var total float64
+	for _, s := range n.Switches {
+		l, err := s.Latency(load)
+		if err != nil {
+			return 0, fmt.Errorf("%s: %w", s.Name, err)
+		}
+		total += l
+	}
+	return total, nil
+}
+
+// MaxLoad returns the highest offered load (messages/second) the network
+// sustains within the latency budget, found by bisection. ok is false if
+// even infinitesimal load misses the budget.
+func (n Network) MaxLoad(budgetSeconds float64) (float64, bool) {
+	if len(n.Switches) == 0 || budgetSeconds <= 0 {
+		return 0, false
+	}
+	// Capacity ceiling: the slowest switch.
+	ceiling := math.Inf(1)
+	for _, s := range n.Switches {
+		if mu := s.ServiceRate(); mu < ceiling {
+			ceiling = mu
+		}
+	}
+	lo, hi := 0.0, ceiling*(1-1e-9)
+	if l, err := n.Latency(hi * 1e-9); err != nil || l > budgetSeconds {
+		return 0, false
+	}
+	for i := 0; i < 200; i++ {
+		mid := 0.5 * (lo + hi)
+		l, err := n.Latency(mid)
+		if err != nil || l > budgetSeconds {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo, true
+}
+
+// Improve returns a copy of the network with every switch's software
+// factor multiplied — the Desert Storm fix, applied uniformly, hardware
+// untouched.
+func (n Network) Improve(softwareFactor float64) Network {
+	out := Network{Name: n.Name + " (improved)", Switches: make([]Switch, len(n.Switches))}
+	copy(out.Switches, n.Switches)
+	for i := range out.Switches {
+		out.Switches[i].Software *= softwareFactor
+	}
+	return out
+}
+
+// DesertShield is the late-1990 theater network: five SPARCstation
+// 4/300-class switches (20.8 Mtops) running the original protocol stack.
+// At the theater's offered load its latency was operationally inadequate.
+var DesertShield = Network{
+	Name: "theater network, late 1990",
+	Switches: []Switch{
+		{Name: "corps switch A", Rating: 20.8, Software: 3.0},
+		{Name: "corps switch B", Rating: 20.8, Software: 3.0},
+		{Name: "theater hub", Rating: 20.8, Software: 3.0},
+		{Name: "corps switch C", Rating: 20.8, Software: 3.0},
+		{Name: "corps switch D", Rating: 20.8, Software: 3.0},
+	},
+}
+
+// DesertStormFactor is the software-only improvement (protocol path
+// shortening, queue discipline) applied between late 1990 and February
+// 1991.
+const DesertStormFactor = 4.0
+
+// TheaterLoad is the offered load, messages per second, of the theater at
+// the ground-attack tempo.
+const TheaterLoad = 55.0
+
+// OperationalBudget is the end-to-end latency, seconds, the tempo allows.
+const OperationalBudget = 0.5

@@ -1,0 +1,137 @@
+package c4i
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestSwitchValidate(t *testing.T) {
+	if err := (Switch{Rating: 0, Software: 1}).Validate(); err == nil {
+		t.Error("zero rating accepted")
+	}
+	if err := (Switch{Rating: 10, Software: 0}).Validate(); err == nil {
+		t.Error("zero software accepted")
+	}
+	if _, err := (Switch{Rating: 0, Software: 1}).Latency(1); err == nil {
+		t.Error("latency on invalid switch accepted")
+	}
+}
+
+func TestLatencyMM1(t *testing.T) {
+	s := Switch{Name: "s", Rating: 10, Software: 10} // capacity 100 msg/s
+	l, err := s.Latency(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l-1.0/50) > 1e-12 {
+		t.Errorf("latency %v, want 1/(100-50)", l)
+	}
+	if u := s.Utilization(50); u != 0.5 {
+		t.Errorf("utilization %v", u)
+	}
+}
+
+func TestLatencyErrors(t *testing.T) {
+	s := Switch{Name: "s", Rating: 10, Software: 10}
+	if _, err := s.Latency(100); !errors.Is(err, ErrSaturated) {
+		t.Errorf("at capacity: %v", err)
+	}
+	if _, err := s.Latency(150); !errors.Is(err, ErrSaturated) {
+		t.Errorf("over capacity: %v", err)
+	}
+	if _, err := s.Latency(0); !errors.Is(err, ErrBadLoad) {
+		t.Errorf("zero load: %v", err)
+	}
+}
+
+// TestLatencyExplodesNearSaturation: the queueing knee, the reason a
+// network can be "inadequate" without being strictly over capacity.
+func TestLatencyExplodesNearSaturation(t *testing.T) {
+	s := Switch{Name: "s", Rating: 10, Software: 10}
+	l50, _ := s.Latency(50)
+	l95, _ := s.Latency(95)
+	l99, _ := s.Latency(99)
+	if !(l99 >= 4*l95 && l95 >= 4*l50) {
+		t.Errorf("no queueing knee: %v %v %v", l50, l95, l99)
+	}
+}
+
+// TestDesertStormAnecdote reproduces the paper's story in full: the
+// late-1990 network misses the operational budget at theater load; the
+// software-only improvement — "no hardware was upgraded" — brings it
+// comfortably inside.
+func TestDesertStormAnecdote(t *testing.T) {
+	before, err := DesertShield.Latency(TheaterLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before <= OperationalBudget {
+		t.Fatalf("late-1990 network adequate (%.3fs ≤ %.1fs); anecdote requires inadequacy", before, OperationalBudget)
+	}
+
+	after, err := DesertShield.Improve(DesertStormFactor).Latency(TheaterLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after > OperationalBudget {
+		t.Fatalf("software fix insufficient: %.3fs > %.1fs", after, OperationalBudget)
+	}
+
+	// Hardware is unchanged.
+	imp := DesertShield.Improve(DesertStormFactor)
+	for i, s := range imp.Switches {
+		if s.Rating != DesertShield.Switches[i].Rating {
+			t.Error("Improve changed hardware ratings")
+		}
+	}
+}
+
+func TestMaxLoadBracketsTheaterLoad(t *testing.T) {
+	lo, ok := DesertShield.MaxLoad(OperationalBudget)
+	if !ok {
+		t.Fatal("original network cannot meet the budget at any load")
+	}
+	if lo >= TheaterLoad {
+		t.Errorf("original network sustains %.1f ≥ theater load %.1f; anecdote broken", lo, TheaterLoad)
+	}
+	hi, ok := DesertShield.Improve(DesertStormFactor).MaxLoad(OperationalBudget)
+	if !ok || hi <= TheaterLoad {
+		t.Errorf("improved network sustains only %.1f", hi)
+	}
+	if hi <= lo {
+		t.Errorf("improvement did not raise sustainable load: %v vs %v", hi, lo)
+	}
+}
+
+func TestMaxLoadEdges(t *testing.T) {
+	if _, ok := (Network{}).MaxLoad(1); ok {
+		t.Error("empty network sustained load")
+	}
+	if _, ok := DesertShield.MaxLoad(0); ok {
+		t.Error("zero budget sustained load")
+	}
+	// An impossible budget (tighter than the zero-load latency).
+	zeroLoad := float64(len(DesertShield.Switches)) / DesertShield.Switches[0].ServiceRate()
+	if _, ok := DesertShield.MaxLoad(zeroLoad / 10); ok {
+		t.Error("sub-zero-load budget sustained load")
+	}
+}
+
+func TestNetworkLatencyEmpty(t *testing.T) {
+	if _, err := (Network{}).Latency(10); err == nil {
+		t.Error("empty network latency succeeded")
+	}
+}
+
+// TestSoftwareVsHardwareEquivalence: the model's point — a 4× software
+// factor and a 4× hardware rating produce identical capacity, so "an
+// appropriate architecture and efficient software are much more critical
+// … than raw computing power" (and much cheaper).
+func TestSoftwareVsHardwareEquivalence(t *testing.T) {
+	sw := Switch{Name: "sw", Rating: 20.8, Software: 12}
+	hw := Switch{Name: "hw", Rating: 83.2, Software: 3}
+	if math.Abs(sw.ServiceRate()-hw.ServiceRate()) > 1e-9 {
+		t.Errorf("capacities differ: %v vs %v", sw.ServiceRate(), hw.ServiceRate())
+	}
+}

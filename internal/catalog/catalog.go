@@ -1,0 +1,351 @@
+// Package catalog is the study's system-level dataset: the commercial U.S.
+// and Japanese systems, the indigenous systems of Russia, the PRC, and
+// India, and the attributes the controllability analysis needs (installed
+// base, distribution channel, entry price, field upgradability, size).
+//
+// Every record carries a provenance mark. Stated records carry a CTP or
+// performance number printed in the paper itself (e.g. "Cray C916 (21,125
+// Mtops)"). Reconstructed records fill table bodies the surviving text
+// omits (Tables 1–4 are "[Omitted]" in the scan) using the chapter
+// narrative and contemporary public sources; their numbers are estimates
+// chosen to be consistent with every figure the paper does print.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/trend"
+	"repro/internal/units"
+)
+
+// Origin is the designing country or bloc of a system.
+type Origin int
+
+const (
+	US Origin = iota
+	Japan
+	Europe
+	Russia
+	PRC
+	India
+)
+
+// String returns the origin's display name.
+func (o Origin) String() string {
+	switch o {
+	case US:
+		return "United States"
+	case Japan:
+		return "Japan"
+	case Europe:
+		return "Europe"
+	case Russia:
+		return "Russia"
+	case PRC:
+		return "PRC"
+	case India:
+		return "India"
+	default:
+		return fmt.Sprintf("Origin(%d)", int(o))
+	}
+}
+
+// Class is the market/architecture class of a system, ordered roughly along
+// the paper's Table 5 spectrum from tightly to loosely coupled.
+type Class int
+
+const (
+	VectorSuper      Class = iota // vector-pipelined supercomputer
+	MPP                           // tightly coupled distributed-memory massively parallel
+	SMPServer                     // shared-memory symmetric multiprocessor
+	Mainframe                     // general-purpose mainframe
+	Workstation                   // uniprocessor or small workstation
+	PersonalComp                  // personal computer
+	DedicatedCluster              // rack-mounted workstation cluster, high-speed interconnect
+	AdHocCluster                  // networked workstations, commodity LAN
+	Multiprocessor                // indigenous/other parallel machine
+)
+
+// String returns the class's display name.
+func (c Class) String() string {
+	switch c {
+	case VectorSuper:
+		return "vector supercomputer"
+	case MPP:
+		return "MPP"
+	case SMPServer:
+		return "SMP server"
+	case Mainframe:
+		return "mainframe"
+	case Workstation:
+		return "workstation"
+	case PersonalComp:
+		return "personal computer"
+	case DedicatedCluster:
+		return "dedicated cluster"
+	case AdHocCluster:
+		return "ad hoc cluster"
+	case Multiprocessor:
+		return "multiprocessor"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Channel is the dominant distribution channel for a product line: the
+// fewer hands a system passes through, the more controllable it is.
+type Channel int
+
+const (
+	DirectSale Channel = iota // vendor-direct, vendor-installed
+	DealerNet                 // VARs, OEMs, systems integrators, dealerships
+	MassMarket                // retail / anonymous channels
+)
+
+// String returns the channel's display name.
+func (c Channel) String() string {
+	switch c {
+	case DirectSale:
+		return "direct sale"
+	case DealerNet:
+		return "dealer/VAR network"
+	case MassMarket:
+		return "mass market"
+	default:
+		return fmt.Sprintf("Channel(%d)", int(c))
+	}
+}
+
+// Size is the physical footprint class of a system.
+type Size int
+
+const (
+	Desktop  Size = iota // fits on a desk, carry by hand
+	Deskside             // single pedestal
+	Rack                 // one or more racks, machine-room power
+	RoomSize             // dedicated room, liquid cooling or special power
+)
+
+// String returns the size class's display name.
+func (s Size) String() string {
+	switch s {
+	case Desktop:
+		return "desktop"
+	case Deskside:
+		return "deskside"
+	case Rack:
+		return "rack"
+	case RoomSize:
+		return "room-size"
+	default:
+		return fmt.Sprintf("Size(%d)", int(s))
+	}
+}
+
+// Provenance marks how a record's numbers were obtained.
+type Provenance int
+
+const (
+	// Stated: the figure is printed in the paper's text.
+	Stated Provenance = iota
+	// Reconstructed: the figure is inferred from the paper's narrative and
+	// contemporary public sources (omitted table bodies).
+	Reconstructed
+)
+
+// String returns the provenance mark.
+func (p Provenance) String() string {
+	if p == Stated {
+		return "stated"
+	}
+	return "reconstructed"
+}
+
+// System is one catalog record: a computer system (a specific rated
+// configuration of a product) with the attributes used by the CTP,
+// controllability, and threshold analyses.
+type System struct {
+	Name       string
+	Vendor     string
+	Origin     Origin
+	Class      Class
+	Year       int         // year introduced / state-tested
+	CTP        units.Mtops // rated CTP of this configuration
+	Peak       units.Mflops
+	Processors int
+	Processor  string // node processor family
+	EntryPrice units.USD
+	MaxPrice   units.USD
+	Installed  int // approximate units in the field (chassis)
+	Channel    Channel
+	Upgradable bool // field-upgradable by the user without vendor presence
+	Size       Size
+	CycleYears float64 // product development cycle length
+	Notes      string
+	Source     Provenance
+}
+
+// String renders the record the way the paper cites systems:
+// "Cray C916 (21,125 Mtops)".
+func (s System) String() string {
+	return fmt.Sprintf("%s (%s)", s.Name, s.CTP)
+}
+
+// All returns every catalog record, commercial and indigenous, sorted by
+// year then name. The returned slice is a copy; callers may reorder it.
+func All() []System {
+	out := make([]System, 0, len(usSystems)+len(foreignSystems))
+	out = append(out, usSystems...)
+	out = append(out, foreignSystems...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Year != out[j].Year {
+			return out[i].Year < out[j].Year
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Filter returns the records satisfying pred, in All() order.
+func Filter(pred func(System) bool) []System {
+	var out []System
+	for _, s := range All() {
+		if pred(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ByOrigin returns the records of one origin.
+func ByOrigin(o Origin) []System {
+	return Filter(func(s System) bool { return s.Origin == o })
+}
+
+// Indigenous returns the systems of the countries of control concern
+// (Russia, the PRC, and India) — the Figure 4 population.
+func Indigenous() []System {
+	return Filter(func(s System) bool {
+		return s.Origin == Russia || s.Origin == PRC || s.Origin == India
+	})
+}
+
+// Lookup finds a record by exact name, or by unique case-insensitive
+// substring if no exact match exists.
+func Lookup(name string) (System, bool) {
+	var sub []System
+	lower := strings.ToLower(name)
+	for _, s := range All() {
+		if s.Name == name {
+			return s, true
+		}
+		if strings.Contains(strings.ToLower(s.Name), lower) {
+			sub = append(sub, s)
+		}
+	}
+	if len(sub) == 1 {
+		return sub[0], true
+	}
+	return System{}, false
+}
+
+// MostPowerfulAsOf returns the highest-CTP record introduced in or before
+// the given year among those satisfying pred (nil = all records).
+func MostPowerfulAsOf(year float64, pred func(System) bool) (System, bool) {
+	var best System
+	found := false
+	for _, s := range All() {
+		if float64(s.Year) > year {
+			continue
+		}
+		if pred != nil && !pred(s) {
+			continue
+		}
+		if !found || s.CTP > best.CTP {
+			best, found = s, true
+		}
+	}
+	return best, found
+}
+
+// Series converts the records matching pred into a dated trend series of
+// (year introduced, CTP).
+func Series(name string, pred func(System) bool) trend.Series {
+	var pts []trend.Point
+	for _, s := range Filter(pred) {
+		pts = append(pts, trend.Point{X: float64(s.Year), Y: float64(s.CTP)})
+	}
+	return trend.Series{Name: name, Points: pts}
+}
+
+// IndigenousSeries returns the three Figure 4 trend lines (Russia, PRC,
+// India), each the dated CTPs of that country's indigenous systems.
+func IndigenousSeries() []trend.Series {
+	return []trend.Series{
+		Series("Russia", func(s System) bool { return s.Origin == Russia }),
+		Series("PRC", func(s System) bool { return s.Origin == PRC }),
+		Series("India", func(s System) bool { return s.Origin == India }),
+	}
+}
+
+// SMPVendorSeries returns the per-vendor SMP trend lines of Figure 6:
+// for each U.S. SMP vendor, the dated maximum-configuration CTPs of its
+// shared-memory product line.
+func SMPVendorSeries() []trend.Series {
+	vendors := map[string][]trend.Point{}
+	for _, s := range All() {
+		if s.Class != SMPServer || s.Origin != US {
+			continue
+		}
+		vendors[s.Vendor] = append(vendors[s.Vendor],
+			trend.Point{X: float64(s.Year), Y: float64(s.CTP)})
+	}
+	names := make([]string, 0, len(vendors))
+	for v := range vendors {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	out := make([]trend.Series, 0, len(names))
+	for _, v := range names {
+		out = append(out, trend.Series{Name: v, Points: vendors[v]})
+	}
+	return out
+}
+
+// Validate checks dataset integrity: names unique and non-empty, years in
+// the study's range, CTPs positive, installed bases non-negative, cycle
+// lengths plausible. It returns a joined error describing every violation.
+func Validate() error {
+	seen := map[string]bool{}
+	var problems []string
+	for _, s := range All() {
+		switch {
+		case s.Name == "":
+			problems = append(problems, "record with empty name")
+		case seen[s.Name]:
+			problems = append(problems, fmt.Sprintf("duplicate name %q", s.Name))
+		}
+		seen[s.Name] = true
+		if s.Year < 1975 || s.Year > 2000 {
+			problems = append(problems, fmt.Sprintf("%s: year %d out of range", s.Name, s.Year))
+		}
+		if s.CTP <= 0 {
+			problems = append(problems, fmt.Sprintf("%s: non-positive CTP %v", s.Name, s.CTP))
+		}
+		if s.Installed < 0 {
+			problems = append(problems, fmt.Sprintf("%s: negative installed base", s.Name))
+		}
+		if s.CycleYears < 0 || s.CycleYears > 10 {
+			problems = append(problems, fmt.Sprintf("%s: implausible cycle %v years", s.Name, s.CycleYears))
+		}
+		if s.EntryPrice < 0 || s.MaxPrice < 0 || (s.MaxPrice > 0 && s.MaxPrice < s.EntryPrice) {
+			problems = append(problems, fmt.Sprintf("%s: inconsistent prices", s.Name))
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("catalog: %s", strings.Join(problems, "; "))
+	}
+	return nil
+}

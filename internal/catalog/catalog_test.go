@@ -1,0 +1,222 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	if err := Validate(); err != nil {
+		t.Fatalf("dataset invalid: %v", err)
+	}
+}
+
+func TestAllSortedAndNonEmpty(t *testing.T) {
+	all := All()
+	if len(all) < 60 {
+		t.Fatalf("catalog has only %d systems; expected a substantial population", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Year < all[i-1].Year {
+			t.Errorf("All() not sorted: %s (%d) after %s (%d)",
+				all[i].Name, all[i].Year, all[i-1].Name, all[i-1].Year)
+		}
+	}
+}
+
+func TestAllReturnsCopy(t *testing.T) {
+	a := All()
+	name := a[0].Name
+	a[0].Name = "mutated"
+	if All()[0].Name != name {
+		t.Error("All() exposes internal state")
+	}
+}
+
+func TestStatedAnchors(t *testing.T) {
+	// Every CTP figure the paper prints must appear verbatim.
+	anchors := map[string]float64{
+		"Cray C916":                  21125,
+		"Cray C90/8":                 10625,
+		"Cray Y-MP/2":                958,
+		"Cray Model 2":               1098,
+		"Cray T3D (small)":           3439,
+		"Cray T3D (256)":             10056,
+		"TMC CM-5 (128)":             5194,
+		"TMC CM-5 (256)":             10457,
+		"TMC CM-5 (384)":             14410,
+		"Intel iPSC/860 (128)":       3485,
+		"Intel Paragon (150)":        4864,
+		"Intel Paragon (328)":        8980,
+		"IBM 3090/250":               189,
+		"DEC VAX-11/780":             0.8,
+		"Sun SPARCstation 4/300":     20.8,
+		"Sun SPARCstation 10/30":     53.3,
+		"SGI PowerChallenge (small)": 1153,
+		"SGI PowerOnyx":              2124,
+		"SGI Onyx (server)":          1700,
+		"SGI Onyx (workstation)":     300,
+		"Mercury RACE (multi)":       7400,
+	}
+	for name, want := range anchors {
+		s, ok := Lookup(name)
+		if !ok {
+			t.Errorf("anchor system %q missing from catalog", name)
+			continue
+		}
+		if float64(s.CTP) != want {
+			t.Errorf("%s: CTP = %v, want %v", name, float64(s.CTP), want)
+		}
+		if s.Source != Stated {
+			t.Errorf("%s: provenance = %v, want stated", name, s.Source)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("Cray C916"); !ok {
+		t.Error("exact lookup failed")
+	}
+	if s, ok := Lookup("c916"); !ok || s.Name != "Cray C916" {
+		t.Errorf("substring lookup: %v %v", s.Name, ok)
+	}
+	if _, ok := Lookup("Paragon"); ok {
+		t.Error("ambiguous substring should fail")
+	}
+	if _, ok := Lookup("no such machine"); ok {
+		t.Error("nonexistent lookup succeeded")
+	}
+}
+
+func TestByOriginPartition(t *testing.T) {
+	total := 0
+	for _, o := range []Origin{US, Japan, Europe, Russia, PRC, India} {
+		total += len(ByOrigin(o))
+	}
+	if total != len(All()) {
+		t.Errorf("origins partition %d records, catalog has %d", total, len(All()))
+	}
+}
+
+func TestIndigenousCoverage(t *testing.T) {
+	ind := Indigenous()
+	counts := map[Origin]int{}
+	for _, s := range ind {
+		counts[s.Origin]++
+	}
+	if counts[Russia] < 8 {
+		t.Errorf("Russia has %d records, want ≥8 (Table 1)", counts[Russia])
+	}
+	if counts[PRC] < 6 {
+		t.Errorf("PRC has %d records, want ≥6 (Table 2)", counts[PRC])
+	}
+	if counts[India] < 6 {
+		t.Errorf("India has %d records, want ≥6 (Table 3)", counts[India])
+	}
+}
+
+// TestIndigenousBelowUncontrollableFrontier encodes Figure 7's key finding:
+// by mid-1995 the performance of U.S. "uncontrollable" systems eclipses
+// every indigenous system of the countries of concern available by then.
+func TestIndigenousBelowUncontrollableFrontier(t *testing.T) {
+	const frontier1995 = 4000 // lower end of the paper's mid-1995 band
+	for _, s := range Indigenous() {
+		if s.Year <= 1995 && float64(s.CTP) > frontier1995 {
+			t.Errorf("%s (%d, %v) exceeds the mid-1995 uncontrollability frontier — contradicts Figure 7",
+				s.Name, s.Year, s.CTP)
+		}
+	}
+}
+
+func TestMostPowerfulAsOf(t *testing.T) {
+	// Mid-1995 overall: the Paragon XP/S-MP at >100,000 Mtops.
+	best, ok := MostPowerfulAsOf(1995.5, nil)
+	if !ok {
+		t.Fatal("no systems by 1995")
+	}
+	if best.CTP < 100000 {
+		t.Errorf("most powerful mid-1995 = %v; the paper says the state of the art exceeds 100,000 Mtops", best)
+	}
+	// Russia as of 1992: the MKP.
+	bestRu, ok := MostPowerfulAsOf(1992, func(s System) bool { return s.Origin == Russia })
+	if !ok || bestRu.Name != "MKP (dual)" {
+		t.Errorf("most powerful Russian system 1992 = %v, want MKP (dual)", bestRu.Name)
+	}
+	// Before any record.
+	if _, ok := MostPowerfulAsOf(1900, nil); ok {
+		t.Error("found a system before 1975")
+	}
+}
+
+func TestIndigenousSeriesShape(t *testing.T) {
+	series := IndigenousSeries()
+	if len(series) != 3 {
+		t.Fatalf("IndigenousSeries returned %d series, want 3", len(series))
+	}
+	names := map[string]bool{}
+	for _, s := range series {
+		names[s.Name] = true
+		if len(s.Points) == 0 {
+			t.Errorf("series %q empty", s.Name)
+		}
+	}
+	for _, want := range []string{"Russia", "PRC", "India"} {
+		if !names[want] {
+			t.Errorf("missing series %q", want)
+		}
+	}
+}
+
+func TestSMPVendorSeries(t *testing.T) {
+	series := SMPVendorSeries()
+	if len(series) < 5 {
+		t.Fatalf("only %d SMP vendor series; Figure 6 needs the major vendors", len(series))
+	}
+	var vendors []string
+	for _, s := range series {
+		vendors = append(vendors, s.Name)
+	}
+	joined := strings.Join(vendors, "|")
+	for _, want := range []string{"Silicon Graphics", "Sun Microsystems", "Digital Equipment", "Hewlett-Packard", "Cray Research (BSD)"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("Figure 6 missing vendor %q (have %v)", want, vendors)
+		}
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	s, _ := Lookup("Cray C916")
+	if got := s.String(); got != "Cray C916 (21,125 Mtops)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if US.String() != "United States" || PRC.String() != "PRC" || Origin(99).String() != "Origin(99)" {
+		t.Error("Origin strings")
+	}
+	if VectorSuper.String() != "vector supercomputer" || Class(99).String() != "Class(99)" {
+		t.Error("Class strings")
+	}
+	if DirectSale.String() != "direct sale" || Channel(99).String() != "Channel(99)" {
+		t.Error("Channel strings")
+	}
+	if Desktop.String() != "desktop" || Size(99).String() != "Size(99)" {
+		t.Error("Size strings")
+	}
+	if Stated.String() != "stated" || Reconstructed.String() != "reconstructed" {
+		t.Error("Provenance strings")
+	}
+}
+
+func TestFilterPredicate(t *testing.T) {
+	vec := Filter(func(s System) bool { return s.Class == VectorSuper })
+	for _, s := range vec {
+		if s.Class != VectorSuper {
+			t.Errorf("Filter returned %s with class %v", s.Name, s.Class)
+		}
+	}
+	if len(vec) < 8 {
+		t.Errorf("only %d vector supers", len(vec))
+	}
+}

@@ -1,0 +1,218 @@
+package catalog
+
+// foreignSystems holds the indigenous high-performance systems of the
+// countries of control concern: Russia (Table 1), the People's Republic of
+// China (Table 2), and India (Table 3). The bodies of those tables are
+// omitted from the surviving text, so most rows are Reconstructed from the
+// chapter narrative; figures printed in the prose (Elbrus-2 at 94 Mflops,
+// MKP at ~2 Gflops dual-processor, Param 8600 at 1.5 Gflops / 64
+// processors) anchor the reconstruction.
+var foreignSystems = []System{
+	// ------------------------------------------------------------------
+	// Russia (Table 1). The Soviet multiprocessor tradition: breadth of
+	// architectural approaches, weak microelectronics, collapse of funding
+	// after 1991, and a turn to Western commodity microprocessors
+	// (transputers, i860s) in the early 1990s.
+	// ------------------------------------------------------------------
+	{
+		Name: "PS-2000", Vendor: "IPU/NIIUVM", Origin: Russia, Class: Multiprocessor,
+		Year: 1980, CTP: 12, Peak: 200, Processors: 64, Processor: "custom bit-slice",
+		Installed: 150, Channel: DirectSale, Size: RoomSize, CycleYears: 5,
+		Notes:  "SIMD geophysics machine; high peak, narrow applicability",
+		Source: Reconstructed,
+	},
+	{
+		Name: "El'brus-1", Vendor: "ITMVT", Origin: Russia, Class: Multiprocessor,
+		Year: 1980, CTP: 15, Peak: 12, Processors: 10, Processor: "El'brus CPU",
+		Installed: 30, Channel: DirectSale, Size: RoomSize, CycleYears: 6,
+		Notes:  "first of the ITMVT shared-memory coarse-grain line",
+		Source: Reconstructed,
+	},
+	{
+		Name: "ES-1066", Vendor: "NITsEVT", Origin: Russia, Class: Mainframe,
+		Year: 1984, CTP: 5.5, Peak: 5, Processors: 1, Processor: "ES (IBM-compatible)",
+		Installed: 1000, Channel: DirectSale, Size: RoomSize, CycleYears: 5,
+		Notes:  "top of the Unified System mainframe line",
+		Source: Reconstructed,
+	},
+	{
+		Name: "El'brus-2 (10)", Vendor: "ITMVT", Origin: Russia, Class: Multiprocessor,
+		Year: 1985, CTP: 125, Peak: 94, Processors: 10, Processor: "El'brus-2 CPU",
+		Installed: 30, Channel: DirectSale, Size: RoomSize, CycleYears: 6,
+		Notes:  "most powerful machine put into series production (94 Mflops)",
+		Source: Stated,
+	},
+	{
+		Name: "MARS-M", Vendor: "Novosibirsk ITPM", Origin: Russia, Class: Multiprocessor,
+		Year: 1988, CTP: 20, Peak: 30, Processors: 5, Processor: "custom dataflow",
+		Installed: 2, Channel: DirectSale, Size: RoomSize, CycleYears: 6,
+		Notes:  "one of the breadth-of-approaches research machines",
+		Source: Reconstructed,
+	},
+	{
+		Name: "PS-2100", Vendor: "IPU/NIIUVM", Origin: Russia, Class: Multiprocessor,
+		Year: 1990, CTP: 45, Peak: 1500, Processors: 128, Processor: "custom bit-slice",
+		Installed: 20, Channel: DirectSale, Size: RoomSize, CycleYears: 5,
+		Notes:  "SIMD successor to PS-2000",
+		Source: Reconstructed,
+	},
+	{
+		Name: "MKP (dual)", Vendor: "ITMVT", Origin: Russia, Class: VectorSuper,
+		Year: 1990, CTP: 2500, Peak: 2000, Processors: 2, Processor: "MKP macro-pipeline",
+		Installed: 4, Channel: DirectSale, Size: RoomSize, CycleYears: 6,
+		Notes:  "most powerful fully indigenous system to pass state testing (~2 Gflops); production ended for lack of customers",
+		Source: Stated,
+	},
+	{
+		Name: "Elektronika SSBIS", Vendor: "Delta/ITMVT", Origin: Russia, Class: VectorSuper,
+		Year: 1991, CTP: 500, Peak: 250, Processors: 1, Processor: "SSBIS vector",
+		Installed: 3, Channel: DirectSale, Size: RoomSize, CycleYears: 6,
+		Notes:  "the 'Red Cray' vector project, overtaken by the collapse",
+		Source: Reconstructed,
+	},
+	{
+		Name: "Kvant T800 (32)", Vendor: "Kvant NII", Origin: Russia, Class: MPP,
+		Year: 1991, CTP: 80, Peak: 48, Processors: 32, Processor: "T800 transputer",
+		Installed: 15, Channel: DirectSale, Size: Rack, CycleYears: 3,
+		Notes:  "transputer configurations, some imported from India and Bulgaria",
+		Source: Reconstructed,
+	},
+	{
+		Name: "Kvant i860 (32)", Vendor: "Kvant NII", Origin: Russia, Class: MPP,
+		Year: 1994, CTP: 1500, Peak: 2560, Processors: 32, Processor: "i860 + T800 links",
+		Installed: 6, Channel: DirectSale, Size: Rack, CycleYears: 2,
+		Notes:  "i860 compute + transputer communications per node; architecture 'scalable to 512'",
+		Source: Stated,
+	},
+	{
+		Name: "Kvant i860 (64)", Vendor: "Kvant NII", Origin: Russia, Class: MPP,
+		Year: 1995, CTP: 2900, Peak: 5120, Processors: 64, Processor: "i860 + T800 links",
+		Installed: 1, Channel: DirectSale, Size: Rack, CycleYears: 2,
+		Notes:  "the announced 64-processor upgrade of the Kvant configuration",
+		Source: Reconstructed,
+	},
+
+	// ------------------------------------------------------------------
+	// People's Republic of China (Table 2). Vector-pipelined Galaxy line
+	// at NDST plus a dozen institute-scale multiprocessor projects on
+	// Western commodity parts.
+	// ------------------------------------------------------------------
+	{
+		Name: "Galaxy-1 (YH-1)", Vendor: "NDST Changsha", Origin: PRC, Class: VectorSuper,
+		Year: 1983, CTP: 150, Peak: 100, Processors: 1, Processor: "YH vector CPU",
+		Installed: 4, Channel: DirectSale, Size: RoomSize, CycleYears: 8,
+		Notes:  "Cray-1 analog begun 1978; passed state testing 1983 (100 MIPS)",
+		Source: Stated,
+	},
+	{
+		Name: "BJ-8701", Vendor: "Beijing Inst. of Computing", Origin: PRC, Class: Multiprocessor,
+		Year: 1987, CTP: 25, Peak: 20, Processors: 4, Processor: "custom",
+		Installed: 3, Channel: DirectSale, Size: RoomSize, CycleYears: 5,
+		Notes:  "institute-scale multiprocessor project",
+		Source: Reconstructed,
+	},
+	{
+		Name: "THTP-20", Vendor: "Tsinghua University", Origin: PRC, Class: MPP,
+		Year: 1990, CTP: 50, Peak: 30, Processors: 20, Processor: "T800 transputer",
+		Installed: 5, Channel: DirectSale, Size: Rack, CycleYears: 3,
+		Notes:  "transputer array; built-in links made assembly easy",
+		Source: Reconstructed,
+	},
+	{
+		Name: "Galaxy-II (YH-2)", Vendor: "NDST Changsha", Origin: PRC, Class: VectorSuper,
+		Year: 1992, CTP: 900, Peak: 400, Processors: 4, Processor: "YH vector CPU",
+		Installed: 3, Channel: DirectSale, Size: RoomSize, CycleYears: 8,
+		Notes:  "four tightly-coupled vector processors (400 Mflops); state testing 1992",
+		Source: Stated,
+	},
+	{
+		Name: "Dawning-1", Vendor: "NCIC/ICT", Origin: PRC, Class: SMPServer,
+		Year: 1993, CTP: 320, Peak: 640, Processors: 4, Processor: "Motorola 88100",
+		Installed: 10, Channel: DirectSale, Size: Deskside, CycleYears: 3,
+		Notes:  "national 863-program SMP",
+		Source: Reconstructed,
+	},
+	{
+		Name: "Tsinghua SmC (T9000)", Vendor: "Tsinghua University", Origin: PRC, Class: MPP,
+		Year: 1994, CTP: 450, Peak: 500, Processors: 32, Processor: "T9000 transputer",
+		Installed: 1, Channel: DirectSale, Size: Rack, CycleYears: 3,
+		Notes:  "the exception to the technology-lag rule: T9000s adopted nearly at announcement",
+		Source: Stated,
+	},
+	{
+		Name: "Dawning 1000", Vendor: "NCIC/ICT", Origin: PRC, Class: MPP,
+		Year: 1995, CTP: 2800, Peak: 2500, Processors: 36, Processor: "i860 XP",
+		Installed: 2, Channel: DirectSale, Size: Rack, CycleYears: 3,
+		Notes:  "i860 mesh MPP, 2.5 Gflops peak",
+		Source: Reconstructed,
+	},
+	{
+		Name: "Galaxy-III (YH-3)", Vendor: "NDST Changsha", Origin: PRC, Class: MPP,
+		Year: 1997, CTP: 13000, Peak: 13000, Processors: 128, Processor: "custom + commodity",
+		Installed: 1, Channel: DirectSale, Size: RoomSize, CycleYears: 5,
+		Notes:  "under development in 1995; 'integrates shared memory and massively parallel architectures'",
+		Source: Reconstructed,
+	},
+
+	// ------------------------------------------------------------------
+	// India (Table 3). Commodity-parts parallelism after the 1986 Cray
+	// X-MP safeguards experience; CDAC's Param line is the most
+	// commercial, with 30+ installed at home and abroad.
+	// ------------------------------------------------------------------
+	{
+		Name: "MH1", Vendor: "C-MMACS Bangalore", Origin: India, Class: Multiprocessor,
+		Year: 1986, CTP: 0.5, Peak: 0.05, Processors: 4, Processor: "Intel 8086/8087",
+		Installed: 1, Channel: DirectSale, Size: Deskside, CycleYears: 3,
+		Notes:  "probably the first Indian multiprocessor",
+		Source: Stated,
+	},
+	{
+		Name: "Flosolver Mk3", Vendor: "NAL Bangalore", Origin: India, Class: Multiprocessor,
+		Year: 1991, CTP: 60, Peak: 40, Processors: 16, Processor: "i860",
+		Installed: 2, Channel: DirectSale, Size: Deskside, CycleYears: 3,
+		Notes:  "CFD machine of the National Aerospace Laboratory",
+		Source: Reconstructed,
+	},
+	{
+		Name: "Param 8000 (64)", Vendor: "CDAC Pune", Origin: India, Class: MPP,
+		Year: 1991, CTP: 180, Peak: 96, Processors: 64, Processor: "T800 transputer",
+		Installed: 20, Channel: DirectSale, Size: Rack, CycleYears: 2.5,
+		Notes:  "first of the Param line",
+		Source: Reconstructed,
+	},
+	{
+		Name: "Param 8600 (64)", Vendor: "CDAC Pune", Origin: India, Class: MPP,
+		Year: 1992, CTP: 1700, Peak: 1500, Processors: 64, Processor: "i860 + T800 links",
+		Installed: 12, Channel: DirectSale, Size: Rack, CycleYears: 2.5,
+		Notes:  "'the first supercomputer developed in a third-world country' (1.5 Gflops peak)",
+		Source: Stated,
+	},
+	{
+		Name: "Anupam (8)", Vendor: "BARC", Origin: India, Class: MPP,
+		Year: 1993, CTP: 450, Peak: 640, Processors: 8, Processor: "i860",
+		Installed: 4, Channel: DirectSale, Size: Deskside, CycleYears: 2,
+		Notes:  "Bhabha Atomic Research Centre's in-house parallel machine",
+		Source: Reconstructed,
+	},
+	{
+		Name: "Pace", Vendor: "DRDO Hyderabad", Origin: India, Class: MPP,
+		Year: 1993, CTP: 120, Peak: 100, Processors: 16, Processor: "transputer/i860",
+		Installed: 5, Channel: DirectSale, Size: Deskside, CycleYears: 2.5,
+		Notes:  "Defence Research organisation's line",
+		Source: Reconstructed,
+	},
+	{
+		Name: "Pace-Plus", Vendor: "DRDO Hyderabad", Origin: India, Class: MPP,
+		Year: 1995, CTP: 960, Peak: 1000, Processors: 32, Processor: "i860",
+		Installed: 2, Channel: DirectSale, Size: Rack, CycleYears: 2.5,
+		Notes:  "announced May 1995 (HPCwire)",
+		Source: Stated,
+	},
+	{
+		Name: "Param 9000/SS", Vendor: "CDAC Pune", Origin: India, Class: MPP,
+		Year: 1995, CTP: 3200, Peak: 4800, Processors: 32, Processor: "SuperSPARC",
+		Installed: 3, Channel: DirectSale, Size: Rack, CycleYears: 2.5,
+		Notes:  "open processor-independent architecture (PVM/MPI); SPARC, Alpha, PowerPC targets",
+		Source: Stated,
+	},
+}

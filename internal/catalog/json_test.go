@@ -1,0 +1,29 @@
+package catalog
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestJSONRoundTrip: the dataset survives a marshal/unmarshal cycle — the
+// property cmd/export depends on.
+func TestJSONRoundTrip(t *testing.T) {
+	orig := All()
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []System
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("round trip lost records: %d vs %d", len(back), len(orig))
+	}
+	for i := range orig {
+		if back[i].Name != orig[i].Name || back[i].CTP != orig[i].CTP ||
+			back[i].Year != orig[i].Year || back[i].Origin != orig[i].Origin {
+			t.Fatalf("record %d changed: %+v vs %+v", i, back[i], orig[i])
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package catalog
+
+import "testing"
+
+func TestAllEnumStringsExhaustive(t *testing.T) {
+	origins := map[Origin]string{
+		US: "United States", Japan: "Japan", Europe: "Europe",
+		Russia: "Russia", PRC: "PRC", India: "India",
+	}
+	for o, want := range origins {
+		if got := o.String(); got != want {
+			t.Errorf("Origin(%d) = %q, want %q", int(o), got, want)
+		}
+	}
+	classes := map[Class]string{
+		VectorSuper: "vector supercomputer", MPP: "MPP", SMPServer: "SMP server",
+		Mainframe: "mainframe", Workstation: "workstation", PersonalComp: "personal computer",
+		DedicatedCluster: "dedicated cluster", AdHocCluster: "ad hoc cluster",
+		Multiprocessor: "multiprocessor",
+	}
+	for c, want := range classes {
+		if got := c.String(); got != want {
+			t.Errorf("Class(%d) = %q, want %q", int(c), got, want)
+		}
+	}
+	channels := map[Channel]string{
+		DirectSale: "direct sale", DealerNet: "dealer/VAR network", MassMarket: "mass market",
+	}
+	for c, want := range channels {
+		if got := c.String(); got != want {
+			t.Errorf("Channel(%d) = %q, want %q", int(c), got, want)
+		}
+	}
+	sizes := map[Size]string{
+		Desktop: "desktop", Deskside: "deskside", Rack: "rack", RoomSize: "room-size",
+	}
+	for s, want := range sizes {
+		if got := s.String(); got != want {
+			t.Errorf("Size(%d) = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+// TestValidateCatchesViolations exercises every branch of the dataset
+// validator using corrupted copies — the failure-injection counterpart to
+// TestValidate's happy path.
+func TestValidateCatchesViolations(t *testing.T) {
+	// Validate reads the package datasets; inject through a saved/restored
+	// tail record.
+	orig := usSystems
+	defer func() { usSystems = orig }()
+
+	inject := func(mutate func(*System)) error {
+		bad := orig[0]
+		mutate(&bad)
+		usSystems = append(append([]System(nil), orig...), bad)
+		return Validate()
+	}
+
+	cases := map[string]func(*System){
+		"duplicate":      func(s *System) {},
+		"empty name":     func(s *System) { s.Name = "" },
+		"year early":     func(s *System) { s.Name = "x"; s.Year = 1902 },
+		"year late":      func(s *System) { s.Name = "x"; s.Year = 2050 },
+		"zero CTP":       func(s *System) { s.Name = "x"; s.CTP = 0 },
+		"neg installed":  func(s *System) { s.Name = "x"; s.Installed = -1 },
+		"cycle":          func(s *System) { s.Name = "x"; s.CycleYears = 99 },
+		"price inverted": func(s *System) { s.Name = "x"; s.EntryPrice = 10; s.MaxPrice = 5 },
+		"neg price":      func(s *System) { s.Name = "x"; s.EntryPrice = -2 },
+	}
+	for name, mutate := range cases {
+		if err := inject(mutate); err == nil {
+			t.Errorf("%s: validator accepted the corruption", name)
+		}
+	}
+}

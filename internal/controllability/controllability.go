@@ -1,0 +1,337 @@
+// Package controllability implements Chapter 3's lower-bound analysis: a
+// multi-factor scoring model of how controllable a computer system is, the
+// two-year market-maturation lag that converts product introductions into
+// uncontrollability dates, and the resulting uncontrollability frontier —
+// the highest CTP whose diffusion the export-control system can no longer
+// prevent as of a given date.
+//
+// The paper identifies six qualities that "affect the ability of export
+// control authorities, in concert with vendors, to track the location of a
+// given computer system, monitor its operations, and enforce appropriate
+// use": size, age, scalability, number of units in the field, dealership
+// network, and cost of entry-level systems. Controllability "is a
+// continuous function, not a binary condition"; the model scores each
+// factor on [0,1] (1 = works against control) and classifies a product
+// line as uncontrollable-in-kind when the mean score crosses a fixed
+// index. A product of uncontrollable kind becomes actually uncontrollable
+// MaturationLag years after introduction, "approximately two years after
+// they are first shipped", when the installed base has built and a
+// secondary market has emerged.
+//
+// The frontier at time t is the larger of (a) the maximum CTP over
+// uncontrollable-in-kind supplier-state systems introduced at least
+// MaturationLag years before t and (b) the maximum CTP over indigenous
+// systems of the countries of concern available by t — "the greater of the
+// lower technology curves". Workstation clusters are excluded by default,
+// per the paper's finding that clusters "should not by themselves be used
+// to justify a lower bound".
+package controllability
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/trend"
+	"repro/internal/units"
+)
+
+// MaturationLag is the time, in years, between a product's introduction
+// and the point at which its installed base and secondary market defeat
+// tracking: "currently no more than two years from product introduction".
+const MaturationLag = 2.0
+
+// UncontrollableIndex is the composite-score level at or above which a
+// product line is of uncontrollable kind. The value is calibrated so that
+// the paper's named examples fall on the right sides: the Cray CS6400 and
+// SGI Challenge lines (and everything below them in the workstation
+// market) are uncontrollable; direct-sale, room-size vector and MPP
+// systems (Cray C916, Paragon, CM-5) are controllable.
+const UncontrollableIndex = 0.55
+
+// Factors holds the six per-factor scores, each in [0,1] with 1 meaning
+// the factor defeats control.
+type Factors struct {
+	Size          float64 // small and movable vs. room-size infrastructure
+	Age           float64 // short product cycles → churn and secondary markets
+	Scalability   float64 // field upgrades without vendor presence
+	InstalledBase float64 // number of units in the field
+	Channel       float64 // dealer/VAR networks vs. vendor-direct oversight
+	EntryCost     float64 // departmental-budget entry prices widen the market
+}
+
+// Index is the composite controllability-defeating score: the unweighted
+// mean of the six factors. The paper lists the factors "in random order"
+// and offers no weighting, so none is imposed.
+func (f Factors) Index() float64 {
+	return (f.Size + f.Age + f.Scalability + f.InstalledBase + f.Channel + f.EntryCost) / 6
+}
+
+// String renders the factor vector compactly for reports.
+func (f Factors) String() string {
+	return fmt.Sprintf("size %.2f, age %.2f, scal %.2f, base %.2f, chan %.2f, cost %.2f → %.2f",
+		f.Size, f.Age, f.Scalability, f.InstalledBase, f.Channel, f.EntryCost, f.Index())
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// sizeScore maps physical footprint to a control-defeating score. Small
+// systems move anonymously; room-size systems need liquid cooling and
+// special power, which advertise their presence.
+func sizeScore(s catalog.Size) float64 {
+	switch s {
+	case catalog.Desktop:
+		return 1.0
+	case catalog.Deskside:
+		return 0.8
+	case catalog.Rack:
+		return 0.5
+	default: // RoomSize and anything larger
+		return 0.1
+	}
+}
+
+// ageScore maps the product development cycle to a score: 1–2 year cycles
+// mean systems are de-installed and resold while still potent, so
+// "vendors may not have accurate or current information about their
+// location and use".
+func ageScore(cycleYears float64) float64 {
+	if cycleYears <= 0 {
+		return 0.5 // unknown; neutral
+	}
+	return clamp01(1.25 - 0.25*cycleYears)
+}
+
+// scalabilityScore reflects whether a user can upgrade a small, unrestricted
+// configuration into a controlled-level one without a trained vendor
+// representative present.
+func scalabilityScore(upgradable bool) float64 {
+	if upgradable {
+		return 1.0
+	}
+	return 0.2
+}
+
+// installedBaseScore maps the number of units in the field onto a log
+// scale: a dozen units can be tracked; tens of thousands cannot. Company
+// estimates of the tracking limit "vary from about 200 to several
+// thousands of units"; the scale passes through 0.35 at 250 units and
+// saturates at 100,000.
+func installedBaseScore(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return clamp01((math.Log10(float64(n)) - 1) / 4)
+}
+
+// channelScore reflects who has custody between factory and installation.
+func channelScore(c catalog.Channel) float64 {
+	switch c {
+	case catalog.DirectSale:
+		return 0.1
+	case catalog.DealerNet:
+		return 0.7
+	default: // MassMarket
+		return 1.0
+	}
+}
+
+// entryCostScore maps entry-level price to market breadth: "approximately
+// half a million dollars represents a crucial marketing threshold", and
+// systems entering at $100–200,000 "enjoy still larger potential markets".
+func entryCostScore(entry units.USD) float64 {
+	switch p := float64(entry); {
+	case p <= 0:
+		return 0.5 // unknown; neutral
+	case p < 10e3:
+		return 1.0
+	case p < 100e3:
+		return 0.85
+	case p < 200e3:
+		return 0.7
+	case p < 500e3:
+		return 0.55
+	case p < 1e6:
+		return 0.35
+	default:
+		return 0.15
+	}
+}
+
+// Score computes the six-factor vector for a catalog record.
+func Score(s catalog.System) Factors {
+	return Factors{
+		Size:          sizeScore(s.Size),
+		Age:           ageScore(s.CycleYears),
+		Scalability:   scalabilityScore(s.Upgradable),
+		InstalledBase: installedBaseScore(s.Installed),
+		Channel:       channelScore(s.Channel),
+		EntryCost:     entryCostScore(s.EntryPrice),
+	}
+}
+
+// isCluster reports whether the record is a workstation cluster, which the
+// frontier excludes by default.
+func isCluster(s catalog.System) bool {
+	return s.Class == catalog.AdHocCluster || s.Class == catalog.DedicatedCluster
+}
+
+// UncontrollableKind reports whether the product line's composite score
+// puts it beyond practical control once its market matures. Clusters are
+// always of uncontrollable kind ("a collection of computers is only as
+// controllable as its most controllable component").
+func UncontrollableKind(s catalog.System) bool {
+	if isCluster(s) {
+		return true
+	}
+	return Score(s).Index() >= UncontrollableIndex
+}
+
+// UncontrollableAsOf reports whether the specific record is effectively
+// uncontrollable at the given time: of uncontrollable kind, with its
+// market matured (introduced at least MaturationLag years earlier).
+// Indigenous systems of the countries of concern are uncontrollable the
+// moment they exist — they are already beyond the regime's reach.
+func UncontrollableAsOf(s catalog.System, year float64) bool {
+	return uncontrollableWithLag(s, year, MaturationLag)
+}
+
+// uncontrollableWithLag is UncontrollableAsOf with an explicit maturation
+// lag, for the frontier's ablation option.
+func uncontrollableWithLag(s catalog.System, year, lag float64) bool {
+	if indigenous(s) {
+		return float64(s.Year) <= year
+	}
+	if !UncontrollableKind(s) {
+		return false
+	}
+	return float64(s.Year)+lag <= year
+}
+
+func indigenous(s catalog.System) bool {
+	return s.Origin == catalog.Russia || s.Origin == catalog.PRC || s.Origin == catalog.India
+}
+
+// Options configures the frontier computation.
+type Options struct {
+	// IncludeClusters counts workstation clusters toward the frontier.
+	// The paper argues against this; default false.
+	IncludeClusters bool
+	// ExcludeIndigenous drops the countries-of-concern curve, leaving the
+	// pure Western-uncontrollability frontier of Figure 6.
+	ExcludeIndigenous bool
+	// Lag overrides the market-maturation lag in years for ablation
+	// studies; 0 means the standard MaturationLag. Set Lag to a negative
+	// value to model "uncontrollable at introduction".
+	Lag float64
+}
+
+// lag returns the effective maturation lag for the options.
+func (o Options) lag() float64 {
+	switch {
+	case o.Lag < 0:
+		return 0
+	case o.Lag == 0:
+		return MaturationLag
+	default:
+		return o.Lag
+	}
+}
+
+// Frontier returns the uncontrollability frontier at the given time: the
+// highest-CTP system that is effectively uncontrollable then, under the
+// options. ok is false if nothing is uncontrollable yet.
+func Frontier(year float64, opts Options) (units.Mtops, catalog.System, bool) {
+	var best catalog.System
+	found := false
+	for _, s := range catalog.All() {
+		if isCluster(s) && !opts.IncludeClusters {
+			continue
+		}
+		if indigenous(s) {
+			if opts.ExcludeIndigenous {
+				continue
+			}
+			// "In defining this trend, we do not include one-of-a-kind
+			// installations": a single indigenous prototype does not
+			// establish available computing power in a country of concern.
+			if s.Installed < 2 {
+				continue
+			}
+		}
+		if !uncontrollableWithLag(s, year, opts.lag()) {
+			continue
+		}
+		if !found || s.CTP > best.CTP {
+			best, found = s, true
+		}
+	}
+	if !found {
+		return 0, catalog.System{}, false
+	}
+	return best.CTP, best, true
+}
+
+// FrontierSeries samples the frontier at the given step over [y0, y1],
+// producing the lower-bound-of-controllability curve drawn in Figures 2,
+// 7, and 13. Years before the first uncontrollable system are omitted.
+func FrontierSeries(y0, y1, step float64, opts Options) trend.Series {
+	var pts []trend.Point
+	for y := y0; y <= y1+1e-9; y += step {
+		if v, _, ok := Frontier(y, opts); ok {
+			pts = append(pts, trend.Point{X: y, Y: float64(v)})
+		}
+	}
+	return trend.Series{Name: "uncontrollability frontier", Points: pts}
+}
+
+// Row is one line of Table 4: a system with its factor scores, composite
+// index, and verdict.
+type Row struct {
+	System  catalog.System
+	Factors Factors
+	Verdict bool // true = uncontrollable kind
+}
+
+// Table4 reproduces "Controllability of Selected Commercial HPC Systems":
+// the commercial supplier-state systems of the mid-1990s market spectrum
+// with their factor scores, ordered by descending composite index.
+func Table4() []Row {
+	names := []string{
+		"486 PC",
+		"Pentium PC",
+		"Sun SPARCstation 10/30",
+		"DEC AlphaServer 2100",
+		"SGI Challenge XL",
+		"SGI PowerChallenge XL",
+		"Cray CS6400",
+		"DEC AlphaServer 8400",
+		"IBM SP2 (64)",
+		"Convex Exemplar SPP1000",
+		"Intel Paragon (328)",
+		"TMC CM-5 (256)",
+		"Cray T3D (256)",
+		"Cray C916",
+	}
+	rows := make([]Row, 0, len(names))
+	for _, n := range names {
+		s, ok := catalog.Lookup(n)
+		if !ok {
+			continue
+		}
+		rows = append(rows, Row{System: s, Factors: Score(s), Verdict: UncontrollableKind(s)})
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		return rows[i].Factors.Index() > rows[j].Factors.Index()
+	})
+	return rows
+}

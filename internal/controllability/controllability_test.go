@@ -1,0 +1,267 @@
+package controllability
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/catalog"
+	"repro/internal/units"
+)
+
+func mustLookup(t *testing.T, name string) catalog.System {
+	t.Helper()
+	s, ok := catalog.Lookup(name)
+	if !ok {
+		t.Fatalf("catalog missing %q", name)
+	}
+	return s
+}
+
+func TestFactorScoresInRange(t *testing.T) {
+	for _, s := range catalog.All() {
+		f := Score(s)
+		for name, v := range map[string]float64{
+			"Size": f.Size, "Age": f.Age, "Scalability": f.Scalability,
+			"InstalledBase": f.InstalledBase, "Channel": f.Channel, "EntryCost": f.EntryCost,
+		} {
+			if v < 0 || v > 1 {
+				t.Errorf("%s: factor %s = %v out of [0,1]", s.Name, name, v)
+			}
+		}
+		if idx := f.Index(); idx < 0 || idx > 1 {
+			t.Errorf("%s: index %v out of [0,1]", s.Name, idx)
+		}
+	}
+}
+
+// TestPaperVerdicts checks the classification against the systems the
+// paper names on each side of the line.
+func TestPaperVerdicts(t *testing.T) {
+	uncontrollable := []string{
+		"Cray CS6400",      // "represent the most powerful uncontrollable systems available in mid-1995"
+		"SGI Challenge XL", // ditto
+		"SGI PowerChallenge XL",
+		"Sun SPARCstation 10/30",
+		"486 PC", "Pentium PC", "IBM PC-XT",
+		"DEC AlphaServer 2100",
+		"DEC AlphaServer 8400",
+	}
+	controllable := []string{
+		"Cray C916", "Cray C90/8", "Cray Y-MP/2", "Cray T932",
+		"Intel Paragon (328)", "Intel Paragon (352)", "Intel Paragon XP/S-MP (max)",
+		"TMC CM-5 (256)", "Cray T3D (256)",
+		"NEC SX-3/44",
+	}
+	for _, n := range uncontrollable {
+		if s := mustLookup(t, n); !UncontrollableKind(s) {
+			t.Errorf("%s classified controllable (index %.3f); paper says uncontrollable",
+				n, Score(s).Index())
+		}
+	}
+	for _, n := range controllable {
+		if s := mustLookup(t, n); UncontrollableKind(s) {
+			t.Errorf("%s classified uncontrollable (index %.3f); paper says controllable",
+				n, Score(s).Index())
+		}
+	}
+}
+
+func TestClustersAlwaysUncontrollableKind(t *testing.T) {
+	for _, s := range catalog.All() {
+		if s.Class == catalog.AdHocCluster || s.Class == catalog.DedicatedCluster {
+			if !UncontrollableKind(s) {
+				t.Errorf("cluster %s not of uncontrollable kind", s.Name)
+			}
+		}
+	}
+}
+
+func TestMaturationLag(t *testing.T) {
+	cs := mustLookup(t, "Cray CS6400") // introduced 1993
+	if UncontrollableAsOf(cs, 1994.0) {
+		t.Error("CS6400 uncontrollable before its market matured")
+	}
+	if !UncontrollableAsOf(cs, 1995.0) {
+		t.Error("CS6400 still controllable two years after introduction")
+	}
+}
+
+func TestIndigenousUncontrollableImmediately(t *testing.T) {
+	p, ok := catalog.Lookup("Param 9000/SS") // India, 1995
+	if !ok {
+		t.Fatal("missing Param 9000/SS")
+	}
+	if !UncontrollableAsOf(p, 1995.0) {
+		t.Error("indigenous system not uncontrollable upon existence")
+	}
+	if UncontrollableAsOf(p, 1994.0) {
+		t.Error("indigenous system uncontrollable before it exists")
+	}
+}
+
+// TestHeadlineFrontier reproduces the paper's central quantitative finding:
+//
+//	"Our analysis produces a lower bound (mid-1995) of 4,000–5,000 Mtops —
+//	 which is likely to rise to approximately 7,500 Mtops by late 1996 or
+//	 1997 and exceed 16,000 Mtops before the end of the decade."
+func TestHeadlineFrontier(t *testing.T) {
+	mid95, sys95, ok := Frontier(1995.5, Options{})
+	if !ok {
+		t.Fatal("no frontier in 1995")
+	}
+	if mid95 < 4000 || mid95 > 5000 {
+		t.Errorf("mid-1995 frontier = %v (%s), want 4,000–5,000 Mtops", mid95, sys95.Name)
+	}
+
+	f97, sys97, _ := Frontier(1997.2, Options{})
+	if f97 < 7000 || f97 > 8000 {
+		t.Errorf("early-1997 frontier = %v (%s), want ≈7,500 Mtops", f97, sys97.Name)
+	}
+
+	f99, sys99, _ := Frontier(1999.0, Options{})
+	if f99 < 16000 {
+		t.Errorf("1999 frontier = %v (%s), want >16,000 Mtops", f99, sys99.Name)
+	}
+}
+
+// TestFrontierLate1996 pins the boundary of the "late 1996 or 1997"
+// phrasing: by the end of 1996 the frontier is already past the mid-1995
+// band, and ≈7,500 arrives no later than early 1997.
+func TestFrontierLate1996(t *testing.T) {
+	f, _, _ := Frontier(1996.9, Options{})
+	if f < 5000 {
+		t.Errorf("late-1996 frontier = %v, should exceed the mid-1995 band", f)
+	}
+	if f > 8000 {
+		t.Errorf("late-1996 frontier = %v, implausibly high", f)
+	}
+}
+
+func TestFrontierMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		x := 1985 + math.Mod(math.Abs(a), 15)
+		y := 1985 + math.Mod(math.Abs(b), 15)
+		if x > y {
+			x, y = y, x
+		}
+		fx, _, okx := Frontier(x, Options{})
+		fy, _, oky := Frontier(y, Options{})
+		if !okx {
+			return true // nothing yet at x; any later value is fine
+		}
+		return oky && fy >= fx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrontierBeforeAnything(t *testing.T) {
+	if _, _, ok := Frontier(1970, Options{}); ok {
+		t.Error("frontier exists before any system")
+	}
+}
+
+func TestFrontierSeries(t *testing.T) {
+	s := FrontierSeries(1990, 1999, 0.5, Options{})
+	if len(s.Points) < 10 {
+		t.Fatalf("series has %d points", len(s.Points))
+	}
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i].Y < s.Points[i-1].Y {
+			t.Errorf("frontier series decreasing at %v", s.Points[i].X)
+		}
+	}
+}
+
+// TestClusterOptionRaisesNothingFundamental: including clusters must never
+// lower the frontier, and the paper's position implies the no-cluster
+// frontier is the policy-relevant one.
+func TestClusterOption(t *testing.T) {
+	base, _, _ := Frontier(1995.5, Options{})
+	with, _, _ := Frontier(1995.5, Options{IncludeClusters: true})
+	if with < base {
+		t.Errorf("including clusters lowered the frontier: %v < %v", with, base)
+	}
+}
+
+// TestWesternOnlyFrontier: excluding indigenous systems must never raise
+// the frontier, and in the 1990s the Western curve dominates (Figure 7's
+// finding that U.S. uncontrollable systems eclipse non-Western projects).
+func TestWesternOnlyFrontier(t *testing.T) {
+	all, _, _ := Frontier(1995.5, Options{})
+	west, _, _ := Frontier(1995.5, Options{ExcludeIndigenous: true})
+	if west > all {
+		t.Errorf("excluding indigenous systems raised the frontier: %v > %v", west, all)
+	}
+	if west != all {
+		t.Errorf("mid-1995 frontier should be set by a Western system (Figure 7): west %v, all %v", west, all)
+	}
+}
+
+func TestTable4(t *testing.T) {
+	rows := Table4()
+	if len(rows) < 12 {
+		t.Fatalf("Table 4 has %d rows", len(rows))
+	}
+	// Ordered by descending index.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Factors.Index() > rows[i-1].Factors.Index() {
+			t.Errorf("Table 4 not sorted at row %d", i)
+		}
+	}
+	// The table must contain both verdicts.
+	var unc, con bool
+	for _, r := range rows {
+		if r.Verdict {
+			unc = true
+		} else {
+			con = true
+		}
+	}
+	if !unc || !con {
+		t.Error("Table 4 should span controllable and uncontrollable systems")
+	}
+}
+
+func TestScoreMonotoneInInstalledBase(t *testing.T) {
+	s := mustLookup(t, "Cray CS6400")
+	small, big := s, s
+	small.Installed = 10
+	big.Installed = 100000
+	if Score(small).InstalledBase >= Score(big).InstalledBase {
+		t.Error("installed-base factor not monotone")
+	}
+}
+
+func TestEntryCostScoreMonotone(t *testing.T) {
+	prices := []float64{5e3, 50e3, 150e3, 400e3, 800e3, 5e6}
+	prev := math.Inf(1)
+	for _, p := range prices {
+		sc := entryCostScore(units.USD(p))
+		if sc > prev {
+			t.Errorf("entry cost score rises with price at %v", p)
+		}
+		prev = sc
+	}
+}
+
+func TestNeutralScoresForUnknownData(t *testing.T) {
+	if got := ageScore(0); got != 0.5 {
+		t.Errorf("unknown cycle score %v, want 0.5", got)
+	}
+	if got := entryCostScore(0); got != 0.5 {
+		t.Errorf("unknown price score %v, want 0.5", got)
+	}
+	if got := installedBaseScore(0); got != 0 {
+		t.Errorf("zero installed score %v, want 0", got)
+	}
+}
+
+func TestFactorsString(t *testing.T) {
+	f := Score(mustLookup(t, "Cray C916"))
+	if f.String() == "" {
+		t.Error("empty Factors.String")
+	}
+}

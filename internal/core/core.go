@@ -1,0 +1,59 @@
+// Package core hosts the paper's primary contribution — the basic-premises
+// analytical framework for deriving high-performance-computing export
+// control thresholds. The implementation lives in repro/internal/threshold;
+// this package re-exports it under the repository's canonical core path so
+// that downstream code can depend on "the paper's contribution" without
+// caring how the internal tree is factored.
+package core
+
+import (
+	"repro/internal/threshold"
+)
+
+// The framework's central types.
+type (
+	// Snapshot is one dated application of the framework (Figure 11).
+	Snapshot = threshold.Snapshot
+	// Cluster is a dense group of application minima above the lower bound.
+	Cluster = threshold.Cluster
+	// PremiseStatus is the finding on one basic premise at one date.
+	PremiseStatus = threshold.PremiseStatus
+	// CapabilityRow is one row of Table 16.
+	CapabilityRow = threshold.CapabilityRow
+	// Perspective selects a threshold-choice basis.
+	Perspective = threshold.Perspective
+	// Category labels application clusters (RDT&E vs military operations).
+	Category = threshold.Category
+	// Premise identifies one of the three basic premises.
+	Premise = threshold.Premise
+)
+
+// Perspective, category, and premise constants.
+const (
+	ControlMaximal    = threshold.ControlMaximal
+	ApplicationDriven = threshold.ApplicationDriven
+	Balanced          = threshold.Balanced
+
+	RDTE   = threshold.RDTE
+	MilOps = threshold.MilOps
+
+	PremiseApplications    = threshold.PremiseApplications
+	PremiseCountries       = threshold.PremiseCountries
+	PremiseControllability = threshold.PremiseControllability
+)
+
+// Take applies the framework at the given fractional year.
+var Take = threshold.Take
+
+// Table16 evaluates foreign computational capability (Table 16).
+var Table16 = threshold.Table16
+
+// FrontierProjection fits the uncontrollability frontier for projection.
+var FrontierProjection = threshold.FrontierProjection
+
+// CoverageBelowFrontier returns the fraction of curated applications whose
+// minima the frontier has overtaken at a date.
+var CoverageBelowFrontier = threshold.CoverageBelowFrontier
+
+// YearAllMinimaUncontrollable projects when premise one fails outright.
+var YearAllMinimaUncontrollable = threshold.YearAllMinimaUncontrollable

@@ -1,0 +1,210 @@
+// Package crit is the nuclear-mission substrate: a one-dimensional
+// one-group neutron-diffusion criticality solver of the kind every
+// weapons-physics and reactor code descends from. The paper's Chapter 4
+// demolishes the "common knowledge" that enormous computing power is
+// required for basic nuclear design — "basic nuclear weapons design can be
+// accomplished on a personal computer" — and this package is the concrete
+// demonstration: the k-eigenvalue power iteration below solves the
+// canonical criticality problem in milliseconds on anything.
+//
+// The model: one-group diffusion on a slab of half-thickness a with
+// vacuum (extrapolated zero-flux) boundaries,
+//
+//	-D φ'' + Σa φ = (1/k) νΣf φ ,
+//
+// discretized by central differences and solved for the fundamental
+// eigenpair (k, φ) by power iteration with a tridiagonal (Thomas) solve
+// per step. The analytic benchmark: criticality (k = 1) occurs when the
+// geometric buckling (π/2a)² equals the material buckling
+// (νΣf − Σa)/D, giving the critical half-thickness
+// a_c = (π/2)·√(D/(νΣf − Σa)).
+package crit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Material is a one-group medium.
+type Material struct {
+	Name   string
+	D      float64 // diffusion coefficient, cm
+	SigmaA float64 // macroscopic absorption cross-section, 1/cm
+	NuSigF float64 // ν·Σf fission production cross-section, 1/cm
+}
+
+// Validate reports configuration errors.
+func (m Material) Validate() error {
+	if m.D <= 0 || m.SigmaA <= 0 || m.NuSigF <= 0 {
+		return fmt.Errorf("crit: invalid material %+v", m)
+	}
+	return nil
+}
+
+// Buckling returns the material buckling B² = (νΣf − Σa)/D. Positive
+// buckling means a critical size exists.
+func (m Material) Buckling() float64 { return (m.NuSigF - m.SigmaA) / m.D }
+
+// CriticalHalfThickness returns the analytic bare-slab critical
+// half-thickness. It returns an error for subcritical material (no size
+// goes critical).
+func (m Material) CriticalHalfThickness() (float64, error) {
+	b2 := m.Buckling()
+	if b2 <= 0 {
+		return 0, fmt.Errorf("crit: %s cannot go critical (material buckling %.3e)", m.Name, b2)
+	}
+	return math.Pi / 2 / math.Sqrt(b2), nil
+}
+
+// FissileSlab is a teaching-order fissile medium (one-group constants of
+// the right magnitude for a fast metal system; not real weapons data,
+// which the paper notes was always the controlled quantity — "the
+// availability of data from full- and limited-scale nuclear tests is more
+// crucial than the availability of HPC").
+var FissileSlab = Material{Name: "fissile metal (one-group)", D: 1.2, SigmaA: 0.08, NuSigF: 0.16}
+
+// Errors returned by the solver.
+var (
+	ErrConverge = errors.New("crit: power iteration did not converge")
+	ErrBadMesh  = errors.New("crit: mesh must have at least 3 interior points")
+)
+
+// Result is a converged criticality calculation.
+type Result struct {
+	K          float64   // effective multiplication factor
+	Flux       []float64 // fundamental-mode flux, normalized to max 1
+	Iterations int
+}
+
+// Solve computes k-effective for a bare slab of the material with
+// half-thickness a (cm) on a mesh of n interior points, by power
+// iteration to the given tolerance on k.
+func Solve(m Material, a float64, n int, tol float64, maxIter int) (Result, error) {
+	if err := m.Validate(); err != nil {
+		return Result{}, err
+	}
+	if n < 3 {
+		return Result{}, fmt.Errorf("%w: %d", ErrBadMesh, n)
+	}
+	if a <= 0 {
+		return Result{}, fmt.Errorf("crit: non-positive half-thickness %v", a)
+	}
+	h := 2 * a / float64(n+1) // full slab width 2a, zero flux at both ends
+
+	// Tridiagonal operator A = -D d²/dx² + Σa, constant coefficients.
+	diag := 2*m.D/(h*h) + m.SigmaA
+	off := -m.D / (h * h)
+
+	phi := make([]float64, n)
+	for i := range phi {
+		phi[i] = 1
+	}
+	src := make([]float64, n)
+	k := 1.0
+
+	for it := 1; it <= maxIter; it++ {
+		// Fission source from the current flux and k.
+		for i := range src {
+			src[i] = m.NuSigF * phi[i] / k
+		}
+		next, err := thomasConst(diag, off, src)
+		if err != nil {
+			return Result{}, err
+		}
+		// k update: ratio of new to old fission production.
+		var prodNew, prodOld float64
+		for i := range next {
+			prodNew += m.NuSigF * next[i]
+			prodOld += m.NuSigF * phi[i] / k
+		}
+		kNew := prodNew / prodOld
+		copy(phi, next)
+		if math.Abs(kNew-k) <= tol*kNew {
+			normalize(phi)
+			return Result{K: kNew, Flux: phi, Iterations: it}, nil
+		}
+		k = kNew
+	}
+	return Result{}, fmt.Errorf("%w after %d iterations (k≈%.6f)", ErrConverge, maxIter, k)
+}
+
+// thomasConst solves the constant-coefficient tridiagonal system
+// (off, diag, off)·x = rhs by the Thomas algorithm.
+func thomasConst(diag, off float64, rhs []float64) ([]float64, error) {
+	n := len(rhs)
+	c := make([]float64, n)
+	d := make([]float64, n)
+	if diag == 0 {
+		return nil, errors.New("crit: singular tridiagonal system")
+	}
+	c[0] = off / diag
+	d[0] = rhs[0] / diag
+	for i := 1; i < n; i++ {
+		denom := diag - off*c[i-1]
+		if denom == 0 {
+			return nil, errors.New("crit: singular tridiagonal system")
+		}
+		c[i] = off / denom
+		d[i] = (rhs[i] - off*d[i-1]) / denom
+	}
+	x := make([]float64, n)
+	x[n-1] = d[n-1]
+	for i := n - 2; i >= 0; i-- {
+		x[i] = d[i] - c[i]*x[i+1]
+	}
+	return x, nil
+}
+
+// normalize scales the flux to unit maximum.
+func normalize(phi []float64) {
+	var max float64
+	for _, v := range phi {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		return
+	}
+	for i := range phi {
+		phi[i] /= max
+	}
+}
+
+// CriticalSearch finds the half-thickness at which the slab goes critical
+// (k = 1) by bisection between lo and hi, to the given thickness
+// tolerance.
+func CriticalSearch(m Material, lo, hi, tol float64, mesh int) (float64, error) {
+	kAt := func(a float64) (float64, error) {
+		r, err := Solve(m, a, mesh, 1e-10, 10000)
+		if err != nil {
+			return 0, err
+		}
+		return r.K, nil
+	}
+	kLo, err := kAt(lo)
+	if err != nil {
+		return 0, err
+	}
+	kHi, err := kAt(hi)
+	if err != nil {
+		return 0, err
+	}
+	if (kLo-1)*(kHi-1) > 0 {
+		return 0, fmt.Errorf("crit: k=1 not bracketed by [%v, %v] (k: %v, %v)", lo, hi, kLo, kHi)
+	}
+	for hi-lo > tol {
+		mid := 0.5 * (lo + hi)
+		kMid, err := kAt(mid)
+		if err != nil {
+			return 0, err
+		}
+		if (kMid-1)*(kLo-1) > 0 {
+			lo, kLo = mid, kMid
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5 * (lo + hi), nil
+}

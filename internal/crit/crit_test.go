@@ -1,0 +1,170 @@
+package crit
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestMaterialValidate(t *testing.T) {
+	if err := FissileSlab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Material{D: -1, SigmaA: 1, NuSigF: 1}).Validate(); err == nil {
+		t.Error("invalid material accepted")
+	}
+}
+
+func TestAnalyticCriticalHalfThickness(t *testing.T) {
+	ac, err := FissileSlab.CriticalHalfThickness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pi / 2 * math.Sqrt(1.2/(0.16-0.08))
+	if math.Abs(ac-want) > 1e-12 {
+		t.Errorf("a_c = %v, want %v", ac, want)
+	}
+	sub := Material{Name: "dead", D: 1, SigmaA: 0.2, NuSigF: 0.1}
+	if _, err := sub.CriticalHalfThickness(); err == nil {
+		t.Error("subcritical material returned a critical size")
+	}
+}
+
+// TestSolveMatchesAnalytic: at the analytic critical half-thickness, the
+// numerical k is 1 to mesh accuracy, and the mesh-refinement error
+// shrinks.
+func TestSolveMatchesAnalytic(t *testing.T) {
+	ac, err := FissileSlab.CriticalHalfThickness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevErr float64 = math.Inf(1)
+	for _, n := range []int{20, 40, 80, 160} {
+		r, err := Solve(FissileSlab, ac, n, 1e-12, 20000)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		e := math.Abs(r.K - 1)
+		if e > 0.01 {
+			t.Errorf("n=%d: k = %v, want ≈1", n, r.K)
+		}
+		if e > prevErr {
+			t.Errorf("n=%d: error %v did not shrink from %v under refinement", n, e, prevErr)
+		}
+		prevErr = e
+	}
+}
+
+// TestKMonotoneInSize: bigger slabs are more multiplying.
+func TestKMonotoneInSize(t *testing.T) {
+	prev := 0.0
+	for _, a := range []float64{3, 5, 8, 12, 20} {
+		r, err := Solve(FissileSlab, a, 100, 1e-10, 20000)
+		if err != nil {
+			t.Fatalf("a=%v: %v", a, err)
+		}
+		if r.K <= prev {
+			t.Errorf("k not monotone in size at a=%v: %v after %v", a, r.K, prev)
+		}
+		prev = r.K
+	}
+}
+
+// TestSubAndSuperCritical: below the critical size k < 1, above it k > 1.
+func TestSubAndSuperCritical(t *testing.T) {
+	ac, _ := FissileSlab.CriticalHalfThickness()
+	small, err := Solve(FissileSlab, 0.7*ac, 120, 1e-10, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.K >= 1 {
+		t.Errorf("undersized slab k = %v", small.K)
+	}
+	big, err := Solve(FissileSlab, 1.4*ac, 120, 1e-10, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.K <= 1 {
+		t.Errorf("oversized slab k = %v", big.K)
+	}
+}
+
+// TestFluxIsFundamentalMode: the converged flux is positive, peaked at the
+// center, symmetric, and cosine-shaped.
+func TestFluxIsFundamentalMode(t *testing.T) {
+	ac, _ := FissileSlab.CriticalHalfThickness()
+	r, err := Solve(FissileSlab, ac, 101, 1e-12, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(r.Flux)
+	mid := n / 2
+	if r.Flux[mid] < 0.999 {
+		t.Errorf("flux not peaked at center: %v", r.Flux[mid])
+	}
+	for i, v := range r.Flux {
+		if v <= 0 {
+			t.Fatalf("non-positive flux at %d", i)
+		}
+		if d := math.Abs(v - r.Flux[n-1-i]); d > 1e-9 {
+			t.Fatalf("flux asymmetric at %d: %v", i, d)
+		}
+	}
+	// Cosine shape: compare a quarter-point against cos(π/4).
+	quarter := n / 4
+	x := float64(quarter+1)/float64(n+1)*2 - 1 // position in [-1, 1]
+	want := math.Cos(math.Pi / 2 * x)
+	if math.Abs(r.Flux[quarter]-want) > 0.02 {
+		t.Errorf("flux[%d] = %v, cosine predicts %v", quarter, r.Flux[quarter], want)
+	}
+}
+
+// TestCriticalSearchFindsAnalytic: the bisection recovers the analytic
+// critical size to mesh accuracy.
+func TestCriticalSearchFindsAnalytic(t *testing.T) {
+	ac, _ := FissileSlab.CriticalHalfThickness()
+	got, err := CriticalSearch(FissileSlab, 0.5*ac, 2*ac, 1e-4, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-ac)/ac > 0.01 {
+		t.Errorf("critical search found %v, analytic %v", got, ac)
+	}
+}
+
+func TestCriticalSearchBracketError(t *testing.T) {
+	ac, _ := FissileSlab.CriticalHalfThickness()
+	if _, err := CriticalSearch(FissileSlab, 2*ac, 3*ac, 1e-3, 100); err == nil {
+		t.Error("unbracketed search succeeded")
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	if _, err := Solve(FissileSlab, 10, 2, 1e-8, 100); !errors.Is(err, ErrBadMesh) {
+		t.Errorf("tiny mesh: %v", err)
+	}
+	if _, err := Solve(FissileSlab, -1, 50, 1e-8, 100); err == nil {
+		t.Error("negative size accepted")
+	}
+	if _, err := Solve(Material{}, 10, 50, 1e-8, 100); err == nil {
+		t.Error("invalid material accepted")
+	}
+	if _, err := Solve(FissileSlab, 10, 50, 1e-15, 2); !errors.Is(err, ErrConverge) {
+		t.Errorf("iteration starvation: %v", err)
+	}
+}
+
+// TestRunsInstantly: the point of the exercise — a criticality
+// calculation is trivial computing, as the paper insists. A full solve
+// must finish in well under a CPU millisecond-scale budget even on this
+// test machine.
+func TestRunsInstantly(t *testing.T) {
+	ac, _ := FissileSlab.CriticalHalfThickness()
+	r, err := Solve(FissileSlab, ac, 200, 1e-10, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Iterations > 5000 {
+		t.Errorf("power iteration took %d iterations; should converge fast for the fundamental mode", r.Iterations)
+	}
+}

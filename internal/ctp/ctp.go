@@ -1,0 +1,301 @@
+// Package ctp implements the Composite Theoretical Performance model used
+// by the export-control regime to rate computer systems, as adopted by CoCom
+// in June 1990 and published in the Federal Register on February 6, 1992
+// (57 FR 4553), and as analyzed in Ramsbotham & Miller, "Composite
+// Theoretical Performance (CTP)" (IDA, 1994).
+//
+// CTP is a hardware-only metric measured in Mtops (millions of theoretical
+// operations per second). It is computed in two stages:
+//
+//  1. Each computing element (CE) is assigned a theoretical performance
+//     TP = R × WL, where R is the element's effective calculating rate in
+//     millions of operations per second and WL = 1/3 + L/96 is the
+//     word-length adjustment for an L-bit operation (so a 64-bit operation
+//     carries weight 1, a 32-bit operation weight 2/3).
+//
+//  2. Elements are aggregated: the elements are ordered by decreasing TP and
+//     CTP = TP₁ + Σᵢ₌₂ Cᵢ·TPᵢ. The aggregation coefficient Cᵢ is 0.75 when
+//     the elements share main memory. For elements that do not share memory
+//     the published rule conditions the coefficient on the interconnect; we
+//     model that dependency explicitly as Cᵢ = 0.75·κ(B), where κ(B) =
+//     B/(B+B½) is a saturating coupling factor in the aggregate interconnect
+//     bandwidth B (MB/s per link) with half-coupling constant B½ = 175 MB/s,
+//     calibrated against the CTP ratings printed in the study for
+//     distributed-memory machines (Intel iPSC/860 and Paragon, Cray T3D,
+//     Thinking Machines CM-5). Loosely coupled clusters on Ethernet or FDDI
+//     therefore aggregate almost nothing beyond their largest node, which is
+//     consistent with the study's observation that there was "no approved
+//     way of computing" a cluster CTP and that assuming 75% efficiency was
+//     "overly optimistic".
+//
+// The model is deliberately simple, software- and application-independent,
+// and monotone in clock rate, instruction-level parallelism, word length,
+// processor count, and interconnect bandwidth — the properties the regime
+// depended on. Its known weakness, extensively discussed in the paper, is
+// that it does not reflect deliverable performance; package simmach exists
+// to measure that gap.
+package ctp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/units"
+)
+
+// OpKind identifies the class of operation a functional unit performs.
+// The CTP rules compute separate effective rates for fixed-point and
+// floating-point operation streams and rate the element by the larger
+// resulting theoretical performance.
+type OpKind int
+
+const (
+	// FixedPoint covers integer ALU, logical, and address operations.
+	FixedPoint OpKind = iota
+	// FloatingPoint covers floating add/multiply/divide pipelines.
+	FloatingPoint
+)
+
+// String returns the conventional name of the operation kind.
+func (k OpKind) String() string {
+	switch k {
+	case FixedPoint:
+		return "fixed-point"
+	case FloatingPoint:
+		return "floating-point"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// WordLengthFactor returns the CTP word-length adjustment
+// WL = 1/3 + L/96 for an L-bit operation. The factor is 1.0 at 64 bits,
+// 2/3 at 32 bits, and 0.5 at 16 bits. Word lengths below 8 bits are treated
+// as 8 bits, the shortest length the regulation rated.
+func WordLengthFactor(bits int) float64 {
+	if bits < 8 {
+		bits = 8
+	}
+	return 1.0/3.0 + float64(bits)/96.0
+}
+
+// FunctionalUnit describes one concurrent execution resource of a computing
+// element: a pipeline or ALU that can retire OpsPerCycle operations of the
+// given kind and bit length every clock cycle. Superscalar issue, vector
+// pipes, and fused multiply-add units are all expressed as OpsPerCycle > 1
+// or as multiple units.
+type FunctionalUnit struct {
+	Kind        OpKind
+	Bits        int     // operand word length in bits
+	OpsPerCycle float64 // operations retired per clock cycle
+}
+
+// Element is a computing element (CE): a processor, vector CPU, or other
+// unit that the CTP rules rate individually before aggregation.
+type Element struct {
+	Name  string
+	Clock units.MHz
+	Units []FunctionalUnit
+}
+
+// Rate returns the element's effective calculating rate, in millions of
+// operations per second, for the given operation kind: the sum over
+// concurrent functional units of that kind of clock × ops/cycle.
+func (e Element) Rate(kind OpKind) float64 {
+	var perCycle float64
+	for _, u := range e.Units {
+		if u.Kind == kind {
+			perCycle += u.OpsPerCycle
+		}
+	}
+	return float64(e.Clock) * perCycle
+}
+
+// weightedRate returns the word-length-adjusted rate for the given kind:
+// Σ clock × ops/cycle × WL(bits) over that kind's units.
+func (e Element) weightedRate(kind OpKind) float64 {
+	var r float64
+	for _, u := range e.Units {
+		if u.Kind == kind {
+			r += float64(e.Clock) * u.OpsPerCycle * WordLengthFactor(u.Bits)
+		}
+	}
+	return r
+}
+
+// TP returns the element's theoretical performance in Mtops: the larger of
+// the word-length-adjusted fixed-point and floating-point rates, per the
+// combined-element rule.
+func (e Element) TP() units.Mtops {
+	fx := e.weightedRate(FixedPoint)
+	fp := e.weightedRate(FloatingPoint)
+	return units.Mtops(math.Max(fx, fp))
+}
+
+// MemoryModel states whether the computing elements of a system access a
+// single shared main memory or communicate over an interconnect.
+type MemoryModel int
+
+const (
+	// SharedMemory: all CEs address one main memory (SMP, vector
+	// multiprocessors). Aggregation coefficient 0.75.
+	SharedMemory MemoryModel = iota
+	// DistributedMemory: CEs have private memory and exchange messages
+	// over an interconnect. Aggregation coefficient 0.75·κ(B).
+	DistributedMemory
+)
+
+// String returns the conventional name of the memory model.
+func (m MemoryModel) String() string {
+	switch m {
+	case SharedMemory:
+		return "shared memory"
+	case DistributedMemory:
+		return "distributed memory"
+	default:
+		return fmt.Sprintf("MemoryModel(%d)", int(m))
+	}
+}
+
+// Interconnect describes the network joining distributed-memory elements.
+// Bandwidth is the per-link payload bandwidth in MB/s; Latency is the
+// one-way message latency in microseconds. Latency does not enter the CTP
+// (a documented blindness of the metric); it is carried for the simulator.
+type Interconnect struct {
+	Name      string
+	Bandwidth float64 // MB/s per link
+	Latency   float64 // µs one-way
+}
+
+// Standard interconnects of the period, with nominal payload bandwidths.
+var (
+	Ethernet10 = Interconnect{Name: "Ethernet (10 Mb/s)", Bandwidth: 1.25, Latency: 1000}
+	FDDI       = Interconnect{Name: "FDDI (100 Mb/s)", Bandwidth: 12.5, Latency: 500}
+	ATM155     = Interconnect{Name: "ATM (155 Mb/s)", Bandwidth: 19.4, Latency: 120}
+	HiPPI      = Interconnect{Name: "HiPPI (800 Mb/s)", Bandwidth: 100, Latency: 60}
+	MeshMPP    = Interconnect{Name: "proprietary 2-D mesh", Bandwidth: 175, Latency: 10}
+	TorusMPP   = Interconnect{Name: "proprietary 3-D torus", Bandwidth: 300, Latency: 2}
+	FatTree    = Interconnect{Name: "proprietary fat tree", Bandwidth: 160, Latency: 5}
+	XBar       = Interconnect{Name: "crossbar", Bandwidth: 1200, Latency: 1}
+)
+
+// halfCoupling is the interconnect bandwidth, in MB/s, at which the
+// distributed-memory aggregation coefficient reaches half its shared-memory
+// value. Calibrated against the study's printed CTPs for mesh-connected
+// machines (see package comment).
+const halfCoupling = 175.0
+
+// CouplingFactor returns κ(B) = B/(B+B½) ∈ [0,1), the fraction of the
+// shared-memory aggregation coefficient credited to a distributed-memory
+// interconnect of per-link bandwidth B MB/s.
+func CouplingFactor(bandwidthMBs float64) float64 {
+	if bandwidthMBs <= 0 {
+		return 0
+	}
+	return bandwidthMBs / (bandwidthMBs + halfCoupling)
+}
+
+// sharedCoefficient is the aggregation coefficient for CEs sharing main
+// memory, per 57 FR 4553.
+const sharedCoefficient = 0.75
+
+// NodeGroup is a homogeneous group of computing elements within a system.
+type NodeGroup struct {
+	Element Element
+	Count   int
+}
+
+// System is a complete hardware configuration to be rated: one or more
+// groups of computing elements under a memory model and interconnect.
+type System struct {
+	Name         string
+	Groups       []NodeGroup
+	Memory       MemoryModel
+	Interconnect Interconnect // ignored for SharedMemory
+}
+
+// Errors returned by System.CTP.
+var (
+	ErrNoElements = errors.New("ctp: system has no computing elements")
+	ErrBadCount   = errors.New("ctp: node group has non-positive count")
+)
+
+// CTP computes the system's Composite Theoretical Performance.
+//
+// The elements are expanded, ordered by decreasing TP, and aggregated as
+// CTP = TP₁ + Σᵢ₌₂ Cᵢ·TPᵢ with Cᵢ = 0.75 (shared memory) or 0.75·κ(B)
+// (distributed memory).
+func (s System) CTP() (units.Mtops, error) {
+	var tps []float64
+	for _, g := range s.Groups {
+		if g.Count <= 0 {
+			return 0, fmt.Errorf("%w: group %q count %d", ErrBadCount, g.Element.Name, g.Count)
+		}
+		tp := float64(g.Element.TP())
+		for i := 0; i < g.Count; i++ {
+			tps = append(tps, tp)
+		}
+	}
+	if len(tps) == 0 {
+		return 0, ErrNoElements
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(tps)))
+
+	c := sharedCoefficient
+	if s.Memory == DistributedMemory {
+		c = sharedCoefficient * CouplingFactor(s.Interconnect.Bandwidth)
+	}
+	total := tps[0]
+	for _, tp := range tps[1:] {
+		total += c * tp
+	}
+	return units.Mtops(total), nil
+}
+
+// MustCTP is CTP for statically known-good configurations; it panics on a
+// malformed system and exists for table construction in package catalog.
+func (s System) MustCTP() units.Mtops {
+	m, err := s.CTP()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Elements returns the total number of computing elements in the system.
+func (s System) Elements() int {
+	n := 0
+	for _, g := range s.Groups {
+		n += g.Count
+	}
+	return n
+}
+
+// Uniform constructs a system of count identical elements.
+func Uniform(name string, e Element, count int, mem MemoryModel, ic Interconnect) System {
+	return System{
+		Name:         name,
+		Groups:       []NodeGroup{{Element: e, Count: count}},
+		Memory:       mem,
+		Interconnect: ic,
+	}
+}
+
+// SMP constructs a shared-memory multiprocessor of count identical elements.
+func SMP(name string, e Element, count int) System {
+	return Uniform(name, e, count, SharedMemory, Interconnect{})
+}
+
+// MPP constructs a distributed-memory machine of count identical elements
+// joined by the given interconnect.
+func MPP(name string, e Element, count int, ic Interconnect) System {
+	return Uniform(name, e, count, DistributedMemory, ic)
+}
+
+// Cluster constructs a workstation cluster: distributed memory over a
+// commodity network.
+func Cluster(name string, e Element, count int, ic Interconnect) System {
+	return Uniform(name, e, count, DistributedMemory, ic)
+}

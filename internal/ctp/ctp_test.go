@@ -1,0 +1,277 @@
+package ctp
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestWordLengthFactor(t *testing.T) {
+	cases := []struct {
+		bits int
+		want float64
+	}{
+		{64, 1.0},
+		{32, 2.0 / 3.0},
+		{16, 0.5},
+		{8, 1.0/3.0 + 8.0/96.0},
+		{4, 1.0/3.0 + 8.0/96.0}, // clamped to 8
+		{128, 1.0/3.0 + 128.0/96.0},
+	}
+	for _, c := range cases {
+		if got := WordLengthFactor(c.bits); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("WordLengthFactor(%d) = %v, want %v", c.bits, got, c.want)
+		}
+	}
+}
+
+func TestWordLengthFactorMonotone(t *testing.T) {
+	f := func(a, b uint8) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return WordLengthFactor(x) <= WordLengthFactor(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestElementTPTakesLargerKind(t *testing.T) {
+	// Fixed-point-heavy element: fixed rate 100 Mops at 32 bits (weighted
+	// 66.7), floating rate 10 at 64 bits (weighted 10). TP = 66.7.
+	e := Element{
+		Name:  "fx-heavy",
+		Clock: 100,
+		Units: []FunctionalUnit{
+			{Kind: FixedPoint, Bits: 32, OpsPerCycle: 1},
+			{Kind: FloatingPoint, Bits: 64, OpsPerCycle: 0.1},
+		},
+	}
+	want := 100 * WordLengthFactor(32)
+	if got := float64(e.TP()); math.Abs(got-want) > 1e-9 {
+		t.Errorf("TP = %v, want %v", got, want)
+	}
+}
+
+func TestElementRateSumsConcurrentUnits(t *testing.T) {
+	e := Element{
+		Name:  "dual-pipe",
+		Clock: 200,
+		Units: []FunctionalUnit{
+			{Kind: FloatingPoint, Bits: 64, OpsPerCycle: 1}, // add pipe
+			{Kind: FloatingPoint, Bits: 64, OpsPerCycle: 1}, // multiply pipe
+		},
+	}
+	if got := e.Rate(FloatingPoint); got != 400 {
+		t.Errorf("Rate = %v, want 400", got)
+	}
+	if got := e.Rate(FixedPoint); got != 0 {
+		t.Errorf("fixed Rate = %v, want 0", got)
+	}
+}
+
+// oneGtop is a synthetic element rating exactly 1000 Mtops.
+var oneGtop = Element{
+	Name:  "synthetic-1000",
+	Clock: 1000,
+	Units: []FunctionalUnit{{Kind: FloatingPoint, Bits: 64, OpsPerCycle: 1}},
+}
+
+func TestSMPAggregation(t *testing.T) {
+	// n shared-memory elements of TP t: CTP = t(1 + 0.75(n-1)).
+	for _, n := range []int{1, 2, 4, 16, 64} {
+		sys := SMP("smp", oneGtop, n)
+		got, err := sys.CTP()
+		if err != nil {
+			t.Fatalf("CTP: %v", err)
+		}
+		want := 1000 * (1 + 0.75*float64(n-1))
+		if math.Abs(float64(got)-want) > 1e-6 {
+			t.Errorf("SMP n=%d: CTP = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestDistributedAggregationBelowShared(t *testing.T) {
+	smp := SMP("s", oneGtop, 32).MustCTP()
+	for _, ic := range []Interconnect{Ethernet10, FDDI, ATM155, HiPPI, MeshMPP, TorusMPP, XBar} {
+		dm := MPP("d", oneGtop, 32, ic).MustCTP()
+		if dm >= smp {
+			t.Errorf("%s: distributed CTP %v >= shared %v", ic.Name, dm, smp)
+		}
+		if dm < 1000 {
+			t.Errorf("%s: CTP %v below single-element TP", ic.Name, dm)
+		}
+	}
+}
+
+func TestAggregationMonotoneInBandwidth(t *testing.T) {
+	prev := units.Mtops(0)
+	for _, bw := range []float64{0, 1.25, 12.5, 100, 175, 300, 1200, 1e6} {
+		ic := Interconnect{Name: "x", Bandwidth: bw}
+		got := MPP("d", oneGtop, 16, ic).MustCTP()
+		if got < prev {
+			t.Errorf("bandwidth %v: CTP %v < previous %v", bw, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestCouplingFactorRange(t *testing.T) {
+	if CouplingFactor(0) != 0 {
+		t.Error("κ(0) != 0")
+	}
+	if CouplingFactor(-5) != 0 {
+		t.Error("κ(-5) != 0")
+	}
+	if k := CouplingFactor(halfCoupling); math.Abs(k-0.5) > 1e-12 {
+		t.Errorf("κ(B½) = %v, want 0.5", k)
+	}
+	f := func(b float64) bool {
+		k := CouplingFactor(math.Abs(b))
+		return k >= 0 && k <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEthernetClusterAggregatesAlmostNothing(t *testing.T) {
+	// The study: assuming 75% aggregation efficiency for clusters is
+	// "overly optimistic". On 10 Mb/s Ethernet the coupling is < 1%.
+	cl := Cluster("farm", oneGtop, 16, Ethernet10).MustCTP()
+	if cl > 1200 {
+		t.Errorf("Ethernet cluster of 16 aggregated to %v Mtops; want barely above 1000", cl)
+	}
+}
+
+func TestHeterogeneousOrdering(t *testing.T) {
+	// The largest element must be the uncoefficiented TP₁ regardless of
+	// group order.
+	small := Element{Name: "small", Clock: 100,
+		Units: []FunctionalUnit{{Kind: FloatingPoint, Bits: 64, OpsPerCycle: 1}}}
+	sysA := System{
+		Name:   "a",
+		Groups: []NodeGroup{{small, 3}, {oneGtop, 1}},
+		Memory: SharedMemory,
+	}
+	sysB := System{
+		Name:   "b",
+		Groups: []NodeGroup{{oneGtop, 1}, {small, 3}},
+		Memory: SharedMemory,
+	}
+	a, b := sysA.MustCTP(), sysB.MustCTP()
+	if a != b {
+		t.Errorf("group order changed CTP: %v vs %v", a, b)
+	}
+	want := 1000 + 0.75*300
+	if math.Abs(float64(a)-want) > 1e-9 {
+		t.Errorf("CTP = %v, want %v", a, want)
+	}
+}
+
+func TestCTPErrors(t *testing.T) {
+	if _, err := (System{Name: "empty"}).CTP(); !errors.Is(err, ErrNoElements) {
+		t.Errorf("empty system: err = %v, want ErrNoElements", err)
+	}
+	bad := System{Name: "bad", Groups: []NodeGroup{{oneGtop, 0}}}
+	if _, err := bad.CTP(); !errors.Is(err, ErrBadCount) {
+		t.Errorf("zero count: err = %v, want ErrBadCount", err)
+	}
+	if _, err := (System{Groups: []NodeGroup{{oneGtop, -1}}}).CTP(); !errors.Is(err, ErrBadCount) {
+		t.Errorf("negative count: err = %v, want ErrBadCount", err)
+	}
+}
+
+func TestMustCTPPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCTP on empty system did not panic")
+		}
+	}()
+	_ = System{Name: "empty"}.MustCTP()
+}
+
+func TestElementsCount(t *testing.T) {
+	s := System{Groups: []NodeGroup{{oneGtop, 3}, {oneGtop, 5}}}
+	if got := s.Elements(); got != 8 {
+		t.Errorf("Elements() = %d, want 8", got)
+	}
+}
+
+// TestCTPMonotoneInCount checks the framework-critical property that adding
+// processors never lowers CTP.
+func TestCTPMonotoneInCount(t *testing.T) {
+	f := func(n uint8) bool {
+		c := int(n%200) + 1
+		a := SMP("a", oneGtop, c).MustCTP()
+		b := SMP("b", oneGtop, c+1).MustCTP()
+		return b > a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPublishedRatings validates the formula against the CTP ratings
+// printed in the study for uniprocessor elements. The CTP rules include
+// per-architecture details (instruction-issue accounting, vector unit
+// crediting) that the model abstracts; a factor-of-2.5 envelope documents
+// the model's fidelity without pretending to bit-exactness.
+func TestPublishedRatings(t *testing.T) {
+	for _, ce := range AllElements() {
+		if ce.MtopsRef == 0 {
+			continue
+		}
+		got := float64(ce.TP())
+		lo, hi := ce.MtopsRef/2.5, ce.MtopsRef*2.5
+		if got < lo || got > hi {
+			t.Errorf("%s: computed TP %.1f outside [%.1f, %.1f] around published %v",
+				ce.Name, got, lo, hi, ce.MtopsRef)
+		}
+	}
+}
+
+// TestMicroprocessorTrendIsIncreasing checks that the Figure 5 series is
+// chronologically ordered and that the published ratings grow
+// exponentially across it (the figure's visual claim).
+func TestMicroprocessorTrendIsIncreasing(t *testing.T) {
+	mps := Microprocessors64()
+	if len(mps) < 8 {
+		t.Fatalf("only %d 64-bit microprocessors", len(mps))
+	}
+	for i := 1; i < len(mps); i++ {
+		if mps[i].Year < mps[i-1].Year {
+			t.Errorf("%s (year %d) out of order after %s (%d)",
+				mps[i].Name, mps[i].Year, mps[i-1].Name, mps[i-1].Year)
+		}
+	}
+	first, last := mps[0], mps[len(mps)-1]
+	if last.MtopsRef < 8*first.MtopsRef {
+		t.Errorf("microprocessor performance grew only %.1fx from %s to %s; figure requires ~order of magnitude",
+			last.MtopsRef/first.MtopsRef, first.Name, last.Name)
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if FixedPoint.String() != "fixed-point" || FloatingPoint.String() != "floating-point" {
+		t.Error("OpKind names wrong")
+	}
+	if OpKind(9).String() != "OpKind(9)" {
+		t.Error("unknown OpKind formatting wrong")
+	}
+}
+
+func TestMemoryModelString(t *testing.T) {
+	if SharedMemory.String() != "shared memory" || DistributedMemory.String() != "distributed memory" {
+		t.Error("MemoryModel names wrong")
+	}
+	if MemoryModel(7).String() != "MemoryModel(7)" {
+		t.Error("unknown MemoryModel formatting wrong")
+	}
+}

@@ -1,0 +1,159 @@
+package ctp
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// SystemSpec is the JSON description format for a machine to be rated —
+// the reproduction's equivalent of the configuration sheet an exporter
+// filed. Either name a predefined processor or describe a custom element.
+//
+//	{
+//	  "name": "departmental server",
+//	  "processor": "Alpha 21064",          // predefined, or:
+//	  "custom": {"clockMHz": 150, "fpuOpsPerCycle": 1,
+//	             "fxuOpsPerCycle": 1, "bits": 64},
+//	  "count": 12,
+//	  "memory": "shared",                  // or "distributed"
+//	  "interconnect": "mesh"               // distributed only
+//	}
+type SystemSpec struct {
+	Name         string      `json:"name"`
+	Processor    string      `json:"processor,omitempty"`
+	Custom       *CustomSpec `json:"custom,omitempty"`
+	Count        int         `json:"count"`
+	Memory       string      `json:"memory"`
+	Interconnect string      `json:"interconnect,omitempty"`
+}
+
+// CustomSpec describes a processor not in the predefined set.
+type CustomSpec struct {
+	ClockMHz       float64 `json:"clockMHz"`
+	FPUOpsPerCycle float64 `json:"fpuOpsPerCycle"`
+	FXUOpsPerCycle float64 `json:"fxuOpsPerCycle"`
+	Bits           int     `json:"bits"`
+}
+
+// Errors returned by the spec parser.
+var (
+	ErrSpec    = errors.New("ctp: invalid system specification")
+	ErrNoMatch = errors.New("ctp: no predefined processor matches")
+)
+
+// namedInterconnects maps spec strings to interconnects.
+var namedInterconnects = map[string]Interconnect{
+	"ethernet": Ethernet10,
+	"fddi":     FDDI,
+	"atm":      ATM155,
+	"hippi":    HiPPI,
+	"mesh":     MeshMPP,
+	"torus":    TorusMPP,
+	"fattree":  FatTree,
+	"xbar":     XBar,
+}
+
+// FindElement resolves a predefined element by exact or unique substring
+// match against the catalog of the period.
+func FindElement(name string) (CatalogElement, error) {
+	lower := strings.ToLower(name)
+	var hits []CatalogElement
+	for _, e := range AllElements() {
+		if strings.EqualFold(e.Name, name) {
+			return e, nil
+		}
+		if strings.Contains(strings.ToLower(e.Name), lower) {
+			hits = append(hits, e)
+		}
+	}
+	switch len(hits) {
+	case 1:
+		return hits[0], nil
+	case 0:
+		return CatalogElement{}, fmt.Errorf("%w: %q", ErrNoMatch, name)
+	default:
+		var names []string
+		for _, h := range hits {
+			names = append(names, h.Name)
+		}
+		return CatalogElement{}, fmt.Errorf("%w: %q is ambiguous (%s)", ErrNoMatch, name, strings.Join(names, "; "))
+	}
+}
+
+// Build converts a spec to a ratable system.
+func (s SystemSpec) Build() (System, error) {
+	if s.Count < 1 {
+		return System{}, fmt.Errorf("%w: count %d", ErrSpec, s.Count)
+	}
+	var elem Element
+	switch {
+	case s.Processor != "" && s.Custom != nil:
+		return System{}, fmt.Errorf("%w: both processor and custom given", ErrSpec)
+	case s.Processor != "":
+		ce, err := FindElement(s.Processor)
+		if err != nil {
+			return System{}, err
+		}
+		elem = ce.Element
+	case s.Custom != nil:
+		c := s.Custom
+		if c.ClockMHz <= 0 || (c.FPUOpsPerCycle <= 0 && c.FXUOpsPerCycle <= 0) {
+			return System{}, fmt.Errorf("%w: custom element needs clock and at least one unit", ErrSpec)
+		}
+		bits := c.Bits
+		if bits == 0 {
+			bits = 64
+		}
+		var fus []FunctionalUnit
+		if c.FPUOpsPerCycle > 0 {
+			fus = append(fus, FunctionalUnit{Kind: FloatingPoint, Bits: bits, OpsPerCycle: c.FPUOpsPerCycle})
+		}
+		if c.FXUOpsPerCycle > 0 {
+			fus = append(fus, FunctionalUnit{Kind: FixedPoint, Bits: bits, OpsPerCycle: c.FXUOpsPerCycle})
+		}
+		elem = Element{
+			Name:  fmt.Sprintf("custom %.0f MHz", c.ClockMHz),
+			Clock: units.MHz(c.ClockMHz),
+			Units: fus,
+		}
+	default:
+		return System{}, fmt.Errorf("%w: no processor or custom element", ErrSpec)
+	}
+
+	name := s.Name
+	if name == "" {
+		name = "described system"
+	}
+	switch strings.ToLower(s.Memory) {
+	case "shared", "":
+		return SMP(name, elem, s.Count), nil
+	case "distributed":
+		icName := strings.ToLower(s.Interconnect)
+		if icName == "" {
+			icName = "mesh"
+		}
+		ic, ok := namedInterconnects[icName]
+		if !ok {
+			return System{}, fmt.Errorf("%w: unknown interconnect %q", ErrSpec, s.Interconnect)
+		}
+		return MPP(name, elem, s.Count, ic), nil
+	default:
+		return System{}, fmt.Errorf("%w: unknown memory model %q", ErrSpec, s.Memory)
+	}
+}
+
+// ParseSpec reads one JSON system specification.
+func ParseSpec(r io.Reader) (SystemSpec, error) {
+	var s SystemSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return SystemSpec{}, fmt.Errorf("%w: %v", ErrSpec, err)
+	}
+	return s, nil
+}

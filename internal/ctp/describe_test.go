@@ -1,0 +1,118 @@
+package ctp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestFindElement(t *testing.T) {
+	e, err := FindElement("DEC Alpha 21064-150")
+	if err != nil || e.Year != 1992 {
+		t.Fatalf("exact: %v %v", e.Name, err)
+	}
+	e, err = FindElement("21164")
+	if err != nil || !strings.Contains(e.Name, "21164") {
+		t.Fatalf("substring: %v %v", e.Name, err)
+	}
+	if _, err := FindElement("nonexistent"); !errors.Is(err, ErrNoMatch) {
+		t.Errorf("missing: %v", err)
+	}
+	if _, err := FindElement("Intel"); !errors.Is(err, ErrNoMatch) {
+		t.Errorf("ambiguous: %v", err)
+	}
+}
+
+func TestParseSpecAndBuild(t *testing.T) {
+	const doc = `{
+		"name": "departmental server",
+		"processor": "Alpha 21064-150",
+		"count": 12,
+		"memory": "shared"
+	}`
+	spec, err := ParseSpec(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rating, err := sys.CTP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 150 * (1 + 0.75*11)
+	if float64(rating) != want {
+		t.Errorf("rating %v, want %v", float64(rating), want)
+	}
+}
+
+func TestBuildDistributed(t *testing.T) {
+	spec := SystemSpec{
+		Processor: "i860 XR", Count: 128,
+		Memory: "distributed", Interconnect: "mesh",
+	}
+	sys, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Memory != DistributedMemory || sys.Interconnect.Name != MeshMPP.Name {
+		t.Errorf("built %+v", sys)
+	}
+	// Default interconnect.
+	spec.Interconnect = ""
+	if sys, err = spec.Build(); err != nil || sys.Interconnect.Name != MeshMPP.Name {
+		t.Errorf("default interconnect: %+v %v", sys.Interconnect, err)
+	}
+}
+
+func TestBuildCustom(t *testing.T) {
+	spec := SystemSpec{
+		Custom: &CustomSpec{ClockMHz: 100, FPUOpsPerCycle: 2},
+		Count:  4, Memory: "shared",
+	}
+	sys, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rating, err := sys.CTP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TP = 200 Mtops at default 64 bits; 4-way shared: 200·(1+0.75·3).
+	if float64(rating) != 200*3.25 {
+		t.Errorf("rating %v", float64(rating))
+	}
+	// Fixed-point-only custom element.
+	spec.Custom = &CustomSpec{ClockMHz: 50, FXUOpsPerCycle: 1, Bits: 32}
+	if _, err := spec.Build(); err != nil {
+		t.Errorf("fixed-point custom rejected: %v", err)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cases := map[string]SystemSpec{
+		"no count":      {Processor: "Pentium 66"},
+		"no element":    {Count: 4},
+		"both elements": {Processor: "Pentium 66", Custom: &CustomSpec{ClockMHz: 10, FPUOpsPerCycle: 1}, Count: 2},
+		"bad custom":    {Custom: &CustomSpec{}, Count: 2},
+		"bad memory":    {Processor: "Pentium 66", Count: 2, Memory: "quantum"},
+		"bad fabric":    {Processor: "Pentium 66", Count: 2, Memory: "distributed", Interconnect: "carrier pigeon"},
+		"missing proc":  {Processor: "zzz", Count: 2},
+	}
+	for name, spec := range cases {
+		if _, err := spec.Build(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	if _, err := ParseSpec(strings.NewReader("{")); !errors.Is(err, ErrSpec) {
+		t.Errorf("truncated: %v", err)
+	}
+	if _, err := ParseSpec(strings.NewReader(`{"unknown": 1}`)); !errors.Is(err, ErrSpec) {
+		t.Errorf("unknown field: %v", err)
+	}
+}

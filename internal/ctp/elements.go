@@ -1,0 +1,179 @@
+package ctp
+
+import "repro/internal/units"
+
+// CatalogElement is a dated, named computing element: a commercial
+// microprocessor or proprietary CPU of the study period, with the year it
+// became commercially available (or passed state testing, for indigenous
+// designs). These records drive Figure 5 (advances in 64-bit
+// microprocessors) and provide the building blocks for the system catalog.
+type CatalogElement struct {
+	Element
+	Year     int     // year of commercial availability
+	Bits     int     // nominal architecture word length
+	US       bool    // designed by a U.S. company (or U.S.-licensed)
+	MtopsRef float64 // published CTP rating of a uniprocessor, where known; 0 otherwise
+}
+
+// fu is shorthand for constructing a functional unit.
+func fu(kind OpKind, bits int, ops float64) FunctionalUnit {
+	return FunctionalUnit{Kind: kind, Bits: bits, OpsPerCycle: ops}
+}
+
+// mk builds a CatalogElement from its parts.
+func mk(name string, year int, clock units.MHz, bits int, us bool, ref float64, fus ...FunctionalUnit) CatalogElement {
+	return CatalogElement{
+		Element:  Element{Name: name, Clock: clock, Units: fus},
+		Year:     year,
+		Bits:     bits,
+		US:       us,
+		MtopsRef: ref,
+	}
+}
+
+// Microprocessors and CPUs of the study period. Clock rates and issue
+// widths follow the public data sheets; published CTP ratings (MtopsRef)
+// are the values printed in the study or in contemporary Commerce Department
+// classifications, and are the numbers used by the analysis whenever a
+// record carries one.
+var (
+	// Intel 8086/8087: the pair used in India's first multiprocessor (MH1, 1986).
+	Intel8086 = mk("Intel 8086/8087", 1979, 8, 16, true, 0.5,
+		fu(FixedPoint, 16, 0.12), fu(FloatingPoint, 64, 0.006))
+
+	// INMOS T800 transputer: built-in links made it the favorite building
+	// block of Russian, Chinese, and Indian multiprocessors.
+	T800 = mk("INMOS T800 transputer", 1987, 20, 32, false, 2.5,
+		fu(FixedPoint, 32, 0.45), fu(FloatingPoint, 64, 0.075))
+
+	// INMOS T9000: the late, much-delayed successor (Quinghua SmC project).
+	T9000 = mk("INMOS T9000 transputer", 1994, 20, 32, false, 12,
+		fu(FixedPoint, 32, 1.0), fu(FloatingPoint, 64, 0.5))
+
+	// Intel i860: "the earliest 64-bit microprocessor to become widely
+	// available", the workhorse of the Paragon, Param, and Kvant machines.
+	I860 = mk("Intel i860 XR", 1989, 40, 64, true, 72,
+		fu(FixedPoint, 32, 1), fu(FloatingPoint, 64, 1.8))
+
+	// Intel i860 XP: the Paragon's 50 MHz variant.
+	I860XP = mk("Intel i860 XP", 1991, 50, 64, true, 90,
+		fu(FixedPoint, 32, 1), fu(FloatingPoint, 64, 1.8))
+
+	// Motorola 88000 RISC, the paper's 1989 20 MHz reference point.
+	M88000 = mk("Motorola 88100", 1989, 20, 32, true, 17,
+		fu(FixedPoint, 32, 1), fu(FloatingPoint, 64, 0.8))
+
+	// TI TMS320C40 DSP: used by Kvant and several Chinese projects.
+	TMS320C40 = mk("TI TMS320C40", 1991, 40, 32, true, 30,
+		fu(FixedPoint, 32, 1), fu(FloatingPoint, 32, 1))
+
+	// Intel 486DX2: commodity PC processor, the low anchor of the spectrum.
+	I486DX2 = mk("Intel 486DX2-66", 1992, 66, 32, true, 22,
+		fu(FixedPoint, 32, 0.8), fu(FloatingPoint, 64, 0.15))
+
+	// SuperSPARC: SPARCstation 10 (paper: 53.3 Mtops).
+	SuperSPARC = mk("Sun SuperSPARC 50", 1992, 50, 32, true, 53.3,
+		fu(FixedPoint, 32, 1.6), fu(FloatingPoint, 64, 1))
+
+	// DEC Alpha 21064: first 64-bit commodity RISC at 150–200 MHz; the
+	// Cray T3D's node processor.
+	Alpha21064 = mk("DEC Alpha 21064-150", 1992, 150, 64, true, 275,
+		fu(FixedPoint, 64, 1), fu(FloatingPoint, 64, 1))
+
+	// DEC Alpha 21064A at 275 MHz (AlphaServer 2100 generation).
+	Alpha21064A = mk("DEC Alpha 21064A-275", 1994, 275, 64, true, 500,
+		fu(FixedPoint, 64, 1), fu(FloatingPoint, 64, 1))
+
+	// DEC Alpha 21164: 300 MHz quad-issue, the "today's Alpha" of the text.
+	Alpha21164 = mk("DEC Alpha 21164-300", 1995, 300, 64, true, 1200,
+		fu(FixedPoint, 64, 2), fu(FloatingPoint, 64, 2))
+
+	// Pentium: OPUS and commodity "data mining" machines.
+	Pentium66 = mk("Intel Pentium 66", 1993, 66, 32, true, 67,
+		fu(FixedPoint, 32, 1.6), fu(FloatingPoint, 64, 0.5))
+
+	Pentium100 = mk("Intel Pentium 100", 1994, 100, 32, true, 100,
+		fu(FixedPoint, 32, 1.6), fu(FloatingPoint, 64, 0.5))
+
+	// Intel P6 (Pentium Pro), "forthcoming" in the text.
+	P6 = mk("Intel P6-200", 1995, 200, 32, true, 250,
+		fu(FixedPoint, 32, 2), fu(FloatingPoint, 64, 1))
+
+	// IBM POWER2: RS/6000 and SP2 node (66.7 MHz, 4 flops/cycle).
+	POWER2 = mk("IBM POWER2-66", 1993, 66.7, 64, true, 300,
+		fu(FixedPoint, 32, 2), fu(FloatingPoint, 64, 4))
+
+	// PowerPC 604.
+	PPC604 = mk("IBM/Motorola PowerPC 604-100", 1994, 100, 32, true, 160,
+		fu(FixedPoint, 32, 2), fu(FloatingPoint, 64, 1))
+
+	// MIPS R4400: SGI Challenge node.
+	R4400 = mk("MIPS R4400-150", 1993, 150, 64, true, 180,
+		fu(FixedPoint, 64, 1), fu(FloatingPoint, 64, 0.7))
+
+	// MIPS R8000: SGI PowerChallenge node (75 MHz, 4 flops/cycle).
+	R8000 = mk("MIPS R8000-75", 1994, 75, 64, true, 320,
+		fu(FixedPoint, 64, 2), fu(FloatingPoint, 64, 4))
+
+	// MIPS R10000: "forthcoming" 200 MHz part from SGI's MIPS division.
+	R10000 = mk("MIPS R10000-200", 1996, 200, 64, true, 850,
+		fu(FixedPoint, 64, 2), fu(FloatingPoint, 64, 2))
+
+	// HP PA-RISC 7100: T-500 server node.
+	PA7100 = mk("HP PA-7100-100", 1992, 100, 32, true, 200,
+		fu(FixedPoint, 32, 1), fu(FloatingPoint, 64, 2))
+
+	// HP PA-RISC 7200: Exemplar SPP node.
+	PA7200 = mk("HP PA-7200-120", 1995, 120, 64, true, 480,
+		fu(FixedPoint, 64, 2), fu(FloatingPoint, 64, 2))
+
+	// UltraSPARC-I, late 1995.
+	UltraSPARC = mk("Sun UltraSPARC-167", 1995, 167, 64, true, 600,
+		fu(FixedPoint, 64, 2), fu(FloatingPoint, 64, 2))
+
+	// Vector CPUs. Concurrent add/multiply pipes per the hardware manuals;
+	// these rate far above microprocessors of the same year.
+	CrayYMPCPU = mk("Cray Y-MP CPU (166 MHz)", 1988, 166, 64, true, 500,
+		fu(FixedPoint, 64, 1), fu(FloatingPoint, 64, 2))
+
+	CrayC90CPU = mk("Cray C90 CPU (244 MHz)", 1991, 244, 64, true, 1375,
+		fu(FixedPoint, 64, 2), fu(FloatingPoint, 64, 4))
+
+	// SX-3-class vector CPU (NEC), for the Japanese supplier context.
+	SX3CPU = mk("NEC SX-3 CPU (345 MHz)", 1990, 345, 64, false, 2750,
+		fu(FixedPoint, 64, 2), fu(FloatingPoint, 64, 8))
+
+	// Indigenous CPUs of the countries of concern.
+	Elbrus2CPU = mk("Elbrus-2 CPU (ITMVT)", 1985, 12.5, 64, false, 12,
+		fu(FixedPoint, 64, 0.6), fu(FloatingPoint, 64, 0.75))
+
+	MKPCPU = mk("MKP macro-pipeline CPU (ITMVT)", 1990, 50, 64, false, 1000,
+		fu(FixedPoint, 64, 2), fu(FloatingPoint, 64, 12))
+
+	Galaxy1CPU = mk("Galaxy-1 CPU (NDST)", 1983, 25, 64, false, 80,
+		fu(FixedPoint, 64, 1), fu(FloatingPoint, 64, 2))
+
+	Galaxy2CPU = mk("Galaxy-II CPU (NDST)", 1992, 50, 64, false, 180,
+		fu(FixedPoint, 64, 1), fu(FloatingPoint, 64, 2))
+)
+
+// Microprocessors64 returns the dated 64-bit microprocessor records used by
+// Figure 5, in chronological order.
+func Microprocessors64() []CatalogElement {
+	return []CatalogElement{
+		I860, I860XP, Alpha21064, POWER2, R4400, R8000,
+		Alpha21064A, PA7200, Alpha21164, UltraSPARC, R10000,
+	}
+}
+
+// AllElements returns every predefined catalog element, in rough
+// chronological order, for exhaustive tests and listings.
+func AllElements() []CatalogElement {
+	return []CatalogElement{
+		Intel8086, Galaxy1CPU, Elbrus2CPU, T800, CrayYMPCPU, I860, M88000,
+		MKPCPU, SX3CPU, CrayC90CPU, TMS320C40, I860XP, I486DX2, SuperSPARC,
+		Alpha21064, PA7100, Galaxy2CPU, Pentium66, POWER2, R4400, T9000,
+		Pentium100, PPC604, R8000, Alpha21064A, P6, Alpha21164, PA7200,
+		UltraSPARC, R10000,
+	}
+}

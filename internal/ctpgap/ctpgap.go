@@ -1,0 +1,130 @@
+// Package ctpgap quantifies the complaint that runs through the paper's
+// Chapter 6: "the CTP metric is too imprecise to adequately distinguish
+// between the deliverable performance of systems" — actual performance
+// depends on architecture, application, and algorithm, none of which the
+// hardware-only metric sees.
+//
+// The package pairs each machine of the Table 5 spectrum with its CTP
+// rating (computed by the same rules the regime used) and its simulated
+// sustained throughput on each workload of the granularity suite. The
+// resulting "deliverable Mflops per rated Mtops" matrix spreads by more
+// than an order of magnitude across the spectrum — two systems with equal
+// CTP can differ tenfold in what they deliver on a weather stencil, which
+// is exactly why "thresholds within the envelope that distinguish between
+// systems with roughly comparable CTPs are not likely to reflect
+// differences in the real utility of such systems".
+package ctpgap
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ctp"
+	"repro/internal/simmach"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Row is one machine×workload measurement.
+type Row struct {
+	Machine   string
+	Workload  string
+	Rated     units.Mtops // CTP rating of the configuration
+	Sustained float64     // simulated deliverable Mflops
+	PerMtops  float64     // Sustained / Rated: deliverable Mflops per rated Mtops
+}
+
+// String renders the row.
+func (r Row) String() string {
+	return fmt.Sprintf("%s on %s: rated %s, sustains %.1f Mflops (%.3f Mflops/Mtops)",
+		r.Workload, r.Machine, r.Rated, r.Sustained, r.PerMtops)
+}
+
+// node is the simulated fleet's common processor expressed as a CTP
+// element: a 50 Mflops 64-bit engine, so rated TP = 50 Mtops.
+var node = ctp.Element{
+	Name:  "fleet node (50 Mflops)",
+	Clock: 50,
+	Units: []ctp.FunctionalUnit{{Kind: ctp.FloatingPoint, Bits: 64, OpsPerCycle: 1}},
+}
+
+// rate computes the CTP rating of a simulated machine configuration by
+// mapping its coupling class onto the rating rules.
+func rate(m simmach.Machine) (units.Mtops, error) {
+	if m.SharedMemory {
+		return ctp.SMP(m.Name, node, m.Procs).CTP()
+	}
+	ic := ctp.Interconnect{Name: m.Net.Name, Bandwidth: m.Net.Bandwidth, Latency: m.Net.LatencyUs}
+	if m.Net.Shared {
+		// A shared medium's per-node share is what couples any one pair.
+		ic.Bandwidth = m.Net.Bandwidth / float64(m.Procs)
+	}
+	return ctp.MPP(m.Name, node, m.Procs, ic).CTP()
+}
+
+// Analyze measures the fleet at the given processor count against the
+// standard workload suite.
+func Analyze(procs int) ([]Row, error) {
+	var rows []Row
+	for _, m := range simmach.Fleet(procs) {
+		rated, err := rate(m)
+		if err != nil {
+			return nil, fmt.Errorf("ctpgap: rating %s: %w", m.Name, err)
+		}
+		for _, w := range workload.Suite() {
+			res, err := simmach.Run(m, w)
+			if err != nil {
+				return nil, fmt.Errorf("ctpgap: %s on %s: %w", w.Name(), m.Name, err)
+			}
+			sustained := 0.0
+			if res.Seconds > 0 {
+				sustained = w.TotalMflop() / res.Seconds
+			}
+			rows = append(rows, Row{
+				Machine:   m.Name,
+				Workload:  w.Name(),
+				Rated:     rated,
+				Sustained: sustained,
+				PerMtops:  sustained / float64(rated),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Spread summarizes the metric's blindness for one workload: the ratio of
+// the best to the worst deliverable-per-rated figure across the fleet.
+type Spread struct {
+	Workload string
+	Best     Row
+	Worst    Row
+	Ratio    float64 // Best.PerMtops / Worst.PerMtops
+}
+
+// Spreads computes the per-workload spread of deliverable performance per
+// rated Mtops, sorted by decreasing ratio (most CTP-blind workload first).
+func Spreads(rows []Row) []Spread {
+	byW := map[string][]Row{}
+	for _, r := range rows {
+		byW[r.Workload] = append(byW[r.Workload], r)
+	}
+	var out []Spread
+	for w, rs := range byW {
+		best, worst := rs[0], rs[0]
+		for _, r := range rs[1:] {
+			if r.PerMtops > best.PerMtops {
+				best = r
+			}
+			if r.PerMtops < worst.PerMtops {
+				worst = r
+			}
+		}
+		s := Spread{Workload: w, Best: best, Worst: worst}
+		if worst.PerMtops > 0 {
+			s.Ratio = best.PerMtops / worst.PerMtops
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ratio > out[j].Ratio })
+	return out
+}

@@ -1,0 +1,140 @@
+package ctpgap
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/simmach"
+	"repro/internal/workload"
+)
+
+func analyze(t *testing.T, procs int) []Row {
+	t.Helper()
+	rows, err := Analyze(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestAnalyzeShape(t *testing.T) {
+	rows := analyze(t, 16)
+	// 6 machines × 5 workloads.
+	if len(rows) != 30 {
+		t.Fatalf("%d rows, want 30", len(rows))
+	}
+	for _, r := range rows {
+		if r.Rated <= 0 {
+			t.Errorf("%s: non-positive rating", r.Machine)
+		}
+		if r.Sustained < 0 || r.PerMtops < 0 {
+			t.Errorf("%s/%s: negative measurement", r.Machine, r.Workload)
+		}
+		if r.String() == "" {
+			t.Error("empty row string")
+		}
+	}
+}
+
+// TestCTPBlindness: on communication-bound work, deliverable performance
+// per rated Mtops spreads by an order of magnitude across the spectrum —
+// the Chapter 6 indictment of the metric.
+func TestCTPBlindness(t *testing.T) {
+	spreads := Spreads(analyze(t, 16))
+	if len(spreads) != 5 {
+		t.Fatalf("%d spreads", len(spreads))
+	}
+	bySpread := map[string]float64{}
+	for _, s := range spreads {
+		bySpread[s.Workload] = s.Ratio
+	}
+	for w, r := range bySpread {
+		if r < 4 {
+			t.Errorf("%s spread only %.1f×; CTP blindness should exceed 4× everywhere", w, r)
+		}
+	}
+	// The blindness runs in both directions. On embarrassingly parallel
+	// work the best deliverable-per-rated machine is a cluster — the CTP
+	// rules credit a loosely coupled pile with almost nothing, yet it
+	// delivers nearly everything ("no approved way of computing" a
+	// cluster's CTP). On all-to-all work the worst is a cluster: its low
+	// rating still overstates what it can do.
+	for _, s := range spreads {
+		switch s.Workload {
+		case "brute-force key search":
+			if !strings.Contains(s.Best.Machine, "cluster") {
+				t.Errorf("key search best per-Mtops machine = %s; expected a cluster", s.Best.Machine)
+			}
+		case "all-to-all transpose (FFT)":
+			if !strings.Contains(s.Worst.Machine, "Ethernet") {
+				t.Errorf("transpose worst per-Mtops machine = %s; expected the Ethernet cluster", s.Worst.Machine)
+			}
+		}
+	}
+}
+
+// TestSpreadsSorted: most CTP-blind workload first.
+func TestSpreadsSorted(t *testing.T) {
+	spreads := Spreads(analyze(t, 16))
+	for i := 1; i < len(spreads); i++ {
+		if spreads[i].Ratio > spreads[i-1].Ratio {
+			t.Errorf("spreads not sorted at %s", spreads[i].Workload)
+		}
+	}
+}
+
+// TestEqualCTPDifferentDelivery constructs two machines the CTP rules rate
+// nearly identically — a 4-way SMP and a 31-node ATM cluster — and shows
+// their deliverable performance differs severalfold in opposite directions
+// by workload. A threshold drawn between two such systems "is not likely
+// to reflect differences in the real utility of such systems".
+func TestEqualCTPDifferentDelivery(t *testing.T) {
+	// The paper's own pair: a single workstation and a 16-node Ethernet
+	// farm of identical workstations. The CTP rules rate the farm almost
+	// exactly like one node (the coupling factor of a shared 10 Mb/s
+	// medium is negligible), yet on coarse work it delivers an order of
+	// magnitude more, and on all-to-all work far less than even the one
+	// workstation, which at least never waits on a network.
+	single := simmach.MPP("single workstation", 1, 50, simmach.NetEthernet)
+	farm := simmach.Cluster("Ethernet farm (16)", 16, 50, simmach.NetEthernet, true)
+
+	singleRated, err := rate(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	farmRated, err := rate(farm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(farmRated) / float64(singleRated); ratio < 0.95 || ratio > 1.10 {
+		t.Fatalf("pair not equally rated: single %v vs farm %v", singleRated, farmRated)
+	}
+
+	deliver := func(m simmach.Machine, w simmach.Workload) float64 {
+		r, err := simmach.Run(m, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.TotalMflop() / r.Seconds
+	}
+	ks := workload.DefaultKeySearch()
+	tr := workload.DefaultTranspose()
+
+	if f, s := deliver(farm, ks), deliver(single, ks); f < 5*s {
+		t.Errorf("equal CTP: farm key-search delivery %.0f not ≫ single's %.0f", f, s)
+	}
+	if s, f := deliver(single, tr), deliver(farm, tr); s < 1.5*f {
+		t.Errorf("equal CTP: single-node transpose delivery %.0f not ≫ farm's %.0f", s, f)
+	}
+}
+
+func TestRatingsOrderedByCoupling(t *testing.T) {
+	rows := analyze(t, 16)
+	ratings := map[string]float64{}
+	for _, r := range rows {
+		ratings[r.Machine] = float64(r.Rated)
+	}
+	if ratings["SMP (shared bus)"] <= ratings["ad hoc cluster (Ethernet)"] {
+		t.Error("SMP should out-rate the Ethernet cluster under the CTP rules")
+	}
+}

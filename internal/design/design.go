@@ -1,0 +1,225 @@
+// Package design models the computational structure of stealth aircraft
+// design as Chapter 4 describes it: the F-117A optimized signature and
+// aerodynamics *separately* ("operates like a light bomber" — the
+// aerodynamics were sacrificed), while the F-22's requirements forced the
+// CEA and CFD objectives to be optimized *simultaneously*, which
+// "required the use of the most powerful computer available for solution
+// within reasonable time scales".
+//
+// The model: a two-parameter airframe (facet tilt against the threat
+// radar; body fineness ratio) with two coupled objectives — an X-band
+// signature computed by the physical-optics facet model of package radar,
+// and a drag figure in which tilt hurts and fineness helps. Because the
+// objectives couple through both parameters, optimizing them one at a
+// time (the F-117A procedure: cheap, additive grid cost) lands off the
+// true optimum; the joint sweep (the F-22 procedure: multiplicative grid
+// cost) finds it. The cost ratio between the two procedures is the
+// paper's computational story in miniature.
+package design
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/radar"
+)
+
+// Design is one candidate airframe configuration.
+type Design struct {
+	TiltDeg  float64 // facet tilt from the threat line of sight, degrees
+	Fineness float64 // body fineness ratio (length/diameter)
+}
+
+// Bounds of the design space.
+const (
+	MinTilt, MaxTilt         = 5.0, 70.0
+	MinFineness, MaxFineness = 3.0, 12.0
+)
+
+// threatBand is the fire-control radar band the signature is evaluated
+// against.
+const threatBand = 10e9 // Hz
+
+// facetSide is the characteristic facet size of the airframe, m.
+const facetSide = 1.5
+
+// Metrics are one design's evaluated objectives.
+type Metrics struct {
+	RCS  float64 // m², X-band, threat aspect
+	Drag float64 // drag counts (arbitrary consistent unit)
+}
+
+// ErrBounds is returned for designs outside the space.
+var ErrBounds = errors.New("design: parameters out of bounds")
+
+// Evaluate computes a design's objectives. The signature is the facet
+// model's cross-section with a fineness coupling (a finer body breaks the
+// surface into smaller panels with wider lobes); the drag charges for
+// tilt (flat-plate alpha) and rewards fineness, with a fineness floor
+// for structural reality.
+func Evaluate(d Design) (Metrics, error) {
+	if d.TiltDeg < MinTilt || d.TiltDeg > MaxTilt ||
+		d.Fineness < MinFineness || d.Fineness > MaxFineness {
+		return Metrics{}, fmt.Errorf("%w: %+v", ErrBounds, d)
+	}
+	// Effective facet size shrinks as the body gets finer.
+	side := facetSide * math.Sqrt(6/d.Fineness)
+	// A design must be stealthy across a window of aspect angles, not at
+	// one razor-thin sinc null: average the cross-section over ±2° of
+	// tilt, which is also what keeps the optimizer off non-robust nulls.
+	var sigma float64
+	const window = 5
+	for i := 0; i < window; i++ {
+		tilt := (d.TiltDeg + float64(i-window/2)) * math.Pi / 180
+		if tilt < 0 {
+			tilt = 0
+		}
+		if tilt > math.Pi/2 {
+			tilt = math.Pi / 2
+		}
+		f := radar.Facet{SideM: side, TiltRad: tilt}
+		v, err := f.RCS(threatBand)
+		if err != nil {
+			return Metrics{}, err
+		}
+		sigma += v
+	}
+	sigma /= window
+	// Twelve such facets make the threat-aspect signature.
+	sigma *= 12
+
+	tilt := d.TiltDeg * math.Pi / 180
+	drag := 80*(1+3*math.Pow(math.Sin(tilt), 2)) + 900/d.Fineness + 4*d.Fineness
+	return Metrics{RCS: sigma, Drag: drag}, nil
+}
+
+// Score folds the objectives into one figure of merit: a weighted sum of
+// the signature in dBsm (shifted positive) and the drag counts. Lower is
+// better.
+func Score(m Metrics) float64 {
+	db := radar.DBsm(m.RCS)
+	if math.IsInf(db, -1) {
+		db = -120
+	}
+	return (db+120)*2 + m.Drag
+}
+
+// Result is an optimization outcome.
+type Result struct {
+	Best        Design
+	Metrics     Metrics
+	Score       float64
+	Evaluations int
+}
+
+// grid returns n values spanning [lo, hi].
+func grid(lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return out
+}
+
+// OptimizeSequential performs the F-117A-style procedure: choose the tilt
+// purely for signature at a nominal fineness, then choose the fineness
+// purely for drag at that tilt. Cost: nTilt + nFine evaluations.
+func OptimizeSequential(nTilt, nFine int) (Result, error) {
+	if nTilt < 2 || nFine < 2 {
+		return Result{}, errors.New("design: grids need at least 2 points")
+	}
+	nominal := (MinFineness + MaxFineness) / 2
+	evals := 0
+
+	bestTilt, bestRCS := 0.0, math.Inf(1)
+	for _, t := range grid(MinTilt, MaxTilt, nTilt) {
+		m, err := Evaluate(Design{TiltDeg: t, Fineness: nominal})
+		if err != nil {
+			return Result{}, err
+		}
+		evals++
+		if m.RCS < bestRCS {
+			bestRCS, bestTilt = m.RCS, t
+		}
+	}
+
+	bestFine, bestDrag := 0.0, math.Inf(1)
+	for _, f := range grid(MinFineness, MaxFineness, nFine) {
+		m, err := Evaluate(Design{TiltDeg: bestTilt, Fineness: f})
+		if err != nil {
+			return Result{}, err
+		}
+		evals++
+		if m.Drag < bestDrag {
+			bestDrag, bestFine = m.Drag, f
+		}
+	}
+
+	d := Design{TiltDeg: bestTilt, Fineness: bestFine}
+	m, err := Evaluate(d)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Best: d, Metrics: m, Score: Score(m), Evaluations: evals}, nil
+}
+
+// OptimizeSimultaneous performs the F-22-style procedure: sweep the full
+// joint grid against the combined figure of merit. Cost: nTilt × nFine
+// evaluations.
+func OptimizeSimultaneous(nTilt, nFine int) (Result, error) {
+	if nTilt < 2 || nFine < 2 {
+		return Result{}, errors.New("design: grids need at least 2 points")
+	}
+	best := Result{Score: math.Inf(1)}
+	for _, t := range grid(MinTilt, MaxTilt, nTilt) {
+		for _, f := range grid(MinFineness, MaxFineness, nFine) {
+			d := Design{TiltDeg: t, Fineness: f}
+			m, err := Evaluate(d)
+			if err != nil {
+				return Result{}, err
+			}
+			best.Evaluations++
+			if s := Score(m); s < best.Score {
+				best.Best, best.Metrics, best.Score = d, m, s
+			}
+		}
+	}
+	return best, nil
+}
+
+// ParetoFront sweeps the joint grid and returns the non-dominated
+// designs, sorted by increasing RCS (and so decreasing drag).
+func ParetoFront(nTilt, nFine int) ([]Result, error) {
+	var all []Result
+	for _, t := range grid(MinTilt, MaxTilt, nTilt) {
+		for _, f := range grid(MinFineness, MaxFineness, nFine) {
+			d := Design{TiltDeg: t, Fineness: f}
+			m, err := Evaluate(d)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, Result{Best: d, Metrics: m, Score: Score(m)})
+		}
+	}
+	var front []Result
+	for _, c := range all {
+		dominated := false
+		for _, o := range all {
+			if o.Metrics.RCS < c.Metrics.RCS && o.Metrics.Drag < c.Metrics.Drag {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, c)
+		}
+	}
+	// Sort by RCS ascending (insertion sort; fronts are small).
+	for i := 1; i < len(front); i++ {
+		for j := i; j > 0 && front[j].Metrics.RCS < front[j-1].Metrics.RCS; j-- {
+			front[j], front[j-1] = front[j-1], front[j]
+		}
+	}
+	return front, nil
+}

@@ -1,0 +1,144 @@
+package design
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestEvaluateBounds(t *testing.T) {
+	bad := []Design{
+		{TiltDeg: 1, Fineness: 6},
+		{TiltDeg: 80, Fineness: 6},
+		{TiltDeg: 30, Fineness: 1},
+		{TiltDeg: 30, Fineness: 20},
+	}
+	for _, d := range bad {
+		if _, err := Evaluate(d); !errors.Is(err, ErrBounds) {
+			t.Errorf("%+v accepted", d)
+		}
+	}
+	if _, err := Evaluate(Design{TiltDeg: 30, Fineness: 6}); err != nil {
+		t.Errorf("valid design rejected: %v", err)
+	}
+}
+
+// TestObjectivesPullOpposite: more tilt lowers the signature and raises
+// the drag — the tension that makes the problem an optimization at all.
+func TestObjectivesPullOpposite(t *testing.T) {
+	lo, err := Evaluate(Design{TiltDeg: 10, Fineness: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Evaluate(Design{TiltDeg: 60, Fineness: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.RCS >= lo.RCS {
+		t.Errorf("tilt did not reduce RCS: %v vs %v", hi.RCS, lo.RCS)
+	}
+	if hi.Drag <= lo.Drag {
+		t.Errorf("tilt did not raise drag: %v vs %v", hi.Drag, lo.Drag)
+	}
+}
+
+// TestCouplingExists: the RCS depends on fineness too (smaller panels,
+// wider lobes) — the coupling that defeats sequential optimization.
+func TestCouplingExists(t *testing.T) {
+	coarse, err := Evaluate(Design{TiltDeg: 40, Fineness: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := Evaluate(Design{TiltDeg: 40, Fineness: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coarse.RCS == fine.RCS {
+		t.Error("no CEA/CFD coupling; sequential would be optimal")
+	}
+}
+
+// TestSimultaneousBeatsSequential: the F-22 story — the joint sweep finds
+// a strictly better figure of merit, at a multiplicative evaluation cost.
+func TestSimultaneousBeatsSequential(t *testing.T) {
+	const n = 48
+	seq, err := OptimizeSequential(n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := OptimizeSimultaneous(n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Score >= seq.Score {
+		t.Errorf("simultaneous score %.2f not better than sequential %.2f", sim.Score, seq.Score)
+	}
+	if sim.Evaluations != n*n || seq.Evaluations != 2*n {
+		t.Errorf("evaluation counts: simultaneous %d (want %d), sequential %d (want %d)",
+			sim.Evaluations, n*n, seq.Evaluations, 2*n)
+	}
+	costRatio := float64(sim.Evaluations) / float64(seq.Evaluations)
+	if costRatio < 10 {
+		t.Errorf("cost ratio %.1f; the joint problem should be an order of magnitude up", costRatio)
+	}
+}
+
+func TestOptimizeGridGuards(t *testing.T) {
+	if _, err := OptimizeSequential(1, 10); err == nil {
+		t.Error("degenerate grid accepted")
+	}
+	if _, err := OptimizeSimultaneous(10, 1); err == nil {
+		t.Error("degenerate grid accepted")
+	}
+}
+
+// TestParetoFrontShape: the front is non-empty, sorted by RCS, and
+// monotone — lower signature always costs drag along it.
+func TestParetoFrontShape(t *testing.T) {
+	front, err := ParetoFront(24, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) < 3 {
+		t.Fatalf("front has %d points", len(front))
+	}
+	for i := 1; i < len(front); i++ {
+		if front[i].Metrics.RCS < front[i-1].Metrics.RCS {
+			t.Fatal("front not sorted by RCS")
+		}
+		if front[i].Metrics.Drag > front[i-1].Metrics.Drag {
+			t.Errorf("front not monotone at %d: drag rose with RCS", i)
+		}
+	}
+}
+
+// TestParetoContainsOptimum: the simultaneous optimum lies on (or at
+// grid-resolution of) the Pareto front.
+func TestParetoContainsOptimum(t *testing.T) {
+	const n = 24
+	sim, err := OptimizeSimultaneous(n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front, err := ParetoFront(n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range front {
+		if p.Best == sim.Best {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("weighted optimum not on the Pareto front")
+	}
+}
+
+func TestScoreFinite(t *testing.T) {
+	m := Metrics{RCS: 0, Drag: 100}
+	if s := Score(m); math.IsInf(s, 0) || math.IsNaN(s) {
+		t.Errorf("score of zero-RCS design = %v", s)
+	}
+}

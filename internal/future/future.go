@@ -1,0 +1,177 @@
+// Package future implements the forward-looking analysis of Chapters 2
+// and 6: the scenarios under which the basic premises fail, projected
+// from the fitted technology trends.
+//
+// Premise one fails "if the capability of the most powerful
+// uncontrollable computing system exceeds the minimum computational
+// requirements of all applications of national security concern"; the
+// frontier fit supplies the date.
+//
+// Premise three can fail two ways. The gap mechanism — "if the gap
+// narrows between the most powerful systems available and the most
+// powerful uncontrollable systems" — does not materialize under
+// projection: the top end grows even faster than the frontier, and the
+// fitted D/A margin widens. What does materialize is the composition
+// mechanism the paper names in the same breath: "a shift in the computer
+// industry from the construction of powerful individual systems based on
+// proprietary technologies to the construction of basically
+// uncontrollable building blocks that can be combined in powerful
+// configurations". The synthetic Top500 population measures it directly:
+// the share of high-end installations that are themselves SMPs or
+// clusters of commodity parts crosses half the list in the mid-1990s and
+// keeps climbing — line D remains far above line A, but it is
+// increasingly *made of* line-A technology.
+package future
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/apps"
+	"repro/internal/catalog"
+	"repro/internal/controllability"
+	"repro/internal/threshold"
+	"repro/internal/top500"
+	"repro/internal/trend"
+)
+
+// margin is the D/A ratio below which premise three is judged failed by
+// the gap mechanism, matching the threshold framework's minimum.
+const margin = 2.0
+
+// compositionThreshold is the commodity share of the high-end installed
+// base at which premise three is judged eroded by the composition
+// mechanism.
+const compositionThreshold = 0.5
+
+// Outlook is the projected long-term viability picture.
+type Outlook struct {
+	FrontierFit trend.Exponential // line A growth
+	CeilingFit  trend.Exponential // line D growth
+
+	// PremiseOneFails is the projected year the frontier overtakes the
+	// largest curated application minimum.
+	PremiseOneFails float64
+
+	// GapCloses is the projected year the fitted D/A margin drops below
+	// the viability minimum; +Inf when the fits never cross it (the
+	// observed case — the top end outruns the frontier).
+	GapCloses float64
+
+	// CompositionErodes is the first sampled year when commodity-built
+	// systems (SMP servers and clusters) hold more than half the
+	// synthetic Top500 — premise three failing in kind rather than in
+	// magnitude.
+	CompositionErodes float64
+
+	// MarginSeries samples the fitted D/A ratio annually over the
+	// projection window.
+	MarginSeries []trend.Point
+	// CompositionSeries samples the commodity share of the list.
+	CompositionSeries []trend.Point
+}
+
+// ErrFit is returned when the underlying trends cannot be fitted.
+var ErrFit = errors.New("future: cannot fit technology trends")
+
+// ceilingSeries is the dated running maximum of all cataloged systems.
+func ceilingSeries(from, to float64) []trend.Point {
+	var pts []trend.Point
+	for _, s := range catalog.All() {
+		pts = append(pts, trend.Point{X: float64(s.Year), Y: float64(s.CTP)})
+	}
+	rm := trend.RunningMax(pts)
+	var out []trend.Point
+	for _, p := range rm {
+		if p.X >= from && p.X <= to {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Project fits the frontier and ceiling over the observation window
+// [fitFrom, fitTo] and projects the premises to horizon. The composition
+// series is sampled from the synthetic Top500 over [fitTo−2, horizon],
+// clamped to the years a list can be generated for.
+func Project(fitFrom, fitTo, horizon float64) (Outlook, error) {
+	fseries := controllability.FrontierSeries(fitFrom, fitTo, 0.25, controllability.Options{})
+	ffit, err := trend.FitExponential(fseries.Points)
+	if err != nil {
+		return Outlook{}, fmt.Errorf("%w: frontier: %v", ErrFit, err)
+	}
+	cpts := ceilingSeries(fitFrom, fitTo)
+	cfit, err := trend.FitExponential(cpts)
+	if err != nil {
+		return Outlook{}, fmt.Errorf("%w: ceiling: %v", ErrFit, err)
+	}
+
+	out := Outlook{
+		FrontierFit:       ffit,
+		CeilingFit:        cfit,
+		GapCloses:         math.Inf(1),
+		CompositionErodes: math.Inf(1),
+	}
+
+	// Premise one: frontier reaches the top stalactite.
+	minima := apps.Minima()
+	top := float64(minima[len(minima)-1])
+	if yr, err := ffit.YearReaching(top); err == nil {
+		out.PremiseOneFails = yr
+	}
+
+	// Gap mechanism.
+	for y := fitTo; y <= horizon+1e-9; y += 0.25 {
+		fv := ffit.At(y)
+		if fv > 0 && cfit.At(y)/fv < margin {
+			out.GapCloses = y
+			break
+		}
+	}
+	for y := fitTo; y <= horizon+1e-9; y++ {
+		fv := ffit.At(y)
+		if fv <= 0 {
+			continue
+		}
+		out.MarginSeries = append(out.MarginSeries, trend.Point{X: y, Y: cfit.At(y) / fv})
+	}
+
+	// Composition mechanism, over the generatable years.
+	for y := math.Max(fitFrom, 1993.5); y <= math.Min(horizon, 1999.5)+1e-9; y += 0.5 {
+		share, err := CommodityShare(y)
+		if err != nil {
+			continue
+		}
+		out.CompositionSeries = append(out.CompositionSeries, trend.Point{X: y, Y: share})
+		if share > compositionThreshold && math.IsInf(out.CompositionErodes, 1) {
+			out.CompositionErodes = y
+		}
+	}
+	return out, nil
+}
+
+// CommodityShare returns the fraction of the synthetic Top500 built from
+// uncontrollable building blocks: SMP servers and workstation clusters.
+func CommodityShare(year float64) (float64, error) {
+	l, err := top500.Generate(year)
+	if err != nil {
+		return 0, err
+	}
+	counts := l.ByClass()
+	commodity := counts[catalog.SMPServer] + counts[catalog.DedicatedCluster] + counts[catalog.AdHocCluster]
+	return float64(commodity) / float64(len(l.Entries)), nil
+}
+
+// SnapshotMargin returns the observed (not fitted) D/A ratio at a date,
+// from the framework's own snapshot.
+func SnapshotMargin(date float64) (float64, error) {
+	s, err := threshold.Take(date)
+	if err != nil {
+		return 0, err
+	}
+	if s.LowerBound <= 0 {
+		return 0, fmt.Errorf("future: no lower bound at %.2f", date)
+	}
+	return float64(s.MaxAvailable) / float64(s.LowerBound), nil
+}

@@ -1,0 +1,118 @@
+package future
+
+import (
+	"math"
+	"testing"
+)
+
+func project(t *testing.T) Outlook {
+	t.Helper()
+	o, err := Project(1992, 1999, 2010)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestFitsAreGrowing(t *testing.T) {
+	o := project(t)
+	if o.FrontierFit.Rate <= 0 {
+		t.Errorf("frontier not growing: %v", o.FrontierFit)
+	}
+	if o.CeilingFit.Rate <= 0 {
+		t.Errorf("ceiling not growing: %v", o.CeilingFit)
+	}
+}
+
+// TestPremiseOneFailureInEarly2000s: consistent with the study's
+// conjecture that the basic premises weaken "over the longer term".
+func TestPremiseOneFailureInEarly2000s(t *testing.T) {
+	o := project(t)
+	if o.PremiseOneFails < 2000 || o.PremiseOneFails > 2012 {
+		t.Errorf("premise one fails %.1f; expected early 2000s", o.PremiseOneFails)
+	}
+}
+
+// TestGapDoesNotClose: under projection the top end outruns the frontier —
+// the gap mechanism never fires, matching what actually happened (ASCI-
+// class machines kept line D far above line A).
+func TestGapDoesNotClose(t *testing.T) {
+	o := project(t)
+	if !math.IsInf(o.GapCloses, 1) {
+		t.Errorf("gap closes %.1f; the fitted ceiling should outrun the frontier", o.GapCloses)
+	}
+	if o.CeilingFit.Rate <= o.FrontierFit.Rate {
+		t.Errorf("ceiling rate %.3f not above frontier rate %.3f",
+			o.CeilingFit.Rate, o.FrontierFit.Rate)
+	}
+	// Margin series grows accordingly.
+	ms := o.MarginSeries
+	if len(ms) < 5 {
+		t.Fatalf("margin series has %d points", len(ms))
+	}
+	if ms[len(ms)-1].Y <= ms[0].Y {
+		t.Errorf("margin shrank %.1f → %.1f despite the faster ceiling", ms[0].Y, ms[len(ms)-1].Y)
+	}
+	for _, p := range ms {
+		if p.Y < margin {
+			t.Errorf("fitted margin below viability at %.1f", p.X)
+		}
+	}
+}
+
+// TestCompositionErodes: premise three fails in kind — commodity-built
+// systems (SMPs, clusters) take over the high-end installed base in the
+// mid-1990s.
+func TestCompositionErodes(t *testing.T) {
+	o := project(t)
+	if math.IsInf(o.CompositionErodes, 1) {
+		t.Fatal("commodity share never crosses half the list")
+	}
+	if o.CompositionErodes < 1993 || o.CompositionErodes > 1998 {
+		t.Errorf("composition erosion at %.1f; expected mid-1990s", o.CompositionErodes)
+	}
+	if len(o.CompositionSeries) < 8 {
+		t.Fatalf("composition series has %d points", len(o.CompositionSeries))
+	}
+	first, last := o.CompositionSeries[0], o.CompositionSeries[len(o.CompositionSeries)-1]
+	if last.Y <= first.Y {
+		t.Errorf("commodity share did not grow: %.2f → %.2f", first.Y, last.Y)
+	}
+	if last.Y < 0.6 {
+		t.Errorf("late-1990s commodity share %.2f; should dominate", last.Y)
+	}
+}
+
+func TestCommodityShareBounds(t *testing.T) {
+	s, err := CommodityShare(1995.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 0 || s > 1 {
+		t.Errorf("share %v out of range", s)
+	}
+	if _, err := CommodityShare(1980); err == nil {
+		t.Error("pre-list share succeeded")
+	}
+}
+
+func TestSnapshotMargin(t *testing.T) {
+	m, err := SnapshotMargin(1995.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 110,000 / 4,600 ≈ 23.9.
+	if m < 20 || m > 30 {
+		t.Errorf("mid-1995 observed margin %v, want ≈24", m)
+	}
+	if _, err := SnapshotMargin(1800); err == nil {
+		t.Error("pre-model margin succeeded")
+	}
+}
+
+func TestProjectErrors(t *testing.T) {
+	// A window before any uncontrollable systems cannot be fitted.
+	if _, err := Project(1960, 1961, 1970); err == nil {
+		t.Error("unfittable window accepted")
+	}
+}

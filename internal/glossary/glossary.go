@@ -1,0 +1,106 @@
+// Package glossary reproduces Appendix A, the paper's glossary of
+// acronyms, as a queryable dataset. Beyond fidelity, it gives the report
+// layer a single place to expand the alphabet soup of the exhibits.
+package glossary
+
+import (
+	"sort"
+	"strings"
+)
+
+// entries maps each acronym to its expansion as used in the paper.
+var entries = map[string]string{
+	"ACW":    "advanced conventional weapons",
+	"ALERT":  "Attack and Launch Early Reporting to Theater",
+	"ASCM":   "anti-ship cruise missile",
+	"ASW":    "anti-submarine warfare",
+	"ATB":    "Advanced Technology Bomber",
+	"ATM":    "Asynchronous Transfer Mode",
+	"ATR":    "automatic target recognition",
+	"C4I":    "command, control, communications, computing, and intelligence",
+	"CCM":    "computational chemistry and materials science",
+	"CDAC":   "Center for Development of Advanced Computing (Pune)",
+	"CEA":    "computational electromagnetics and acoustics",
+	"CEN":    "computational electronics and nanoelectronics",
+	"CFD":    "computational fluid dynamics",
+	"CISAC":  "Center for International Security and Arms Control",
+	"CoCom":  "Coordinating Committee for Multilateral Export Controls",
+	"COTS":   "commercial off-the-shelf",
+	"CSM":    "computational structural mechanics",
+	"CSTAC":  "Computer Systems Technical Advisory Committee",
+	"CTA":    "computational technology area",
+	"CTP":    "Composite Theoretical Performance",
+	"CWO":    "climate, weather, and ocean modeling",
+	"DBA":    "database activities",
+	"DES":    "Digital Encryption Standard",
+	"DoD":    "Department of Defense",
+	"DSP":    "Defense Support Program (satellites); also digital signal processing",
+	"DT&E":   "developmental test and evaluation",
+	"EAA":    "Export Administration Act",
+	"EAR":    "Export Administration Regulations",
+	"EQM":    "environmental quality monitoring and simulation",
+	"FDDI":   "Fiber Distributed Data Interconnect",
+	"FMS":    "forces modeling and simulation",
+	"HiPPI":  "High-Performance Parallel Interconnect",
+	"HPC":    "high-performance computing",
+	"HPCMO":  "High-Performance Computer Modernization Office",
+	"IR&D":   "independent research and development",
+	"ITMVT":  "Institute for Precision Mechanics and Computer Technology",
+	"IW":     "information warfare",
+	"JAST":   "Joint Advanced Strike Technology",
+	"MIPS":   "millions of (fixed-point) instructions per second",
+	"MPP":    "massively parallel processor",
+	"Mflops": "millions of floating-point operations per second",
+	"Mtops":  "millions of theoretical operations per second",
+	"NAASW":  "non-acoustic anti-submarine warfare",
+	"NDST":   "National Defense Science and Technology University (Changsha)",
+	"NPT":    "Nuclear Non-Proliferation Treaty",
+	"OEM":    "original equipment manufacturer",
+	"PRC":    "People's Republic of China",
+	"PVM":    "Parallel Virtual Machine",
+	"RDT&E":  "research, development, test and evaluation",
+	"RISC":   "reduced instruction set computer",
+	"RTDA":   "real-time data acquisition",
+	"RTMS":   "real-time modeling and simulation",
+	"S&T":    "science and technology",
+	"SAR":    "synthetic aperture radar",
+	"SIP":    "signal and image processing",
+	"SIRST":  "shipboard infrared search and track",
+	"SMP":    "symmetrical multiprocessor",
+	"TA":     "test analysis",
+	"TPCC":   "Trade Promotion Coordinating Committee",
+	"VAR":    "value-added re-seller",
+}
+
+// Lookup expands an acronym (case-sensitive first, then case-insensitive).
+func Lookup(acronym string) (string, bool) {
+	if v, ok := entries[acronym]; ok {
+		return v, true
+	}
+	for k, v := range entries {
+		if strings.EqualFold(k, acronym) {
+			return v, true
+		}
+	}
+	return "", false
+}
+
+// Entry is one glossary line.
+type Entry struct {
+	Acronym, Expansion string
+}
+
+// All returns the glossary sorted by acronym — Appendix A's layout.
+func All() []Entry {
+	out := make([]Entry, 0, len(entries))
+	for k, v := range entries {
+		out = append(out, Entry{Acronym: k, Expansion: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return strings.ToLower(out[i].Acronym) < strings.ToLower(out[j].Acronym)
+	})
+	return out
+}
+
+// Len returns the number of entries.
+func Len() int { return len(entries) }

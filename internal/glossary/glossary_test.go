@@ -1,0 +1,46 @@
+package glossary
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLookup(t *testing.T) {
+	if v, ok := Lookup("CTP"); !ok || !strings.Contains(v, "Composite Theoretical") {
+		t.Errorf("CTP: %q %v", v, ok)
+	}
+	if v, ok := Lookup("ctp"); !ok || v == "" {
+		t.Error("case-insensitive lookup failed")
+	}
+	if _, ok := Lookup("ZZZZ"); ok {
+		t.Error("unknown acronym found")
+	}
+}
+
+func TestAllSortedAndComplete(t *testing.T) {
+	all := All()
+	if len(all) != Len() || len(all) < 50 {
+		t.Fatalf("glossary has %d entries", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if strings.ToLower(all[i].Acronym) < strings.ToLower(all[i-1].Acronym) {
+			t.Errorf("glossary out of order at %q", all[i].Acronym)
+		}
+	}
+	for _, e := range all {
+		if e.Acronym == "" || e.Expansion == "" {
+			t.Errorf("blank entry %+v", e)
+		}
+	}
+}
+
+// TestCoreVocabularyPresent: the terms the analysis depends on must all
+// expand.
+func TestCoreVocabularyPresent(t *testing.T) {
+	for _, a := range []string{"CTP", "Mtops", "HPC", "SMP", "MPP", "CoCom",
+		"ACW", "C4I", "SIRST", "PVM", "RDT&E", "Mflops"} {
+		if _, ok := Lookup(a); !ok {
+			t.Errorf("glossary missing %q", a)
+		}
+	}
+}

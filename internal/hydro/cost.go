@@ -1,0 +1,91 @@
+package hydro
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// RunClass is one of the production run categories whose Cray hours the
+// paper prints. The baseline is the symmetric, transonic, low
+// angle-of-attack warhead/structure model: "two hours … on a Cray Model 2
+// (1,098 Mtops)".
+type RunClass int
+
+const (
+	// SymmetricTransonic: the 2-hour baseline.
+	SymmetricTransonic RunClass = iota
+	// FullAsymmetric: "a full (i.e., asymmetric) model requires 40 hours".
+	FullAsymmetric
+	// ArmorPenetration: "approximately 200 hours per run".
+	ArmorPenetration
+	// KineticKillHybrid: "up to 2,000 hours" against hybrid armors.
+	KineticKillHybrid
+	// FullOptimization: "up to 14,000 hours of run time … for each
+	// candidate armor type".
+	FullOptimization
+)
+
+// String returns the class's display name.
+func (c RunClass) String() string {
+	switch c {
+	case SymmetricTransonic:
+		return "symmetric transonic warhead/structure"
+	case FullAsymmetric:
+		return "full asymmetric model"
+	case ArmorPenetration:
+		return "advanced armor penetration"
+	case KineticKillHybrid:
+		return "kinetic kill vs hybrid armor"
+	case FullOptimization:
+		return "full optimization campaign"
+	default:
+		return fmt.Sprintf("RunClass(%d)", int(c))
+	}
+}
+
+// baselineMachine is the Cray Model 2's stated rating.
+const baselineMachine units.Mtops = 1098
+
+// baselineHours is the stated baseline run time on it.
+const baselineHours = 2.0
+
+// Hours returns the paper's stated run time for the class on the baseline
+// machine.
+func (c RunClass) Hours() float64 {
+	switch c {
+	case SymmetricTransonic:
+		return baselineHours
+	case FullAsymmetric:
+		return 40
+	case ArmorPenetration:
+		return 200
+	case KineticKillHybrid:
+		return 2000
+	case FullOptimization:
+		return 14000
+	default:
+		return 0
+	}
+}
+
+// WorkMultiplier returns the class's cost relative to the baseline — the
+// ratios the printed hours encode (20×, 100×, 1,000×, 7,000×).
+func (c RunClass) WorkMultiplier() float64 { return c.Hours() / baselineHours }
+
+// HoursOn scales the class's run time to a machine of the given rating,
+// under the linear-throughput assumption the paper itself uses when it
+// says programs "can be executed on less capable equipment if the
+// executor is not bound by a tight schedule".
+func (c RunClass) HoursOn(machine units.Mtops) (float64, error) {
+	if machine <= 0 {
+		return 0, fmt.Errorf("hydro: non-positive machine rating %v", machine)
+	}
+	return c.Hours() * float64(baselineMachine) / float64(machine), nil
+}
+
+// Classes returns all run classes in increasing cost order.
+func Classes() []RunClass {
+	return []RunClass{SymmetricTransonic, FullAsymmetric, ArmorPenetration,
+		KineticKillHybrid, FullOptimization}
+}

@@ -1,0 +1,282 @@
+// Package hydro is the computational-structural-mechanics substrate behind
+// the paper's survivability and lethality applications: a one-dimensional
+// Lagrangian elastic–plastic hydrocode of the family used for "design and
+// evaluation of advanced armor and armor-piercing weapons" and "deep
+// penetration weapons". The production codes were 2-D and 3-D (hundreds
+// of Cray hours per run); the 1-D planar-impact version here exercises the
+// same numerical machinery — explicit leapfrog time integration on a
+// Lagrangian mesh, an elastic–perfectly-plastic-with-hardening
+// constitutive update, and von Neumann–Richtmyer artificial viscosity for
+// shock capture — at laptop scale, and the cost model reproduces the
+// paper's printed run-time ratios.
+package hydro
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Material is an elastic–plastic solid.
+type Material struct {
+	Name      string
+	Rho0      float64 // reference density, kg/m³
+	SoundSpd  float64 // elastic wave speed, m/s
+	Yield     float64 // flow stress, Pa
+	Hardening float64 // post-yield tangent fraction of the elastic modulus
+}
+
+// Modulus returns the elastic modulus ρ₀·c².
+func (m Material) Modulus() float64 { return m.Rho0 * m.SoundSpd * m.SoundSpd }
+
+// Validate reports configuration errors.
+func (m Material) Validate() error {
+	if m.Rho0 <= 0 || m.SoundSpd <= 0 || m.Yield <= 0 || m.Hardening < 0 || m.Hardening >= 1 {
+		return fmt.Errorf("hydro: invalid material %+v", m)
+	}
+	return nil
+}
+
+// Reference materials (textbook-order properties).
+var (
+	Steel = Material{Name: "steel", Rho0: 7850, SoundSpd: 5000, Yield: 1.0e9, Hardening: 0.05}
+	// Tungsten penetrator alloy.
+	Tungsten = Material{Name: "tungsten alloy", Rho0: 17600, SoundSpd: 4000, Yield: 1.5e9, Hardening: 0.05}
+	// Aluminum armor plate.
+	Aluminum = Material{Name: "aluminum", Rho0: 2700, SoundSpd: 5100, Yield: 0.4e9, Hardening: 0.08}
+)
+
+// artificial viscosity coefficients (von Neumann–Richtmyer).
+const (
+	viscLinear = 0.5
+	viscQuad   = 1.5
+)
+
+// Bar is the Lagrangian mesh: n cells between n+1 nodes, planar symmetry,
+// unit cross-section.
+type Bar struct {
+	mat   Material
+	X     []float64 // node positions, m
+	V     []float64 // node velocities, m/s
+	L0    []float64 // cell reference lengths
+	Sigma []float64 // cell axial stress (tension positive), Pa
+	EpsP  []float64 // cell plastic strain (signed)
+	epsPA []float64 // accumulated |plastic strain| (drives hardening)
+
+	cellMass  []float64
+	PlasticW  float64 // accumulated plastic work, J (per unit area)
+	steps     int
+	dissipatW float64 // viscous dissipation, J
+}
+
+// Errors returned by the solver.
+var (
+	ErrMesh = errors.New("hydro: mesh must have at least 2 cells")
+	ErrCFL  = errors.New("hydro: time step violates the CFL condition")
+)
+
+// NewBar builds a uniform bar of n cells and the given total length.
+func NewBar(mat Material, n int, length float64) (*Bar, error) {
+	if err := mat.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("%w: %d", ErrMesh, n)
+	}
+	if length <= 0 {
+		return nil, fmt.Errorf("hydro: non-positive length %v", length)
+	}
+	b := &Bar{
+		mat:      mat,
+		X:        make([]float64, n+1),
+		V:        make([]float64, n+1),
+		L0:       make([]float64, n),
+		Sigma:    make([]float64, n),
+		EpsP:     make([]float64, n),
+		epsPA:    make([]float64, n),
+		cellMass: make([]float64, n),
+	}
+	dx := length / float64(n)
+	for i := range b.X {
+		b.X[i] = float64(i) * dx
+	}
+	for i := range b.L0 {
+		b.L0[i] = dx
+		b.cellMass[i] = mat.Rho0 * dx
+	}
+	return b, nil
+}
+
+// Cells returns the cell count.
+func (b *Bar) Cells() int { return len(b.L0) }
+
+// SetImpact initializes a symmetric planar impact: the left fraction of
+// the bar moves right at speed v, the rest is at rest — a flyer plate
+// striking a target of the same material.
+func (b *Bar) SetImpact(leftFraction, v float64) {
+	split := int(float64(len(b.X)) * leftFraction)
+	for i := range b.V {
+		if i < split {
+			b.V[i] = v
+		} else {
+			b.V[i] = 0
+		}
+	}
+}
+
+// MaxStableDt returns the largest stable explicit time step with a 50%
+// safety factor (the artificial viscosity stiffens the effective speed).
+func (b *Bar) MaxStableDt() float64 {
+	minL := math.Inf(1)
+	for i := range b.L0 {
+		if l := b.X[i+1] - b.X[i]; l < minL {
+			minL = l
+		}
+	}
+	return 0.5 * minL / b.mat.SoundSpd
+}
+
+// nodeMass returns the lumped mass at node i.
+func (b *Bar) nodeMass(i int) float64 {
+	switch {
+	case i == 0:
+		return 0.5 * b.cellMass[0]
+	case i == len(b.X)-1:
+		return 0.5 * b.cellMass[len(b.cellMass)-1]
+	default:
+		return 0.5 * (b.cellMass[i-1] + b.cellMass[i])
+	}
+}
+
+// Step advances the bar one explicit step with free boundaries.
+func (b *Bar) Step(dt float64) error {
+	if dt <= 0 || dt > b.MaxStableDt()*2 { // hard ceiling at the raw CFL
+		return fmt.Errorf("%w: dt=%v limit=%v", ErrCFL, dt, b.MaxStableDt()*2)
+	}
+	n := len(b.L0)
+	E := b.mat.Modulus()
+
+	// Cell viscous stresses from current velocities.
+	q := make([]float64, n)
+	for i := 0; i < n; i++ {
+		dv := b.V[i+1] - b.V[i]
+		if dv < 0 { // compressing
+			l := b.X[i+1] - b.X[i]
+			rho := b.cellMass[i] / l
+			q[i] = viscLinear*rho*b.mat.SoundSpd*(-dv) + viscQuad*rho*dv*dv
+		}
+	}
+
+	// Node accelerations from stress gradients (free ends: zero outside).
+	for i := 0; i <= n; i++ {
+		var left, right float64
+		if i > 0 {
+			left = b.Sigma[i-1] - q[i-1]
+		}
+		if i < n {
+			right = b.Sigma[i] - q[i]
+		}
+		a := (right - left) / b.nodeMass(i)
+		b.V[i] += a * dt
+	}
+
+	// Move nodes; update strains and stresses with the elastic–plastic
+	// constitutive law.
+	for i := 0; i <= n; i++ {
+		b.X[i] += b.V[i] * dt
+	}
+	for i := 0; i < n; i++ {
+		l := b.X[i+1] - b.X[i]
+		if l <= 0 {
+			return fmt.Errorf("hydro: cell %d inverted at step %d", i, b.steps)
+		}
+		eps := l/b.L0[i] - 1
+		// Radial return: elastic trial from the elastic part of the
+		// strain; if it escapes the (hardening) yield surface, convert
+		// exactly enough strain to plastic to land back on it.
+		trial := E * (eps - b.EpsP[i])
+		limit := b.mat.Yield + b.mat.Hardening*E*b.epsPA[i]
+		if a := math.Abs(trial); a > limit {
+			sign := 1.0
+			if trial < 0 {
+				sign = -1
+			}
+			dLambda := (a - limit) / (E * (1 + b.mat.Hardening))
+			b.EpsP[i] += sign * dLambda
+			b.epsPA[i] += dLambda
+			b.Sigma[i] = trial - sign*E*dLambda
+			b.PlasticW += math.Abs(b.Sigma[i]) * dLambda * b.L0[i]
+		} else {
+			b.Sigma[i] = trial
+		}
+		// Viscous dissipation accounting.
+		dv := b.V[i+1] - b.V[i]
+		if dv < 0 {
+			b.dissipatW += -q[i] * dv * dt
+		}
+	}
+	b.steps++
+	return nil
+}
+
+// Run advances the bar the given number of steps at the current stable dt.
+func (b *Bar) Run(steps int) error {
+	for s := 0; s < steps; s++ {
+		if err := b.Step(b.MaxStableDt()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Momentum returns the total momentum (per unit area).
+func (b *Bar) Momentum() float64 {
+	var p float64
+	for i := range b.V {
+		p += b.nodeMass(i) * b.V[i]
+	}
+	return p
+}
+
+// KineticEnergy returns the total kinetic energy (per unit area).
+func (b *Bar) KineticEnergy() float64 {
+	var e float64
+	for i := range b.V {
+		e += 0.5 * b.nodeMass(i) * b.V[i] * b.V[i]
+	}
+	return e
+}
+
+// ElasticEnergy returns the stored elastic strain energy.
+func (b *Bar) ElasticEnergy() float64 {
+	E := b.mat.Modulus()
+	var e float64
+	for i := range b.Sigma {
+		e += 0.5 * b.Sigma[i] * b.Sigma[i] / E * b.L0[i]
+	}
+	return e
+}
+
+// TotalEnergy returns kinetic + elastic + plastic work + viscous
+// dissipation: the conserved budget.
+func (b *Bar) TotalEnergy() float64 {
+	return b.KineticEnergy() + b.ElasticEnergy() + b.PlasticW + b.dissipatW
+}
+
+// PeakStress returns the largest stress magnitude on the mesh.
+func (b *Bar) PeakStress() float64 {
+	var p float64
+	for _, s := range b.Sigma {
+		if a := math.Abs(s); a > p {
+			p = a
+		}
+	}
+	return p
+}
+
+// AcousticImpactStress returns the elastic prediction for the interface
+// stress of a symmetric planar impact at speed v: ρ·c·v/2 — the
+// impedance-matching result the code must reproduce below yield.
+func AcousticImpactStress(m Material, v float64) float64 {
+	return m.Rho0 * m.SoundSpd * v / 2
+}

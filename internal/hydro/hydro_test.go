@@ -1,0 +1,229 @@
+package hydro
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func newImpactBar(t *testing.T, mat Material, n int, v float64) *Bar {
+	t.Helper()
+	b, err := NewBar(mat, n, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SetImpact(0.5, v)
+	return b
+}
+
+func TestNewBarErrors(t *testing.T) {
+	if _, err := NewBar(Steel, 1, 1); !errors.Is(err, ErrMesh) {
+		t.Errorf("one cell: %v", err)
+	}
+	if _, err := NewBar(Steel, 10, 0); err == nil {
+		t.Error("zero length accepted")
+	}
+	if _, err := NewBar(Material{Name: "junk"}, 10, 1); err == nil {
+		t.Error("invalid material accepted")
+	}
+}
+
+func TestMaterialValidate(t *testing.T) {
+	for _, m := range []Material{Steel, Tungsten, Aluminum} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+		if m.Modulus() <= 0 {
+			t.Errorf("%s: modulus %v", m.Name, m.Modulus())
+		}
+	}
+	bad := Steel
+	bad.Hardening = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("hardening ≥ 1 accepted")
+	}
+}
+
+func TestCFLGuard(t *testing.T) {
+	b := newImpactBar(t, Steel, 50, 10)
+	if err := b.Step(b.MaxStableDt() * 3); !errors.Is(err, ErrCFL) {
+		t.Errorf("oversize dt: %v", err)
+	}
+	if err := b.Step(-1); !errors.Is(err, ErrCFL) {
+		t.Errorf("negative dt: %v", err)
+	}
+}
+
+// TestMomentumConserved: with free boundaries, internal forces cancel
+// exactly; total momentum is invariant to rounding.
+func TestMomentumConserved(t *testing.T) {
+	b := newImpactBar(t, Steel, 100, 50)
+	p0 := b.Momentum()
+	if err := b.Run(500); err != nil {
+		t.Fatal(err)
+	}
+	p1 := b.Momentum()
+	if rel := math.Abs(p1-p0) / math.Abs(p0); rel > 1e-10 {
+		t.Errorf("momentum drifted %.2e relative", rel)
+	}
+}
+
+// TestEnergyBudget: kinetic + elastic + plastic + viscous stays within a
+// few percent of the initial kinetic energy (explicit leapfrog is not
+// exactly conservative, but must not blow up or leak).
+func TestEnergyBudget(t *testing.T) {
+	b := newImpactBar(t, Steel, 100, 100)
+	e0 := b.TotalEnergy()
+	if err := b.Run(800); err != nil {
+		t.Fatal(err)
+	}
+	e1 := b.TotalEnergy()
+	if rel := math.Abs(e1-e0) / e0; rel > 0.05 {
+		t.Errorf("energy budget drifted %.1f%%", rel*100)
+	}
+}
+
+// TestElasticImpactStress: below yield, the interface stress of a
+// symmetric impact matches the acoustic impedance result ρc·v/2.
+func TestElasticImpactStress(t *testing.T) {
+	const v = 10 // m/s: ρcv/2 ≈ 196 MPa ≪ 1 GPa yield
+	b := newImpactBar(t, Steel, 200, v)
+	want := AcousticImpactStress(Steel, v)
+	// Run long enough for the release waves not to have returned.
+	if err := b.Run(60); err != nil {
+		t.Fatal(err)
+	}
+	got := b.PeakStress()
+	if math.Abs(got-want)/want > 0.10 {
+		t.Errorf("peak stress %.3e, acoustic prediction %.3e (%.1f%% off)",
+			got, want, 100*math.Abs(got-want)/want)
+	}
+	// And no plasticity at this level.
+	if b.PlasticW != 0 {
+		t.Errorf("plastic work %v in an elastic impact", b.PlasticW)
+	}
+}
+
+// TestYieldCapsStress: a fast impact drives the trial stress far above
+// yield; the constitutive update must clamp near the (hardened) flow
+// stress and accumulate plastic work.
+func TestYieldCapsStress(t *testing.T) {
+	const v = 400 // m/s: ρcv/2 ≈ 7.9 GPa ≫ yield
+	b := newImpactBar(t, Steel, 200, v)
+	if err := b.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if b.PlasticW <= 0 {
+		t.Fatal("no plastic work in a hypervelocity impact")
+	}
+	peak := b.PeakStress()
+	if peak > 3*Steel.Yield {
+		t.Errorf("peak stress %.2e escaped the yield surface (Y=%.2e)", peak, Steel.Yield)
+	}
+	if peak < Steel.Yield {
+		t.Errorf("peak stress %.2e below yield despite plastic flow", peak)
+	}
+}
+
+// TestPlasticWorkGrowsWithVelocity: the penetration proxy is monotone in
+// impact speed.
+func TestPlasticWorkGrowsWithVelocity(t *testing.T) {
+	prev := -1.0
+	for _, v := range []float64{100, 200, 400, 800} {
+		b := newImpactBar(t, Aluminum, 120, v)
+		if err := b.Run(300); err != nil {
+			t.Fatal(err)
+		}
+		if b.PlasticW <= prev {
+			t.Errorf("plastic work not increasing at v=%v: %v after %v", v, b.PlasticW, prev)
+		}
+		prev = b.PlasticW
+	}
+}
+
+// TestShockArrivalTime: the elastic precursor crosses the target half at
+// the material sound speed.
+func TestShockArrivalTime(t *testing.T) {
+	const n = 200
+	b := newImpactBar(t, Steel, n, 20)
+	dt := b.MaxStableDt()
+	// Watch the far-end node; it starts moving when the wave arrives.
+	steps := 0
+	for ; steps < 100000; steps++ {
+		if math.Abs(b.V[n]) > 0.05 { // above the dispersive precursor noise
+			break
+		}
+		if err := b.Step(dt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	travel := 0.5 // the wave starts mid-bar, the far end is 0.5 m away
+	wantSteps := travel / Steel.SoundSpd / dt
+	if ratio := float64(steps) / wantSteps; ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("wave arrival after %d steps; acoustic prediction %.0f (ratio %.2f)",
+			steps, wantSteps, ratio)
+	}
+}
+
+func TestRunClassRatios(t *testing.T) {
+	// The printed hours: 2, 40, 200, 2,000, 14,000 → multipliers 1, 20,
+	// 100, 1,000, 7,000.
+	want := map[RunClass]float64{
+		SymmetricTransonic: 1,
+		FullAsymmetric:     20,
+		ArmorPenetration:   100,
+		KineticKillHybrid:  1000,
+		FullOptimization:   7000,
+	}
+	for c, m := range want {
+		if got := c.WorkMultiplier(); got != m {
+			t.Errorf("%v multiplier = %v, want %v", c, got, m)
+		}
+	}
+	prev := -1.0
+	for _, c := range Classes() {
+		if c.Hours() <= prev {
+			t.Errorf("classes not in increasing cost order at %v", c)
+		}
+		prev = c.Hours()
+		if c.String() == "" {
+			t.Error("unnamed class")
+		}
+	}
+}
+
+// TestHoursOnC916: moving the armor-penetration run from the Cray Model 2
+// to the C916 (21,125 Mtops) cuts the 200 hours to ≈10 — the economics
+// that justified "the most powerful computers available".
+func TestHoursOnC916(t *testing.T) {
+	h, err := ArmorPenetration.HoursOn(21125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 8 || h > 13 {
+		t.Errorf("armor run on C916 = %.1f hours, want ≈10", h)
+	}
+	if _, err := ArmorPenetration.HoursOn(0); err == nil {
+		t.Error("zero machine accepted")
+	}
+	// And on an uncontrollable mid-1995 SMP (4,600 Mtops) it is ≈48
+	// hours — feasible without any supercomputer, the paper's
+	// "schedule, not feasibility" point.
+	h, err = ArmorPenetration.HoursOn(4600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 40 || h > 60 {
+		t.Errorf("armor run on frontier SMP = %.1f hours, want ≈48", h)
+	}
+}
+
+func TestSetImpactSplitsVelocities(t *testing.T) {
+	b := newImpactBar(t, Steel, 10, 5)
+	if b.V[0] != 5 || b.V[len(b.V)-1] != 0 {
+		t.Error("impact initialization wrong")
+	}
+	if b.Cells() != 10 {
+		t.Errorf("Cells() = %d", b.Cells())
+	}
+}

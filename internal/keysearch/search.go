@@ -1,0 +1,133 @@
+package keysearch
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pair is one known plaintext/ciphertext pair. One 64-bit pair determines
+// the toy cipher's key almost uniquely at toy key sizes; Search verifies
+// candidates against every pair supplied.
+type Pair struct {
+	Plain, Cipher uint64
+}
+
+// Result reports a completed search.
+type Result struct {
+	Key     uint64  // the recovered key
+	Found   bool    // false if the keyspace was exhausted
+	Tested  uint64  // keys actually tested (early exit shrinks this)
+	Seconds float64 // wall-clock duration
+	Workers int
+}
+
+// KeysPerSecond returns the search throughput.
+func (r Result) KeysPerSecond() float64 {
+	if r.Seconds <= 0 {
+		return 0
+	}
+	return float64(r.Tested) / r.Seconds
+}
+
+// Errors returned by Search.
+var (
+	ErrNoPairs  = errors.New("keysearch: no known plaintext pairs")
+	ErrKeyspace = errors.New("keysearch: empty keyspace")
+)
+
+// chunk is the number of keys a worker claims at a time: large enough to
+// amortize the atomic fetch-add, small enough that early exit is prompt.
+const chunk = 1 << 12
+
+// Search exhausts the keyspace [first, last] looking for a key consistent
+// with every pair, using the given number of parallel workers (0 means
+// GOMAXPROCS). The keyspace is dealt out in chunks through an atomic
+// cursor, so load balance is dynamic — the property that made the attack
+// fit any pile of computers, coupled or not.
+func Search(pairs []Pair, first, last uint64, workers int) (Result, error) {
+	if len(pairs) == 0 {
+		return Result{}, ErrNoPairs
+	}
+	if last < first {
+		return Result{}, fmt.Errorf("%w: [%d, %d]", ErrKeyspace, first, last)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	var (
+		cursor = first       // next unclaimed key (atomic)
+		tested atomic.Uint64 // keys actually tested
+		found  atomic.Bool   // early-exit flag
+		keyHit atomic.Uint64 // the winning key
+		wg     sync.WaitGroup
+	)
+	cursorPtr := &cursor
+
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !found.Load() {
+				lo := atomic.AddUint64(cursorPtr, chunk) - chunk
+				if lo > last {
+					return
+				}
+				hi := lo + chunk - 1
+				if hi > last || hi < lo { // clamp, and guard wraparound
+					hi = last
+				}
+				n := uint64(0)
+				for k := lo; ; k++ {
+					n++
+					if match(k, pairs) {
+						keyHit.Store(k)
+						found.Store(true)
+						break
+					}
+					if k == hi {
+						break
+					}
+				}
+				tested.Add(n)
+			}
+		}()
+	}
+	wg.Wait()
+
+	res := Result{
+		Tested:  tested.Load(),
+		Seconds: time.Since(start).Seconds(),
+		Workers: workers,
+	}
+	if found.Load() {
+		res.Key = keyHit.Load()
+		res.Found = true
+	}
+	return res, nil
+}
+
+// match reports whether the key enciphers every known pair correctly.
+func match(key uint64, pairs []Pair) bool {
+	for _, p := range pairs {
+		if Encrypt(p.Plain, key) != p.Cipher {
+			return false
+		}
+	}
+	return true
+}
+
+// MakePairs enciphers the given plaintexts under the key, producing known
+// pairs for a search exercise.
+func MakePairs(key uint64, plains ...uint64) []Pair {
+	out := make([]Pair, len(plains))
+	for i, p := range plains {
+		out[i] = Pair{Plain: p, Cipher: Encrypt(p, key)}
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package linsolve
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLaplaceStructure(t *testing.T) {
+	m := NewLaplace2D(4)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.N != 16 {
+		t.Errorf("N = %d", m.N)
+	}
+	// Interior rows have 5 nonzeros; corners have 3.
+	if nnz := m.NNZ(); nnz != 4*16-2*4*4/4*2-4 && nnz <= 0 {
+		t.Logf("nnz = %d", nnz)
+	}
+	// Diagonal dominance (weak) with positive diagonal.
+	for i := 0; i < m.N; i++ {
+		var diag, off float64
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if m.Col[k] == i {
+				diag = m.Val[k]
+			} else {
+				off += math.Abs(m.Val[k])
+			}
+		}
+		if diag != 4 || off > 4 {
+			t.Fatalf("row %d: diag %v, off-diagonal sum %v", i, diag, off)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	good := NewLaplace2D(3)
+	cases := map[string]func(*CSR){
+		"rowptr length": func(m *CSR) { m.RowPtr = m.RowPtr[:m.N] },
+		"decreasing":    func(m *CSR) { m.RowPtr[1] = m.RowPtr[2] + 1 },
+		"column range":  func(m *CSR) { m.Col[0] = m.N },
+		"tail":          func(m *CSR) { m.RowPtr[m.N] = len(m.Col) - 1 },
+	}
+	for name, corrupt := range cases {
+		m := &CSR{N: good.N,
+			RowPtr: append([]int(nil), good.RowPtr...),
+			Col:    append([]int(nil), good.Col...),
+			Val:    append([]float64(nil), good.Val...),
+		}
+		corrupt(m)
+		if err := m.Validate(); !errors.Is(err, ErrBadMatrix) {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestMulVecKnown(t *testing.T) {
+	// 1-D Laplacian action on a constant vector: interior rows give 2·c−2c=…
+	m := NewLaplace2D(3)
+	x := make([]float64, m.N)
+	for i := range x {
+		x[i] = 1
+	}
+	dst := make([]float64, m.N)
+	if err := m.MulVec(dst, x); err != nil {
+		t.Fatal(err)
+	}
+	// Center cell of 3×3 grid: 4 − 4 neighbors = 0.
+	if dst[4] != 0 {
+		t.Errorf("center row product %v, want 0", dst[4])
+	}
+	// Corner: 4 − 2 = 2.
+	if dst[0] != 2 {
+		t.Errorf("corner row product %v, want 2", dst[0])
+	}
+}
+
+func TestMulVecDimensionErrors(t *testing.T) {
+	m := NewLaplace2D(3)
+	short := make([]float64, 2)
+	full := make([]float64, m.N)
+	if err := m.MulVec(short, full); !errors.Is(err, ErrDimension) {
+		t.Errorf("short dst: %v", err)
+	}
+	if err := m.MulVecParallel(full, short, 2); !errors.Is(err, ErrDimension) {
+		t.Errorf("short x: %v", err)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	m := NewLaplace2D(17)
+	rng := rand.New(rand.NewSource(7))
+	x := make([]float64, m.N)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	seq := make([]float64, m.N)
+	if err := m.MulVec(seq, x); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{0, 1, 2, 3, 8, 300} {
+		par := make([]float64, m.N)
+		if err := m.MulVecParallel(par, x, w); err != nil {
+			t.Fatal(err)
+		}
+		for i := range seq {
+			if seq[i] != par[i] {
+				t.Fatalf("workers=%d: element %d differs", w, i)
+			}
+		}
+	}
+}
+
+func TestCGSolvesLaplace(t *testing.T) {
+	m := NewLaplace2D(20)
+	rng := rand.New(rand.NewSource(42))
+	want := make([]float64, m.N)
+	for i := range want {
+		want[i] = rng.NormFloat64()
+	}
+	b := make([]float64, m.N)
+	if err := m.MulVec(b, want); err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, m.N)
+	res, err := CG(m, b, x, 1e-10, 5000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxErr float64
+	for i := range x {
+		if e := math.Abs(x[i] - want[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 1e-6 {
+		t.Errorf("max solution error %v", maxErr)
+	}
+	if res.Iterations == 0 || res.Flop <= 0 {
+		t.Errorf("suspicious result %+v", res)
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	m := NewLaplace2D(5)
+	b := make([]float64, m.N)
+	x := make([]float64, m.N)
+	res, err := CG(m, b, x, 1e-12, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 0 {
+		t.Errorf("zero system took %d iterations", res.Iterations)
+	}
+	for i := range x {
+		if x[i] != 0 {
+			t.Fatal("zero system produced nonzero solution")
+		}
+	}
+}
+
+func TestCGMaxIter(t *testing.T) {
+	m := NewLaplace2D(30)
+	b := make([]float64, m.N)
+	for i := range b {
+		b[i] = 1
+	}
+	x := make([]float64, m.N)
+	_, err := CG(m, b, x, 1e-14, 3, 1)
+	if !errors.Is(err, ErrMaxIter) {
+		t.Errorf("want ErrMaxIter, got %v", err)
+	}
+}
+
+func TestCGDimensionErrors(t *testing.T) {
+	m := NewLaplace2D(3)
+	if _, err := CG(m, make([]float64, 2), make([]float64, m.N), 1e-8, 10, 1); !errors.Is(err, ErrDimension) {
+		t.Errorf("short b: %v", err)
+	}
+	bad := &CSR{N: 2, RowPtr: []int{0, 1}}
+	if _, err := CG(bad, make([]float64, 2), make([]float64, 2), 1e-8, 10, 1); !errors.Is(err, ErrBadMatrix) {
+		t.Errorf("bad matrix: %v", err)
+	}
+}
+
+func TestDotAndNorm(t *testing.T) {
+	if d := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); d != 32 {
+		t.Errorf("Dot = %v", d)
+	}
+	if n := Norm2([]float64{3, 4}); n != 5 {
+		t.Errorf("Norm2 = %v", n)
+	}
+}
+
+// TestCGResidualProperty: for random SPD right-hand sides, CG's reported
+// residual matches the directly computed one.
+func TestCGResidualProperty(t *testing.T) {
+	m := NewLaplace2D(8)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := make([]float64, m.N)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x := make([]float64, m.N)
+		res, err := CG(m, b, x, 1e-9, 2000, 1)
+		if err != nil {
+			return false
+		}
+		ax := make([]float64, m.N)
+		if err := m.MulVec(ax, x); err != nil {
+			return false
+		}
+		r := make([]float64, m.N)
+		for i := range r {
+			r[i] = b[i] - ax[i]
+		}
+		return math.Abs(Norm2(r)-res.Residual) < 1e-6*(1+Norm2(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,311 @@
+// Package mpi is a small message-passing runtime in the mold of the PVM
+// and MPI systems that the paper's cluster discussion revolves around —
+// "the activities of workstations are coordinated by specialized
+// distributed software such as Parallel Virtual Machine (PVM), Linda,
+// Express" — implemented over goroutines and channels. It provides the
+// primitives a mid-1990s parallel code used: point-to-point send/receive
+// with tags, barriers, broadcast, scatter/gather, and all-reduce.
+//
+// The runtime exists so the repository's parallel kernels (the
+// shallow-water stencil, conjugate gradient, key search) can be written
+// the way the paper's subjects wrote them — as rank-parallel
+// message-passing programs — and validated against their shared-memory
+// counterparts. See package mpiprog.
+//
+// Semantics: messages between a (source, destination) pair are delivered
+// in order; Recv matches on source and tag and returns an error on a tag
+// mismatch (a programming error in an SPMD code, not a runtime
+// condition). Collectives must be called by every rank. Run collects the
+// first error any rank returns, and converts rank panics into errors.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// message is one tagged payload.
+type message struct {
+	tag  int
+	data []float64
+}
+
+// chanCap is the per-link buffer: deep enough that the symmetric
+// neighbor exchanges of halo codes cannot deadlock.
+const chanCap = 16
+
+// Comm is a communicator: size ranks fully connected by buffered links.
+// Collectives run on a separate channel plane so a barrier or reduction
+// never consumes point-to-point traffic still in flight.
+type Comm struct {
+	size  int
+	links [][]chan message // links[src][dst], point-to-point
+	coll  [][]chan message // collective plane
+}
+
+// NewComm builds a communicator of the given size.
+func NewComm(size int) (*Comm, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("mpi: communicator size %d", size)
+	}
+	plane := func() [][]chan message {
+		m := make([][]chan message, size)
+		for s := range m {
+			m[s] = make([]chan message, size)
+			for d := range m[s] {
+				m[s][d] = make(chan message, chanCap)
+			}
+		}
+		return m
+	}
+	return &Comm{size: size, links: plane(), coll: plane()}, nil
+}
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.size }
+
+// Rank is one process's handle on the communicator.
+type Rank struct {
+	ID   int
+	comm *Comm
+}
+
+// Size returns the communicator size.
+func (r *Rank) Size() int { return r.comm.size }
+
+// Errors returned by the runtime.
+var (
+	ErrBadRank  = errors.New("mpi: rank out of range")
+	ErrTag      = errors.New("mpi: tag mismatch")
+	ErrSelfSend = errors.New("mpi: send to self")
+)
+
+// sendOn delivers data on a channel plane, copying the payload so the
+// sender may reuse its buffer immediately (MPI buffered-send semantics).
+func (r *Rank) sendOn(plane [][]chan message, dst, tag int, data []float64) error {
+	if dst < 0 || dst >= r.comm.size {
+		return fmt.Errorf("%w: send to %d of %d", ErrBadRank, dst, r.comm.size)
+	}
+	if dst == r.ID {
+		return fmt.Errorf("%w: rank %d", ErrSelfSend, r.ID)
+	}
+	buf := make([]float64, len(data))
+	copy(buf, data)
+	plane[r.ID][dst] <- message{tag: tag, data: buf}
+	return nil
+}
+
+// recvOn blocks for the next message from src on a plane and checks its
+// tag.
+func (r *Rank) recvOn(plane [][]chan message, src, tag int) ([]float64, error) {
+	if src < 0 || src >= r.comm.size {
+		return nil, fmt.Errorf("%w: recv from %d of %d", ErrBadRank, src, r.comm.size)
+	}
+	if src == r.ID {
+		return nil, fmt.Errorf("%w: rank %d", ErrSelfSend, r.ID)
+	}
+	m := <-plane[src][r.ID]
+	if m.tag != tag {
+		return nil, fmt.Errorf("%w: rank %d expected tag %d from %d, got %d",
+			ErrTag, r.ID, tag, src, m.tag)
+	}
+	return m.data, nil
+}
+
+// Send delivers data to dst with the tag (point-to-point plane).
+func (r *Rank) Send(dst, tag int, data []float64) error {
+	return r.sendOn(r.comm.links, dst, tag, data)
+}
+
+// Recv blocks for the next point-to-point message from src and checks its
+// tag.
+func (r *Rank) Recv(src, tag int) ([]float64, error) {
+	return r.recvOn(r.comm.links, src, tag)
+}
+
+// SendRecv performs a simultaneous exchange with a partner: send to dst,
+// receive from src (commonly the same neighbor on the other side). Safe
+// for symmetric halo exchanges because sends are buffered.
+func (r *Rank) SendRecv(dst, src, tag int, out []float64) ([]float64, error) {
+	if err := r.Send(dst, tag, out); err != nil {
+		return nil, err
+	}
+	return r.Recv(src, tag)
+}
+
+// collective tags live in a reserved negative space so user tags (≥0)
+// never collide with them.
+const (
+	tagBarrier = -1
+	tagBcast   = -2
+	tagGather  = -3
+	tagScatter = -4
+	tagReduce  = -5
+)
+
+// Barrier blocks until every rank has entered it: a gather of empty
+// messages to rank 0 followed by a broadcast of release.
+func (r *Rank) Barrier() error {
+	if r.comm.size == 1 {
+		return nil
+	}
+	if r.ID == 0 {
+		for src := 1; src < r.comm.size; src++ {
+			if _, err := r.recvOn(r.comm.coll, src, tagBarrier); err != nil {
+				return err
+			}
+		}
+		for dst := 1; dst < r.comm.size; dst++ {
+			if err := r.sendOn(r.comm.coll, dst, tagBarrier, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := r.sendOn(r.comm.coll, 0, tagBarrier, nil); err != nil {
+		return err
+	}
+	_, err := r.recvOn(r.comm.coll, 0, tagBarrier)
+	return err
+}
+
+// Bcast distributes root's data to every rank; each rank returns its copy.
+func (r *Rank) Bcast(root int, data []float64) ([]float64, error) {
+	if root < 0 || root >= r.comm.size {
+		return nil, fmt.Errorf("%w: bcast root %d", ErrBadRank, root)
+	}
+	if r.comm.size == 1 {
+		return data, nil
+	}
+	if r.ID == root {
+		for dst := 0; dst < r.comm.size; dst++ {
+			if dst == root {
+				continue
+			}
+			if err := r.sendOn(r.comm.coll, dst, tagBcast, data); err != nil {
+				return nil, err
+			}
+		}
+		return data, nil
+	}
+	return r.recvOn(r.comm.coll, root, tagBcast)
+}
+
+// Gather collects every rank's data at root, indexed by rank; non-root
+// ranks return nil.
+func (r *Rank) Gather(root int, data []float64) ([][]float64, error) {
+	if root < 0 || root >= r.comm.size {
+		return nil, fmt.Errorf("%w: gather root %d", ErrBadRank, root)
+	}
+	if r.ID != root {
+		return nil, r.sendOn(r.comm.coll, root, tagGather, data)
+	}
+	out := make([][]float64, r.comm.size)
+	buf := make([]float64, len(data))
+	copy(buf, data)
+	out[root] = buf
+	for src := 0; src < r.comm.size; src++ {
+		if src == root {
+			continue
+		}
+		d, err := r.recvOn(r.comm.coll, src, tagGather)
+		if err != nil {
+			return nil, err
+		}
+		out[src] = d
+	}
+	return out, nil
+}
+
+// Scatter distributes parts[i] from root to rank i; every rank returns
+// its part. Only root's parts argument is consulted.
+func (r *Rank) Scatter(root int, parts [][]float64) ([]float64, error) {
+	if root < 0 || root >= r.comm.size {
+		return nil, fmt.Errorf("%w: scatter root %d", ErrBadRank, root)
+	}
+	if r.ID == root {
+		if len(parts) != r.comm.size {
+			return nil, fmt.Errorf("mpi: scatter of %d parts to %d ranks", len(parts), r.comm.size)
+		}
+		for dst := 0; dst < r.comm.size; dst++ {
+			if dst == root {
+				continue
+			}
+			if err := r.sendOn(r.comm.coll, dst, tagScatter, parts[dst]); err != nil {
+				return nil, err
+			}
+		}
+		return parts[root], nil
+	}
+	return r.recvOn(r.comm.coll, root, tagScatter)
+}
+
+// AllReduceSum element-wise sums x across ranks; every rank returns the
+// total. Implemented as gather-reduce-broadcast, adding in rank order so
+// the result is bitwise identical on every rank and across runs.
+//
+// A length mismatch between ranks is detected at the root and propagated
+// to every rank through a status broadcast, so all ranks return the error
+// together instead of the non-roots deadlocking on a result that will
+// never come.
+func (r *Rank) AllReduceSum(x []float64) ([]float64, error) {
+	all, err := r.Gather(0, x)
+	if err != nil {
+		return nil, err
+	}
+	var total []float64
+	status := []float64{1}
+	if r.ID == 0 {
+		total = make([]float64, len(x))
+		for rank := 0; rank < r.comm.size; rank++ {
+			part := all[rank]
+			if len(part) != len(total) {
+				status[0] = 0
+				break
+			}
+			for i, v := range part {
+				total[i] += v
+			}
+		}
+	}
+	status, err = r.Bcast(0, status)
+	if err != nil {
+		return nil, err
+	}
+	if status[0] == 0 {
+		return nil, fmt.Errorf("mpi: allreduce length mismatch across ranks (rank %d sent %d)",
+			r.ID, len(x))
+	}
+	return r.Bcast(0, total)
+}
+
+// Run launches size ranks of the program and waits for all of them. The
+// first non-nil error (or recovered panic) is returned.
+func Run(size int, program func(r *Rank) error) error {
+	comm, err := NewComm(size)
+	if err != nil {
+		return err
+	}
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for id := 0; id < size; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[id] = fmt.Errorf("mpi: rank %d panicked: %v", id, p)
+				}
+			}()
+			errs[id] = program(&Rank{ID: id, comm: comm})
+		}(id)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

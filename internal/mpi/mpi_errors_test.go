@@ -1,0 +1,130 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestSizeAccessors(t *testing.T) {
+	c, err := NewComm(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 5 {
+		t.Errorf("Comm.Size = %d", c.Size())
+	}
+	err = Run(3, func(r *Rank) error {
+		if r.Size() != 3 {
+			return fmt.Errorf("rank %d sees size %d", r.ID, r.Size())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectiveRootValidation(t *testing.T) {
+	err := Run(2, func(r *Rank) error {
+		if _, err := r.Bcast(9, nil); !errors.Is(err, ErrBadRank) {
+			return fmt.Errorf("bcast bad root: %v", err)
+		}
+		if _, err := r.Gather(-1, nil); !errors.Is(err, ErrBadRank) {
+			return fmt.Errorf("gather bad root: %v", err)
+		}
+		if _, err := r.Scatter(7, nil); !errors.Is(err, ErrBadRank) {
+			return fmt.Errorf("scatter bad root: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvBadSource(t *testing.T) {
+	err := Run(2, func(r *Rank) error {
+		if r.ID != 0 {
+			return nil
+		}
+		if _, err := r.Recv(9, 0); !errors.Is(err, ErrBadRank) {
+			return fmt.Errorf("recv bad source: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvPropagatesSendError(t *testing.T) {
+	err := Run(2, func(r *Rank) error {
+		if r.ID != 0 {
+			return nil
+		}
+		if _, err := r.SendRecv(9, 1, 0, nil); !errors.Is(err, ErrBadRank) {
+			return fmt.Errorf("sendrecv bad dst: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllReduceLengthMismatch: ranks contributing different lengths is a
+// programming error the reduction must catch, not corrupt.
+func TestAllReduceLengthMismatch(t *testing.T) {
+	err := Run(2, func(r *Rank) error {
+		x := make([]float64, 1+r.ID) // rank 0: len 1, rank 1: len 2
+		_, err := r.AllReduceSum(x)
+		return err
+	})
+	if err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestRunPropagatesCommError(t *testing.T) {
+	if err := Run(0, func(r *Rank) error { return nil }); err == nil {
+		t.Error("zero-size run accepted")
+	}
+}
+
+// TestBarrierPhasedRepeated: barriers are reusable (no residue between
+// phases).
+func TestBarrierPhasedRepeated(t *testing.T) {
+	err := Run(4, func(r *Rank) error {
+		for i := 0; i < 20; i++ {
+			if err := r.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGatherAtNonZeroRoot covers the non-default root paths.
+func TestGatherAtNonZeroRoot(t *testing.T) {
+	err := Run(3, func(r *Rank) error {
+		all, err := r.Gather(2, []float64{float64(r.ID * 11)})
+		if err != nil {
+			return err
+		}
+		if r.ID == 2 {
+			for i, part := range all {
+				if part[0] != float64(11*i) {
+					return fmt.Errorf("root 2 gathered %v at %d", part, i)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

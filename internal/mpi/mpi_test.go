@@ -1,0 +1,309 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNewCommErrors(t *testing.T) {
+	if _, err := NewComm(0); err == nil {
+		t.Error("zero-size communicator accepted")
+	}
+	if _, err := NewComm(-3); err == nil {
+		t.Error("negative communicator accepted")
+	}
+}
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	err := Run(2, func(r *Rank) error {
+		switch r.ID {
+		case 0:
+			return r.Send(1, 7, []float64{1, 2, 3})
+		default:
+			got, err := r.Recv(0, 7)
+			if err != nil {
+				return err
+			}
+			if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+				return fmt.Errorf("got %v", got)
+			}
+			return nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	err := Run(2, func(r *Rank) error {
+		if r.ID == 0 {
+			buf := []float64{42}
+			if err := r.Send(1, 0, buf); err != nil {
+				return err
+			}
+			buf[0] = -1 // must not reach the receiver
+			return r.Barrier()
+		}
+		if err := r.Barrier(); err != nil {
+			return err
+		}
+		got, err := r.Recv(0, 0)
+		if err != nil {
+			return err
+		}
+		if got[0] != 42 {
+			return fmt.Errorf("sender mutation leaked: %v", got[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagMismatch(t *testing.T) {
+	err := Run(2, func(r *Rank) error {
+		if r.ID == 0 {
+			return r.Send(1, 1, nil)
+		}
+		_, err := r.Recv(0, 2)
+		return err
+	})
+	if !errors.Is(err, ErrTag) {
+		t.Errorf("want ErrTag, got %v", err)
+	}
+}
+
+func TestRankValidation(t *testing.T) {
+	err := Run(2, func(r *Rank) error {
+		if r.ID != 0 {
+			return nil
+		}
+		if err := r.Send(5, 0, nil); !errors.Is(err, ErrBadRank) {
+			return fmt.Errorf("send out of range: %v", err)
+		}
+		if err := r.Send(0, 0, nil); !errors.Is(err, ErrSelfSend) {
+			return fmt.Errorf("self send: %v", err)
+		}
+		if _, err := r.Recv(0, 0); !errors.Is(err, ErrSelfSend) {
+			return fmt.Errorf("self recv: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierOrdersPhases(t *testing.T) {
+	var phase1 atomic.Int32
+	err := Run(8, func(r *Rank) error {
+		phase1.Add(1)
+		if err := r.Barrier(); err != nil {
+			return err
+		}
+		if n := phase1.Load(); n != 8 {
+			return fmt.Errorf("rank %d passed barrier with %d arrivals", r.ID, n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	err := Run(5, func(r *Rank) error {
+		var in []float64
+		if r.ID == 2 {
+			in = []float64{3.14, 2.72}
+		}
+		got, err := r.Bcast(2, in)
+		if err != nil {
+			return err
+		}
+		if len(got) != 2 || got[0] != 3.14 {
+			return fmt.Errorf("rank %d got %v", r.ID, got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	err := Run(4, func(r *Rank) error {
+		// Scatter rank-indexed parts, then gather them back.
+		var parts [][]float64
+		if r.ID == 0 {
+			parts = [][]float64{{0}, {10}, {20}, {30}}
+		}
+		mine, err := r.Scatter(0, parts)
+		if err != nil {
+			return err
+		}
+		if mine[0] != float64(10*r.ID) {
+			return fmt.Errorf("rank %d scattered %v", r.ID, mine)
+		}
+		all, err := r.Gather(0, mine)
+		if err != nil {
+			return err
+		}
+		if r.ID == 0 {
+			for i, part := range all {
+				if part[0] != float64(10*i) {
+					return fmt.Errorf("gathered %v at %d", part, i)
+				}
+			}
+		} else if all != nil {
+			return fmt.Errorf("non-root gather returned data")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterWrongPartCount(t *testing.T) {
+	err := Run(2, func(r *Rank) error {
+		if r.ID == 0 {
+			_, err := r.Scatter(0, [][]float64{{1}})
+			return err
+		}
+		// Rank 1 would block forever waiting for its part; give it
+		// nothing to do.
+		return nil
+	})
+	if err == nil {
+		t.Error("scatter with wrong part count accepted")
+	}
+}
+
+func TestAllReduceSum(t *testing.T) {
+	const n = 6
+	err := Run(n, func(r *Rank) error {
+		x := []float64{float64(r.ID), 1}
+		sum, err := r.AllReduceSum(x)
+		if err != nil {
+			return err
+		}
+		want0 := float64(n * (n - 1) / 2)
+		if sum[0] != want0 || sum[1] != n {
+			return fmt.Errorf("rank %d: sum %v", r.ID, sum)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllReduceDeterministic: the reduction order is fixed (rank order),
+// so results are bitwise identical across runs even for non-associative
+// float sums.
+func TestAllReduceDeterministic(t *testing.T) {
+	run := func() float64 {
+		var out float64
+		err := Run(7, func(r *Rank) error {
+			x := []float64{math.Pi / float64(r.ID+1)}
+			s, err := r.AllReduceSum(x)
+			if err != nil {
+				return err
+			}
+			if r.ID == 0 {
+				out = s[0]
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("allreduce not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestSendRecvExchange(t *testing.T) {
+	// A ring shift: every rank sends to the right, receives from the left.
+	const n = 5
+	err := Run(n, func(r *Rank) error {
+		right := (r.ID + 1) % n
+		left := (r.ID + n - 1) % n
+		got, err := r.SendRecv(right, left, 9, []float64{float64(r.ID)})
+		if err != nil {
+			return err
+		}
+		if got[0] != float64(left) {
+			return fmt.Errorf("rank %d received %v, want %d", r.ID, got, left)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	err := Run(3, func(r *Rank) error {
+		if r.ID == 1 {
+			panic("rank detonated")
+		}
+		return nil
+	})
+	if err == nil || !errors.Is(err, err) || err.Error() == "" {
+		t.Fatalf("panic not surfaced: %v", err)
+	}
+}
+
+func TestSingleRankCollectives(t *testing.T) {
+	err := Run(1, func(r *Rank) error {
+		if err := r.Barrier(); err != nil {
+			return err
+		}
+		if got, err := r.Bcast(0, []float64{5}); err != nil || got[0] != 5 {
+			return fmt.Errorf("bcast: %v %v", got, err)
+		}
+		if sum, err := r.AllReduceSum([]float64{7}); err != nil || sum[0] != 7 {
+			return fmt.Errorf("allreduce: %v %v", sum, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageOrderPreserved(t *testing.T) {
+	err := Run(2, func(r *Rank) error {
+		if r.ID == 0 {
+			for i := 0; i < 10; i++ {
+				if err := r.Send(1, 3, []float64{float64(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < 10; i++ {
+			got, err := r.Recv(0, 3)
+			if err != nil {
+				return err
+			}
+			if got[0] != float64(i) {
+				return fmt.Errorf("out of order: got %v at %d", got, i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

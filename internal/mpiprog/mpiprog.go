@@ -1,0 +1,416 @@
+// Package mpiprog contains the repository's parallel kernels written as
+// SPMD message-passing programs over the mpi runtime — the programming
+// model of the clusters, Params, Paragons and SP2s the paper discusses.
+// Each program has a shared-memory (or sequential) counterpart elsewhere
+// in the tree, and the tests hold the two implementations to agreement:
+// bit-identical for the shallow-water stencil (the arithmetic is shared
+// through nwp.LaxCell), tolerance-bounded for conjugate gradient (whose
+// reduction order necessarily differs), and exact for key search.
+package mpiprog
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/keysearch"
+	"repro/internal/linsolve"
+	"repro/internal/mpi"
+	"repro/internal/nwp"
+)
+
+// Errors returned by the programs.
+var (
+	ErrPartition = errors.New("mpiprog: ranks do not divide the problem")
+	ErrBadArgs   = errors.New("mpiprog: bad arguments")
+)
+
+// ---- Shallow water -------------------------------------------------------
+
+// haloTag is the point-to-point tag of the stencil's ghost-row exchange.
+const haloTag = 1
+
+// ShallowWater advances an n×n shallow-water grid `steps` Lax steps using
+// `ranks` message-passing ranks under a row-block decomposition with
+// ghost-row halo exchange, and returns the final H field. init seeds the
+// initial condition on a full grid; n must be divisible by ranks.
+//
+// The per-cell arithmetic is nwp.LaxCell, so the returned field is
+// bit-identical to running nwp.Grid.Run on the same initial condition.
+func ShallowWater(n int, dx float64, steps, ranks int, init func(g *nwp.Grid)) ([]float64, error) {
+	if ranks < 1 || steps < 0 {
+		return nil, fmt.Errorf("%w: ranks=%d steps=%d", ErrBadArgs, ranks, steps)
+	}
+	if n%ranks != 0 {
+		return nil, fmt.Errorf("%w: n=%d ranks=%d", ErrPartition, n, ranks)
+	}
+	full, err := nwp.NewGrid(n, dx)
+	if err != nil {
+		return nil, err
+	}
+	if init != nil {
+		init(full)
+	}
+	dt := full.MaxStableDt()
+	local := n / ranks
+
+	result := make([]float64, n*n)
+	err = mpi.Run(ranks, func(r *mpi.Rank) error {
+		w := newWorker(r, full, local, n, dx)
+		for s := 0; s < steps; s++ {
+			if err := w.exchangeHalos(); err != nil {
+				return err
+			}
+			w.step(dt)
+		}
+		return w.collect(result)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return result, nil
+}
+
+// worker is one rank's state: local rows plus one ghost row above and one
+// below, for each of the three fields.
+type worker struct {
+	r          *mpi.Rank
+	local, n   int
+	dx         float64
+	i0         int       // first global row owned
+	h, u, v    []float64 // (local+2) × n, row 0 and local+1 are ghosts
+	h2, u2, v2 []float64
+}
+
+func newWorker(r *mpi.Rank, full *nwp.Grid, local, n int, dx float64) *worker {
+	w := &worker{
+		r: r, local: local, n: n, dx: dx, i0: r.ID * local,
+		h:  make([]float64, (local+2)*n),
+		u:  make([]float64, (local+2)*n),
+		v:  make([]float64, (local+2)*n),
+		h2: make([]float64, (local+2)*n),
+		u2: make([]float64, (local+2)*n),
+		v2: make([]float64, (local+2)*n),
+	}
+	// Load the owned block into rows 1..local.
+	for i := 0; i < local; i++ {
+		copy(w.h[(i+1)*n:(i+2)*n], full.H[(w.i0+i)*n:(w.i0+i+1)*n])
+		copy(w.u[(i+1)*n:(i+2)*n], full.U[(w.i0+i)*n:(w.i0+i+1)*n])
+		copy(w.v[(i+1)*n:(i+2)*n], full.V[(w.i0+i)*n:(w.i0+i+1)*n])
+	}
+	return w
+}
+
+// exchangeHalos swaps boundary rows with the periodic neighbors. The
+// three fields travel as one packed message per direction.
+func (w *worker) exchangeHalos() error {
+	size := w.r.Size()
+	if size == 1 {
+		// Periodic wrap within the single rank.
+		n, local := w.n, w.local
+		copy(w.h[0:n], w.h[local*n:(local+1)*n])
+		copy(w.u[0:n], w.u[local*n:(local+1)*n])
+		copy(w.v[0:n], w.v[local*n:(local+1)*n])
+		copy(w.h[(local+1)*n:], w.h[n:2*n])
+		copy(w.u[(local+1)*n:], w.u[n:2*n])
+		copy(w.v[(local+1)*n:], w.v[n:2*n])
+		return nil
+	}
+	up := (w.r.ID + size - 1) % size
+	down := (w.r.ID + 1) % size
+	n, local := w.n, w.local
+
+	pack := func(row int) []float64 {
+		buf := make([]float64, 3*n)
+		copy(buf[0:n], w.h[row*n:(row+1)*n])
+		copy(buf[n:2*n], w.u[row*n:(row+1)*n])
+		copy(buf[2*n:], w.v[row*n:(row+1)*n])
+		return buf
+	}
+	unpack := func(row int, buf []float64) error {
+		if len(buf) != 3*n {
+			return fmt.Errorf("mpiprog: halo of %d values, want %d", len(buf), 3*n)
+		}
+		copy(w.h[row*n:(row+1)*n], buf[0:n])
+		copy(w.u[row*n:(row+1)*n], buf[n:2*n])
+		copy(w.v[row*n:(row+1)*n], buf[2*n:])
+		return nil
+	}
+
+	// Send my top row up, receive my bottom ghost from below.
+	got, err := w.r.SendRecv(up, down, haloTag, pack(1))
+	if err != nil {
+		return err
+	}
+	if err := unpack(local+1, got); err != nil {
+		return err
+	}
+	// Send my bottom row down, receive my top ghost from above.
+	got, err = w.r.SendRecv(down, up, haloTag, pack(local))
+	if err != nil {
+		return err
+	}
+	return unpack(0, got)
+}
+
+// step advances the owned rows one Lax step using the shared cell update.
+func (w *worker) step(dt float64) {
+	n := w.n
+	wrap := func(j int) int {
+		if j < 0 {
+			return j + n
+		}
+		if j >= n {
+			return j - n
+		}
+		return j
+	}
+	for i := 1; i <= w.local; i++ {
+		for j := 0; j < n; j++ {
+			l := i*n + wrap(j-1)
+			rr := i*n + wrap(j+1)
+			u := (i-1)*n + j
+			d := (i+1)*n + j
+			k := i*n + j
+			w.h2[k], w.u2[k], w.v2[k] = nwp.LaxCell(dt, w.dx,
+				nwp.Stencil{L: w.h[l], R: w.h[rr], U: w.h[u], D: w.h[d]},
+				nwp.Stencil{L: w.u[l], R: w.u[rr], U: w.u[u], D: w.u[d]},
+				nwp.Stencil{L: w.v[l], R: w.v[rr], U: w.v[u], D: w.v[d]})
+		}
+	}
+	w.h, w.h2 = w.h2, w.h
+	w.u, w.u2 = w.u2, w.u
+	w.v, w.v2 = w.v2, w.v
+}
+
+// collect gathers the owned H rows at rank 0 and writes them into result
+// (which only rank 0 populates; Run's shared slice makes it visible).
+func (w *worker) collect(result []float64) error {
+	mine := make([]float64, w.local*w.n)
+	copy(mine, w.h[w.n:(w.local+1)*w.n])
+	all, err := w.r.Gather(0, mine)
+	if err != nil {
+		return err
+	}
+	if w.r.ID != 0 {
+		return nil
+	}
+	for rank, rows := range all {
+		copy(result[rank*w.local*w.n:], rows)
+	}
+	return nil
+}
+
+// ---- Distributed conjugate gradient ---------------------------------------
+
+// CG solves the n²-unknown 2-D Laplace system with a row-block
+// distributed conjugate gradient over `ranks` message-passing ranks:
+// each rank owns a block of matrix rows and vector entries, the
+// matrix–vector product exchanges boundary entries with neighbors, and
+// the inner products are AllReduce sums. It returns the solution and the
+// iteration count.
+func CG(gridSide int, b []float64, tol float64, maxIter, ranks int) ([]float64, int, error) {
+	m := linsolve.NewLaplace2D(gridSide)
+	if len(b) != m.N {
+		return nil, 0, fmt.Errorf("%w: b has %d entries, want %d", ErrBadArgs, len(b), m.N)
+	}
+	if ranks < 1 || gridSide%ranks != 0 {
+		return nil, 0, fmt.Errorf("%w: side=%d ranks=%d", ErrPartition, gridSide, ranks)
+	}
+	rowsPer := gridSide / ranks // grid rows per rank
+	per := rowsPer * gridSide   // unknowns per rank
+	x := make([]float64, m.N)
+	iters := make([]float64, 1)
+
+	err := mpi.Run(ranks, func(r *mpi.Rank) error {
+		lo := r.ID * per
+		hi := lo + per
+		localB := b[lo:hi]
+
+		localX := make([]float64, per)
+		res := make([]float64, per)
+		p := make([]float64, per)
+		ap := make([]float64, per)
+
+		// r = b (x starts at zero).
+		copy(res, localB)
+		copy(p, res)
+
+		dot := func(a, c []float64) (float64, error) {
+			local := 0.0
+			for i := range a {
+				local += a[i] * c[i]
+			}
+			sum, err := r.AllReduceSum([]float64{local})
+			if err != nil {
+				return 0, err
+			}
+			return sum[0], nil
+		}
+
+		bnorm2, err := dot(localB, localB)
+		if err != nil {
+			return err
+		}
+		bnorm := math.Sqrt(bnorm2)
+		if bnorm == 0 {
+			bnorm = 1
+		}
+		rr, err := dot(res, res)
+		if err != nil {
+			return err
+		}
+
+		spmv := func(dst, src []float64) error {
+			// Exchange boundary entries (one grid row each way) with the
+			// row-block neighbors; Dirichlet edges have no neighbor.
+			top := make([]float64, 0, gridSide)
+			bot := make([]float64, 0, gridSide)
+			if r.ID > 0 {
+				got, err := r.SendRecv(r.ID-1, r.ID-1, 2, src[:gridSide])
+				if err != nil {
+					return err
+				}
+				top = got
+			}
+			if r.ID < r.Size()-1 {
+				got, err := r.SendRecv(r.ID+1, r.ID+1, 2, src[per-gridSide:])
+				if err != nil {
+					return err
+				}
+				bot = got
+			}
+			for li := 0; li < per; li++ {
+				gi := lo + li
+				sum := 0.0
+				for k := m.RowPtr[gi]; k < m.RowPtr[gi+1]; k++ {
+					col := m.Col[k]
+					var xv float64
+					switch {
+					case col >= lo && col < hi:
+						xv = src[col-lo]
+					case col < lo:
+						xv = top[col-(lo-gridSide)]
+					default:
+						xv = bot[col-hi]
+					}
+					sum += m.Val[k] * xv
+				}
+				dst[li] = sum
+			}
+			return nil
+		}
+
+		n := 0
+		for ; n < maxIter; n++ {
+			if math.Sqrt(rr) <= tol*bnorm {
+				break
+			}
+			if err := spmv(ap, p); err != nil {
+				return err
+			}
+			pap, err := dot(p, ap)
+			if err != nil {
+				return err
+			}
+			alpha := rr / pap
+			for i := range localX {
+				localX[i] += alpha * p[i]
+				res[i] -= alpha * ap[i]
+			}
+			rrNew, err := dot(res, res)
+			if err != nil {
+				return err
+			}
+			beta := rrNew / rr
+			for i := range p {
+				p[i] = res[i] + beta*p[i]
+			}
+			rr = rrNew
+		}
+		if math.Sqrt(rr) > tol*bnorm {
+			return fmt.Errorf("mpiprog: CG did not converge in %d iterations (residual %.3e)",
+				maxIter, math.Sqrt(rr))
+		}
+
+		all, err := r.Gather(0, localX)
+		if err != nil {
+			return err
+		}
+		if r.ID == 0 {
+			for rank, part := range all {
+				copy(x[rank*per:], part)
+			}
+			iters[0] = float64(n)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return x, int(iters[0]), nil
+}
+
+// ---- Distributed key search -------------------------------------------------
+
+// KeySearch exhausts [first, last] over `ranks` message-passing ranks,
+// each sweeping a contiguous share and reporting through a gather. It
+// returns the recovered key, whether one was found, and the total keys
+// tested.
+func KeySearch(pairs []keysearch.Pair, first, last uint64, ranks int) (uint64, bool, uint64, error) {
+	if ranks < 1 {
+		return 0, false, 0, fmt.Errorf("%w: ranks=%d", ErrBadArgs, ranks)
+	}
+	if last < first {
+		return 0, false, 0, fmt.Errorf("%w: inverted keyspace", ErrBadArgs)
+	}
+	if last >= 1<<52 {
+		// Reports travel as float64; keys above 2⁵² would lose bits.
+		return 0, false, 0, fmt.Errorf("%w: keyspace exceeds 2^52", ErrBadArgs)
+	}
+	span := last - first + 1
+	var key uint64
+	var found bool
+	var tested uint64
+
+	err := mpi.Run(ranks, func(r *mpi.Rank) error {
+		// Contiguous share for this rank.
+		per := span / uint64(ranks)
+		lo := first + uint64(r.ID)*per
+		hi := lo + per - 1
+		if r.ID == ranks-1 {
+			hi = last
+		}
+		var res keysearch.Result
+		if per > 0 || r.ID == ranks-1 {
+			var err error
+			res, err = keysearch.Search(pairs, lo, hi, 1)
+			if err != nil {
+				return err
+			}
+		}
+		report := []float64{0, 0, float64(res.Tested)}
+		if res.Found {
+			report[0] = 1
+			report[1] = float64(res.Key)
+		}
+		all, err := r.Gather(0, report)
+		if err != nil {
+			return err
+		}
+		if r.ID == 0 {
+			for _, rep := range all {
+				tested += uint64(rep[2])
+				if rep[0] == 1 {
+					found = true
+					key = uint64(rep[1])
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, false, 0, err
+	}
+	return key, found, tested, nil
+}

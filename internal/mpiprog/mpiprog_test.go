@@ -1,0 +1,189 @@
+package mpiprog
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/keysearch"
+	"repro/internal/linsolve"
+	"repro/internal/nwp"
+)
+
+// seed is the common initial condition for the shallow-water comparisons.
+func seed(g *nwp.Grid) {
+	g.AddGaussian(g.N/2, g.N/3, 10, float64(g.N)/8)
+	g.AddGaussian(g.N/4, 3*g.N/4, -4, float64(g.N)/10)
+}
+
+// TestShallowWaterMatchesSequential: the message-passing stencil is
+// bit-identical to the sequential solver at every rank count, because both
+// route their arithmetic through nwp.LaxCell.
+func TestShallowWaterMatchesSequential(t *testing.T) {
+	const n, steps = 32, 60
+	ref, err := nwp.NewGrid(n, 100e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed(ref)
+	dt := ref.MaxStableDt()
+	if _, err := ref.Run(steps, dt); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, ranks := range []int{1, 2, 4, 8} {
+		got, err := ShallowWater(n, 100e3, steps, ranks, seed)
+		if err != nil {
+			t.Fatalf("ranks=%d: %v", ranks, err)
+		}
+		for k := range ref.H {
+			if got[k] != ref.H[k] {
+				t.Fatalf("ranks=%d: H[%d] = %v, sequential %v (not bit-identical)",
+					ranks, k, got[k], ref.H[k])
+			}
+		}
+	}
+}
+
+func TestShallowWaterZeroSteps(t *testing.T) {
+	got, err := ShallowWater(8, 100e3, 0, 2, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := nwp.NewGrid(8, 100e3)
+	seed(ref)
+	for k := range ref.H {
+		if got[k] != ref.H[k] {
+			t.Fatal("zero-step run altered the field")
+		}
+	}
+}
+
+func TestShallowWaterPartitionErrors(t *testing.T) {
+	if _, err := ShallowWater(10, 100e3, 1, 3, nil); !errors.Is(err, ErrPartition) {
+		t.Errorf("indivisible grid: %v", err)
+	}
+	if _, err := ShallowWater(8, 100e3, -1, 2, nil); !errors.Is(err, ErrBadArgs) {
+		t.Errorf("negative steps: %v", err)
+	}
+	if _, err := ShallowWater(8, 100e3, 1, 0, nil); !errors.Is(err, ErrBadArgs) {
+		t.Errorf("zero ranks: %v", err)
+	}
+}
+
+// TestCGMatchesShared: the distributed CG solves the same Laplace system
+// as the shared-memory solver to tight agreement (reduction orders differ,
+// so bit-identity is not expected).
+func TestCGMatchesShared(t *testing.T) {
+	const side = 16
+	m := linsolve.NewLaplace2D(side)
+	rng := rand.New(rand.NewSource(9))
+	b := make([]float64, m.N)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+
+	xs := make([]float64, m.N)
+	if _, err := linsolve.CG(m, b, xs, 1e-10, 3000, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, ranks := range []int{1, 2, 4} {
+		xd, iters, err := CG(side, b, 1e-10, 3000, ranks)
+		if err != nil {
+			t.Fatalf("ranks=%d: %v", ranks, err)
+		}
+		if iters == 0 {
+			t.Fatalf("ranks=%d: zero iterations", ranks)
+		}
+		var maxDiff float64
+		for i := range xs {
+			if d := math.Abs(xs[i] - xd[i]); d > maxDiff {
+				maxDiff = d
+			}
+		}
+		if maxDiff > 1e-6 {
+			t.Errorf("ranks=%d: max deviation %v from shared-memory solution", ranks, maxDiff)
+		}
+	}
+}
+
+func TestCGResidualIsSmall(t *testing.T) {
+	const side = 12
+	m := linsolve.NewLaplace2D(side)
+	b := make([]float64, m.N)
+	for i := range b {
+		b[i] = 1
+	}
+	x, _, err := CG(side, b, 1e-9, 3000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ax := make([]float64, m.N)
+	if err := m.MulVec(ax, x); err != nil {
+		t.Fatal(err)
+	}
+	var rnorm, bnorm float64
+	for i := range b {
+		d := b[i] - ax[i]
+		rnorm += d * d
+		bnorm += b[i] * b[i]
+	}
+	if math.Sqrt(rnorm) > 1e-8*math.Sqrt(bnorm) {
+		t.Errorf("relative residual %v", math.Sqrt(rnorm)/math.Sqrt(bnorm))
+	}
+}
+
+func TestCGErrors(t *testing.T) {
+	if _, _, err := CG(10, make([]float64, 100), 1e-8, 100, 3); !errors.Is(err, ErrPartition) {
+		t.Errorf("indivisible: %v", err)
+	}
+	if _, _, err := CG(10, make([]float64, 7), 1e-8, 100, 2); !errors.Is(err, ErrBadArgs) {
+		t.Errorf("wrong b: %v", err)
+	}
+}
+
+func TestKeySearchMatchesDirect(t *testing.T) {
+	const key = 0x5_2a17
+	pairs := keysearch.MakePairs(key, 0x1111, 0x2222)
+	for _, ranks := range []int{1, 2, 3, 8} {
+		got, found, tested, err := KeySearch(pairs, 0, 1<<20, ranks)
+		if err != nil {
+			t.Fatalf("ranks=%d: %v", ranks, err)
+		}
+		if !found || got != key {
+			t.Errorf("ranks=%d: found=%v key=%#x", ranks, found, got)
+		}
+		if tested == 0 {
+			t.Errorf("ranks=%d: tested=0", ranks)
+		}
+	}
+}
+
+func TestKeySearchExhaustion(t *testing.T) {
+	pairs := keysearch.MakePairs(1<<40, 3, 4) // true key far outside range
+	_, found, tested, err := KeySearch(pairs, 0, 1<<16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found {
+		t.Error("spurious key found")
+	}
+	if tested < 1<<16 {
+		t.Errorf("tested %d of %d keys", tested, 1<<16)
+	}
+}
+
+func TestKeySearchErrors(t *testing.T) {
+	pairs := keysearch.MakePairs(1, 2)
+	if _, _, _, err := KeySearch(pairs, 0, 10, 0); !errors.Is(err, ErrBadArgs) {
+		t.Errorf("zero ranks: %v", err)
+	}
+	if _, _, _, err := KeySearch(pairs, 10, 0, 2); !errors.Is(err, ErrBadArgs) {
+		t.Errorf("inverted: %v", err)
+	}
+	if _, _, _, err := KeySearch(pairs, 0, 1<<53, 2); !errors.Is(err, ErrBadArgs) {
+		t.Errorf("oversize keyspace: %v", err)
+	}
+}

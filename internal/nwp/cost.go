@@ -1,0 +1,158 @@
+package nwp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// MtopsPerSustainedMflop converts sustained floating-point rate to the CTP
+// rating of a machine that can deliver it on weather codes. The paper
+// supplies the calibration pair directly: the 8-node Cray C90 "rated at
+// 3,000 Mflops of sustainable performance on weather-specific benchmarks"
+// carries a CTP of 10,625 Mtops.
+const MtopsPerSustainedMflop = 10625.0 / 3000.0
+
+// PhysicsFactor is the cost multiplier of a full forecast model —
+// radiation, moist processes, boundary-layer turbulence, data
+// assimilation — over the bare shallow-water dynamics this package's
+// solver implements per grid cell and step.
+const PhysicsFactor = 64
+
+// Scenario is one operational forecasting configuration.
+type Scenario struct {
+	Name          string
+	DomainKm2     float64 // forecast domain area
+	ResKm         float64 // horizontal resolution
+	Levels        int     // vertical levels
+	ForecastHours float64 // forecast length
+	BudgetSeconds float64 // wall-clock allowed for the run
+}
+
+// Validate reports configuration errors.
+func (s Scenario) Validate() error {
+	switch {
+	case s.DomainKm2 <= 0:
+		return fmt.Errorf("nwp: %s: non-positive domain", s.Name)
+	case s.ResKm <= 0:
+		return fmt.Errorf("nwp: %s: non-positive resolution", s.Name)
+	case s.Levels < 1:
+		return fmt.Errorf("nwp: %s: no vertical levels", s.Name)
+	case s.ForecastHours <= 0:
+		return fmt.Errorf("nwp: %s: non-positive forecast length", s.Name)
+	case s.BudgetSeconds <= 0:
+		return fmt.Errorf("nwp: %s: non-positive budget", s.Name)
+	}
+	return nil
+}
+
+// Cells returns the total grid cells (horizontal columns × levels).
+func (s Scenario) Cells() float64 {
+	return s.DomainKm2 / (s.ResKm * s.ResKm) * float64(s.Levels)
+}
+
+// Dt returns the CFL-limited time step in seconds.
+func (s Scenario) Dt() float64 {
+	return s.ResKm * 1000 / WaveSpeed
+}
+
+// Steps returns the number of time steps in the forecast.
+func (s Scenario) Steps() float64 {
+	return s.ForecastHours * 3600 / s.Dt()
+}
+
+// TotalFlop returns the forecast's floating-point work.
+func (s Scenario) TotalFlop() float64 {
+	return s.Cells() * s.Steps() * FlopPerCellStep * PhysicsFactor
+}
+
+// SustainedMflops returns the floating-point rate the budget demands.
+func (s Scenario) SustainedMflops() float64 {
+	return s.TotalFlop() / s.BudgetSeconds / 1e6
+}
+
+// RequiredMtops returns the CTP rating of the machine class the scenario
+// needs.
+func (s Scenario) RequiredMtops() units.Mtops {
+	return units.Mtops(s.SustainedMflops() * MtopsPerSustainedMflop)
+}
+
+// String summarizes the scenario in the paper's idiom.
+func (s Scenario) String() string {
+	return fmt.Sprintf("%s: %.0f km resolution, %.0f h forecast → %s",
+		s.Name, s.ResKm, s.ForecastHours, s.RequiredMtops())
+}
+
+// GlobalAreaKm2 is the Earth's surface area.
+const GlobalAreaKm2 = 510e6
+
+// The operational scenarios of the paper's meteorology section.
+var (
+	// Global120 is the "typical global weather model with 120 km
+	// resolution [that] can be executed on a workstation with performance
+	// in the 200 Mtops range": five-day forecast, overnight budget.
+	Global120 = Scenario{
+		Name: "global 120 km", DomainKm2: GlobalAreaKm2, ResKm: 120,
+		Levels: 30, ForecastHours: 120, BudgetSeconds: 8 * 3600,
+	}
+
+	// Tactical45 is the routine 36-hour, 45-km forecast that made the
+	// 8-node C90 "barely adequate": global coverage, one-hour operational
+	// window.
+	Tactical45 = Scenario{
+		Name: "tactical 45 km", DomainKm2: GlobalAreaKm2, ResKm: 45,
+		Levels: 30, ForecastHours: 36, BudgetSeconds: 3600,
+	}
+
+	// Navy20 is the Navy's special regional forecast "with resolutions as
+	// fine as 20 km".
+	Navy20 = Scenario{
+		Name: "Navy regional 20 km", DomainKm2: 9e6, ResKm: 20,
+		Levels: 30, ForecastHours: 48, BudgetSeconds: 2 * 3600,
+	}
+
+	// AirForce5 is the Air Force special product at 5-km resolution over
+	// a theater, the class needing "well over 100,000 Mtops" to become
+	// routine.
+	AirForce5 = Scenario{
+		Name: "theater 5 km", DomainKm2: 4e6, ResKm: 5,
+		Levels: 30, ForecastHours: 72, BudgetSeconds: 3600,
+	}
+
+	// ChemBio1 is the 1-km, three-hour local forecast for chemical and
+	// biological defense that "requires a Cray C916".
+	ChemBio1 = Scenario{
+		Name: "chem/bio local 1 km", DomainKm2: 1e4, ResKm: 1,
+		Levels: 30, ForecastHours: 3, BudgetSeconds: 300,
+	}
+)
+
+// Scenarios returns the paper's scenarios in increasing requirement order.
+func Scenarios() []Scenario {
+	return []Scenario{Global120, Navy20, Tactical45, ChemBio1, AirForce5}
+}
+
+// ErrUnachievable is returned by ResolutionReachable when no resolution
+// satisfies the budget.
+var ErrUnachievable = errors.New("nwp: no resolution achievable within budget")
+
+// FinestResolution inverts the cost model: given a machine rating and a
+// scenario template, it returns the finest horizontal resolution (km) the
+// machine can deliver within the budget — how the paper's "the side with
+// the best understanding of the weather" advantage scales with computing.
+// The cubic law makes this a closed form: required ∝ res⁻³.
+func FinestResolution(tmpl Scenario, available units.Mtops) (float64, error) {
+	if err := tmpl.Validate(); err != nil {
+		return 0, err
+	}
+	if available <= 0 {
+		return 0, fmt.Errorf("%w: %v available", ErrUnachievable, available)
+	}
+	base := tmpl.RequiredMtops()
+	// required(res) = base · (tmpl.ResKm/res)³, so the reachable
+	// resolution scales with the cube root of the performance ratio.
+	ratio := float64(base) / float64(available)
+	return tmpl.ResKm * math.Cbrt(ratio), nil
+}

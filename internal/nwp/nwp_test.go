@@ -1,0 +1,241 @@
+package nwp
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func newTestGrid(t *testing.T, n int) *Grid {
+	t.Helper()
+	g, err := NewGrid(n, 100e3) // 100 km spacing
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AddGaussian(n/2, n/2, 10, float64(n)/8)
+	return g
+}
+
+func TestNewGridErrors(t *testing.T) {
+	if _, err := NewGrid(2, 1000); !errors.Is(err, ErrBadSize) {
+		t.Errorf("tiny grid: %v", err)
+	}
+	if _, err := NewGrid(10, 0); err == nil {
+		t.Error("zero spacing accepted")
+	}
+}
+
+func TestCFLGuard(t *testing.T) {
+	g := newTestGrid(t, 16)
+	tooBig := g.Dx / WaveSpeed // misses the √2 factor
+	if err := g.Step(tooBig); !errors.Is(err, ErrCFL) {
+		t.Errorf("unstable dt accepted: %v", err)
+	}
+	if err := g.Step(-1); err == nil {
+		t.Error("negative dt accepted")
+	}
+	if err := g.Step(g.MaxStableDt()); err != nil {
+		t.Errorf("stable dt rejected: %v", err)
+	}
+}
+
+func TestMassConservation(t *testing.T) {
+	g := newTestGrid(t, 32)
+	m0 := g.Mass()
+	dt := g.MaxStableDt()
+	if _, err := g.Run(200, dt); err != nil {
+		t.Fatal(err)
+	}
+	m1 := g.Mass()
+	if rel := math.Abs(m1-m0) / math.Max(math.Abs(m0), 1); rel > 1e-9 {
+		t.Errorf("mass drifted %.2e relative over 200 steps", rel)
+	}
+}
+
+func TestEnergyBounded(t *testing.T) {
+	g := newTestGrid(t, 32)
+	e0 := g.Energy()
+	dt := g.MaxStableDt()
+	if _, err := g.Run(500, dt); err != nil {
+		t.Fatal(err)
+	}
+	e1 := g.Energy()
+	// The Lax scheme is dissipative: energy must not grow.
+	if e1 > e0*1.001 {
+		t.Errorf("energy grew: %.3e → %.3e (unstable)", e0, e1)
+	}
+	if e1 <= 0 {
+		t.Errorf("energy vanished entirely: %v", e1)
+	}
+}
+
+func TestWavePropagates(t *testing.T) {
+	g := newTestGrid(t, 64)
+	dt := g.MaxStableDt()
+	// The disturbance must reach a point a quarter-domain away at roughly
+	// the gravity-wave speed.
+	probe := g.idx(g.N/2, g.N/2+g.N/4)
+	before := g.H[probe]
+	distance := float64(g.N/4) * g.Dx
+	steps := int(distance/(WaveSpeed*dt)) + 20
+	if _, err := g.Run(steps, dt); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g.H[probe]-before) < 1e-6 {
+		t.Error("gravity wave did not propagate to the probe point")
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 32} {
+		seq := newTestGrid(t, 33)
+		par := newTestGrid(t, 33)
+		dt := seq.MaxStableDt()
+		if _, err := seq.Run(50, dt); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := par.RunParallel(50, dt, workers); err != nil {
+			t.Fatal(err)
+		}
+		for k := range seq.H {
+			if seq.H[k] != par.H[k] || seq.U[k] != par.U[k] || seq.V[k] != par.V[k] {
+				t.Fatalf("workers=%d: state diverged at cell %d", workers, k)
+			}
+		}
+	}
+}
+
+func TestParallelWorkerClamping(t *testing.T) {
+	g := newTestGrid(t, 8)
+	// More workers than rows, and the GOMAXPROCS default path.
+	if err := g.StepParallel(g.MaxStableDt(), 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.StepParallel(g.MaxStableDt(), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunReportsWork(t *testing.T) {
+	g := newTestGrid(t, 16)
+	mflop, err := g.Run(10, g.MaxStableDt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 16.0 * 16 * 10 * FlopPerCellStep / 1e6
+	if mflop != want {
+		t.Errorf("work = %v Mflop, want %v", mflop, want)
+	}
+}
+
+// TestScenarioAnchors reproduces the paper's resolution→Mtops pairs.
+func TestScenarioAnchors(t *testing.T) {
+	cases := []struct {
+		s        Scenario
+		lo, hi   float64
+		citation string
+	}{
+		{Global120, 100, 600, "a workstation in the 200 Mtops range"},
+		{Tactical45, 8000, 13000, "in excess of 10,000 Mtops; C90/8 barely adequate"},
+		{Navy20, 500, 4000, "regional special products, C90-class fraction"},
+		{ChemBio1, 15000, 27000, "requires a Cray C916 (21,125 Mtops)"},
+		{AirForce5, 100000, 300000, "well over 100,000 Mtops"},
+	}
+	for _, c := range cases {
+		got := float64(c.s.RequiredMtops())
+		if got < c.lo || got > c.hi {
+			t.Errorf("%s: required %v Mtops outside [%v, %v] (%s)",
+				c.s.Name, got, c.lo, c.hi, c.citation)
+		}
+	}
+}
+
+// TestCubicLaw: halving the resolution multiplies the requirement by ≈8.
+func TestCubicLaw(t *testing.T) {
+	coarse := Tactical45
+	fine := coarse
+	fine.ResKm = coarse.ResKm / 2
+	ratio := float64(fine.RequiredMtops()) / float64(coarse.RequiredMtops())
+	if math.Abs(ratio-8) > 1e-9 {
+		t.Errorf("refinement ratio = %v, want 8 (cubic law)", ratio)
+	}
+}
+
+func TestScenariosOrdered(t *testing.T) {
+	ss := Scenarios()
+	if len(ss) != 5 {
+		t.Fatalf("%d scenarios", len(ss))
+	}
+	for i := 1; i < len(ss); i++ {
+		if ss[i].RequiredMtops() < ss[i-1].RequiredMtops() {
+			t.Errorf("scenario %s out of requirement order", ss[i].Name)
+		}
+	}
+	for _, s := range ss {
+		if err := s.Validate(); err != nil {
+			t.Error(err)
+		}
+		if s.String() == "" {
+			t.Error("empty scenario string")
+		}
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	bad := []Scenario{
+		{Name: "a", ResKm: 1, Levels: 1, ForecastHours: 1, BudgetSeconds: 1},
+		{Name: "b", DomainKm2: 1, Levels: 1, ForecastHours: 1, BudgetSeconds: 1},
+		{Name: "c", DomainKm2: 1, ResKm: 1, ForecastHours: 1, BudgetSeconds: 1},
+		{Name: "d", DomainKm2: 1, ResKm: 1, Levels: 1, BudgetSeconds: 1},
+		{Name: "e", DomainKm2: 1, ResKm: 1, Levels: 1, ForecastHours: 1},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("scenario %s accepted", s.Name)
+		}
+	}
+}
+
+func TestFinestResolution(t *testing.T) {
+	// With exactly the scenario's requirement available, the reachable
+	// resolution is the scenario's own.
+	res, err := FinestResolution(Tactical45, Tactical45.RequiredMtops())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res-45) > 0.01 {
+		t.Errorf("resolution = %v, want 45", res)
+	}
+	// Eight times the computing halves the grid spacing.
+	res8, err := FinestResolution(Tactical45, Tactical45.RequiredMtops()*8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res8-22.5) > 0.01 {
+		t.Errorf("8× computing reaches %v km, want 22.5", res8)
+	}
+	if _, err := FinestResolution(Tactical45, 0); !errors.Is(err, ErrUnachievable) {
+		t.Errorf("zero computing: %v", err)
+	}
+	if _, err := FinestResolution(Scenario{Name: "bad"}, 100); err == nil {
+		t.Error("invalid template accepted")
+	}
+}
+
+// TestFrontierCannotDoTacticalWeather ties the meteorology model to the
+// control question: the mid-1995 uncontrollable system (≈4,600 Mtops)
+// cannot run the 45-km tactical model in its operational window — the
+// reason the application sits above the upper bound.
+func TestFrontierCannotDoTacticalWeather(t *testing.T) {
+	const frontier = 4600
+	if float64(Tactical45.RequiredMtops()) <= frontier {
+		t.Error("tactical weather runs on uncontrollable hardware; contradicts Chapter 4")
+	}
+	res, err := FinestResolution(Tactical45, frontier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res <= 45 {
+		t.Errorf("frontier machine reaches %v km; should be coarser than 45", res)
+	}
+}

@@ -1,0 +1,231 @@
+// Package nwp provides the numerical-weather-prediction substrate behind
+// the paper's meteorology analysis: a real two-dimensional shallow-water
+// solver (the dynamical core all grid-point forecast models elaborate),
+// a goroutine-parallel domain-decomposed version of it, and a cost model
+// that converts a forecast scenario — domain, resolution, levels, forecast
+// length, wall-clock budget — into the sustained computing rate it
+// demands, expressed in Mtops.
+//
+// The cost model reproduces the paper's central meteorological claims: a
+// 120-km global model runs on "a workstation with performance in the 200
+// Mtops range", a 45-km tactical model "require[s] computers rated in
+// excess of 10,000" (the 8-node C90 was "barely adequate"), the 1-km/3-
+// hour chem-bio defense forecast needs a C916, and routine 5-km special
+// forecasts need "well over 100,000 Mtops". The cubic cost law — halving
+// the grid spacing multiplies work by eight (two space dimensions times
+// the CFL-shortened time step) — is what the solver exhibits and the
+// scenarios quantify.
+package nwp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Physical constants of the linearized shallow-water system.
+const (
+	Gravity   = 9.81 // m/s²
+	MeanDepth = 9000 // m; equivalent depth giving c ≈ 300 m/s
+)
+
+// WaveSpeed is the gravity-wave speed c = √(gH) that the CFL condition is
+// written against — about 297 m/s at the chosen equivalent depth.
+var WaveSpeed = math.Sqrt(Gravity * MeanDepth)
+
+// FlopPerCellStep is the floating-point work of one Lax-scheme cell
+// update: three four-point averages (4 ops each including the quarter
+// scaling), three centered flux/gradient terms (about 4 ops each), and
+// the time-advance combinations. Counted from the Step inner loop.
+const FlopPerCellStep = 25
+
+// Grid is the model state on an N×N periodic domain: surface displacement
+// h and the velocity components u, v, stored row-major.
+type Grid struct {
+	N  int
+	Dx float64 // grid spacing, meters
+
+	H, U, V []float64
+
+	// scratch buffers for the time step
+	h2, u2, v2 []float64
+}
+
+// Errors returned by the constructors and steppers.
+var (
+	ErrBadSize = errors.New("nwp: grid side must be at least 3")
+	ErrCFL     = errors.New("nwp: time step violates the CFL condition")
+)
+
+// NewGrid allocates a quiescent N×N grid with the given spacing in meters.
+func NewGrid(n int, dx float64) (*Grid, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("%w: %d", ErrBadSize, n)
+	}
+	if dx <= 0 {
+		return nil, fmt.Errorf("nwp: non-positive grid spacing %v", dx)
+	}
+	size := n * n
+	return &Grid{
+		N: n, Dx: dx,
+		H: make([]float64, size), U: make([]float64, size), V: make([]float64, size),
+		h2: make([]float64, size), u2: make([]float64, size), v2: make([]float64, size),
+	}, nil
+}
+
+// AddGaussian superimposes a Gaussian height disturbance of the given
+// amplitude (meters) and e-folding radius (cells) centered at (ci, cj).
+func (g *Grid) AddGaussian(ci, cj int, amplitude, radiusCells float64) {
+	for i := 0; i < g.N; i++ {
+		for j := 0; j < g.N; j++ {
+			di, dj := float64(i-ci), float64(j-cj)
+			g.H[i*g.N+j] += amplitude * math.Exp(-(di*di+dj*dj)/(radiusCells*radiusCells))
+		}
+	}
+}
+
+// MaxStableDt returns the largest time step the Lax scheme tolerates on
+// this grid, with a 10% safety margin.
+func (g *Grid) MaxStableDt() float64 {
+	return 0.9 * g.Dx / (WaveSpeed * math.Sqrt2)
+}
+
+// CheckDt validates a time step against the CFL condition.
+func (g *Grid) CheckDt(dt float64) error {
+	if dt <= 0 {
+		return fmt.Errorf("nwp: non-positive time step %v", dt)
+	}
+	if dt > g.Dx/(WaveSpeed*math.Sqrt2) {
+		return fmt.Errorf("%w: dt=%v exceeds %v at dx=%v", ErrCFL, dt, g.Dx/(WaveSpeed*math.Sqrt2), g.Dx)
+	}
+	return nil
+}
+
+// idx wraps a coordinate onto the periodic domain.
+func (g *Grid) idx(i, j int) int {
+	n := g.N
+	if i < 0 {
+		i += n
+	} else if i >= n {
+		i -= n
+	}
+	if j < 0 {
+		j += n
+	} else if j >= n {
+		j -= n
+	}
+	return i*n + j
+}
+
+// Stencil holds the four-point neighbor values (left, right, up, down) of
+// one field at one cell.
+type Stencil struct {
+	L, R, U, D float64
+}
+
+// LaxCell advances one cell of the linearized shallow-water system by one
+// Lax time step, given the neighbor values of the three fields. It is the
+// single source of the scheme's arithmetic: the sequential stepper, the
+// goroutine-parallel stepper, and the message-passing program in package
+// mpiprog all call it, so their results are bit-identical by construction.
+func LaxCell(dt, dx float64, h, u, v Stencil) (hNew, uNew, vNew float64) {
+	cx := dt / (2 * dx)
+	gh := Gravity * cx
+	hh := MeanDepth * cx
+
+	avgH := 0.25 * (h.L + h.R + h.U + h.D)
+	avgU := 0.25 * (u.L + u.R + u.U + u.D)
+	avgV := 0.25 * (v.L + v.R + v.U + v.D)
+
+	dudx := u.R - u.L
+	dvdy := v.D - v.U
+	dhdx := h.R - h.L
+	dhdy := h.D - h.U
+
+	hNew = avgH - hh*(dudx+dvdy)
+	uNew = avgU - gh*dhdx
+	vNew = avgV - gh*dhdy
+	return hNew, uNew, vNew
+}
+
+// stepRows advances rows [i0, i1) by one Lax time step, reading the
+// current state and writing the scratch buffers. Rows are independent, so
+// disjoint row ranges may run concurrently.
+func (g *Grid) stepRows(dt float64, i0, i1 int) {
+	n := g.N
+	for i := i0; i < i1; i++ {
+		up, dn := g.idx(i-1, 0)/n, g.idx(i+1, 0)/n
+		for j := 0; j < n; j++ {
+			l := i*n + g.wrap(j-1)
+			r := i*n + g.wrap(j+1)
+			u := up*n + j
+			d := dn*n + j
+
+			k := i*n + j
+			g.h2[k], g.u2[k], g.v2[k] = LaxCell(dt, g.Dx,
+				Stencil{g.H[l], g.H[r], g.H[u], g.H[d]},
+				Stencil{g.U[l], g.U[r], g.U[u], g.U[d]},
+				Stencil{g.V[l], g.V[r], g.V[u], g.V[d]})
+		}
+	}
+}
+
+// wrap wraps a column index onto the periodic domain.
+func (g *Grid) wrap(j int) int {
+	if j < 0 {
+		return j + g.N
+	}
+	if j >= g.N {
+		return j - g.N
+	}
+	return j
+}
+
+// swap promotes the scratch buffers to current state.
+func (g *Grid) swap() {
+	g.H, g.h2 = g.h2, g.H
+	g.U, g.u2 = g.u2, g.U
+	g.V, g.v2 = g.v2, g.V
+}
+
+// Step advances the model one time step sequentially.
+func (g *Grid) Step(dt float64) error {
+	if err := g.CheckDt(dt); err != nil {
+		return err
+	}
+	g.stepRows(dt, 0, g.N)
+	g.swap()
+	return nil
+}
+
+// Run advances the model the given number of steps and returns the total
+// floating-point work performed, in Mflop.
+func (g *Grid) Run(steps int, dt float64) (mflop float64, err error) {
+	for s := 0; s < steps; s++ {
+		if err := g.Step(dt); err != nil {
+			return 0, err
+		}
+	}
+	return float64(g.N) * float64(g.N) * float64(steps) * FlopPerCellStep / 1e6, nil
+}
+
+// Mass returns the domain-summed surface displacement, which the periodic
+// Lax scheme conserves exactly up to rounding: the conservation check used
+// by the tests.
+func (g *Grid) Mass() float64 {
+	var sum float64
+	for _, h := range g.H {
+		sum += h
+	}
+	return sum
+}
+
+// Energy returns the domain-summed energy density ½(g·h² + H(u²+v²)),
+// which must stay bounded for a stable run.
+func (g *Grid) Energy() float64 {
+	var e float64
+	for k := range g.H {
+		e += 0.5 * (Gravity*g.H[k]*g.H[k] + MeanDepth*(g.U[k]*g.U[k]+g.V[k]*g.V[k]))
+	}
+	return e
+}

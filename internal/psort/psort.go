@@ -1,0 +1,140 @@
+// Package psort implements parallel sample sort, the classic
+// distributed-database kernel behind the paper's Database Activities
+// computational function: DT&E sites maintained "very large relational
+// databases of historical test data" whose retrieval and ordering work is
+// exactly the bucketed sort/merge this package performs, and the
+// commercial "data mining" machines of Chapter 3 (Unisys OPUS, ncube,
+// SP2) ran their decision-support queries on the same pattern.
+//
+// The algorithm: sample the input, choose worker−1 splitters, partition
+// every element into its bucket (concurrently), sort each bucket
+// (concurrently), and concatenate — a shape whose only serial phase is
+// the tiny splitter selection, which is why database scans parallelized
+// so well on loosely coupled machines.
+package psort
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// oversample is the number of samples drawn per splitter; more samples
+// give better-balanced buckets.
+const oversample = 8
+
+// Sort sorts data in place using the given number of workers
+// (0 = GOMAXPROCS), comparing with less. The sort is not stable.
+func Sort[T any](data []T, workers int, less func(a, b T) bool) error {
+	if less == nil {
+		return errors.New("psort: nil comparison")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := len(data)
+	// Small inputs or one worker: plain sort.
+	if workers == 1 || n < 2*workers*oversample {
+		sort.Slice(data, func(i, j int) bool { return less(data[i], data[j]) })
+		return nil
+	}
+
+	// 1. Deterministic sampling: every n/(workers·oversample)-th element.
+	sampleCount := workers * oversample
+	samples := make([]T, 0, sampleCount)
+	stride := n / sampleCount
+	for i := stride / 2; i < n && len(samples) < sampleCount; i += stride {
+		samples = append(samples, data[i])
+	}
+	sort.Slice(samples, func(i, j int) bool { return less(samples[i], samples[j]) })
+
+	// Splitters: every oversample-th sample.
+	splitters := make([]T, 0, workers-1)
+	for i := oversample; i < len(samples); i += oversample {
+		splitters = append(splitters, samples[i])
+	}
+	buckets := len(splitters) + 1
+
+	// 2. Partition concurrently: each worker classifies a slice range into
+	// its own per-bucket lists, merged afterward (no locks on the hot
+	// path).
+	bucketOf := func(v T) int {
+		lo, hi := 0, len(splitters)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if less(v, splitters[mid]) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		return lo
+	}
+
+	partial := make([][][]T, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		i0 := n * w / workers
+		i1 := n * (w + 1) / workers
+		wg.Add(1)
+		go func(w, i0, i1 int) {
+			defer wg.Done()
+			mine := make([][]T, buckets)
+			for _, v := range data[i0:i1] {
+				b := bucketOf(v)
+				mine[b] = append(mine[b], v)
+			}
+			partial[w] = mine
+		}(w, i0, i1)
+	}
+	wg.Wait()
+
+	// 3. Concatenate per bucket, then sort buckets concurrently back into
+	// the original slice.
+	offsets := make([]int, buckets+1)
+	bucketData := make([][]T, buckets)
+	for b := 0; b < buckets; b++ {
+		var size int
+		for w := 0; w < workers; w++ {
+			size += len(partial[w][b])
+		}
+		bucketData[b] = make([]T, 0, size)
+		for w := 0; w < workers; w++ {
+			bucketData[b] = append(bucketData[b], partial[w][b]...)
+		}
+		offsets[b+1] = offsets[b] + size
+	}
+	if offsets[buckets] != n {
+		return fmt.Errorf("psort: partition lost elements (%d of %d)", offsets[buckets], n)
+	}
+
+	for b := 0; b < buckets; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			bd := bucketData[b]
+			sort.Slice(bd, func(i, j int) bool { return less(bd[i], bd[j]) })
+			copy(data[offsets[b]:offsets[b+1]], bd)
+		}(b)
+	}
+	wg.Wait()
+	return nil
+}
+
+// Float64s sorts a float64 slice in parallel.
+func Float64s(data []float64, workers int) error {
+	return Sort(data, workers, func(a, b float64) bool { return a < b })
+}
+
+// Record is a key/payload pair for the database-style tests and examples.
+type Record struct {
+	Key     int64
+	Payload string
+}
+
+// Records sorts records by key in parallel.
+func Records(data []Record, workers int) error {
+	return Sort(data, workers, func(a, b Record) bool { return a.Key < b.Key })
+}

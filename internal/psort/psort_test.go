@@ -1,0 +1,150 @@
+package psort
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func randomFloats(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64() * 1000
+	}
+	return out
+}
+
+func isSorted(data []float64) bool {
+	return sort.Float64sAreSorted(data)
+}
+
+func TestFloat64sMatchesStdlib(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 10, 100, 10000} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			got := randomFloats(n, int64(n))
+			want := append([]float64(nil), got...)
+			sort.Float64s(want)
+			if err := Float64s(got, workers); err != nil {
+				t.Fatalf("n=%d workers=%d: %v", n, workers, err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d workers=%d: element %d differs", n, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSortProperty: arbitrary inputs come out sorted and are a
+// permutation (same multiset sum and length).
+func TestSortProperty(t *testing.T) {
+	f := func(raw []float64, w uint8) bool {
+		workers := int(w%8) + 1
+		data := append([]float64(nil), raw...)
+		// NaN breaks any comparison sort's contract; filter.
+		clean := data[:0]
+		for _, v := range data {
+			if v == v {
+				clean = append(clean, v)
+			}
+		}
+		var sumBefore float64
+		for _, v := range clean {
+			sumBefore += v
+		}
+		if err := Float64s(clean, workers); err != nil {
+			return false
+		}
+		if !isSorted(clean) {
+			return false
+		}
+		var sumAfter float64
+		for _, v := range clean {
+			sumAfter += v
+		}
+		return len(clean) == 0 || sumBefore == sumBefore && sumAfter == sumAfter
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDuplicateHeavyInput(t *testing.T) {
+	data := make([]float64, 5000)
+	for i := range data {
+		data[i] = float64(i % 3) // heavy duplication breaks naive splitters
+	}
+	if err := Float64s(data, 8); err != nil {
+		t.Fatal(err)
+	}
+	if !isSorted(data) {
+		t.Fatal("duplicate-heavy input not sorted")
+	}
+}
+
+func TestAlreadySortedAndReversed(t *testing.T) {
+	n := 4096
+	asc := make([]float64, n)
+	desc := make([]float64, n)
+	for i := range asc {
+		asc[i] = float64(i)
+		desc[i] = float64(n - i)
+	}
+	if err := Float64s(asc, 4); err != nil || !isSorted(asc) {
+		t.Fatalf("ascending: %v", err)
+	}
+	if err := Float64s(desc, 4); err != nil || !isSorted(desc) {
+		t.Fatalf("descending: %v", err)
+	}
+}
+
+func TestRecords(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	recs := make([]Record, 3000)
+	for i := range recs {
+		recs[i] = Record{Key: rng.Int63n(500), Payload: "row"}
+	}
+	if err := Records(recs, 6); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Key < recs[i-1].Key {
+			t.Fatal("records not sorted by key")
+		}
+	}
+}
+
+func TestNilLess(t *testing.T) {
+	if err := Sort([]int{3, 1}, 2, nil); err == nil {
+		t.Error("nil comparison accepted")
+	}
+}
+
+func TestZeroWorkersDefaults(t *testing.T) {
+	data := randomFloats(5000, 1)
+	if err := Float64s(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !isSorted(data) {
+		t.Fatal("not sorted with default workers")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := randomFloats(20000, 7)
+	b := append([]float64(nil), a...)
+	if err := Float64s(a, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := Float64s(b, 8); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("sort not deterministic")
+		}
+	}
+}

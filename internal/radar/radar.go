@@ -1,0 +1,221 @@
+// Package radar is the computational-electromagnetics substrate behind
+// the stealth-design discussion of Chapter 4: a physical-optics
+// radar-cross-section model for flat facets, and the facet-count analysis
+// that explains the paper's best anecdote — why the F-117A is faceted and
+// the B-2 blended.
+//
+// "The reason for the F-117A's faceted appearance is related to the
+// electromagnetic properties of radar signal propagation in the frequency
+// range of the radars to be avoided. … The frequency range considered for
+// the B-2 design not only changed the plane's appearance, but increased
+// the computational difficulty of the task."
+//
+// In the optical (high-frequency) regime a flat facet's reflection is a
+// narrow specular lobe — sin(x)/x in angle, with beamwidth ∝ λ/L — so a
+// handful of flat plates tilted away from threat radars scatters nearly
+// all energy into harmless directions: cheap to analyze (the 0.8-Mtops
+// VAX claim). At lower frequency the lobes widen as λ/L grows, the facets
+// leak energy toward the radar, and the shaping must become smooth and
+// the analysis resonance-region-accurate — the expensive B-2 problem.
+package radar
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// C is the speed of light, m/s.
+const C = 299792458.0
+
+// Facet is a flat square plate of side L meters whose normal points at
+// tilt radians from the threat direction.
+type Facet struct {
+	SideM   float64 // plate side, m
+	TiltRad float64 // angle between plate normal and radar line of sight
+}
+
+// Validate reports configuration errors.
+func (f Facet) Validate() error {
+	if f.SideM <= 0 {
+		return fmt.Errorf("radar: non-positive facet side %v", f.SideM)
+	}
+	if f.TiltRad < 0 || f.TiltRad > math.Pi/2 {
+		return fmt.Errorf("radar: tilt %v outside [0, π/2]", f.TiltRad)
+	}
+	return nil
+}
+
+// ErrFreq is returned for non-positive frequencies.
+var ErrFreq = errors.New("radar: frequency must be positive")
+
+// Wavelength returns λ for a frequency in Hz.
+func Wavelength(freqHz float64) (float64, error) {
+	if freqHz <= 0 {
+		return 0, fmt.Errorf("%w: %v", ErrFreq, freqHz)
+	}
+	return C / freqHz, nil
+}
+
+// RCS returns the facet's monostatic physical-optics radar cross-section,
+// in m², at the given frequency. For a square plate of area A = L²:
+//
+//	σ(θ) = (4π A²/λ²) · cos²θ · sinc²(k·L·sinθ),  k = 2π/λ,
+//
+// the classic flat-plate result: a specular peak of 4πA²/λ² at normal
+// incidence falling off as a sinc² lobe pattern in tilt.
+func (f Facet) RCS(freqHz float64) (float64, error) {
+	if err := f.Validate(); err != nil {
+		return 0, err
+	}
+	lambda, err := Wavelength(freqHz)
+	if err != nil {
+		return 0, err
+	}
+	area := f.SideM * f.SideM
+	peak := 4 * math.Pi * area * area / (lambda * lambda)
+	k := 2 * math.Pi / lambda
+	x := k * f.SideM * math.Sin(f.TiltRad)
+	return peak * sq(math.Cos(f.TiltRad)) * sq(sinc(x)), nil
+}
+
+func sq(v float64) float64 { return v * v }
+
+// sinc is sin(x)/x with the removable singularity filled.
+func sinc(x float64) float64 {
+	if math.Abs(x) < 1e-9 {
+		return 1
+	}
+	return math.Sin(x) / x
+}
+
+// BeamwidthRad returns the half-width of the facet's specular lobe (first
+// sinc null): θ ≈ asin(λ/L), clamped to π/2 when the plate is smaller
+// than the wavelength — the regime where shaping stops working.
+func (f Facet) BeamwidthRad(freqHz float64) (float64, error) {
+	if err := f.Validate(); err != nil {
+		return 0, err
+	}
+	lambda, err := Wavelength(freqHz)
+	if err != nil {
+		return 0, err
+	}
+	r := lambda / f.SideM
+	if r >= 1 {
+		return math.Pi / 2, nil
+	}
+	return math.Asin(r), nil
+}
+
+// Shape is a faceted body: a set of plates, each with its tilt from the
+// threat line of sight.
+type Shape struct {
+	Name   string
+	Facets []Facet
+}
+
+// RCS returns the shape's total cross-section: the non-coherent sum of
+// facet contributions (the standard high-frequency approximation).
+func (s Shape) RCS(freqHz float64) (float64, error) {
+	if len(s.Facets) == 0 {
+		return 0, errors.New("radar: shape has no facets")
+	}
+	var total float64
+	for i, f := range s.Facets {
+		v, err := f.RCS(freqHz)
+		if err != nil {
+			return 0, fmt.Errorf("facet %d: %w", i, err)
+		}
+		total += v
+	}
+	return total, nil
+}
+
+// DBsm converts a cross-section in m² to decibels relative to one square
+// meter.
+func DBsm(sigma float64) float64 {
+	if sigma <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(sigma)
+}
+
+// Faceted builds an F-117A-style shape: n plates of the given side, all
+// tilted at least minTilt away from the threat direction (the design
+// rule: no facet normal ever points at the radar).
+func Faceted(name string, n int, sideM, minTiltRad float64) Shape {
+	s := Shape{Name: name}
+	for i := 0; i < n; i++ {
+		// Spread tilts from minTilt to 80°.
+		t := minTiltRad + (80*math.Pi/180-minTiltRad)*float64(i)/float64(max(n-1, 1))
+		s.Facets = append(s.Facets, Facet{SideM: sideM, TiltRad: t})
+	}
+	return s
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// opticalRatio is the body-size-to-wavelength ratio above which the
+// cheap high-frequency (physical optics) analysis is valid. Below it the
+// body's edges and cavities sit within a few tens of wavelengths and
+// resonance effects demand a full-wave treatment.
+const opticalRatio = 30.0
+
+// Regime names the analysis method a design problem requires.
+type Regime int
+
+const (
+	// Optical: body ≫ λ; specular facet analysis (rays and plates).
+	Optical Regime = iota
+	// Resonance: body ~ λ; full-wave solution required.
+	Resonance
+)
+
+// String returns the regime's display name.
+func (r Regime) String() string {
+	if r == Optical {
+		return "optical (physical optics)"
+	}
+	return "resonance (full-wave)"
+}
+
+// DesignCost models the computational cost, in floating-point operations,
+// of the shaping analysis for a body of characteristic size bodyM against
+// a threat radar at freqHz, over the given number of aspect angles. It
+// captures the paper's anecdote quantitatively:
+//
+//   - In the optical regime (body ≫ λ, the F-117A's X-band problem) the
+//     specular facet analysis costs a few hundred panel evaluations per
+//     aspect — "a DEC VAX-11/780 (0.8 Mtops) would have just met their
+//     requirements".
+//
+//   - In the resonance regime (body within opticalRatio wavelengths, the
+//     B-2's low-band problem) a full-wave method is unavoidable: N surface
+//     unknowns meshed at λ/10 and a dense O(N³) solve per aspect — the
+//     computation that "increased the computational difficulty of the
+//     task" and later kept "low-frequency analysis of resonance and
+//     inhomogeneous wave effects" on large systems even as the >1 GHz
+//     analysis moved to workstations.
+func DesignCost(bodyM, freqHz float64, aspects int) (flop float64, regime Regime, err error) {
+	lambda, err := Wavelength(freqHz)
+	if err != nil {
+		return 0, Optical, err
+	}
+	if bodyM <= 0 || aspects < 1 {
+		return 0, Optical, fmt.Errorf("radar: bad design problem (body %v m, %d aspects)", bodyM, aspects)
+	}
+	if bodyM/lambda > opticalRatio {
+		// Physical optics: panels at the body's natural scale, ~100 flop
+		// per panel evaluation.
+		panels := sq(bodyM / (bodyM / 20))
+		return panels * 100 * float64(aspects), Optical, nil
+	}
+	// Method of moments: surface meshed at λ/10, dense solve.
+	n := sq(10 * bodyM / lambda)
+	return n * n * n * float64(aspects), Resonance, nil
+}

@@ -1,0 +1,211 @@
+package radar
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+const xBand = 10e9 // Hz, fire-control radar
+const vhf = 150e6  // Hz, early-warning radar
+
+func TestWavelength(t *testing.T) {
+	l, err := Wavelength(xBand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l-0.02998) > 1e-4 {
+		t.Errorf("λ(10 GHz) = %v, want ≈0.03 m", l)
+	}
+	if _, err := Wavelength(0); !errors.Is(err, ErrFreq) {
+		t.Errorf("zero frequency: %v", err)
+	}
+}
+
+func TestFacetValidate(t *testing.T) {
+	if err := (Facet{SideM: 0, TiltRad: 0}).Validate(); err == nil {
+		t.Error("zero side accepted")
+	}
+	if err := (Facet{SideM: 1, TiltRad: 3}).Validate(); err == nil {
+		t.Error("tilt beyond π/2 accepted")
+	}
+	if _, err := (Facet{SideM: 0}).RCS(xBand); err == nil {
+		t.Error("RCS of invalid facet accepted")
+	}
+}
+
+// TestNormalIncidencePeak: at zero tilt the flat-plate RCS is the
+// textbook 4πA²/λ².
+func TestNormalIncidencePeak(t *testing.T) {
+	f := Facet{SideM: 1, TiltRad: 0}
+	got, err := f.RCS(xBand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda, _ := Wavelength(xBand)
+	want := 4 * math.Pi / (lambda * lambda)
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("peak RCS %v, want %v", got, want)
+	}
+	// A 1 m² plate at X-band is ≈41 dBsm — enormous. Tilt is everything.
+	if db := DBsm(got); db < 40 || db > 43 {
+		t.Errorf("peak %.1f dBsm, want ≈41", db)
+	}
+}
+
+// TestTiltKillsSpecular: a few degrees of tilt at X-band drops the
+// return by orders of magnitude — the faceting design rule.
+func TestTiltKillsSpecular(t *testing.T) {
+	peak, _ := Facet{SideM: 1, TiltRad: 0}.RCS(xBand)
+	tilted, _ := Facet{SideM: 1, TiltRad: 30 * math.Pi / 180}.RCS(xBand)
+	if tilted > peak*1e-4 {
+		t.Errorf("30° tilt only reduced RCS to %.2e of peak; facets would not work", tilted/peak)
+	}
+}
+
+// TestLowFrequencyLeaks: the same tilted facet leaks far more energy at
+// VHF, where the lobe is wide — why the F-117A's shaping is band-specific
+// and the B-2 had to blend.
+func TestLowFrequencyLeaks(t *testing.T) {
+	f := Facet{SideM: 1, TiltRad: 30 * math.Pi / 180}
+	x, _ := f.RCS(xBand)
+	v, _ := f.RCS(vhf)
+	px, _ := Facet{SideM: 1, TiltRad: 0}.RCS(xBand)
+	pv, _ := Facet{SideM: 1, TiltRad: 0}.RCS(vhf)
+	relX := x / px
+	relV := v / pv
+	if relV < 1000*relX {
+		t.Errorf("VHF leakage %.2e not ≫ X-band leakage %.2e", relV, relX)
+	}
+}
+
+func TestBeamwidth(t *testing.T) {
+	f := Facet{SideM: 2}
+	bx, err := f.BeamwidthRad(xBand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bv, err := f.BeamwidthRad(vhf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bv <= bx {
+		t.Errorf("VHF beamwidth %v not wider than X-band %v", bv, bx)
+	}
+	// Sub-wavelength plate: the lobe covers the hemisphere.
+	tiny := Facet{SideM: 0.5}
+	b, err := tiny.BeamwidthRad(vhf) // λ = 2 m > side
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != math.Pi/2 {
+		t.Errorf("sub-wavelength beamwidth %v, want π/2", b)
+	}
+	if _, err := (Facet{SideM: -1}).BeamwidthRad(xBand); err == nil {
+		t.Error("invalid facet accepted")
+	}
+}
+
+// TestFacetedShapeStealthyAtXBand: an all-tilted faceted shape has a tiny
+// X-band signature relative to one normal-incidence panel of the same
+// total area.
+func TestFacetedShapeStealthyAtXBand(t *testing.T) {
+	shape := Faceted("F-117-like", 12, 1.5, 25*math.Pi/180)
+	sigma, err := shape.RCS(xBand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	barnDoor, _ := Facet{SideM: 1.5 * math.Sqrt(12), TiltRad: 0}.RCS(xBand)
+	if sigma > barnDoor*1e-5 {
+		t.Errorf("faceted shape at %.2e of barn-door RCS; shaping failed", sigma/barnDoor)
+	}
+	// And the same shape is far less stealthy (relatively) at VHF.
+	sigmaV, err := shape.RCS(vhf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doorV, _ := Facet{SideM: 1.5 * math.Sqrt(12), TiltRad: 0}.RCS(vhf)
+	if sigmaV/doorV < 1e3*sigma/barnDoor {
+		t.Errorf("VHF relative signature %.2e not ≫ X-band %.2e", sigmaV/doorV, sigma/barnDoor)
+	}
+}
+
+func TestShapeErrors(t *testing.T) {
+	if _, err := (Shape{}).RCS(xBand); err == nil {
+		t.Error("empty shape accepted")
+	}
+	bad := Shape{Facets: []Facet{{SideM: -1}}}
+	if _, err := bad.RCS(xBand); err == nil {
+		t.Error("invalid facet in shape accepted")
+	}
+}
+
+func TestDBsm(t *testing.T) {
+	if DBsm(1) != 0 {
+		t.Errorf("DBsm(1) = %v", DBsm(1))
+	}
+	if DBsm(100) != 20 {
+		t.Errorf("DBsm(100) = %v", DBsm(100))
+	}
+	if !math.IsInf(DBsm(0), -1) {
+		t.Error("DBsm(0) finite")
+	}
+}
+
+// TestDesignCostAnecdote: the F-117A problem (20 m body, X-band threats)
+// is optical-regime and cheap; the B-2 problem (50 m body, VHF threats)
+// is resonance-regime and orders of magnitude costlier — the paper's
+// account of why the computing escalated from VAX-class to mainframes.
+func TestDesignCostAnecdote(t *testing.T) {
+	const aspects = 360
+	f117, regF, err := DesignCost(20, xBand, aspects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, regB, err := DesignCost(50, vhf, aspects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regF != Optical {
+		t.Errorf("F-117A problem classified %v", regF)
+	}
+	if regB != Resonance {
+		t.Errorf("B-2 problem classified %v", regB)
+	}
+	if b2 < 1e6*f117 {
+		t.Errorf("B-2 cost %.2e not ≫ F-117A cost %.2e", b2, f117)
+	}
+}
+
+func TestDesignCostErrors(t *testing.T) {
+	if _, _, err := DesignCost(0, xBand, 10); err == nil {
+		t.Error("zero body accepted")
+	}
+	if _, _, err := DesignCost(10, xBand, 0); err == nil {
+		t.Error("zero aspects accepted")
+	}
+	if _, _, err := DesignCost(10, -1, 10); !errors.Is(err, ErrFreq) {
+		t.Error("negative frequency accepted")
+	}
+}
+
+func TestRegimeString(t *testing.T) {
+	if Optical.String() == "" || Resonance.String() == "" {
+		t.Error("regime strings empty")
+	}
+}
+
+// TestDesignCostMonotoneInAspects: more aspect angles cost more, in both
+// regimes.
+func TestDesignCostMonotoneInAspects(t *testing.T) {
+	a1, _, _ := DesignCost(20, xBand, 100)
+	a2, _, _ := DesignCost(20, xBand, 200)
+	if a2 != 2*a1 {
+		t.Errorf("optical cost not linear in aspects: %v vs %v", a1, a2)
+	}
+	b1, _, _ := DesignCost(50, vhf, 100)
+	b2, _, _ := DesignCost(50, vhf, 200)
+	if b2 != 2*b1 {
+		t.Errorf("resonance cost not linear in aspects: %v vs %v", b1, b2)
+	}
+}

@@ -1,0 +1,237 @@
+// Package raytrace implements the workload the paper reaches for whenever
+// it needs the canonical cluster-friendly application: ray tracing, named
+// in the replicated-problems list ("Examples include ray tracing, some
+// flow problems, and image analysis") and in the note-53 cluster results
+// ("Clustered workstations worked well on applications involving ray
+// tracing, molecular dynamics, seismic signal processing").
+//
+// It is a small, real ray tracer — spheres and a ground plane, Lambertian
+// shading, hard shadows, mirror reflections — parallelized over scanlines
+// with goroutines. Rows are independent, so the parallel render is
+// bit-identical to the sequential one at any worker count: exactly the
+// property that let sites farm frames across whatever workstations the
+// LAN offered.
+package raytrace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Vec is a 3-vector.
+type Vec struct{ X, Y, Z float64 }
+
+// Arithmetic helpers.
+func (a Vec) Add(b Vec) Vec       { return Vec{a.X + b.X, a.Y + b.Y, a.Z + b.Z} }
+func (a Vec) Sub(b Vec) Vec       { return Vec{a.X - b.X, a.Y - b.Y, a.Z - b.Z} }
+func (a Vec) Scale(s float64) Vec { return Vec{a.X * s, a.Y * s, a.Z * s} }
+func (a Vec) Dot(b Vec) float64   { return a.X*b.X + a.Y*b.Y + a.Z*b.Z }
+func (a Vec) Norm() float64       { return math.Sqrt(a.Dot(a)) }
+
+// Unit returns the normalized vector (zero vector unchanged).
+func (a Vec) Unit() Vec {
+	n := a.Norm()
+	if n == 0 {
+		return a
+	}
+	return a.Scale(1 / n)
+}
+
+// Sphere is a scene object.
+type Sphere struct {
+	Center     Vec
+	Radius     float64
+	Color      Vec     // RGB in [0,1]
+	Reflective float64 // mirror fraction in [0,1]
+}
+
+// Scene is a renderable world: spheres over a checkered ground plane at
+// y = 0, one point light, a fixed camera at the origin looking +Z.
+type Scene struct {
+	Spheres []Sphere
+	Light   Vec
+}
+
+// Validate reports configuration errors.
+func (s Scene) Validate() error {
+	if len(s.Spheres) == 0 {
+		return errors.New("raytrace: empty scene")
+	}
+	for i, sp := range s.Spheres {
+		if sp.Radius <= 0 {
+			return fmt.Errorf("raytrace: sphere %d has radius %v", i, sp.Radius)
+		}
+		if sp.Reflective < 0 || sp.Reflective > 1 {
+			return fmt.Errorf("raytrace: sphere %d reflectivity %v", i, sp.Reflective)
+		}
+	}
+	return nil
+}
+
+// TestScene returns the standard benchmark world: three spheres of mixed
+// reflectivity above the plane, lit from the upper left.
+func TestScene() Scene {
+	return Scene{
+		Spheres: []Sphere{
+			{Center: Vec{0, 1, 6}, Radius: 1, Color: Vec{0.9, 0.2, 0.2}, Reflective: 0.3},
+			{Center: Vec{-2, 0.7, 5}, Radius: 0.7, Color: Vec{0.2, 0.9, 0.2}, Reflective: 0.0},
+			{Center: Vec{1.8, 0.9, 4.5}, Radius: 0.9, Color: Vec{0.9, 0.9, 0.9}, Reflective: 0.8},
+		},
+		Light: Vec{-4, 6, 1},
+	}
+}
+
+// maxDepth bounds the mirror recursion.
+const maxDepth = 4
+
+// hit describes a ray-scene intersection.
+type hit struct {
+	t      float64
+	point  Vec
+	normal Vec
+	color  Vec
+	refl   float64
+}
+
+// intersect finds the nearest intersection of the ray o + t·d, t > eps.
+func (s Scene) intersect(o, d Vec) (hit, bool) {
+	const eps = 1e-6
+	best := hit{t: math.Inf(1)}
+	found := false
+
+	for _, sp := range s.Spheres {
+		oc := o.Sub(sp.Center)
+		b := oc.Dot(d)
+		c := oc.Dot(oc) - sp.Radius*sp.Radius
+		disc := b*b - c
+		if disc < 0 {
+			continue
+		}
+		sq := math.Sqrt(disc)
+		for _, t := range [2]float64{-b - sq, -b + sq} {
+			if t > eps && t < best.t {
+				p := o.Add(d.Scale(t))
+				best = hit{
+					t: t, point: p,
+					normal: p.Sub(sp.Center).Unit(),
+					color:  sp.Color,
+					refl:   sp.Reflective,
+				}
+				found = true
+			}
+		}
+	}
+
+	// Ground plane y = 0 with a checker pattern.
+	if d.Y < -eps {
+		t := -o.Y / d.Y
+		if t > eps && t < best.t {
+			p := o.Add(d.Scale(t))
+			c := Vec{0.85, 0.85, 0.85}
+			if (int(math.Floor(p.X))+int(math.Floor(p.Z)))%2 != 0 {
+				c = Vec{0.25, 0.25, 0.25}
+			}
+			best = hit{t: t, point: p, normal: Vec{0, 1, 0}, color: c, refl: 0.1}
+			found = true
+		}
+	}
+	return best, found
+}
+
+// shade returns the color seen along the ray.
+func (s Scene) shade(o, d Vec, depth int) Vec {
+	h, ok := s.intersect(o, d)
+	if !ok {
+		// Sky gradient.
+		t := 0.5 * (d.Y + 1)
+		return Vec{1 - 0.3*t, 1 - 0.2*t, 1}
+	}
+
+	// Lambertian with hard shadow.
+	toLight := s.Light.Sub(h.point)
+	dist := toLight.Norm()
+	ldir := toLight.Scale(1 / dist)
+	diffuse := math.Max(0, h.normal.Dot(ldir))
+	if sh, okSh := s.intersect(h.point, ldir); okSh && sh.t < dist {
+		diffuse = 0
+	}
+	ambient := 0.12
+	col := h.color.Scale(ambient + 0.88*diffuse)
+
+	// Mirror bounce.
+	if h.refl > 0 && depth < maxDepth {
+		rdir := d.Sub(h.normal.Scale(2 * d.Dot(h.normal)))
+		rcol := s.shade(h.point, rdir.Unit(), depth+1)
+		col = col.Scale(1 - h.refl).Add(rcol.Scale(h.refl))
+	}
+	return col
+}
+
+// Render produces a width×height image (row-major RGB) sequentially.
+func (s Scene) Render(width, height int) ([]Vec, error) {
+	return s.RenderParallel(width, height, 1)
+}
+
+// RenderParallel renders with the given number of scanline workers
+// (0 = GOMAXPROCS). Each pixel depends only on the scene, so the result
+// is bit-identical at any worker count.
+func (s Scene) RenderParallel(width, height, workers int) ([]Vec, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if width < 1 || height < 1 {
+		return nil, fmt.Errorf("raytrace: bad image %dx%d", width, height)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > height {
+		workers = height
+	}
+	img := make([]Vec, width*height)
+	cam := Vec{0, 1.2, 0}
+	aspect := float64(width) / float64(height)
+
+	renderRows := func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			for x := 0; x < width; x++ {
+				// Screen coordinates in [-1, 1], y flipped.
+				sx := (2*(float64(x)+0.5)/float64(width) - 1) * aspect
+				sy := 1 - 2*(float64(y)+0.5)/float64(height)
+				dir := Vec{sx, sy, 1.6}.Unit()
+				img[y*width+x] = s.shade(cam, dir, 0)
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		r0 := height * w / workers
+		r1 := height * (w + 1) / workers
+		if r0 == r1 {
+			continue
+		}
+		wg.Add(1)
+		go func(a, b int) {
+			defer wg.Done()
+			renderRows(a, b)
+		}(r0, r1)
+	}
+	wg.Wait()
+	return img, nil
+}
+
+// Luminance returns the mean image brightness, a cheap content check.
+func Luminance(img []Vec) float64 {
+	if len(img) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range img {
+		sum += 0.2126*p.X + 0.7152*p.Y + 0.0722*p.Z
+	}
+	return sum / float64(len(img))
+}

@@ -1,0 +1,156 @@
+package raytrace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVecOps(t *testing.T) {
+	a, b := Vec{1, 2, 3}, Vec{4, 5, 6}
+	if a.Add(b) != (Vec{5, 7, 9}) || b.Sub(a) != (Vec{3, 3, 3}) {
+		t.Error("add/sub wrong")
+	}
+	if a.Dot(b) != 32 {
+		t.Error("dot wrong")
+	}
+	if (Vec{3, 4, 0}).Norm() != 5 {
+		t.Error("norm wrong")
+	}
+	if (Vec{0, 0, 0}).Unit() != (Vec{0, 0, 0}) {
+		t.Error("zero unit wrong")
+	}
+}
+
+// TestUnitIsUnit: normalization property over random vectors.
+func TestUnitIsUnit(t *testing.T) {
+	f := func(x, y, z float64) bool {
+		v := Vec{x, y, z}
+		if v.Norm() == 0 || math.IsInf(v.Norm(), 0) || math.IsNaN(v.Norm()) {
+			return true
+		}
+		return math.Abs(v.Unit().Norm()-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSceneValidate(t *testing.T) {
+	if err := (Scene{}).Validate(); err == nil {
+		t.Error("empty scene accepted")
+	}
+	bad := TestScene()
+	bad.Spheres[0].Radius = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero radius accepted")
+	}
+	bad = TestScene()
+	bad.Spheres[0].Reflective = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("reflectivity 2 accepted")
+	}
+}
+
+func TestRenderBasics(t *testing.T) {
+	img, err := TestScene().Render(64, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img) != 64*48 {
+		t.Fatalf("image has %d pixels", len(img))
+	}
+	for i, p := range img {
+		for _, c := range []float64{p.X, p.Y, p.Z} {
+			if math.IsNaN(c) || c < 0 {
+				t.Fatalf("pixel %d = %+v", i, p)
+			}
+		}
+	}
+	// The image must have content: sky, shadows, objects.
+	lum := Luminance(img)
+	if lum < 0.2 || lum > 0.95 {
+		t.Errorf("mean luminance %.3f; image degenerate", lum)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if _, err := TestScene().Render(0, 10); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := (Scene{}).Render(8, 8); err == nil {
+		t.Error("invalid scene rendered")
+	}
+}
+
+// TestParallelBitIdentical: the defining property — any worker count
+// produces the identical image.
+func TestParallelBitIdentical(t *testing.T) {
+	ref, err := TestScene().RenderParallel(80, 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 3, 7, 60, 200} {
+		img, err := TestScene().RenderParallel(80, 60, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range ref {
+			if img[i] != ref[i] {
+				t.Fatalf("workers=%d: pixel %d differs", workers, i)
+			}
+		}
+	}
+}
+
+// TestImageHasShadowAndMirror: structural content checks — a shadowed
+// region darker than its surroundings, and the mirrored sphere picking up
+// off-color light.
+func TestImageHasShadowAndMirror(t *testing.T) {
+	const w, h = 160, 120
+	img, err := TestScene().Render(w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Darkest pixel should be far darker than the mean (shadow or dark
+	// checker), brightest near white (sky or lit sphere).
+	min, max := math.Inf(1), 0.0
+	for _, p := range img {
+		l := 0.2126*p.X + 0.7152*p.Y + 0.0722*p.Z
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	if max < 0.85 {
+		t.Errorf("brightest pixel %.2f; no sky or highlight", max)
+	}
+	if min > 0.3*max {
+		t.Errorf("darkest pixel %.2f of max; no shadows", min/max)
+	}
+}
+
+// TestSequentialWrapsParallel: Render is the one-worker case.
+func TestSequentialWrapsParallel(t *testing.T) {
+	a, err := TestScene().Render(32, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TestScene().RenderParallel(32, 24, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Render differs from one-worker RenderParallel")
+		}
+	}
+}
+
+func TestLuminanceEmpty(t *testing.T) {
+	if Luminance(nil) != 0 {
+		t.Error("empty luminance nonzero")
+	}
+}

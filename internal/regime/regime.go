@@ -1,0 +1,191 @@
+// Package regime encodes the historical evolution of HPC export-control
+// policy that Chapter 1 chronicles — the thresholds, proposals, and
+// bilateral arrangements from the 1984 U.S.–Japan accord through the 1994
+// amendment — and retro-evaluates each threshold against the paper's
+// framework: was the number, at its own date and afterward, inside the
+// valid range between the uncontrollability frontier and the most powerful
+// system available?
+//
+// The retro-evaluation reproduces the study's motivating observation: the
+// policy was "reviewed infrequently, forcing the continuation of outdated
+// threshold values on industry". By the framework's own arithmetic the
+// 1,500-Mtops threshold adopted in February 1994 was already below the
+// lower bound of controllability at adoption — the condition the paper was
+// commissioned to repair.
+package regime
+
+import (
+	"fmt"
+
+	"repro/internal/controllability"
+	"repro/internal/units"
+)
+
+// EventKind distinguishes adopted thresholds from proposals and
+// arrangements.
+type EventKind int
+
+const (
+	// Adopted: a threshold in legal force.
+	Adopted EventKind = iota
+	// Proposed: published for comment but not (or not yet) in force.
+	Proposed
+	// Arrangement: a bilateral or multilateral process event.
+	Arrangement
+)
+
+// String returns the kind's display name.
+func (k EventKind) String() string {
+	switch k {
+	case Adopted:
+		return "adopted"
+	case Proposed:
+		return "proposed"
+	case Arrangement:
+		return "arrangement"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one episode in the policy's history.
+type Event struct {
+	Date      float64 // fractional year
+	Kind      EventKind
+	Threshold units.Mtops // 0 when the event carries no numeric threshold
+	Citation  string
+	Summary   string
+}
+
+// Timeline returns the Chapter 1 policy history in chronological order.
+// Mflops-denominated proposals are carried at their approximate Mtops
+// equivalents (the paper: Mtops are "roughly equivalent" to Mflops with
+// adjustments; the 1991 conversion set the supercomputer line at 195
+// Mtops where the prior practice clustered near 100–160 Mflops).
+func Timeline() []Event {
+	return []Event{
+		{
+			Date: 1984.5, Kind: Arrangement,
+			Citation:  "U.S.–Japan Supercomputer Control Regime",
+			Summary:   "joint regulation of a named list of the ten or so highest-performing computers; 100 Mflops working line",
+			Threshold: 120,
+		},
+		{
+			Date: 1985.05, Kind: Adopted,
+			Citation:  "Commerce decontrol of first-wave PCs (January 1985)",
+			Summary:   "IBM PC-XT class made freely exportable — the first concession to uncontrollability",
+			Threshold: 1,
+		},
+		{
+			Date: 1988.93, Kind: Proposed,
+			Citation:  "53 FR 48932 (December 5, 1988)",
+			Summary:   "first published supercomputer definition at 160 Mflops, the Cray-1's theoretical peak",
+			Threshold: 195,
+		},
+		{
+			Date: 1990.08, Kind: Proposed,
+			Citation:  "55 FR 3017 (January 29, 1990)",
+			Summary:   "revised definition with three tiers at 100, 150, and 300 Mflops keyed to safeguard levels",
+			Threshold: 360,
+		},
+		{
+			Date: 1991.45, Kind: Adopted,
+			Citation:  "renegotiated U.S.–Japan accord (March–June 1991)",
+			Summary:   "safeguard arrangements required at 195 Mtops; named-machine list abandoned for the CTP metric",
+			Threshold: 195,
+		},
+		{
+			Date: 1993.75, Kind: Proposed,
+			Citation:  "TPCC report (September 30, 1993)",
+			Summary:   "proposed raising the supercomputer threshold from 195 to 2,000 Mtops",
+			Threshold: 2000,
+		},
+		{
+			Date: 1994.15, Kind: Adopted,
+			Citation:  "59 FR 8848 (February 24, 1994)",
+			Summary:   "threshold raised to 1,500 Mtops after negotiation with Japan fell short of the 2,000 goal",
+			Threshold: 1500,
+		},
+		{
+			Date: 1995.15, Kind: Arrangement,
+			Citation: "Administration computer-control review (February 1995)",
+			Summary:  "the review this study contributed to",
+		},
+	}
+}
+
+// Verdict is the retro-evaluation of one threshold at one date.
+type Verdict struct {
+	Event    Event
+	AsOf     float64
+	Frontier units.Mtops // lower bound at the date; 0 if none yet
+	Viable   bool        // threshold at or above the frontier
+	Margin   float64     // threshold / frontier; <1 means under water
+}
+
+// String renders the verdict.
+func (v Verdict) String() string {
+	status := "VIABLE"
+	if !v.Viable {
+		status = "below the lower bound of controllability"
+	}
+	return fmt.Sprintf("%.2f: %s threshold %s vs frontier %s — %s (×%.2f)",
+		v.AsOf, v.Event.Kind, v.Event.Threshold, v.Frontier, status, v.Margin)
+}
+
+// EvaluateAt tests a threshold event against the frontier at a date under
+// the given frontier options. Cold-War-era thresholds were calibrated
+// against Western uncontrollability (CoCom members controlled exports to
+// the East; indigenous Eastern machines were the threat being raced, not a
+// leak in the dike), so evaluations of the 1980s–1991 events should pass
+// Options{ExcludeIndigenous: true}; the post-Cold-War reviews the paper
+// participated in used the combined frontier. Events without a numeric
+// threshold evaluate to a zero Verdict with Viable true (nothing to test).
+func EvaluateAt(e Event, asOf float64, opts controllability.Options) Verdict {
+	v := Verdict{Event: e, AsOf: asOf, Viable: true, Margin: 1}
+	if e.Threshold == 0 {
+		return v
+	}
+	frontier, _, ok := controllability.Frontier(asOf, opts)
+	if !ok {
+		// Nothing uncontrollable yet: any positive threshold is viable.
+		v.Margin = 1
+		return v
+	}
+	v.Frontier = frontier
+	v.Viable = e.Threshold >= frontier
+	v.Margin = float64(e.Threshold) / float64(frontier)
+	return v
+}
+
+// History evaluates every numeric threshold at its own adoption date and
+// at the study's date, showing which had been overtaken.
+func History(studyDate float64) []Verdict {
+	var out []Verdict
+	for _, e := range Timeline() {
+		if e.Threshold == 0 {
+			continue
+		}
+		// At adoption: the frontier concept of the event's own era.
+		adoptOpts := controllability.Options{ExcludeIndigenous: e.Date < 1992}
+		out = append(out, EvaluateAt(e, e.Date, adoptOpts))
+		out = append(out, EvaluateAt(e, studyDate, controllability.Options{}))
+	}
+	return out
+}
+
+// YearOvertaken returns the year the frontier first met or exceeded the
+// threshold, searching half-yearly from the event's date through horizon.
+// ok is false if it survives the whole window.
+func YearOvertaken(e Event, horizon float64) (float64, bool) {
+	if e.Threshold == 0 {
+		return 0, false
+	}
+	for y := e.Date; y <= horizon; y += 0.5 {
+		frontier, _, okF := controllability.Frontier(y, controllability.Options{ExcludeIndigenous: true})
+		if okF && frontier >= e.Threshold {
+			return y, true
+		}
+	}
+	return 0, false
+}

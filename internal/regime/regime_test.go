@@ -1,0 +1,159 @@
+package regime
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/controllability"
+)
+
+func TestTimelineChronological(t *testing.T) {
+	tl := Timeline()
+	if len(tl) < 7 {
+		t.Fatalf("timeline has %d events", len(tl))
+	}
+	for i := 1; i < len(tl); i++ {
+		if tl[i].Date < tl[i-1].Date {
+			t.Errorf("timeline out of order at %q", tl[i].Citation)
+		}
+	}
+	for _, e := range tl {
+		if e.Citation == "" || e.Summary == "" {
+			t.Errorf("event at %.2f lacks citation or summary", e.Date)
+		}
+	}
+}
+
+func TestKnownThresholds(t *testing.T) {
+	// The two adopted CTP-era thresholds must appear with their exact
+	// values.
+	var have195, have1500 bool
+	for _, e := range Timeline() {
+		if e.Kind == Adopted && e.Threshold == 195 {
+			have195 = true
+		}
+		if e.Kind == Adopted && e.Threshold == 1500 {
+			have1500 = true
+		}
+	}
+	if !have195 || !have1500 {
+		t.Errorf("timeline missing adopted thresholds: 195=%v 1500=%v", have195, have1500)
+	}
+}
+
+// Test195ViableAtAdoption: at mid-1991 the 195-Mtops threshold sat above
+// the Western uncontrollable frontier (old VAXes, PCs, first workstation
+// SMPs) — the regime was coherent when adopted. Cold-War thresholds are
+// evaluated against Western uncontrollability only; indigenous Soviet
+// machines were the race, not the leak.
+func Test195ViableAtAdoption(t *testing.T) {
+	var e Event
+	for _, ev := range Timeline() {
+		if ev.Kind == Adopted && ev.Threshold == 195 {
+			e = ev
+		}
+	}
+	v := EvaluateAt(e, e.Date, controllability.Options{ExcludeIndigenous: true})
+	if v.Frontier == 0 {
+		t.Fatal("no frontier at 1991")
+	}
+	if !v.Viable {
+		t.Errorf("195 Mtops below the Western frontier at adoption: %s", v)
+	}
+	// Against the combined frontier of the paper's framework, the Soviet
+	// MKP already overtops 195 — the framework and the era's practice
+	// disagree, which is exactly why the paper re-derives the bound.
+	combined := EvaluateAt(e, e.Date, controllability.Options{})
+	if combined.Viable {
+		t.Errorf("combined frontier should overtop 195 in 1991: %s", combined)
+	}
+}
+
+// Test1500UnderWaterByStudy: the study's central motivating fact — by
+// mid-1995 the 1,500-Mtops threshold in force was far below the
+// 4,000–5,000 Mtops lower bound of controllability.
+func Test1500UnderWaterByStudy(t *testing.T) {
+	var e Event
+	for _, ev := range Timeline() {
+		if ev.Kind == Adopted && ev.Threshold == 1500 {
+			e = ev
+		}
+	}
+	v := EvaluateAt(e, 1995.45, controllability.Options{})
+	if v.Viable {
+		t.Errorf("1,500 Mtops still viable mid-1995: %s", v)
+	}
+	if v.Margin >= 0.5 {
+		t.Errorf("margin %.2f; the threshold was under water by ~3×", v.Margin)
+	}
+	// And it was already untenable at its own adoption: the MKP and
+	// transputer-era indigenous machines plus commercial SMPs had pushed
+	// the combined frontier past 1,500 by early 1994.
+	at := EvaluateAt(e, e.Date, controllability.Options{})
+	if at.Viable {
+		t.Errorf("1,500 Mtops viable at adoption — the framework should show it already overtaken: %s", at)
+	}
+}
+
+func TestYearOvertaken(t *testing.T) {
+	var e195 Event
+	for _, ev := range Timeline() {
+		if ev.Threshold == 195 && ev.Kind == Adopted {
+			e195 = ev
+		}
+	}
+	yr, ok := YearOvertaken(e195, 2000)
+	if !ok {
+		t.Fatal("195 Mtops never overtaken")
+	}
+	// Workstations introduced in 1992 crossed 195 Mtops (the complaint
+	// President Clinton heard at SGI in February 1993); with the two-year
+	// maturation lag the frontier itself crosses in 1994.
+	if yr < 1992 || yr > 1995 {
+		t.Errorf("195 Mtops overtaken at %.1f; expected ≈1994", yr)
+	}
+	// Events with no threshold are never overtaken.
+	if _, ok := YearOvertaken(Event{Date: 1990}, 2000); ok {
+		t.Error("threshold-less event overtaken")
+	}
+}
+
+func TestHistoryCoversAdoptionAndStudy(t *testing.T) {
+	h := History(1995.45)
+	if len(h) < 10 {
+		t.Fatalf("history has %d verdicts", len(h))
+	}
+	// Each numeric event contributes two verdicts.
+	numeric := 0
+	for _, e := range Timeline() {
+		if e.Threshold != 0 {
+			numeric++
+		}
+	}
+	if len(h) != 2*numeric {
+		t.Errorf("history has %d verdicts for %d numeric events", len(h), numeric)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	h := History(1995.45)
+	s := h[len(h)-1].String()
+	if !strings.Contains(s, "Mtops") {
+		t.Errorf("verdict string lacks units: %s", s)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if Adopted.String() != "adopted" || Proposed.String() != "proposed" ||
+		Arrangement.String() != "arrangement" || EventKind(9).String() != "EventKind(9)" {
+		t.Error("EventKind strings")
+	}
+}
+
+// TestNoThresholdEventViable: arrangements evaluate as trivially viable.
+func TestNoThresholdEventViable(t *testing.T) {
+	v := EvaluateAt(Event{Date: 1995.15, Kind: Arrangement}, 1995.45, controllability.Options{})
+	if !v.Viable || v.Frontier != 0 {
+		t.Errorf("arrangement verdict %+v", v)
+	}
+}

@@ -1,0 +1,70 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllExtrasGenerate(t *testing.T) {
+	extras := Extras()
+	if len(extras) != 10 {
+		t.Fatalf("%d appendix exhibits, want 10", len(extras))
+	}
+	for i, build := range extras {
+		tbl, err := build()
+		if err != nil {
+			t.Errorf("extra A%d: %v", i+1, err)
+			continue
+		}
+		if len(tbl.Rows) == 0 {
+			t.Errorf("extra A%d: empty", i+1)
+		}
+		if !strings.HasPrefix(tbl.ID, "Appendix") {
+			t.Errorf("extra A%d: ID %q", i+1, tbl.ID)
+		}
+	}
+}
+
+func TestExtraA2ShowsUnderwater1500(t *testing.T) {
+	tbl, err := ExtraA2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.String()
+	if !strings.Contains(s, "1,500 Mtops") {
+		t.Fatalf("A2 missing the 1,500 threshold:\n%s", s)
+	}
+	// The 1994 adoption row must show "NO" for mid-1995 viability.
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, "59 FR 8848") && !strings.Contains(line, "NO") {
+			t.Errorf("1,500 Mtops shown viable mid-1995: %s", line)
+		}
+	}
+}
+
+func TestExtraA5MatchesScenarioAnchors(t *testing.T) {
+	tbl, err := ExtraA5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.String()
+	for _, want := range []string{"global 120 km", "tactical 45 km", "chem/bio local 1 km"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("A5 missing scenario %q", want)
+		}
+	}
+}
+
+func TestExtraA8Criticality(t *testing.T) {
+	tbl, err := ExtraA8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The middle row is at the analytic critical size: k ≈ 1.
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("A8 has %d rows", len(tbl.Rows))
+	}
+	if !strings.HasPrefix(tbl.Rows[2][1], "1.0") && !strings.HasPrefix(tbl.Rows[2][1], "0.99") {
+		t.Errorf("critical-size k = %s, want ≈1", tbl.Rows[2][1])
+	}
+}

@@ -1,0 +1,333 @@
+package report
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/apps"
+	"repro/internal/catalog"
+	"repro/internal/controllability"
+	"repro/internal/ctp"
+	"repro/internal/threshold"
+	"repro/internal/top500"
+	"repro/internal/trend"
+)
+
+// binLabels renders the policy-bin edges as range labels.
+func binLabels(edges []float64) []string {
+	out := make([]string, len(edges)-1)
+	for i := range out {
+		lo, hi := edges[i], edges[i+1]
+		if math.IsInf(hi, 1) {
+			out[i] = fmt.Sprintf("≥%.0f", lo)
+		} else {
+			out[i] = fmt.Sprintf("%.0f–%.0f", lo, hi)
+		}
+	}
+	return out
+}
+
+// f2 formats a float at policy precision.
+func f2(v float64) string { return fmt.Sprintf("%.0f", v) }
+
+// Figure01 regenerates "Range of Computational Power for the F-22 Design":
+// the minimum, actual, and maximum-available curves for the F-22
+// application, 1991–1995.
+func Figure01() (*Table, error) {
+	app, ok := apps.Lookup("F-22 design (simultaneous CEA/CFD optimization)")
+	if !ok {
+		return nil, fmt.Errorf("report: F-22 application missing")
+	}
+	t := &Table{
+		ID:     "Figure 1",
+		Title:  "Range of Computational Power for the F-22 Design",
+		Header: []string{"year", "minimum (Mtops)", "actual (Mtops)", "maximum available (Mtops)"},
+	}
+	for year := app.FirstYear; year <= 1995; year++ {
+		max, ok := catalog.MostPowerfulAsOf(float64(year), nil)
+		if !ok {
+			continue
+		}
+		t.AddRow(year, f2(float64(app.Min)), f2(float64(app.Actual)), f2(float64(max.CTP)))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("actual system: %s", app.ActualName),
+		"the minimum is the bound that matters for export control")
+	return t, nil
+}
+
+// Figure02 regenerates "HPC Applications and Technology Trends": the three
+// technology curves (most powerful available, most powerful
+// uncontrollable, most powerful in countries of concern) year by year,
+// with the application stalactites listed beneath.
+func Figure02() (*Table, error) {
+	t := &Table{
+		ID:     "Figure 2",
+		Title:  "HPC Applications and Technology Trends",
+		Header: []string{"year", "max available", "uncontrollable frontier", "countries-of-concern max"},
+	}
+	for year := 1988.0; year <= 1999.0; year++ {
+		max, _ := catalog.MostPowerfulAsOf(year, nil)
+		frontier, _, okF := controllability.Frontier(year, controllability.Options{ExcludeIndigenous: true})
+		conc, okC := catalog.MostPowerfulAsOf(year, func(s catalog.System) bool {
+			return (s.Origin == catalog.Russia || s.Origin == catalog.PRC || s.Origin == catalog.India) &&
+				s.Installed >= 2
+		})
+		fr, cc := "—", "—"
+		if okF {
+			fr = f2(float64(frontier))
+		}
+		if okC {
+			cc = f2(float64(conc.CTP))
+		}
+		t.AddRow(int(year), f2(float64(max.CTP)), fr, cc)
+	}
+	for _, a := range apps.All() {
+		t.Notes = append(t.Notes, fmt.Sprintf("stalactite %d: %s", a.FirstYear, a))
+	}
+	return t, nil
+}
+
+// Figure03 regenerates the "Hypothetical Distribution of Applications and
+// Computer Installations" illustration: smooth synthetic shapes with the
+// four threshold lines A–D of the Chapter 2 discussion.
+func Figure03() (*Table, error) {
+	t := &Table{
+		ID:     "Figure 3",
+		Title:  "Hypothetical Distribution of Applications and Computer Installations",
+		Header: []string{"CTP (Mtops)", "installations", "applications"},
+	}
+	// Installations fall off as a power law; applications are bimodal
+	// with humps below line B and between B and C — exactly the shape the
+	// chapter's argument needs.
+	for x := 10.0; x <= 200000; x *= 2 {
+		installs := 2e6 * math.Pow(x, -1.1)
+		appsAt := 40*math.Exp(-sq(math.Log10(x)-2.3)/0.5) +
+			18*math.Exp(-sq(math.Log10(x)-3.95)/0.08)
+		t.AddRow(f2(x), f2(installs), fmt.Sprintf("%.1f", appsAt))
+	}
+	t.Notes = append(t.Notes,
+		"line A: uncontrollability level (≈4,600 in mid-1995)",
+		"line B: above the installation hump, below the application hump",
+		"line C: inside the application hump — an unreasonable choice",
+		"line D: most powerful system available")
+	return t, nil
+}
+
+func sq(v float64) float64 { return v * v }
+
+// Figure04 regenerates "HPC in Russia, PRC, and India": each indigenous
+// system as a dated point on its country's trend line.
+func Figure04() (*Table, error) {
+	t := &Table{
+		ID:     "Figure 4",
+		Title:  "HPC in Russia, PRC, and India",
+		Header: []string{"country", "year", "system", "CTP (Mtops)", "provenance"},
+	}
+	for _, s := range catalog.Indigenous() {
+		t.AddRow(s.Origin, s.Year, s.Name, f2(float64(s.CTP)), s.Source)
+	}
+	t.Notes = append(t.Notes, "the 195 and 1,500 Mtops control thresholds cross these curves")
+	return t, nil
+}
+
+// Figure05 regenerates "Advances in 64-bit Microprocessors": the dated
+// single-chip ratings with the fitted exponential.
+func Figure05() (*Table, error) {
+	t := &Table{
+		ID:     "Figure 5",
+		Title:  "Advances in 64-bit Microprocessors",
+		Header: []string{"year", "microprocessor", "clock (MHz)", "CTP (Mtops)"},
+	}
+	var pts []trend.Point
+	for _, mp := range ctp.Microprocessors64() {
+		t.AddRow(mp.Year, mp.Name, f2(float64(mp.Element.Clock)), f2(mp.MtopsRef))
+		pts = append(pts, trend.Point{X: float64(mp.Year), Y: mp.MtopsRef})
+	}
+	fit, err := trend.FitExponential(pts)
+	if err != nil {
+		return nil, fmt.Errorf("report: figure 5 fit: %w", err)
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("fitted growth: %s", fit))
+	return t, nil
+}
+
+// Figure06 regenerates "Performance of 'Uncontrollable' Symmetrical
+// Multiprocessor Systems": the per-vendor SMP maximum-configuration trend
+// lines, and the uncontrollability dates implied by the two-year
+// market-maturation lag.
+func Figure06() (*Table, error) {
+	t := &Table{
+		ID:     "Figure 6",
+		Title:  "Performance of \"Uncontrollable\" Symmetrical Multiprocessor Systems",
+		Header: []string{"vendor", "introduced", "uncontrollable from", "system", "CTP (Mtops)"},
+	}
+	for _, s := range catalog.All() {
+		if s.Class != catalog.SMPServer || s.Origin != catalog.US {
+			continue
+		}
+		t.AddRow(s.Vendor, s.Year, fmt.Sprintf("%.0f", float64(s.Year)+controllability.MaturationLag),
+			s.Name, f2(float64(s.CTP)))
+	}
+	t.Notes = append(t.Notes,
+		"systems considered uncontrollable two years after first shipment",
+		"frontier mid-1995 ≈ 4,600 Mtops; ≈7,500 by late 1996/97; >16,000 before 2000")
+	return t, nil
+}
+
+// Figure07 regenerates "Performance of Foreign and Domestic HPC Systems":
+// the overlay of the Figure 4 and Figure 6 populations and the resulting
+// envelope.
+func Figure07() (*Table, error) {
+	t := &Table{
+		ID:     "Figure 7",
+		Title:  "Performance of Foreign and Domestic HPC Systems",
+		Header: []string{"year", "Western uncontrollable frontier", "countries-of-concern envelope"},
+	}
+	west := controllability.FrontierSeries(1988, 1999, 1, controllability.Options{ExcludeIndigenous: true})
+	concern := trend.Envelope(catalog.IndigenousSeries(), 1988, 1999)
+	for year := 1988.0; year <= 1999.0; year++ {
+		w, errW := trend.Interpolate(west.Points, year)
+		c, errC := trend.Interpolate(concern, year)
+		ws, cs := "—", "—"
+		if errW == nil {
+			ws = f2(w)
+		}
+		if errC == nil {
+			cs = f2(c)
+		}
+		t.AddRow(int(year), ws, cs)
+	}
+	t.Notes = append(t.Notes, "Western uncontrollable systems eclipse all non-Western HPC projects")
+	return t, nil
+}
+
+// histTable builds a histogram table over the policy bins.
+func histTable(id, title string, counts []int) *Table {
+	t := &Table{ID: id, Title: title, Header: []string{"CTP band (Mtops)", "applications"}}
+	labels := binLabels(apps.PolicyBins)
+	for i, c := range counts {
+		t.AddRow(labels[i], c)
+	}
+	return t
+}
+
+// Figure08 regenerates "Performance Distribution of S&T Applications
+// (1994)".
+func Figure08() (*Table, error) {
+	counts := apps.Histogram(apps.SurveyMtops(apps.STPopulation1994()), apps.PolicyBins)
+	t := histTable("Figure 8", "Performance Distribution of S&T Applications (1994)", counts)
+	t.Notes = append(t.Notes, "synthetic reconstruction of the HPCMO S&T survey population")
+	return t, nil
+}
+
+// Figure09 regenerates "Performance Distribution of Current (1995) and
+// Projected (1996) DT&E Applications".
+func Figure09() (*Table, error) {
+	cur := apps.Histogram(apps.SurveyMtops(apps.DTEPopulation(1995)), apps.PolicyBins)
+	proj := apps.Histogram(apps.SurveyMtops(apps.DTEPopulation(1996)), apps.PolicyBins)
+	t := &Table{
+		ID:     "Figure 9",
+		Title:  "Performance Distribution of Current (1995) and Projected (1996) DT&E Applications",
+		Header: []string{"CTP band (Mtops)", "1995", "1996 (projected)"},
+	}
+	labels := binLabels(apps.PolicyBins)
+	for i := range cur {
+		t.AddRow(labels[i], cur[i], proj[i])
+	}
+	t.Notes = append(t.Notes, "projection: growth in complexity, partial migration to parallel clusters")
+	return t, nil
+}
+
+// Figure10 regenerates "Distribution of Minimum Computational
+// Requirements" over the curated Chapter 4 applications.
+func Figure10() (*Table, error) {
+	counts := apps.Histogram(apps.Minima(), apps.PolicyBins)
+	t := histTable("Figure 10", "Distribution of Minimum Computational Requirements", counts)
+	t.Notes = append(t.Notes, "minimum = least configuration that performs the application usefully")
+	return t, nil
+}
+
+// Figure11 regenerates "Threshold Analysis: June 1995 Snapshot" — the
+// paper's central exhibit.
+func Figure11() (*Table, error) {
+	s, err := threshold.Take(1995.45)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "Figure 11",
+		Title:  "Threshold Analysis: June 1995 Snapshot",
+		Header: []string{"quantity", "value"},
+	}
+	t.AddRow("lower bound (line A)", s.LowerBound)
+	t.AddRow("lower-bound system", s.LowerBoundSystem.Name)
+	t.AddRow("most powerful available (line D)", s.MaxAvailable)
+	t.AddRow("max-available system", s.MaxAvailableSystem.Name)
+	t.AddRow("applications above lower bound", len(s.Above))
+	for _, c := range s.Clusters {
+		if c.Significant() {
+			t.AddRow(fmt.Sprintf("%v cluster", c.Category),
+				fmt.Sprintf("%d applications starting at %s", len(c.Apps), c.Start))
+		}
+	}
+	for _, p := range s.Premises {
+		t.AddRow(p.Premise, fmt.Sprintf("holds=%v strength=%.2f", p.Holds, p.Strength))
+	}
+	if rec, ok := s.Recommend(threshold.ControlMaximal); ok {
+		t.AddRow("threshold (control-maximal)", rec)
+	}
+	if rec, ok := s.Recommend(threshold.ApplicationDriven); ok {
+		t.AddRow("threshold (application-driven)", rec)
+	}
+	return t, nil
+}
+
+// Figure12 regenerates "Trends in Distribution of Top500 Installations".
+func Figure12() (*Table, error) {
+	rows, err := top500.DistributionTrend(1993.5, 1998.5)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "Figure 12",
+		Title:  "Trends in Distribution of Top500 Installations",
+		Header: []string{"list", "vector", "MPP", "SMP", "other"},
+	}
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%.1f", r.Year),
+			pct(r.Vector), pct(r.MPPs), pct(r.SMPs), pct(r.Other))
+	}
+	return t, nil
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// Figure13 regenerates "Top500 Trends and the Lower Bound of
+// Controllability".
+func Figure13() (*Table, error) {
+	rows, err := top500.FrontierTrend(1993.5, 1998.5)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "Figure 13",
+		Title:  "Top500 Trends and the Lower Bound of Controllability",
+		Header: []string{"list", "entry level", "median", "max", "frontier", "share below frontier"},
+	}
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%.1f", r.Year),
+			f2(float64(r.EntryLevel)), f2(float64(r.Median)), f2(float64(r.Max)),
+			f2(float64(r.Frontier)), pct(r.FractionBelow))
+	}
+	t.Notes = append(t.Notes, "the frontier climbs through the list from below")
+	return t, nil
+}
+
+// Figures returns all thirteen figure builders in order.
+func Figures() []func() (*Table, error) {
+	return []func() (*Table, error){
+		Figure01, Figure02, Figure03, Figure04, Figure05, Figure06, Figure07,
+		Figure08, Figure09, Figure10, Figure11, Figure12, Figure13,
+	}
+}

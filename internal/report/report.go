@@ -1,0 +1,101 @@
+// Package report renders the study's tables and figures as text. Every
+// numbered exhibit of the paper — Tables 1–16 and Figures 1–13 — has a
+// builder here that assembles the underlying data from the analysis
+// packages and returns a Table: a titled grid of strings that the cmd
+// tools print, the benchmarks regenerate, and the tests inspect.
+//
+// Figures are rendered as the data series behind them (year/value rows,
+// histogram bins) rather than as graphics; the numbers, not the ink, are
+// what a reproduction must deliver.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	ID     string // "Table 4", "Figure 11", …
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row built from the stringified arguments.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len([]rune(cell)) > widths[i] {
+				widths[i] = len([]rune(cell))
+			}
+		}
+	}
+	var b strings.Builder
+	if t.ID != "" || t.Title != "" {
+		fmt.Fprintf(&b, "%s. %s\n", t.ID, t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len([]rune(cell))))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	var rule []string
+	for _, wd := range widths {
+		rule = append(rule, strings.Repeat("-", wd))
+	}
+	writeRow(rule)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+// TSV writes the table as tab-separated values (no title or notes), for
+// piping into plotting tools.
+func (t *Table) TSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(t.Header, "\t")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllFiguresGenerate(t *testing.T) {
+	for i, build := range Figures() {
+		tbl, err := build()
+		if err != nil {
+			t.Errorf("figure %d: %v", i+1, err)
+			continue
+		}
+		if len(tbl.Rows) == 0 {
+			t.Errorf("figure %d: no rows", i+1)
+		}
+		if tbl.ID == "" || tbl.Title == "" {
+			t.Errorf("figure %d: missing identification", i+1)
+		}
+		if s := tbl.String(); !strings.Contains(s, tbl.Title) {
+			t.Errorf("figure %d: render missing title", i+1)
+		}
+	}
+	if len(Figures()) != 13 {
+		t.Errorf("%d figures, want 13", len(Figures()))
+	}
+}
+
+func TestAllTablesGenerate(t *testing.T) {
+	for i, build := range Tables() {
+		tbl, err := build()
+		if err != nil {
+			t.Errorf("table %d: %v", i+1, err)
+			continue
+		}
+		if len(tbl.Rows) == 0 {
+			t.Errorf("table %d: no rows", i+1)
+		}
+		if len(tbl.Header) == 0 {
+			t.Errorf("table %d: no header", i+1)
+		}
+	}
+	if len(Tables()) != 16 {
+		t.Errorf("%d tables, want 16", len(Tables()))
+	}
+}
+
+func TestFigure11Contents(t *testing.T) {
+	tbl, err := Figure11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.String()
+	for _, want := range []string{
+		"lower bound", "4,600 Mtops", "RDT&E cluster", "military operations cluster",
+		"premise 1", "premise 2", "premise 3",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Figure 11 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable04Verdicts(t *testing.T) {
+	tbl, err := Table04()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.String()
+	if !strings.Contains(s, "uncontrollable") || !strings.Contains(s, "controllable") {
+		t.Error("Table 4 should contain both verdicts")
+	}
+}
+
+func TestTable05SpeedupShape(t *testing.T) {
+	tbl, err := Table05()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("Table 5 has %d machine rows", len(tbl.Rows))
+	}
+	if len(tbl.Header) != 6 { // architecture + 5 workloads
+		t.Fatalf("Table 5 has %d columns", len(tbl.Header))
+	}
+}
+
+func TestRenderAlignment(t *testing.T) {
+	tbl := &Table{
+		ID: "Table X", Title: "Test",
+		Header: []string{"a", "bee"},
+	}
+	tbl.AddRow("longer", 12)
+	tbl.AddRow("x", 3)
+	s := tbl.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	// Title + header + rule + 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("rendered %d lines: %q", len(lines), s)
+	}
+	if !strings.HasPrefix(lines[0], "Table X. Test") {
+		t.Errorf("title line %q", lines[0])
+	}
+}
+
+func TestTSV(t *testing.T) {
+	tbl := &Table{Header: []string{"x", "y"}}
+	tbl.AddRow(1, 2)
+	var b strings.Builder
+	if err := tbl.TSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "x\ty\n1\t2\n" {
+		t.Errorf("TSV = %q", b.String())
+	}
+}
+
+func TestBinLabels(t *testing.T) {
+	labels := binLabels([]float64{0, 10, 100})
+	if len(labels) != 2 || labels[0] != "0–10" {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+// TestFiguresDeterministic: regenerating a figure yields identical output
+// (the annual-review property: same data, same exhibit).
+func TestFiguresDeterministic(t *testing.T) {
+	for i, build := range Figures() {
+		a, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Errorf("figure %d not deterministic", i+1)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package report
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/catalog"
+	"repro/internal/controllability"
+	"repro/internal/simmach"
+	"repro/internal/threshold"
+	"repro/internal/workload"
+)
+
+// systemsTable renders one country's indigenous-systems table.
+func systemsTable(id, title string, origin catalog.Origin) *Table {
+	t := &Table{
+		ID: id, Title: title,
+		Header: []string{"system", "developer", "year", "processors", "processor", "CTP (Mtops)", "provenance"},
+	}
+	for _, s := range catalog.ByOrigin(origin) {
+		t.AddRow(s.Name, s.Vendor, s.Year, s.Processors, s.Processor,
+			f2(float64(s.CTP)), s.Source)
+	}
+	return t
+}
+
+// Table01 regenerates "Russian High-Performance Computing Systems".
+func Table01() (*Table, error) {
+	t := systemsTable("Table 1", "Russian High-Performance Computing Systems", catalog.Russia)
+	t.Notes = append(t.Notes, "printed table body omitted in the surviving text; rows reconstructed from the chapter narrative")
+	return t, nil
+}
+
+// Table02 regenerates "High-Performance Computing Systems of the PRC".
+func Table02() (*Table, error) {
+	t := systemsTable("Table 2", "High-Performance Computing Systems of the PRC", catalog.PRC)
+	t.Notes = append(t.Notes, "printed table body omitted in the surviving text; rows reconstructed from the chapter narrative")
+	return t, nil
+}
+
+// Table03 regenerates "Indian High-Performance Computing Systems".
+func Table03() (*Table, error) {
+	t := systemsTable("Table 3", "Indian High-Performance Computing Systems", catalog.India)
+	t.Notes = append(t.Notes, "printed table body omitted in the surviving text; rows reconstructed from the chapter narrative")
+	return t, nil
+}
+
+// Table04 regenerates "Controllability of Selected Commercial HPC
+// Systems": the six factor scores, composite index, and verdict.
+func Table04() (*Table, error) {
+	t := &Table{
+		ID:     "Table 4",
+		Title:  "Controllability of Selected Commercial HPC Systems",
+		Header: []string{"system", "CTP", "size", "age", "scal", "base", "chan", "cost", "index", "verdict"},
+	}
+	for _, r := range controllability.Table4() {
+		verdict := "controllable"
+		if r.Verdict {
+			verdict = "uncontrollable"
+		}
+		f := r.Factors
+		t.AddRow(r.System.Name, f2(float64(r.System.CTP)),
+			p2(f.Size), p2(f.Age), p2(f.Scalability), p2(f.InstalledBase),
+			p2(f.Channel), p2(f.EntryCost), p2(f.Index()), verdict)
+	}
+	return t, nil
+}
+
+func p2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Table05 regenerates "Spectrum of HPC Architectures", extended with the
+// measured quantity the spectrum encodes: simulated speedup of each
+// machine class at 16 processors on the granularity suite.
+func Table05() (*Table, error) {
+	fleet := simmach.Fleet(16)
+	suite := workload.Suite()
+	t := &Table{
+		ID:     "Table 5",
+		Title:  "Spectrum of HPC Architectures (simulated speedups, 16 processors)",
+		Header: []string{"architecture"},
+	}
+	for _, w := range suite {
+		t.Header = append(t.Header, w.Name())
+	}
+	for _, m := range fleet {
+		row := []interface{}{m.Name}
+		for _, w := range suite {
+			r, err := simmach.Run(m, w)
+			if err != nil {
+				return nil, fmt.Errorf("report: table 5: %w", err)
+			}
+			row = append(row, fmt.Sprintf("%.1f×", r.Speedup))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"tightly coupled architectures dominate as granularity becomes finer",
+		"a threshold derived from clusters must not be applied to shared-memory systems")
+	return t, nil
+}
+
+// ctaTable renders a computational-technology-area list.
+func ctaTable(id, title string, areas []apps.CTA) *Table {
+	t := &Table{ID: id, Title: title, Header: []string{"abbrev", "area"}}
+	for _, c := range areas {
+		t.AddRow(c, c.Description())
+	}
+	return t
+}
+
+// Table06 regenerates "Computational Technology Areas for Science and
+// Technology Projects".
+func Table06() (*Table, error) {
+	return ctaTable("Table 6", "Computational Technology Areas for Science and Technology Projects", apps.Table6()), nil
+}
+
+// Table07 regenerates "Computational Functions for Developmental Test and
+// Evaluation Projects".
+func Table07() (*Table, error) {
+	return ctaTable("Table 7", "Computational Functions for Developmental Test and Evaluation Projects", apps.Table7()), nil
+}
+
+// listTable renders a plain one-column list.
+func listTable(id, title, header string, items []string) *Table {
+	t := &Table{ID: id, Title: title, Header: []string{header}}
+	for _, it := range items {
+		t.AddRow(it)
+	}
+	return t
+}
+
+// Table08 regenerates "ACW Functional Areas".
+func Table08() (*Table, error) {
+	return listTable("Table 8", "ACW Functional Areas", "functional area", apps.Table8()), nil
+}
+
+// functionTable renders a design-function table.
+func functionTable(id, title string, rows []apps.FunctionRow) *Table {
+	t := &Table{ID: id, Title: title, Header: []string{"design application", "computational technology areas"}}
+	for _, r := range rows {
+		areas := ""
+		for i, c := range r.CTAs {
+			if i > 0 {
+				areas += ", "
+			}
+			areas += c.Description()
+		}
+		t.AddRow(r.Function, areas)
+	}
+	return t
+}
+
+// Table09 regenerates "Aerodynamic Vehicle Design Functions".
+func Table09() (*Table, error) {
+	return functionTable("Table 9", "Aerodynamic Vehicle Design Functions", apps.Table9()), nil
+}
+
+// Table10 regenerates "Submarine Design Functions".
+func Table10() (*Table, error) {
+	return functionTable("Table 10", "Submarine Design Functions", apps.Table10()), nil
+}
+
+// Table11 regenerates "Surveillance Design Functions".
+func Table11() (*Table, error) {
+	return functionTable("Table 11", "Surveillance Design Functions", apps.Table11()), nil
+}
+
+// Table12 regenerates "Survivability and Weapons Design Functions".
+func Table12() (*Table, error) {
+	return functionTable("Table 12", "Survivability and Weapons Design Functions", apps.Table12()), nil
+}
+
+// Table13 regenerates "Military Operations Functional Areas".
+func Table13() (*Table, error) {
+	return listTable("Table 13", "Military Operations Functional Areas", "functional area", apps.Table13()), nil
+}
+
+// requirementTable renders a representative-requirements summary.
+func requirementTable(id, title string, rows []apps.RequirementRow) *Table {
+	t := &Table{ID: id, Title: title,
+		Header: []string{"application", "minimum (Mtops)", "in use (Mtops)", "real-time"}}
+	for _, r := range rows {
+		actual := "—"
+		if r.Actual > 0 {
+			actual = f2(float64(r.Actual))
+		}
+		rt := ""
+		if r.RealTime {
+			rt = "yes"
+		}
+		t.AddRow(r.Application, f2(float64(r.Min)), actual, rt)
+	}
+	return t
+}
+
+// Table14 regenerates "Summary of Representative Computational
+// Requirements for RDT&E".
+func Table14() (*Table, error) {
+	return requirementTable("Table 14", "Summary of Representative Computational Requirements for RDT&E", apps.Table14()), nil
+}
+
+// Table15 regenerates "Summary of Representative Computational
+// Requirements for Military Operations".
+func Table15() (*Table, error) {
+	return requirementTable("Table 15", "Summary of Representative Computational Requirements for Military Operations", apps.Table15()), nil
+}
+
+// Table16 regenerates "Foreign Capability in Selected Applications" at the
+// study's date.
+func Table16() (*Table, error) {
+	rows, err := threshold.Table16(1995.45)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "Table 16",
+		Title:  "Foreign Capability in Selected Applications (mid-1995)",
+		Header: []string{"application", "minimum (Mtops)", "Russia", "PRC", "India"},
+	}
+	mark := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "no"
+	}
+	for _, r := range rows {
+		t.AddRow(r.Application.Name, f2(float64(r.Application.Min)),
+			mark(r.Capable[catalog.Russia]), mark(r.Capable[catalog.PRC]), mark(r.Capable[catalog.India]))
+	}
+	t.Notes = append(t.Notes, "capability = indigenous systems or uncontrollable Western technology")
+	return t, nil
+}
+
+// Tables returns all sixteen table builders in order.
+func Tables() []func() (*Table, error) {
+	return []func() (*Table, error){
+		Table01, Table02, Table03, Table04, Table05, Table06, Table07, Table08,
+		Table09, Table10, Table11, Table12, Table13, Table14, Table15, Table16,
+	}
+}

@@ -1,0 +1,295 @@
+// Package safeguards implements the licensing and security-safeguard
+// machinery of the export-control regime the paper analyzes: the five
+// country tiers of the 1991 U.S.–Japan supercomputer arrangement (57 FR
+// 20963, note 15), the safeguard conditions attached to supercomputer
+// sales (note 7), and the license-decision procedure that combines a
+// destination tier, a system's CTP rating, and the control threshold in
+// force.
+//
+// The regime's mechanics, as the paper describes them: systems below the
+// threshold face no supercomputer-specific controls. At or above it,
+// "between supplier states … no controls are applied, minimal requirements
+// are imposed on major U.S. allies …, a somewhat larger group of states
+// requires a safeguards plan …, while still others must further have
+// certification by the government of the importing country. Finally,
+// licenses for restricted countries require all safeguard levels, but will
+// generally be denied."
+package safeguards
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// Tier is a destination country's treatment class under the supercomputer
+// regime, ordered from least to most restrictive.
+type Tier int
+
+const (
+	// SupplierState: the United States and Japan — no controls between
+	// them, 30-day review of each other's license applications.
+	SupplierState Tier = iota
+	// MajorAlly: e.g. Britain, France — minimal requirements.
+	MajorAlly
+	// PlanRequired: e.g. South Korea, Sweden — a safeguards plan.
+	PlanRequired
+	// CertificationRequired: a safeguards plan plus certification by the
+	// government of the importing country.
+	CertificationRequired
+	// Restricted: e.g. Iran — all safeguard levels and general denial.
+	Restricted
+)
+
+// String returns the tier's display name.
+func (t Tier) String() string {
+	switch t {
+	case SupplierState:
+		return "supplier state"
+	case MajorAlly:
+		return "major ally"
+	case PlanRequired:
+		return "safeguards plan required"
+	case CertificationRequired:
+		return "government certification required"
+	case Restricted:
+		return "restricted"
+	default:
+		return fmt.Sprintf("Tier(%d)", int(t))
+	}
+}
+
+// tiers maps representative destinations to their treatment class, per the
+// examples the regime documents name. The map is illustrative, not a
+// State Department product; unknown destinations default to
+// CertificationRequired (the cautious middle).
+var tiers = map[string]Tier{
+	"united states":  SupplierState,
+	"japan":          SupplierState,
+	"united kingdom": MajorAlly,
+	"britain":        MajorAlly,
+	"france":         MajorAlly,
+	"germany":        MajorAlly,
+	"canada":         MajorAlly,
+	"australia":      MajorAlly,
+	"south korea":    PlanRequired,
+	"sweden":         PlanRequired,
+	"finland":        PlanRequired,
+	"austria":        PlanRequired,
+	"singapore":      PlanRequired,
+	"taiwan":         PlanRequired,
+	"brazil":         CertificationRequired,
+	"india":          CertificationRequired,
+	"china":          CertificationRequired,
+	"prc":            CertificationRequired,
+	"russia":         CertificationRequired,
+	"israel":         CertificationRequired,
+	"south africa":   CertificationRequired,
+	"iran":           Restricted,
+	"iraq":           Restricted,
+	"libya":          Restricted,
+	"north korea":    Restricted,
+	"cuba":           Restricted,
+	"syria":          Restricted,
+}
+
+// TierOf returns the destination's treatment class. Unknown destinations
+// are treated as CertificationRequired.
+func TierOf(destination string) Tier {
+	if t, ok := tiers[strings.ToLower(strings.TrimSpace(destination))]; ok {
+		return t
+	}
+	return CertificationRequired
+}
+
+// KnownDestinations returns the destinations with explicit tier
+// assignments, sorted.
+func KnownDestinations() []string {
+	out := make([]string, 0, len(tiers))
+	for d := range tiers {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Safeguard is one of the security conditions attachable to a
+// supercomputer sale (note 7: "24-hour surveillance, reviewing the records
+// of computer activity via special software audit programs, or limiting
+// personnel access").
+type Safeguard int
+
+const (
+	// Surveillance24h: continuous physical surveillance of the machine.
+	Surveillance24h Safeguard = iota
+	// AuditSoftware: special audit programs reviewing activity records.
+	AuditSoftware
+	// AccessControl: limits on personnel access.
+	AccessControl
+	// EndUseConfirmation: confirmation of installation site and purpose.
+	EndUseConfirmation
+	// GovernmentCertification: certification by the importing government.
+	GovernmentCertification
+)
+
+// String returns the safeguard's display name.
+func (s Safeguard) String() string {
+	switch s {
+	case Surveillance24h:
+		return "24-hour surveillance"
+	case AuditSoftware:
+		return "software audit of activity records"
+	case AccessControl:
+		return "personnel access controls"
+	case EndUseConfirmation:
+		return "end-use confirmation"
+	case GovernmentCertification:
+		return "importing-government certification"
+	default:
+		return fmt.Sprintf("Safeguard(%d)", int(s))
+	}
+}
+
+// Outcome is the disposition of a license application.
+type Outcome int
+
+const (
+	// NoLicense: the system is below the control threshold; no
+	// supercomputer-specific license is required.
+	NoLicense Outcome = iota
+	// Notify: supplier-state transfer; 30-day review between governments.
+	Notify
+	// Approve: license granted with the listed safeguards.
+	Approve
+	// Deny: license generally denied.
+	Deny
+)
+
+// String returns the outcome's display name.
+func (o Outcome) String() string {
+	switch o {
+	case NoLicense:
+		return "no supercomputer license required"
+	case Notify:
+		return "supplier-state notification (30-day review)"
+	case Approve:
+		return "approve with safeguards"
+	case Deny:
+		return "deny"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// License is one export application.
+type License struct {
+	Destination string
+	CTP         units.Mtops
+	EndUse      string // free text, recorded in the decision
+}
+
+// Decision is the regime's disposition of a license.
+type Decision struct {
+	License    License
+	Tier       Tier
+	Threshold  units.Mtops
+	Outcome    Outcome
+	Safeguards []Safeguard
+	Rationale  string
+}
+
+// String renders the decision as a licensing-officer summary.
+func (d Decision) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s → %s (%v): %s", d.License.CTP, d.License.Destination, d.Tier, d.Outcome)
+	if len(d.Safeguards) > 0 {
+		names := make([]string, len(d.Safeguards))
+		for i, s := range d.Safeguards {
+			names[i] = s.String()
+		}
+		fmt.Fprintf(&b, " [%s]", strings.Join(names, "; "))
+	}
+	if d.Rationale != "" {
+		fmt.Fprintf(&b, " — %s", d.Rationale)
+	}
+	return b.String()
+}
+
+// ErrBadLicense reports a malformed application.
+var ErrBadLicense = errors.New("safeguards: malformed license application")
+
+// Evaluate applies the regime to an application under the control
+// threshold in force.
+func Evaluate(l License, thresholdMtops units.Mtops) (Decision, error) {
+	if l.Destination == "" {
+		return Decision{}, fmt.Errorf("%w: empty destination", ErrBadLicense)
+	}
+	if l.CTP <= 0 {
+		return Decision{}, fmt.Errorf("%w: non-positive CTP %v", ErrBadLicense, l.CTP)
+	}
+	if thresholdMtops <= 0 {
+		return Decision{}, fmt.Errorf("%w: non-positive threshold %v", ErrBadLicense, thresholdMtops)
+	}
+	d := Decision{License: l, Tier: TierOf(l.Destination), Threshold: thresholdMtops}
+
+	if l.CTP < thresholdMtops {
+		d.Outcome = NoLicense
+		d.Rationale = fmt.Sprintf("rated below the %s supercomputer threshold", thresholdMtops)
+		return d, nil
+	}
+
+	switch d.Tier {
+	case SupplierState:
+		d.Outcome = Notify
+		d.Rationale = "transfer between supplier states under the bilateral arrangement"
+	case MajorAlly:
+		d.Outcome = Approve
+		d.Safeguards = []Safeguard{EndUseConfirmation}
+		d.Rationale = "minimal requirements for major allies"
+	case PlanRequired:
+		d.Outcome = Approve
+		d.Safeguards = []Safeguard{EndUseConfirmation, AccessControl, AuditSoftware}
+		d.Rationale = "security safeguards plan required"
+	case CertificationRequired:
+		d.Outcome = Approve
+		d.Safeguards = []Safeguard{EndUseConfirmation, AccessControl, AuditSoftware,
+			Surveillance24h, GovernmentCertification}
+		d.Rationale = "safeguards plan plus importing-government certification"
+	case Restricted:
+		d.Outcome = Deny
+		d.Safeguards = []Safeguard{EndUseConfirmation, AccessControl, AuditSoftware,
+			Surveillance24h, GovernmentCertification}
+		d.Rationale = "licenses for restricted destinations are generally denied"
+	}
+	return d, nil
+}
+
+// RequiredLevel returns how many distinct safeguard conditions a tier
+// attracts for an at-or-above-threshold sale — the monotone "five tiers of
+// security safeguard levels" of the regime.
+func RequiredLevel(t Tier) int {
+	d, err := Evaluate(License{Destination: representative(t), CTP: 1e9}, 1)
+	if err != nil {
+		return 0
+	}
+	return len(d.Safeguards)
+}
+
+// representative returns a destination of the given tier.
+func representative(t Tier) string {
+	switch t {
+	case SupplierState:
+		return "japan"
+	case MajorAlly:
+		return "france"
+	case PlanRequired:
+		return "sweden"
+	case CertificationRequired:
+		return "india"
+	default:
+		return "iran"
+	}
+}

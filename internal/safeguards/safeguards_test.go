@@ -1,0 +1,168 @@
+package safeguards
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestTierOfNamedExamples(t *testing.T) {
+	// The regime documents name these examples explicitly (note 15).
+	cases := map[string]Tier{
+		"United States": SupplierState,
+		"Japan":         SupplierState,
+		"Britain":       MajorAlly,
+		"France":        MajorAlly,
+		"South Korea":   PlanRequired,
+		"Sweden":        PlanRequired,
+		"Iran":          Restricted,
+	}
+	for dest, want := range cases {
+		if got := TierOf(dest); got != want {
+			t.Errorf("TierOf(%q) = %v, want %v", dest, got, want)
+		}
+	}
+}
+
+func TestTierOfUnknownDefaultsCautious(t *testing.T) {
+	if got := TierOf("Ruritania"); got != CertificationRequired {
+		t.Errorf("unknown destination tier = %v, want certification", got)
+	}
+	if got := TierOf("  JAPAN  "); got != SupplierState {
+		t.Errorf("normalization failed: %v", got)
+	}
+}
+
+func TestBelowThresholdNeedsNoLicense(t *testing.T) {
+	for _, dest := range []string{"Japan", "France", "Sweden", "India", "Iran"} {
+		d, err := Evaluate(License{Destination: dest, CTP: 1000}, 1500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Outcome != NoLicense {
+			t.Errorf("%s below threshold: %v", dest, d.Outcome)
+		}
+		if len(d.Safeguards) != 0 {
+			t.Errorf("%s below threshold carries safeguards", dest)
+		}
+	}
+}
+
+func TestAtThresholdOutcomesByTier(t *testing.T) {
+	cases := map[string]Outcome{
+		"Japan":  Notify,
+		"France": Approve,
+		"Sweden": Approve,
+		"India":  Approve,
+		"Iran":   Deny,
+	}
+	for dest, want := range cases {
+		d, err := Evaluate(License{Destination: dest, CTP: 1500}, 1500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Outcome != want {
+			t.Errorf("%s at threshold: %v, want %v", dest, d.Outcome, want)
+		}
+	}
+}
+
+// TestSafeguardLevelsMonotone: "There are five tiers of security safeguard
+// levels" — each more restrictive tier requires at least as many
+// conditions as the one before it.
+func TestSafeguardLevelsMonotone(t *testing.T) {
+	prev := -1
+	for _, tier := range []Tier{SupplierState, MajorAlly, PlanRequired, CertificationRequired, Restricted} {
+		lvl := RequiredLevel(tier)
+		if lvl < prev {
+			t.Errorf("tier %v requires %d safeguards, fewer than its predecessor's %d", tier, lvl, prev)
+		}
+		prev = lvl
+	}
+	if RequiredLevel(CertificationRequired) < 4 {
+		t.Error("certification tier should require the full safeguard set plus certification")
+	}
+}
+
+func TestCertificationIncludesGovernmentCertification(t *testing.T) {
+	d, err := Evaluate(License{Destination: "India", CTP: 5000}, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range d.Safeguards {
+		if s == GovernmentCertification {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("certification tier missing government certification")
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	if _, err := Evaluate(License{CTP: 100}, 1500); !errors.Is(err, ErrBadLicense) {
+		t.Errorf("empty destination: %v", err)
+	}
+	if _, err := Evaluate(License{Destination: "Japan"}, 1500); !errors.Is(err, ErrBadLicense) {
+		t.Errorf("zero CTP: %v", err)
+	}
+	if _, err := Evaluate(License{Destination: "Japan", CTP: 100}, 0); !errors.Is(err, ErrBadLicense) {
+		t.Errorf("zero threshold: %v", err)
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	d, err := Evaluate(License{Destination: "Sweden", CTP: 2000, EndUse: "automotive CFD"}, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.String()
+	for _, want := range []string{"Sweden", "approve", "safeguards plan"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("decision string missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestKnownDestinationsSorted(t *testing.T) {
+	ds := KnownDestinations()
+	if len(ds) < 20 {
+		t.Fatalf("only %d known destinations", len(ds))
+	}
+	for i := 1; i < len(ds); i++ {
+		if ds[i] < ds[i-1] {
+			t.Fatal("destinations not sorted")
+		}
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if SupplierState.String() == "" || Tier(99).String() != "Tier(99)" {
+		t.Error("Tier strings")
+	}
+	if Surveillance24h.String() == "" || Safeguard(99).String() != "Safeguard(99)" {
+		t.Error("Safeguard strings")
+	}
+	if NoLicense.String() == "" || Outcome(99).String() != "Outcome(99)" {
+		t.Error("Outcome strings")
+	}
+}
+
+// TestThresholdShiftDecontrols: raising the threshold converts licensed
+// sales into free ones — the economic mechanics of every review the paper
+// chronicles.
+func TestThresholdShiftDecontrols(t *testing.T) {
+	l := License{Destination: "South Korea", CTP: 1800}
+	before, err := Evaluate(l, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := Evaluate(l, 4600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Outcome != Approve || after.Outcome != NoLicense {
+		t.Errorf("threshold shift: before %v, after %v", before.Outcome, after.Outcome)
+	}
+}

@@ -1,0 +1,161 @@
+package sigproc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"repro/internal/units"
+)
+
+// MatchedFilter correlates a signal against a known template via the
+// frequency domain and returns the correlation magnitude at each lag —
+// the core of "target detection, identification, and tracking" and of
+// automatic-target-recognition template matching.
+func MatchedFilter(signal, template []complex128) ([]float64, error) {
+	if len(signal) != len(template) {
+		return nil, fmt.Errorf("sigproc: filter lengths %d and %d", len(signal), len(template))
+	}
+	fs := make([]complex128, len(signal))
+	ft := make([]complex128, len(template))
+	copy(fs, signal)
+	copy(ft, template)
+	if err := FFT(fs); err != nil {
+		return nil, err
+	}
+	if err := FFT(ft); err != nil {
+		return nil, err
+	}
+	for i := range fs {
+		fs[i] *= cmplx.Conj(ft[i])
+	}
+	if err := IFFT(fs); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(fs))
+	for i, v := range fs {
+		out[i] = cmplx.Abs(v)
+	}
+	return out, nil
+}
+
+// Detect runs the matched filter and reports the lag of the correlation
+// peak and its significance: the ratio of the peak to the mean magnitude.
+func Detect(signal, template []complex128) (lag int, significance float64, err error) {
+	corr, err := MatchedFilter(signal, template)
+	if err != nil {
+		return 0, 0, err
+	}
+	var sum, peak float64
+	for i, v := range corr {
+		sum += v
+		if v > peak {
+			peak, lag = v, i
+		}
+	}
+	mean := sum / float64(len(corr))
+	if mean == 0 {
+		return lag, 0, nil
+	}
+	return lag, peak / mean, nil
+}
+
+// SyntheticScene builds a clutter-plus-target test signal: the template
+// embedded at the given lag with the given amplitude inside Gaussian
+// clutter of unit power. Deterministic in seed.
+func SyntheticScene(template []complex128, lag int, amplitude float64, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	n := len(template)
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	for i, tv := range template {
+		out[(lag+i)%n] += complex(amplitude, 0) * tv
+	}
+	return out
+}
+
+// ---- The SIRST real-time budget --------------------------------------------
+
+// mtopsPerSustainedMflop is the paper's own SIRST conversion: "about 6,500
+// Mflops of sustained computational power (about 13,000 Mtops)".
+const mtopsPerSustainedMflop = 13000.0 / 6500.0
+
+// Sensor is a staring or scanning sensor whose stream must be processed
+// in real time.
+type Sensor struct {
+	Name       string
+	Pixels     int     // pixels per frame
+	FrameHz    float64 // frames per second
+	BandsOrOps float64 // processing passes per pixel per frame (detection chains)
+}
+
+// Validate reports configuration errors.
+func (s Sensor) Validate() error {
+	if s.Pixels < 1 || s.FrameHz <= 0 || s.BandsOrOps <= 0 {
+		return fmt.Errorf("sigproc: invalid sensor %+v", s)
+	}
+	return nil
+}
+
+// FlopPerSecond returns the sustained rate the sensor's detection chain
+// demands: per frame, each processing pass runs FFT-based filtering over
+// the frame (modeled as row-wise FFTs of length √Pixels, forward and
+// inverse, plus the spectral multiply), at the frame rate.
+func (s Sensor) FlopPerSecond() float64 {
+	n := float64(s.Pixels)
+	rowLen := int(math.Round(math.Sqrt(n)))
+	// Per pass: a forward FFT, a spectral multiply, and an inverse FFT of
+	// every row (3 transforms' worth across rowLen rows), plus pointwise
+	// thresholding work over the frame.
+	perPass := 3*FFTFlop(rowLen)*float64(rowLen) + 8*n
+	return perPass * s.BandsOrOps * s.FrameHz
+}
+
+// RequiredMtops converts the sensor's sustained demand to the CTP rating
+// of the machine class it needs.
+func (s Sensor) RequiredMtops() units.Mtops {
+	return units.Mtops(s.FlopPerSecond() / 1e6 * mtopsPerSustainedMflop)
+}
+
+// ErrBudget is returned when no frame rate satisfies a budget.
+var ErrBudget = errors.New("sigproc: no feasible frame rate")
+
+// MaxFrameRate inverts the budget: the highest frame rate the sensor can
+// sustain on a machine of the given rating.
+func (s Sensor) MaxFrameRate(available units.Mtops) (float64, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	if available <= 0 {
+		return 0, fmt.Errorf("%w: %v available", ErrBudget, available)
+	}
+	perSecondAtOneHz := s.FlopPerSecond() / s.FrameHz
+	sustainable := float64(available) / mtopsPerSustainedMflop * 1e6
+	return sustainable / perSecondAtOneHz, nil
+}
+
+// SIRST is the shipboard infrared search-and-track configuration of the
+// paper: a wide-field staring array scanned fast enough to catch a
+// sea-skimming missile ("skims the water's surface at high speed while
+// rapidly maneuvering"), with multi-band detection chains. Calibrated to
+// the stated 6,500 Mflops sustained / 13,000 Mtops deployed requirement.
+var SIRST = Sensor{
+	Name:       "SIRST (shipboard IR search and track)",
+	Pixels:     1 << 20, // 1024×1024 staring array
+	FrameHz:    30,
+	BandsOrOps: 1.25,
+}
+
+// ALERTFeed is the theater-missile-warning feed: far fewer pixels at a
+// lower rate — the reason the ALERT suite ran on Onyx-class servers
+// (1,700 Mtops), not supercomputers.
+var ALERTFeed = Sensor{
+	Name:       "ALERT (DSP launch-detection feed)",
+	Pixels:     1 << 16, // 256×256 focal plane
+	FrameHz:    10,
+	BandsOrOps: 1.0,
+}

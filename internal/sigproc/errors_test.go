@@ -1,0 +1,42 @@
+package sigproc
+
+import "testing"
+
+// Error-path coverage for the frequency-domain helpers.
+
+func TestMatchedFilterErrors(t *testing.T) {
+	if _, err := MatchedFilter(make([]complex128, 8), make([]complex128, 4)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	// Non-power-of-two length propagates the FFT error.
+	if _, err := MatchedFilter(make([]complex128, 6), make([]complex128, 6)); err == nil {
+		t.Error("non-power-of-two accepted")
+	}
+	if _, _, err := Detect(make([]complex128, 6), make([]complex128, 6)); err == nil {
+		t.Error("Detect on bad length accepted")
+	}
+}
+
+func TestDetectAllZeroSignal(t *testing.T) {
+	// A zero scene and zero template: mean correlation is zero; the
+	// significance must be reported as zero, not NaN.
+	_, sig, err := Detect(make([]complex128, 16), make([]complex128, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig != 0 {
+		t.Errorf("zero-signal significance %v", sig)
+	}
+}
+
+func TestConvolveBadLengths(t *testing.T) {
+	if _, err := Convolve(make([]complex128, 6), make([]complex128, 6)); err == nil {
+		t.Error("non-power-of-two convolve accepted")
+	}
+}
+
+func TestIFFTBadLength(t *testing.T) {
+	if err := IFFT(make([]complex128, 3)); err == nil {
+		t.Error("IFFT of length 3 accepted")
+	}
+}

@@ -1,0 +1,237 @@
+package sigproc
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func almostEqualC(a, b complex128, tol float64) bool {
+	return cmplx.Abs(a-b) <= tol
+}
+
+func TestFFTLengthGuard(t *testing.T) {
+	for _, n := range []int{0, 3, 5, 6, 7, 12} {
+		if err := FFT(make([]complex128, n)); !errors.Is(err, ErrLength) {
+			t.Errorf("length %d: %v", n, err)
+		}
+	}
+	if err := FFT(make([]complex128, 1)); err != nil {
+		t.Errorf("length 1: %v", err)
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// δ[0] transforms to all ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if !almostEqualC(v, 1, 1e-12) {
+			t.Errorf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFTSingleTone(t *testing.T) {
+	// A pure complex exponential of frequency k concentrates in bin k.
+	const n, k = 64, 5
+	x := make([]complex128, n)
+	for i := range x {
+		phase := 2 * math.Pi * k * float64(i) / n
+		x[i] = cmplx.Exp(complex(0, phase))
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		want := complex(0, 0)
+		if i == k {
+			want = complex(n, 0)
+		}
+		if !almostEqualC(v, want, 1e-9) {
+			t.Errorf("bin %d = %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 256
+	x := make([]complex128, n)
+	var timeE float64
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		timeE += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	var freqE float64
+	for _, v := range x {
+		freqE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(freqE/float64(n)-timeE) > 1e-9*timeE {
+		t.Errorf("Parseval violated: time %v, freq/n %v", timeE, freqE/float64(n))
+	}
+}
+
+func TestFFTInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := make([]complex128, 128)
+	orig := make([]complex128, len(x))
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		orig[i] = x[i]
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := IFFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if !almostEqualC(x[i], orig[i], 1e-10) {
+			t.Fatalf("round trip failed at %d: %v vs %v", i, x[i], orig[i])
+		}
+	}
+}
+
+func TestConvolveDelta(t *testing.T) {
+	// Convolution with a shifted delta shifts the signal.
+	a := []complex128{1, 2, 3, 4, 0, 0, 0, 0}
+	d := make([]complex128, 8)
+	d[2] = 1
+	got, err := Convolve(a, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []complex128{0, 0, 1, 2, 3, 4, 0, 0}
+	for i := range want {
+		if !almostEqualC(got[i], want[i], 1e-10) {
+			t.Errorf("conv[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if _, err := Convolve(a, d[:4]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestFFTFlop(t *testing.T) {
+	if FFTFlop(1024) != 5*1024*10 {
+		t.Errorf("FFTFlop(1024) = %v", FFTFlop(1024))
+	}
+	if FFTFlop(1) != 0 || FFTFlop(0) != 0 {
+		t.Error("degenerate FFTFlop")
+	}
+}
+
+func TestDetectFindsEmbeddedTarget(t *testing.T) {
+	const n, lag = 512, 137
+	rng := rand.New(rand.NewSource(11))
+	template := make([]complex128, n)
+	for i := 0; i < 32; i++ { // a 32-sample chirp signature
+		template[i] = cmplx.Exp(complex(0, 0.05*float64(i*i))) * complex(1+0.1*rng.Float64(), 0)
+	}
+	scene := SyntheticScene(template, lag, 3.0, 42)
+	gotLag, sig, err := Detect(scene, template)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotLag != lag {
+		t.Errorf("detected lag %d, want %d (significance %.1f)", gotLag, lag, sig)
+	}
+	if sig < 3 {
+		t.Errorf("significance %.2f too low for a 3σ target", sig)
+	}
+}
+
+func TestDetectNoTargetIsInsignificant(t *testing.T) {
+	const n = 512
+	template := make([]complex128, n)
+	for i := 0; i < 32; i++ {
+		template[i] = complex(1, 0)
+	}
+	scene := SyntheticScene(template, 0, 0, 99) // amplitude 0: clutter only
+	_, sig, err := Detect(scene, template)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig > 6 {
+		t.Errorf("clutter-only significance %.2f; false alarm", sig)
+	}
+}
+
+// TestSIRSTBudget reproduces the paper's deployed-SIRST numbers: ≈6,500
+// Mflops sustained, ≈13,000 Mtops.
+func TestSIRSTBudget(t *testing.T) {
+	mf := SIRST.FlopPerSecond() / 1e6
+	if mf < 5500 || mf > 7500 {
+		t.Errorf("SIRST sustained demand %.0f Mflops, want ≈6,500", mf)
+	}
+	mtops := float64(SIRST.RequiredMtops())
+	if mtops < 11000 || mtops > 15000 {
+		t.Errorf("SIRST requirement %.0f Mtops, want ≈13,000", mtops)
+	}
+}
+
+// TestMercuryDegradedMode: the 7,400-Mtops Mercury "might be minimally
+// sufficient" — it sustains the sensor only below full frame rate.
+func TestMercuryDegradedMode(t *testing.T) {
+	full := SIRST.FrameHz
+	rate, err := SIRST.MaxFrameRate(7400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate >= full {
+		t.Errorf("Mercury-class machine sustains full rate (%.1f ≥ %.1f); should be degraded", rate, full)
+	}
+	if rate < 0.3*full {
+		t.Errorf("Mercury-class rate %.1f Hz too low to be 'minimally sufficient'", rate)
+	}
+}
+
+// TestALERTRunsOnWorkstations: the launch-warning feed fits the Onyx class
+// (300–1,700 Mtops), which is why ALERT needed no supercomputer.
+func TestALERTRunsOnWorkstations(t *testing.T) {
+	mtops := float64(ALERTFeed.RequiredMtops())
+	if mtops > 1700 {
+		t.Errorf("ALERT feed needs %.0f Mtops; paper ran it on Onyx servers", mtops)
+	}
+	if mtops < 20 {
+		t.Errorf("ALERT feed %.0f Mtops implausibly small", mtops)
+	}
+}
+
+func TestSensorValidateAndErrors(t *testing.T) {
+	bad := Sensor{Name: "x"}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid sensor accepted")
+	}
+	if _, err := bad.MaxFrameRate(100); err == nil {
+		t.Error("MaxFrameRate on invalid sensor accepted")
+	}
+	if _, err := SIRST.MaxFrameRate(0); !errors.Is(err, ErrBudget) {
+		t.Errorf("zero budget: %v", err)
+	}
+}
+
+// TestFrameRateScalesLinearly: double the computing, double the
+// sustainable frame rate.
+func TestFrameRateScalesLinearly(t *testing.T) {
+	r1, err := SIRST.MaxFrameRate(6500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := SIRST.MaxFrameRate(13000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r2/r1-2) > 1e-9 {
+		t.Errorf("frame rate did not scale linearly: %v vs %v", r1, r2)
+	}
+}

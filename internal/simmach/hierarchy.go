@@ -1,0 +1,109 @@
+package simmach
+
+import "fmt"
+
+// Hierarchical machines — "vendors are pursuing hierarchical architectures
+// that would enable shared-memory systems to be combined in an integrated,
+// yet distributed fashion, allowing the number of processors to grow
+// further to hundreds or thousands of units. Convex's Exemplar system is
+// based on this principle." A hierarchical machine is a distributed
+// collection of SMP nodes: exchanges within a node cross the memory bus,
+// exchanges between nodes cross the interconnect, and only the node
+// boundary's share of the traffic pays the network price.
+
+// HierMachine is a cluster of SMP nodes.
+type HierMachine struct {
+	Name         string
+	Nodes        int
+	ProcsPerNode int
+	ProcMflops   float64
+	MemBWMBs     float64 // per-node memory bus
+	Net          Network // inter-node fabric
+	Imbalance    float64
+}
+
+// Procs returns the total processor count.
+func (h HierMachine) Procs() int { return h.Nodes * h.ProcsPerNode }
+
+// Validate reports configuration errors.
+func (h HierMachine) Validate() error {
+	switch {
+	case h.Nodes < 1 || h.ProcsPerNode < 1:
+		return fmt.Errorf("simmach: %s: %d×%d configuration", h.Name, h.Nodes, h.ProcsPerNode)
+	case h.ProcMflops <= 0:
+		return fmt.Errorf("simmach: %s: non-positive processor rate", h.Name)
+	case h.MemBWMBs <= 0:
+		return fmt.Errorf("simmach: %s: no memory bus", h.Name)
+	case h.Nodes > 1 && h.Net.Bandwidth <= 0:
+		return fmt.Errorf("simmach: %s: multiple nodes without interconnect", h.Name)
+	case h.Imbalance < 0 || h.Imbalance > 1:
+		return fmt.Errorf("simmach: %s: imbalance %v", h.Name, h.Imbalance)
+	}
+	return nil
+}
+
+// Flatten converts the hierarchical machine into the Machine model the
+// simulator runs, with an effective interconnect that blends the memory
+// bus and the fabric by the fraction of exchange partners on each side.
+//
+// Under a balanced decomposition, a processor's exchange partners split
+// (ProcsPerNode−1) : (Procs−ProcsPerNode) between its own node and remote
+// nodes, so the effective per-byte cost is the weighted harmonic blend of
+// bus and fabric bandwidth, and the effective latency the weighted
+// average. The blend preserves the two limits: one node = pure SMP; one
+// processor per node = pure distributed machine.
+func (h HierMachine) Flatten() (Machine, error) {
+	if err := h.Validate(); err != nil {
+		return Machine{}, err
+	}
+	total := h.Procs()
+	if h.Nodes == 1 {
+		return Machine{
+			Name: h.Name, Procs: total, ProcMflops: h.ProcMflops,
+			SharedMemory: true, MemBWMBs: h.MemBWMBs, Imbalance: h.Imbalance,
+		}, nil
+	}
+	if total == 1 {
+		return Machine{
+			Name: h.Name, Procs: 1, ProcMflops: h.ProcMflops,
+			Net: h.Net, Imbalance: h.Imbalance,
+		}, nil
+	}
+
+	localShare := float64(h.ProcsPerNode-1) / float64(total-1)
+	remoteShare := 1 - localShare
+
+	// The node bus serves ProcsPerNode processors; its per-processor share
+	// is what local exchange effectively sees.
+	localBW := h.MemBWMBs / float64(h.ProcsPerNode)
+	// Harmonic blend of transfer rates (time per byte adds linearly).
+	timePerMB := localShare/localBW + remoteShare/h.Net.Bandwidth
+	effBW := 1 / timePerMB
+
+	// Latency: local exchange is ~bus-transaction cheap (1 µs), remote
+	// pays the fabric.
+	effLat := localShare*1.0 + remoteShare*h.Net.LatencyUs
+
+	return Machine{
+		Name:       h.Name,
+		Procs:      total,
+		ProcMflops: h.ProcMflops,
+		Net: Network{
+			Name:      fmt.Sprintf("hierarchical (%d×%d, %s)", h.Nodes, h.ProcsPerNode, h.Net.Name),
+			Bandwidth: effBW,
+			LatencyUs: effLat,
+			Shared:    h.Net.Shared,
+		},
+		Imbalance: h.Imbalance,
+	}, nil
+}
+
+// Exemplar returns an Exemplar-class configuration: nodes of eight
+// bus-connected processors joined by a high-speed fabric.
+func Exemplar(name string, nodes int, procMflops float64) HierMachine {
+	return HierMachine{
+		Name: name, Nodes: nodes, ProcsPerNode: 8,
+		ProcMflops: procMflops, MemBWMBs: 1200,
+		Net: NetTorus, Imbalance: 0.03,
+	}
+}

@@ -1,0 +1,150 @@
+package simmach
+
+import (
+	"testing"
+)
+
+func TestHierValidate(t *testing.T) {
+	bad := []HierMachine{
+		{Name: "a", Nodes: 0, ProcsPerNode: 8, ProcMflops: 50, MemBWMBs: 1200},
+		{Name: "b", Nodes: 4, ProcsPerNode: 0, ProcMflops: 50, MemBWMBs: 1200},
+		{Name: "c", Nodes: 4, ProcsPerNode: 8, ProcMflops: 0, MemBWMBs: 1200},
+		{Name: "d", Nodes: 4, ProcsPerNode: 8, ProcMflops: 50, MemBWMBs: 0},
+		{Name: "e", Nodes: 4, ProcsPerNode: 8, ProcMflops: 50, MemBWMBs: 1200},
+		{Name: "f", Nodes: 2, ProcsPerNode: 8, ProcMflops: 50, MemBWMBs: 1200, Net: NetTorus, Imbalance: 3},
+	}
+	for _, h := range bad {
+		if err := h.Validate(); err == nil {
+			t.Errorf("%s: invalid configuration accepted", h.Name)
+		}
+		if _, err := h.Flatten(); err == nil {
+			t.Errorf("%s: flatten accepted invalid configuration", h.Name)
+		}
+	}
+	if err := Exemplar("ok", 8, 50).Validate(); err != nil {
+		t.Errorf("Exemplar invalid: %v", err)
+	}
+}
+
+func TestFlattenLimits(t *testing.T) {
+	// One node: pure SMP.
+	single := HierMachine{Name: "one node", Nodes: 1, ProcsPerNode: 8,
+		ProcMflops: 50, MemBWMBs: 1200, Imbalance: 0.02}
+	m, err := single.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.SharedMemory || m.Procs != 8 {
+		t.Errorf("single node flattened to %+v", m)
+	}
+
+	// One processor per node: pure distributed machine on the fabric.
+	flat := HierMachine{Name: "flat", Nodes: 16, ProcsPerNode: 1,
+		ProcMflops: 50, MemBWMBs: 1200, Net: NetMesh, Imbalance: 0.02}
+	m, err = flat.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SharedMemory {
+		t.Error("one-proc nodes flattened to shared memory")
+	}
+	if m.Net.Bandwidth != NetMesh.Bandwidth || m.Net.LatencyUs != NetMesh.LatencyUs {
+		t.Errorf("pure-distributed limit wrong: %+v", m.Net)
+	}
+}
+
+func TestHierProcs(t *testing.T) {
+	h := Exemplar("x", 16, 50)
+	if h.Procs() != 128 {
+		t.Errorf("Procs = %d", h.Procs())
+	}
+}
+
+// TestHierarchyBeatsFlatCluster: at equal total processors and equal
+// fabric, grouping processors into SMP nodes strictly improves a
+// communication-bound workload — the industry's reason for going
+// hierarchical.
+func TestHierarchyBeatsFlatCluster(t *testing.T) {
+	const total = 64
+	w := flat{
+		name:    "halo",
+		steps:   make([]Step, 50),
+		totalMF: 50 * 10 * total,
+	}
+	for i := range w.steps {
+		w.steps[i] = Step{WorkMflop: 10, Bytes: 256 * 1024, Messages: 4}
+	}
+
+	hier, err := HierMachine{Name: "8×8 hierarchical", Nodes: 8, ProcsPerNode: 8,
+		ProcMflops: 50, MemBWMBs: 1200, Net: NetATM, Imbalance: 0}.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatM := Machine{Name: "64-node flat", Procs: total, ProcMflops: 50,
+		Net: NetATM, Imbalance: 0}
+
+	rh, err := Run(hier, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := Run(flatM, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh.Seconds >= rf.Seconds {
+		t.Errorf("hierarchy no faster: %v vs flat %v", rh.Seconds, rf.Seconds)
+	}
+}
+
+// TestHierarchyMonotoneInNodeSize: with the fabric fixed, larger SMP nodes
+// (fewer nodes for the same total) never hurt a halo workload.
+func TestHierarchyMonotoneInNodeSize(t *testing.T) {
+	w := flat{
+		name:    "halo",
+		steps:   []Step{{WorkMflop: 20, Bytes: 512 * 1024, Messages: 4}},
+		totalMF: 20 * 64,
+	}
+	prev := -1.0
+	for _, ppn := range []int{1, 2, 4, 8, 16} {
+		h := HierMachine{Name: "h", Nodes: 64 / ppn, ProcsPerNode: ppn,
+			ProcMflops: 50, MemBWMBs: 2400, Net: NetATM, Imbalance: 0}
+		m, err := h.Flatten()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Run(m, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev > 0 && r.Speedup < prev*0.98 {
+			t.Errorf("ppn=%d: speedup %v fell from %v", ppn, r.Speedup, prev)
+		}
+		prev = r.Speedup
+	}
+}
+
+// TestExemplarScalesPastSMPLimit: the hierarchical configuration reaches
+// processor counts no bus SMP of the era could, while staying efficient on
+// medium-grain work — "the degree of parallelism is likely to continue to
+// increase for the foreseeable future".
+func TestExemplarScalesPastSMPLimit(t *testing.T) {
+	w := flat{
+		name:    "stencil-ish",
+		steps:   make([]Step, 20),
+		totalMF: 20 * 25 * 128,
+	}
+	for i := range w.steps {
+		w.steps[i] = Step{WorkMflop: 25, Bytes: 64 * 1024, Messages: 4}
+	}
+	m, err := Exemplar("SPP-like", 16, 50).Flatten() // 128 processors
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Efficiency < 0.5 {
+		t.Errorf("128-processor hierarchical efficiency %.2f; should stay useful", r.Efficiency)
+	}
+}

@@ -1,0 +1,254 @@
+// Package simmach simulates the parallel machines of the study period —
+// shared-memory SMPs, tightly coupled distributed-memory MPPs, and
+// workstation clusters on commodity LANs — executing bulk-synchronous
+// workloads. It exists to measure the claim at the center of the paper's
+// cluster discussion: that deliverable performance depends on the match
+// between an application's computation/communication ratio and the
+// interconnect, which the CTP metric cannot see.
+//
+// The simulator uses the bulk-synchronous machine model. A workload is a
+// sequence of supersteps; in each superstep every processor computes its
+// share of the work and then exchanges data. The step's wall-clock cost is
+// the slowest processor's compute time (load imbalance is sampled
+// deterministically) plus the communication time under the interconnect
+// model:
+//
+//   - switched fabrics (MPP meshes, ATM, HiPPI switches) carry each node's
+//     traffic concurrently: t = messages·latency + bytes/bandwidth;
+//   - shared media (Ethernet, FDDI rings) serialize all traffic:
+//     t = messages·latency + P·bytes/bandwidth;
+//   - shared-memory machines exchange through the memory bus, whose
+//     bandwidth is divided among processors, and pay only a barrier cost
+//     in latency.
+//
+// The model reproduces the behaviour reported in the study's note 53
+// (Mattson's cluster measurements): near-linear cluster scaling for
+// embarrassingly parallel work, "reasonable speedups … for clusters with
+// up to 8–12 nodes" on medium-grain codes, and no competitiveness on
+// communication-bound solvers.
+package simmach
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Network describes an interconnect.
+type Network struct {
+	Name      string
+	Bandwidth float64 // MB/s per link (aggregate for shared media)
+	LatencyUs float64 // one-way message latency, microseconds
+	Shared    bool    // true when all nodes contend for one medium
+}
+
+// Standard interconnects of the period.
+var (
+	NetEthernet = Network{Name: "Ethernet 10 Mb/s", Bandwidth: 1.25, LatencyUs: 1000, Shared: true}
+	NetFDDI     = Network{Name: "FDDI 100 Mb/s", Bandwidth: 12.5, LatencyUs: 500, Shared: true}
+	NetATM      = Network{Name: "ATM 155 Mb/s", Bandwidth: 19.4, LatencyUs: 120, Shared: false}
+	NetHiPPI    = Network{Name: "HiPPI 800 Mb/s", Bandwidth: 100, LatencyUs: 60, Shared: false}
+	NetMesh     = Network{Name: "MPP 2-D mesh", Bandwidth: 175, LatencyUs: 10, Shared: false}
+	NetTorus    = Network{Name: "MPP 3-D torus", Bandwidth: 300, LatencyUs: 2, Shared: false}
+)
+
+// Machine is a parallel computer configuration.
+type Machine struct {
+	Name         string
+	Procs        int
+	ProcMflops   float64 // per-processor sustained compute rate
+	SharedMemory bool    // SMP: exchange through the memory system
+	MemBWMBs     float64 // memory-bus bandwidth (SMP only)
+	Net          Network // interconnect (distributed memory only)
+	Imbalance    float64 // coefficient of variation of per-processor work
+}
+
+// Validate reports configuration errors.
+func (m Machine) Validate() error {
+	switch {
+	case m.Procs < 1:
+		return fmt.Errorf("simmach: %s: %d processors", m.Name, m.Procs)
+	case m.ProcMflops <= 0:
+		return fmt.Errorf("simmach: %s: non-positive processor rate", m.Name)
+	case m.SharedMemory && m.MemBWMBs <= 0:
+		return fmt.Errorf("simmach: %s: shared memory without bus bandwidth", m.Name)
+	case !m.SharedMemory && m.Net.Bandwidth <= 0:
+		return fmt.Errorf("simmach: %s: distributed memory without interconnect", m.Name)
+	case m.Imbalance < 0 || m.Imbalance > 1:
+		return fmt.Errorf("simmach: %s: imbalance %v outside [0,1]", m.Name, m.Imbalance)
+	}
+	return nil
+}
+
+// Step is one bulk-synchronous superstep of a workload, expressed per
+// processor: the Mflop each processor computes and the data it exchanges.
+type Step struct {
+	WorkMflop float64 // per-processor computation, Mflop
+	Bytes     float64 // per-processor bytes sent
+	Messages  int     // per-processor messages sent
+}
+
+// Workload produces the superstep sequence for a given processor count.
+// Implementations live in package workload.
+type Workload interface {
+	Name() string
+	// Steps returns the per-processor superstep profile when the problem
+	// is divided across procs processors.
+	Steps(procs int) []Step
+	// TotalMflop returns the problem's total computation, for speedup
+	// accounting.
+	TotalMflop() float64
+}
+
+// Result reports a simulated run.
+type Result struct {
+	Machine      string
+	Workload     string
+	Procs        int
+	Seconds      float64 // simulated wall-clock
+	CompSeconds  float64 // time in computation (critical path)
+	CommSeconds  float64 // time in communication and barriers
+	Speedup      float64 // vs. the same problem on one of these processors
+	Efficiency   float64 // Speedup / Procs
+	CommFraction float64 // CommSeconds / Seconds
+}
+
+// ErrNoSteps is returned when a workload produces no supersteps.
+var ErrNoSteps = errors.New("simmach: workload produced no supersteps")
+
+// Run simulates the workload on the machine.
+func Run(m Machine, w Workload) (Result, error) {
+	if err := m.Validate(); err != nil {
+		return Result{}, err
+	}
+	steps := w.Steps(m.Procs)
+	if len(steps) == 0 {
+		return Result{}, fmt.Errorf("%w: %s on %s", ErrNoSteps, w.Name(), m.Name)
+	}
+	rng := rand.New(rand.NewSource(seed(m, w)))
+
+	var comp, comm float64
+	for _, s := range steps {
+		comp += compTime(m, s, rng)
+		comm += commTime(m, s)
+	}
+	total := comp + comm
+
+	serial := w.TotalMflop() / m.ProcMflops
+	res := Result{
+		Machine:     m.Name,
+		Workload:    w.Name(),
+		Procs:       m.Procs,
+		Seconds:     total,
+		CompSeconds: comp,
+		CommSeconds: comm,
+	}
+	if total > 0 {
+		res.Speedup = serial / total
+		res.Efficiency = res.Speedup / float64(m.Procs)
+		res.CommFraction = comm / total
+	}
+	return res, nil
+}
+
+// seed derives a deterministic seed from the configuration so repeated
+// runs are identical.
+func seed(m Machine, w Workload) int64 {
+	h := int64(1469598103934665603)
+	for _, s := range []string{m.Name, w.Name()} {
+		for i := 0; i < len(s); i++ {
+			h ^= int64(s[i])
+			h *= 1099511628211
+		}
+	}
+	return h ^ int64(m.Procs)
+}
+
+// compTime returns the superstep's computation time: the slowest
+// processor's share under sampled load imbalance.
+func compTime(m Machine, s Step, rng *rand.Rand) float64 {
+	base := s.WorkMflop / m.ProcMflops
+	if m.Imbalance == 0 || m.Procs == 1 {
+		return base
+	}
+	// The barrier waits for the maximum of Procs draws around the mean.
+	// Sampling all of them is wasteful for large machines; the expected
+	// maximum of n normal draws is ≈ σ√(2 ln n), jittered by the rng so
+	// repeated steps vary.
+	sigma := m.Imbalance * base
+	expMax := sigma * math.Sqrt(2*math.Log(float64(m.Procs)))
+	jitter := 1 + 0.1*rng.Float64()
+	return base + expMax*jitter
+}
+
+// commTime returns the superstep's communication time under the machine's
+// interconnect model.
+func commTime(m Machine, s Step) float64 {
+	if s.Bytes == 0 && s.Messages == 0 {
+		return 0
+	}
+	if m.SharedMemory {
+		// Exchange through memory: each processor's traffic moves at its
+		// share of the bus, plus a barrier cost that grows with the
+		// processor count (cache-line ping-pong, lock contention).
+		perProcBW := m.MemBWMBs / float64(m.Procs)
+		barrier := 0.2e-6 * float64(m.Procs)
+		return s.Bytes/1e6/perProcBW + barrier
+	}
+	lat := m.Net.LatencyUs * 1e-6 * float64(s.Messages)
+	if m.Net.Shared {
+		// One medium carries every node's traffic in turn.
+		return lat + float64(m.Procs)*s.Bytes/1e6/m.Net.Bandwidth
+	}
+	return lat + s.Bytes/1e6/m.Net.Bandwidth
+}
+
+// --- Standard machine configurations -----------------------------------
+
+// SMP returns a shared-memory multiprocessor in the mid-1990s class:
+// per-processor rate in Mflops, a memory bus of busMBs MB/s.
+func SMP(name string, procs int, procMflops, busMBs float64) Machine {
+	return Machine{
+		Name: name, Procs: procs, ProcMflops: procMflops,
+		SharedMemory: true, MemBWMBs: busMBs, Imbalance: 0.02,
+	}
+}
+
+// MPP returns a tightly coupled distributed-memory machine.
+func MPP(name string, procs int, procMflops float64, net Network) Machine {
+	return Machine{
+		Name: name, Procs: procs, ProcMflops: procMflops,
+		Net: net, Imbalance: 0.03,
+	}
+}
+
+// Cluster returns a workstation cluster; ad hoc clusters carry more load
+// imbalance than dedicated ones (shared machines, heterogeneous load).
+func Cluster(name string, procs int, procMflops float64, net Network, adHoc bool) Machine {
+	imb := 0.05
+	if adHoc {
+		imb = 0.15
+	}
+	return Machine{
+		Name: name, Procs: procs, ProcMflops: procMflops,
+		Net: net, Imbalance: imb,
+	}
+}
+
+// Fleet returns the Table 5 spectrum at a given processor count, from
+// tightly to loosely coupled: vector-class SMP, mesh MPP, dedicated HiPPI
+// and ATM clusters, FDDI and Ethernet ad hoc clusters. Per-processor rates
+// are equalized so differences isolate the coupling, which is the
+// comparison the table makes.
+func Fleet(procs int) []Machine {
+	const rate = 50 // Mflops per processor, a mid-1990s workstation
+	return []Machine{
+		SMP("SMP (shared bus)", procs, rate, 1200),
+		MPP("MPP (2-D mesh)", procs, rate, NetMesh),
+		Cluster("dedicated cluster (HiPPI)", procs, rate, NetHiPPI, false),
+		Cluster("dedicated cluster (ATM)", procs, rate, NetATM, false),
+		Cluster("ad hoc cluster (FDDI)", procs, rate, NetFDDI, true),
+		Cluster("ad hoc cluster (Ethernet)", procs, rate, NetEthernet, true),
+	}
+}

@@ -1,0 +1,222 @@
+package simmach
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// flat is a trivial workload for direct model tests.
+type flat struct {
+	name    string
+	steps   []Step
+	totalMF float64
+}
+
+func (f flat) Name() string        { return f.name }
+func (f flat) Steps(int) []Step    { return f.steps }
+func (f flat) TotalMflop() float64 { return f.totalMF }
+
+func TestValidate(t *testing.T) {
+	bad := []Machine{
+		{Name: "no procs", Procs: 0, ProcMflops: 10, Net: NetMesh},
+		{Name: "no rate", Procs: 4, ProcMflops: 0, Net: NetMesh},
+		{Name: "smp no bus", Procs: 4, ProcMflops: 10, SharedMemory: true},
+		{Name: "dm no net", Procs: 4, ProcMflops: 10},
+		{Name: "imbalance", Procs: 4, ProcMflops: 10, Net: NetMesh, Imbalance: 2},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", m.Name)
+		}
+	}
+	if err := SMP("ok", 8, 50, 1200).Validate(); err != nil {
+		t.Errorf("valid SMP rejected: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	m := MPP("m", 4, 50, NetMesh)
+	if _, err := Run(m, flat{name: "empty"}); !errors.Is(err, ErrNoSteps) {
+		t.Errorf("empty workload: %v", err)
+	}
+	if _, err := Run(Machine{Name: "bad"}, flat{name: "x", steps: []Step{{WorkMflop: 1}}}); err == nil {
+		t.Error("invalid machine accepted")
+	}
+}
+
+func TestPerfectlyParallelNoComm(t *testing.T) {
+	// 1000 Mflop split over 10 procs at 50 Mflops, no communication, no
+	// imbalance: exactly 2 seconds, speedup exactly 10.
+	m := Machine{Name: "ideal", Procs: 10, ProcMflops: 50, Net: NetMesh}
+	w := flat{name: "ep", steps: []Step{{WorkMflop: 100}}, totalMF: 1000}
+	r, err := Run(m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Seconds != 2 {
+		t.Errorf("Seconds = %v, want 2", r.Seconds)
+	}
+	if r.Speedup != 10 || r.Efficiency != 1 {
+		t.Errorf("speedup %v efficiency %v", r.Speedup, r.Efficiency)
+	}
+	if r.CommFraction != 0 {
+		t.Errorf("comm fraction %v", r.CommFraction)
+	}
+}
+
+func TestSpeedupNeverExceedsProcs(t *testing.T) {
+	for _, m := range Fleet(16) {
+		w := flat{
+			name:    "w",
+			steps:   []Step{{WorkMflop: 50, Bytes: 1000, Messages: 2}},
+			totalMF: 50 * 16,
+		}
+		r, err := Run(m, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Speedup > float64(m.Procs)+1e-9 {
+			t.Errorf("%s: speedup %v exceeds %d procs", m.Name, r.Speedup, m.Procs)
+		}
+		if r.Efficiency <= 0 || r.Efficiency > 1+1e-9 {
+			t.Errorf("%s: efficiency %v", m.Name, r.Efficiency)
+		}
+	}
+}
+
+func TestSharedMediumSerializesTraffic(t *testing.T) {
+	// The same exchange on shared vs switched media of equal bandwidth:
+	// shared must cost ≈Procs× the transfer time.
+	sw := Machine{Name: "switched", Procs: 8, ProcMflops: 50,
+		Net: Network{Name: "sw", Bandwidth: 10, LatencyUs: 100}}
+	sh := Machine{Name: "shared", Procs: 8, ProcMflops: 50,
+		Net: Network{Name: "sh", Bandwidth: 10, LatencyUs: 100, Shared: true}}
+	step := Step{Bytes: 1e6, Messages: 1}
+	tsw := commTime(sw, step)
+	tsh := commTime(sh, step)
+	if tsh <= tsw {
+		t.Errorf("shared medium faster than switched: %v <= %v", tsh, tsw)
+	}
+	wantRatio := 8.0
+	gotRatio := (tsh - 100e-6) / (tsw - 100e-6)
+	if gotRatio < wantRatio*0.99 || gotRatio > wantRatio*1.01 {
+		t.Errorf("serialization ratio %v, want ≈%v", gotRatio, wantRatio)
+	}
+}
+
+func TestSMPBusContention(t *testing.T) {
+	// Equal traffic on an SMP: quadrupling the processor count at least
+	// quadruples the per-step exchange cost (bus shared).
+	small := SMP("s", 4, 50, 1200)
+	big := SMP("b", 16, 50, 1200)
+	step := Step{Bytes: 1e6, Messages: 1}
+	if c4, c16 := commTime(small, step), commTime(big, step); c16 < 4*c4*0.9 {
+		t.Errorf("bus contention too weak: 4p=%v 16p=%v", c4, c16)
+	}
+}
+
+func TestZeroCommIsFree(t *testing.T) {
+	for _, m := range Fleet(32) {
+		if c := commTime(m, Step{WorkMflop: 10}); c != 0 {
+			t.Errorf("%s: comm time %v for compute-only step", m.Name, c)
+		}
+	}
+}
+
+func TestImbalanceExtendsCriticalPath(t *testing.T) {
+	balanced := Machine{Name: "bal", Procs: 16, ProcMflops: 50, Net: NetMesh}
+	skewed := balanced
+	skewed.Name = "skew"
+	skewed.Imbalance = 0.2
+	w := flat{name: "w", steps: []Step{{WorkMflop: 100}}, totalMF: 1600}
+	rb, err := Run(balanced, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Run(skewed, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Seconds <= rb.Seconds {
+		t.Errorf("imbalance did not extend runtime: %v <= %v", rs.Seconds, rb.Seconds)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	m := Cluster("c", 16, 50, NetEthernet, true)
+	w := flat{name: "w", steps: []Step{{WorkMflop: 100, Bytes: 1e5, Messages: 4}}, totalMF: 1600}
+	a, _ := Run(m, w)
+	b, _ := Run(m, w)
+	if a != b {
+		t.Error("repeated runs differ")
+	}
+}
+
+func TestFleetComposition(t *testing.T) {
+	fleet := Fleet(16)
+	if len(fleet) != 6 {
+		t.Fatalf("fleet size %d", len(fleet))
+	}
+	for _, m := range fleet {
+		if err := m.Validate(); err != nil {
+			t.Errorf("fleet machine invalid: %v", err)
+		}
+		if m.Procs != 16 {
+			t.Errorf("%s: %d procs", m.Name, m.Procs)
+		}
+	}
+	if !fleet[0].SharedMemory {
+		t.Error("fleet should start with the SMP")
+	}
+	if !strings.Contains(fleet[len(fleet)-1].Name, "Ethernet") {
+		t.Error("fleet should end with the Ethernet cluster")
+	}
+}
+
+// TestCouplingOrdering: for a communication-bearing workload, machines
+// higher on the Table 5 spectrum (more tightly coupled) are never slower
+// than those below them, all else equal.
+func TestCouplingOrdering(t *testing.T) {
+	w := flat{
+		name:    "halo",
+		steps:   make([]Step, 100),
+		totalMF: 16 * 100 * 10,
+	}
+	for i := range w.steps {
+		w.steps[i] = Step{WorkMflop: 10, Bytes: 64 * 1024, Messages: 4}
+	}
+	fleet := Fleet(16)
+	// Zero imbalance to isolate interconnects.
+	for i := range fleet {
+		fleet[i].Imbalance = 0
+	}
+	times := make(map[string]float64, len(fleet))
+	var order []string
+	for _, m := range fleet {
+		r, err := Run(m, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[m.Name] = r.Seconds
+		order = append(order, m.Name)
+	}
+	// The two integrated machines (SMP, MPP) beat every cluster, and the
+	// clusters order by interconnect: HiPPI ≤ ATM ≤ FDDI ≤ Ethernet.
+	integrated := []string{order[0], order[1]}
+	clusters := order[2:]
+	for _, im := range integrated {
+		for _, cm := range clusters {
+			if times[im] > times[cm] {
+				t.Errorf("%s (%.3fs) slower than cluster %s (%.3fs)",
+					im, times[im], cm, times[cm])
+			}
+		}
+	}
+	for i := 1; i < len(clusters); i++ {
+		if times[clusters[i]] < times[clusters[i-1]] {
+			t.Errorf("%s faster than %s higher on the spectrum",
+				clusters[i], clusters[i-1])
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package threshold
+
+import (
+	"sort"
+
+	"repro/internal/apps"
+	"repro/internal/catalog"
+	"repro/internal/units"
+)
+
+// EconomicCase evaluates one candidate threshold the way Chapter 2's
+// Figure 3 discussion does: raising the threshold from the lower bound to
+// the candidate frees the installed base between them for unlicensed sale
+// (the economic gain) at the price of decontrolling every application
+// whose minimum falls in the same band (the security cost).
+type EconomicCase struct {
+	Threshold  units.Mtops
+	FreedUnits int                // installed units decontrolled by the raise
+	GivenUp    []apps.Application // applications decontrolled by the raise
+}
+
+// Economics evaluates a candidate threshold at the snapshot's date. The
+// candidate is clamped into the valid range; a candidate at the lower
+// bound frees nothing and gives up nothing.
+func (s *Snapshot) Economics(candidate units.Mtops) EconomicCase {
+	if candidate < s.LowerBound {
+		candidate = s.LowerBound
+	}
+	ec := EconomicCase{Threshold: candidate}
+	for _, sys := range catalog.All() {
+		if float64(sys.Year) > s.Date {
+			continue
+		}
+		if sys.CTP >= s.LowerBound && sys.CTP < candidate {
+			ec.FreedUnits += sys.Installed
+		}
+	}
+	for _, a := range s.Above {
+		if a.Min <= candidate {
+			ec.GivenUp = append(ec.GivenUp, a)
+		}
+	}
+	return ec
+}
+
+// securityWeight is the utility penalty per given-up application share,
+// relative to the gain of the full freed market. The value is
+// deliberately conservative (security-weighted): freeing the entire
+// candidate market cannot justify giving up more than half the protected
+// applications.
+const securityWeight = 2.0
+
+// recommendBalanced implements the third perspective: scan the candidate
+// thresholds between the lower bound and the ceiling — the interesting
+// candidates sit just below each application minimum — and pick the one
+// maximizing (freed market share) − securityWeight·(applications given
+// up share). Ties go to the lower threshold.
+func (s *Snapshot) recommendBalanced() units.Mtops {
+	// Hard ceiling: "thresholds just above a hump in the applications
+	// distribution should be avoided" — no candidate may cross the lowest
+	// significant application cluster.
+	ceiling := s.MaxAvailable
+	for _, c := range s.Clusters {
+		if c.Significant() && c.Start < ceiling {
+			ceiling = c.Start
+		}
+	}
+
+	// Candidate points: the lower bound itself, plus a point just below
+	// each distinct application minimum above the bound (the only places
+	// the given-up set changes).
+	minima := make([]float64, 0, len(s.Above))
+	for _, a := range s.Above {
+		minima = append(minima, float64(a.Min))
+	}
+	sort.Float64s(minima)
+	candidates := []units.Mtops{s.LowerBound}
+	for _, m := range minima {
+		c := units.Mtops(0.95 * m)
+		if c > s.LowerBound && c < s.MaxAvailable {
+			candidates = append(candidates, c)
+		}
+	}
+	if edge := units.Mtops(0.95 * float64(ceiling)); edge > s.LowerBound {
+		candidates = append(candidates, edge)
+	}
+	// Enforce the cluster ceiling.
+	kept := candidates[:0]
+	for _, c := range candidates {
+		if c < ceiling {
+			kept = append(kept, c)
+		}
+	}
+	candidates = kept
+
+	// Normalizers.
+	maxFreed := s.Economics(s.MaxAvailable).FreedUnits
+	totalAbove := len(s.Above)
+	if maxFreed == 0 || totalAbove == 0 {
+		return s.LowerBound
+	}
+
+	best := s.LowerBound
+	bestU := 0.0
+	for _, c := range candidates {
+		ec := s.Economics(c)
+		u := float64(ec.FreedUnits)/float64(maxFreed) -
+			securityWeight*float64(len(ec.GivenUp))/float64(totalAbove)
+		if u > bestU+1e-12 {
+			best, bestU = c, u
+		}
+	}
+	return best
+}

@@ -1,0 +1,97 @@
+package threshold
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestEconomicsAtLowerBoundFreesNothing(t *testing.T) {
+	s := take(t, june1995)
+	ec := s.Economics(s.LowerBound)
+	if ec.FreedUnits != 0 {
+		t.Errorf("threshold at lower bound freed %d units", ec.FreedUnits)
+	}
+	if len(ec.GivenUp) != 0 {
+		t.Errorf("threshold at lower bound gave up %d applications", len(ec.GivenUp))
+	}
+}
+
+func TestEconomicsMonotone(t *testing.T) {
+	s := take(t, june1995)
+	var prevFreed, prevGivenUp int
+	for _, c := range []units.Mtops{4600, 5000, 6000, 8000, 12000, 25000, 110000} {
+		ec := s.Economics(c)
+		if ec.FreedUnits < prevFreed {
+			t.Errorf("freed units fell at %v: %d < %d", c, ec.FreedUnits, prevFreed)
+		}
+		if len(ec.GivenUp) < prevGivenUp {
+			t.Errorf("given-up applications fell at %v", c)
+		}
+		prevFreed, prevGivenUp = ec.FreedUnits, len(ec.GivenUp)
+	}
+}
+
+func TestEconomicsClampsBelowBound(t *testing.T) {
+	s := take(t, june1995)
+	ec := s.Economics(100)
+	if ec.Threshold != s.LowerBound {
+		t.Errorf("candidate below bound not clamped: %v", ec.Threshold)
+	}
+}
+
+// TestEconomicsFigure3Logic: raising mid-1995's threshold to just below
+// the 7,000-Mtops cluster frees the PowerChallenge-class installed base
+// (a large market) at the cost of only the isolated applications between
+// the bound and the cluster — the "line B is a reasonable choice" case.
+func TestEconomicsFigure3Logic(t *testing.T) {
+	s := take(t, june1995)
+	ec := s.Economics(6700)
+	if ec.FreedUnits < 1000 {
+		t.Errorf("only %d units freed below the 7,000 cluster; the SMP market should dominate", ec.FreedUnits)
+	}
+	if len(ec.GivenUp) == 0 || len(ec.GivenUp) > 3 {
+		t.Errorf("%d applications given up below the cluster; expected the 1–3 isolated minima", len(ec.GivenUp))
+	}
+	for _, a := range ec.GivenUp {
+		if a.Min >= 7000 {
+			t.Errorf("application %s (min %v) given up below a 6,700 threshold", a.Name, a.Min)
+		}
+	}
+}
+
+// TestBalancedRecommendation: the balanced perspective lands between the
+// control-maximal floor and the application-driven cluster edge, freeing
+// the dense SMP market while respecting the 7,000 cluster.
+func TestBalancedRecommendation(t *testing.T) {
+	s := take(t, june1995)
+	cm, _ := s.Recommend(ControlMaximal)
+	ad, _ := s.Recommend(ApplicationDriven)
+	bal, ok := s.Recommend(Balanced)
+	if !ok {
+		t.Fatal("no balanced recommendation")
+	}
+	if bal < cm || bal > ad {
+		t.Errorf("balanced %v outside [control-maximal %v, application-driven %v]", bal, cm, ad)
+	}
+	if bal == cm {
+		t.Errorf("balanced equals control-maximal (%v); the freed market should justify a raise", bal)
+	}
+}
+
+// TestBalancedWithoutMarketFallsToFloor: very early snapshots have little
+// installed base between bound and ceiling; balanced then behaves like
+// control-maximal rather than invent a raise.
+func TestBalancedOrderedAcrossDates(t *testing.T) {
+	for _, date := range []float64{1993.5, 1995.45, 1997.5} {
+		s := take(t, date)
+		cm, _ := s.Recommend(ControlMaximal)
+		bal, ok := s.Recommend(Balanced)
+		if !ok {
+			t.Fatalf("%v: no balanced recommendation", date)
+		}
+		if bal < cm {
+			t.Errorf("%v: balanced %v below floor %v", date, bal, cm)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package threshold
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/units"
+)
+
+// Edge-path coverage for the snapshot accessors.
+
+func TestFirstClusterMissingCategory(t *testing.T) {
+	s := &Snapshot{} // no clusters at all
+	if _, ok := s.FirstCluster(RDTE); ok {
+		t.Error("found a cluster in an empty snapshot")
+	}
+}
+
+func TestValidAndRangeWithFailedPremise(t *testing.T) {
+	s := take(t, june1995)
+	broken := *s
+	broken.Premises[0].Holds = false
+	if broken.Valid() {
+		t.Error("snapshot with failed premise reported valid")
+	}
+	if _, _, ok := broken.Range(); ok {
+		t.Error("range exists despite failed premise")
+	}
+	if _, ok := broken.Recommend(ControlMaximal); ok {
+		t.Error("recommendation despite failed premise")
+	}
+}
+
+func TestRangeDegenerateBounds(t *testing.T) {
+	s := take(t, june1995)
+	squeezed := *s
+	squeezed.MaxAvailable = squeezed.LowerBound
+	if _, _, ok := squeezed.Range(); ok {
+		t.Error("degenerate bounds produced a range")
+	}
+}
+
+func TestClusterStringAndSignificance(t *testing.T) {
+	c := Cluster{
+		Category: MilOps,
+		Start:    units.Mtops(10000),
+		End:      units.Mtops(12000),
+		Apps:     make([]apps.Application, 2),
+	}
+	if c.Significant() {
+		t.Error("two-member cluster significant")
+	}
+	if c.String() == "" {
+		t.Error("empty cluster string")
+	}
+}
+
+func TestRecommendApplicationDrivenWithoutClusters(t *testing.T) {
+	// When no significant cluster exists above the bound, the
+	// application-driven perspective degrades to the lower bound.
+	s := take(t, june1995)
+	stripped := *s
+	stripped.Clusters = nil
+	rec, ok := stripped.Recommend(ApplicationDriven)
+	if !ok {
+		t.Fatal("no recommendation")
+	}
+	if rec != roundPolicy(stripped.LowerBound) {
+		t.Errorf("clusterless recommendation %v, want the lower bound %v", rec, stripped.LowerBound)
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	if clamp01(-1) != 0 || clamp01(2) != 1 || clamp01(0.5) != 0.5 {
+		t.Error("clamp01 wrong")
+	}
+}

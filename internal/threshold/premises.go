@@ -1,0 +1,176 @@
+package threshold
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/catalog"
+	"repro/internal/controllability"
+	"repro/internal/units"
+)
+
+// Premise identifies one of the three basic premises.
+type Premise int
+
+const (
+	// PremiseApplications: there are problems of great national security
+	// importance that require high-performance computing for their
+	// solution.
+	PremiseApplications Premise = iota
+	// PremiseCountries: there are countries of national security concern
+	// with the scientific and military wherewithal to pursue these
+	// applications.
+	PremiseCountries
+	// PremiseControllability: there are features of these computers that
+	// permit effective forms of control.
+	PremiseControllability
+)
+
+// String returns a short name for the premise.
+func (p Premise) String() string {
+	switch p {
+	case PremiseApplications:
+		return "premise 1 (applications require HPC)"
+	case PremiseCountries:
+		return "premise 2 (countries of concern capable)"
+	case PremiseControllability:
+		return "premise 3 (effective control possible)"
+	default:
+		return fmt.Sprintf("Premise(%d)", int(p))
+	}
+}
+
+// PremiseStatus is the framework's finding on one premise at one date.
+type PremiseStatus struct {
+	Premise  Premise
+	Holds    bool
+	Strength float64 // 0 (collapsed) to 1 (Cold War strength)
+	Evidence string
+}
+
+// String renders the status line.
+func (ps PremiseStatus) String() string {
+	verdict := "FAILS"
+	if ps.Holds {
+		verdict = "holds"
+	}
+	return fmt.Sprintf("%s: %s (strength %.2f) — %s", ps.Premise, verdict, ps.Strength, ps.Evidence)
+}
+
+// minMargin is the factor by which the most powerful available system must
+// exceed the lower bound for premise three to hold: if lines A and D "lie
+// close together, there is no meaningful range of controllability".
+const minMargin = 2.0
+
+// strongAppCount is the number of above-frontier applications at which
+// premise one is considered to hold at full strength.
+const strongAppCount = 12.0
+
+func evaluatePremises(s *Snapshot) [3]PremiseStatus {
+	var out [3]PremiseStatus
+
+	// Premise 1: applications with minimum requirements above the
+	// uncontrollability frontier.
+	n := len(s.Above)
+	p1 := PremiseStatus{Premise: PremiseApplications, Holds: n > 0}
+	p1.Strength = clamp01(float64(n) / strongAppCount)
+	p1.Evidence = fmt.Sprintf("%d applications with minimum requirements above %s", n, s.LowerBound)
+	out[0] = p1
+
+	// Premise 2: countries of concern with active indigenous HPC programs
+	// and weapons programs. The geopolitical judgment is outside the
+	// framework ("beyond the scope of this study"); the proxy here is the
+	// observable wherewithal: indigenous HPC activity in each country of
+	// concern at the date.
+	countries := activeConcernCountries(s.Date)
+	p2 := PremiseStatus{Premise: PremiseCountries, Holds: len(countries) > 0}
+	p2.Strength = clamp01(float64(len(countries)) / 3.0)
+	p2.Evidence = fmt.Sprintf("%d countries of concern with active indigenous HPC programs", len(countries))
+	out[1] = p2
+
+	// Premise 3: a meaningful controllable range between lines A and D.
+	ratio := 0.0
+	if s.LowerBound > 0 {
+		ratio = float64(s.MaxAvailable) / float64(s.LowerBound)
+	}
+	p3 := PremiseStatus{Premise: PremiseControllability, Holds: ratio >= minMargin}
+	p3.Strength = clamp01((ratio - 1) / 20)
+	p3.Evidence = fmt.Sprintf("most powerful available (%s) is %.1f× the lower bound (%s)",
+		s.MaxAvailable, ratio, s.LowerBound)
+	out[2] = p3
+	return out
+}
+
+// activeConcernCountries returns the countries of concern with at least
+// one indigenous system introduced within the eight years before the date
+// (a program, not a museum piece).
+func activeConcernCountries(date float64) []catalog.Origin {
+	active := map[catalog.Origin]bool{}
+	for _, sys := range catalog.Indigenous() {
+		if float64(sys.Year) <= date && float64(sys.Year) >= date-8 {
+			active[sys.Origin] = true
+		}
+	}
+	var out []catalog.Origin
+	for _, o := range []catalog.Origin{catalog.Russia, catalog.PRC, catalog.India} {
+		if active[o] {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// CapabilityRow is one row of Table 16, "Foreign Capability in Selected
+// Applications": whether each country of concern can assemble the
+// computing for the application, either indigenously or from
+// uncontrollable Western technology.
+type CapabilityRow struct {
+	Application apps.Application
+	Capable     map[catalog.Origin]bool
+}
+
+// Table16 evaluates foreign computational capability at the given date for
+// the curated applications above the old (1,500 Mtops) threshold — the
+// set whose control status the review was deciding. A country is capable
+// when the application's minimum requirement lies below the larger of the
+// uncontrollability frontier (Western technology it can simply buy) and
+// its own most powerful multi-unit indigenous system.
+func Table16(date float64) ([]CapabilityRow, error) {
+	lower, _, ok := controllability.Frontier(date, controllability.Options{})
+	if !ok {
+		return nil, fmt.Errorf("%w (date %.2f)", ErrNoFrontier, date)
+	}
+	countries := []catalog.Origin{catalog.Russia, catalog.PRC, catalog.India}
+	indMax := map[catalog.Origin]units.Mtops{}
+	for _, sys := range catalog.Indigenous() {
+		if float64(sys.Year) <= date && sys.Installed >= 2 && sys.CTP > indMax[sys.Origin] {
+			indMax[sys.Origin] = sys.CTP
+		}
+	}
+	var rows []CapabilityRow
+	for _, a := range apps.All() {
+		if a.Min <= 1500 {
+			continue
+		}
+		row := CapabilityRow{Application: a, Capable: map[catalog.Origin]bool{}}
+		for _, c := range countries {
+			reach := lower
+			if indMax[c] > reach {
+				reach = indMax[c]
+			}
+			row.Capable[c] = a.Min <= reach
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,67 @@
+package threshold
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// ReviewEntry is one year's review: the snapshot, the recommendation
+// chosen, and any findings a review board should see.
+type ReviewEntry struct {
+	Snapshot  *Snapshot
+	Threshold units.Mtops // recommended threshold for the coming period
+	Warnings  []string
+}
+
+// Review runs the paper's central procedural recommendation — "perform
+// annual reviews of the export control regime, applying a methodology
+// that is open, repeatable, and based on reliable data … no less
+// frequently than every twelve months" — from the first year through the
+// last inclusive, at annual steps, using the given selection perspective.
+//
+// Each entry carries warnings when the situation a board must react to
+// arises: a premise failing, the previous threshold overtaken by the new
+// lower bound, or the stranded-application count collapsing (premise one
+// eroding toward failure).
+func Review(firstYear, lastYear float64, p Perspective) ([]ReviewEntry, error) {
+	if lastYear < firstYear {
+		return nil, fmt.Errorf("threshold: review range [%v, %v] inverted", firstYear, lastYear)
+	}
+	var out []ReviewEntry
+	var prev *ReviewEntry
+	for y := firstYear; y <= lastYear+1e-9; y++ {
+		s, err := Take(y)
+		if err != nil {
+			return nil, fmt.Errorf("threshold: review at %.1f: %w", y, err)
+		}
+		entry := ReviewEntry{Snapshot: s}
+		rec, ok := s.Recommend(p)
+		if !ok {
+			entry.Warnings = append(entry.Warnings,
+				"no viable threshold: the basic premises do not hold")
+		} else {
+			entry.Threshold = rec
+		}
+		for _, pr := range s.Premises {
+			if !pr.Holds {
+				entry.Warnings = append(entry.Warnings, "premise failure: "+pr.String())
+			}
+		}
+		if prev != nil && prev.Threshold != 0 {
+			if s.LowerBound > prev.Threshold {
+				entry.Warnings = append(entry.Warnings, fmt.Sprintf(
+					"the %s threshold set last review is below the new lower bound %s — it now tries to control the uncontrollable",
+					prev.Threshold, s.LowerBound))
+			}
+			if len(s.Above) < len(prev.Snapshot.Above)/2 {
+				entry.Warnings = append(entry.Warnings, fmt.Sprintf(
+					"stranded applications halved since last review (%d → %d): premise one eroding",
+					len(prev.Snapshot.Above), len(s.Above)))
+			}
+		}
+		out = append(out, entry)
+		prev = &out[len(out)-1]
+	}
+	return out, nil
+}

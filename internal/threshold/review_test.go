@@ -1,0 +1,91 @@
+package threshold
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReviewRuns(t *testing.T) {
+	entries, err := Review(1993.5, 1999.5, ControlMaximal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 7 {
+		t.Fatalf("%d entries, want 7", len(entries))
+	}
+	for i, e := range entries {
+		if e.Snapshot == nil {
+			t.Fatalf("entry %d missing snapshot", i)
+		}
+		if e.Threshold <= 0 {
+			t.Errorf("entry %d: threshold %v", i, e.Threshold)
+		}
+	}
+}
+
+// TestReviewThresholdNonDecreasing: under control-maximal selection the
+// recommended threshold tracks the rising frontier.
+func TestReviewThresholdNonDecreasing(t *testing.T) {
+	entries, err := Review(1993.5, 1999.5, ControlMaximal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Threshold < entries[i-1].Threshold {
+			t.Errorf("recommendation fell at entry %d: %v after %v",
+				i, entries[i].Threshold, entries[i-1].Threshold)
+		}
+	}
+}
+
+// TestReviewWarnsOnOvertaking: in the years the frontier jumps (e.g. 1995
+// and 1998), the review warns that the previous threshold is under water.
+func TestReviewWarnsOnOvertaking(t *testing.T) {
+	entries, err := Review(1994.5, 1999.0, ControlMaximal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warned := false
+	for _, e := range entries {
+		for _, w := range e.Warnings {
+			if strings.Contains(w, "control the uncontrollable") {
+				warned = true
+			}
+		}
+	}
+	if !warned {
+		t.Error("no overtaking warning across 1994–99, despite the frontier tripling")
+	}
+}
+
+// TestReviewWarnsOnErosion: somewhere in the late 1990s the stranded
+// application count collapses and the review says so.
+func TestReviewWarnsOnErosion(t *testing.T) {
+	entries, err := Review(1993.5, 1999.5, ControlMaximal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eroded := false
+	for _, e := range entries {
+		for _, w := range e.Warnings {
+			if strings.Contains(w, "premise one eroding") {
+				eroded = true
+			}
+		}
+	}
+	if !eroded {
+		t.Error("no erosion warning despite 24 → 5 stranded applications")
+	}
+}
+
+func TestReviewInvertedRange(t *testing.T) {
+	if _, err := Review(1996, 1995, ControlMaximal); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestReviewOutsideModelRange(t *testing.T) {
+	if _, err := Review(1975, 1976, ControlMaximal); err == nil {
+		t.Error("pre-model review succeeded")
+	}
+}

@@ -1,0 +1,357 @@
+// Package threshold implements the paper's primary contribution: the
+// analytical framework of Chapter 2, applied in Chapter 5, that tests the
+// three basic premises of HPC export control and derives a defensible
+// control threshold from the lower bound of controllability and the
+// minimum computational requirements of national security applications.
+//
+// A Snapshot fixes a date and assembles, from the catalog and application
+// datasets:
+//
+//   - line A: the uncontrollability frontier (package controllability);
+//   - line D: the most powerful system commercially available;
+//   - the application stalactites above line A, grouped into clusters by
+//     category (RDT&E vs. military operations);
+//   - the distributions of installed systems and application requirements
+//     over the policy bins (Figure 11);
+//   - the status of the three basic premises.
+//
+// A valid threshold range exists when the premises hold; the framework then
+// offers the paper's three selection perspectives: control everything
+// controllable (threshold at line A), application-driven (just below the
+// lowest application cluster above line A), and balanced (between an
+// installation hump and an application hump).
+package threshold
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/apps"
+	"repro/internal/catalog"
+	"repro/internal/controllability"
+	"repro/internal/trend"
+	"repro/internal/units"
+)
+
+// clusterGap is the relative gap that separates application clusters: two
+// adjacent minima whose ratio exceeds 1+clusterGap belong to different
+// clusters.
+const clusterGap = 0.22
+
+// clusterMinSize is the number of applications a group needs before it is
+// reported as a cluster (a policy threshold should not pivot on one or two
+// data points).
+const clusterMinSize = 3
+
+// Category labels an application cluster by the kind of work it contains.
+type Category int
+
+const (
+	// RDTE: research, development, test and evaluation applications.
+	RDTE Category = iota
+	// MilOps: deployed, operational military systems.
+	MilOps
+)
+
+// String returns the category's display name.
+func (c Category) String() string {
+	if c == RDTE {
+		return "RDT&E"
+	}
+	return "military operations"
+}
+
+// Cluster is a dense group of application minimum requirements above the
+// lower bound.
+type Cluster struct {
+	Category Category
+	Start    units.Mtops // lowest minimum in the group
+	End      units.Mtops // highest minimum in the group
+	Apps     []apps.Application
+}
+
+// Significant reports whether the cluster is large enough to anchor policy.
+func (c Cluster) Significant() bool { return len(c.Apps) >= clusterMinSize }
+
+// String summarizes the cluster.
+func (c Cluster) String() string {
+	return fmt.Sprintf("%s cluster: %d applications starting at %s",
+		c.Category, len(c.Apps), c.Start)
+}
+
+// Snapshot is one dated application of the framework — Figure 11 is the
+// snapshot taken at June 1995.
+type Snapshot struct {
+	Date float64 // fractional calendar year
+
+	// Line A: the lower bound of a viable threshold.
+	LowerBound       units.Mtops
+	LowerBoundSystem catalog.System
+
+	// Line D: the theoretical ceiling of a threshold.
+	MaxAvailable       units.Mtops
+	MaxAvailableSystem catalog.System
+
+	// Applications whose minimum requirements exceed the lower bound,
+	// grouped into clusters per category.
+	Above    []apps.Application
+	Clusters []Cluster
+
+	// Distributions over apps.PolicyBins: installed systems (weighted by
+	// installed base) and application requirements (combined survey).
+	InstallHist []int
+	AppHist     []int
+
+	// The three basic premises.
+	Premises [3]PremiseStatus
+}
+
+// Errors returned by Take.
+var (
+	ErrNoFrontier  = errors.New("threshold: no uncontrollable system exists at this date")
+	ErrNoSystems   = errors.New("threshold: no systems available at this date")
+	ErrInvalidDate = errors.New("threshold: date outside the study's modeled range")
+)
+
+// Take applies the framework at the given date (fractional year). The
+// modeled range is 1985–2000: before 1985 the catalog is too sparse to
+// mean anything; after 2000 every dataset is extrapolation.
+func Take(date float64) (*Snapshot, error) {
+	if date < 1985 || date > 2000 {
+		return nil, fmt.Errorf("%w: %.2f (modeled range 1985–2000)", ErrInvalidDate, date)
+	}
+	lower, lowerSys, ok := controllability.Frontier(date, controllability.Options{})
+	if !ok {
+		return nil, fmt.Errorf("%w (date %.2f)", ErrNoFrontier, date)
+	}
+	maxSys, ok := catalog.MostPowerfulAsOf(date, nil)
+	if !ok {
+		return nil, fmt.Errorf("%w (date %.2f)", ErrNoSystems, date)
+	}
+
+	s := &Snapshot{
+		Date:               date,
+		LowerBound:         lower,
+		LowerBoundSystem:   lowerSys,
+		MaxAvailable:       maxSys.CTP,
+		MaxAvailableSystem: maxSys,
+	}
+	s.Above = apps.AboveBound(lower)
+	s.Clusters = clusterize(s.Above)
+	s.InstallHist = installHistogram(date)
+	s.AppHist = apps.Histogram(apps.CombinedSurvey(), apps.PolicyBins)
+	s.Premises = evaluatePremises(s)
+	return s, nil
+}
+
+// installHistogram weights each catalog system available by the date with
+// its installed base and bins the resulting population by CTP.
+func installHistogram(date float64) []int {
+	var values []units.Mtops
+	for _, sys := range catalog.All() {
+		if float64(sys.Year) > date {
+			continue
+		}
+		// Cap the per-product weight so PC populations (millions) do not
+		// flatten the display bins into invisibility; the distribution's
+		// shape, not its absolute scale, is what the framework reads.
+		w := sys.Installed
+		if w > 10000 {
+			w = 10000
+		}
+		for i := 0; i < w/100+1; i++ {
+			values = append(values, sys.CTP)
+		}
+	}
+	return apps.Histogram(values, apps.PolicyBins)
+}
+
+// clusterize groups the above-bound applications by category and splits
+// each category's sorted minima at relative gaps larger than clusterGap.
+func clusterize(above []apps.Application) []Cluster {
+	byCat := map[Category][]apps.Application{}
+	for _, a := range above {
+		c := RDTE
+		if a.Deployed {
+			c = MilOps
+		}
+		byCat[c] = append(byCat[c], a)
+	}
+	var out []Cluster
+	for _, cat := range []Category{RDTE, MilOps} {
+		group := byCat[cat]
+		sort.Slice(group, func(i, j int) bool { return group[i].Min < group[j].Min })
+		start := 0
+		for i := 1; i <= len(group); i++ {
+			if i < len(group) &&
+				float64(group[i].Min) <= float64(group[i-1].Min)*(1+clusterGap) {
+				continue
+			}
+			members := group[start:i]
+			if len(members) > 0 {
+				out = append(out, Cluster{
+					Category: cat,
+					Start:    members[0].Min,
+					End:      members[len(members)-1].Min,
+					Apps:     append([]apps.Application(nil), members...),
+				})
+			}
+			start = i
+		}
+	}
+	return out
+}
+
+// FirstCluster returns the lowest significant cluster of the category, if
+// one exists.
+func (s *Snapshot) FirstCluster(cat Category) (Cluster, bool) {
+	for _, c := range s.Clusters {
+		if c.Category == cat && c.Significant() {
+			return c, true
+		}
+	}
+	return Cluster{}, false
+}
+
+// Valid reports whether a viable control threshold exists at this
+// snapshot: all three premises hold.
+func (s *Snapshot) Valid() bool {
+	for _, p := range s.Premises {
+		if !p.Holds {
+			return false
+		}
+	}
+	return true
+}
+
+// Range returns the valid threshold range [LowerBound, MaxAvailable]; the
+// second return is false when no valid range exists.
+func (s *Snapshot) Range() (lo, hi units.Mtops, ok bool) {
+	if !s.Valid() || s.LowerBound >= s.MaxAvailable {
+		return 0, 0, false
+	}
+	return s.LowerBound, s.MaxAvailable, true
+}
+
+// Perspective selects among the paper's three bases for choosing a
+// threshold within the valid range.
+type Perspective int
+
+const (
+	// ControlMaximal: "that which can be controlled should be controlled"
+	// — set the threshold at the lower bound.
+	ControlMaximal Perspective = iota
+	// ApplicationDriven: protect every application that can still be
+	// protected — set the threshold just below the lowest significant
+	// application cluster above the lower bound.
+	ApplicationDriven
+	// Balanced: weigh the economic gain of decontrolling a dense
+	// installation band against the security cost of the applications
+	// given up — set the threshold above the installation hump but below
+	// the first application cluster.
+	Balanced
+)
+
+// String returns the perspective's display name.
+func (p Perspective) String() string {
+	switch p {
+	case ControlMaximal:
+		return "control-maximal"
+	case ApplicationDriven:
+		return "application-driven"
+	default:
+		return "balanced"
+	}
+}
+
+// Recommend returns the framework's threshold for the chosen perspective,
+// rounded to policy granularity (two significant figures). The second
+// return is false when no valid range exists.
+func (s *Snapshot) Recommend(p Perspective) (units.Mtops, bool) {
+	lo, hi, ok := s.Range()
+	if !ok {
+		return 0, false
+	}
+	var v units.Mtops
+	switch p {
+	case ControlMaximal:
+		v = lo
+	case ApplicationDriven:
+		// The lowest significant cluster across categories.
+		best := hi
+		found := false
+		for _, c := range s.Clusters {
+			if c.Significant() && c.Start < best {
+				best, found = c.Start, true
+			}
+		}
+		if !found {
+			v = lo
+			break
+		}
+		// Just below the cluster, but never below the lower bound.
+		v = units.Mtops(0.95 * float64(best))
+		if v < lo {
+			v = lo
+		}
+	case Balanced:
+		v = s.recommendBalanced()
+	}
+	return roundPolicy(v), true
+}
+
+// roundPolicy rounds a threshold to two significant figures, the
+// granularity at which thresholds are written into regulations (195,
+// 1,500, 2,000, 10,000 …).
+func roundPolicy(m units.Mtops) units.Mtops {
+	v := float64(m)
+	if v <= 0 {
+		return 0
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(v))-1)
+	return units.Mtops(math.Round(v/mag) * mag)
+}
+
+// FrontierProjection fits an exponential to the uncontrollability frontier
+// over [from, to] and returns the fit, for the forward projections of
+// Chapter 6 (Figures 12–13 and the end-of-decade numbers).
+func FrontierProjection(from, to float64) (trend.Exponential, error) {
+	series := controllability.FrontierSeries(from, to, 0.25, controllability.Options{})
+	return trend.FitExponential(series.Points)
+}
+
+// CoverageBelowFrontier returns the fraction of the curated Chapter 4
+// applications whose minimum requirement lies below the frontier at the
+// given date — the quantity behind the paper's longer-term conjecture that
+// "the majority of national security applications of HPC are already
+// possible at uncontrollable levels, or will be so before the end of the
+// decade".
+func CoverageBelowFrontier(date float64) (float64, error) {
+	lower, _, ok := controllability.Frontier(date, controllability.Options{})
+	if !ok {
+		return 0, fmt.Errorf("%w (date %.2f)", ErrNoFrontier, date)
+	}
+	minima := apps.Minima()
+	below := 0
+	for _, m := range minima {
+		if m < lower {
+			below++
+		}
+	}
+	return float64(below) / float64(len(minima)), nil
+}
+
+// YearAllMinimaUncontrollable projects the frontier fit forward to the
+// year it overtakes the largest curated minimum requirement — the date at
+// which premise one fails outright for the Chapter 4 application set.
+func YearAllMinimaUncontrollable() (float64, error) {
+	fit, err := FrontierProjection(1992, 1999)
+	if err != nil {
+		return 0, err
+	}
+	minima := apps.Minima()
+	max := minima[len(minima)-1]
+	return fit.YearReaching(float64(max))
+}

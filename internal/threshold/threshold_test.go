@@ -1,0 +1,378 @@
+package threshold
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/catalog"
+	"repro/internal/units"
+)
+
+// june1995 is the date of the paper's Figure 11 snapshot.
+const june1995 = 1995.45
+
+func take(t *testing.T, date float64) *Snapshot {
+	t.Helper()
+	s, err := Take(date)
+	if err != nil {
+		t.Fatalf("Take(%v): %v", date, err)
+	}
+	return s
+}
+
+// TestFigure11Snapshot reproduces the June 1995 threshold analysis:
+// lower bound 4,000–5,000 Mtops; an RDT&E application cluster starting
+// roughly at 7,000; a military-operations cluster at approximately 10,000;
+// all three premises holding.
+func TestFigure11Snapshot(t *testing.T) {
+	s := take(t, june1995)
+
+	if s.LowerBound < 4000 || s.LowerBound > 5000 {
+		t.Errorf("lower bound = %v, want 4,000–5,000 Mtops", s.LowerBound)
+	}
+	if !s.Valid() {
+		t.Fatalf("premises do not hold in June 1995: %v", s.Premises)
+	}
+
+	rd, ok := s.FirstCluster(RDTE)
+	if !ok {
+		t.Fatal("no significant RDT&E cluster")
+	}
+	if rd.Start < 6500 || rd.Start > 7500 {
+		t.Errorf("RDT&E cluster starts at %v, want roughly 7,000", rd.Start)
+	}
+
+	mo, ok := s.FirstCluster(MilOps)
+	if !ok {
+		t.Fatal("no significant military-operations cluster")
+	}
+	if mo.Start < 8500 || mo.Start > 10500 {
+		t.Errorf("military-operations cluster starts at %v, want approximately 10,000", mo.Start)
+	}
+
+	lo, hi, ok := s.Range()
+	if !ok {
+		t.Fatal("no valid threshold range")
+	}
+	if lo >= hi {
+		t.Errorf("degenerate range [%v, %v]", lo, hi)
+	}
+	if hi < 100000 {
+		t.Errorf("ceiling %v; the state of the art exceeded 100,000 Mtops", hi)
+	}
+}
+
+func TestRecommendations(t *testing.T) {
+	s := take(t, june1995)
+
+	cm, ok := s.Recommend(ControlMaximal)
+	if !ok {
+		t.Fatal("no control-maximal recommendation")
+	}
+	if cm < 4000 || cm > 5000 {
+		t.Errorf("control-maximal threshold = %v, want the 4,000–5,000 band", cm)
+	}
+
+	ad, ok := s.Recommend(ApplicationDriven)
+	if !ok {
+		t.Fatal("no application-driven recommendation")
+	}
+	if ad < cm {
+		t.Errorf("application-driven threshold %v below control-maximal %v", ad, cm)
+	}
+	if ad < 6000 || ad > 7000 {
+		t.Errorf("application-driven threshold = %v, want just below the ≈7,000 cluster", ad)
+	}
+}
+
+func TestPremisesHoldBothEras(t *testing.T) {
+	// "A strong case can be made that all three premises held during the
+	// Cold War"; the study finds they continue to hold in 1995, "although
+	// less strongly".
+	for _, date := range []float64{1989.0, june1995} {
+		s := take(t, date)
+		for _, p := range s.Premises {
+			if !p.Holds {
+				t.Errorf("%.1f: %v", date, p)
+			}
+			if p.Strength <= 0 || p.Strength > 1 {
+				t.Errorf("%.1f: strength %v out of (0,1]", date, p.Strength)
+			}
+		}
+	}
+}
+
+// TestPremiseOneErodes: the count of applications above the frontier
+// shrinks over time as the frontier rises — the mechanism behind the
+// paper's warning that the regime weakens over the longer term.
+func TestPremiseOneErodes(t *testing.T) {
+	early := take(t, 1993.0)
+	late := take(t, 1999.0)
+	if len(late.Above) >= len(early.Above) {
+		t.Errorf("applications above frontier grew from %d (1993) to %d (1999); should erode",
+			len(early.Above), len(late.Above))
+	}
+}
+
+func TestCoverageConjecture(t *testing.T) {
+	// "the majority of national security applications of HPC are already
+	// possible (at least from the standpoint of the necessary computing)
+	// at uncontrollable levels, or will be so before the end of the
+	// decade."
+	c95, err := CoverageBelowFrontier(june1995)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c95 <= 0.5 {
+		t.Errorf("mid-1995 coverage below frontier = %.2f; majority expected", c95)
+	}
+	c99, err := CoverageBelowFrontier(1999.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c99 <= c95 {
+		t.Errorf("coverage did not grow: %.2f (1995) → %.2f (1999)", c95, c99)
+	}
+	if c99 < 0.8 {
+		t.Errorf("end-of-decade coverage = %.2f; the conjecture implies most applications decontrolled de facto", c99)
+	}
+}
+
+func TestYearAllMinimaUncontrollable(t *testing.T) {
+	yr, err := YearAllMinimaUncontrollable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The largest curated minimum is 100,000 Mtops (littoral forecasting);
+	// at the fitted frontier growth it falls in the first decade of the
+	// 2000s.
+	if yr < 2000 || yr > 2012 {
+		t.Errorf("frontier overtakes all curated minima in %.1f; expected early 2000s", yr)
+	}
+}
+
+func TestFrontierProjectionMatchesPaper(t *testing.T) {
+	fit, err := FrontierProjection(1993, 1999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Rate <= 0 {
+		t.Fatalf("frontier not growing: %v", fit)
+	}
+	// Doubling every 1–3 years, the band in which all the paper's
+	// projections (4,500 → 7,500 → 16,000+) sit.
+	d := fit.DoublingTime()
+	if d < 1.0 || d > 3.0 {
+		t.Errorf("frontier doubling time %.2f years, want 1–3", d)
+	}
+}
+
+func TestTakeErrors(t *testing.T) {
+	if _, err := Take(1492); !errors.Is(err, ErrInvalidDate) {
+		t.Errorf("ancient date: %v", err)
+	}
+	if _, err := Take(2050); !errors.Is(err, ErrInvalidDate) {
+		t.Errorf("future date: %v", err)
+	}
+}
+
+func TestHistogramsPopulated(t *testing.T) {
+	s := take(t, june1995)
+	if len(s.InstallHist) != len(apps.PolicyBins)-1 || len(s.AppHist) != len(apps.PolicyBins)-1 {
+		t.Fatal("histogram sizes wrong")
+	}
+	sum := func(h []int) int {
+		n := 0
+		for _, c := range h {
+			n += c
+		}
+		return n
+	}
+	if sum(s.InstallHist) == 0 || sum(s.AppHist) == 0 {
+		t.Error("empty histograms")
+	}
+	// The installation distribution must be bottom-heavy (PCs and
+	// workstations dominate) and the top bin nearly empty.
+	low := s.InstallHist[0] + s.InstallHist[1] + s.InstallHist[2]
+	hi := s.InstallHist[len(s.InstallHist)-1]
+	if low <= hi {
+		t.Errorf("installation distribution not bottom-heavy: low bins %d, top bin %d", low, hi)
+	}
+}
+
+func TestClusterizeGapRule(t *testing.T) {
+	mk := func(name string, min float64, deployed bool) apps.Application {
+		return apps.Application{Name: name, Min: units.Mtops(min), Deployed: deployed}
+	}
+	in := []apps.Application{
+		mk("a", 5000, false), mk("b", 5200, false), // pair below gap
+		mk("c", 7000, false), mk("d", 7300, false), mk("e", 8000, false), // dense trio
+		mk("f", 20000, false),                                            // isolated
+		mk("g", 10000, true), mk("h", 10500, true), mk("i", 12000, true), // MilOps trio
+	}
+	clusters := clusterize(in)
+	var sig []Cluster
+	for _, c := range clusters {
+		if c.Significant() {
+			sig = append(sig, c)
+		}
+	}
+	if len(sig) != 2 {
+		t.Fatalf("significant clusters = %d, want 2 (%v)", len(sig), clusters)
+	}
+	if sig[0].Category != RDTE || float64(sig[0].Start) != 7000 {
+		t.Errorf("first significant cluster %v, want RDT&E at 7,000", sig[0])
+	}
+	if sig[1].Category != MilOps || float64(sig[1].Start) != 10000 {
+		t.Errorf("second significant cluster %v, want military operations at 10,000", sig[1])
+	}
+}
+
+func TestClusterizeEmpty(t *testing.T) {
+	if got := clusterize(nil); len(got) != 0 {
+		t.Errorf("clusterize(nil) = %v", got)
+	}
+}
+
+func TestRoundPolicy(t *testing.T) {
+	cases := []struct {
+		in, want float64
+	}{
+		{4600, 4600},
+		{4567, 4600},
+		{195, 200},
+		{1498, 1500},
+		{7125, 7100},
+		{10456, 10000},
+		{0, 0},
+	}
+	for _, c := range cases {
+		if got := roundPolicy(units.Mtops(c.in)); float64(got) != c.want {
+			t.Errorf("roundPolicy(%v) = %v, want %v", c.in, float64(got), c.want)
+		}
+	}
+}
+
+func TestTable16(t *testing.T) {
+	rows, err := Table16(june1995)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 15 {
+		t.Fatalf("Table 16 has %d rows", len(rows))
+	}
+	// Every country of concern can do anything below the frontier (they
+	// can buy uncontrollable Western technology); nothing below 1,500
+	// appears at all.
+	for _, r := range rows {
+		if r.Application.Min <= 1500 {
+			t.Errorf("%s below the old threshold appears in Table 16", r.Application.Name)
+		}
+		for c, capable := range r.Capable {
+			if r.Application.Min <= 4600 && !capable {
+				t.Errorf("%v incapable of %s (min %v) despite uncontrollable availability",
+					c, r.Application.Name, r.Application.Min)
+			}
+		}
+	}
+	// No country of concern can reach the 21,125-Mtops applications in
+	// 1995.
+	for _, r := range rows {
+		if r.Application.Min >= 20000 {
+			for c, capable := range r.Capable {
+				if capable {
+					t.Errorf("%v capable of %s in 1995", c, r.Application.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestPremiseStrings(t *testing.T) {
+	if PremiseApplications.String() == "" || Premise(9).String() != "Premise(9)" {
+		t.Error("Premise strings")
+	}
+	s := take(t, june1995)
+	for _, p := range s.Premises {
+		if p.String() == "" {
+			t.Error("empty PremiseStatus string")
+		}
+	}
+	if RDTE.String() != "RDT&E" || MilOps.String() != "military operations" {
+		t.Error("Category strings")
+	}
+	if ControlMaximal.String() != "control-maximal" || Perspective(9).String() != "balanced" {
+		t.Error("Perspective strings")
+	}
+}
+
+func TestClusterString(t *testing.T) {
+	s := take(t, june1995)
+	if len(s.Clusters) == 0 {
+		t.Fatal("no clusters")
+	}
+	if s.Clusters[0].String() == "" {
+		t.Error("empty cluster string")
+	}
+	for _, c := range s.Clusters {
+		if c.End < c.Start {
+			t.Errorf("cluster %v: End < Start", c)
+		}
+		if math.IsNaN(float64(c.Start)) {
+			t.Errorf("cluster %v: NaN start", c)
+		}
+	}
+}
+
+// TestSnapshotEarliest checks the framework degrades gracefully at the
+// modeled range's edge: 1985 has a frontier (PC-XT era) or reports the
+// structured error.
+func TestSnapshotEarliest(t *testing.T) {
+	s, err := Take(1985.0)
+	if err != nil {
+		if !errors.Is(err, ErrNoFrontier) {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		return
+	}
+	if s.LowerBound <= 0 {
+		t.Error("non-positive lower bound")
+	}
+}
+
+// TestColdWarSnapshot: in 1989 the lower bound is tiny (PC/old-VAX/El'brus
+// class) and the old 195-Mtops threshold sits inside the valid range —
+// the policy was coherent then.
+func TestColdWarSnapshot(t *testing.T) {
+	s := take(t, 1989.0)
+	if s.LowerBound >= 1500 {
+		t.Errorf("1989 lower bound = %v; should be far below the 1990s thresholds", s.LowerBound)
+	}
+	lo, hi, ok := s.Range()
+	if !ok {
+		t.Fatal("no valid range in 1989")
+	}
+	if !(units.Mtops(195) > lo && units.Mtops(195) < hi) {
+		t.Errorf("historical 195-Mtops threshold outside the 1989 valid range [%v, %v]", lo, hi)
+	}
+}
+
+func TestLowerBoundSystemIdentified(t *testing.T) {
+	s := take(t, june1995)
+	if s.LowerBoundSystem.Name == "" || s.MaxAvailableSystem.Name == "" {
+		t.Error("bound systems not identified")
+	}
+	if s.LowerBoundSystem.CTP != s.LowerBound {
+		t.Error("lower bound != its system's CTP")
+	}
+	// The mid-1995 anchor is the 64-way SPARC SMP.
+	if s.LowerBoundSystem.Name != "Cray CS6400" {
+		t.Errorf("mid-1995 frontier system = %s, want Cray CS6400", s.LowerBoundSystem.Name)
+	}
+	var found bool
+	if _, found = catalog.Lookup(s.MaxAvailableSystem.Name); !found {
+		t.Error("max system not in catalog")
+	}
+}

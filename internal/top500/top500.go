@@ -1,0 +1,225 @@
+// Package top500 reconstructs the Top500-style installation listings the
+// study drew on for Figures 12 and 13. The real Top500 lists (compiled
+// since June 1993) are not redistributable datasets, and the study itself
+// notes their data "could not be verified exhaustively"; this package
+// generates a deterministic synthetic population of high-end installations
+// from the system catalog — each product line contributing draws in
+// proportion to its installed base, with per-installation configuration
+// scaling — and keeps the 500 largest, mirroring how the lists were built.
+//
+// The two properties the figures depend on are preserved by construction:
+// the class mix shifts from vector-dominated lists toward MPP and SMP
+// machines through the mid-1990s (Figure 12), and the uncontrollability
+// frontier climbs through the list from below, overtaking an increasing
+// fraction of the installations (Figure 13).
+package top500
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/controllability"
+	"repro/internal/trend"
+	"repro/internal/units"
+)
+
+// Size is the number of entries in a generated list.
+const Size = 500
+
+// Entry is one installation on a list.
+type Entry struct {
+	Rank   int
+	System catalog.System // the product line
+	CTP    units.Mtops    // this installation's configuration rating
+}
+
+// List is one dated synthetic Top500 listing.
+type List struct {
+	Year    float64
+	Entries []Entry // sorted by descending CTP, Rank 1..Size
+}
+
+// ErrTooEarly is returned when the catalog cannot populate a list.
+var ErrTooEarly = errors.New("top500: too few installations to fill a list")
+
+// perProductCap bounds how many installations one product line may
+// contribute as candidates, so mass-market lines do not drown the list.
+const perProductCap = 200
+
+// Generate builds the synthetic list for a (fractional) year. Generation
+// is deterministic: the same year always yields the identical list.
+func Generate(year float64) (List, error) {
+	rng := rand.New(rand.NewSource(int64(year * 4)))
+	var candidates []Entry
+	for _, sys := range catalog.All() {
+		if float64(sys.Year) > year {
+			continue
+		}
+		if sys.Class == catalog.PersonalComp || sys.Class == catalog.Workstation {
+			continue // listings tracked supercomputer-class installations
+		}
+		n := sys.Installed
+		if n > perProductCap {
+			n = perProductCap
+		}
+		// Installations age out of the lists ("nearly all machines are
+		// taken out of service within 8-10 years of installation").
+		age := year - float64(sys.Year)
+		if age > 8 {
+			continue
+		}
+		retain := 1.0 - age/10
+		for i := 0; i < n; i++ {
+			if rng.Float64() > retain {
+				continue
+			}
+			// Per-installation configuration scaling: most sites run well
+			// below a product's maximum configuration.
+			scale := 0.25 + 0.75*rng.Float64()*rng.Float64()
+			candidates = append(candidates, Entry{
+				System: sys,
+				CTP:    units.Mtops(float64(sys.CTP) * scale),
+			})
+		}
+	}
+	if len(candidates) < Size {
+		return List{}, fmt.Errorf("%w: %d candidates in %.1f", ErrTooEarly, len(candidates), year)
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].CTP != candidates[j].CTP {
+			return candidates[i].CTP > candidates[j].CTP
+		}
+		return candidates[i].System.Name < candidates[j].System.Name
+	})
+	list := List{Year: year, Entries: candidates[:Size]}
+	for i := range list.Entries {
+		list.Entries[i].Rank = i + 1
+	}
+	return list, nil
+}
+
+// EntryLevel returns the rating of the last-ranked installation.
+func (l List) EntryLevel() units.Mtops { return l.Entries[len(l.Entries)-1].CTP }
+
+// Max returns the rating of the first-ranked installation.
+func (l List) Max() units.Mtops { return l.Entries[0].CTP }
+
+// Median returns the rating at the middle of the list.
+func (l List) Median() units.Mtops { return l.Entries[len(l.Entries)/2].CTP }
+
+// ByClass counts the list's entries per architecture class.
+func (l List) ByClass() map[catalog.Class]int {
+	out := map[catalog.Class]int{}
+	for _, e := range l.Entries {
+		out[e.System.Class]++
+	}
+	return out
+}
+
+// ByOrigin counts the list's entries per country of origin.
+func (l List) ByOrigin() map[catalog.Origin]int {
+	out := map[catalog.Origin]int{}
+	for _, e := range l.Entries {
+		out[e.System.Origin]++
+	}
+	return out
+}
+
+// FractionBelow returns the fraction of the list rated below the bound.
+func (l List) FractionBelow(bound units.Mtops) float64 {
+	n := 0
+	for _, e := range l.Entries {
+		if e.CTP < bound {
+			n++
+		}
+	}
+	return float64(n) / float64(len(l.Entries))
+}
+
+// ClassShare is one Figure 12 row: the class composition of one list.
+type ClassShare struct {
+	Year   float64
+	Vector float64 // vector supercomputers
+	MPPs   float64 // massively parallel systems
+	SMPs   float64 // symmetric multiprocessor servers
+	Other  float64
+}
+
+// DistributionTrend produces Figure 12's series: the class shares of the
+// semiannual lists between the first and last year inclusive.
+func DistributionTrend(firstYear, lastYear float64) ([]ClassShare, error) {
+	var out []ClassShare
+	for y := firstYear; y <= lastYear+1e-9; y += 0.5 {
+		l, err := Generate(y)
+		if err != nil {
+			return nil, err
+		}
+		counts := l.ByClass()
+		total := float64(len(l.Entries))
+		share := ClassShare{
+			Year:   y,
+			Vector: float64(counts[catalog.VectorSuper]) / total,
+			MPPs:   float64(counts[catalog.MPP]) / total,
+			SMPs:   float64(counts[catalog.SMPServer]) / total,
+		}
+		share.Other = 1 - share.Vector - share.MPPs - share.SMPs
+		if share.Other < 0 { // guard float rounding below zero
+			share.Other = 0
+		}
+		out = append(out, share)
+	}
+	return out, nil
+}
+
+// FrontierOvertake is one Figure 13 row: how far the uncontrollability
+// frontier has climbed through the list.
+type FrontierOvertake struct {
+	Year          float64
+	EntryLevel    units.Mtops
+	Median        units.Mtops
+	Max           units.Mtops
+	Frontier      units.Mtops
+	FractionBelow float64 // fraction of the list the frontier has overtaken
+}
+
+// FrontierTrend produces Figure 13's series: list statistics alongside the
+// lower bound of controllability, semiannually.
+func FrontierTrend(firstYear, lastYear float64) ([]FrontierOvertake, error) {
+	var out []FrontierOvertake
+	for y := firstYear; y <= lastYear+1e-9; y += 0.5 {
+		l, err := Generate(y)
+		if err != nil {
+			return nil, err
+		}
+		frontier, _, ok := controllability.Frontier(y, controllability.Options{})
+		if !ok {
+			frontier = 0
+		}
+		out = append(out, FrontierOvertake{
+			Year:          y,
+			EntryLevel:    l.EntryLevel(),
+			Median:        l.Median(),
+			Max:           l.Max(),
+			Frontier:      frontier,
+			FractionBelow: l.FractionBelow(frontier),
+		})
+	}
+	return out, nil
+}
+
+// EntryLevelSeries returns the entry-level ratings as a trend series for
+// fitting and projection.
+func EntryLevelSeries(firstYear, lastYear float64) (trend.Series, error) {
+	rows, err := FrontierTrend(firstYear, lastYear)
+	if err != nil {
+		return trend.Series{}, err
+	}
+	s := trend.Series{Name: "Top500 entry level"}
+	for _, r := range rows {
+		s.Points = append(s.Points, trend.Point{X: r.Year, Y: float64(r.EntryLevel)})
+	}
+	return s, nil
+}

@@ -1,0 +1,140 @@
+package top500
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+func gen(t *testing.T, year float64) List {
+	t.Helper()
+	l, err := Generate(year)
+	if err != nil {
+		t.Fatalf("Generate(%v): %v", year, err)
+	}
+	return l
+}
+
+func TestGenerateBasics(t *testing.T) {
+	l := gen(t, 1995.5)
+	if len(l.Entries) != Size {
+		t.Fatalf("list size %d", len(l.Entries))
+	}
+	for i, e := range l.Entries {
+		if e.Rank != i+1 {
+			t.Fatalf("rank %d at index %d", e.Rank, i)
+		}
+		if e.CTP <= 0 {
+			t.Fatalf("non-positive CTP at rank %d", e.Rank)
+		}
+		if e.CTP > e.System.CTP {
+			t.Fatalf("rank %d: config %v exceeds product maximum %v", e.Rank, e.CTP, e.System.CTP)
+		}
+		if i > 0 && e.CTP > l.Entries[i-1].CTP {
+			t.Fatalf("list not sorted at rank %d", e.Rank)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, b := gen(t, 1994.5), gen(t, 1994.5)
+	for i := range a.Entries {
+		if a.Entries[i] != b.Entries[i] {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestTooEarly(t *testing.T) {
+	if _, err := Generate(1980); !errors.Is(err, ErrTooEarly) {
+		t.Errorf("1980 list: %v", err)
+	}
+}
+
+func TestStatisticsOrdering(t *testing.T) {
+	l := gen(t, 1995.5)
+	if !(l.EntryLevel() <= l.Median() && l.Median() <= l.Max()) {
+		t.Errorf("entry %v, median %v, max %v out of order", l.EntryLevel(), l.Median(), l.Max())
+	}
+}
+
+func TestNoWorkstationsOrPCs(t *testing.T) {
+	l := gen(t, 1996.0)
+	for _, e := range l.Entries {
+		if e.System.Class == catalog.PersonalComp || e.System.Class == catalog.Workstation {
+			t.Fatalf("rank %d is a %v", e.Rank, e.System.Class)
+		}
+	}
+}
+
+// TestFigure12Shift: the class mix moves from vector-dominated lists
+// toward MPP and SMP systems across the 1990s.
+func TestFigure12Shift(t *testing.T) {
+	rows, err := DistributionTrend(1993.5, 1998.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 10 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	if last.Vector >= first.Vector {
+		t.Errorf("vector share grew: %.2f → %.2f", first.Vector, last.Vector)
+	}
+	if last.MPPs+last.SMPs <= first.MPPs+first.SMPs {
+		t.Errorf("parallel share did not grow: %.2f → %.2f",
+			first.MPPs+first.SMPs, last.MPPs+last.SMPs)
+	}
+	for _, r := range rows {
+		sum := r.Vector + r.MPPs + r.SMPs + r.Other
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("%.1f: shares sum to %v", r.Year, sum)
+		}
+	}
+}
+
+// TestFigure13Overtake: the uncontrollability frontier climbs through the
+// list, overtaking an increasing fraction of installations.
+func TestFigure13Overtake(t *testing.T) {
+	rows, err := FrontierTrend(1993.5, 1998.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	if last.FractionBelow <= first.FractionBelow {
+		t.Errorf("overtaken fraction did not grow: %.2f → %.2f",
+			first.FractionBelow, last.FractionBelow)
+	}
+	if last.FractionBelow < 0.5 {
+		t.Errorf("by %.1f the frontier should have overtaken most of the list (got %.2f)",
+			last.Year, last.FractionBelow)
+	}
+	for _, r := range rows {
+		if r.FractionBelow < 0 || r.FractionBelow > 1 {
+			t.Errorf("%.1f: fraction %v", r.Year, r.FractionBelow)
+		}
+	}
+}
+
+func TestEntryLevelSeriesGrows(t *testing.T) {
+	s, err := EntryLevelSeries(1993.5, 1998.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) < 10 {
+		t.Fatalf("%d points", len(s.Points))
+	}
+	if s.Points[len(s.Points)-1].Y <= s.Points[0].Y {
+		t.Errorf("entry level did not grow: %v → %v", s.Points[0].Y, s.Points[len(s.Points)-1].Y)
+	}
+}
+
+func TestByOriginDominatedBySuppliers(t *testing.T) {
+	l := gen(t, 1995.5)
+	by := l.ByOrigin()
+	suppliers := by[catalog.US] + by[catalog.Japan] + by[catalog.Europe]
+	if suppliers < 450 {
+		t.Errorf("supplier states hold %d of %d entries; listings were overwhelmingly Western", suppliers, Size)
+	}
+}

@@ -1,0 +1,261 @@
+// Package trend provides the time-series machinery behind the study's
+// technology curves: least-squares exponential (log-linear) fits, doubling
+// times, forward projection, crossing-time solution, and running-maximum
+// envelopes over dated observations.
+//
+// Every technology trend in the paper — microprocessor performance
+// (Figure 5), uncontrollable SMP performance (Figure 6), foreign indigenous
+// systems (Figure 4), Top500 installations (Figures 12–13) — is an
+// exponential-growth curve on a semilog chart. The framework's projections
+// ("4,000–5,000 Mtops mid-1995, ≈7,500 by late 1996/97, >16,000 before the
+// end of the decade") are readings of fitted curves of this kind.
+package trend
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is one dated observation: X is a (possibly fractional) calendar
+// year, Y the observed value (Mtops, counts, …).
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named sequence of dated observations.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Sorted returns a copy of the series' points in increasing X order.
+func (s Series) Sorted() []Point {
+	pts := make([]Point, len(s.Points))
+	copy(pts, s.Points)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+	return pts
+}
+
+// Errors returned by the fitting functions.
+var (
+	ErrTooFewPoints = errors.New("trend: need at least two points")
+	ErrNonPositive  = errors.New("trend: exponential fit requires positive Y values")
+	ErrDegenerate   = errors.New("trend: all X values identical")
+	ErrNoGrowth     = errors.New("trend: non-growing fit never reaches target")
+)
+
+// Linear is an ordinary least-squares line y = Intercept + Slope·x.
+type Linear struct {
+	Intercept, Slope float64
+	R2               float64 // coefficient of determination
+}
+
+// At evaluates the line at x.
+func (l Linear) At(x float64) float64 { return l.Intercept + l.Slope*x }
+
+// FitLinear fits y = a + b·x by ordinary least squares.
+func FitLinear(pts []Point) (Linear, error) {
+	if len(pts) < 2 {
+		return Linear{}, ErrTooFewPoints
+	}
+	var sx, sy float64
+	n := float64(len(pts))
+	for _, p := range pts {
+		sx += p.X
+		sy += p.Y
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for _, p := range pts {
+		dx, dy := p.X-mx, p.Y-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Linear{}, ErrDegenerate
+	}
+	b := sxy / sxx
+	a := my - b*mx
+	r2 := 1.0
+	if syy > 0 {
+		var sse float64
+		for _, p := range pts {
+			e := p.Y - (a + b*p.X)
+			sse += e * e
+		}
+		r2 = 1 - sse/syy
+	}
+	return Linear{Intercept: a, Slope: b, R2: r2}, nil
+}
+
+// Exponential is a fitted growth curve y = Base · exp(Rate·(x − X0)).
+// Rate is the continuous annual growth rate; X0 is the reference year
+// (the mean of the fitted X values, kept for numerical stability).
+type Exponential struct {
+	Base float64 // value at X0
+	X0   float64 // reference year
+	Rate float64 // continuous growth per year
+	R2   float64 // of the log-linear fit
+}
+
+// FitExponential fits y = A·exp(r·x) by least squares on (x, ln y).
+// All Y values must be positive.
+func FitExponential(pts []Point) (Exponential, error) {
+	if len(pts) < 2 {
+		return Exponential{}, ErrTooFewPoints
+	}
+	logs := make([]Point, len(pts))
+	var mx float64
+	for i, p := range pts {
+		if p.Y <= 0 {
+			return Exponential{}, fmt.Errorf("%w: Y=%v at X=%v", ErrNonPositive, p.Y, p.X)
+		}
+		mx += p.X
+		logs[i] = Point{X: p.X, Y: math.Log(p.Y)}
+	}
+	mx /= float64(len(pts))
+	for i := range logs {
+		logs[i].X -= mx
+	}
+	lin, err := FitLinear(logs)
+	if err != nil {
+		return Exponential{}, err
+	}
+	return Exponential{
+		Base: math.Exp(lin.Intercept),
+		X0:   mx,
+		Rate: lin.Slope,
+		R2:   lin.R2,
+	}, nil
+}
+
+// At evaluates the fitted curve at year x.
+func (e Exponential) At(x float64) float64 {
+	return e.Base * math.Exp(e.Rate*(x-e.X0))
+}
+
+// AnnualFactor returns the fitted year-over-year multiplication factor.
+func (e Exponential) AnnualFactor() float64 { return math.Exp(e.Rate) }
+
+// DoublingTime returns the time in years for the fitted quantity to double.
+// It returns +Inf for non-growing fits.
+func (e Exponential) DoublingTime() float64 {
+	if e.Rate <= 0 {
+		return math.Inf(1)
+	}
+	return math.Ln2 / e.Rate
+}
+
+// YearReaching solves for the year at which the fitted curve reaches the
+// target value. It returns ErrNoGrowth if the curve is flat or shrinking
+// and the target lies above the base.
+func (e Exponential) YearReaching(target float64) (float64, error) {
+	if target <= 0 {
+		return 0, fmt.Errorf("trend: target %v must be positive", target)
+	}
+	if e.Rate == 0 || (e.Rate < 0 && target > e.Base) {
+		return 0, ErrNoGrowth
+	}
+	return e.X0 + math.Log(target/e.Base)/e.Rate, nil
+}
+
+// String describes the fit in the study's idiom: growth factor per year and
+// doubling time.
+func (e Exponential) String() string {
+	return fmt.Sprintf("×%.2f/year (doubling every %.1f years, R²=%.3f)",
+		e.AnnualFactor(), e.DoublingTime(), e.R2)
+}
+
+// RunningMax converts dated observations to the "most powerful available as
+// of year X" envelope: for each distinct X, the maximum Y seen at or before
+// X. The result is sorted by X and strictly increasing in Y (plateaus are
+// collapsed into the year the level was first reached, matching how the
+// study draws its technology curves).
+func RunningMax(pts []Point) []Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	sorted := make([]Point, len(pts))
+	copy(sorted, pts)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].X < sorted[j].X })
+	var out []Point
+	best := math.Inf(-1)
+	for _, p := range sorted {
+		if p.Y > best {
+			best = p.Y
+			out = append(out, Point{X: p.X, Y: best})
+		}
+	}
+	return out
+}
+
+// Envelope returns, year by year over [x0, x1] at unit steps, the maximum
+// over all series of each series' running-max value as of that year.
+// Series with no observation by a given year contribute nothing for it.
+// This is the "spaghetti envelope" of Figure 7.
+func Envelope(series []Series, x0, x1 float64) []Point {
+	maxes := make([][]Point, len(series))
+	for i, s := range series {
+		maxes[i] = RunningMax(s.Points)
+	}
+	var out []Point
+	for x := x0; x <= x1+1e-9; x++ {
+		best := math.Inf(-1)
+		for _, rm := range maxes {
+			v, ok := valueAsOf(rm, x)
+			if ok && v > best {
+				best = v
+			}
+		}
+		if !math.IsInf(best, -1) {
+			out = append(out, Point{X: x, Y: best})
+		}
+	}
+	return out
+}
+
+// valueAsOf returns the running-max value as of year x, if any observation
+// precedes x.
+func valueAsOf(runningMax []Point, x float64) (float64, bool) {
+	v, ok := 0.0, false
+	for _, p := range runningMax {
+		if p.X <= x {
+			v, ok = p.Y, true
+		} else {
+			break
+		}
+	}
+	return v, ok
+}
+
+// Interpolate linearly interpolates the series at x. Outside the observed
+// range it extends the first or last point (a conservative, flat
+// extrapolation; use a fit for genuine projection).
+func Interpolate(pts []Point, x float64) (float64, error) {
+	if len(pts) == 0 {
+		return 0, ErrTooFewPoints
+	}
+	sorted := make([]Point, len(pts))
+	copy(sorted, pts)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].X < sorted[j].X })
+	if x <= sorted[0].X {
+		return sorted[0].Y, nil
+	}
+	if x >= sorted[len(sorted)-1].X {
+		return sorted[len(sorted)-1].Y, nil
+	}
+	for i := 1; i < len(sorted); i++ {
+		if x <= sorted[i].X {
+			a, b := sorted[i-1], sorted[i]
+			if b.X == a.X {
+				return b.Y, nil
+			}
+			t := (x - a.X) / (b.X - a.X)
+			return a.Y + t*(b.Y-a.Y), nil
+		}
+	}
+	return sorted[len(sorted)-1].Y, nil
+}

@@ -1,0 +1,247 @@
+package trend
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestFitLinearExact(t *testing.T) {
+	pts := []Point{{0, 1}, {1, 3}, {2, 5}, {3, 7}}
+	l, err := FitLinear(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(l.Intercept, 1, 1e-12) || !almostEqual(l.Slope, 2, 1e-12) {
+		t.Errorf("fit = %+v, want intercept 1 slope 2", l)
+	}
+	if !almostEqual(l.R2, 1, 1e-12) {
+		t.Errorf("R² = %v, want 1", l.R2)
+	}
+	if got := l.At(10); !almostEqual(got, 21, 1e-12) {
+		t.Errorf("At(10) = %v, want 21", got)
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	if _, err := FitLinear([]Point{{1, 1}}); !errors.Is(err, ErrTooFewPoints) {
+		t.Errorf("one point: %v", err)
+	}
+	if _, err := FitLinear([]Point{{1, 1}, {1, 2}, {1, 3}}); !errors.Is(err, ErrDegenerate) {
+		t.Errorf("vertical: %v", err)
+	}
+}
+
+func TestFitExponentialExact(t *testing.T) {
+	// y = 100 · e^{0.5(x−1990)}
+	var pts []Point
+	for x := 1990.0; x <= 1996; x++ {
+		pts = append(pts, Point{x, 100 * math.Exp(0.5*(x-1990))})
+	}
+	e, err := FitExponential(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(e.Rate, 0.5, 1e-9) {
+		t.Errorf("rate = %v, want 0.5", e.Rate)
+	}
+	if !almostEqual(e.At(1990), 100, 1e-6) {
+		t.Errorf("At(1990) = %v, want 100", e.At(1990))
+	}
+	if !almostEqual(e.R2, 1, 1e-9) {
+		t.Errorf("R² = %v, want 1", e.R2)
+	}
+	if !almostEqual(e.DoublingTime(), math.Ln2/0.5, 1e-9) {
+		t.Errorf("doubling = %v", e.DoublingTime())
+	}
+	yr, err := e.YearReaching(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(yr, 1990+math.Ln2/0.5, 1e-6) {
+		t.Errorf("YearReaching(200) = %v", yr)
+	}
+}
+
+func TestFitExponentialNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var pts []Point
+	for x := 1988.0; x <= 2000; x += 0.5 {
+		noise := math.Exp(rng.NormFloat64() * 0.05)
+		pts = append(pts, Point{x, 50 * math.Exp(0.6*(x-1988)) * noise})
+	}
+	e, err := FitExponential(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(e.Rate, 0.6, 0.03) {
+		t.Errorf("rate = %v, want ≈0.6", e.Rate)
+	}
+	if e.R2 < 0.98 {
+		t.Errorf("R² = %v, want ≥0.98 at 5%% noise", e.R2)
+	}
+}
+
+func TestFitExponentialErrors(t *testing.T) {
+	if _, err := FitExponential([]Point{{1, 1}}); !errors.Is(err, ErrTooFewPoints) {
+		t.Errorf("one point: %v", err)
+	}
+	if _, err := FitExponential([]Point{{1, 1}, {2, -3}}); !errors.Is(err, ErrNonPositive) {
+		t.Errorf("negative Y: %v", err)
+	}
+	if _, err := FitExponential([]Point{{1, 1}, {2, 0}}); !errors.Is(err, ErrNonPositive) {
+		t.Errorf("zero Y: %v", err)
+	}
+}
+
+func TestYearReachingErrors(t *testing.T) {
+	flat := Exponential{Base: 10, X0: 1990, Rate: 0}
+	if _, err := flat.YearReaching(100); !errors.Is(err, ErrNoGrowth) {
+		t.Errorf("flat: %v", err)
+	}
+	shrinking := Exponential{Base: 10, X0: 1990, Rate: -0.1}
+	if _, err := shrinking.YearReaching(100); !errors.Is(err, ErrNoGrowth) {
+		t.Errorf("shrinking above base: %v", err)
+	}
+	// A shrinking curve does reach targets below its base.
+	if yr, err := shrinking.YearReaching(5); err != nil || yr <= 1990 {
+		t.Errorf("shrinking below base: yr=%v err=%v", yr, err)
+	}
+	if _, err := flat.YearReaching(-1); err == nil {
+		t.Error("negative target accepted")
+	}
+}
+
+func TestDoublingTimeNonGrowing(t *testing.T) {
+	if d := (Exponential{Rate: 0}).DoublingTime(); !math.IsInf(d, 1) {
+		t.Errorf("flat doubling = %v, want +Inf", d)
+	}
+	if d := (Exponential{Rate: -1}).DoublingTime(); !math.IsInf(d, 1) {
+		t.Errorf("shrinking doubling = %v, want +Inf", d)
+	}
+}
+
+func TestRunningMax(t *testing.T) {
+	pts := []Point{{1992, 500}, {1990, 100}, {1991, 300}, {1993, 200}, {1994, 800}}
+	rm := RunningMax(pts)
+	want := []Point{{1990, 100}, {1991, 300}, {1992, 500}, {1994, 800}}
+	if len(rm) != len(want) {
+		t.Fatalf("RunningMax = %v, want %v", rm, want)
+	}
+	for i := range want {
+		if rm[i] != want[i] {
+			t.Errorf("RunningMax[%d] = %v, want %v", i, rm[i], want[i])
+		}
+	}
+	if RunningMax(nil) != nil {
+		t.Error("RunningMax(nil) != nil")
+	}
+}
+
+// TestRunningMaxInvariants: output is sorted in X, strictly increasing in Y,
+// and its maximum equals the input maximum.
+func TestRunningMaxInvariants(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		pts := make([]Point, len(raw))
+		maxY := 0.0
+		for i, v := range raw {
+			pts[i] = Point{X: float64(v % 30), Y: float64(v%997) + 1}
+			if pts[i].Y > maxY {
+				maxY = pts[i].Y
+			}
+		}
+		rm := RunningMax(pts)
+		if len(rm) == 0 || rm[len(rm)-1].Y != maxY {
+			return false
+		}
+		for i := 1; i < len(rm); i++ {
+			if rm[i].X < rm[i-1].X || rm[i].Y <= rm[i-1].Y {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnvelope(t *testing.T) {
+	series := []Series{
+		{Name: "a", Points: []Point{{1990, 100}, {1992, 400}}},
+		{Name: "b", Points: []Point{{1991, 250}, {1993, 300}}},
+	}
+	env := Envelope(series, 1990, 1994)
+	want := []Point{{1990, 100}, {1991, 250}, {1992, 400}, {1993, 400}, {1994, 400}}
+	if len(env) != len(want) {
+		t.Fatalf("Envelope = %v, want %v", env, want)
+	}
+	for i := range want {
+		if env[i] != want[i] {
+			t.Errorf("Envelope[%d] = %v, want %v", i, env[i], want[i])
+		}
+	}
+}
+
+func TestEnvelopeBeforeAnyData(t *testing.T) {
+	series := []Series{{Name: "a", Points: []Point{{1995, 10}}}}
+	env := Envelope(series, 1990, 1994)
+	if len(env) != 0 {
+		t.Errorf("Envelope before data = %v, want empty", env)
+	}
+}
+
+func TestInterpolate(t *testing.T) {
+	pts := []Point{{1990, 100}, {1992, 300}}
+	cases := []struct {
+		x, want float64
+	}{
+		{1989, 100}, // flat extension left
+		{1990, 100},
+		{1991, 200},
+		{1992, 300},
+		{1999, 300}, // flat extension right
+	}
+	for _, c := range cases {
+		got, err := Interpolate(pts, c.x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Interpolate(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if _, err := Interpolate(nil, 1990); !errors.Is(err, ErrTooFewPoints) {
+		t.Errorf("empty: %v", err)
+	}
+}
+
+func TestSeriesSorted(t *testing.T) {
+	s := Series{Name: "x", Points: []Point{{3, 1}, {1, 2}, {2, 3}}}
+	got := s.Sorted()
+	if got[0].X != 1 || got[1].X != 2 || got[2].X != 3 {
+		t.Errorf("Sorted = %v", got)
+	}
+	// Original untouched.
+	if s.Points[0].X != 3 {
+		t.Error("Sorted mutated receiver")
+	}
+}
+
+func TestExponentialString(t *testing.T) {
+	e := Exponential{Base: 100, X0: 1990, Rate: math.Ln2, R2: 0.999}
+	s := e.String()
+	if s == "" {
+		t.Fatal("empty String")
+	}
+	if want := "×2.00/year"; len(s) < len(want) || s[:len(want)] != want {
+		t.Errorf("String = %q, want prefix %q", s, want)
+	}
+}

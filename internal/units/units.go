@@ -1,0 +1,132 @@
+// Package units defines the performance and capacity units used throughout
+// the export-control analysis: Mtops (millions of theoretical operations per
+// second, the CTP unit defined in 57 FR 4553), Mflops (millions of
+// floating-point operations per second), and the ancillary byte and
+// frequency units that appear in system descriptions.
+//
+// The zero value of every unit is a meaningful "zero quantity". Units are
+// plain float64 wrappers so arithmetic stays ordinary Go arithmetic; the
+// types exist to keep Mtops and Mflops from being confused — the single most
+// consequential unit error in the historical export-control debate.
+package units
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Mtops is the Composite Theoretical Performance unit: millions of
+// theoretical operations per second. CTP ratings, control thresholds, and
+// application requirements are all expressed in Mtops.
+type Mtops float64
+
+// Mflops is millions of floating-point operations per second: the unit in
+// which vendors and practitioners reported performance before CTP was
+// adopted, and the unit of most application interview data in the paper.
+type Mflops float64
+
+// MHz is processor clock frequency in megahertz.
+type MHz float64
+
+// MB is memory or storage capacity in megabytes.
+type MB float64
+
+// USD is a price in nominal (1995) United States dollars.
+type USD float64
+
+// MtopsPerMflop64 is the conventional conversion factor between a 64-bit
+// floating-point operation rate and the theoretical-operation rate: a 64-bit
+// floating-point operation counts as one theoretical operation at full word
+// length, so the factors differ only through the CTP word-length adjustment.
+// For the rough conversions used when only Mflops figures were available,
+// the study treated Mtops as "roughly equivalent" to Mflops for 64-bit
+// machines with a modest upward adjustment for non-floating-point capability.
+const MtopsPerMflop64 = 2.0
+
+// FromMflops64 converts a 64-bit Mflops rating to an approximate Mtops
+// rating using the study's rough equivalence for 64-bit scientific systems.
+// It is used only for records whose primary source reported Mflops; systems
+// with published CTP ratings carry those directly.
+func FromMflops64(f Mflops) Mtops { return Mtops(float64(f) * MtopsPerMflop64) }
+
+// String formats an Mtops quantity the way the paper prints it: whole
+// numbers with thousands separators ("21,125 Mtops"), or one decimal place
+// below 10 Mtops.
+func (m Mtops) String() string {
+	v := float64(m)
+	if math.Abs(v) < 10 && v != math.Trunc(v) {
+		return fmt.Sprintf("%.1f Mtops", v)
+	}
+	return groupThousands(math.Round(v)) + " Mtops"
+}
+
+// String formats an Mflops quantity analogously to Mtops.String.
+func (f Mflops) String() string {
+	v := float64(f)
+	if math.Abs(v) < 10 && v != math.Trunc(v) {
+		return fmt.Sprintf("%.1f Mflops", v)
+	}
+	return groupThousands(math.Round(v)) + " Mflops"
+}
+
+// String formats a price in dollars with thousands separators.
+func (d USD) String() string {
+	if d < 0 {
+		return "-$" + groupThousands(math.Round(float64(-d)))
+	}
+	return "$" + groupThousands(math.Round(float64(d)))
+}
+
+// groupThousands renders a non-negative (or negative) float that is known to
+// be integral with comma thousands separators.
+func groupThousands(v float64) string {
+	s := strconv.FormatFloat(v, 'f', 0, 64)
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	var b strings.Builder
+	pre := len(s) % 3
+	if pre > 0 {
+		b.WriteString(s[:pre])
+		if len(s) > pre {
+			b.WriteByte(',')
+		}
+	}
+	for i := pre; i < len(s); i += 3 {
+		b.WriteString(s[i : i+3])
+		if i+3 < len(s) {
+			b.WriteByte(',')
+		}
+	}
+	if neg {
+		return "-" + b.String()
+	}
+	return b.String()
+}
+
+// ParseMtops parses strings like "21,125", "21125 Mtops", "4.5k" (thousands)
+// into an Mtops quantity. It accepts the comma-grouped forms the paper and
+// the Federal Register use.
+func ParseMtops(s string) (Mtops, error) {
+	t := strings.TrimSpace(s)
+	t = strings.TrimSuffix(t, "Mtops")
+	t = strings.TrimSuffix(t, "mtops")
+	t = strings.TrimSpace(t)
+	mult := 1.0
+	if strings.HasSuffix(t, "k") || strings.HasSuffix(t, "K") {
+		mult = 1000
+		t = t[:len(t)-1]
+	}
+	t = strings.ReplaceAll(t, ",", "")
+	if t == "" {
+		return 0, fmt.Errorf("units: empty Mtops value %q", s)
+	}
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: bad Mtops value %q: %v", s, err)
+	}
+	return Mtops(v * mult), nil
+}

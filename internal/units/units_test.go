@@ -1,0 +1,129 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMtopsString(t *testing.T) {
+	cases := []struct {
+		in   Mtops
+		want string
+	}{
+		{0, "0 Mtops"},
+		{0.8, "0.8 Mtops"},
+		{6, "6 Mtops"},
+		{189, "189 Mtops"},
+		{958, "958 Mtops"},
+		{1500, "1,500 Mtops"},
+		{21125, "21,125 Mtops"},
+		{100000, "100,000 Mtops"},
+		{1234567, "1,234,567 Mtops"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Mtops(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestMflopsString(t *testing.T) {
+	if got := Mflops(94).String(); got != "94 Mflops" {
+		t.Errorf("got %q", got)
+	}
+	if got := Mflops(1.5).String(); got != "1.5 Mflops" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestUSDString(t *testing.T) {
+	cases := []struct {
+		in   USD
+		want string
+	}{
+		{128000, "$128,000"},
+		{1200000, "$1,200,000"},
+		{0, "$0"},
+		{-500, "-$500"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("USD(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestParseMtops(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Mtops
+	}{
+		{"21,125", 21125},
+		{"21125 Mtops", 21125},
+		{"  1,500 mtops ", 1500},
+		{"4.5k", 4500},
+		{"7.5K", 7500},
+		{"0.8", 0.8},
+	}
+	for _, c := range cases {
+		got, err := ParseMtops(c.in)
+		if err != nil {
+			t.Errorf("ParseMtops(%q) error: %v", c.in, err)
+			continue
+		}
+		if math.Abs(float64(got-c.want)) > 1e-9 {
+			t.Errorf("ParseMtops(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseMtopsErrors(t *testing.T) {
+	for _, in := range []string{"", "Mtops", "abc", "12x3", "k"} {
+		if _, err := ParseMtops(in); err == nil {
+			t.Errorf("ParseMtops(%q): expected error", in)
+		}
+	}
+}
+
+// TestParseRoundTrip checks that formatting then parsing an integral Mtops
+// value is the identity, for the full range of values the catalog uses.
+func TestParseRoundTrip(t *testing.T) {
+	f := func(n uint32) bool {
+		m := Mtops(n % 10_000_000)
+		got, err := ParseMtops(m.String())
+		if err != nil {
+			return false
+		}
+		return got == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromMflops64(t *testing.T) {
+	if got := FromMflops64(100); got != 200 {
+		t.Errorf("FromMflops64(100) = %v, want 200", got)
+	}
+}
+
+func TestGroupThousandsBoundaries(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{999, "999"},
+		{1000, "1,000"},
+		{999999, "999,999"},
+		{1000000, "1,000,000"},
+		{100, "100"},
+		{10, "10"},
+		{1, "1"},
+	}
+	for _, c := range cases {
+		if got := groupThousands(c.in); got != c.want {
+			t.Errorf("groupThousands(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

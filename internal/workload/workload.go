@@ -1,0 +1,262 @@
+// Package workload defines synthetic parallel workloads spanning the
+// granularity spectrum of the study's Chapter 3 cluster discussion, for
+// execution on the simmach machine model:
+//
+//   - KeySearch: embarrassingly parallel (the cryptanalytic brute-force
+//     attack "tailor-made for parallel processors");
+//   - MonteCarlo: coarse-grain replicated problems (ray tracing, weapons
+//     effects trials) with an occasional global reduction;
+//   - Stencil2D: medium-grain explicit finite differences (shallow-water
+//     and weather prediction models), halo exchange every step;
+//   - SparseCG: fine-grain sparse linear solving — "a very important,
+//     common, and hard to parallelize problem in technical computing" —
+//     with latency-bound global reductions every iteration;
+//   - Transpose: all-to-all communication (spectral transforms, 2-D FFT),
+//     the least cluster-friendly pattern of all.
+//
+// Each workload reports the granularity class it exemplifies, which is the
+// vocabulary Table 5 and the application records share.
+package workload
+
+import (
+	"math"
+
+	"repro/internal/apps"
+	"repro/internal/simmach"
+)
+
+// logSteps returns ceil(log2 n), the depth of a reduction tree.
+func logSteps(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}
+
+// KeySearch is an exhaustive search over a keyspace: independent chunks,
+// no communication until the single final report message.
+type KeySearch struct {
+	MKeys        float64 // millions of keys to test
+	MflopPerMKey float64 // work to test one million keys
+	Chunks       int     // supersteps (work distribution granularity)
+}
+
+// DefaultKeySearch sizes the search to a day-scale cryptanalytic job.
+func DefaultKeySearch() KeySearch {
+	return KeySearch{MKeys: 4000, MflopPerMKey: 50, Chunks: 16}
+}
+
+// Name implements simmach.Workload.
+func (k KeySearch) Name() string { return "brute-force key search" }
+
+// Granularity reports the workload's class.
+func (KeySearch) Granularity() apps.Granularity { return apps.Embarrassing }
+
+// TotalMflop implements simmach.Workload.
+func (k KeySearch) TotalMflop() float64 { return k.MKeys * k.MflopPerMKey }
+
+// Steps implements simmach.Workload.
+func (k KeySearch) Steps(procs int) []simmach.Step {
+	chunks := k.Chunks
+	if chunks < 1 {
+		chunks = 1
+	}
+	per := k.TotalMflop() / float64(chunks) / float64(procs)
+	steps := make([]simmach.Step, chunks)
+	for i := range steps {
+		steps[i] = simmach.Step{WorkMflop: per}
+	}
+	// The single found-it report.
+	steps[chunks-1].Bytes = 8
+	steps[chunks-1].Messages = 1
+	return steps
+}
+
+// MonteCarlo is a replicated-trial simulation with a global reduction
+// after every batch.
+type MonteCarlo struct {
+	Trials        int
+	Batch         int
+	MflopPerTrial float64
+}
+
+// DefaultMonteCarlo sizes a weapons-effects style trial campaign.
+func DefaultMonteCarlo() MonteCarlo {
+	return MonteCarlo{Trials: 200000, Batch: 10000, MflopPerTrial: 0.05}
+}
+
+// Name implements simmach.Workload.
+func (m MonteCarlo) Name() string { return "Monte Carlo replication" }
+
+// Granularity reports the workload's class.
+func (MonteCarlo) Granularity() apps.Granularity { return apps.Coarse }
+
+// TotalMflop implements simmach.Workload.
+func (m MonteCarlo) TotalMflop() float64 { return float64(m.Trials) * m.MflopPerTrial }
+
+// Steps implements simmach.Workload.
+func (m MonteCarlo) Steps(procs int) []simmach.Step {
+	n := m.Trials / m.Batch
+	if n < 1 {
+		n = 1
+	}
+	per := m.TotalMflop() / float64(n) / float64(procs)
+	depth := logSteps(procs)
+	steps := make([]simmach.Step, n)
+	for i := range steps {
+		steps[i] = simmach.Step{
+			WorkMflop: per,
+			Bytes:     float64(8 * depth),
+			Messages:  depth,
+		}
+	}
+	return steps
+}
+
+// Stencil2D is an explicit finite-difference update on an N×N grid with a
+// four-neighbor halo exchange every time step, under a two-dimensional
+// block decomposition.
+type Stencil2D struct {
+	N           int // grid side
+	TimeSteps   int
+	FlopPerCell float64
+}
+
+// DefaultStencil sizes a shallow-water-model-like run.
+func DefaultStencil() Stencil2D {
+	return Stencil2D{N: 1024, TimeSteps: 200, FlopPerCell: 65}
+}
+
+// Name implements simmach.Workload.
+func (s Stencil2D) Name() string { return "2-D stencil (shallow water)" }
+
+// Granularity reports the workload's class.
+func (Stencil2D) Granularity() apps.Granularity { return apps.Medium }
+
+// TotalMflop implements simmach.Workload.
+func (s Stencil2D) TotalMflop() float64 {
+	return float64(s.N) * float64(s.N) * s.FlopPerCell * float64(s.TimeSteps) / 1e6
+}
+
+// Steps implements simmach.Workload.
+func (s Stencil2D) Steps(procs int) []simmach.Step {
+	side := math.Sqrt(float64(procs))
+	boundary := 4 * float64(s.N) / side * 8 // bytes: four edges of the block
+	work := float64(s.N) * float64(s.N) * s.FlopPerCell / float64(procs) / 1e6
+	steps := make([]simmach.Step, s.TimeSteps)
+	for i := range steps {
+		st := simmach.Step{WorkMflop: work}
+		if procs > 1 {
+			st.Bytes = boundary
+			st.Messages = 4
+		}
+		steps[i] = st
+	}
+	return steps
+}
+
+// SparseCG is a conjugate-gradient solve on a sparse system: every
+// iteration performs one SpMV with a halo exchange plus two inner products
+// whose global reductions are latency-bound.
+type SparseCG struct {
+	N          int // unknowns
+	NnzPerRow  int
+	Iterations int
+}
+
+// DefaultSparseCG sizes a structural-mechanics-like solve.
+func DefaultSparseCG() SparseCG {
+	return SparseCG{N: 500000, NnzPerRow: 7, Iterations: 300}
+}
+
+// Name implements simmach.Workload.
+func (c SparseCG) Name() string { return "sparse CG solve" }
+
+// Granularity reports the workload's class.
+func (SparseCG) Granularity() apps.Granularity { return apps.Fine }
+
+// iterMflop is the computation of one CG iteration.
+func (c SparseCG) iterMflop() float64 {
+	spmv := 2 * float64(c.N) * float64(c.NnzPerRow)
+	vec := 10 * float64(c.N)
+	return (spmv + vec) / 1e6
+}
+
+// TotalMflop implements simmach.Workload.
+func (c SparseCG) TotalMflop() float64 { return c.iterMflop() * float64(c.Iterations) }
+
+// Steps implements simmach.Workload.
+func (c SparseCG) Steps(procs int) []simmach.Step {
+	work := c.iterMflop() / float64(procs)
+	depth := logSteps(procs)
+	halo := 8 * 2 * math.Sqrt(float64(c.N)) // grid-graph boundary rows
+	steps := make([]simmach.Step, c.Iterations)
+	for i := range steps {
+		st := simmach.Step{WorkMflop: work}
+		if procs > 1 {
+			st.Bytes = halo + float64(8*2*depth)
+			st.Messages = 2 + 2*depth // halo pair + two tree reductions
+		}
+		steps[i] = st
+	}
+	return steps
+}
+
+// Transpose is an all-to-all redistribution every step, the pattern of
+// multidimensional FFTs and spectral weather models.
+type Transpose struct {
+	N         int // elements
+	TimeSteps int
+}
+
+// DefaultTranspose sizes a spectral-transform-like run.
+func DefaultTranspose() Transpose {
+	return Transpose{N: 4 << 20, TimeSteps: 50}
+}
+
+// Name implements simmach.Workload.
+func (t Transpose) Name() string { return "all-to-all transpose (FFT)" }
+
+// Granularity reports the workload's class.
+func (Transpose) Granularity() apps.Granularity { return apps.Fine }
+
+// TotalMflop implements simmach.Workload.
+func (t Transpose) TotalMflop() float64 {
+	n := float64(t.N)
+	return 5 * n * math.Log2(n) * float64(t.TimeSteps) / 1e6
+}
+
+// Steps implements simmach.Workload.
+func (t Transpose) Steps(procs int) []simmach.Step {
+	n := float64(t.N)
+	work := 5 * n * math.Log2(n) / float64(procs) / 1e6
+	steps := make([]simmach.Step, t.TimeSteps)
+	for i := range steps {
+		st := simmach.Step{WorkMflop: work}
+		if procs > 1 {
+			st.Bytes = 8 * n / float64(procs)
+			st.Messages = procs - 1
+		}
+		steps[i] = st
+	}
+	return steps
+}
+
+// Suite returns the standard workload set, ordered from coarsest to finest
+// granularity.
+func Suite() []simmach.Workload {
+	return []simmach.Workload{
+		DefaultKeySearch(),
+		DefaultMonteCarlo(),
+		DefaultStencil(),
+		DefaultSparseCG(),
+		DefaultTranspose(),
+	}
+}
+
+// Granular exposes the granularity class alongside simmach.Workload; every
+// workload in this package implements it.
+type Granular interface {
+	simmach.Workload
+	Granularity() apps.Granularity
+}

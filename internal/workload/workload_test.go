@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/simmach"
+)
+
+func run(t *testing.T, m simmach.Machine, w simmach.Workload) simmach.Result {
+	t.Helper()
+	r, err := simmach.Run(m, w)
+	if err != nil {
+		t.Fatalf("%s on %s: %v", w.Name(), m.Name, err)
+	}
+	return r
+}
+
+// TestWorkConservation: for every workload, the per-processor work summed
+// over steps and processors equals TotalMflop, at any processor count.
+func TestWorkConservation(t *testing.T) {
+	for _, w := range Suite() {
+		for _, p := range []int{1, 4, 16, 64} {
+			var sum float64
+			for _, s := range w.Steps(p) {
+				sum += s.WorkMflop
+			}
+			sum *= float64(p)
+			if math.Abs(sum-w.TotalMflop())/w.TotalMflop() > 1e-9 {
+				t.Errorf("%s at p=%d: steps carry %.1f Mflop, total %.1f",
+					w.Name(), p, sum, w.TotalMflop())
+			}
+		}
+	}
+}
+
+func TestSingleProcessorNoComm(t *testing.T) {
+	for _, w := range Suite() {
+		if w.Name() == "brute-force key search" {
+			continue // the final report message is intrinsic
+		}
+		for _, s := range w.Steps(1) {
+			if s.Bytes != 0 || s.Messages != 0 {
+				t.Errorf("%s: communication on one processor", w.Name())
+			}
+		}
+	}
+}
+
+// TestKeySearchScalesEverywhere: embarrassingly parallel work achieves
+// ≥90%% efficiency even on an ad hoc Ethernet cluster — the cryptology
+// finding that removed brute-force attacks as a control justification.
+func TestKeySearchScalesEverywhere(t *testing.T) {
+	w := DefaultKeySearch()
+	for _, m := range simmach.Fleet(16) {
+		m.Imbalance = 0 // isolate communication effects
+		r := run(t, m, w)
+		if r.Efficiency < 0.9 {
+			t.Errorf("%s: key search efficiency %.2f, want ≥0.9", m.Name, r.Efficiency)
+		}
+	}
+}
+
+// TestStencilClusterSaturation reproduces note 53: on medium-grain stencil
+// codes, Ethernet clusters show "reasonable speedups … for clusters with
+// up to 8–12 nodes, but few exhibited significant speedups for clusters of
+// greater size", while the MPP keeps scaling.
+func TestStencilClusterSaturation(t *testing.T) {
+	w := DefaultStencil()
+	speedup := func(m simmach.Machine) float64 { return run(t, m, w).Speedup }
+
+	eth8 := speedup(simmach.Cluster("eth8", 8, 50, simmach.NetEthernet, true))
+	eth32 := speedup(simmach.Cluster("eth32", 32, 50, simmach.NetEthernet, true))
+	if eth8 < 3 {
+		t.Errorf("Ethernet cluster of 8: speedup %.1f; 'reasonable speedups' expected", eth8)
+	}
+	gain := eth32 / eth8
+	if gain > 1.8 {
+		t.Errorf("Ethernet cluster kept scaling 8→32 (×%.2f); should saturate", gain)
+	}
+
+	mpp8 := speedup(simmach.MPP("mesh8", 8, 50, simmach.NetMesh))
+	mpp32 := speedup(simmach.MPP("mesh32", 32, 50, simmach.NetMesh))
+	if mpp32/mpp8 < 2.5 {
+		t.Errorf("MPP stopped scaling on stencil: ×%.2f from 8→32", mpp32/mpp8)
+	}
+}
+
+// TestSparseCGClusterUncompetitive: "sparse linear equation solvers …
+// clusters were not competitive with integrated parallel systems."
+func TestSparseCGClusterUncompetitive(t *testing.T) {
+	w := DefaultSparseCG()
+	eth := run(t, simmach.Cluster("eth", 16, 50, simmach.NetEthernet, true), w)
+	mpp := run(t, simmach.MPP("mesh", 16, 50, simmach.NetMesh), w)
+	smp := run(t, simmach.SMP("smp", 16, 50, 1200), w)
+
+	if eth.Speedup > 0.6*mpp.Speedup {
+		t.Errorf("Ethernet cluster competitive on sparse CG: %.1f vs MPP %.1f",
+			eth.Speedup, mpp.Speedup)
+	}
+	if smp.Speedup < 8 {
+		t.Errorf("SMP speedup %.1f on sparse CG; shared memory should handle it", smp.Speedup)
+	}
+}
+
+// TestTransposeWorstOnClusters: all-to-all work is the least
+// cluster-friendly pattern in the suite.
+func TestTransposeWorstOnClusters(t *testing.T) {
+	cl := simmach.Cluster("eth", 16, 50, simmach.NetEthernet, true)
+	tr := run(t, cl, DefaultTranspose())
+	st := run(t, cl, DefaultStencil())
+	ks := run(t, cl, DefaultKeySearch())
+	if !(tr.Efficiency <= st.Efficiency && st.Efficiency <= ks.Efficiency) {
+		t.Errorf("cluster efficiency ordering violated: transpose %.2f, stencil %.2f, keysearch %.2f",
+			tr.Efficiency, st.Efficiency, ks.Efficiency)
+	}
+}
+
+// TestGranularityOrderingOnCluster: efficiency on a loosely coupled
+// machine decreases monotonically with granularity class — the property
+// Table 5 reads down its spectrum.
+func TestGranularityOrderingOnCluster(t *testing.T) {
+	cl := simmach.Cluster("fddi", 16, 50, simmach.NetFDDI, true)
+	cl.Imbalance = 0
+	byClass := map[apps.Granularity]float64{}
+	for _, w := range Suite() {
+		g := w.(Granular)
+		r := run(t, cl, w)
+		if cur, ok := byClass[g.Granularity()]; !ok || r.Efficiency < cur {
+			byClass[g.Granularity()] = r.Efficiency
+		}
+	}
+	if !(byClass[apps.Embarrassing] >= byClass[apps.Coarse] &&
+		byClass[apps.Coarse] >= byClass[apps.Medium] &&
+		byClass[apps.Medium] >= byClass[apps.Fine]) {
+		t.Errorf("granularity ordering violated: %v", byClass)
+	}
+}
+
+func TestSuiteComplete(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 5 {
+		t.Fatalf("suite has %d workloads", len(suite))
+	}
+	seen := map[apps.Granularity]bool{}
+	for _, w := range suite {
+		g, ok := w.(Granular)
+		if !ok {
+			t.Fatalf("%s does not implement Granular", w.Name())
+		}
+		seen[g.Granularity()] = true
+		if w.TotalMflop() <= 0 {
+			t.Errorf("%s: non-positive total work", w.Name())
+		}
+		if w.Name() == "" {
+			t.Error("unnamed workload")
+		}
+	}
+	for _, g := range []apps.Granularity{apps.Embarrassing, apps.Coarse, apps.Medium, apps.Fine} {
+		if !seen[g] {
+			t.Errorf("no workload of class %v", g)
+		}
+	}
+}
+
+func TestLogSteps(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 8: 3, 9: 4, 1024: 10}
+	for n, want := range cases {
+		if got := logSteps(n); got != want {
+			t.Errorf("logSteps(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestKeySearchChunkFloor(t *testing.T) {
+	w := KeySearch{MKeys: 100, MflopPerMKey: 1, Chunks: 0}
+	steps := w.Steps(4)
+	if len(steps) != 1 {
+		t.Errorf("zero chunks produced %d steps, want 1", len(steps))
+	}
+}
+
+func TestMonteCarloBatchFloor(t *testing.T) {
+	w := MonteCarlo{Trials: 10, Batch: 100, MflopPerTrial: 1}
+	if got := len(w.Steps(4)); got != 1 {
+		t.Errorf("tiny trial count produced %d steps", got)
+	}
+}
