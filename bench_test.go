@@ -179,7 +179,7 @@ func BenchmarkKeySearch(b *testing.B) {
 // BenchmarkSparseCG measures the conjugate-gradient kernel behind the
 // structural-mechanics cost arguments.
 func BenchmarkSparseCG(b *testing.B) {
-	m := linsolve.NewLaplace2D(64)
+	m := mustLaplaceBench(b, 64)
 	rhs := make([]float64, m.N)
 	for i := range rhs {
 		rhs[i] = 1
@@ -196,7 +196,7 @@ func BenchmarkSparseCG(b *testing.B) {
 // BenchmarkSpMV measures the sparse matrix–vector kernel, sequential and
 // parallel.
 func BenchmarkSpMV(b *testing.B) {
-	m := linsolve.NewLaplace2D(256)
+	m := mustLaplaceBench(b, 256)
 	x := make([]float64, m.N)
 	dst := make([]float64, m.N)
 	for i := range x {
@@ -218,4 +218,15 @@ func BenchmarkSpMV(b *testing.B) {
 			}
 		}
 	})
+}
+
+// mustLaplaceBench builds a benchmark Laplacian, failing the benchmark on
+// error.
+func mustLaplaceBench(b *testing.B, n int) *linsolve.CSR {
+	b.Helper()
+	m, err := linsolve.NewLaplace2D(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
 }

@@ -1,0 +1,25 @@
+#!/bin/sh
+# ci.sh — the repository's extended verification pipeline (see ROADMAP.md).
+# Every step must pass; the script stops at the first failure.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== hpcvet ./... =="
+go run ./cmd/hpcvet ./...
+
+echo "== go test -race ./... =="
+go test -race ./...
+
+echo "ci.sh: all checks passed"

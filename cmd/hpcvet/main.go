@@ -1,0 +1,113 @@
+// hpcvet runs the repository's domain-aware static-analysis suite: unit
+// safety for Mtops/Mflops, panic-free library code, deterministic
+// computation paths, map-order-free exhibit emission, and no silently
+// dropped in-module errors. See internal/analysis for checker semantics
+// and the //hpcvet:allow suppression syntax.
+//
+// Usage:
+//
+//	hpcvet [flags] [patterns...]
+//
+//	hpcvet ./...               # vet the whole module (the default)
+//	hpcvet ./internal/...      # one subtree
+//	hpcvet -checks unitcast,errdrop ./...
+//	hpcvet -json ./...         # machine-readable findings
+//	hpcvet -list               # describe the checkers
+//
+// Exit code contract, for CI and tooling: 0 means the code is clean,
+// 1 means at least one finding was reported, 2 means the analysis itself
+// could not run (bad flags, unknown checker, parse or type error).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hpcvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		asJSON = fs.Bool("json", false, "emit findings as a JSON array")
+		checks = fs.String("checks", "", "comma-separated checker names (default: all)")
+		list   = fs.Bool("list", false, "list the checkers and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, c := range analysis.Checkers() {
+			fmt.Fprintf(stdout, "%-10s %s\n", c.Name(), c.Doc())
+		}
+		return 0
+	}
+	selected, err := analysis.Select(*checks)
+	if err != nil {
+		fmt.Fprintln(stderr, "hpcvet:", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(stderr, "hpcvet:", err)
+		return 2
+	}
+	// Resolve relative patterns against the working directory, not the
+	// module root, so "hpcvet ./internal/..." behaves like go vet.
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "hpcvet:", err)
+		return 2
+	}
+	for i, p := range patterns {
+		if !filepath.IsAbs(p) {
+			patterns[i] = filepath.Join(cwd, p)
+		}
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "hpcvet:", err)
+		return 2
+	}
+	findings := analysis.Run(pkgs, selected)
+	for i := range findings {
+		if rel, err := filepath.Rel(cwd, findings[i].Pos.Filename); err == nil {
+			findings[i].Pos.Filename = rel
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "\t")
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, "hpcvet:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*asJSON {
+			fmt.Fprintf(stderr, "hpcvet: %d finding(s)\n", len(findings))
+		}
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// chdirModuleRoot moves the test into the module root (the driver resolves
+// patterns against the working directory) and restores it afterwards.
+func chdirModuleRoot(t *testing.T) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Dir(filepath.Dir(wd)) // cmd/hpcvet -> module root
+	if err := os.Chdir(root); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestListExitsZero(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, errOut.String())
+	}
+	for _, name := range []string{"unitcast", "panicfree", "detrand", "maporder", "errdrop"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownCheckerExitsTwo(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-checks", "bogus"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown checker exited %d, want 2", code)
+	}
+}
+
+func TestDirtyFixtureExitsOneWithJSON(t *testing.T) {
+	chdirModuleRoot(t)
+	var out, errOut strings.Builder
+	code := run([]string{"-json", "./internal/analysis/testdata/src/panicfree"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("dirty fixture exited %d (stderr: %s)", code, errOut.String())
+	}
+	var findings []analysis.Finding
+	if err := json.Unmarshal([]byte(out.String()), &findings); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if len(findings) != 1 || findings[0].Check != "panicfree" {
+		t.Errorf("findings = %+v, want one panicfree finding", findings)
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	chdirModuleRoot(t)
+	var out, errOut strings.Builder
+	if code := run([]string{"./internal/units"}, &out, &errOut); code != 0 {
+		t.Errorf("clean package exited %d:\n%s%s", code, out.String(), errOut.String())
+	}
+	if out.String() != "" {
+		t.Errorf("clean package produced output: %s", out.String())
+	}
+}

@@ -1,0 +1,222 @@
+// Package analysis is hpcvet's engine: a domain-aware static-analysis
+// suite for this repository, built only on the standard library's
+// go/parser, go/ast, go/types, and go/token.
+//
+// The paper's framework collapses every judgment onto one scalar — CTP in
+// Mtops — and the historical record shows what a single confused unit or
+// an irreproducible exhibit costs. The checkers here enforce, mechanically,
+// the invariants the codebase otherwise maintains by vigilance:
+//
+//   - unitcast:  cross-unit conversions between units.Mtops and
+//     units.Mflops must go through helpers in internal/units
+//     (FromMflops64 and friends), never through bare casts or
+//     float64 laundering;
+//   - panicfree: library packages return errors; panic is reserved for
+//     package main and tests;
+//   - detrand:   computation paths take explicit seeded *rand.Rand values
+//     and injected clocks — the process-global math/rand source
+//     and time.Now make snapshots and Monte Carlo exhibits
+//     irreproducible;
+//   - maporder:  map iteration order must not feed the report emitters
+//     that regenerate the paper's tables and figures;
+//   - errdrop:   error results of in-module calls are handled or
+//     discarded explicitly, never silently.
+//
+// A finding can be suppressed, with a reason, by an
+//
+//	//hpcvet:allow <check> <reason...>
+//
+// comment on the offending line or on the line directly above it. An
+// allow comment without a reason is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic: a position, the checker that produced it, and
+// a message. Findings are what cmd/hpcvet prints and what the golden tests
+// under testdata compare against.
+type Finding struct {
+	Pos     token.Position `json:"pos"`
+	Check   string         `json:"check"`
+	Message string         `json:"message"`
+}
+
+// String renders the finding the way the driver prints it:
+// path:line:col: [check] message.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+}
+
+// Checker is one analysis pass. Check inspects a loaded, type-checked
+// package and returns its raw findings; the runner handles suppression
+// comments and ordering.
+type Checker interface {
+	// Name is the short identifier used in output, -checks selections,
+	// and //hpcvet:allow comments.
+	Name() string
+	// Doc is a one-line description for -list output.
+	Doc() string
+	// Check returns the findings for one package.
+	Check(pkg *Package) []Finding
+}
+
+// Checkers returns the full suite in stable order.
+func Checkers() []Checker {
+	return []Checker{
+		UnitCast{},
+		PanicFree{},
+		DetRand{},
+		MapOrder{},
+		ErrDrop{},
+	}
+}
+
+// Select resolves a comma-separated list of checker names ("unitcast,
+// errdrop") against the registry. An empty selection means every checker.
+func Select(names string) ([]Checker, error) {
+	all := Checkers()
+	if strings.TrimSpace(names) == "" {
+		return all, nil
+	}
+	byName := make(map[string]Checker, len(all))
+	for _, c := range all {
+		byName[c.Name()] = c
+	}
+	var out []Checker
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		c, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown checker %q", n)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// Run applies the checkers to every package, filters suppressed findings,
+// and returns the remainder sorted by position. Malformed allow comments
+// are reported as findings of the pseudo-check "hpcvet".
+func Run(pkgs []*Package, checks []Checker) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		allows, bad := collectAllows(pkg)
+		out = append(out, bad...)
+		for _, c := range checks {
+			for _, f := range c.Check(pkg) {
+				if !allows.suppressed(f) {
+					out = append(out, f)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return out
+}
+
+// allowKey identifies one suppressed (file, line, check) site.
+type allowKey struct {
+	file  string
+	line  int
+	check string
+}
+
+// allowSet is the parsed //hpcvet:allow suppressions of one package.
+type allowSet map[allowKey]bool
+
+func (s allowSet) suppressed(f Finding) bool {
+	return s[allowKey{f.Pos.Filename, f.Pos.Line, f.Check}]
+}
+
+// allowPrefix introduces a suppression comment.
+const allowPrefix = "//hpcvet:allow"
+
+// collectAllows parses every //hpcvet:allow comment in the package. A
+// well-formed allow names a check and gives a non-empty reason; it covers
+// findings of that check on its own line (trailing comment) and on the
+// line directly below (comment on its own line). Malformed allows are
+// returned as findings so they cannot silently fail to suppress.
+func collectAllows(pkg *Package) (allowSet, []Finding) {
+	allows := allowSet{}
+	var bad []Finding
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Pos:     pos,
+						Check:   "hpcvet",
+						Message: "malformed //hpcvet:allow: want \"//hpcvet:allow <check> <reason>\"",
+					})
+					continue
+				}
+				check := fields[0]
+				if !knownCheck(check) {
+					bad = append(bad, Finding{
+						Pos:     pos,
+						Check:   "hpcvet",
+						Message: fmt.Sprintf("//hpcvet:allow names unknown check %q", check),
+					})
+					continue
+				}
+				allows[allowKey{pos.Filename, pos.Line, check}] = true
+				allows[allowKey{pos.Filename, pos.Line + 1, check}] = true
+			}
+		}
+	}
+	return allows, bad
+}
+
+// knownCheck reports whether name is a registered checker.
+func knownCheck(name string) bool {
+	for _, c := range Checkers() {
+		if c.Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// inspect walks every file of the package, skipping test files: the suite
+// vets library and command code, not the tests that deliberately probe
+// error paths.
+func (pkg *Package) inspect(fn func(file *ast.File, n ast.Node) bool) {
+	for _, file := range pkg.Files {
+		if pkg.isTestFile(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool { return fn(file, n) })
+	}
+}
+
+// position converts a token.Pos to the Finding position form.
+func (pkg *Package) position(p token.Pos) token.Position {
+	return pkg.Fset.Position(p)
+}

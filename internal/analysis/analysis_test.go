@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestCheckersAreRegisteredOnce(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Checkers() {
+		name := c.Name()
+		if seen[name] {
+			t.Errorf("checker %q registered twice", name)
+		}
+		seen[name] = true
+		if c.Doc() == "" {
+			t.Errorf("checker %q has no doc line", name)
+		}
+	}
+	for _, want := range []string{"unitcast", "panicfree", "detrand", "maporder", "errdrop"} {
+		if !seen[want] {
+			t.Errorf("checker %q missing from the registry", want)
+		}
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all, err := Select("")
+	if err != nil || len(all) != len(Checkers()) {
+		t.Fatalf("Select(\"\") = %d checkers, err %v", len(all), err)
+	}
+	two, err := Select("unitcast, errdrop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(two) != 2 || two[0].Name() != "unitcast" || two[1].Name() != "errdrop" {
+		t.Errorf("Select kept order badly: %v", two)
+	}
+	if _, err := Select("nosuchcheck"); err == nil {
+		t.Error("Select accepted an unknown checker")
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{
+		Pos:     token.Position{Filename: "a/b.go", Line: 12, Column: 3},
+		Check:   "unitcast",
+		Message: "boom",
+	}
+	if got, want := f.String(), "a/b.go:12:3: [unitcast] boom"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestLoaderFindsModule(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.ModPath != "repro" {
+		t.Errorf("module path %q, want repro", l.ModPath)
+	}
+	pkgs, err := l.Load(l.ModRoot + "/internal/units")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "repro/internal/units" {
+		t.Fatalf("loaded %+v", pkgs)
+	}
+	if pkgs[0].IsMain {
+		t.Error("internal/units classified as package main")
+	}
+}
+
+func TestLoaderRejectsOutsideModule(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Load("/"); err == nil {
+		t.Error("loading a directory outside the module did not fail")
+	}
+}
+
+// TestUnitcastSkipsUnitsPackage: the conversion helpers themselves live in
+// internal/units and must be exempt, or FromMflops64 could not exist.
+func TestUnitcastSkipsUnitsPackage(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load(l.ModRoot + "/internal/units")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range Run(pkgs, []Checker{UnitCast{}}) {
+		t.Errorf("unexpected finding in internal/units: %s", f)
+	}
+}
+
+// TestMapOrderScopedToReportFeeders: a package that never touches the
+// report layer may range maps freely.
+func TestMapOrderScopedToReportFeeders(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load(l.ModRoot + "/internal/top500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkgs[0].Imports("repro/internal/report") {
+		t.Skip("fixture assumption broken: top500 now imports report")
+	}
+	for _, f := range Run(pkgs, []Checker{MapOrder{}}) {
+		t.Errorf("maporder fired outside the report-feeding scope: %s", f)
+	}
+}
+
+func TestFindingsAreSorted(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load(l.ModRoot + "/internal/analysis/testdata/src/detrand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run(pkgs, Checkers())
+	if len(findings) < 2 {
+		t.Fatalf("fixture produced %d findings, want several", len(findings))
+	}
+	for i := 1; i < len(findings); i++ {
+		a, b := findings[i-1], findings[i]
+		if a.Pos.Filename == b.Pos.Filename && a.Pos.Line > b.Pos.Line {
+			t.Errorf("findings out of order: %s before %s", a, b)
+		}
+	}
+	for _, f := range findings {
+		if !strings.Contains(f.Pos.Filename, "detrand") {
+			t.Errorf("finding from outside the fixture: %s", f)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// globalRandFuncs are the package-level math/rand and math/rand/v2
+// functions that draw from the process-global source. Constructors
+// (New, NewSource, NewPCG, NewChaCha8) are deliberately absent: building
+// an explicitly seeded generator is exactly what the checker wants.
+var globalRandFuncs = map[string]bool{
+	"Seed": true, "Int": true, "Intn": true, "IntN": true,
+	"Int31": true, "Int31n": true, "Int32": true, "Int32N": true,
+	"Int63": true, "Int63n": true, "Int64": true, "Int64N": true,
+	"Uint": true, "UintN": true, "Uint32": true, "Uint32N": true,
+	"Uint64": true, "Uint64N": true, "Float32": true, "Float64": true,
+	"ExpFloat64": true, "NormFloat64": true, "Perm": true,
+	"Shuffle": true, "Read": true, "N": true,
+}
+
+// DetRand flags the two ambient sources of nondeterminism in computation
+// paths: the process-global math/rand source and time.Now. The snapshots,
+// synthetic Top500 listings, and Monte Carlo survey populations behind the
+// paper's exhibits must be bit-identical across runs and machines; a
+// global generator seeded who-knows-where, or a wall clock read mid-
+// computation, silently breaks that. Computation code takes an explicit
+// seeded *rand.Rand and, where it must measure time, an injected clock
+// (func() time.Time) so tests can pin it.
+//
+// Both calls and bare references (passing time.Now as a default callback)
+// are flagged in library code; package main, where a command legitimately
+// reads the wall clock, and test files are exempt.
+type DetRand struct{}
+
+// Name implements Checker.
+func (DetRand) Name() string { return "detrand" }
+
+// Doc implements Checker.
+func (DetRand) Doc() string {
+	return "computation paths take seeded *rand.Rand values and injected clocks"
+}
+
+// Check implements Checker.
+func (DetRand) Check(pkg *Package) []Finding {
+	if pkg.IsMain {
+		return nil
+	}
+	var out []Finding
+	pkg.inspect(func(file *ast.File, n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() != nil {
+			return true // a method (e.g. (*rand.Rand).Float64), not a package-level draw
+		}
+		switch fn.Pkg().Path() {
+		case "math/rand", "math/rand/v2":
+			if globalRandFuncs[fn.Name()] {
+				out = append(out, Finding{
+					Pos:   pkg.position(sel.Pos()),
+					Check: "detrand",
+					Message: fmt.Sprintf("%s.%s draws from the process-global source; thread an explicitly seeded *rand.Rand instead",
+						fn.Pkg().Name(), fn.Name()),
+				})
+			}
+		case "time":
+			if fn.Name() == "Now" {
+				out = append(out, Finding{
+					Pos:     pkg.position(sel.Pos()),
+					Check:   "detrand",
+					Message: "time.Now in a computation path is irreproducible; inject a clock (func() time.Time) the caller controls",
+				})
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop flags statements that call an in-module function returning an
+// error and let the error fall on the floor. The analysis pipeline is a
+// chain — catalog → ctp → controllability → threshold → report — and a
+// swallowed error in the middle quietly turns a malformed input into a
+// wrong exhibit instead of a failure. Errors from module code must be
+// handled or discarded explicitly (`_ = f()`), which leaves a visible,
+// greppable decision in the code. Out-of-module callees (fmt.Println and
+// friends) follow the usual Go conventions and are not this checker's
+// business; deferred calls are likewise exempt.
+type ErrDrop struct{}
+
+// Name implements Checker.
+func (ErrDrop) Name() string { return "errdrop" }
+
+// Doc implements Checker.
+func (ErrDrop) Doc() string {
+	return "error results of in-module calls are handled or discarded explicitly"
+}
+
+// Check implements Checker.
+func (ErrDrop) Check(pkg *Package) []Finding {
+	var out []Finding
+	flag := func(call *ast.CallExpr) {
+		callee, name := moduleCallee(pkg, call)
+		if callee == nil {
+			return
+		}
+		sig, ok := callee.Type().(*types.Signature)
+		if !ok || !returnsError(sig) {
+			return
+		}
+		out = append(out, Finding{
+			Pos:     pkg.position(call.Pos()),
+			Check:   "errdrop",
+			Message: fmt.Sprintf("error result of %s discarded; handle it or assign it explicitly", name),
+		})
+	}
+	pkg.inspect(func(file *ast.File, n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := stmt.X.(*ast.CallExpr); ok {
+				flag(call)
+			}
+		case *ast.GoStmt:
+			flag(stmt.Call)
+		}
+		return true
+	})
+	return out
+}
+
+// moduleCallee resolves the called object when it is declared inside this
+// module, returning it with a printable name. Conversions, builtins,
+// closures, and out-of-module functions return nil.
+func moduleCallee(pkg *Package, call *ast.CallExpr) (types.Object, string) {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pkg.Info.Uses[fun.Sel]
+	}
+	if obj == nil || obj.Pkg() == nil {
+		return nil, ""
+	}
+	if _, isBuiltin := obj.(*types.Builtin); isBuiltin {
+		return nil, ""
+	}
+	path := obj.Pkg().Path()
+	if path != pkg.ModPath && !hasPathPrefix(path, pkg.ModPath) {
+		return nil, ""
+	}
+	name := obj.Name()
+	if fn, ok := obj.(*types.Func); ok {
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			name = recvTypeName(recv.Type()) + "." + name
+		}
+	}
+	return obj, name
+}
+
+// hasPathPrefix reports whether path is under the module path prefix.
+func hasPathPrefix(path, prefix string) bool {
+	return len(path) > len(prefix) && path[:len(prefix)] == prefix && path[len(prefix)] == '/'
+}
+
+// recvTypeName names a method receiver type for messages.
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}
+
+// returnsError reports whether any result of the signature is the
+// predeclared error type.
+func returnsError(sig *types.Signature) bool {
+	errType := types.Universe.Lookup("error").Type()
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), errType) {
+			return true
+		}
+	}
+	return false
+}

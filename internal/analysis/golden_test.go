@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata")
+
+// TestFixtures runs the full checker suite over every fixture package
+// under testdata/src and compares the rendered findings against the
+// fixture's golden file. Regenerate with:
+//
+//	go test ./internal/analysis -run TestFixtures -update
+func TestFixtures(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkgs, err := loader.Load(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var b strings.Builder
+			for _, f := range Run(pkgs, Checkers()) {
+				rel, err := filepath.Rel(dir, f.Pos.Filename)
+				if err != nil {
+					rel = f.Pos.Filename
+				}
+				fmt.Fprintf(&b, "%s:%d:%d: [%s] %s\n", rel, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+			}
+			got := b.String()
+			goldenPath := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("findings diverge from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+			}
+		})
+	}
+}
+
+// TestRepoIsClean is the acceptance gate: the suite reports nothing on the
+// repository itself. Every historical finding is either fixed or carries a
+// justified //hpcvet:allow; a regression here is a regression in the
+// codebase, not in the checker.
+func TestRepoIsClean(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(loader.ModRoot + "/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range Run(pkgs, Checkers()) {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags range statements over maps in the packages that build the
+// paper's exhibits: internal/report itself and every package that imports
+// it. Go randomizes map iteration order on purpose, so a map-ranged loop
+// feeding a table or figure emitter produces rows in a different order on
+// every run — exactly the nondeterminism the regenerable exhibits cannot
+// tolerate. Sort the keys and range over the slice instead. Packages that
+// never touch the report layer may range maps freely (commutative
+// accumulation is fine there); this checker polices the emit path.
+type MapOrder struct{}
+
+// Name implements Checker.
+func (MapOrder) Name() string { return "maporder" }
+
+// Doc implements Checker.
+func (MapOrder) Doc() string {
+	return "no map-ordered iteration in packages feeding the report emitters"
+}
+
+// Check implements Checker.
+func (MapOrder) Check(pkg *Package) []Finding {
+	reportPath := pkg.ModPath + "/internal/report"
+	if pkg.Path != reportPath && !pkg.Imports(reportPath) {
+		return nil
+	}
+	var out []Finding
+	pkg.inspect(func(file *ast.File, n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pkg.Info.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, ok := t.Underlying().(*types.Map); ok {
+			out = append(out, Finding{
+				Pos:     pkg.position(rng.Pos()),
+				Check:   "maporder",
+				Message: "range over a map in a report-feeding package; iteration order varies per run — sort the keys and range the slice",
+			})
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PanicFree flags calls to the panic builtin in library code. The
+// reproduction is a library first — cmd tools, examples, benchmarks, and
+// downstream callers all sit on the internal packages — so a malformed
+// system description or a bad grid size must surface as an error the
+// caller can handle, not tear the process down. panic stays legal in
+// package main (where the process is the caller's) and in test files
+// (where it is the failure mode under test).
+type PanicFree struct{}
+
+// Name implements Checker.
+func (PanicFree) Name() string { return "panicfree" }
+
+// Doc implements Checker.
+func (PanicFree) Doc() string {
+	return "library packages return errors; panic is reserved for package main and tests"
+}
+
+// Check implements Checker.
+func (PanicFree) Check(pkg *Package) []Finding {
+	if pkg.IsMain {
+		return nil
+	}
+	var out []Finding
+	pkg.inspect(func(file *ast.File, n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		ident, ok := call.Fun.(*ast.Ident)
+		if !ok || ident.Name != "panic" {
+			return true
+		}
+		if _, ok := pkg.Info.Uses[ident].(*types.Builtin); !ok {
+			return true // a shadowed local named panic, not the builtin
+		}
+		out = append(out, Finding{
+			Pos:     pkg.position(call.Pos()),
+			Check:   "panicfree",
+			Message: "panic in library code; return an error the caller can handle",
+		})
+		return true
+	})
+	return out
+}

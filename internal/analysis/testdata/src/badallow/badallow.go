@@ -1,0 +1,18 @@
+// Package badallow is an hpcvet fixture: malformed suppression comments
+// are findings themselves, and fail to suppress.
+package badallow
+
+import "time"
+
+// MissingReason: the allow has no reason, so it is reported and the
+// underlying detrand finding still fires.
+func MissingReason() time.Time {
+	//hpcvet:allow detrand
+	return time.Now()
+}
+
+// UnknownCheck: the allow names a checker that does not exist.
+func UnknownCheck() time.Time {
+	//hpcvet:allow nosuchcheck because reasons
+	return time.Now()
+}

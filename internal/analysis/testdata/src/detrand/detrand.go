@@ -1,0 +1,37 @@
+// Package detrand is an hpcvet fixture: ambient nondeterminism in
+// computation paths, flagged and sanctioned.
+package detrand
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+// Package-level draws from the process-global source: flagged.
+func GlobalDraw() float64 { return rand.Float64() }
+
+func GlobalPerm(n int) []int { return rand.Perm(n) }
+
+func GlobalV2(n int) int { return randv2.IntN(n) }
+
+// Wall-clock reads: flagged, whether called or passed as a value.
+func Wall() time.Time { return time.Now() }
+
+func DefaultClock() func() time.Time { return time.Now }
+
+// An explicitly seeded generator and an injected clock: clean.
+func Seeded(seed int64) float64 { return rand.New(rand.NewSource(seed)).Float64() }
+
+func Threaded(rng *rand.Rand) float64 { return rng.NormFloat64() }
+
+func Elapsed(clock func() time.Time) time.Duration {
+	start := clock()
+	return clock().Sub(start)
+}
+
+// Suppressed with a reason: clean.
+func AllowedWall() time.Time {
+	//hpcvet:allow detrand fixture demonstrates a justified suppression
+	return time.Now()
+}

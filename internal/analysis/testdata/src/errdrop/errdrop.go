@@ -1,0 +1,41 @@
+// Package errdrop is an hpcvet fixture: error results of in-module calls
+// dropped silently, flagged; handled or explicitly discarded, clean.
+package errdrop
+
+import (
+	"fmt"
+
+	"repro/internal/linsolve"
+)
+
+// mayFail is an in-module (in fact in-package) fallible function.
+func mayFail() error { return nil }
+
+// multi returns a value and an error.
+func multi() (int, error) { return 1, nil }
+
+// Drop loses errors silently: every statement here is flagged.
+func Drop(m *linsolve.CSR, dst, x []float64) {
+	m.MulVec(dst, x)
+	mayFail()
+	multi()
+	go mayFail()
+}
+
+// Handle checks, propagates, or explicitly discards: clean.
+func Handle(m *linsolve.CSR, dst, x []float64) error {
+	if err := m.MulVec(dst, x); err != nil {
+		return err
+	}
+	_ = mayFail()
+	fmt.Println("out-of-module callees follow their own conventions")
+	return mayFail()
+}
+
+// Allowed records why the error cannot matter, in both comment positions:
+// clean.
+func Allowed() {
+	//hpcvet:allow errdrop fixture demonstrates a justified suppression
+	mayFail()
+	mayFail() //hpcvet:allow errdrop the trailing same-line form also suppresses
+}

@@ -1,0 +1,35 @@
+// Package maporder is an hpcvet fixture: map iteration feeding the
+// report emitters, flagged; sorted-slice iteration, clean.
+package maporder
+
+import "repro/internal/report"
+
+// Emit builds table rows straight out of a map range: flagged.
+func Emit(counts map[string]int) *report.Table {
+	t := &report.Table{Title: "fixture", Header: []string{"key", "count"}}
+	for k, n := range counts {
+		t.AddRow(k, n)
+	}
+	return t
+}
+
+// EmitSorted goes through report.SortedKeys: clean.
+func EmitSorted(counts map[string]int) *report.Table {
+	t := &report.Table{Title: "fixture", Header: []string{"key", "count"}}
+	for _, k := range report.SortedKeys(counts) {
+		t.AddRow(k, counts[k])
+	}
+	return t
+}
+
+// Total accumulates commutatively — but this package feeds the report
+// layer, so the emit-path policy applies and an allow records why the
+// order cannot matter: clean.
+func Total(counts map[string]int) int {
+	sum := 0
+	//hpcvet:allow maporder summation is order-insensitive
+	for _, n := range counts {
+		sum += n
+	}
+	return sum
+}

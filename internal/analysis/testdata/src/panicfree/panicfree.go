@@ -1,0 +1,36 @@
+// Package panicfree is an hpcvet fixture: panics in library code,
+// flagged and suppressed.
+package panicfree
+
+import "errors"
+
+// Bad panics on bad input: flagged.
+func Bad(n int) int {
+	if n < 0 {
+		panic("negative")
+	}
+	return n
+}
+
+// Good returns an error instead: clean.
+func Good(n int) (int, error) {
+	if n < 0 {
+		return 0, errors.New("negative")
+	}
+	return n, nil
+}
+
+// Shadowed calls a local function that happens to be named panic, not the
+// builtin: clean.
+func Shadowed() {
+	panic := func(string) {}
+	panic("not the builtin")
+}
+
+// Allowed carries a justified suppression: clean.
+func Allowed(invariant bool) {
+	if !invariant {
+		//hpcvet:allow panicfree fixture demonstrates a justified suppression
+		panic("invariant violated by construction")
+	}
+}

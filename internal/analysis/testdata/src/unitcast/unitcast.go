@@ -1,0 +1,34 @@
+// Package unitcast is an hpcvet fixture: every way a quantity can cross
+// the Mtops/Mflops boundary, sanctioned and not.
+package unitcast
+
+import "repro/internal/units"
+
+// Direct cross-unit casts: flagged.
+func Direct(f units.Mflops) units.Mtops { return units.Mtops(f) }
+
+func DirectBack(m units.Mtops) units.Mflops { return units.Mflops(m) }
+
+// Laundered through float64 arithmetic: flagged at the laundered operand.
+func Laundered(f units.Mflops) units.Mtops { return units.Mtops(float64(f) * 2) }
+
+func LaunderedDeep(f units.Mflops, k float64) units.Mtops {
+	return units.Mtops(k * (1 + float64(f)/96))
+}
+
+// The sanctioned conversion helper: clean.
+func Sanctioned(f units.Mflops) units.Mtops { return units.FromMflops64(f) }
+
+// Dimension-preserving rescaling and literal construction: clean.
+func Rescale(m units.Mtops) units.Mtops { return units.Mtops(float64(m) * 0.75) }
+
+func FromLiteral() units.Mtops { return units.Mtops(1500) }
+
+// A helper call is a conversion boundary — the callee owns it: clean.
+func ViaHelper(f units.Mflops) units.Mtops { return units.Mtops(float64(units.FromMflops64(f))) }
+
+// Suppressed with a reason: clean.
+func Allowed(f units.Mflops) units.Mtops {
+	//hpcvet:allow unitcast fixture demonstrates a justified suppression
+	return units.Mtops(f)
+}

@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// unitKind classifies a type for the unitcast checker.
+type unitKind int
+
+const (
+	unitNone   unitKind = iota
+	unitMtops           // units.Mtops
+	unitMflops          // units.Mflops
+	unitBare            // a bare floating-point type
+)
+
+func (k unitKind) String() string {
+	switch k {
+	case unitMtops:
+		return "units.Mtops"
+	case unitMflops:
+		return "units.Mflops"
+	case unitBare:
+		return "bare float"
+	default:
+		return "non-unit"
+	}
+}
+
+// other returns the opposing unit, or unitNone for non-units.
+func (k unitKind) other() unitKind {
+	switch k {
+	case unitMtops:
+		return unitMflops
+	case unitMflops:
+		return unitMtops
+	default:
+		return unitNone
+	}
+}
+
+// unitsPath returns the import path of the units package.
+func unitsPath(pkg *Package) string { return pkg.ModPath + "/internal/units" }
+
+// classifyUnit resolves a type to its unit kind.
+func classifyUnit(pkg *Package, t types.Type) unitKind {
+	switch t := t.(type) {
+	case nil:
+		return unitNone
+	case *types.Basic:
+		if t.Info()&types.IsFloat != 0 {
+			return unitBare
+		}
+	case *types.Named:
+		obj := t.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == unitsPath(pkg) {
+			switch obj.Name() {
+			case "Mtops":
+				return unitMtops
+			case "Mflops":
+				return unitMflops
+			}
+		}
+	}
+	return unitNone
+}
+
+// isConversion reports whether the call expression is a type conversion,
+// and if so returns the target type.
+func conversionTarget(pkg *Package, call *ast.CallExpr) (types.Type, bool) {
+	tv, ok := pkg.Info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return nil, false
+	}
+	return tv.Type, true
+}
+
+// UnitCast flags conversions that move a quantity between units.Mtops and
+// units.Mflops without going through a helper in internal/units. Mtops and
+// Mflops measure different things — theoretical operations versus floating
+// point — and the 1990s export-control debate shows what conflating them
+// costs; every cross-unit conversion must state its conversion convention
+// by calling units.FromMflops64 (or a sibling helper), never a bare cast.
+//
+// Two shapes are flagged outside internal/units:
+//
+//  1. a direct conversion units.Mtops(x) where x is a units.Mflops value
+//     (and vice versa);
+//  2. a laundered conversion units.Mtops(expr) where expr reaches a
+//     units.Mflops value through arithmetic and float64 casts, e.g.
+//     units.Mtops(float64(f) * 2).
+//
+// Calls to ordinary functions inside expr are conversion boundaries: the
+// callee, not this expression, owns that conversion. Same-unit rescaling
+// (units.Mtops(float64(m) * 0.75)) is dimension-preserving and allowed.
+type UnitCast struct{}
+
+// Name implements Checker.
+func (UnitCast) Name() string { return "unitcast" }
+
+// Doc implements Checker.
+func (UnitCast) Doc() string {
+	return "cross-unit Mtops/Mflops conversions must use internal/units helpers"
+}
+
+// Check implements Checker.
+func (UnitCast) Check(pkg *Package) []Finding {
+	if pkg.Path == unitsPath(pkg) {
+		return nil
+	}
+	var out []Finding
+	pkg.inspect(func(file *ast.File, n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		target, ok := conversionTarget(pkg, call)
+		if !ok {
+			return true
+		}
+		tk := classifyUnit(pkg, target)
+		if tk != unitMtops && tk != unitMflops {
+			return true
+		}
+		arg := call.Args[0]
+		sk := classifyUnit(pkg, pkg.Info.TypeOf(arg))
+		if sk == tk.other() {
+			out = append(out, Finding{
+				Pos:   pkg.position(call.Pos()),
+				Check: "unitcast",
+				Message: fmt.Sprintf("direct conversion from %s to %s; use units.FromMflops64 or a helper in internal/units",
+					sk, tk),
+			})
+			return true
+		}
+		if hit := launderedUnit(pkg, arg, tk.other()); hit != nil {
+			out = append(out, Finding{
+				Pos:   pkg.position(hit.Pos()),
+				Check: "unitcast",
+				Message: fmt.Sprintf("%s value reaches a %s conversion through arithmetic; convert with units.FromMflops64 or a helper in internal/units",
+					tk.other(), tk),
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// launderedUnit looks inside a conversion argument for a value of the
+// opposing unit, descending through arithmetic and nested conversions but
+// stopping at ordinary function calls (the callee owns those conversions).
+func launderedUnit(pkg *Package, arg ast.Expr, want unitKind) ast.Expr {
+	var hit ast.Expr
+	ast.Inspect(arg, func(n ast.Node) bool {
+		if hit != nil {
+			return false
+		}
+		if c, ok := n.(*ast.CallExpr); ok {
+			if _, isConv := conversionTarget(pkg, c); !isConv {
+				return false
+			}
+		}
+		if e, ok := n.(ast.Expr); ok {
+			if classifyUnit(pkg, pkg.Info.TypeOf(e)) == want {
+				hit = e
+				return false
+			}
+		}
+		return true
+	})
+	return hit
+}

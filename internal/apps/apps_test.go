@@ -5,6 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 
+	"fmt"
+	"math/rand"
 	"repro/internal/catalog"
 	"repro/internal/units"
 )
@@ -337,5 +339,23 @@ func TestApplicationString(t *testing.T) {
 func TestLookupMissing(t *testing.T) {
 	if _, ok := Lookup("no such application"); ok {
 		t.Error("lookup of missing name succeeded")
+	}
+}
+
+// TestPopulationRNGSameSeedIsByteIdentical: the survey populations are
+// functions of their seed alone.
+func TestPopulationRNGSameSeedIsByteIdentical(t *testing.T) {
+	a := STPopulationRNG(rand.New(rand.NewSource(17)))
+	b := STPopulationRNG(rand.New(rand.NewSource(17)))
+	if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+		t.Error("S&T population: same seed diverged")
+	}
+	c := DTEPopulationRNG(1996, rand.New(rand.NewSource(17)))
+	d := DTEPopulationRNG(1996, rand.New(rand.NewSource(17)))
+	if fmt.Sprintf("%+v", c) != fmt.Sprintf("%+v", d) {
+		t.Error("DT&E population: same seed diverged")
+	}
+	if fmt.Sprintf("%+v", STPopulation1994()) != fmt.Sprintf("%+v", STPopulation1994()) {
+		t.Error("canonical S&T population is not reproducible")
 	}
 }

@@ -66,7 +66,15 @@ func lognormal(rng *rand.Rand, median, sigma, lo, hi float64) units.Mtops {
 // sits above the mid-1995 controllability frontier, matching the paper's
 // "more than two-thirds … below" aggregate.
 func STPopulation1994() []Requirement {
-	rng := rand.New(rand.NewSource(stSeed))
+	return STPopulationRNG(rand.New(rand.NewSource(stSeed)))
+}
+
+// STPopulationRNG draws the S&T population from the caller's explicitly
+// seeded generator. The canonical Figure 8 population is
+// STPopulation1994; alternative seeds give resampled populations for
+// sensitivity analysis, and identical seeds reproduce identical
+// populations byte for byte.
+func STPopulationRNG(rng *rand.Rand) []Requirement {
 	out := make([]Requirement, stCount)
 	for i := range out {
 		var m units.Mtops
@@ -91,7 +99,14 @@ func STPopulation1994() []Requirement {
 // computers" — while a parallelizing migration moves some work down onto
 // clusters of smaller machines.
 func DTEPopulation(year int) []Requirement {
-	rng := rand.New(rand.NewSource(dteSeed))
+	return DTEPopulationRNG(year, rand.New(rand.NewSource(dteSeed)))
+}
+
+// DTEPopulationRNG draws the DT&E population from the caller's explicitly
+// seeded generator; see STPopulationRNG for the seeding contract. The
+// 1995 and 1996 populations must be drawn from generators with the same
+// seed for the projection to pair projects correctly.
+func DTEPopulationRNG(year int, rng *rand.Rand) []Requirement {
 	out := make([]Requirement, dteCount)
 	for i := range out {
 		m := lognormal(rng, 130, 1.5, 1, 15000)

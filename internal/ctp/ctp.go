@@ -254,16 +254,6 @@ func (s System) CTP() (units.Mtops, error) {
 	return units.Mtops(total), nil
 }
 
-// MustCTP is CTP for statically known-good configurations; it panics on a
-// malformed system and exists for table construction in package catalog.
-func (s System) MustCTP() units.Mtops {
-	m, err := s.CTP()
-	if err != nil {
-		panic(err)
-	}
-	return m
-}
-
 // Elements returns the total number of computing elements in the system.
 func (s System) Elements() int {
 	n := 0

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestEncryptDecryptRoundTrip(t *testing.T) {
@@ -181,5 +182,55 @@ func TestParallelSpeedup(t *testing.T) {
 	}
 	if sp := r1.Seconds / r4.Seconds; sp < 1.3 {
 		t.Errorf("speedup 1→4 workers = %.2f, want ≥1.3 (embarrassingly parallel)", sp)
+	}
+}
+
+// TestSearchClockIsDeterministic: with an injected scripted clock the
+// whole Result — including Seconds and the derived throughput — is a pure
+// function of the inputs, which is what lets exhibits built on key-search
+// timings regenerate identically.
+func TestSearchClockIsDeterministic(t *testing.T) {
+	const key = 4242
+	pairs := MakePairs(key, 0x1234, 0x5678)
+	run := func() Result {
+		base := time.Unix(800000000, 0) // a 1995 vintage instant
+		calls := 0
+		clock := func() time.Time {
+			calls++
+			return base.Add(time.Duration(calls-1) * 250 * time.Millisecond)
+		}
+		res, err := SearchClock(pairs, 0, 1<<16, 1, clock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("scripted clock still nondeterministic: %+v vs %+v", a, b)
+	}
+	if a.Seconds != 0.25 {
+		t.Errorf("Seconds = %v, want the scripted 0.25", a.Seconds)
+	}
+	if !a.Found || a.Key != key {
+		t.Errorf("search result wrong: %+v", a)
+	}
+	if got := a.KeysPerSecond(); got != float64(a.Tested)/0.25 {
+		t.Errorf("KeysPerSecond = %v", got)
+	}
+}
+
+// TestSearchClockNilClock: a nil clock skips measurement entirely.
+func TestSearchClockNilClock(t *testing.T) {
+	pairs := MakePairs(9, 0x1234)
+	res, err := SearchClock(pairs, 0, 1<<12, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seconds != 0 {
+		t.Errorf("nil clock measured %v seconds", res.Seconds)
+	}
+	if !res.Found || res.Key != 9 {
+		t.Errorf("search result wrong: %+v", res)
 	}
 }

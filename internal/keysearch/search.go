@@ -43,12 +43,26 @@ var (
 // amortize the atomic fetch-add, small enough that early exit is prompt.
 const chunk = 1 << 12
 
+// Clock samples the current time. Search injects time.Now; tests inject a
+// fixed or scripted clock through SearchClock so Result.Seconds — and
+// everything derived from it — is deterministic.
+type Clock func() time.Time
+
 // Search exhausts the keyspace [first, last] looking for a key consistent
 // with every pair, using the given number of parallel workers (0 means
 // GOMAXPROCS). The keyspace is dealt out in chunks through an atomic
 // cursor, so load balance is dynamic — the property that made the attack
-// fit any pile of computers, coupled or not.
+// fit any pile of computers, coupled or not. Result.Seconds is measured
+// off the wall clock; use SearchClock to control the measurement.
 func Search(pairs []Pair, first, last uint64, workers int) (Result, error) {
+	//hpcvet:allow detrand wall-clock throughput is the quantity Search exists to measure; deterministic callers inject a clock via SearchClock
+	return SearchClock(pairs, first, last, workers, time.Now)
+}
+
+// SearchClock is Search with an injected clock. The clock is sampled once
+// before the workers start and once after they join; a nil clock skips
+// the measurement and leaves Result.Seconds zero.
+func SearchClock(pairs []Pair, first, last uint64, workers int, clock Clock) (Result, error) {
 	if len(pairs) == 0 {
 		return Result{}, ErrNoPairs
 	}
@@ -68,7 +82,10 @@ func Search(pairs []Pair, first, last uint64, workers int) (Result, error) {
 	)
 	cursorPtr := &cursor
 
-	start := time.Now()
+	var start time.Time
+	if clock != nil {
+		start = clock()
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -102,8 +119,10 @@ func Search(pairs []Pair, first, last uint64, workers int) (Result, error) {
 
 	res := Result{
 		Tested:  tested.Load(),
-		Seconds: time.Since(start).Seconds(),
 		Workers: workers,
+	}
+	if clock != nil {
+		res.Seconds = clock().Sub(start).Seconds()
 	}
 	if found.Load() {
 		res.Key = keyHit.Load()

@@ -55,13 +55,16 @@ func (m *CSR) Validate() error {
 // NNZ returns the number of stored nonzeros.
 func (m *CSR) NNZ() int { return len(m.Val) }
 
+// ErrGridSide is returned by NewLaplace2D for a non-positive grid side.
+var ErrGridSide = errors.New("linsolve: grid side must be positive")
+
 // NewLaplace2D builds the standard five-point Laplacian on an n×n grid
 // with Dirichlet boundaries: a symmetric positive-definite system of
 // n² unknowns, the canonical sparse test problem (and the discrete
 // operator under the finite-difference applications of Chapter 4).
-func NewLaplace2D(n int) *CSR {
+func NewLaplace2D(n int) (*CSR, error) {
 	if n < 1 {
-		panic("linsolve: grid side must be positive")
+		return nil, fmt.Errorf("%w: %d", ErrGridSide, n)
 	}
 	N := n * n
 	m := &CSR{N: N, RowPtr: make([]int, N+1)}
@@ -88,7 +91,7 @@ func NewLaplace2D(n int) *CSR {
 			m.RowPtr[row+1] = len(m.Col)
 		}
 	}
-	return m
+	return m, nil
 }
 
 // MulVec computes dst = M·x sequentially.

@@ -9,7 +9,7 @@ import (
 )
 
 func TestLaplaceStructure(t *testing.T) {
-	m := NewLaplace2D(4)
+	m := mustLaplace(t, 4)
 	if err := m.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func TestLaplaceStructure(t *testing.T) {
 }
 
 func TestValidateCatchesCorruption(t *testing.T) {
-	good := NewLaplace2D(3)
+	good := mustLaplace(t, 3)
 	cases := map[string]func(*CSR){
 		"rowptr length": func(m *CSR) { m.RowPtr = m.RowPtr[:m.N] },
 		"decreasing":    func(m *CSR) { m.RowPtr[1] = m.RowPtr[2] + 1 },
@@ -59,7 +59,7 @@ func TestValidateCatchesCorruption(t *testing.T) {
 
 func TestMulVecKnown(t *testing.T) {
 	// 1-D Laplacian action on a constant vector: interior rows give 2·c−2c=…
-	m := NewLaplace2D(3)
+	m := mustLaplace(t, 3)
 	x := make([]float64, m.N)
 	for i := range x {
 		x[i] = 1
@@ -79,7 +79,7 @@ func TestMulVecKnown(t *testing.T) {
 }
 
 func TestMulVecDimensionErrors(t *testing.T) {
-	m := NewLaplace2D(3)
+	m := mustLaplace(t, 3)
 	short := make([]float64, 2)
 	full := make([]float64, m.N)
 	if err := m.MulVec(short, full); !errors.Is(err, ErrDimension) {
@@ -91,7 +91,7 @@ func TestMulVecDimensionErrors(t *testing.T) {
 }
 
 func TestParallelMatchesSequential(t *testing.T) {
-	m := NewLaplace2D(17)
+	m := mustLaplace(t, 17)
 	rng := rand.New(rand.NewSource(7))
 	x := make([]float64, m.N)
 	for i := range x {
@@ -115,7 +115,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 }
 
 func TestCGSolvesLaplace(t *testing.T) {
-	m := NewLaplace2D(20)
+	m := mustLaplace(t, 20)
 	rng := rand.New(rand.NewSource(42))
 	want := make([]float64, m.N)
 	for i := range want {
@@ -145,7 +145,7 @@ func TestCGSolvesLaplace(t *testing.T) {
 }
 
 func TestCGZeroRHS(t *testing.T) {
-	m := NewLaplace2D(5)
+	m := mustLaplace(t, 5)
 	b := make([]float64, m.N)
 	x := make([]float64, m.N)
 	res, err := CG(m, b, x, 1e-12, 100, 1)
@@ -163,7 +163,7 @@ func TestCGZeroRHS(t *testing.T) {
 }
 
 func TestCGMaxIter(t *testing.T) {
-	m := NewLaplace2D(30)
+	m := mustLaplace(t, 30)
 	b := make([]float64, m.N)
 	for i := range b {
 		b[i] = 1
@@ -176,7 +176,7 @@ func TestCGMaxIter(t *testing.T) {
 }
 
 func TestCGDimensionErrors(t *testing.T) {
-	m := NewLaplace2D(3)
+	m := mustLaplace(t, 3)
 	if _, err := CG(m, make([]float64, 2), make([]float64, m.N), 1e-8, 10, 1); !errors.Is(err, ErrDimension) {
 		t.Errorf("short b: %v", err)
 	}
@@ -198,7 +198,7 @@ func TestDotAndNorm(t *testing.T) {
 // TestCGResidualProperty: for random SPD right-hand sides, CG's reported
 // residual matches the directly computed one.
 func TestCGResidualProperty(t *testing.T) {
-	m := NewLaplace2D(8)
+	m := mustLaplace(t, 8)
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		b := make([]float64, m.N)
@@ -222,5 +222,23 @@ func TestCGResidualProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Error(err)
+	}
+}
+
+// mustLaplace builds the test Laplacian, failing the test on error.
+func mustLaplace(tb testing.TB, n int) *CSR {
+	tb.Helper()
+	m, err := NewLaplace2D(n)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
+func TestNewLaplace2DRejectsBadSide(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		if _, err := NewLaplace2D(n); !errors.Is(err, ErrGridSide) {
+			t.Errorf("NewLaplace2D(%d): err = %v, want ErrGridSide", n, err)
+		}
 	}
 }

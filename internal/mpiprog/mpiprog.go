@@ -210,7 +210,10 @@ func (w *worker) collect(result []float64) error {
 // the inner products are AllReduce sums. It returns the solution and the
 // iteration count.
 func CG(gridSide int, b []float64, tol float64, maxIter, ranks int) ([]float64, int, error) {
-	m := linsolve.NewLaplace2D(gridSide)
+	m, err := linsolve.NewLaplace2D(gridSide)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrBadArgs, err)
+	}
 	if len(b) != m.N {
 		return nil, 0, fmt.Errorf("%w: b has %d entries, want %d", ErrBadArgs, len(b), m.N)
 	}
@@ -222,7 +225,7 @@ func CG(gridSide int, b []float64, tol float64, maxIter, ranks int) ([]float64, 
 	x := make([]float64, m.N)
 	iters := make([]float64, 1)
 
-	err := mpi.Run(ranks, func(r *mpi.Rank) error {
+	err = mpi.Run(ranks, func(r *mpi.Rank) error {
 		lo := r.ID * per
 		hi := lo + per
 		localB := b[lo:hi]

@@ -77,7 +77,7 @@ func TestShallowWaterPartitionErrors(t *testing.T) {
 // so bit-identity is not expected).
 func TestCGMatchesShared(t *testing.T) {
 	const side = 16
-	m := linsolve.NewLaplace2D(side)
+	m := mustLaplace(t, side)
 	rng := rand.New(rand.NewSource(9))
 	b := make([]float64, m.N)
 	for i := range b {
@@ -111,7 +111,7 @@ func TestCGMatchesShared(t *testing.T) {
 
 func TestCGResidualIsSmall(t *testing.T) {
 	const side = 12
-	m := linsolve.NewLaplace2D(side)
+	m := mustLaplace(t, side)
 	b := make([]float64, m.N)
 	for i := range b {
 		b[i] = 1
@@ -186,4 +186,14 @@ func TestKeySearchErrors(t *testing.T) {
 	if _, _, _, err := KeySearch(pairs, 0, 1<<53, 2); !errors.Is(err, ErrBadArgs) {
 		t.Errorf("oversize keyspace: %v", err)
 	}
+}
+
+// mustLaplace builds the test Laplacian, failing the test on error.
+func mustLaplace(tb testing.TB, n int) *linsolve.CSR {
+	tb.Helper()
+	m, err := linsolve.NewLaplace2D(n)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
 }

@@ -1,0 +1,51 @@
+package report
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestExhibitsAreByteIdenticalAcrossRuns is the reproducibility gate the
+// hpcvet detrand and maporder checkers exist to protect: regenerating
+// every exhibit — Tables 1–16, Figures 1–13, and the appendix extras —
+// twice in one process must produce byte-identical text. Map iteration
+// order, global random state, or a wall-clock read anywhere in the
+// pipeline breaks this test.
+func TestExhibitsAreByteIdenticalAcrossRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates every exhibit twice")
+	}
+	render := func() map[string]string {
+		out := map[string]string{}
+		for kind, builders := range map[string][]func() (*Table, error){
+			"table":  Tables(),
+			"figure": Figures(),
+			"extra":  Extras(),
+		} {
+			for i, build := range builders {
+				key := fmt.Sprintf("%s %d", kind, i+1)
+				tbl, err := build()
+				if err != nil {
+					t.Fatalf("%s: %v", key, err)
+				}
+				out[key] = tbl.String()
+			}
+		}
+		return out
+	}
+	first := render()
+	second := render()
+	if len(first) != len(second) {
+		t.Fatalf("exhibit count changed between runs: %d vs %d", len(first), len(second))
+	}
+	for key, a := range first {
+		b, ok := second[key]
+		if !ok {
+			t.Errorf("%s missing from second run", key)
+			continue
+		}
+		if a != b {
+			t.Errorf("%s is not byte-identical across two same-process regenerations:\nfirst:\n%s\nsecond:\n%s", key, a, b)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package report
+
+import (
+	"cmp"
+	"sort"
+)
+
+// SortedKeys returns the map's keys in ascending order. It exists so code
+// feeding the exhibit emitters never iterates a map directly: Go
+// randomizes map iteration order per run, and a map-ranged loop building
+// table rows makes the regenerable exhibits nondeterministic — which the
+// hpcvet maporder checker rejects. Collect the keys here, then range the
+// returned slice.
+func SortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	//hpcvet:allow maporder key collection is order-insensitive; callers receive the sorted slice
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return cmp.Less(keys[i], keys[j]) })
+	return keys
+}

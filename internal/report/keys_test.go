@@ -1,0 +1,22 @@
+package report
+
+import (
+	"slices"
+	"testing"
+)
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"mtops": 1, "ctp": 2, "mflops": 3}
+	got := SortedKeys(m)
+	want := []string{"ctp", "mflops", "mtops"}
+	if !slices.Equal(got, want) {
+		t.Errorf("SortedKeys = %v, want %v", got, want)
+	}
+	if keys := SortedKeys(map[int]string{}); len(keys) != 0 {
+		t.Errorf("SortedKeys(empty) = %v, want empty", keys)
+	}
+	ints := SortedKeys(map[int]bool{9: true, -3: true, 4: true})
+	if !slices.Equal(ints, []int{-3, 4, 9}) {
+		t.Errorf("SortedKeys(int keys) = %v", ints)
+	}
+}

@@ -66,7 +66,13 @@ func Detect(signal, template []complex128) (lag int, significance float64, err e
 // embedded at the given lag with the given amplitude inside Gaussian
 // clutter of unit power. Deterministic in seed.
 func SyntheticScene(template []complex128, lag int, amplitude float64, seed int64) []complex128 {
-	rng := rand.New(rand.NewSource(seed))
+	return SyntheticSceneRNG(template, lag, amplitude, rand.New(rand.NewSource(seed)))
+}
+
+// SyntheticSceneRNG is SyntheticScene drawing clutter from the caller's
+// explicitly seeded generator, for callers composing several stochastic
+// stages under one seed.
+func SyntheticSceneRNG(template []complex128, lag int, amplitude float64, rng *rand.Rand) []complex128 {
 	n := len(template)
 	out := make([]complex128, n)
 	for i := range out {

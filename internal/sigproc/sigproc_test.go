@@ -235,3 +235,23 @@ func TestFrameRateScalesLinearly(t *testing.T) {
 		t.Errorf("frame rate did not scale linearly: %v vs %v", r1, r2)
 	}
 }
+
+// TestSyntheticSceneRNGSameSeedIsByteIdentical: scene synthesis is a
+// function of its generator state alone.
+func TestSyntheticSceneRNGSameSeedIsByteIdentical(t *testing.T) {
+	tpl := make([]complex128, 64)
+	tpl[0], tpl[7] = complex(1, 0), complex(0, 1)
+	a := SyntheticSceneRNG(tpl, 9, 4, rand.New(rand.NewSource(21)))
+	b := SyntheticSceneRNG(tpl, 9, 4, rand.New(rand.NewSource(21)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := SyntheticScene(tpl, 9, 4, 21)
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("SyntheticScene(seed) != SyntheticSceneRNG(NewSource(seed)) at %d", i)
+		}
+	}
+}

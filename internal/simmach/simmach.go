@@ -117,8 +117,18 @@ type Result struct {
 // ErrNoSteps is returned when a workload produces no supersteps.
 var ErrNoSteps = errors.New("simmach: workload produced no supersteps")
 
-// Run simulates the workload on the machine.
+// Run simulates the workload on the machine with the default random
+// source: a generator seeded deterministically from the configuration (see
+// Seed), so repeated runs of the same configuration are bit-identical.
 func Run(m Machine, w Workload) (Result, error) {
+	return RunRNG(m, w, nil)
+}
+
+// RunRNG simulates the workload on the machine drawing load-imbalance
+// jitter from the caller's explicitly seeded generator, so callers — and
+// tests — own reproducibility end to end. A nil rng falls back to the
+// configuration-derived seed that Run uses.
+func RunRNG(m Machine, w Workload, rng *rand.Rand) (Result, error) {
 	if err := m.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -126,7 +136,9 @@ func Run(m Machine, w Workload) (Result, error) {
 	if len(steps) == 0 {
 		return Result{}, fmt.Errorf("%w: %s on %s", ErrNoSteps, w.Name(), m.Name)
 	}
-	rng := rand.New(rand.NewSource(seed(m, w)))
+	if rng == nil {
+		rng = rand.New(rand.NewSource(Seed(m, w)))
+	}
 
 	var comp, comm float64
 	for _, s := range steps {
@@ -152,9 +164,10 @@ func Run(m Machine, w Workload) (Result, error) {
 	return res, nil
 }
 
-// seed derives a deterministic seed from the configuration so repeated
-// runs are identical.
-func seed(m Machine, w Workload) int64 {
+// Seed derives the deterministic default seed Run uses from the machine
+// and workload names and the processor count, so repeated runs of one
+// configuration are identical and distinct configurations decorrelate.
+func Seed(m Machine, w Workload) int64 {
 	h := int64(1469598103934665603)
 	for _, s := range []string{m.Name, w.Name()} {
 		for i := 0; i < len(s); i++ {

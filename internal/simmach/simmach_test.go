@@ -2,6 +2,8 @@ package simmach
 
 import (
 	"errors"
+	"fmt"
+	"math/rand"
 	"strings"
 	"testing"
 )
@@ -218,5 +220,35 @@ func TestCouplingOrdering(t *testing.T) {
 			t.Errorf("%s faster than %s higher on the spectrum",
 				clusters[i], clusters[i-1])
 		}
+	}
+}
+
+// TestRunRNGSameSeedIsByteIdentical: threading the same explicitly seeded
+// generator through RunRNG reproduces the identical Result, and Run's
+// configuration-derived default equals RunRNG with Seed(m, w).
+func TestRunRNGSameSeedIsByteIdentical(t *testing.T) {
+	m := Cluster("repro", 12, 50, NetFDDI, true)
+	w := flat{name: "jittered", steps: []Step{{WorkMflop: 40, Bytes: 1e6, Messages: 4}, {WorkMflop: 40, Bytes: 1e6, Messages: 4}}, totalMF: 960}
+	a, err := RunRNG(m, w, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunRNG(m, w, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+		t.Errorf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+	def, err := Run(m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSeed, err := RunRNG(m, w, rand.New(rand.NewSource(Seed(m, w))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", def) != fmt.Sprintf("%+v", viaSeed) {
+		t.Errorf("Run != RunRNG(Seed(m, w)):\n%+v\n%+v", def, viaSeed)
 	}
 }

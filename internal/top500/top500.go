@@ -50,9 +50,17 @@ var ErrTooEarly = errors.New("top500: too few installations to fill a list")
 const perProductCap = 200
 
 // Generate builds the synthetic list for a (fractional) year. Generation
-// is deterministic: the same year always yields the identical list.
+// is deterministic: the same year always yields the identical list,
+// because the generator is seeded from the year itself.
 func Generate(year float64) (List, error) {
-	rng := rand.New(rand.NewSource(int64(year * 4)))
+	return GenerateRNG(year, rand.New(rand.NewSource(int64(year*4))))
+}
+
+// GenerateRNG builds the synthetic list for a (fractional) year drawing
+// retention and configuration scaling from the caller's explicitly seeded
+// generator. Identical seeds reproduce identical lists byte for byte;
+// alternative seeds give resampled populations for sensitivity runs.
+func GenerateRNG(year float64, rng *rand.Rand) (List, error) {
 	var candidates []Entry
 	for _, sys := range catalog.All() {
 		if float64(sys.Year) > year {

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"testing"
 
+	"fmt"
+	"math/rand"
 	"repro/internal/catalog"
 )
 
@@ -136,5 +138,34 @@ func TestByOriginDominatedBySuppliers(t *testing.T) {
 	suppliers := by[catalog.US] + by[catalog.Japan] + by[catalog.Europe]
 	if suppliers < 450 {
 		t.Errorf("supplier states hold %d of %d entries; listings were overwhelmingly Western", suppliers, Size)
+	}
+}
+
+// TestGenerateRNGSameSeedIsByteIdentical: identical seeds reproduce the
+// identical list, and Generate equals GenerateRNG with the year-derived
+// seed it documents.
+func TestGenerateRNGSameSeedIsByteIdentical(t *testing.T) {
+	const year = 1995.5
+	a, err := GenerateRNG(year, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateRNG(year, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+		t.Error("same seed produced different lists")
+	}
+	def, err := Generate(year)
+	if err != nil {
+		t.Fatal(err)
+	}
+	derived, err := GenerateRNG(year, rand.New(rand.NewSource(int64(year*4))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", def) != fmt.Sprintf("%+v", derived) {
+		t.Error("Generate != GenerateRNG with the documented year-derived seed")
 	}
 }
