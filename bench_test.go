@@ -16,6 +16,7 @@ import (
 	"repro/internal/keysearch"
 	"repro/internal/linsolve"
 	"repro/internal/nwp"
+	"repro/internal/parpool"
 	"repro/internal/report"
 	"repro/internal/simmach"
 	"repro/internal/threshold"
@@ -141,7 +142,9 @@ func BenchmarkShallowWater(b *testing.B) {
 	}
 }
 
-// BenchmarkShallowWaterParallel measures the goroutine-parallel solver.
+// BenchmarkShallowWaterParallel measures the pool-parallel solver: one
+// persistent pool serves every timed step, which is how step loops are
+// meant to use it.
 func BenchmarkShallowWaterParallel(b *testing.B) {
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
@@ -151,9 +154,34 @@ func BenchmarkShallowWaterParallel(b *testing.B) {
 			}
 			g.AddGaussian(64, 64, 10, 16)
 			dt := g.MaxStableDt()
+			p := parpool.New(workers)
+			defer p.Close()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if err := g.StepParallel(dt, workers); err != nil {
+				if err := g.StepOn(p, dt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShallowWaterRun measures a whole forecast run — many steps over
+// one grid — at two step counts. With a persistent pool the allocations per
+// run stay flat as the step count grows; with per-step fork-join they scale
+// linearly.
+func BenchmarkShallowWaterRun(b *testing.B) {
+	for _, steps := range []int{16, 128} {
+		b.Run(fmt.Sprintf("steps=%d", steps), func(b *testing.B) {
+			g, err := nwp.NewGrid(64, 100e3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g.AddGaussian(32, 32, 10, 8)
+			dt := g.MaxStableDt()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.RunParallel(steps, dt, 4); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -179,7 +207,7 @@ func BenchmarkKeySearch(b *testing.B) {
 // BenchmarkSparseCG measures the conjugate-gradient kernel behind the
 // structural-mechanics cost arguments.
 func BenchmarkSparseCG(b *testing.B) {
-	m := mustLaplaceBench(b, 64)
+	m := mustLaplaceBench(b, 128)
 	rhs := make([]float64, m.N)
 	for i := range rhs {
 		rhs[i] = 1
@@ -187,7 +215,7 @@ func BenchmarkSparseCG(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		x := make([]float64, m.N)
-		if _, err := linsolve.CG(m, rhs, x, 1e-8, 2000, 1); err != nil {
+		if _, err := linsolve.CG(m, rhs, x, 1e-8, 2000, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

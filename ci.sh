@@ -22,4 +22,10 @@ go run ./cmd/hpcvet ./...
 echo "== go test -race ./... =="
 go test -race ./...
 
+echo "== parpool barrier/reduction under -race, repeated =="
+go test -race -count=2 ./internal/parpool/
+
+echo "== bench smoke (one iteration of every benchmark) =="
+go test -run '^$' -bench . -benchtime=1x ./... > /dev/null
+
 echo "ci.sh: all checks passed"

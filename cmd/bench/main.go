@@ -1,0 +1,162 @@
+// bench runs the repository's benchmark suite and writes a
+// machine-readable baseline: one record per benchmark with ns/op,
+// B/op, and allocs/op. The committed BENCH_baseline.json is the first
+// point of the perf trajectory; later runs are compared against it.
+//
+// Usage:
+//
+//	go run ./cmd/bench                     # write BENCH_baseline.json
+//	go run ./cmd/bench -o /tmp/now.json    # write elsewhere
+//	go run ./cmd/bench -benchtime 100ms    # steadier timings
+//	go run ./cmd/bench -against BENCH_baseline.json -o /tmp/now.json
+//
+// With -against, the run prints a per-benchmark speedup column versus
+// the given baseline and exits nonzero if any shared benchmark
+// regressed by more than the -tolerance factor.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Record is one benchmark measurement.
+type Record struct {
+	NsPerOp     float64 `json:"ns_op"`
+	BytesPerOp  int64   `json:"bytes_op"`
+	AllocsPerOp int64   `json:"allocs_op"`
+}
+
+// benchLine matches a `go test -bench` result line, e.g.
+//
+//	BenchmarkSparseCG-8   1   123456 ns/op   400 B/op   5 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) MB/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	var (
+		out       = flag.String("o", "BENCH_baseline.json", "output file")
+		benchtime = flag.String("benchtime", "1x", "go test -benchtime value")
+		pattern   = flag.String("bench", ".", "go test -bench pattern")
+		against   = flag.String("against", "", "baseline file to compare against (optional)")
+		tolerance = flag.Float64("tolerance", 0, "fail if ns/op regresses by more than this factor (0 = report only)")
+	)
+	flag.Parse()
+
+	raw, err := runBenchmarks(*pattern, *benchtime)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(2)
+	}
+	records := parse(raw)
+	if len(records) == 0 {
+		fmt.Fprintln(os.Stderr, "bench: no benchmark results parsed")
+		os.Exit(2)
+	}
+
+	buf, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(2)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("bench: wrote %d benchmarks to %s\n", len(records), *out)
+
+	if *against != "" {
+		if !compare(*against, records, *tolerance) {
+			os.Exit(1)
+		}
+	}
+}
+
+// runBenchmarks invokes the go tool and returns its combined output.
+func runBenchmarks(pattern, benchtime string) ([]byte, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", pattern, "-benchtime", benchtime, "-benchmem", "./...")
+	var outBuf bytes.Buffer
+	cmd.Stdout = &outBuf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go test -bench: %w", err)
+	}
+	return outBuf.Bytes(), nil
+}
+
+// parse extracts benchmark records from go test output. The -N
+// GOMAXPROCS suffix is stripped so baselines compare across machines;
+// sub-benchmark paths (workers=4, n=128) are preserved.
+func parse(raw []byte) map[string]Record {
+	records := map[string]Record{}
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		rec := Record{NsPerOp: atof(m[2])}
+		if m[4] != "" {
+			rec.BytesPerOp = atoi(m[4])
+		}
+		if m[5] != "" {
+			rec.AllocsPerOp = atoi(m[5])
+		}
+		records[m[1]] = rec
+	}
+	return records
+}
+
+func atof(s string) float64 { v, _ := strconv.ParseFloat(s, 64); return v }
+func atoi(s string) int64   { v, _ := strconv.ParseInt(s, 10, 64); return v }
+
+// compare prints per-benchmark speedups versus a baseline file and
+// reports whether the run stays within tolerance.
+func compare(path string, now map[string]Record, tolerance float64) bool {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		return false
+	}
+	var base map[string]Record
+	if err := json.Unmarshal(buf, &base); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		return false
+	}
+	names := make([]string, 0, len(now))
+	for name := range now {
+		if _, ok := base[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	ok := true
+	for _, name := range names {
+		b, n := base[name], now[name]
+		if n.NsPerOp <= 0 || b.NsPerOp <= 0 {
+			continue
+		}
+		speedup := b.NsPerOp / n.NsPerOp
+		marker := ""
+		if tolerance > 0 && speedup < 1/tolerance {
+			marker = "  REGRESSED"
+			ok = false
+		}
+		fmt.Printf("%-60s %10.0f -> %10.0f ns/op  %5.2fx  allocs %d -> %d%s\n",
+			name, b.NsPerOp, n.NsPerOp, speedup, b.AllocsPerOp, n.AllocsPerOp, marker)
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "bench: regression beyond %.2fx tolerance versus %s\n", tolerance, path)
+	}
+	return ok
+}

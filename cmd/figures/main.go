@@ -5,6 +5,10 @@
 //	figures              # all thirteen figures as aligned text
 //	figures -n 11        # the June 1995 threshold snapshot
 //	figures -n 6 -tsv    # tab-separated series for plotting
+//	figures -workers 8   # build exhibits concurrently (0 = GOMAXPROCS)
+//
+// With -n 0 the figures are built concurrently over a worker pool and
+// emitted in figure order; the bytes are identical at every worker count.
 package main
 
 import (
@@ -12,23 +16,20 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/parpool"
 	"repro/internal/report"
 )
 
 func main() {
 	var (
-		n   = flag.Int("n", 0, "figure number (1-13); 0 = all")
-		tsv = flag.Bool("tsv", false, "emit tab-separated values")
+		n       = flag.Int("n", 0, "figure number (1-13); 0 = all")
+		tsv     = flag.Bool("tsv", false, "emit tab-separated values")
+		workers = flag.Int("workers", 0, "exhibit build workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	builders := report.Figures()
-	emit := func(i int) {
-		tbl, err := builders[i]()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "figures: figure %d: %v\n", i+1, err)
-			os.Exit(1)
-		}
+	emit := func(tbl *report.Table) {
 		if *tsv {
 			if err := tbl.TSV(os.Stdout); err != nil {
 				fmt.Fprintln(os.Stderr, "figures:", err)
@@ -47,10 +48,23 @@ func main() {
 			fmt.Fprintf(os.Stderr, "figures: no figure %d (have 1-%d)\n", *n, len(builders))
 			os.Exit(1)
 		}
-		emit(*n - 1)
+		tbl, err := builders[*n-1]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: figure %d: %v\n", *n, err)
+			os.Exit(1)
+		}
+		emit(tbl)
 		return
 	}
-	for i := range builders {
-		emit(i)
+
+	pool := parpool.New(*workers)
+	defer pool.Close()
+	tables, err := report.BuildAll(pool, builders)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	for _, tbl := range tables {
+		emit(tbl)
 	}
 }

@@ -5,6 +5,10 @@
 //	tables              # all sixteen tables as aligned text
 //	tables -n 4         # one table
 //	tables -n 5 -tsv    # tab-separated output for further processing
+//	tables -workers 8   # build exhibits concurrently (0 = GOMAXPROCS)
+//
+// With -n 0 the tables are built concurrently over a worker pool and
+// emitted in table order; the bytes are identical at every worker count.
 package main
 
 import (
@@ -12,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/parpool"
 	"repro/internal/report"
 )
 
@@ -20,6 +25,7 @@ func main() {
 		n        = flag.Int("n", 0, "table number (1-16); 0 = all")
 		tsv      = flag.Bool("tsv", false, "emit tab-separated values")
 		appendix = flag.Bool("appendix", false, "emit the appendix exhibits (A1-A8) instead")
+		workers  = flag.Int("workers", 0, "exhibit build workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -27,12 +33,7 @@ func main() {
 	if *appendix {
 		builders = report.Extras()
 	}
-	emit := func(i int) {
-		tbl, err := builders[i]()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tables: table %d: %v\n", i+1, err)
-			os.Exit(1)
-		}
+	emit := func(tbl *report.Table) {
 		if *tsv {
 			if err := tbl.TSV(os.Stdout); err != nil {
 				fmt.Fprintln(os.Stderr, "tables:", err)
@@ -51,10 +52,23 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tables: no table %d (have 1-%d)\n", *n, len(builders))
 			os.Exit(1)
 		}
-		emit(*n - 1)
+		tbl, err := builders[*n-1]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tables: table %d: %v\n", *n, err)
+			os.Exit(1)
+		}
+		emit(tbl)
 		return
 	}
-	for i := range builders {
-		emit(i)
+
+	pool := parpool.New(*workers)
+	defer pool.Close()
+	tables, err := report.BuildAll(pool, builders)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+	for _, tbl := range tables {
+		emit(tbl)
 	}
 }

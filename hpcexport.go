@@ -58,6 +58,7 @@ import (
 	"repro/internal/hydro"
 	"repro/internal/keysearch"
 	"repro/internal/nwp"
+	"repro/internal/parpool"
 	"repro/internal/psort"
 	"repro/internal/radar"
 	"repro/internal/raytrace"
@@ -367,7 +368,14 @@ type (
 	// RenderScene is a ray-traceable world (the replicated-problem
 	// workload).
 	RenderScene = raytrace.Scene
+	// WorkerPool is the persistent fork-join runtime shared by every
+	// parallel substrate: a sense-reversing barrier pool whose results
+	// are bit-identical at any worker count.
+	WorkerPool = parpool.Pool
 )
+
+// NewWorkerPool builds a WorkerPool; workers <= 0 means GOMAXPROCS.
+var NewWorkerPool = parpool.New
 
 // Substrate entry points for the mission areas.
 var (

@@ -1,0 +1,61 @@
+// Package poolclosure is an hpcvet fixture: the checkers must see through
+// parpool task closures. A pool changes when code runs, never what it may
+// do — an error dropped or a global random draw inside a Run task is
+// exactly as wrong as in straight-line code.
+package poolclosure
+
+import (
+	"math/rand"
+
+	"repro/internal/parpool"
+)
+
+// step is an in-module fallible kernel.
+func step(i int) error { return nil }
+
+// DropInTask loses an in-module error inside a pool task: flagged.
+func DropInTask(p *parpool.Pool, n int) {
+	p.Run(n, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			step(i)
+		}
+	})
+}
+
+// GlobalDrawInTask draws from the process-global source inside a pool
+// task — the exact bug that makes a sweep's bytes depend on the worker
+// count: flagged.
+func GlobalDrawInTask(p *parpool.Pool, out []float64) {
+	p.Run(len(out), func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = rand.Float64()
+		}
+	})
+}
+
+// Collected records each index's error in its own slot, the sweep idiom:
+// clean.
+func Collected(p *parpool.Pool, n int) error {
+	errs := make([]error, n)
+	p.Run(n, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			errs[i] = step(i)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PerBlockRNG threads an explicitly seeded generator per block: clean.
+func PerBlockRNG(p *parpool.Pool, out []float64) {
+	p.Run(len(out), func(w, lo, hi int) {
+		rng := rand.New(rand.NewSource(int64(lo)))
+		for i := lo; i < hi; i++ {
+			out[i] = rng.NormFloat64()
+		}
+	})
+}

@@ -63,19 +63,34 @@ func rate(m simmach.Machine) (units.Mtops, error) {
 }
 
 // Analyze measures the fleet at the given processor count against the
-// standard workload suite.
+// standard workload suite, running the simulations itself.
 func Analyze(procs int) ([]Row, error) {
+	fleet := simmach.Fleet(procs)
+	suite := workload.Suite()
+	results, err := simmach.Sweep(nil, fleet, suite)
+	if err != nil {
+		return nil, fmt.Errorf("ctpgap: %w", err)
+	}
+	return FromSweep(fleet, suite, results)
+}
+
+// FromSweep builds the gap matrix from an already-simulated machine ×
+// workload sweep (machine-major, as simmach.Sweep returns it), so callers
+// that share one sweep across several exhibits — the report layer
+// memoizes exactly this — pay for the simulations once.
+func FromSweep(fleet []simmach.Machine, suite []simmach.Workload, results []simmach.Result) ([]Row, error) {
+	if len(results) != len(fleet)*len(suite) {
+		return nil, fmt.Errorf("ctpgap: sweep has %d results for %d machines × %d workloads",
+			len(results), len(fleet), len(suite))
+	}
 	var rows []Row
-	for _, m := range simmach.Fleet(procs) {
+	for mi, m := range fleet {
 		rated, err := rate(m)
 		if err != nil {
 			return nil, fmt.Errorf("ctpgap: rating %s: %w", m.Name, err)
 		}
-		for _, w := range workload.Suite() {
-			res, err := simmach.Run(m, w)
-			if err != nil {
-				return nil, fmt.Errorf("ctpgap: %s on %s: %w", w.Name(), m.Name, err)
-			}
+		for wi, w := range suite {
+			res := results[mi*len(suite)+wi]
 			sustained := 0.0
 			if res.Seconds > 0 {
 				sustained = w.TotalMflop() / res.Seconds

@@ -3,10 +3,10 @@ package keysearch
 import (
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/parpool"
 )
 
 // Pair is one known plaintext/ciphertext pair. One 64-bit pair determines
@@ -59,26 +59,36 @@ func Search(pairs []Pair, first, last uint64, workers int) (Result, error) {
 	return SearchClock(pairs, first, last, workers, time.Now)
 }
 
-// SearchClock is Search with an injected clock. The clock is sampled once
-// before the workers start and once after they join; a nil clock skips
-// the measurement and leaves Result.Seconds zero.
+// SearchClock is Search with an injected clock. It spins up a transient
+// pool per call; repeated searches should create one parpool.Pool and
+// call SearchOn so the workers are reused across searches.
 func SearchClock(pairs []Pair, first, last uint64, workers int, clock Clock) (Result, error) {
+	p := parpool.New(workers)
+	defer p.Close()
+	return SearchOn(p, pairs, first, last, clock)
+}
+
+// SearchOn is Search over the given pool with an injected clock. The
+// whole exhaustive search runs as one pool superstep: each worker loops
+// on the atomic chunk cursor until the keyspace is exhausted or a hit is
+// found, so load balance stays dynamic while the fork-join cost is paid
+// by the pool, once. The clock is sampled once before the superstep and
+// once after it joins; a nil clock skips the measurement and leaves
+// Result.Seconds zero. A nil pool searches inline on one worker.
+func SearchOn(p *parpool.Pool, pairs []Pair, first, last uint64, clock Clock) (Result, error) {
 	if len(pairs) == 0 {
 		return Result{}, ErrNoPairs
 	}
 	if last < first {
 		return Result{}, fmt.Errorf("%w: [%d, %d]", ErrKeyspace, first, last)
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := p.Workers()
 
 	var (
 		cursor = first       // next unclaimed key (atomic)
 		tested atomic.Uint64 // keys actually tested
 		found  atomic.Bool   // early-exit flag
 		keyHit atomic.Uint64 // the winning key
-		wg     sync.WaitGroup
 	)
 	cursorPtr := &cursor
 
@@ -86,36 +96,31 @@ func SearchClock(pairs []Pair, first, last uint64, workers int, clock Clock) (Re
 	if clock != nil {
 		start = clock()
 	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for !found.Load() {
-				lo := atomic.AddUint64(cursorPtr, chunk) - chunk
-				if lo > last {
-					return
-				}
-				hi := lo + chunk - 1
-				if hi > last || hi < lo { // clamp, and guard wraparound
-					hi = last
-				}
-				n := uint64(0)
-				for k := lo; ; k++ {
-					n++
-					if match(k, pairs) {
-						keyHit.Store(k)
-						found.Store(true)
-						break
-					}
-					if k == hi {
-						break
-					}
-				}
-				tested.Add(n)
+	p.Run(workers, func(w, _, _ int) {
+		for !found.Load() {
+			lo := atomic.AddUint64(cursorPtr, chunk) - chunk
+			if lo > last {
+				return
 			}
-		}()
-	}
-	wg.Wait()
+			hi := lo + chunk - 1
+			if hi > last || hi < lo { // clamp, and guard wraparound
+				hi = last
+			}
+			n := uint64(0)
+			for k := lo; ; k++ {
+				n++
+				if match(k, pairs) {
+					keyHit.Store(k)
+					found.Store(true)
+					break
+				}
+				if k == hi {
+					break
+				}
+			}
+			tested.Add(n)
+		}
+	})
 
 	res := Result{
 		Tested:  tested.Load(),

@@ -12,8 +12,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
+
+	"repro/internal/parpool"
 )
 
 // CSR is a square sparse matrix in compressed sparse row form.
@@ -103,45 +103,68 @@ func (m *CSR) MulVec(dst, x []float64) error {
 	return nil
 }
 
+// mulRows computes dst[i] = (M·x)[i] for rows [r0, r1). Each row is a
+// fixed-order dot product over two interleaved accumulators — the split
+// breaks the floating-point dependence chain that serializes short CSR
+// rows — so the result depends only on the row, never on the caller's
+// partition or worker count.
 func (m *CSR) mulRows(dst, x []float64, r0, r1 int) {
+	rp, col, val := m.RowPtr, m.Col, m.Val
+	k := rp[r0]
 	for i := r0; i < r1; i++ {
-		var sum float64
-		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-			sum += m.Val[k] * x[m.Col[k]]
+		end := rp[i+1]
+		var s0, s1 float64
+		for ; k+1 < end; k += 2 {
+			s0 += val[k] * x[col[k]]
+			s1 += val[k+1] * x[col[k+1]]
 		}
-		dst[i] = sum
+		if k < end {
+			s0 += val[k] * x[col[k]]
+			k++
+		}
+		dst[i] = s0 + s1
 	}
 }
 
-// MulVecParallel computes dst = M·x with the given number of worker
-// goroutines (0 = GOMAXPROCS), partitioning rows into contiguous blocks.
-// The result is bit-identical to MulVec: each row's dot product is
-// evaluated in the same order.
-func (m *CSR) MulVecParallel(dst, x []float64, workers int) error {
+// MulVecOn computes dst = M·x over the given pool, partitioning rows into
+// the pool's contiguous blocks. The result is bit-identical to MulVec:
+// each row's dot product is evaluated in the same order, whatever the
+// worker count. A nil pool runs inline.
+func (m *CSR) MulVecOn(p *parpool.Pool, dst, x []float64) error {
 	if len(dst) != m.N || len(x) != m.N {
 		return fmt.Errorf("%w: N=%d dst=%d x=%d", ErrDimension, m.N, len(dst), len(x))
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	p.Run(m.N, func(w, r0, r1 int) { m.mulRows(dst, x, r0, r1) })
+	return nil
+}
+
+// MulVecParallel computes dst = M·x with the given number of worker
+// goroutines (0 = GOMAXPROCS). It spins up a transient pool per call for
+// API compatibility; iterative solvers should create one parpool.Pool and
+// call MulVecOn so the workers are reused across products.
+func (m *CSR) MulVecParallel(dst, x []float64, workers int) error {
 	if workers > m.N {
 		workers = m.N
 	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		r0 := m.N * w / workers
-		r1 := m.N * (w + 1) / workers
-		if r0 == r1 {
-			continue
+	p := parpool.New(workers)
+	defer p.Close()
+	return m.MulVecOn(p, dst, x)
+}
+
+// DotOn returns the inner product of two vectors over the pool through
+// the deterministic blocked reduction: partial sums are formed per fixed
+// parpool.ReduceBlock-sized block and combined by a fixed tree, so the
+// result is bit-identical at every worker count (including a nil pool) —
+// unlike a per-worker partition, whose partials would move with the
+// worker count.
+func DotOn(p *parpool.Pool, a, b []float64) float64 {
+	return p.ReduceFloat64(len(a), func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += a[i] * b[i]
 		}
-		wg.Add(1)
-		go func(a, b int) {
-			defer wg.Done()
-			m.mulRows(dst, x, a, b)
-		}(r0, r1)
-	}
-	wg.Wait()
-	return nil
+		return s
+	})
 }
 
 // Dot returns the inner product of two vectors.
@@ -156,24 +179,34 @@ func Dot(a, b []float64) float64 {
 // Norm2 returns the Euclidean norm.
 func Norm2(a []float64) float64 { return math.Sqrt(Dot(a, a)) }
 
-// axpy computes y += alpha·x.
-func axpy(alpha float64, x, y []float64) {
-	for i := range y {
-		y[i] += alpha * x[i]
-	}
-}
-
 // CGResult reports a conjugate-gradient solve.
 type CGResult struct {
 	Iterations int
 	Residual   float64 // final ‖b−Ax‖
 	Flop       float64 // floating-point operations performed
+
+	// ResidualHistory records ‖r‖ at the top of every iteration,
+	// initial residual first. Because every inner product goes through
+	// the deterministic blocked reduction, the history is bit-identical
+	// at every worker count — the determinism tests pin this.
+	ResidualHistory []float64
 }
 
 // CG solves M·x = b for symmetric positive-definite M by the conjugate
 // gradient method, overwriting x (whose incoming value is the initial
-// guess). workers parallelizes the matrix–vector products. It stops when
-// the residual norm falls below tol·‖b‖ or maxIter is reached.
+// guess). workers sets the pool size (0 = GOMAXPROCS); one persistent
+// pool serves every superstep of the solve, so no goroutines are spawned
+// after the first iteration. It stops when the residual norm falls below
+// tol·‖b‖ or maxIter is reached.
+//
+// Each iteration runs three fused supersteps over a fixed block grid of
+// parpool.ReduceBlock-sized row blocks: (1) ap = A·p fused with the
+// partial sums of p·ap, (2) the x and r updates fused with the partials
+// of r·r, (3) the direction update p = r + β·p. Fusing the inner products
+// into the passes that produce their operands both halves the memory
+// traffic of the textbook formulation and keeps every partial attached to
+// a fixed block index, which is what makes the iteration trajectory
+// worker-count invariant.
 func CG(m *CSR, b, x []float64, tol float64, maxIter, workers int) (CGResult, error) {
 	if err := m.Validate(); err != nil {
 		return CGResult{}, err
@@ -182,46 +215,110 @@ func CG(m *CSR, b, x []float64, tol float64, maxIter, workers int) (CGResult, er
 		return CGResult{}, fmt.Errorf("%w: N=%d b=%d x=%d", ErrDimension, m.N, len(b), len(x))
 	}
 	n := m.N
+
+	// Fixed block grid: partial sums live at block indices that depend
+	// only on n, never on the worker count.
+	const blockSize = parpool.ReduceBlock
+	nb := (n + blockSize - 1) / blockSize
+	if workers > nb {
+		workers = nb
+	}
+	pool := parpool.New(workers)
+	defer pool.Close()
+
 	r := make([]float64, n)
 	p := make([]float64, n)
 	ap := make([]float64, n)
-
-	// r = b − A·x
-	if err := m.MulVecParallel(ap, x, workers); err != nil {
-		return CGResult{}, err
+	partA := make([]float64, nb) // p·ap (and initially b·b) partials
+	partB := make([]float64, nb) // r·r partials
+	bounds := func(bi int) (int, int) {
+		lo := bi * blockSize
+		hi := lo + blockSize
+		if hi > n {
+			hi = n
+		}
+		return lo, hi
 	}
-	for i := range r {
-		r[i] = b[i] - ap[i]
-	}
-	copy(p, r)
 
-	var res CGResult
-	bnorm := Norm2(b)
+	// Initial superstep: ap = A·x, r = b − ap, p = r, with the b·b and
+	// r·r partials formed in the same pass.
+	pool.Run(nb, func(w, blo, bhi int) {
+		for bi := blo; bi < bhi; bi++ {
+			lo, hi := bounds(bi)
+			m.mulRows(ap, x, lo, hi)
+			var bb, rr float64
+			for i := lo; i < hi; i++ {
+				ri := b[i] - ap[i]
+				r[i] = ri
+				p[i] = ri
+				bb += b[i] * b[i]
+				rr += ri * ri
+			}
+			partA[bi] = bb
+			partB[bi] = rr
+		}
+	})
+	bnorm := math.Sqrt(parpool.TreeSum(partA))
 	if bnorm == 0 {
 		bnorm = 1
 	}
-	rr := Dot(r, r)
+	rr := parpool.TreeSum(partB)
+
+	var res CGResult
 	flopPerIter := float64(2*m.NNZ() + 10*n)
 
+	// The three iteration supersteps are built once and reused; alpha
+	// and beta are captured by reference and set between supersteps.
+	var alpha, beta float64
+	spmvDot := func(w, blo, bhi int) {
+		for bi := blo; bi < bhi; bi++ {
+			lo, hi := bounds(bi)
+			m.mulRows(ap, p, lo, hi)
+			var pap float64
+			for i := lo; i < hi; i++ {
+				pap += p[i] * ap[i]
+			}
+			partA[bi] = pap
+		}
+	}
+	updateXR := func(w, blo, bhi int) {
+		for bi := blo; bi < bhi; bi++ {
+			lo, hi := bounds(bi)
+			var rrNew float64
+			for i := lo; i < hi; i++ {
+				x[i] += alpha * p[i]
+				ri := r[i] - alpha*ap[i]
+				r[i] = ri
+				rrNew += ri * ri
+			}
+			partB[bi] = rrNew
+		}
+	}
+	updateP := func(w, blo, bhi int) {
+		for bi := blo; bi < bhi; bi++ {
+			lo, hi := bounds(bi)
+			for i := lo; i < hi; i++ {
+				p[i] = r[i] + beta*p[i]
+			}
+		}
+	}
+
 	for res.Iterations = 0; res.Iterations < maxIter; res.Iterations++ {
+		res.ResidualHistory = append(res.ResidualHistory, math.Sqrt(rr))
 		if math.Sqrt(rr) <= tol*bnorm {
 			res.Residual = math.Sqrt(rr)
 			return res, nil
 		}
-		if err := m.MulVecParallel(ap, p, workers); err != nil {
-			return CGResult{}, err
-		}
-		alpha := rr / Dot(p, ap)
-		axpy(alpha, p, x)
-		axpy(-alpha, ap, r)
-		rrNew := Dot(r, r)
-		beta := rrNew / rr
-		for i := range p {
-			p[i] = r[i] + beta*p[i]
-		}
+		pool.Run(nb, spmvDot)
+		alpha = rr / parpool.TreeSum(partA)
+		pool.Run(nb, updateXR)
+		rrNew := parpool.TreeSum(partB)
+		beta = rrNew / rr
+		pool.Run(nb, updateP)
 		rr = rrNew
 		res.Flop += flopPerIter
 	}
+	res.ResidualHistory = append(res.ResidualHistory, math.Sqrt(rr))
 	res.Residual = math.Sqrt(rr)
 	if res.Residual > tol*bnorm {
 		return res, fmt.Errorf("%w after %d iterations (residual %.3e)",

@@ -225,6 +225,53 @@ func TestCGResidualProperty(t *testing.T) {
 	}
 }
 
+// TestCGDeterministicAcrossWorkerCounts is the pool determinism contract
+// for the solver: the solution vector, the converged residual, and the
+// entire iteration-by-iteration residual history must be bit-identical at
+// every worker count, because the blocked reduction's summation tree
+// depends only on the problem size.
+func TestCGDeterministicAcrossWorkerCounts(t *testing.T) {
+	m := mustLaplace(t, 24)
+	rng := rand.New(rand.NewSource(19))
+	b := make([]float64, m.N)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	run := func(workers int) ([]float64, CGResult) {
+		x := make([]float64, m.N)
+		res, err := CG(m, b, x, 1e-10, 5000, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return x, res
+	}
+	wantX, wantRes := run(1)
+	if len(wantRes.ResidualHistory) == 0 {
+		t.Fatal("no residual history recorded")
+	}
+	for _, workers := range []int{0, 2, 3, 8, 300} {
+		x, res := run(workers)
+		if res.Iterations != wantRes.Iterations {
+			t.Fatalf("workers=%d: %d iterations, want %d", workers, res.Iterations, wantRes.Iterations)
+		}
+		if res.Residual != wantRes.Residual {
+			t.Errorf("workers=%d: residual %x, want %x (not bit-identical)",
+				workers, res.Residual, wantRes.Residual)
+		}
+		for k := range wantRes.ResidualHistory {
+			if res.ResidualHistory[k] != wantRes.ResidualHistory[k] {
+				t.Fatalf("workers=%d: residual history diverges at iteration %d: %x vs %x",
+					workers, k, res.ResidualHistory[k], wantRes.ResidualHistory[k])
+			}
+		}
+		for i := range wantX {
+			if x[i] != wantX[i] {
+				t.Fatalf("workers=%d: solution element %d differs", workers, i)
+			}
+		}
+	}
+}
+
 // mustLaplace builds the test Laplacian, failing the test on error.
 func mustLaplace(tb testing.TB, n int) *CSR {
 	tb.Helper()

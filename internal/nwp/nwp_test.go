@@ -4,6 +4,8 @@ import (
 	"errors"
 	"math"
 	"testing"
+
+	"repro/internal/parpool"
 )
 
 func newTestGrid(t *testing.T, n int) *Grid {
@@ -100,6 +102,41 @@ func TestParallelMatchesSequential(t *testing.T) {
 		for k := range seq.H {
 			if seq.H[k] != par.H[k] || seq.U[k] != par.U[k] || seq.V[k] != par.V[k] {
 				t.Fatalf("workers=%d: state diverged at cell %d", workers, k)
+			}
+		}
+	}
+}
+
+// TestPooledForecastMatchesSequential drives forecasts through one
+// long-lived pool — the intended production shape, with the pool shared
+// across grids and across RunOn/StepOn calls — and requires the final
+// state to be bit-identical to the sequential integration.
+func TestPooledForecastMatchesSequential(t *testing.T) {
+	for _, workers := range []int{2, 5, 64} {
+		p := parpool.New(workers)
+		seq := newTestGrid(t, 33)
+		dt := seq.MaxStableDt()
+		if _, err := seq.Run(60, dt); err != nil {
+			t.Fatal(err)
+		}
+		// Same pool serves a RunOn forecast and a step-at-a-time loop.
+		run := newTestGrid(t, 33)
+		if _, err := run.RunOn(p, 60, dt); err != nil {
+			t.Fatal(err)
+		}
+		stepped := newTestGrid(t, 33)
+		for s := 0; s < 60; s++ {
+			if err := stepped.StepOn(p, dt); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p.Close()
+		for k := range seq.H {
+			if run.H[k] != seq.H[k] || run.U[k] != seq.U[k] || run.V[k] != seq.V[k] {
+				t.Fatalf("workers=%d: RunOn diverged at cell %d", workers, k)
+			}
+			if stepped.H[k] != seq.H[k] || stepped.U[k] != seq.U[k] || stepped.V[k] != seq.V[k] {
+				t.Fatalf("workers=%d: StepOn diverged at cell %d", workers, k)
 			}
 		}
 	}

@@ -2,51 +2,65 @@ package nwp
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
+
+	"repro/internal/parpool"
 )
 
-// StepParallel advances the model one time step with the given number of
-// worker goroutines under a row-block domain decomposition. Each worker
-// reads the shared current state and writes only its own rows of the
-// scratch buffers, so the result is bit-identical to the sequential Step
-// — the parallelization changes wall-clock time, never the forecast.
-func (g *Grid) StepParallel(dt float64, workers int) error {
+// StepOn advances the model one time step over the given pool under a
+// row-block domain decomposition. Each worker reads the shared current
+// state and writes only its own rows of the scratch buffers, so the
+// result is bit-identical to the sequential Step — the parallelization
+// changes wall-clock time, never the forecast. A nil pool runs inline.
+func (g *Grid) StepOn(p *parpool.Pool, dt float64) error {
 	if err := g.CheckDt(dt); err != nil {
 		return err
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > g.N {
-		workers = g.N
-	}
-	var wg sync.WaitGroup
-	rows := g.N
-	for w := 0; w < workers; w++ {
-		i0 := rows * w / workers
-		i1 := rows * (w + 1) / workers
-		if i0 == i1 {
-			continue
-		}
-		wg.Add(1)
-		go func(a, b int) {
-			defer wg.Done()
-			g.stepRows(dt, a, b)
-		}(i0, i1)
-	}
-	wg.Wait()
+	p.Run(g.N, func(w, i0, i1 int) { g.stepRows(dt, i0, i1) })
 	g.swap()
 	return nil
 }
 
-// RunParallel advances the model the given number of steps with the given
-// worker count and returns the total floating-point work in Mflop.
-func (g *Grid) RunParallel(steps int, dt float64, workers int) (float64, error) {
+// RunOn advances the model the given number of steps over the pool and
+// returns the total floating-point work in Mflop. The superstep closure
+// is built once and reused for every step, so a run's allocations do not
+// grow with the step count — the fork-join cost is paid once by the pool,
+// not once per step.
+func (g *Grid) RunOn(p *parpool.Pool, steps int, dt float64) (float64, error) {
+	if err := g.CheckDt(dt); err != nil {
+		return 0, fmt.Errorf("step 0: %w", err)
+	}
+	task := func(w, i0, i1 int) { g.stepRows(dt, i0, i1) }
 	for s := 0; s < steps; s++ {
-		if err := g.StepParallel(dt, workers); err != nil {
-			return 0, fmt.Errorf("step %d: %w", s, err)
-		}
+		p.Run(g.N, task)
+		g.swap()
 	}
 	return float64(g.N) * float64(g.N) * float64(steps) * FlopPerCellStep / 1e6, nil
+}
+
+// StepParallel advances the model one time step with the given number of
+// worker goroutines. It spins up a transient pool per call for API
+// compatibility; step loops should create one parpool.Pool and use
+// StepOn/RunOn so the workers are reused across steps.
+func (g *Grid) StepParallel(dt float64, workers int) error {
+	p := newGridPool(g.N, workers)
+	defer p.Close()
+	return g.StepOn(p, dt)
+}
+
+// RunParallel advances the model the given number of steps with the given
+// worker count and returns the total floating-point work in Mflop. One
+// pool serves the whole run.
+func (g *Grid) RunParallel(steps int, dt float64, workers int) (float64, error) {
+	p := newGridPool(g.N, workers)
+	defer p.Close()
+	return g.RunOn(p, steps, dt)
+}
+
+// newGridPool builds a pool for this grid, clamping the worker count to
+// the row count exactly as the historical spawn loop did.
+func newGridPool(rows, workers int) *parpool.Pool {
+	if workers > rows {
+		workers = rows
+	}
+	return parpool.New(workers)
 }

@@ -1,0 +1,228 @@
+// Package parpool is the repository's persistent fork-join runtime: a
+// worker pool spawned once that serves thousands of supersteps through a
+// reusable sense-reversing barrier, plus a deterministic block-tree
+// reduction whose result is bit-identical at every worker count.
+//
+// The compute substrates (nwp, linsolve, raytrace, psort, keysearch) and
+// the exhibit pipeline all share the same parallel structure: split a
+// contiguous index range into one block per worker, run a task over each
+// block, join, repeat. Before this package each superstep paid a fresh
+// goroutine spawn and WaitGroup; a forecast run of S steps allocated S×W
+// goroutines. A Pool pays the spawn once: each Run flips a sense flag and
+// broadcasts, the workers execute their fixed block and decrement a join
+// counter, and the coordinator returns when the counter hits zero. The
+// partition is exactly the historical `n*w/workers` contiguous scheme, so
+// every adopted substrate produces byte-identical results.
+//
+// Determinism contract: a Pool never changes *what* is computed, only
+// when. Tasks must write only to their own block (or to per-worker slots);
+// any cross-block combination must go through ReduceFloat64 (or an
+// equivalent fixed-shape combine), whose summation order depends only on
+// the input length — never on the worker count or on scheduling order.
+package parpool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Task processes the contiguous index block [lo, hi). The worker index w
+// (0 ≤ w < Workers) identifies a per-worker scratch slot; lo and hi derive
+// from w by the fixed partition lo = n*w/W, hi = n*(w+1)/W.
+type Task func(w, lo, hi int)
+
+// Pool is a persistent set of worker goroutines coordinated by a
+// sense-reversing barrier. A Pool is a fork-join coordinator owned by one
+// orchestrating goroutine: Run, ReduceFloat64, and Close must not be
+// called concurrently with each other, and a Task must not call back into
+// its own Pool. The zero-value Pool is not usable; construct with New.
+//
+// A nil *Pool is valid everywhere and degrades to inline sequential
+// execution, so substrate code can thread an optional pool without
+// branching.
+type Pool struct {
+	workers int
+
+	mu    sync.Mutex
+	start *sync.Cond // workers wait here for the sense to flip
+	done  *sync.Cond // the coordinator waits here for the join count
+	sense bool       // flipped by the coordinator to release the workers
+	joins int        // workers still running the current superstep
+
+	n      int  // current superstep's index range
+	task   Task // current superstep's body
+	closed bool
+
+	red []float64 // reduction partials, reused across ReduceFloat64 calls
+}
+
+// New creates a pool with the given number of workers; workers <= 0 means
+// runtime.GOMAXPROCS(0). A single-worker pool spawns no goroutines at all
+// — every superstep executes inline on the coordinator — so `New(1)` is a
+// zero-overhead sequential runtime with the same partition semantics.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers}
+	p.start = sync.NewCond(&p.mu)
+	p.done = sync.NewCond(&p.mu)
+	if workers > 1 {
+		for w := 0; w < workers; w++ {
+			go p.work(w)
+		}
+	}
+	return p
+}
+
+// Workers reports the pool's worker count; a nil pool reports 1.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// work is the worker loop: wait for the barrier sense to flip, execute the
+// fixed block of the current superstep, join, repeat until closed.
+func (p *Pool) work(w int) {
+	sense := false
+	for {
+		p.mu.Lock()
+		for p.sense == sense {
+			p.start.Wait()
+		}
+		sense = p.sense
+		n, task, closed := p.n, p.task, p.closed
+		p.mu.Unlock()
+
+		if !closed {
+			lo := n * w / p.workers
+			hi := n * (w + 1) / p.workers
+			if lo < hi {
+				task(w, lo, hi)
+			}
+		}
+
+		p.mu.Lock()
+		p.joins--
+		if p.joins == 0 {
+			p.done.Signal()
+		}
+		p.mu.Unlock()
+
+		if closed {
+			return
+		}
+	}
+}
+
+// Run executes one superstep: the index range [0, n) is split into the
+// fixed contiguous blocks lo = n*w/W, hi = n*(w+1)/W and task runs once
+// per non-empty block. Run returns after every worker has joined. With
+// n < W the trailing workers receive empty blocks and skip the task, so
+// workers > n is safe. Run on a nil pool, a closed pool, or with n <= 0
+// executes what it can inline: nil pool and single-worker pools run
+// task(0, 0, n) on the coordinator; n <= 0 and closed pools are no-ops.
+func (p *Pool) Run(n int, task Task) {
+	if n <= 0 || task == nil {
+		return
+	}
+	if p == nil || p.workers == 1 {
+		task(0, 0, n)
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.n, p.task = n, task
+	p.joins = p.workers
+	p.sense = !p.sense
+	p.start.Broadcast()
+	for p.joins > 0 {
+		p.done.Wait()
+	}
+	p.task = nil
+	p.mu.Unlock()
+}
+
+// Close releases the worker goroutines. Further Runs are no-ops. Closing
+// a nil pool or closing twice is safe.
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	if p.workers > 1 {
+		p.joins = p.workers
+		p.sense = !p.sense
+		p.start.Broadcast()
+		for p.joins > 0 {
+			p.done.Wait()
+		}
+	}
+	p.mu.Unlock()
+}
+
+// ReduceBlock is the fixed reduction block size: partial sums are formed
+// over ReduceBlock-sized index blocks regardless of the worker count, so
+// the summation tree's shape — and therefore the floating-point result —
+// depends only on n.
+const ReduceBlock = 2048
+
+// ReduceFloat64 computes a deterministic parallel reduction over [0, n).
+// fn must return the partial value for the index block [lo, hi), computed
+// by a fixed sequential rule (typically a left-to-right sum). The partials
+// are formed one per ReduceBlock-sized block — in parallel across workers
+// — and combined by TreeSum's fixed pairwise tree, so the result is
+// bit-identical for every worker count, including a nil pool.
+func (p *Pool) ReduceFloat64(n int, fn func(lo, hi int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	nb := (n + ReduceBlock - 1) / ReduceBlock
+	var red []float64
+	if p == nil {
+		red = make([]float64, nb)
+	} else {
+		if cap(p.red) < nb {
+			p.red = make([]float64, nb)
+		}
+		red = p.red[:nb]
+	}
+	p.Run(nb, func(w, blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo := b * ReduceBlock
+			hi := lo + ReduceBlock
+			if hi > n {
+				hi = n
+			}
+			red[b] = fn(lo, hi)
+		}
+	})
+	return TreeSum(red)
+}
+
+// TreeSum folds a slice by a fixed pairwise tree — s[i] += s[i+stride]
+// for doubling strides — and returns the total. The combine order depends
+// only on len(s), which is what makes blocked reductions worker-count
+// invariant. The slice is consumed as scratch: its contents are
+// overwritten by the partial folds.
+func TreeSum(s []float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	for stride := 1; stride < len(s); stride <<= 1 {
+		for i := 0; i+stride < len(s); i += 2 * stride {
+			s[i] += s[i+stride]
+		}
+	}
+	return s[0]
+}

@@ -1,0 +1,242 @@
+package parpool
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPartitionMatchesHistoricalScheme verifies that every index in [0, n)
+// is visited exactly once and that each worker's block is exactly the
+// n*w/W contiguous range the substrates have always used.
+func TestPartitionMatchesHistoricalScheme(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		for _, n := range []int{1, 5, 16, 33, 100} {
+			p := New(workers)
+			visits := make([]int32, n)
+			p.Run(n, func(w, lo, hi int) {
+				if lo != n*w/workers || hi != n*(w+1)/workers {
+					t.Errorf("workers=%d n=%d w=%d: block [%d,%d), want [%d,%d)",
+						workers, n, w, lo, hi, n*w/workers, n*(w+1)/workers)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&visits[i], 1)
+				}
+			})
+			p.Close()
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestWorkersExceedN covers the workers > n edge: trailing workers get
+// empty blocks and must skip the task without executing it.
+func TestWorkersExceedN(t *testing.T) {
+	p := New(8)
+	defer p.Close()
+	var ran int32
+	p.Run(3, func(w, lo, hi int) {
+		if lo >= hi {
+			t.Errorf("task invoked with empty block [%d,%d)", lo, hi)
+		}
+		atomic.AddInt32(&ran, int32(hi-lo))
+	})
+	if ran != 3 {
+		t.Fatalf("covered %d indices, want 3", ran)
+	}
+}
+
+// TestInlinePaths covers the degenerate coordinators: a nil pool and a
+// single-worker pool both execute the task inline over the whole range.
+func TestInlinePaths(t *testing.T) {
+	for name, p := range map[string]*Pool{"nil": nil, "one": New(1)} {
+		calls := 0
+		p.Run(10, func(w, lo, hi int) {
+			calls++
+			if w != 0 || lo != 0 || hi != 10 {
+				t.Errorf("%s pool: got (w=%d, lo=%d, hi=%d), want (0, 0, 10)", name, w, lo, hi)
+			}
+		})
+		if calls != 1 {
+			t.Errorf("%s pool: task ran %d times, want 1", name, calls)
+		}
+		if got := p.Workers(); got != 1 {
+			t.Errorf("%s pool: Workers() = %d, want 1", name, got)
+		}
+		p.Close()
+	}
+}
+
+// TestZeroAndClosed covers the no-op paths: n <= 0, a nil task, Run after
+// Close, and double Close.
+func TestZeroAndClosed(t *testing.T) {
+	p := New(4)
+	ran := false
+	p.Run(0, func(w, lo, hi int) { ran = true })
+	p.Run(-3, func(w, lo, hi int) { ran = true })
+	p.Run(5, nil)
+	p.Close()
+	p.Close()
+	p.Run(5, func(w, lo, hi int) { ran = true })
+	if ran {
+		t.Fatal("task executed on an empty range or closed pool")
+	}
+}
+
+// TestManySuperstepsReuseWorkers drives thousands of supersteps through
+// one pool — the amortization the sense-reversing barrier exists for —
+// and checks every index is incremented exactly once per step.
+func TestManySuperstepsReuseWorkers(t *testing.T) {
+	const steps, n = 2000, 37
+	p := New(4)
+	defer p.Close()
+	counts := make([]int64, n)
+	task := func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			counts[i]++ // disjoint blocks: no atomics needed
+		}
+	}
+	for s := 0; s < steps; s++ {
+		p.Run(n, task)
+	}
+	for i, c := range counts {
+		if c != steps {
+			t.Fatalf("index %d incremented %d times, want %d", i, c, steps)
+		}
+	}
+}
+
+// reduceInput builds a deterministic ill-conditioned vector: alternating
+// magnitudes so that summation order changes the floating-point result,
+// making bitwise comparison across worker counts a real test.
+func reduceInput(n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(float64(i)*0.7) * math.Pow(10, float64(i%7)-3)
+	}
+	return x
+}
+
+// TestReduceBitIdenticalAcrossWorkerCounts is the determinism contract:
+// the blocked tree reduction must be bit-identical for every worker
+// count, including the nil-pool sequential path.
+func TestReduceBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	for _, n := range []int{1, 100, ReduceBlock, ReduceBlock + 1, 3*ReduceBlock + 17, 10 * ReduceBlock} {
+		x := reduceInput(n)
+		sum := func(lo, hi int) float64 {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += x[i]
+			}
+			return s
+		}
+		var nilPool *Pool
+		want := nilPool.ReduceFloat64(n, sum)
+		for _, workers := range []int{1, 2, 3, 7, 16} {
+			p := New(workers)
+			for rep := 0; rep < 3; rep++ { // reuse exercises the scratch path
+				got := p.ReduceFloat64(n, sum)
+				if got != want {
+					t.Errorf("n=%d workers=%d rep=%d: sum %x, want %x (not bit-identical)",
+						n, workers, rep, got, want)
+				}
+			}
+			p.Close()
+		}
+	}
+}
+
+// TestReduceEmpty covers the zero-length reduction.
+func TestReduceEmpty(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	if got := p.ReduceFloat64(0, func(lo, hi int) float64 { return 1 }); got != 0 {
+		t.Fatalf("empty reduction = %v, want 0", got)
+	}
+}
+
+// TestTreeSumShape pins the fixed combine tree: the fold must equal the
+// explicit pairwise tree, not a left-to-right accumulation.
+func TestTreeSumShape(t *testing.T) {
+	if got := TreeSum(nil); got != 0 {
+		t.Fatalf("TreeSum(nil) = %v, want 0", got)
+	}
+	if got := TreeSum([]float64{42}); got != 42 {
+		t.Fatalf("TreeSum([42]) = %v, want 42", got)
+	}
+	s := []float64{1e16, 1, 1e16, 1, 3, 4}
+	want := ((1e16 + 1) + (1e16 + 1)) + (3 + 4)
+	if got := TreeSum(append([]float64(nil), s...)); got != want {
+		t.Fatalf("TreeSum = %x, want pairwise-tree value %x", got, want)
+	}
+}
+
+// TestRunSerializesSupersteps checks the join: Run must not return until
+// every worker has finished, so two consecutive supersteps never overlap.
+func TestRunSerializesSupersteps(t *testing.T) {
+	p := New(8)
+	defer p.Close()
+	var inFlight, maxSeen int32
+	var mu sync.Mutex
+	for s := 0; s < 50; s++ {
+		p.Run(8, func(w, lo, hi int) {
+			cur := atomic.AddInt32(&inFlight, 1)
+			mu.Lock()
+			if cur > maxSeen {
+				maxSeen = cur
+			}
+			mu.Unlock()
+			atomic.AddInt32(&inFlight, -1)
+		})
+		if got := atomic.LoadInt32(&inFlight); got != 0 {
+			t.Fatalf("step %d: Run returned with %d workers still in flight", s, got)
+		}
+	}
+	if maxSeen < 1 {
+		t.Fatal("no task executed")
+	}
+}
+
+// BenchmarkSuperstep compares a pooled superstep against the historical
+// spawn-per-step fork-join it replaces, at the nwp-step work unit.
+func BenchmarkSuperstep(b *testing.B) {
+	const n = 128
+	work := make([]float64, n*n)
+	task := func(w, lo, hi int) {
+		for i := lo * n; i < hi*n; i++ {
+			work[i] += 1
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("pool/workers=%d", workers), func(b *testing.B) {
+			p := New(workers)
+			defer p.Close()
+			for i := 0; i < b.N; i++ {
+				p.Run(n, task)
+			}
+		})
+		b.Run(fmt.Sprintf("spawn/workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					lo, hi := n*w/workers, n*(w+1)/workers
+					if lo == hi {
+						continue
+					}
+					wg.Add(1)
+					go func(w, lo, hi int) {
+						defer wg.Done()
+						task(w, lo, hi)
+					}(w, lo, hi)
+				}
+				wg.Wait()
+			}
+		})
+	}
+}

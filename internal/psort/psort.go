@@ -6,19 +6,22 @@
 // commercial "data mining" machines of Chapter 3 (Unisys OPUS, ncube,
 // SP2) ran their decision-support queries on the same pattern.
 //
-// The algorithm: sample the input, choose worker−1 splitters, partition
-// every element into its bucket (concurrently), sort each bucket
-// (concurrently), and concatenate — a shape whose only serial phase is
-// the tiny splitter selection, which is why database scans parallelized
-// so well on loosely coupled machines.
+// The algorithm: sample the input, choose worker−1 splitters, then run
+// three supersteps over a parpool.Pool — count each worker's per-bucket
+// element totals, scatter every element into a single shared scratch
+// slice at its precomputed offset, and sort each bucket back into place.
+// The count/scatter formulation replaces the historical per-worker
+// `make([][]T, buckets)` append churn with one flat counts array and one
+// scratch slice reused across the phases, so a sort performs a constant
+// number of allocations regardless of worker count.
 package psort
 
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
+
+	"repro/internal/parpool"
 )
 
 // oversample is the number of samples drawn per splitter; more samples
@@ -26,14 +29,22 @@ import (
 const oversample = 8
 
 // Sort sorts data in place using the given number of workers
-// (0 = GOMAXPROCS), comparing with less. The sort is not stable.
+// (0 = GOMAXPROCS), comparing with less. The sort is not stable. It spins
+// up a transient pool per call; repeated sorts should create one
+// parpool.Pool and call SortOn so the workers are reused.
 func Sort[T any](data []T, workers int, less func(a, b T) bool) error {
+	p := parpool.New(workers)
+	defer p.Close()
+	return SortOn(p, data, less)
+}
+
+// SortOn sorts data in place over the given pool. A nil pool sorts
+// sequentially.
+func SortOn[T any](p *parpool.Pool, data []T, less func(a, b T) bool) error {
 	if less == nil {
 		return errors.New("psort: nil comparison")
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := p.Workers()
 	n := len(data)
 	// Small inputs or one worker: plain sort.
 	if workers == 1 || n < 2*workers*oversample {
@@ -57,9 +68,6 @@ func Sort[T any](data []T, workers int, less func(a, b T) bool) error {
 	}
 	buckets := len(splitters) + 1
 
-	// 2. Partition concurrently: each worker classifies a slice range into
-	// its own per-bucket lists, merged afterward (no locks on the hot
-	// path).
 	bucketOf := func(v T) int {
 		lo, hi := 0, len(splitters)
 		for lo < hi {
@@ -73,53 +81,57 @@ func Sort[T any](data []T, workers int, less func(a, b T) bool) error {
 		return lo
 	}
 
-	partial := make([][][]T, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		i0 := n * w / workers
-		i1 := n * (w + 1) / workers
-		wg.Add(1)
-		go func(w, i0, i1 int) {
-			defer wg.Done()
-			mine := make([][]T, buckets)
-			for _, v := range data[i0:i1] {
-				b := bucketOf(v)
-				mine[b] = append(mine[b], v)
-			}
-			partial[w] = mine
-		}(w, i0, i1)
-	}
-	wg.Wait()
+	// 2. Count superstep: each worker tallies its contiguous range into
+	// its own row of the flat counts matrix (no locks, no appends).
+	counts := make([]int, workers*buckets)
+	p.Run(n, func(w, i0, i1 int) {
+		c := counts[w*buckets : (w+1)*buckets]
+		for _, v := range data[i0:i1] {
+			c[bucketOf(v)]++
+		}
+	})
 
-	// 3. Concatenate per bucket, then sort buckets concurrently back into
-	// the original slice.
+	// Exclusive prefix offsets in bucket-major, then worker order — the
+	// same element layout the historical per-bucket concatenation
+	// produced, so the unstable bucket sorts see identical input and the
+	// result is unchanged.
 	offsets := make([]int, buckets+1)
-	bucketData := make([][]T, buckets)
+	next := make([]int, workers*buckets)
+	pos := 0
 	for b := 0; b < buckets; b++ {
-		var size int
+		offsets[b] = pos
 		for w := 0; w < workers; w++ {
-			size += len(partial[w][b])
+			next[w*buckets+b] = pos
+			pos += counts[w*buckets+b]
 		}
-		bucketData[b] = make([]T, 0, size)
-		for w := 0; w < workers; w++ {
-			bucketData[b] = append(bucketData[b], partial[w][b]...)
-		}
-		offsets[b+1] = offsets[b] + size
 	}
-	if offsets[buckets] != n {
-		return fmt.Errorf("psort: partition lost elements (%d of %d)", offsets[buckets], n)
+	offsets[buckets] = pos
+	if pos != n {
+		return fmt.Errorf("psort: partition lost elements (%d of %d)", pos, n)
 	}
 
-	for b := 0; b < buckets; b++ {
-		wg.Add(1)
-		go func(b int) {
-			defer wg.Done()
-			bd := bucketData[b]
+	// 3. Scatter superstep: re-walk the same ranges, placing each element
+	// at its worker's next slot for the bucket. Distinct (worker, bucket)
+	// pairs own disjoint scratch ranges, so no synchronization is needed.
+	scratch := make([]T, n)
+	p.Run(n, func(w, i0, i1 int) {
+		nx := next[w*buckets : (w+1)*buckets]
+		for _, v := range data[i0:i1] {
+			b := bucketOf(v)
+			scratch[nx[b]] = v
+			nx[b]++
+		}
+	})
+
+	// 4. Sort superstep: sort each bucket in scratch and copy it back
+	// into the original slice.
+	p.Run(buckets, func(w, b0, b1 int) {
+		for b := b0; b < b1; b++ {
+			bd := scratch[offsets[b]:offsets[b+1]]
 			sort.Slice(bd, func(i, j int) bool { return less(bd[i], bd[j]) })
 			copy(data[offsets[b]:offsets[b+1]], bd)
-		}(b)
-	}
-	wg.Wait()
+		}
+	})
 	return nil
 }
 

@@ -17,8 +17,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
+
+	"repro/internal/parpool"
 )
 
 // Vec is a 3-vector.
@@ -172,30 +172,24 @@ func (s Scene) shade(o, d Vec, depth int) Vec {
 
 // Render produces a width×height image (row-major RGB) sequentially.
 func (s Scene) Render(width, height int) ([]Vec, error) {
-	return s.RenderParallel(width, height, 1)
+	return s.RenderOn(nil, width, height)
 }
 
-// RenderParallel renders with the given number of scanline workers
-// (0 = GOMAXPROCS). Each pixel depends only on the scene, so the result
-// is bit-identical at any worker count.
-func (s Scene) RenderParallel(width, height, workers int) ([]Vec, error) {
+// RenderOn renders over the given pool, one scanline block per worker.
+// Each pixel depends only on the scene, so the result is bit-identical at
+// any worker count. A nil pool renders inline.
+func (s Scene) RenderOn(p *parpool.Pool, width, height int) ([]Vec, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
 	if width < 1 || height < 1 {
 		return nil, fmt.Errorf("raytrace: bad image %dx%d", width, height)
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > height {
-		workers = height
-	}
 	img := make([]Vec, width*height)
 	cam := Vec{0, 1.2, 0}
 	aspect := float64(width) / float64(height)
 
-	renderRows := func(y0, y1 int) {
+	p.Run(height, func(w, y0, y1 int) {
 		for y := y0; y < y1; y++ {
 			for x := 0; x < width; x++ {
 				// Screen coordinates in [-1, 1], y flipped.
@@ -205,23 +199,20 @@ func (s Scene) RenderParallel(width, height, workers int) ([]Vec, error) {
 				img[y*width+x] = s.shade(cam, dir, 0)
 			}
 		}
-	}
-
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		r0 := height * w / workers
-		r1 := height * (w + 1) / workers
-		if r0 == r1 {
-			continue
-		}
-		wg.Add(1)
-		go func(a, b int) {
-			defer wg.Done()
-			renderRows(a, b)
-		}(r0, r1)
-	}
-	wg.Wait()
+	})
 	return img, nil
+}
+
+// RenderParallel renders with the given number of scanline workers
+// (0 = GOMAXPROCS) on a transient pool; animation loops should create one
+// parpool.Pool and call RenderOn per frame so the workers are reused.
+func (s Scene) RenderParallel(width, height, workers int) ([]Vec, error) {
+	if workers > height {
+		workers = height
+	}
+	p := parpool.New(workers)
+	defer p.Close()
+	return s.RenderOn(p, width, height)
 }
 
 // Luminance returns the mean image brightness, a cheap content check.

@@ -3,6 +3,8 @@ package report
 import (
 	"fmt"
 	"testing"
+
+	"repro/internal/parpool"
 )
 
 // TestExhibitsAreByteIdenticalAcrossRuns is the reproducibility gate the
@@ -46,6 +48,41 @@ func TestExhibitsAreByteIdenticalAcrossRuns(t *testing.T) {
 		}
 		if a != b {
 			t.Errorf("%s is not byte-identical across two same-process regenerations:\nfirst:\n%s\nsecond:\n%s", key, a, b)
+		}
+	}
+}
+
+// TestBuildAllMatchesSequentialAtAnyWorkerCount extends the byte-identity
+// gate to the parallel exhibit pipeline: BuildAll over pools of every
+// size must return the same tables, in the same order, rendering to the
+// same bytes as calling each builder sequentially.
+func TestBuildAllMatchesSequentialAtAnyWorkerCount(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates every exhibit once per worker count")
+	}
+	builders := append(append(Tables(), Figures()...), Extras()...)
+	want := make([]string, len(builders))
+	for i, build := range builders {
+		tbl, err := build()
+		if err != nil {
+			t.Fatalf("builder %d: %v", i, err)
+		}
+		want[i] = tbl.String()
+	}
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		p := parpool.New(workers)
+		tables, err := BuildAll(p, builders)
+		p.Close()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(tables) != len(want) {
+			t.Fatalf("workers=%d: %d tables, want %d", workers, len(tables), len(want))
+		}
+		for i, tbl := range tables {
+			if got := tbl.String(); got != want[i] {
+				t.Errorf("workers=%d: exhibit %d (%s) differs from sequential build", workers, i, tbl.ID)
+			}
 		}
 	}
 }

@@ -23,7 +23,11 @@ import (
 // ExtraA1 tabulates the CTP-vs-deliverable gap: the Chapter 6 argument
 // that the metric cannot distinguish real utility, measured.
 func ExtraA1() (*Table, error) {
-	rows, err := ctpgap.Analyze(16)
+	sweep, err := fleetSweep()
+	if err != nil {
+		return nil, err
+	}
+	rows, err := ctpgap.FromSweep(sweep.fleet, sweep.suite, sweep.results)
 	if err != nil {
 		return nil, err
 	}

@@ -251,7 +251,7 @@ func Figure10() (*Table, error) {
 // Figure11 regenerates "Threshold Analysis: June 1995 Snapshot" — the
 // paper's central exhibit.
 func Figure11() (*Table, error) {
-	s, err := threshold.Take(1995.45)
+	s, err := studySnapshot()
 	if err != nil {
 		return nil, err
 	}
@@ -285,10 +285,11 @@ func Figure11() (*Table, error) {
 
 // Figure12 regenerates "Trends in Distribution of Top500 Installations".
 func Figure12() (*Table, error) {
-	rows, err := top500.DistributionTrend(1993.5, 1998.5)
+	lists, err := trendLists()
 	if err != nil {
 		return nil, err
 	}
+	rows := top500.DistributionOf(lists)
 	t := &Table{
 		ID:     "Figure 12",
 		Title:  "Trends in Distribution of Top500 Installations",
@@ -306,10 +307,11 @@ func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
 // Figure13 regenerates "Top500 Trends and the Lower Bound of
 // Controllability".
 func Figure13() (*Table, error) {
-	rows, err := top500.FrontierTrend(1993.5, 1998.5)
+	lists, err := trendLists()
 	if err != nil {
 		return nil, err
 	}
+	rows := top500.FrontierOf(lists)
 	t := &Table{
 		ID:     "Figure 13",
 		Title:  "Top500 Trends and the Lower Bound of Controllability",

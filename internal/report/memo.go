@@ -1,0 +1,114 @@
+package report
+
+import (
+	"sync"
+
+	"repro/internal/parpool"
+	"repro/internal/simmach"
+	"repro/internal/threshold"
+	"repro/internal/top500"
+	"repro/internal/workload"
+)
+
+// The exhibits share a handful of expensive substrate computations: the
+// machine × workload simulation sweep (Table 5 and the Appendix A1 gap
+// matrix), the synthetic Top500 population (Figures 12 and 13), and the
+// mid-1995 threshold snapshot (Figure 11 and Table 16). Each is memoized
+// so one process — a sequential CLI run, a concurrent BuildAll, or the
+// test suite — computes it exactly once, whichever exhibit asks first.
+// The cached values are treated as read-only by every consumer; since
+// each would be recomputed bit-identically, caching cannot change any
+// exhibit's bytes.
+//
+// The builds run inline (nil pool) because a builder may itself be
+// executing as a pool task in BuildAll, and a Pool is not reentrant.
+
+// Study-period parameters the memoized layer is keyed to — the same
+// literals the exhibits have always used.
+const (
+	studyDate  = 1995.45 // mid-June 1995, the paper's analysis date
+	trendFirst = 1993.5  // first semiannual Top500 list
+	trendLast  = 1998.5  // last semiannual Top500 list
+	fleetProcs = 16      // Table 5's processor count
+)
+
+// memo caches one computation and its error for the life of the process.
+type memo[T any] struct {
+	once sync.Once
+	v    T
+	err  error
+}
+
+func (m *memo[T]) get(build func() (T, error)) (T, error) {
+	m.once.Do(func() { m.v, m.err = build() })
+	return m.v, m.err
+}
+
+// sweepData is the simulated fleet, the workload suite, and the
+// machine-major results of running every pair.
+type sweepData struct {
+	fleet   []simmach.Machine
+	suite   []simmach.Workload
+	results []simmach.Result
+}
+
+var (
+	memoSweep    memo[sweepData]
+	memoLists    memo[[]top500.List]
+	memoSnapshot memo[*threshold.Snapshot]
+	memoTable16  memo[[]threshold.CapabilityRow]
+)
+
+// fleetSweep returns the memoized Table 5 simulation sweep.
+func fleetSweep() (sweepData, error) {
+	return memoSweep.get(func() (sweepData, error) {
+		fleet := simmach.Fleet(fleetProcs)
+		suite := workload.Suite()
+		results, err := simmach.Sweep(nil, fleet, suite)
+		if err != nil {
+			return sweepData{}, err
+		}
+		return sweepData{fleet: fleet, suite: suite, results: results}, nil
+	})
+}
+
+// trendLists returns the memoized semiannual Top500 population.
+func trendLists() ([]top500.List, error) {
+	return memoLists.get(func() ([]top500.List, error) {
+		return top500.Lists(trendFirst, trendLast)
+	})
+}
+
+// studySnapshot returns the memoized mid-1995 threshold snapshot.
+func studySnapshot() (*threshold.Snapshot, error) {
+	return memoSnapshot.get(func() (*threshold.Snapshot, error) {
+		return threshold.Take(studyDate)
+	})
+}
+
+// capabilityRows returns the memoized Table 16 capability matrix.
+func capabilityRows() ([]threshold.CapabilityRow, error) {
+	return memoTable16.get(func() ([]threshold.CapabilityRow, error) {
+		return threshold.Table16(studyDate)
+	})
+}
+
+// BuildAll runs the exhibit builders over the given pool and returns the
+// built tables in builder order — the emission order never depends on the
+// worker count or on which builder finishes first. The first builder
+// error (in builder order) is returned. A nil pool builds sequentially.
+func BuildAll(p *parpool.Pool, builders []func() (*Table, error)) ([]*Table, error) {
+	tables := make([]*Table, len(builders))
+	errs := make([]error, len(builders))
+	p.Run(len(builders), func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			tables[i], errs[i] = builders[i]()
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return tables, nil
+}

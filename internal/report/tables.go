@@ -6,9 +6,6 @@ import (
 	"repro/internal/apps"
 	"repro/internal/catalog"
 	"repro/internal/controllability"
-	"repro/internal/simmach"
-	"repro/internal/threshold"
-	"repro/internal/workload"
 )
 
 // systemsTable renders one country's indigenous-systems table.
@@ -72,23 +69,22 @@ func p2(v float64) string { return fmt.Sprintf("%.2f", v) }
 // measured quantity the spectrum encodes: simulated speedup of each
 // machine class at 16 processors on the granularity suite.
 func Table05() (*Table, error) {
-	fleet := simmach.Fleet(16)
-	suite := workload.Suite()
+	sweep, err := fleetSweep()
+	if err != nil {
+		return nil, fmt.Errorf("report: table 5: %w", err)
+	}
 	t := &Table{
 		ID:     "Table 5",
 		Title:  "Spectrum of HPC Architectures (simulated speedups, 16 processors)",
 		Header: []string{"architecture"},
 	}
-	for _, w := range suite {
+	for _, w := range sweep.suite {
 		t.Header = append(t.Header, w.Name())
 	}
-	for _, m := range fleet {
+	for mi, m := range sweep.fleet {
 		row := []interface{}{m.Name}
-		for _, w := range suite {
-			r, err := simmach.Run(m, w)
-			if err != nil {
-				return nil, fmt.Errorf("report: table 5: %w", err)
-			}
+		for wi := range sweep.suite {
+			r := sweep.results[mi*len(sweep.suite)+wi]
 			row = append(row, fmt.Sprintf("%.1f×", r.Speedup))
 		}
 		t.AddRow(row...)
@@ -208,7 +204,7 @@ func Table15() (*Table, error) {
 // Table16 regenerates "Foreign Capability in Selected Applications" at the
 // study's date.
 func Table16() (*Table, error) {
-	rows, err := threshold.Table16(1995.45)
+	rows, err := capabilityRows()
 	if err != nil {
 		return nil, err
 	}

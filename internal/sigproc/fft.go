@@ -31,6 +31,19 @@ func FFT(x []complex128) error {
 	if n == 0 || n&(n-1) != 0 {
 		return fmt.Errorf("%w: %d", ErrLength, n)
 	}
+	fft(x, nil)
+	return nil
+}
+
+// fft runs the bit-reversal permutation and butterfly stages over x, whose
+// length is already validated as a power of two. With tw == nil each
+// twiddle is computed on the fly; otherwise tw[s][k] supplies stage s's
+// k-th twiddle. The butterflies within a stage touch disjoint index pairs,
+// so iterating k before start (amortizing one twiddle across all blocks)
+// performs exactly the same arithmetic as the historical start-major order
+// and the transform stays bit-identical either way.
+func fft(x []complex128, tw [][]complex128) {
+	n := len(x)
 	// Bit-reversal permutation.
 	shift := 64 - uint(bits.TrailingZeros(uint(n)))
 	for i := 1; i < n; i++ {
@@ -40,12 +53,23 @@ func FFT(x []complex128) error {
 		}
 	}
 	// Butterflies.
+	s := 0
 	for size := 2; size <= n; size <<= 1 {
 		half := size >> 1
 		step := -2 * math.Pi / float64(size)
-		for start := 0; start < n; start += size {
-			for k := 0; k < half; k++ {
-				w := cmplx.Exp(complex(0, step*float64(k)))
+		var row []complex128
+		if tw != nil {
+			row = tw[s]
+			s++
+		}
+		for k := 0; k < half; k++ {
+			var w complex128
+			if row != nil {
+				w = row[k]
+			} else {
+				w = cmplx.Exp(complex(0, step*float64(k)))
+			}
+			for start := 0; start < n; start += size {
 				a := x[start+k]
 				b := x[start+k+half] * w
 				x[start+k] = a + b
@@ -53,7 +77,6 @@ func FFT(x []complex128) error {
 			}
 		}
 	}
-	return nil
 }
 
 // IFFT computes the inverse transform of x in place.

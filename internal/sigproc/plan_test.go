@@ -1,0 +1,183 @@
+package sigproc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func randomSignal(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+// TestPlanMatchesFreeFFT: the planned transform must be bit-identical to
+// the free function — precomputing twiddles may not change a single bit.
+func TestPlanMatchesFreeFFT(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 64, 1024} {
+		p, err := NewPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Size() != n {
+			t.Fatalf("Size() = %d, want %d", p.Size(), n)
+		}
+		free := randomSignal(n, int64(n))
+		planned := append([]complex128(nil), free...)
+		if err := FFT(free); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.FFT(planned); err != nil {
+			t.Fatal(err)
+		}
+		for i := range free {
+			if free[i] != planned[i] {
+				t.Fatalf("n=%d: FFT bin %d differs: %v vs %v", n, i, free[i], planned[i])
+			}
+		}
+		if err := IFFT(free); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.IFFT(planned); err != nil {
+			t.Fatal(err)
+		}
+		for i := range free {
+			if free[i] != planned[i] {
+				t.Fatalf("n=%d: IFFT sample %d differs", n, i)
+			}
+		}
+	}
+}
+
+// TestPlanMatchesFreeConvolveAndFilter: the scratch-reusing pipelines must
+// reproduce the allocating free functions bit for bit, including on reuse
+// (stale scratch contents must never leak into a later call).
+func TestPlanMatchesFreeConvolveAndFilter(t *testing.T) {
+	const n = 256
+	p, err := NewPlan(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 3; rep++ {
+		a := randomSignal(n, int64(10+rep))
+		b := randomSignal(n, int64(20+rep))
+		wantConv, err := Convolve(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotConv := make([]complex128, n)
+		if err := p.Convolve(gotConv, a, b); err != nil {
+			t.Fatal(err)
+		}
+		for i := range wantConv {
+			if wantConv[i] != gotConv[i] {
+				t.Fatalf("rep %d: convolution sample %d differs", rep, i)
+			}
+		}
+		wantCorr, err := MatchedFilter(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotCorr := make([]float64, n)
+		if err := p.MatchedFilter(gotCorr, a, b); err != nil {
+			t.Fatal(err)
+		}
+		for i := range wantCorr {
+			if wantCorr[i] != gotCorr[i] {
+				t.Fatalf("rep %d: correlation lag %d differs", rep, i)
+			}
+		}
+		wantLag, wantSig, err := Detect(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotLag, gotSig, err := p.Detect(gotCorr, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotLag != wantLag || gotSig != wantSig {
+			t.Fatalf("rep %d: Detect (%d, %v), want (%d, %v)", rep, gotLag, gotSig, wantLag, wantSig)
+		}
+	}
+}
+
+// TestPlanAliasedConvolve: dst may alias an input.
+func TestPlanAliasedConvolve(t *testing.T) {
+	const n = 64
+	p, err := NewPlan(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := randomSignal(n, 3)
+	b := randomSignal(n, 4)
+	want, err := Convolve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Convolve(a, a, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != a[i] {
+			t.Fatalf("aliased convolution sample %d differs", i)
+		}
+	}
+}
+
+// TestPlanErrors covers construction and length-mismatch failures.
+func TestPlanErrors(t *testing.T) {
+	for _, n := range []int{0, 3, 100} {
+		if _, err := NewPlan(n); !errors.Is(err, ErrLength) {
+			t.Errorf("NewPlan(%d): err = %v, want ErrLength", n, err)
+		}
+	}
+	p, err := NewPlan(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := make([]complex128, 8)
+	right := make([]complex128, 16)
+	if err := p.FFT(wrong); err == nil {
+		t.Error("FFT accepted wrong length")
+	}
+	if err := p.IFFT(wrong); err == nil {
+		t.Error("IFFT accepted wrong length")
+	}
+	if err := p.Convolve(make([]complex128, 16), wrong, right); err == nil {
+		t.Error("Convolve accepted wrong a length")
+	}
+	if err := p.Convolve(make([]complex128, 8), right, right); err == nil {
+		t.Error("Convolve accepted short dst")
+	}
+	if err := p.MatchedFilter(make([]float64, 16), wrong, right); err == nil {
+		t.Error("MatchedFilter accepted wrong signal length")
+	}
+	if err := p.MatchedFilter(make([]float64, 8), right, right); err == nil {
+		t.Error("MatchedFilter accepted short dst")
+	}
+}
+
+// TestPlanSteadyStateAllocs: after construction, the planned detection
+// chain must not allocate.
+func TestPlanSteadyStateAllocs(t *testing.T) {
+	const n = 512
+	p, err := NewPlan(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signal := randomSignal(n, 7)
+	template := randomSignal(n, 8)
+	corr := make([]float64, n)
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, _, err := p.Detect(corr, signal, template); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("planned Detect allocates %v times per run, want 0", allocs)
+	}
+}

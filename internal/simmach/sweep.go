@@ -1,0 +1,32 @@
+package simmach
+
+import (
+	"repro/internal/parpool"
+)
+
+// Sweep simulates every machine × workload pair over the given pool,
+// returning results in machine-major order: results[mi*len(ws)+wi] is
+// machine mi on workload wi. Each pair draws its jitter from its own
+// configuration-derived generator (see Seed), so the sweep is
+// deterministic and bit-identical at any worker count — parallelism
+// reorders only the wall clock, never a random stream. A nil pool sweeps
+// inline.
+func Sweep(p *parpool.Pool, ms []Machine, ws []Workload) ([]Result, error) {
+	nm, nw := len(ms), len(ws)
+	if nm == 0 || nw == 0 {
+		return nil, nil
+	}
+	results := make([]Result, nm*nw)
+	errs := make([]error, nm*nw)
+	p.Run(nm*nw, func(w, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			results[k], errs[k] = Run(ms[k/nw], ws[k%nw])
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

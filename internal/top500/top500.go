@@ -156,19 +156,32 @@ type ClassShare struct {
 	Other  float64
 }
 
-// DistributionTrend produces Figure 12's series: the class shares of the
-// semiannual lists between the first and last year inclusive.
-func DistributionTrend(firstYear, lastYear float64) ([]ClassShare, error) {
-	var out []ClassShare
+// Lists generates the semiannual lists between the first and last year
+// inclusive — the population both trend figures read. Callers that need
+// several statistics of the same period (the report layer memoizes
+// exactly this) generate the lists once and derive each figure with
+// DistributionOf and FrontierOf.
+func Lists(firstYear, lastYear float64) ([]List, error) {
+	var out []List
 	for y := firstYear; y <= lastYear+1e-9; y += 0.5 {
 		l, err := Generate(y)
 		if err != nil {
 			return nil, err
 		}
+		out = append(out, l)
+	}
+	return out, nil
+}
+
+// DistributionOf derives Figure 12's series — the class shares of each
+// list — from an already-generated population.
+func DistributionOf(lists []List) []ClassShare {
+	var out []ClassShare
+	for _, l := range lists {
 		counts := l.ByClass()
 		total := float64(len(l.Entries))
 		share := ClassShare{
-			Year:   y,
+			Year:   l.Year,
 			Vector: float64(counts[catalog.VectorSuper]) / total,
 			MPPs:   float64(counts[catalog.MPP]) / total,
 			SMPs:   float64(counts[catalog.SMPServer]) / total,
@@ -179,7 +192,17 @@ func DistributionTrend(firstYear, lastYear float64) ([]ClassShare, error) {
 		}
 		out = append(out, share)
 	}
-	return out, nil
+	return out
+}
+
+// DistributionTrend produces Figure 12's series: the class shares of the
+// semiannual lists between the first and last year inclusive.
+func DistributionTrend(firstYear, lastYear float64) ([]ClassShare, error) {
+	lists, err := Lists(firstYear, lastYear)
+	if err != nil {
+		return nil, err
+	}
+	return DistributionOf(lists), nil
 }
 
 // FrontierOvertake is one Figure 13 row: how far the uncontrollability
@@ -193,21 +216,17 @@ type FrontierOvertake struct {
 	FractionBelow float64 // fraction of the list the frontier has overtaken
 }
 
-// FrontierTrend produces Figure 13's series: list statistics alongside the
-// lower bound of controllability, semiannually.
-func FrontierTrend(firstYear, lastYear float64) ([]FrontierOvertake, error) {
+// FrontierOf derives Figure 13's series — list statistics alongside the
+// lower bound of controllability — from an already-generated population.
+func FrontierOf(lists []List) []FrontierOvertake {
 	var out []FrontierOvertake
-	for y := firstYear; y <= lastYear+1e-9; y += 0.5 {
-		l, err := Generate(y)
-		if err != nil {
-			return nil, err
-		}
-		frontier, _, ok := controllability.Frontier(y, controllability.Options{})
+	for _, l := range lists {
+		frontier, _, ok := controllability.Frontier(l.Year, controllability.Options{})
 		if !ok {
 			frontier = 0
 		}
 		out = append(out, FrontierOvertake{
-			Year:          y,
+			Year:          l.Year,
 			EntryLevel:    l.EntryLevel(),
 			Median:        l.Median(),
 			Max:           l.Max(),
@@ -215,7 +234,17 @@ func FrontierTrend(firstYear, lastYear float64) ([]FrontierOvertake, error) {
 			FractionBelow: l.FractionBelow(frontier),
 		})
 	}
-	return out, nil
+	return out
+}
+
+// FrontierTrend produces Figure 13's series: list statistics alongside the
+// lower bound of controllability, semiannually.
+func FrontierTrend(firstYear, lastYear float64) ([]FrontierOvertake, error) {
+	lists, err := Lists(firstYear, lastYear)
+	if err != nil {
+		return nil, err
+	}
+	return FrontierOf(lists), nil
 }
 
 // EntryLevelSeries returns the entry-level ratings as a trend series for
