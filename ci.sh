@@ -19,13 +19,24 @@ go vet ./...
 echo "== hpcvet ./... =="
 go run ./cmd/hpcvet ./...
 
+echo "== go vet ./cmd/hpcexportd =="
+go vet ./cmd/hpcexportd
+
 echo "== go test -race ./... =="
 go test -race ./...
+
+echo "== go test -shuffle=on ./... =="
+go test -shuffle=on ./... > /dev/null
 
 echo "== parpool barrier/reduction under -race, repeated =="
 go test -race -count=2 ./internal/parpool/
 
 echo "== bench smoke (one iteration of every benchmark) =="
 go test -run '^$' -bench . -benchtime=1x ./... > /dev/null
+
+# Fuzz smoke (not run in CI — native fuzzing is wall-clock heavy; run
+# locally before touching the parsers or the service request path):
+#   go test -fuzz=FuzzParseCTP -fuzztime=30s ./internal/ctp
+#   go test -fuzz=FuzzLicenseRequest -fuzztime=30s ./internal/serve
 
 echo "ci.sh: all checks passed"

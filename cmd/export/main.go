@@ -17,35 +17,16 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/apps"
-	"repro/internal/catalog"
-	"repro/internal/glossary"
-	"repro/internal/regime"
+	"repro/internal/report"
 )
 
 func main() {
 	what := flag.String("what", "all", "dataset: catalog, apps, timeline, glossary, all")
 	flag.Parse()
 
-	var v interface{}
-	switch *what {
-	case "catalog":
-		v = catalog.All()
-	case "apps":
-		v = apps.All()
-	case "timeline":
-		v = regime.Timeline()
-	case "glossary":
-		v = glossary.All()
-	case "all":
-		v = map[string]interface{}{
-			"catalog":  catalog.All(),
-			"apps":     apps.All(),
-			"timeline": regime.Timeline(),
-			"glossary": glossary.All(),
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "export: unknown dataset %q\n", *what)
+	v, err := report.Dataset(*what)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "export:", err)
 		os.Exit(1)
 	}
 

@@ -9,14 +9,19 @@
 //	exportctl -date 1997.5        # a later review
 //	exportctl -date 1995.45 -capability   # include Table 16
 //	exportctl -project            # add the frontier projection
+//	exportctl -serve http://localhost:8095   # query a running hpcexportd
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/serve/client"
 	"repro/internal/threshold"
 )
 
@@ -25,8 +30,21 @@ func main() {
 		date       = flag.Float64("date", 1995.45, "review date as a fractional year")
 		capability = flag.Bool("capability", false, "print foreign capability (Table 16)")
 		project    = flag.Bool("project", false, "print the frontier projection")
+		serveURL   = flag.String("serve", "", "query a running hpcexportd at this base URL instead of computing locally")
 	)
 	flag.Parse()
+
+	if *serveURL != "" {
+		if *capability {
+			fmt.Fprintln(os.Stderr, "exportctl: -capability is computed locally; drop it when using -serve")
+			os.Exit(1)
+		}
+		if err := remoteReview(*serveURL, *date, *project); err != nil {
+			fmt.Fprintln(os.Stderr, "exportctl:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	s, err := threshold.Take(*date)
 	if err != nil {
@@ -110,4 +128,65 @@ func yn(b bool) string {
 		return "yes"
 	}
 	return "no"
+}
+
+// remoteReview prints the review by querying a running hpcexportd through
+// the service client instead of computing the snapshot locally.
+func remoteReview(base string, date float64, project bool) error {
+	api, err := client.New(base, &http.Client{Timeout: 30 * time.Second})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	snap, err := api.Threshold(ctx, date, project)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("Threshold analysis at %.2f (served by %s)\n", snap.Date, base)
+	fmt.Println("==========================")
+	fmt.Printf("lower bound (line A):   %.0f Mtops — %s\n", snap.LowerBoundMtops, snap.LowerBoundSystem)
+	fmt.Printf("maximum available (D):  %.0f Mtops — %s\n", snap.MaxAvailableMtops, snap.MaxAvailableSystem)
+	fmt.Println()
+
+	fmt.Println("basic premises:")
+	for _, p := range snap.Premises {
+		verdict := "FAILS"
+		if p.Holds {
+			verdict = "holds"
+		}
+		fmt.Printf("  %s: %s (strength %.2f) — %s\n", p.Premise, verdict, p.Strength, p.Evidence)
+	}
+	fmt.Println()
+
+	if snap.Range != nil {
+		fmt.Printf("valid threshold range: %.0f – %.0f Mtops\n", snap.Range.LoMtops, snap.Range.HiMtops)
+	} else {
+		fmt.Println("NO VALID THRESHOLD RANGE: the premises do not hold")
+	}
+	fmt.Println()
+
+	for _, c := range snap.Clusters {
+		marker := " "
+		if c.Significant {
+			marker = "*"
+		}
+		fmt.Printf("  %s %s cluster: %d applications starting at %.0f Mtops\n",
+			marker, c.Category, c.Apps, c.StartMtops)
+	}
+	fmt.Println()
+
+	for _, rec := range snap.Recommendations {
+		fmt.Printf("recommended threshold (%s): %.0f Mtops\n", rec.Perspective, rec.Mtops)
+	}
+
+	if snap.Projection != nil {
+		fmt.Println()
+		fmt.Printf("frontier growth: %s\n", snap.Projection.Formula)
+		for _, tgt := range snap.Projection.Reaches {
+			fmt.Printf("  frontier reaches %.0f Mtops ≈ %.1f\n", tgt.Mtops, tgt.Year)
+		}
+	}
+	return nil
 }

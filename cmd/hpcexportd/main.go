@@ -1,0 +1,86 @@
+// hpcexportd serves the reproduction's framework as a long-lived HTTP
+// JSON API: license decisions under the regime, filterable catalog and
+// application queries, and the basic-premises threshold snapshot, layered
+// over the memoized exhibit substrates and per-request LRU caches.
+//
+// Usage:
+//
+//	hpcexportd                         # serve on localhost:8095
+//	hpcexportd -addr :9000             # another address
+//	hpcexportd -inflight 128 -timeout 5s -batch 512 -cache 65536
+//	hpcexportd -quiet                  # no per-request log lines
+//
+// The daemon drains gracefully on SIGTERM or SIGINT: the listener closes
+// at once, in-flight requests get -drain to finish, and the process exits
+// zero on a clean drain.
+//
+// Endpoints (see README "Serving the framework" for curl examples):
+//
+//	POST /v1/license    {"system":"Cray C916","destination":"india"}
+//	GET  /v1/license    ?ctp=21125&dest=france&threshold=1500
+//	GET  /v1/catalog    ?origin=russia&minctp=100
+//	GET  /v1/apps      ?mission=cryptology&deployed=false
+//	GET  /v1/threshold  ?date=1995.45&project=true
+//	GET  /v1/healthz
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", serve.DefaultAddr, "listen address")
+		inflight = flag.Int("inflight", serve.DefaultMaxInFlight, "maximum concurrent requests")
+		timeout  = flag.Duration("timeout", serve.DefaultRequestTimeout, "per-request deadline")
+		batch    = flag.Int("batch", serve.DefaultMaxBatch, "largest accepted license batch")
+		cache    = flag.Int("cache", serve.DefaultCacheSize, "entries per LRU cache")
+		drain    = flag.Duration("drain", serve.DefaultDrainTimeout, "shutdown drain window")
+		quiet    = flag.Bool("quiet", false, "disable per-request logging")
+	)
+	flag.Parse()
+
+	var logger *log.Logger
+	if !*quiet {
+		logger = log.New(os.Stderr, "hpcexportd ", log.LstdFlags)
+	}
+	s, err := serve.New(serve.Config{
+		Addr:           *addr,
+		MaxInFlight:    *inflight,
+		RequestTimeout: *timeout,
+		MaxBatch:       *batch,
+		CacheSize:      *cache,
+		DrainTimeout:   *drain,
+		Clock:          time.Now,
+		Logger:         logger,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hpcexportd:", err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hpcexportd:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "hpcexportd: serving on http://%s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := s.Serve(ctx, ln); err != nil {
+		fmt.Fprintln(os.Stderr, "hpcexportd:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "hpcexportd: drained cleanly")
+}

@@ -1,0 +1,101 @@
+// Serving the framework: start an hpcexportd query service in-process on
+// an ephemeral port, ask it the questions a licensing desk would ask —
+// single decisions, a batch, a catalog query, the framework snapshot —
+// through the typed Go client, and drain it cleanly.
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/serve/client"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "serving:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	s, err := serve.New(serve.Config{Clock: time.Now})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "localhost:0")
+	if err != nil {
+		return err
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, ln) }()
+
+	api, err := client.New("http://"+ln.Addr().String(), nil)
+	if err != nil {
+		stop()
+		return err
+	}
+	qctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	// One decision: the C916 sale to India the paper's regime machinery
+	// adjudicates, under the threshold in force at the study date.
+	d, err := api.License(qctx, serve.LicenseRequest{System: "Cray C916", Destination: "India"})
+	if err != nil {
+		stop()
+		return err
+	}
+	fmt.Printf("%s (%.0f Mtops) → %s [%s]: %s\n", d.System, d.CTPMtops, d.Destination, d.Tier, d.Outcome)
+
+	// A batch: the same machine across the five tiers.
+	dests := []string{"japan", "france", "sweden", "india", "iran"}
+	reqs := make([]serve.LicenseRequest, len(dests))
+	for i, dest := range dests {
+		reqs[i] = serve.LicenseRequest{CTP: 21125, Destination: dest}
+	}
+	items, err := api.LicenseBatch(qctx, reqs)
+	if err != nil {
+		stop()
+		return err
+	}
+	for i, it := range items {
+		if it.Error != "" {
+			fmt.Printf("  %-8s → error: %s\n", dests[i], it.Error)
+			continue
+		}
+		fmt.Printf("  %-8s → %s (%d safeguards)\n", dests[i], it.Decision.Outcome, len(it.Decision.Safeguards))
+	}
+
+	// A dataset query: indigenous Russian systems above 100 Mtops.
+	cat, err := api.Catalog(qctx, serve.CatalogQuery{Origin: "russia", MinCTP: 100})
+	if err != nil {
+		stop()
+		return err
+	}
+	fmt.Printf("Russian indigenous systems at or above 100 Mtops: %d\n", cat.Count)
+
+	// The framework snapshot the whole service exists to serve.
+	snap, err := api.Threshold(qctx, 0, false)
+	if err != nil {
+		stop()
+		return err
+	}
+	fmt.Printf("snapshot %.2f: lower bound %.0f Mtops (%s), valid range %v\n",
+		snap.Date, snap.LowerBoundMtops, snap.LowerBoundSystem, snap.Range != nil)
+
+	h, err := api.Healthz(qctx)
+	if err != nil {
+		stop()
+		return err
+	}
+	fmt.Printf("served %d requests; decision cache %d entries (%d hits, %d misses)\n",
+		h.Requests, h.Decisions.Size, h.Decisions.Hits, h.Decisions.Misses)
+
+	stop()
+	return <-done
+}

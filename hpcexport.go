@@ -65,6 +65,8 @@ import (
 	"repro/internal/regime"
 	"repro/internal/report"
 	"repro/internal/safeguards"
+	"repro/internal/serve"
+	"repro/internal/serve/client"
 	"repro/internal/sigproc"
 	"repro/internal/simmach"
 	"repro/internal/threshold"
@@ -335,6 +337,34 @@ var (
 	TierOf = safeguards.TierOf
 	// PolicyTimeline returns the Chapter 1 policy history.
 	PolicyTimeline = regime.Timeline
+	// ThresholdInForce returns the control threshold in legal force at a
+	// date.
+	ThresholdInForce = regime.ThresholdInForce
+)
+
+// ---- The query service -------------------------------------------------------
+
+// Service types: the hpcexportd daemon's server and its typed Go client.
+type (
+	// ServeConfig configures a query-service Server.
+	ServeConfig = serve.Config
+	// Server is the framework query service (the hpcexportd daemon's
+	// engine): license decisions, dataset queries, and threshold
+	// snapshots over HTTP JSON, backed by memoized substrates and LRU
+	// caches.
+	Server = serve.Server
+	// ServiceClient is the typed Go client for a running query service.
+	ServiceClient = client.Client
+	// ServiceLicenseRequest is one license query against the service.
+	ServiceLicenseRequest = serve.LicenseRequest
+)
+
+// Query-service entry points.
+var (
+	// NewServer builds a query service from a ServeConfig.
+	NewServer = serve.New
+	// NewServiceClient builds a client for a service base URL.
+	NewServiceClient = client.New
 )
 
 // TrendSeries re-exports the trend machinery for custom analyses.

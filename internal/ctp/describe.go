@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 
 	"repro/internal/units"
@@ -85,10 +86,26 @@ func FindElement(name string) (CatalogElement, error) {
 	}
 }
 
+// Plausibility bounds for described configurations. The spec format is an
+// external input (files, HTTP request bodies), and the fuzz targets found
+// that absurd magnitudes — a trillion processors, an exahertz clock —
+// produce ratings that are numerically finite but physically meaningless.
+// The caps sit far above anything the period (or the foreseeable future of
+// the period) built.
+const (
+	maxSpecCount       = 1_000_000 // processors in one configuration
+	maxSpecClockMHz    = 1e7       // 10 THz
+	maxSpecOpsPerCycle = 1e4
+	maxSpecBits        = 1024
+)
+
 // Build converts a spec to a ratable system.
 func (s SystemSpec) Build() (System, error) {
 	if s.Count < 1 {
 		return System{}, fmt.Errorf("%w: count %d", ErrSpec, s.Count)
+	}
+	if s.Count > maxSpecCount {
+		return System{}, fmt.Errorf("%w: implausible count %d (limit %d)", ErrSpec, s.Count, maxSpecCount)
 	}
 	var elem Element
 	switch {
@@ -104,6 +121,16 @@ func (s SystemSpec) Build() (System, error) {
 		c := s.Custom
 		if c.ClockMHz <= 0 || (c.FPUOpsPerCycle <= 0 && c.FXUOpsPerCycle <= 0) {
 			return System{}, fmt.Errorf("%w: custom element needs clock and at least one unit", ErrSpec)
+		}
+		if !(c.ClockMHz <= maxSpecClockMHz) {
+			return System{}, fmt.Errorf("%w: implausible clock %g MHz", ErrSpec, c.ClockMHz)
+		}
+		if !(c.FPUOpsPerCycle <= maxSpecOpsPerCycle) || !(c.FXUOpsPerCycle <= maxSpecOpsPerCycle) ||
+			math.IsNaN(c.FPUOpsPerCycle) || math.IsNaN(c.FXUOpsPerCycle) {
+			return System{}, fmt.Errorf("%w: implausible operations per cycle", ErrSpec)
+		}
+		if c.Bits < 0 || c.Bits > maxSpecBits {
+			return System{}, fmt.Errorf("%w: implausible word length %d bits", ErrSpec, c.Bits)
 		}
 		bits := c.Bits
 		if bits == 0 {

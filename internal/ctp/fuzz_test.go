@@ -1,0 +1,62 @@
+package ctp
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParseCTP drives the external spec format end to end: parse the JSON
+// description, build the system, rate it. Whatever the input, the pipeline
+// must either return an error wrapping one of the package's sentinel errors
+// or produce a finite, non-negative composite rating — never panic, never
+// emit NaN/Inf into the licensing arithmetic downstream.
+func FuzzParseCTP(f *testing.F) {
+	seeds := []string{
+		`{"processor":"Alpha 21064","count":12,"memory":"shared"}`,
+		`{"name":"mpp","processor":"i860","count":1024,"memory":"distributed","interconnect":"mesh"}`,
+		`{"custom":{"clockMHz":150,"fpuOpsPerCycle":2,"fxuOpsPerCycle":1,"bits":64},"count":4,"memory":"shared"}`,
+		`{"custom":{"clockMHz":1e400,"fpuOpsPerCycle":1},"count":1,"memory":"shared"}`,
+		`{"processor":"Alpha","count":-3,"memory":"shared"}`,
+		`{"processor":"","count":1,"memory":"shared"}`,
+		`{"processor":"Alpha 21064","custom":{"clockMHz":1,"fpuOpsPerCycle":1},"count":1}`,
+		`{"count":1000000000000,"memory":"distributed","interconnect":"wormhole"}`,
+		`{`,
+		``,
+		`null`,
+		`{"custom":{"clockMHz":1e308,"fpuOpsPerCycle":1e308},"count":999999,"memory":"distributed","interconnect":"xbar"}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		spec, err := ParseSpec(strings.NewReader(input))
+		if err != nil {
+			if !errors.Is(err, ErrSpec) {
+				t.Fatalf("ParseSpec error does not wrap ErrSpec: %v", err)
+			}
+			return
+		}
+		sys, err := spec.Build()
+		if err != nil {
+			if !errors.Is(err, ErrSpec) && !errors.Is(err, ErrNoMatch) {
+				t.Fatalf("Build error is not ErrSpec/ErrNoMatch: %v (input %q)", err, input)
+			}
+			return
+		}
+		rating, err := sys.CTP()
+		if err != nil {
+			// A built system may still be unratable (e.g. zero aggregate
+			// throughput), but the error must be a real error value.
+			if err.Error() == "" {
+				t.Fatalf("CTP returned a blank error (input %q)", input)
+			}
+			return
+		}
+		v := float64(rating)
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			t.Fatalf("CTP(%q) = %v: not finite and non-negative", input, v)
+		}
+	})
+}

@@ -114,6 +114,29 @@ func Timeline() []Event {
 	}
 }
 
+// ThresholdInForce returns the supercomputer control threshold in legal
+// force at the given date: the most recent Adopted or Arrangement event at
+// or before the date that carries a supercomputer control line. The
+// January 1985 PC decontrol (1 Mtops) removed systems from control rather
+// than setting a supercomputer line, so it is skipped, as are thresholds
+// that were only Proposed. ok is false before the 1984 bilateral
+// arrangement, when no supercomputer-specific regime existed.
+func ThresholdInForce(date float64) (units.Mtops, bool) {
+	var out units.Mtops
+	found := false
+	for _, e := range Timeline() {
+		if e.Date > date {
+			break
+		}
+		if e.Kind == Proposed || e.Threshold < 100 {
+			continue
+		}
+		out = e.Threshold
+		found = true
+	}
+	return out, found
+}
+
 // Verdict is the retro-evaluation of one threshold at one date.
 type Verdict struct {
 	Event    Event

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"testing"
 
@@ -84,5 +85,68 @@ func TestBuildAllMatchesSequentialAtAnyWorkerCount(t *testing.T) {
 				t.Errorf("workers=%d: exhibit %d (%s) differs from sequential build", workers, i, tbl.ID)
 			}
 		}
+	}
+}
+
+// TestAppendixExhibitsComplete pins the appendix inventory: exactly A1–A10,
+// in order, each building cleanly and rendering non-empty, byte-identical
+// text across two builds. A dropped or reordered appendix exhibit is a
+// silent regression the count-based gate above would miss.
+func TestAppendixExhibitsComplete(t *testing.T) {
+	builders := Extras()
+	if len(builders) != 10 {
+		t.Fatalf("Extras() = %d builders, want the 10 appendix exhibits A1-A10", len(builders))
+	}
+	for i, build := range builders {
+		wantID := fmt.Sprintf("Appendix A%d", i+1)
+		tbl, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", wantID, err)
+		}
+		if tbl.ID != wantID {
+			t.Errorf("extra %d: ID = %q, want %q", i, tbl.ID, wantID)
+		}
+		first := tbl.String()
+		if first == "" {
+			t.Errorf("%s renders empty", wantID)
+		}
+		again, err := build()
+		if err != nil {
+			t.Fatalf("%s (rebuild): %v", wantID, err)
+		}
+		if again.String() != first {
+			t.Errorf("%s is not byte-identical across rebuilds", wantID)
+		}
+	}
+}
+
+// TestDatasetJSONByteStable is the machine-readable face of the same gate:
+// every dataset cmd/export serves — and the combined "all" — must marshal
+// to byte-identical JSON across repeated extractions. This is what makes
+// `export -what all` diffable between runs and the /v1 dataset endpoints
+// cache-safe.
+func TestDatasetJSONByteStable(t *testing.T) {
+	for _, name := range []string{"catalog", "apps", "timeline", "glossary", "all"} {
+		marshal := func() string {
+			v, err := Dataset(name)
+			if err != nil {
+				t.Fatalf("Dataset(%q): %v", name, err)
+			}
+			b, err := json.MarshalIndent(v, "", "  ")
+			if err != nil {
+				t.Fatalf("marshal %q: %v", name, err)
+			}
+			return string(b)
+		}
+		first := marshal()
+		if first == "" || first == "null" {
+			t.Fatalf("Dataset(%q) marshals to nothing", name)
+		}
+		if second := marshal(); second != first {
+			t.Errorf("Dataset(%q) JSON is not byte-stable across extractions", name)
+		}
+	}
+	if _, err := Dataset("no-such-dataset"); err == nil {
+		t.Error("Dataset accepted an unknown name")
 	}
 }

@@ -1,0 +1,38 @@
+package report
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/catalog"
+	"repro/internal/glossary"
+	"repro/internal/regime"
+)
+
+// Dataset returns the named dataset exactly as cmd/export serializes it:
+// "catalog" (the system records), "apps" (the Chapter 4 applications),
+// "timeline" (the policy history), "glossary" (Appendix A), or "all" (one
+// object with all four). Centralizing the assembly here lets the export
+// CLI, the query service, and the determinism tests agree byte-for-byte on
+// what the exported datasets contain.
+func Dataset(name string) (interface{}, error) {
+	switch name {
+	case "catalog":
+		return catalog.All(), nil
+	case "apps":
+		return apps.All(), nil
+	case "timeline":
+		return regime.Timeline(), nil
+	case "glossary":
+		return glossary.All(), nil
+	case "all":
+		return map[string]interface{}{
+			"catalog":  catalog.All(),
+			"apps":     apps.All(),
+			"timeline": regime.Timeline(),
+			"glossary": glossary.All(),
+		}, nil
+	default:
+		return nil, fmt.Errorf("report: unknown dataset %q (have catalog, apps, timeline, glossary, all)", name)
+	}
+}

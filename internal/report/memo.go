@@ -32,6 +32,25 @@ const (
 	fleetProcs = 16      // Table 5's processor count
 )
 
+// StudyDate is the paper's analysis date (mid-June 1995) as a fractional
+// year — the date every memoized substrate is keyed to. Exported so the
+// query service and other long-lived consumers hit the shared substrates
+// instead of recomputing the same snapshot.
+const StudyDate = studyDate
+
+// StudySnapshot returns the memoized mid-1995 threshold snapshot — the
+// same value Figure 11 and Table 16 are built from. The returned Snapshot
+// is shared and must be treated as read-only.
+func StudySnapshot() (*threshold.Snapshot, error) {
+	return studySnapshot()
+}
+
+// StudyCapability returns the memoized Table 16 capability matrix. The
+// returned slice is shared and must be treated as read-only.
+func StudyCapability() ([]threshold.CapabilityRow, error) {
+	return capabilityRows()
+}
+
 // memo caches one computation and its error for the life of the process.
 type memo[T any] struct {
 	once sync.Once

@@ -1,0 +1,98 @@
+package safeguards
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// severity orders outcomes by restrictiveness. The regime the paper
+// describes is monotone in the threshold: for a fixed destination and
+// end use, raising the control threshold can only relax the disposition
+// — a sale never becomes MORE controlled because the controls loosened.
+func severity(o Outcome) int {
+	switch o {
+	case NoLicense:
+		return 0
+	case Notify:
+		return 1
+	case Approve:
+		return 2
+	case Deny:
+		return 3
+	}
+	return -1
+}
+
+func granted(o Outcome) bool { return o != Deny }
+
+// TestEvaluateMonotoneInThreshold is the property gate: 200 seeded random
+// applications, each evaluated under an ascending ladder of thresholds.
+// Severity must be non-increasing along the ladder, and in particular a
+// granted application must never flip to denied as the threshold rises.
+func TestEvaluateMonotoneInThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(19950645)) // the study date, as a seed
+
+	dests := KnownDestinations()
+	dests = append(dests, "ruritania", "atlantis", "", " India ") // unknowns + canonicalization edge
+
+	for caseNo := 0; caseNo < 200; caseNo++ {
+		dest := dests[rng.Intn(len(dests))]
+		// Log-uniform CTP across the catalog's six decades of ratings.
+		ctp := units.Mtops(math.Pow(10, rng.Float64()*6))
+		lic := License{Destination: dest, CTP: ctp, EndUse: "property test"}
+
+		ladder := make([]float64, 8)
+		for i := range ladder {
+			ladder[i] = math.Pow(10, rng.Float64()*6)
+		}
+		// Make one rung straddle the CTP exactly: the boundary is where
+		// monotonicity violations would live.
+		ladder = append(ladder, float64(ctp), float64(ctp)*(1+1e-9))
+		sort.Float64s(ladder)
+
+		prev := math.MaxInt
+		prevGranted := false // no prior decision yet; set from the first rung
+		for _, th := range ladder {
+			d, err := Evaluate(lic, units.Mtops(th))
+			if err != nil {
+				if dest == "" {
+					break // empty destination is a legitimate rejection
+				}
+				t.Fatalf("case %d: Evaluate(%q, %v, th=%v): %v", caseNo, dest, ctp, th, err)
+			}
+			sev := severity(d.Outcome)
+			if sev < 0 {
+				t.Fatalf("case %d: unknown outcome %v", caseNo, d.Outcome)
+			}
+			if sev > prev {
+				t.Fatalf("case %d: %q at %v Mtops: raising threshold to %v INCREASED severity (%v)",
+					caseNo, dest, ctp, th, d.Outcome)
+			}
+			if prevGranted && !granted(d.Outcome) {
+				t.Fatalf("case %d: %q at %v Mtops: threshold %v flipped a granted application to denied",
+					caseNo, dest, ctp, th)
+			}
+			prev = sev
+			prevGranted = granted(d.Outcome)
+		}
+	}
+}
+
+// TestSafeguardLevelsMonotoneAcrossTiers pins the "five tiers of security
+// safeguard levels" ordering: each stricter tier attracts at least as many
+// safeguard conditions as the one before it.
+func TestSafeguardLevelsMonotoneAcrossTiers(t *testing.T) {
+	prev := -1
+	for tier := SupplierState; tier <= Restricted; tier++ {
+		n := RequiredLevel(tier)
+		if n < prev {
+			t.Errorf("tier %v requires %d safeguards, fewer than the less restrictive tier before it (%d)",
+				tier, n, prev)
+		}
+		prev = n
+	}
+}

@@ -1,0 +1,42 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// BenchmarkServeLicenseCached measures the steady-state cost of a license
+// decision round-trip once the LRU is warm: request parse, canonical key,
+// cache hit, marshal, middleware. This is the hot path a licensing desk
+// replaying the same (system, destination, threshold) queries exercises.
+func BenchmarkServeLicenseCached(b *testing.B) {
+	s, err := New(Config{Clock: func() time.Time { return time.Unix(800000000, 0) }})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := s.Handler()
+	const target = "/v1/license?ctp=21125&dest=india&endUse=bench"
+
+	// Warm: the first request computes and populates the cache.
+	warm := httptest.NewRecorder()
+	h.ServeHTTP(warm, httptest.NewRequest("GET", target, nil))
+	if warm.Code != http.StatusOK {
+		b.Fatalf("warm request: %d", warm.Code)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", target, nil))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("iteration %d: %d", i, rec.Code)
+		}
+	}
+	b.StopTimer()
+	if s.decisions.Stats().Hits == 0 {
+		b.Fatal("benchmark never hit the cache")
+	}
+}

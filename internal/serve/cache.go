@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"sync"
+)
+
+// LRU is a mutex-guarded least-recently-used cache with hit/miss
+// accounting. It is the decision- and snapshot-cache substrate of the
+// query service: values stored in it are treated as immutable by every
+// consumer (the cache hands back the same pointer it was given), which is
+// what makes a cache hit byte-identical to the cold computation it
+// replaced.
+type LRU[K comparable, V any] struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[K]*lruNode[K, V]
+	head     *lruNode[K, V] // most recently used
+	tail     *lruNode[K, V] // least recently used
+	hits     uint64
+	misses   uint64
+}
+
+type lruNode[K comparable, V any] struct {
+	key        K
+	val        V
+	prev, next *lruNode[K, V]
+}
+
+// NewLRU returns an LRU holding at most capacity entries. A capacity
+// below one is raised to one so the zero-configuration path still caches
+// the most recent query.
+func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU[K, V]{
+		capacity: capacity,
+		entries:  make(map[K]*lruNode[K, V], capacity),
+	}
+}
+
+// Get returns the cached value for key and records a hit or a miss. A hit
+// moves the entry to the front of the recency list.
+func (l *LRU[K, V]) Get(key K) (V, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n, ok := l.entries[key]
+	if !ok {
+		l.misses++
+		var zero V
+		return zero, false
+	}
+	l.hits++
+	l.moveToFront(n)
+	return n.val, true
+}
+
+// Put stores the value under key, evicting the least-recently-used entry
+// if the cache is full. Storing an existing key replaces its value and
+// refreshes its recency.
+func (l *LRU[K, V]) Put(key K, val V) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n, ok := l.entries[key]; ok {
+		n.val = val
+		l.moveToFront(n)
+		return
+	}
+	if len(l.entries) >= l.capacity {
+		l.evictOldest()
+	}
+	n := &lruNode[K, V]{key: key, val: val}
+	l.entries[key] = n
+	l.pushFront(n)
+}
+
+// Len returns the number of cached entries.
+func (l *LRU[K, V]) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// CacheStats is a point-in-time accounting of one cache.
+type CacheStats struct {
+	Size   int    `json:"size"`
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+// Stats returns the cache's current size and cumulative hit/miss counts.
+func (l *LRU[K, V]) Stats() CacheStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return CacheStats{Size: len(l.entries), Hits: l.hits, Misses: l.misses}
+}
+
+// pushFront links n as the new head. Callers hold l.mu.
+func (l *LRU[K, V]) pushFront(n *lruNode[K, V]) {
+	n.prev = nil
+	n.next = l.head
+	if l.head != nil {
+		l.head.prev = n
+	}
+	l.head = n
+	if l.tail == nil {
+		l.tail = n
+	}
+}
+
+// unlink removes n from the recency list. Callers hold l.mu.
+func (l *LRU[K, V]) unlink(n *lruNode[K, V]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+// moveToFront refreshes n's recency. Callers hold l.mu.
+func (l *LRU[K, V]) moveToFront(n *lruNode[K, V]) {
+	if l.head == n {
+		return
+	}
+	l.unlink(n)
+	l.pushFront(n)
+}
+
+// evictOldest drops the least-recently-used entry. Callers hold l.mu.
+func (l *LRU[K, V]) evictOldest() {
+	n := l.tail
+	if n == nil {
+		return
+	}
+	l.unlink(n)
+	delete(l.entries, n.key)
+}

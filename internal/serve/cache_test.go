@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLRUBasics(t *testing.T) {
+	l := NewLRU[string, int](2)
+	if _, ok := l.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	l.Put("a", 1)
+	l.Put("b", 2)
+	if v, ok := l.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	// "b" is now the oldest; inserting "c" must evict it.
+	l.Put("c", 3)
+	if _, ok := l.Get("b"); ok {
+		t.Error("b survived eviction past capacity")
+	}
+	if v, ok := l.Get("a"); !ok || v != 1 {
+		t.Errorf("a evicted out of LRU order (got %d, %v)", v, ok)
+	}
+	if v, ok := l.Get("c"); !ok || v != 3 {
+		t.Errorf("c missing after insert (got %d, %v)", v, ok)
+	}
+	if l.Len() != 2 {
+		t.Errorf("Len() = %d, want 2", l.Len())
+	}
+}
+
+func TestLRUReplaceRefreshesRecency(t *testing.T) {
+	l := NewLRU[string, int](2)
+	l.Put("a", 1)
+	l.Put("b", 2)
+	l.Put("a", 10) // refresh a; b becomes oldest
+	l.Put("c", 3)
+	if _, ok := l.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if v, ok := l.Get("a"); !ok || v != 10 {
+		t.Errorf("a = %d, %v; want 10, true", v, ok)
+	}
+}
+
+func TestLRUStats(t *testing.T) {
+	l := NewLRU[string, int](4)
+	l.Put("a", 1)
+	if _, ok := l.Get("a"); !ok {
+		t.Fatal("miss on present key")
+	}
+	if _, ok := l.Get("nope"); ok {
+		t.Fatal("hit on absent key")
+	}
+	st := l.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Errorf("Stats() = %+v, want 1 hit, 1 miss, size 1", st)
+	}
+}
+
+func TestLRUTinyCapacityClamped(t *testing.T) {
+	l := NewLRU[int, int](0)
+	l.Put(1, 1)
+	l.Put(2, 2)
+	if l.Len() != 1 {
+		t.Errorf("capacity clamp failed: Len() = %d", l.Len())
+	}
+}
+
+func TestLRUConcurrentAccess(t *testing.T) {
+	l := NewLRU[int, int](64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := (g*31 + i) % 100
+				l.Put(k, k)
+				if v, ok := l.Get(k); ok && v != k {
+					t.Errorf("Get(%d) = %d", k, v)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if l.Len() > 64 {
+		t.Errorf("cache grew past capacity: %d", l.Len())
+	}
+	_ = fmt.Sprintf("%+v", l.Stats()) // Stats under no contention must not race
+}

@@ -1,0 +1,173 @@
+// Package client is the Go client for the hpcexportd query service
+// (internal/serve): typed wrappers over the /v1 endpoints that speak the
+// same request and response structures the server defines, so a CLI or a
+// downstream program gets license decisions, dataset queries, and
+// framework snapshots without touching HTTP details.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"repro/internal/serve"
+)
+
+// maxResponseBytes caps how much of a response body the client reads.
+const maxResponseBytes = 16 << 20
+
+// Client talks to one hpcexportd instance.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New returns a client for the service at base (e.g.
+// "http://localhost:8095"). The optional httpClient overrides
+// http.DefaultClient, for callers that need timeouts or transports of
+// their own.
+func New(base string, httpClient *http.Client) (*Client, error) {
+	u, err := url.Parse(base)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("client: bad base URL %q", base)
+	}
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}, nil
+}
+
+// get issues a GET and decodes the JSON answer into out.
+func (c *Client) get(ctx context.Context, path string, query url.Values, out interface{}) error {
+	u := c.base + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+// post issues a POST with a JSON body and decodes the answer into out.
+func (c *Client) post(ctx context.Context, path string, body, out interface{}) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+// do executes the request and decodes the body, converting non-2xx
+// answers into *APIError values.
+func (c *Client) do(req *http.Request, out interface{}) error {
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		return fmt.Errorf("client: reading response: %w", err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		apiErr := &APIError{Status: resp.StatusCode}
+		var e serve.ErrorResponse
+		if err := json.Unmarshal(body, &e); err == nil && e.Error != "" {
+			apiErr.Message = e.Error
+		} else {
+			apiErr.Message = strings.TrimSpace(string(body))
+		}
+		return apiErr
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("client: decoding response: %w", err)
+	}
+	return nil
+}
+
+// APIError is a non-2xx answer from the service.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+// Error renders the status and the service's message.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("hpcexportd: %d %s: %s", e.Status, http.StatusText(e.Status), e.Message)
+}
+
+// License asks for one license decision.
+func (c *Client) License(ctx context.Context, req serve.LicenseRequest) (*serve.LicenseResponse, error) {
+	var out serve.LicenseResponse
+	if err := c.post(ctx, "/v1/license", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// LicenseBatch asks for a batch of license decisions, answered in request
+// order.
+func (c *Client) LicenseBatch(ctx context.Context, reqs []serve.LicenseRequest) ([]serve.BatchItem, error) {
+	var out serve.BatchResponse
+	if err := c.post(ctx, "/v1/license", serve.BatchRequest{Requests: reqs}, &out); err != nil {
+		return nil, err
+	}
+	return out.Decisions, nil
+}
+
+// Catalog queries the system catalog.
+func (c *Client) Catalog(ctx context.Context, q serve.CatalogQuery) (*serve.CatalogResponse, error) {
+	var out serve.CatalogResponse
+	if err := c.get(ctx, "/v1/catalog", q.Values(), &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Apps queries the application-requirements dataset.
+func (c *Client) Apps(ctx context.Context, q serve.AppsQuery) (*serve.AppsResponse, error) {
+	var out serve.AppsResponse
+	if err := c.get(ctx, "/v1/apps", q.Values(), &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Threshold fetches the basic-premises snapshot at a date; date 0 means
+// the study date. Set project for the frontier projection.
+func (c *Client) Threshold(ctx context.Context, date float64, project bool) (*serve.ThresholdResponse, error) {
+	v := url.Values{}
+	if date != 0 {
+		v.Set("date", strconv.FormatFloat(date, 'g', -1, 64))
+	}
+	if project {
+		v.Set("project", "true")
+	}
+	var out serve.ThresholdResponse
+	if err := c.get(ctx, "/v1/threshold", v, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Healthz fetches the service's liveness and cache statistics.
+func (c *Client) Healthz(ctx context.Context) (*serve.HealthResponse, error) {
+	var out serve.HealthResponse
+	if err := c.get(ctx, "/v1/healthz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzLicenseRequest throws arbitrary bodies at POST /v1/license through
+// the full middleware stack. The service contract under fuzzing: never a
+// 5xx, never a panic, and every response body — success or error — is
+// well-formed JSON.
+func FuzzLicenseRequest(f *testing.F) {
+	seeds := []string{
+		`{"system":"Cray C916","destination":"India"}`,
+		`{"ctp":21125,"destination":"india","endUse":"weather modeling"}`,
+		`{"ctp":"4.5k","destination":"france","threshold":"1,500 Mtops"}`,
+		`{"ctp":1e309,"destination":"japan"}`,
+		`{"ctp":-1,"destination":"iran","date":1992.5}`,
+		`{"requests":[{"ctp":200,"destination":"japan"},{"system":"nope","destination":"x"}]}`,
+		`{"requests":[]}`,
+		`{"system":"cray","ctp":5,"destination":"india"}`,
+		`{"destination":"india","threshold":{"nested":true}}`,
+		`{"ctp":"21,125","destination":"  INDIA  ","date":"1995"}`,
+		`{`,
+		``,
+		`[]`,
+		`"just a string"`,
+		`{"ctp":1,"destination":"india"} trailing`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	s, err := New(Config{Clock: func() time.Time { return time.Unix(800000000, 0) }})
+	if err != nil {
+		f.Fatalf("New: %v", err)
+	}
+	h := s.Handler()
+
+	f.Fuzz(func(t *testing.T, body string) {
+		req := httptest.NewRequest("POST", "/v1/license", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code >= 500 {
+			t.Fatalf("5xx (%d) for body %q: %s", rec.Code, body, rec.Body)
+		}
+		if !json.Valid(rec.Body.Bytes()) {
+			t.Fatalf("response to %q is not JSON (status %d): %q", body, rec.Code, rec.Body)
+		}
+		if rec.Code != http.StatusOK {
+			var er ErrorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Error == "" {
+				t.Fatalf("error response for %q lacks an error field: %s", body, rec.Body)
+			}
+		}
+	})
+}

@@ -1,0 +1,569 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/catalog"
+	"repro/internal/regime"
+	"repro/internal/report"
+	"repro/internal/safeguards"
+	"repro/internal/threshold"
+	"repro/internal/units"
+)
+
+// writeJSON marshals v and writes it with the given status. Marshaling
+// happens before the header goes out so an encoding failure can still
+// become a 500 instead of a torn body.
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	buf = append(buf, '\n')
+	_, _ = w.Write(buf)
+}
+
+// writeError writes a JSON error body with the given status.
+func writeError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// statusError carries an HTTP status alongside an error. Handlers build
+// them with httpErr and unwrap them at the response boundary.
+type statusError struct {
+	code int
+	err  error
+}
+
+func (e *statusError) Error() string { return e.err.Error() }
+func (e *statusError) Unwrap() error { return e.err }
+
+// httpErr wraps err with an HTTP status code.
+func httpErr(code int, format string, args ...interface{}) *statusError {
+	return &statusError{code: code, err: fmt.Errorf(format, args...)}
+}
+
+// statusOf extracts the HTTP status from an error, defaulting to 500.
+func statusOf(err error) int {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.code
+	}
+	return http.StatusInternalServerError
+}
+
+// ---- /v1/license ---------------------------------------------------------
+
+// licensePostBody accepts either one inline request or a batch under
+// "requests"; supplying both is rejected.
+type licensePostBody struct {
+	LicenseRequest
+	Requests []LicenseRequest `json:"requests"`
+}
+
+func (s *Server) handleLicensePost(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "request body too large or unreadable")
+		return
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var req licensePostBody
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed license request: %v", err)
+		return
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, "malformed license request: trailing data")
+		return
+	}
+
+	if req.Requests != nil {
+		if req.LicenseRequest != (LicenseRequest{}) {
+			writeError(w, http.StatusBadRequest, "give a single request or a batch, not both")
+			return
+		}
+		if len(req.Requests) > s.cfg.MaxBatch {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"batch of %d exceeds the %d-request limit", len(req.Requests), s.cfg.MaxBatch)
+			return
+		}
+		out := BatchResponse{Decisions: make([]BatchItem, len(req.Requests))}
+		for i, lr := range req.Requests {
+			d, _, err := s.decide(lr)
+			if err != nil {
+				out.Decisions[i] = BatchItem{Error: err.Error()}
+				continue
+			}
+			out.Decisions[i] = BatchItem{Decision: d}
+		}
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+
+	s.answerLicense(w, req.LicenseRequest)
+}
+
+func (s *Server) handleLicenseGet(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	req := LicenseRequest{
+		System:      q.Get("system"),
+		Destination: q.Get("dest"),
+		EndUse:      q.Get("endUse"),
+	}
+	if req.Destination == "" {
+		req.Destination = q.Get("destination")
+	}
+	if v := q.Get("ctp"); v != "" {
+		m, err := units.ParseMtops(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad ctp: %v", err)
+			return
+		}
+		req.CTP = CTPValue(m)
+	}
+	if v := q.Get("threshold"); v != "" {
+		m, err := units.ParseMtops(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad threshold: %v", err)
+			return
+		}
+		req.Threshold = CTPValue(m)
+	}
+	if v := q.Get("date"); v != "" {
+		d, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad date %q", v)
+			return
+		}
+		req.Date = d
+	}
+	s.answerLicense(w, req)
+}
+
+// answerLicense runs one decision and writes it, with an X-Cache header
+// recording whether the LRU answered.
+func (s *Server) answerLicense(w http.ResponseWriter, req LicenseRequest) {
+	d, cached, err := s.decide(req)
+	if err != nil {
+		writeError(w, statusOf(err), "%v", err)
+		return
+	}
+	if cached {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	writeJSON(w, http.StatusOK, d)
+}
+
+// decide resolves one license request to a decision, read-through the LRU.
+// The returned *LicenseResponse is shared with the cache and must not be
+// mutated.
+func (s *Server) decide(req LicenseRequest) (*LicenseResponse, bool, error) {
+	var rated units.Mtops
+	sysName := ""
+	switch {
+	case req.System != "" && req.CTP != 0:
+		return nil, false, httpErr(http.StatusBadRequest, "give a system name or a ctp rating, not both")
+	case req.System != "":
+		sys, ok := catalog.Lookup(req.System)
+		if !ok {
+			return nil, false, httpErr(http.StatusNotFound, "unknown system %q", req.System)
+		}
+		rated, sysName = sys.CTP, sys.Name
+	case req.CTP != 0:
+		rated = units.Mtops(req.CTP)
+	default:
+		return nil, false, httpErr(http.StatusBadRequest, "missing system name or ctp rating")
+	}
+
+	th := units.Mtops(req.Threshold)
+	if th == 0 {
+		date := req.Date
+		if date == 0 {
+			date = report.StudyDate
+		}
+		inForce, ok := regime.ThresholdInForce(date)
+		if !ok {
+			return nil, false, httpErr(http.StatusUnprocessableEntity,
+				"no control threshold in force at %.2f; give one explicitly", date)
+		}
+		th = inForce
+	}
+
+	dest := strings.ToLower(strings.TrimSpace(req.Destination))
+	endUse := strings.TrimSpace(req.EndUse)
+	key := strings.Join([]string{
+		sysName, canonicalFloat(float64(rated)), dest, endUse, canonicalFloat(float64(th)),
+	}, "\x1f")
+	if d, ok := s.decisions.Get(key); ok {
+		return d, true, nil
+	}
+
+	decision, err := safeguards.Evaluate(safeguards.License{
+		Destination: dest, CTP: rated, EndUse: endUse,
+	}, th)
+	if err != nil {
+		return nil, false, httpErr(http.StatusBadRequest, "%v", err)
+	}
+	resp := &LicenseResponse{
+		System:         sysName,
+		Destination:    dest,
+		EndUse:         endUse,
+		Tier:           decision.Tier.String(),
+		CTPMtops:       float64(rated),
+		ThresholdMtops: float64(th),
+		Outcome:        decision.Outcome.String(),
+		Rationale:      decision.Rationale,
+	}
+	for _, sg := range decision.Safeguards {
+		resp.Safeguards = append(resp.Safeguards, sg.String())
+	}
+	s.decisions.Put(key, resp)
+	return resp, false, nil
+}
+
+// ---- /v1/catalog ---------------------------------------------------------
+
+// parseOrigin resolves an origin parameter. The empty string means "any".
+func parseOrigin(v string) (catalog.Origin, bool, error) {
+	switch strings.ToLower(strings.TrimSpace(v)) {
+	case "":
+		return 0, false, nil
+	case "us", "united states", "usa":
+		return catalog.US, true, nil
+	case "japan":
+		return catalog.Japan, true, nil
+	case "europe":
+		return catalog.Europe, true, nil
+	case "russia":
+		return catalog.Russia, true, nil
+	case "prc", "china":
+		return catalog.PRC, true, nil
+	case "india":
+		return catalog.India, true, nil
+	default:
+		return 0, false, fmt.Errorf("unknown origin %q", v)
+	}
+}
+
+// floatParam parses an optional float query parameter.
+func floatParam(q string, name string) (float64, error) {
+	if q == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseFloat(q, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", name, q)
+	}
+	return v, nil
+}
+
+func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	origin, haveOrigin, err := parseOrigin(q.Get("origin"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	minCTP, err := floatParam(q.Get("minctp"), "minctp")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	maxCTP, err := floatParam(q.Get("maxctp"), "maxctp")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	year, err := floatParam(q.Get("year"), "year")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	classSub := strings.ToLower(strings.TrimSpace(q.Get("class")))
+	nameSub := strings.ToLower(strings.TrimSpace(q.Get("name")))
+	indigenous := q.Get("indigenous") == "true"
+
+	matches := catalog.Filter(func(sys catalog.System) bool {
+		if haveOrigin && sys.Origin != origin {
+			return false
+		}
+		if indigenous && sys.Origin != catalog.Russia && sys.Origin != catalog.PRC && sys.Origin != catalog.India {
+			return false
+		}
+		if classSub != "" && !strings.Contains(strings.ToLower(sys.Class.String()), classSub) {
+			return false
+		}
+		if nameSub != "" && !strings.Contains(strings.ToLower(sys.Name), nameSub) {
+			return false
+		}
+		if minCTP > 0 && float64(sys.CTP) < minCTP {
+			return false
+		}
+		if maxCTP > 0 && float64(sys.CTP) > maxCTP {
+			return false
+		}
+		if year > 0 && float64(sys.Year) > year {
+			return false
+		}
+		return true
+	})
+
+	out := CatalogResponse{Count: len(matches), Systems: make([]SystemDTO, len(matches))}
+	for i, sys := range matches {
+		out.Systems[i] = SystemDTO{
+			Name:          sys.Name,
+			Vendor:        sys.Vendor,
+			Origin:        sys.Origin.String(),
+			Class:         sys.Class.String(),
+			Year:          sys.Year,
+			CTPMtops:      float64(sys.CTP),
+			PeakMflops:    float64(sys.Peak),
+			Processors:    sys.Processors,
+			Processor:     sys.Processor,
+			EntryPriceUSD: float64(sys.EntryPrice),
+			Installed:     sys.Installed,
+			Channel:       sys.Channel.String(),
+			Upgradable:    sys.Upgradable,
+			Size:          sys.Size.String(),
+			Source:        sys.Source.String(),
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ---- /v1/apps ------------------------------------------------------------
+
+// boolParam parses a tri-state query parameter: unset, "true", or "false".
+func boolParam(v, name string) (val, set bool, err error) {
+	switch v {
+	case "":
+		return false, false, nil
+	case "true", "1":
+		return true, true, nil
+	case "false", "0":
+		return false, true, nil
+	default:
+		return false, false, fmt.Errorf("bad %s %q (want true or false)", name, v)
+	}
+}
+
+func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	deployed, haveDeployed, err := boolParam(q.Get("deployed"), "deployed")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	realTime, haveRealTime, err := boolParam(q.Get("realtime"), "realtime")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	minMtops, err := floatParam(q.Get("min"), "min")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	maxMtops, err := floatParam(q.Get("max"), "max")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	missionSub := strings.ToLower(strings.TrimSpace(q.Get("mission")))
+
+	var matched []apps.Application
+	for _, a := range apps.All() {
+		if missionSub != "" && !strings.Contains(strings.ToLower(a.Mission.String()), missionSub) {
+			continue
+		}
+		if haveDeployed && a.Deployed != deployed {
+			continue
+		}
+		if haveRealTime && a.RealTime != realTime {
+			continue
+		}
+		if minMtops > 0 && float64(a.Min) < minMtops {
+			continue
+		}
+		if maxMtops > 0 && float64(a.Min) > maxMtops {
+			continue
+		}
+		matched = append(matched, a)
+	}
+
+	out := AppsResponse{Count: len(matched), Applications: make([]AppDTO, len(matched))}
+	for i, a := range matched {
+		dto := AppDTO{
+			Name:        a.Name,
+			Mission:     a.Mission.String(),
+			Area:        a.Area,
+			MinMtops:    float64(a.Min),
+			ActualMtops: float64(a.Actual),
+			ActualName:  a.ActualName,
+			FirstYear:   a.FirstYear,
+			RealTime:    a.RealTime,
+			Deployed:    a.Deployed,
+			Granularity: a.Granularity.String(),
+			MemoryBound: a.MemoryBound,
+			Source:      a.Source.String(),
+		}
+		for _, c := range a.CTAs {
+			dto.CTAs = append(dto.CTAs, c.String())
+		}
+		out.Applications[i] = dto
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ---- /v1/threshold -------------------------------------------------------
+
+func (s *Server) handleThreshold(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	date := report.StudyDate
+	if v := q.Get("date"); v != "" {
+		d, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad date %q", v)
+			return
+		}
+		date = d
+	}
+	project := q.Get("project") == "true" || q.Get("project") == "1"
+
+	snap, err := s.snapshotAt(date)
+	if err != nil {
+		code := http.StatusUnprocessableEntity
+		if !errors.Is(err, threshold.ErrInvalidDate) &&
+			!errors.Is(err, threshold.ErrNoFrontier) && !errors.Is(err, threshold.ErrNoSystems) {
+			code = http.StatusInternalServerError
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	out := snapshotDTO(snap)
+	if project {
+		p, err := s.projection()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "projection: %v", err)
+			return
+		}
+		out.Projection = p
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// snapshotAt returns the framework snapshot for a date, read-through the
+// LRU. The study date is answered from the memoized report substrate, so
+// the daemon, the exhibit pipeline, and the test suite share one
+// computation. Returned snapshots are immutable by contract.
+func (s *Server) snapshotAt(date float64) (*threshold.Snapshot, error) {
+	if date == report.StudyDate {
+		return report.StudySnapshot()
+	}
+	key := canonicalFloat(date)
+	if snap, ok := s.snapshots.Get(key); ok {
+		return snap, nil
+	}
+	snap, err := threshold.Take(date)
+	if err != nil {
+		return nil, err
+	}
+	s.snapshots.Put(key, snap)
+	return snap, nil
+}
+
+// projection returns the memoized frontier projection.
+func (s *Server) projection() (*ProjectionDTO, error) {
+	s.projOnce.Do(func() {
+		s.projFit, s.projErr = threshold.FrontierProjection(1992, 1999)
+	})
+	if s.projErr != nil {
+		return nil, s.projErr
+	}
+	fit := s.projFit
+	out := &ProjectionDTO{
+		Formula:      fit.String(),
+		AnnualFactor: fit.AnnualFactor(),
+		DoublingTime: fit.DoublingTime(),
+	}
+	for _, target := range []float64{7500, 16000, 100000} {
+		yr, err := fit.YearReaching(target)
+		if err != nil {
+			continue
+		}
+		out.Reaches = append(out.Reaches, ProjectionTarget{Mtops: target, Year: yr})
+	}
+	return out, nil
+}
+
+// snapshotDTO renders a snapshot for the wire.
+func snapshotDTO(snap *threshold.Snapshot) *ThresholdResponse {
+	out := &ThresholdResponse{
+		Date:               snap.Date,
+		LowerBoundMtops:    float64(snap.LowerBound),
+		LowerBoundSystem:   snap.LowerBoundSystem.Name,
+		MaxAvailableMtops:  float64(snap.MaxAvailable),
+		MaxAvailableSystem: snap.MaxAvailableSystem.Name,
+		Valid:              snap.Valid(),
+		InstallHistogram:   snap.InstallHist,
+		AppHistogram:       snap.AppHist,
+	}
+	for _, p := range snap.Premises {
+		out.Premises = append(out.Premises, PremiseDTO{
+			Premise:  p.Premise.String(),
+			Holds:    p.Holds,
+			Strength: p.Strength,
+			Evidence: p.Evidence,
+		})
+	}
+	if lo, hi, ok := snap.Range(); ok {
+		out.Range = &RangeDTO{LoMtops: float64(lo), HiMtops: float64(hi)}
+	}
+	for _, c := range snap.Clusters {
+		out.Clusters = append(out.Clusters, ClusterDTO{
+			Category:    c.Category.String(),
+			StartMtops:  float64(c.Start),
+			EndMtops:    float64(c.End),
+			Apps:        len(c.Apps),
+			Significant: c.Significant(),
+		})
+	}
+	for _, p := range []threshold.Perspective{
+		threshold.ControlMaximal, threshold.ApplicationDriven, threshold.Balanced,
+	} {
+		if rec, ok := snap.Recommend(p); ok {
+			out.Recommendations = append(out.Recommendations, RecommendationDTO{
+				Perspective: p.String(), Mtops: float64(rec),
+			})
+		}
+	}
+	return out
+}
+
+// ---- /v1/healthz ---------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: s.clock().Sub(s.start).Seconds(),
+		Requests:      s.requests.Load(),
+		InFlight:      int(s.inFlight.Load()),
+		Decisions:     s.decisions.Stats(),
+		Snapshots:     s.snapshots.Stats(),
+	})
+}

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+)
+
+// statusWriter records the status code and whether a body write happened,
+// so the middleware can log the outcome and recover cleanly from a
+// handler panic without double-writing headers.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.code = http.StatusOK
+		w.wrote = true
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// middleware wraps the endpoint mux with, outermost first: request-ID
+// assignment and logging, a panic guard, the in-flight semaphore, and the
+// per-request timeout. The semaphore queues excess requests rather than
+// rejecting them — a request waits for a slot until its client gives up —
+// so MaxInFlight bounds concurrency, not throughput.
+func (s *Server) middleware(h http.Handler) http.Handler {
+	if s.cfg.RequestTimeout > 0 {
+		h = http.TimeoutHandler(h, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+	}
+	inner := h
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := s.requests.Add(1)
+		w.Header().Set("X-Request-Id", strconv.FormatUint(id, 10))
+
+		select {
+		case s.sem <- struct{}{}:
+		case <-r.Context().Done():
+			writeJSON(w, http.StatusServiceUnavailable,
+				ErrorResponse{Error: "server at capacity; client gave up waiting"})
+			return
+		}
+		s.inFlight.Add(1)
+		defer func() {
+			s.inFlight.Add(-1)
+			<-s.sem
+		}()
+
+		sw := &statusWriter{ResponseWriter: w}
+		start := s.clock()
+		defer func() {
+			if rec := recover(); rec != nil {
+				if !sw.wrote {
+					writeJSON(sw, http.StatusInternalServerError,
+						ErrorResponse{Error: "internal error"})
+				}
+				s.logf("req=%d PANIC %v %s %s", id, rec, r.Method, r.URL.Path)
+				return
+			}
+			s.logf("req=%d %s %s %d %s", id, r.Method, r.URL.RequestURI(), sw.code,
+				s.clock().Sub(start))
+		}()
+		inner.ServeHTTP(sw, r)
+	})
+}

@@ -1,0 +1,215 @@
+// Package serve is the query service over the reproduction's framework:
+// a long-lived, stdlib-only HTTP JSON API that answers the question every
+// one-shot CLI in cmd/ answers once — "given a system, a destination, and
+// a date, what does the regime say?" — concurrently and repeatedly, the
+// way a licensing desk (or a million self-screening exporters) would ask
+// it.
+//
+// Endpoints:
+//
+//	POST /v1/license    one license decision, or a batch under "requests"
+//	GET  /v1/license    the single-decision path as query parameters
+//	GET  /v1/catalog    filterable system-catalog queries
+//	GET  /v1/apps       filterable application-requirement queries
+//	GET  /v1/threshold  the basic-premises snapshot (+ projections)
+//	GET  /v1/healthz    liveness, counters, cache statistics
+//
+// The service is layered over the memoized exhibit substrates of
+// internal/report (the study-date snapshot is computed once per process,
+// whichever exhibit or request asks first) plus two LRU caches: license
+// decisions keyed by the canonicalized (CTP, destination, end use,
+// threshold) tuple, and framework snapshots keyed by date. Cached values
+// are immutable after first build, so a cache hit is byte-identical to
+// the cold computation it replaced — a property the test suite enforces
+// under -race.
+//
+// Everything is error-returning and clock-injected: the only wall-clock
+// read in the package is the documented default when no Config.Clock is
+// supplied, so tests pin time completely.
+package serve
+
+import (
+	"context"
+	"errors"
+	"log"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/threshold"
+	"repro/internal/trend"
+)
+
+// Defaults applied by New for zero Config fields.
+const (
+	DefaultAddr           = "localhost:8095"
+	DefaultMaxInFlight    = 64
+	DefaultRequestTimeout = 10 * time.Second
+	DefaultMaxBatch       = 256
+	DefaultCacheSize      = 4096
+	DefaultDrainTimeout   = 5 * time.Second
+)
+
+// maxBodyBytes caps request bodies; a license batch at the default limits
+// is far below this.
+const maxBodyBytes = 1 << 20
+
+// Config configures a Server. The zero value serves on DefaultAddr with
+// the default limits, the wall clock, and no request log.
+type Config struct {
+	Addr           string        // listen address for ListenAndServe
+	MaxInFlight    int           // concurrent requests admitted past the semaphore
+	RequestTimeout time.Duration // per-request deadline enforced by the middleware
+	MaxBatch       int           // largest accepted /v1/license batch
+	CacheSize      int           // capacity of each LRU cache
+	DrainTimeout   time.Duration // how long Shutdown waits for in-flight requests
+
+	// Clock supplies the service's notion of time (request durations,
+	// uptime). Tests inject a fixed or scripted clock; nil means the wall
+	// clock.
+	Clock func() time.Time
+
+	// Logger receives one line per request (id, method, path, status,
+	// duration). Nil disables request logging.
+	Logger *log.Logger
+}
+
+// Server is the query service: an http.Handler plus the caches and
+// counters behind it. Create one with New.
+type Server struct {
+	cfg     Config
+	clock   func() time.Time
+	logger  *log.Logger
+	start   time.Time
+	handler http.Handler
+
+	sem      chan struct{}
+	requests atomic.Uint64 // request ids / total admitted
+	inFlight atomic.Int64
+
+	decisions *LRU[string, *LicenseResponse]
+	snapshots *LRU[string, *threshold.Snapshot]
+
+	projOnce sync.Once
+	projFit  trend.Exponential
+	projErr  error
+}
+
+// New builds a Server from the config, applying defaults to zero fields.
+func New(cfg Config) (*Server, error) {
+	if cfg.Addr == "" {
+		cfg.Addr = DefaultAddr
+	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	if cfg.MaxInFlight < 1 {
+		return nil, errors.New("serve: MaxInFlight must be at least 1")
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	if cfg.RequestTimeout < 0 {
+		return nil, errors.New("serve: RequestTimeout must be positive")
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.MaxBatch < 1 {
+		return nil, errors.New("serve: MaxBatch must be at least 1")
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = DefaultCacheSize
+	}
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = DefaultDrainTimeout
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		//hpcvet:allow detrand the daemon's documented default is the wall clock; deterministic callers inject Config.Clock
+		clock = time.Now
+	}
+	s := &Server{
+		cfg:       cfg,
+		clock:     clock,
+		logger:    cfg.Logger,
+		sem:       make(chan struct{}, cfg.MaxInFlight),
+		decisions: NewLRU[string, *LicenseResponse](cfg.CacheSize),
+		snapshots: NewLRU[string, *threshold.Snapshot](cfg.CacheSize),
+	}
+	s.start = clock()
+	s.handler = s.middleware(s.routes())
+	return s, nil
+}
+
+// Handler returns the service's http.Handler: the routed endpoints behind
+// the bounded-concurrency, timeout, and logging middleware.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// routes builds the endpoint mux.
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/license", s.handleLicensePost)
+	mux.HandleFunc("GET /v1/license", s.handleLicenseGet)
+	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
+	mux.HandleFunc("GET /v1/apps", s.handleApps)
+	mux.HandleFunc("GET /v1/threshold", s.handleThreshold)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	return mux
+}
+
+// Serve accepts connections on ln until ctx is cancelled, then shuts down
+// gracefully: the listener closes immediately, in-flight requests get up
+// to DrainTimeout to complete, and stragglers are cut off. It returns nil
+// on a clean drain.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{
+		Handler:           s.handler,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		closeErr := hs.Close()
+		<-errc
+		if closeErr != nil {
+			return closeErr
+		}
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// ListenAndServe listens on Config.Addr and calls Serve.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// logf writes one request-log line if a logger is configured.
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+	}
+}
+
+// canonicalFloat renders a float the one way cache keys use.
+func canonicalFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,514 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/report"
+)
+
+// testClock is a fixed instant (May 1995); the service must never need
+// the wall clock when one is injected.
+func testClock() time.Time { return time.Unix(800000000, 0) }
+
+func newTestServer(t testing.TB) *Server {
+	t.Helper()
+	s, err := New(Config{Clock: testClock})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+// do runs one request through the full middleware stack.
+func do(t testing.TB, h http.Handler, method, target, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var req *http.Request
+	if body == "" {
+		req = httptest.NewRequest(method, target, nil)
+	} else {
+		req = httptest.NewRequest(method, target, strings.NewReader(body))
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{MaxInFlight: -1},
+		{RequestTimeout: -time.Second},
+		{MaxBatch: -2},
+	}
+	for i, cfg := range cases {
+		cfg.Clock = testClock
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: New accepted invalid config %+v", i, cfg)
+		}
+	}
+	if _, err := New(Config{Clock: testClock}); err != nil {
+		t.Errorf("zero config rejected: %v", err)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	h := newTestServer(t).Handler()
+	rec := do(t, h, "GET", "/v1/healthz", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz: %d", rec.Code)
+	}
+	var hr HealthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &hr); err != nil {
+		t.Fatalf("healthz body: %v", err)
+	}
+	if hr.Status != "ok" {
+		t.Errorf("status = %q", hr.Status)
+	}
+	if hr.UptimeSeconds != 0 {
+		t.Errorf("uptime with a fixed clock = %v, want 0", hr.UptimeSeconds)
+	}
+	if hr.Requests != 1 {
+		t.Errorf("requests = %d, want 1", hr.Requests)
+	}
+	if rec.Header().Get("X-Request-Id") == "" {
+		t.Error("no X-Request-Id header")
+	}
+}
+
+func TestLicenseGet(t *testing.T) {
+	h := newTestServer(t).Handler()
+
+	rec := do(t, h, "GET", "/v1/license?ctp=21125&dest=india", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("license GET: %d: %s", rec.Code, rec.Body)
+	}
+	var lr LicenseResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &lr); err != nil {
+		t.Fatal(err)
+	}
+	if lr.ThresholdMtops != 1500 {
+		t.Errorf("default threshold = %v, want the 1994 threshold 1500", lr.ThresholdMtops)
+	}
+	if lr.Outcome != "approve with safeguards" || len(lr.Safeguards) != 5 {
+		t.Errorf("india decision = %q with %d safeguards", lr.Outcome, len(lr.Safeguards))
+	}
+
+	// The threshold in force at an earlier date: 195 Mtops in 1992.
+	rec = do(t, h, "GET", "/v1/license?ctp=500&dest=france&date=1992.5", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("dated license GET: %d", rec.Code)
+	}
+	lr = LicenseResponse{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &lr); err != nil {
+		t.Fatal(err)
+	}
+	if lr.ThresholdMtops != 195 {
+		t.Errorf("1992 threshold-in-force = %v, want 195", lr.ThresholdMtops)
+	}
+
+	// Named system resolution.
+	rec = do(t, h, "GET", "/v1/license?system=Cray+C916&dest=iran", "")
+	lr = LicenseResponse{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &lr); err != nil {
+		t.Fatal(err)
+	}
+	if lr.System != "Cray C916" || lr.Outcome != "deny" {
+		t.Errorf("C916 to iran = %q / %q", lr.System, lr.Outcome)
+	}
+}
+
+func TestLicenseGetBadInputs(t *testing.T) {
+	h := newTestServer(t).Handler()
+	cases := []struct {
+		target string
+		code   int
+	}{
+		{"/v1/license?ctp=bogus&dest=india", http.StatusBadRequest},
+		{"/v1/license?ctp=100&dest=india&date=soon", http.StatusBadRequest},
+		{"/v1/license?dest=india", http.StatusBadRequest},                     // no system, no ctp
+		{"/v1/license?ctp=100&system=cray&dest=india", http.StatusBadRequest}, // both
+		{"/v1/license?system=no-such-machine&dest=india", http.StatusNotFound},
+		{"/v1/license?ctp=100", http.StatusBadRequest},                                 // empty destination
+		{"/v1/license?ctp=100&dest=india&date=1984.0", http.StatusUnprocessableEntity}, // pre-regime
+		{"/v1/license?ctp=-5&dest=india", http.StatusBadRequest},                       // non-positive CTP
+	}
+	for _, c := range cases {
+		rec := do(t, h, "GET", c.target, "")
+		if rec.Code != c.code {
+			t.Errorf("%s: code %d, want %d (%s)", c.target, rec.Code, c.code, rec.Body)
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Error == "" {
+			t.Errorf("%s: error body not JSON: %s", c.target, rec.Body)
+		}
+	}
+}
+
+func TestLicensePostSingleAndBatch(t *testing.T) {
+	h := newTestServer(t).Handler()
+
+	rec := do(t, h, "POST", "/v1/license", `{"system":"Cray C916","destination":"India","endUse":"weather modeling"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST single: %d: %s", rec.Code, rec.Body)
+	}
+	var lr LicenseResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &lr); err != nil {
+		t.Fatal(err)
+	}
+	if lr.EndUse != "weather modeling" || lr.Destination != "india" {
+		t.Errorf("echoed request = %+v", lr)
+	}
+
+	// CTP as a paper-notation string.
+	rec = do(t, h, "POST", "/v1/license", `{"ctp":"4.5k","destination":"france"}`)
+	lr = LicenseResponse{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &lr); err != nil {
+		t.Fatal(err)
+	}
+	if lr.CTPMtops != 4500 {
+		t.Errorf(`ctp "4.5k" = %v, want 4500`, lr.CTPMtops)
+	}
+
+	// Batch: answered in order, bad items independent.
+	rec = do(t, h, "POST", "/v1/license",
+		`{"requests":[{"ctp":2000,"destination":"japan"},{"system":"nope","destination":"japan"},{"ctp":10,"destination":"iran"}]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST batch: %d: %s", rec.Code, rec.Body)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Decisions) != 3 {
+		t.Fatalf("batch answered %d items", len(br.Decisions))
+	}
+	if br.Decisions[0].Decision == nil || br.Decisions[0].Decision.Outcome != "supplier-state notification (30-day review)" {
+		t.Errorf("batch[0] = %+v", br.Decisions[0])
+	}
+	if br.Decisions[1].Error == "" || br.Decisions[1].Decision != nil {
+		t.Errorf("batch[1] should be an error item: %+v", br.Decisions[1])
+	}
+	if br.Decisions[2].Decision == nil || br.Decisions[2].Decision.Outcome != "no supercomputer license required" {
+		t.Errorf("batch[2] = %+v", br.Decisions[2])
+	}
+}
+
+func TestLicensePostBadInputs(t *testing.T) {
+	h := newTestServer(t).Handler()
+	cases := []struct {
+		name string
+		body string
+		code int
+	}{
+		{"malformed JSON", `{"destination":`, http.StatusBadRequest},
+		{"unknown field", `{"dest":"india","ctp":5}`, http.StatusBadRequest},
+		{"trailing data", `{"ctp":5,"destination":"india"} garbage`, http.StatusBadRequest},
+		{"single and batch", `{"ctp":5,"destination":"india","requests":[]}`, http.StatusBadRequest},
+		{"unknown system", `{"system":"Imaginary-9000","destination":"india"}`, http.StatusNotFound},
+		{"array not object", `[1,2,3]`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		rec := do(t, h, "POST", "/v1/license", c.body)
+		if rec.Code != c.code {
+			t.Errorf("%s: code %d, want %d (%s)", c.name, rec.Code, c.code, rec.Body)
+		}
+	}
+}
+
+func TestLicenseBatchOversized(t *testing.T) {
+	s, err := New(Config{Clock: testClock, MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := make([]string, 5)
+	for i := range items {
+		items[i] = fmt.Sprintf(`{"ctp":%d,"destination":"japan"}`, 100+i)
+	}
+	body := `{"requests":[` + strings.Join(items, ",") + `]}`
+	rec := do(t, s.Handler(), "POST", "/v1/license", body)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch: %d, want 413 (%s)", rec.Code, rec.Body)
+	}
+}
+
+func TestLicenseCacheHitIsByteIdentical(t *testing.T) {
+	h := newTestServer(t).Handler()
+	const target = "/v1/license?ctp=21125&dest=india&endUse=modeling"
+	cold := do(t, h, "GET", target, "")
+	if cold.Code != http.StatusOK || cold.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("cold: %d, X-Cache=%q", cold.Code, cold.Header().Get("X-Cache"))
+	}
+	warm := do(t, h, "GET", target, "")
+	if warm.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("second request not a cache hit")
+	}
+	if cold.Body.String() != warm.Body.String() {
+		t.Errorf("cache hit differs from cold decision:\ncold: %s\nwarm: %s", cold.Body, warm.Body)
+	}
+	// The POST path must share the cache with GET (same canonical key).
+	post := do(t, h, "POST", "/v1/license", `{"ctp":21125,"destination":" India ","endUse":"modeling"}`)
+	if post.Header().Get("X-Cache") != "hit" {
+		t.Errorf("canonicalized POST did not hit the GET-warmed cache")
+	}
+	if post.Body.String() != cold.Body.String() {
+		t.Errorf("POST answer differs from GET answer for the canonically equal request")
+	}
+}
+
+func TestCatalogQueries(t *testing.T) {
+	h := newTestServer(t).Handler()
+
+	rec := do(t, h, "GET", "/v1/catalog", "")
+	var all CatalogResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &all); err != nil {
+		t.Fatal(err)
+	}
+	if all.Count != len(catalog.All()) {
+		t.Errorf("unfiltered count = %d, want %d", all.Count, len(catalog.All()))
+	}
+
+	rec = do(t, h, "GET", "/v1/catalog?origin=russia", "")
+	var ru CatalogResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &ru); err != nil {
+		t.Fatal(err)
+	}
+	if ru.Count != len(catalog.ByOrigin(catalog.Russia)) {
+		t.Errorf("russia count = %d, want %d", ru.Count, len(catalog.ByOrigin(catalog.Russia)))
+	}
+	for _, sys := range ru.Systems {
+		if sys.Origin != "Russia" {
+			t.Errorf("origin filter leaked %s (%s)", sys.Name, sys.Origin)
+		}
+	}
+
+	rec = do(t, h, "GET", "/v1/catalog?indigenous=true", "")
+	var ind CatalogResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &ind); err != nil {
+		t.Fatal(err)
+	}
+	if ind.Count != len(catalog.Indigenous()) {
+		t.Errorf("indigenous count = %d, want %d", ind.Count, len(catalog.Indigenous()))
+	}
+
+	rec = do(t, h, "GET", "/v1/catalog?minctp=10000&year=1995", "")
+	var big CatalogResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &big); err != nil {
+		t.Fatal(err)
+	}
+	for _, sys := range big.Systems {
+		if sys.CTPMtops < 10000 || sys.Year > 1995 {
+			t.Errorf("filter leaked %s (%v Mtops, %d)", sys.Name, sys.CTPMtops, sys.Year)
+		}
+	}
+
+	if rec := do(t, h, "GET", "/v1/catalog?origin=atlantis", ""); rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown origin: %d, want 400", rec.Code)
+	}
+	if rec := do(t, h, "GET", "/v1/catalog?minctp=many", ""); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad minctp: %d, want 400", rec.Code)
+	}
+}
+
+func TestAppsQueries(t *testing.T) {
+	h := newTestServer(t).Handler()
+
+	rec := do(t, h, "GET", "/v1/apps?mission=cryptology", "")
+	var crypt AppsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &crypt); err != nil {
+		t.Fatal(err)
+	}
+	if crypt.Count == 0 {
+		t.Fatal("no cryptology applications")
+	}
+	for _, a := range crypt.Applications {
+		if a.Mission != "cryptology" {
+			t.Errorf("mission filter leaked %s (%s)", a.Name, a.Mission)
+		}
+	}
+
+	rec = do(t, h, "GET", "/v1/apps?deployed=true&min=1000", "")
+	var dep AppsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &dep); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range dep.Applications {
+		if !a.Deployed || a.MinMtops < 1000 {
+			t.Errorf("deployed/min filter leaked %s", a.Name)
+		}
+	}
+
+	if rec := do(t, h, "GET", "/v1/apps?deployed=maybe", ""); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad deployed: %d, want 400", rec.Code)
+	}
+	if rec := do(t, h, "GET", "/v1/apps?min=lots", ""); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad min: %d, want 400", rec.Code)
+	}
+}
+
+func TestThresholdEndpoint(t *testing.T) {
+	h := newTestServer(t).Handler()
+
+	rec := do(t, h, "GET", "/v1/threshold", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("threshold: %d: %s", rec.Code, rec.Body)
+	}
+	var tr ThresholdResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &tr); err != nil {
+		t.Fatal(err)
+	}
+	want, err := report.StudySnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Date != report.StudyDate || tr.LowerBoundMtops != float64(want.LowerBound) {
+		t.Errorf("study snapshot mismatch: date %v bound %v", tr.Date, tr.LowerBoundMtops)
+	}
+	if len(tr.Premises) != 3 {
+		t.Errorf("premises = %d, want 3", len(tr.Premises))
+	}
+	if tr.Projection != nil {
+		t.Error("projection included without project=true")
+	}
+
+	rec = do(t, h, "GET", "/v1/threshold?project=true", "")
+	tr = ThresholdResponse{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Projection == nil || tr.Projection.AnnualFactor <= 1 {
+		t.Errorf("projection = %+v", tr.Projection)
+	}
+
+	// A different (valid) date computes and caches.
+	rec = do(t, h, "GET", "/v1/threshold?date=1997.5", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("dated threshold: %d: %s", rec.Code, rec.Body)
+	}
+
+	if rec := do(t, h, "GET", "/v1/threshold?date=soon", ""); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad date syntax: %d, want 400", rec.Code)
+	}
+	if rec := do(t, h, "GET", "/v1/threshold?date=1975", ""); rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("out-of-range date: %d, want 422 (%s)", rec.Code, rec.Body)
+	}
+}
+
+func TestUnknownRouteAndMethod(t *testing.T) {
+	h := newTestServer(t).Handler()
+	if rec := do(t, h, "GET", "/v1/nope", ""); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown route: %d", rec.Code)
+	}
+	if rec := do(t, h, "DELETE", "/v1/license", ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("bad method: %d", rec.Code)
+	}
+}
+
+// TestConcurrentMixedRequestsRace is the issue's load gate: 64 concurrent
+// goroutines issuing mixed queries under -race, with every cached license
+// decision byte-identical to the cold decision captured beforehand.
+func TestConcurrentMixedRequestsRace(t *testing.T) {
+	h := newTestServer(t).Handler()
+
+	licenseTargets := []string{
+		"/v1/license?ctp=21125&dest=india",
+		"/v1/license?ctp=200&dest=japan",
+		"/v1/license?system=Cray+C916&dest=iran",
+		"/v1/license?ctp=4600&dest=sweden&threshold=1500",
+		"/v1/license?ctp=50&dest=france&date=1992.5",
+	}
+	cold := make(map[string]string, len(licenseTargets))
+	for _, target := range licenseTargets {
+		rec := do(t, h, "GET", target, "")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("cold %s: %d", target, rec.Code)
+		}
+		cold[target] = rec.Body.String()
+	}
+
+	otherTargets := []string{
+		"/v1/catalog?origin=us&minctp=1000",
+		"/v1/apps?mission=nuclear",
+		"/v1/threshold",
+		"/v1/threshold?date=1996.5",
+		"/v1/healthz",
+	}
+
+	const workers = 64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if (w+i)%2 == 0 {
+					target := licenseTargets[(w+i)%len(licenseTargets)]
+					rec := do(t, h, "GET", target, "")
+					if rec.Code != http.StatusOK {
+						t.Errorf("worker %d: %s: %d", w, target, rec.Code)
+						return
+					}
+					if got := rec.Body.String(); got != cold[target] {
+						t.Errorf("worker %d: %s: cached decision differs from cold:\n%s\nvs\n%s",
+							w, target, got, cold[target])
+						return
+					}
+				} else {
+					target := otherTargets[(w+i)%len(otherTargets)]
+					if rec := do(t, h, "GET", target, ""); rec.Code != http.StatusOK {
+						t.Errorf("worker %d: %s: %d", w, target, rec.Code)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestServeGracefulShutdown drives a real listener: requests succeed,
+// cancellation drains, and the accept loop exits nil.
+func TestServeGracefulShutdown(t *testing.T) {
+	s := newTestServer(t)
+	ln, err := net.Listen("tcp", "localhost:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, ln) }()
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/v1/healthz")
+	if err != nil {
+		cancel()
+		t.Fatalf("live request: %v", err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Errorf("closing body: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz over TCP: %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("Serve returned %v after drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not drain within 10s")
+	}
+
+	if _, err := http.Get("http://" + ln.Addr().String() + "/v1/healthz"); err == nil {
+		t.Error("listener still accepting after shutdown")
+	}
+}
