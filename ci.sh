@@ -19,8 +19,11 @@ go vet ./...
 echo "== hpcvet ./... =="
 go run ./cmd/hpcvet ./...
 
-echo "== go vet ./cmd/hpcexportd =="
-go vet ./cmd/hpcexportd
+echo "== go vet ./cmd/hpcexportd ./internal/obs =="
+go vet ./cmd/hpcexportd ./internal/obs
+
+echo "== hpcvet ./internal/obs ./internal/serve (observability gates) =="
+go run ./cmd/hpcvet ./internal/obs ./internal/serve
 
 echo "== go test -race ./... =="
 go test -race ./...
@@ -33,6 +36,33 @@ go test -race -count=2 ./internal/parpool/
 
 echo "== bench smoke (one iteration of every benchmark) =="
 go test -run '^$' -bench . -benchtime=1x ./... > /dev/null
+
+echo "== /metrics scrape stability against a live daemon =="
+scrapedir=$(mktemp -d)
+go build -o "$scrapedir/hpcexportd" ./cmd/hpcexportd
+go build -o "$scrapedir/exportctl" ./cmd/exportctl
+"$scrapedir/hpcexportd" -addr localhost:18095 -quiet &
+scrapepid=$!
+trap 'kill "$scrapepid" 2>/dev/null || true; rm -rf "$scrapedir"' EXIT
+up=0
+for _ in $(seq 1 50); do
+	if "$scrapedir/exportctl" -scrape -serve http://localhost:18095 > /dev/null 2>&1; then
+		up=1
+		break
+	fi
+	sleep 0.1
+done
+if [ "$up" != 1 ]; then
+	echo "ci.sh: daemon never came up for the scrape check" >&2
+	exit 1
+fi
+# Some traffic, so the diff is over non-zero counters; then two scrapes
+# of the now-idle daemon must be byte-identical.
+"$scrapedir/exportctl" -serve http://localhost:18095 -date 1995.45 > /dev/null
+"$scrapedir/exportctl" -scrape -serve http://localhost:18095 > "$scrapedir/scrape1"
+"$scrapedir/exportctl" -scrape -serve http://localhost:18095 > "$scrapedir/scrape2"
+diff "$scrapedir/scrape1" "$scrapedir/scrape2"
+kill "$scrapepid"
 
 # Fuzz smoke (not run in CI — native fuzzing is wall-clock heavy; run
 # locally before touching the parsers or the service request path):

@@ -10,6 +10,9 @@
 //	exportctl -date 1995.45 -capability   # include Table 16
 //	exportctl -project            # add the frontier projection
 //	exportctl -serve http://localhost:8095   # query a running hpcexportd
+//	exportctl -metrics            # pretty-print a daemon's metric snapshot
+//	exportctl -scrape             # raw /metrics text exposition
+//	exportctl -version            # print build information and exit
 package main
 
 import (
@@ -21,6 +24,8 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/obs"
+	"repro/internal/serve"
 	"repro/internal/serve/client"
 	"repro/internal/threshold"
 )
@@ -31,8 +36,28 @@ func main() {
 		capability = flag.Bool("capability", false, "print foreign capability (Table 16)")
 		project    = flag.Bool("project", false, "print the frontier projection")
 		serveURL   = flag.String("serve", "", "query a running hpcexportd at this base URL instead of computing locally")
+		metrics    = flag.Bool("metrics", false, "pretty-print a running daemon's metric snapshot and exit")
+		scrape     = flag.Bool("scrape", false, "print a running daemon's raw /metrics exposition and exit")
+		version    = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println("exportctl", obs.BuildInfo())
+		return
+	}
+
+	if *metrics || *scrape {
+		base := *serveURL
+		if base == "" {
+			base = "http://" + serve.DefaultAddr
+		}
+		if err := remoteMetrics(base, *scrape); err != nil {
+			fmt.Fprintln(os.Stderr, "exportctl:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *serveURL != "" {
 		if *capability {
@@ -128,6 +153,46 @@ func yn(b bool) string {
 		return "yes"
 	}
 	return "no"
+}
+
+// remoteMetrics prints a running daemon's telemetry: the raw text
+// exposition under -scrape, otherwise a pretty-printed snapshot.
+func remoteMetrics(base string, raw bool) error {
+	api, err := client.New(base, &http.Client{Timeout: 30 * time.Second})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	if raw {
+		text, err := api.MetricsText(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
+		return nil
+	}
+
+	snap, err := api.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("metrics from %s (%d instruments)\n", base, len(snap.Metrics))
+	fmt.Println("==========================")
+	for _, m := range snap.Metrics {
+		switch m.Kind {
+		case obs.KindHistogram:
+			fmt.Printf("  %-12s %s%s  count %d  sum %d", m.Kind, m.Name, m.Labels, m.Count, m.Sum)
+			if m.Count > 0 {
+				fmt.Printf("  mean %.1f", m.Value)
+			}
+			fmt.Println()
+		default:
+			fmt.Printf("  %-12s %s%s  %g\n", m.Kind, m.Name, m.Labels, m.Value)
+		}
+	}
+	return nil
 }
 
 // remoteReview prints the review by querying a running hpcexportd through

@@ -9,10 +9,16 @@
 //	hpcexportd -addr :9000             # another address
 //	hpcexportd -inflight 128 -timeout 5s -batch 512 -cache 65536
 //	hpcexportd -quiet                  # no per-request log lines
+//	hpcexportd -debug-addr localhost:6060   # pprof on a separate listener
+//	hpcexportd -version                # print build info and exit
 //
 // The daemon drains gracefully on SIGTERM or SIGINT: the listener closes
 // at once, in-flight requests get -drain to finish, and the process exits
 // zero on a clean drain.
+//
+// Profiling endpoints (net/http/pprof) are never mounted on the public
+// listener; they appear only on the loopback-intended -debug-addr
+// listener when one is given.
 //
 // Endpoints (see README "Serving the framework" for curl examples):
 //
@@ -22,37 +28,51 @@
 //	GET  /v1/apps      ?mission=cryptology&deployed=false
 //	GET  /v1/threshold  ?date=1995.45&project=true
 //	GET  /v1/healthz
+//	GET  /metrics       Prometheus text exposition
+//	GET  /v1/metrics    the same registry as JSON
+//	GET  /v1/traces     recent request traces
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", serve.DefaultAddr, "listen address")
-		inflight = flag.Int("inflight", serve.DefaultMaxInFlight, "maximum concurrent requests")
-		timeout  = flag.Duration("timeout", serve.DefaultRequestTimeout, "per-request deadline")
-		batch    = flag.Int("batch", serve.DefaultMaxBatch, "largest accepted license batch")
-		cache    = flag.Int("cache", serve.DefaultCacheSize, "entries per LRU cache")
-		drain    = flag.Duration("drain", serve.DefaultDrainTimeout, "shutdown drain window")
-		quiet    = flag.Bool("quiet", false, "disable per-request logging")
+		addr      = flag.String("addr", serve.DefaultAddr, "listen address")
+		debugAddr = flag.String("debug-addr", "", "optional pprof listener address (keep it loopback); empty disables profiling")
+		inflight  = flag.Int("inflight", serve.DefaultMaxInFlight, "maximum concurrent requests")
+		timeout   = flag.Duration("timeout", serve.DefaultRequestTimeout, "per-request deadline")
+		batch     = flag.Int("batch", serve.DefaultMaxBatch, "largest accepted license batch")
+		cache     = flag.Int("cache", serve.DefaultCacheSize, "entries per LRU cache")
+		drain     = flag.Duration("drain", serve.DefaultDrainTimeout, "shutdown drain window")
+		traces    = flag.Int("traces", serve.DefaultTraceCapacity, "completed traces kept for /v1/traces; negative disables tracing")
+		quiet     = flag.Bool("quiet", false, "disable per-request logging")
+		version   = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
 
-	var logger *log.Logger
+	if *version {
+		fmt.Println("hpcexportd", obs.BuildInfo())
+		return
+	}
+
+	var logger *slog.Logger
 	if !*quiet {
-		logger = log.New(os.Stderr, "hpcexportd ", log.LstdFlags)
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
 	s, err := serve.New(serve.Config{
 		Addr:           *addr,
@@ -61,6 +81,7 @@ func main() {
 		MaxBatch:       *batch,
 		CacheSize:      *cache,
 		DrainTimeout:   *drain,
+		TraceCapacity:  *traces,
 		Clock:          time.Now,
 		Logger:         logger,
 	})
@@ -76,6 +97,24 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "hpcexportd: serving on http://%s\n", ln.Addr())
 
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hpcexportd: debug listener:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "hpcexportd: pprof on http://%s/debug/pprof/\n", dln.Addr())
+		go func() {
+			dsrv := &http.Server{
+				Handler:           debugMux(),
+				ReadHeaderTimeout: 5 * time.Second,
+			}
+			if err := dsrv.Serve(dln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "hpcexportd: debug listener:", err)
+			}
+		}()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := s.Serve(ctx, ln); err != nil {
@@ -83,4 +122,17 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "hpcexportd: drained cleanly")
+}
+
+// debugMux builds the profiling mux served only on -debug-addr. The
+// import of net/http/pprof is deliberately confined to this file so the
+// serve package can assert its public handler never exposes it.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

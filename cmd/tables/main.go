@@ -6,16 +6,20 @@
 //	tables -n 4         # one table
 //	tables -n 5 -tsv    # tab-separated output for further processing
 //	tables -workers 8   # build exhibits concurrently (0 = GOMAXPROCS)
+//	tables -stats       # worker-pool telemetry on stderr after the build
 //
 // With -n 0 the tables are built concurrently over a worker pool and
-// emitted in table order; the bytes are identical at every worker count.
+// emitted in table order; the bytes are identical at every worker count —
+// including under -stats, whose observer only times the work.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/parpool"
 	"repro/internal/report"
 )
@@ -26,6 +30,7 @@ func main() {
 		tsv      = flag.Bool("tsv", false, "emit tab-separated values")
 		appendix = flag.Bool("appendix", false, "emit the appendix exhibits (A1-A8) instead")
 		workers  = flag.Int("workers", 0, "exhibit build workers (0 = GOMAXPROCS)")
+		stats    = flag.Bool("stats", false, "print worker-pool telemetry to stderr after the build")
 	)
 	flag.Parse()
 
@@ -63,6 +68,11 @@ func main() {
 
 	pool := parpool.New(*workers)
 	defer pool.Close()
+	var reg *obs.Registry
+	if *stats {
+		reg = obs.NewRegistry()
+		pool.Observe(obs.NewPoolObserver(reg, "tables"), time.Now)
+	}
 	tables, err := report.BuildAll(pool, builders)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tables:", err)
@@ -70,5 +80,11 @@ func main() {
 	}
 	for _, tbl := range tables {
 		emit(tbl)
+	}
+	if *stats {
+		if err := reg.WriteProm(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "tables: stats:", err)
+			os.Exit(1)
+		}
 	}
 }

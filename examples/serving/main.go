@@ -96,6 +96,32 @@ func run() error {
 	fmt.Printf("served %d requests; decision cache %d entries (%d hits, %d misses)\n",
 		h.Requests, h.Decisions.Size, h.Decisions.Hits, h.Decisions.Misses)
 
+	// The telemetry the daemon kept about all of the above: the metric
+	// registry behind /metrics, and the trace of the latest decision.
+	ms, err := api.Metrics(qctx)
+	if err != nil {
+		stop()
+		return err
+	}
+	var answered float64
+	for _, m := range ms.Metrics {
+		if m.Name == "http_requests_total" {
+			answered += m.Value
+		}
+	}
+	fmt.Printf("telemetry: %d instruments; %.0f requests recorded by route and class\n",
+		len(ms.Metrics), answered)
+	tr, err := api.Traces(qctx)
+	if err != nil {
+		stop()
+		return err
+	}
+	if tr.Count > 0 {
+		last := tr.Traces[0]
+		fmt.Printf("latest trace (request %s): %d spans, rooted at %q\n",
+			last.TraceID, len(last.Spans), last.Spans[0].Name)
+	}
+
 	stop()
 	return <-done
 }

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Build identifies the running binary: module path and version, the Go
+// toolchain, and — when the binary was built from a VCS checkout — the
+// revision it was built at.
+type Build struct {
+	Path      string `json:"path"`
+	Version   string `json:"version"`
+	GoVersion string `json:"goVersion"`
+	Revision  string `json:"revision,omitempty"`
+	Time      string `json:"time,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
+}
+
+// BuildInfo reads the binary's embedded build information. Fields the
+// runtime does not know (a test binary, a non-VCS build) are reported as
+// "unknown" or left empty.
+func BuildInfo() Build {
+	b := Build{Path: "unknown", Version: "unknown", GoVersion: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.GoVersion = bi.GoVersion
+	if bi.Main.Path != "" {
+		b.Path = bi.Main.Path
+	}
+	if bi.Main.Version != "" {
+		b.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.time":
+			b.Time = s.Value
+		case "vcs.modified":
+			b.Modified = s.Value == "true"
+		}
+	}
+	return b
+}
+
+// String renders the build on one line, the -version flag format.
+func (b Build) String() string {
+	s := fmt.Sprintf("%s %s (%s)", b.Path, b.Version, b.GoVersion)
+	if b.Revision != "" {
+		rev := b.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " rev " + rev
+		if b.Modified {
+			s += "+dirty"
+		}
+	}
+	return s
+}
+
+// RegisterBuildInfo exposes the build as the conventional constant-value
+// build_info gauge: value 1, identity in the labels. The label set is
+// fixed at registration, so the exposition stays byte-stable for the
+// process lifetime.
+func RegisterBuildInfo(r *Registry, b Build) {
+	r.Func("build_info", "build identity of the running binary (value is always 1)",
+		KindGauge, func() float64 { return 1 },
+		L("path", b.Path), L("version", b.Version), L("goversion", b.GoVersion), L("revision", b.Revision))
+}

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBuildInfoNeverEmpty(t *testing.T) {
+	b := BuildInfo()
+	if b.Path == "" || b.Version == "" || b.GoVersion == "" {
+		t.Errorf("BuildInfo left identity fields empty: %+v", b)
+	}
+	if s := b.String(); !strings.Contains(s, b.GoVersion) {
+		t.Errorf("String() = %q missing the Go version", s)
+	}
+}
+
+func TestBuildString(t *testing.T) {
+	b := Build{
+		Path: "repro", Version: "v1.2.3", GoVersion: "go1.24.0",
+		Revision: "0123456789abcdef", Modified: true,
+	}
+	want := "repro v1.2.3 (go1.24.0) rev 0123456789ab+dirty"
+	if got := b.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestRegisterBuildInfo(t *testing.T) {
+	r := NewRegistry()
+	RegisterBuildInfo(r, Build{Path: "repro", Version: "(devel)", GoVersion: "go1.x"})
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `build_info{path="repro",version="(devel)",goversion="go1.x",revision=""} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("exposition missing %q:\n%s", want, buf.String())
+	}
+}

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"repro/internal/parpool"
+)
+
+// PoolObserver turns parpool's per-superstep RunStats callbacks into
+// metrics: a superstep counter, an index-count counter, and elapsed /
+// imbalance / barrier-overhead histograms (nanoseconds). Register one per
+// pool with a distinguishing pool label, attach it with Pool.Observe, and
+// the fork-join runtime shows up in the same registry as everything else.
+//
+// A nil *PoolObserver is a valid Observer whose callbacks do nothing, so
+// a caller can thread one unconditionally.
+type PoolObserver struct {
+	Runs      *Counter
+	Indices   *Counter
+	Elapsed   *Histogram
+	Imbalance *Histogram
+	Barrier   *Histogram
+}
+
+// NewPoolObserver registers the pool instruments under the given pool
+// label and returns the observer.
+func NewPoolObserver(r *Registry, pool string) *PoolObserver {
+	l := L("pool", pool)
+	return &PoolObserver{
+		Runs:      r.Counter("parpool_runs_total", "fork-join supersteps executed", l),
+		Indices:   r.Counter("parpool_indices_total", "index-range elements processed across supersteps", l),
+		Elapsed:   r.Histogram("parpool_run_ns", "superstep wall time on the coordinator, broadcast to last join", l),
+		Imbalance: r.Histogram("parpool_imbalance_ns", "busy-time spread between the slowest and fastest non-empty blocks", l),
+		Barrier:   r.Histogram("parpool_barrier_ns", "coordinator time beyond the slowest worker: broadcast, wakeup, join", l),
+	}
+}
+
+// ObserveRun implements parpool.Observer.
+func (o *PoolObserver) ObserveRun(s parpool.RunStats) {
+	if o == nil {
+		return
+	}
+	o.Runs.Inc()
+	if s.N > 0 {
+		o.Indices.Add(uint64(s.N))
+	}
+	o.Elapsed.ObserveDuration(s.Elapsed)
+	o.Imbalance.ObserveDuration(s.Imbalance())
+	o.Barrier.ObserveDuration(s.BarrierOverhead())
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"testing"
+
+	"repro/internal/parpool"
+)
+
+func TestPoolObserverRecords(t *testing.T) {
+	r := NewRegistry()
+	o := NewPoolObserver(r, "test")
+	p := parpool.New(4)
+	defer p.Close()
+	p.Observe(o, scriptClock())
+
+	sink := make([]float64, 1000)
+	p.Run(len(sink), func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sink[i] = float64(i)
+		}
+	})
+	total := p.ReduceFloat64(len(sink), func(lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += sink[i]
+		}
+		return s
+	})
+	if want := 999.0 * 1000 / 2; total != want {
+		t.Fatalf("reduction under observation = %v, want %v", total, want)
+	}
+	if o.Runs.Value() != 2 { // the Run plus the reduction's superstep
+		t.Errorf("runs = %d, want 2", o.Runs.Value())
+	}
+	if o.Indices.Value() != 1001 { // 1000 indices + 1 reduction block
+		t.Errorf("indices = %d, want 1001", o.Indices.Value())
+	}
+	if o.Elapsed.Count() != 2 || o.Imbalance.Count() != 2 || o.Barrier.Count() != 2 {
+		t.Errorf("histogram counts = %d/%d/%d, want 2 each",
+			o.Elapsed.Count(), o.Imbalance.Count(), o.Barrier.Count())
+	}
+	if o.Elapsed.Sum() == 0 {
+		t.Error("scripted clock produced zero elapsed time")
+	}
+}
+
+func TestNilPoolObserver(t *testing.T) {
+	var o *PoolObserver
+	o.ObserveRun(parpool.RunStats{N: 5, Workers: 2}) // must not panic
+	p := parpool.New(2)
+	defer p.Close()
+	p.Observe(o, scriptClock()) // typed-nil observer through the interface
+	ran := false
+	p.Run(1, func(w, lo, hi int) { ran = true })
+	if !ran {
+		t.Error("observed Run skipped the task")
+	}
+}

@@ -1,0 +1,109 @@
+package parpool
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// recorder captures every RunStats it is handed.
+type recorder struct {
+	stats []RunStats
+}
+
+func (r *recorder) ObserveRun(s RunStats) { r.stats = append(r.stats, s) }
+
+// tickClock advances 1ms per read and is safe for concurrent workers.
+func tickClock() func() time.Time {
+	t0 := time.Unix(800000000, 0)
+	var n atomic.Int64
+	return func() time.Time {
+		return t0.Add(time.Duration(n.Add(1)) * time.Millisecond)
+	}
+}
+
+func sumSquares(p *Pool, n int) float64 {
+	return p.ReduceFloat64(n, func(lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += float64(i) * float64(i)
+		}
+		return s
+	})
+}
+
+// TestObserverDoesNotChangeResults is the determinism contract: the same
+// reduction, observed and unobserved, at several worker counts, is
+// bit-identical.
+func TestObserverDoesNotChangeResults(t *testing.T) {
+	const n = 10000
+	want := sumSquares(nil, n)
+	for _, workers := range []int{1, 2, 3, 7} {
+		plain := New(workers)
+		got := sumSquares(plain, n)
+		plain.Close()
+		if got != want {
+			t.Fatalf("unobserved pool(%d) = %v, want %v", workers, got, want)
+		}
+
+		obs := New(workers)
+		obs.Observe(&recorder{}, tickClock())
+		got = sumSquares(obs, n)
+		obs.Close()
+		if got != want {
+			t.Errorf("observed pool(%d) = %v, want %v", workers, got, want)
+		}
+	}
+}
+
+func TestObserverStats(t *testing.T) {
+	p := New(3)
+	defer p.Close()
+	rec := &recorder{}
+	p.Observe(rec, tickClock())
+
+	p.Run(100, func(w, lo, hi int) {})
+	p.Run(2, func(w, lo, hi int) {}) // n < workers: one empty block
+	if len(rec.stats) != 2 {
+		t.Fatalf("observer saw %d runs, want 2", len(rec.stats))
+	}
+	s := rec.stats[0]
+	if s.N != 100 || s.Workers != 3 {
+		t.Errorf("stats[0] = %+v", s)
+	}
+	if s.Elapsed <= 0 || s.MinBusy <= 0 || s.MaxBusy < s.MinBusy {
+		t.Errorf("stats[0] timing = %+v", s)
+	}
+	if s.Imbalance() != s.MaxBusy-s.MinBusy {
+		t.Errorf("Imbalance() = %v", s.Imbalance())
+	}
+	if s.BarrierOverhead() < 0 {
+		t.Errorf("BarrierOverhead() = %v", s.BarrierOverhead())
+	}
+
+	// Detach: further runs are unobserved and read no clock.
+	p.Observe(nil, nil)
+	p.Run(10, func(w, lo, hi int) {})
+	if len(rec.stats) != 2 {
+		t.Errorf("detached observer still called: %d stats", len(rec.stats))
+	}
+}
+
+func TestObserveSingleWorkerAndNilPool(t *testing.T) {
+	var nilPool *Pool
+	nilPool.Observe(&recorder{}, tickClock()) // no-op, must not panic
+	nilPool.Run(5, func(w, lo, hi int) {})
+
+	p := New(1)
+	defer p.Close()
+	rec := &recorder{}
+	p.Observe(rec, tickClock())
+	p.Run(42, func(w, lo, hi int) {})
+	if len(rec.stats) != 1 {
+		t.Fatalf("single-worker pool observed %d runs, want 1", len(rec.stats))
+	}
+	s := rec.stats[0]
+	if s.N != 42 || s.Workers != 1 || s.Elapsed != s.MaxBusy || s.MinBusy != s.MaxBusy {
+		t.Errorf("single-worker stats = %+v", s)
+	}
+}

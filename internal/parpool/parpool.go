@@ -24,6 +24,7 @@ package parpool
 import (
 	"runtime"
 	"sync"
+	"time"
 )
 
 // Task processes the contiguous index block [lo, hi). The worker index w
@@ -31,11 +32,47 @@ import (
 // from w by the fixed partition lo = n*w/W, hi = n*(w+1)/W.
 type Task func(w, lo, hi int)
 
+// RunStats is the timing of one observed superstep. Busy times cover the
+// workers that received non-empty blocks; Elapsed is the coordinator's
+// wall time from broadcast to the last join, so Elapsed − MaxBusy is the
+// barrier and wakeup overhead, and MaxBusy − MinBusy is the load
+// imbalance across the partition.
+type RunStats struct {
+	N       int           // superstep index range
+	Workers int           // pool worker count
+	Elapsed time.Duration // broadcast → last join, on the coordinator
+	MinBusy time.Duration // fastest non-empty block's task time
+	MaxBusy time.Duration // slowest non-empty block's task time
+}
+
+// Imbalance returns the busy-time spread between the slowest and fastest
+// non-empty blocks.
+func (s RunStats) Imbalance() time.Duration { return s.MaxBusy - s.MinBusy }
+
+// BarrierOverhead returns the coordinator time not covered by the slowest
+// worker: broadcast latency, wakeups, and the join itself. Clock skew
+// between the per-worker and coordinator reads can drive the raw
+// difference slightly negative; that clamps to zero.
+func (s RunStats) BarrierOverhead() time.Duration {
+	if d := s.Elapsed - s.MaxBusy; d > 0 {
+		return d
+	}
+	return 0
+}
+
+// Observer receives one callback per observed superstep, on the
+// coordinator goroutine, after the join completes. Implementations must
+// not call back into the pool.
+type Observer interface {
+	ObserveRun(RunStats)
+}
+
 // Pool is a persistent set of worker goroutines coordinated by a
 // sense-reversing barrier. A Pool is a fork-join coordinator owned by one
-// orchestrating goroutine: Run, ReduceFloat64, and Close must not be
-// called concurrently with each other, and a Task must not call back into
-// its own Pool. The zero-value Pool is not usable; construct with New.
+// orchestrating goroutine: Run, ReduceFloat64, Observe, and Close must
+// not be called concurrently with each other, and a Task must not call
+// back into its own Pool. The zero-value Pool is not usable; construct
+// with New.
 //
 // A nil *Pool is valid everywhere and degrades to inline sequential
 // execution, so substrate code can thread an optional pool without
@@ -54,6 +91,10 @@ type Pool struct {
 	closed bool
 
 	red []float64 // reduction partials, reused across ReduceFloat64 calls
+
+	obs      Observer         // nil = no instrumentation (the default)
+	obsClock func() time.Time // injected; read only when obs is set
+	busy     []time.Duration  // per-worker task times, reused across Runs
 }
 
 // New creates a pool with the given number of workers; workers <= 0 means
@@ -117,6 +158,30 @@ func (p *Pool) work(w int) {
 	}
 }
 
+// Observe attaches an Observer timed by the injected clock; every
+// subsequent Run (and therefore every ReduceFloat64) reports a RunStats.
+// A nil observer or nil clock detaches instrumentation. The hot path pays
+// exactly one nil check when detached — no clock is ever read — and the
+// instrumentation never changes what a superstep computes, which block a
+// worker owns, or the reduction shape. clock must be safe for concurrent
+// use (time.Now is). Observing a nil pool is a no-op: an inline-only
+// "pool" has no coordinator state to hang the observer on.
+func (p *Pool) Observe(o Observer, clock func() time.Time) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if o == nil || clock == nil {
+		p.obs, p.obsClock = nil, nil
+		return
+	}
+	p.obs, p.obsClock = o, clock
+	if cap(p.busy) < p.workers {
+		p.busy = make([]time.Duration, p.workers)
+	}
+}
+
 // Run executes one superstep: the index range [0, n) is split into the
 // fixed contiguous blocks lo = n*w/W, hi = n*(w+1)/W and task runs once
 // per non-empty block. Run returns after every worker has joined. With
@@ -128,14 +193,40 @@ func (p *Pool) Run(n int, task Task) {
 	if n <= 0 || task == nil {
 		return
 	}
-	if p == nil || p.workers == 1 {
+	if p == nil {
 		task(0, 0, n)
+		return
+	}
+	if p.workers == 1 {
+		if p.obs == nil {
+			task(0, 0, n)
+			return
+		}
+		start := p.obsClock()
+		task(0, 0, n)
+		el := p.obsClock().Sub(start)
+		p.obs.ObserveRun(RunStats{N: n, Workers: 1, Elapsed: el, MinBusy: el, MaxBusy: el})
 		return
 	}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		return
+	}
+	obs, clock := p.obs, p.obsClock
+	var start time.Time
+	if obs != nil {
+		busy := p.busy[:p.workers]
+		for i := range busy {
+			busy[i] = 0
+		}
+		inner := task
+		task = func(w, lo, hi int) {
+			t0 := clock()
+			inner(w, lo, hi)
+			busy[w] = clock().Sub(t0)
+		}
+		start = clock()
 	}
 	p.n, p.task = n, task
 	p.joins = p.workers
@@ -145,7 +236,35 @@ func (p *Pool) Run(n int, task Task) {
 		p.done.Wait()
 	}
 	p.task = nil
+	elapsed := time.Duration(0)
+	if obs != nil {
+		elapsed = clock().Sub(start)
+	}
 	p.mu.Unlock()
+	if obs != nil {
+		obs.ObserveRun(p.runStats(n, elapsed))
+	}
+}
+
+// runStats assembles the RunStats of the superstep that just joined,
+// scanning the per-worker busy slots of the non-empty blocks.
+func (p *Pool) runStats(n int, elapsed time.Duration) RunStats {
+	st := RunStats{N: n, Workers: p.workers, Elapsed: elapsed}
+	first := true
+	for w := 0; w < p.workers; w++ {
+		if n*w/p.workers >= n*(w+1)/p.workers {
+			continue // empty block: the worker never ran the task
+		}
+		b := p.busy[w]
+		if first || b < st.MinBusy {
+			st.MinBusy = b
+		}
+		if b > st.MaxBusy {
+			st.MaxBusy = b
+		}
+		first = false
+	}
+	return st
 }
 
 // Close releases the worker goroutines. Further Runs are no-ops. Closing

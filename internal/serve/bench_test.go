@@ -40,3 +40,45 @@ func BenchmarkServeLicenseCached(b *testing.B) {
 		b.Fatal("benchmark never hit the cache")
 	}
 }
+
+// benchLicenseDecision is the cached license round-trip with the
+// observability layer either live (metrics + tracing, the shipped
+// default) or stripped, so the pair prices the instrumentation.
+func benchLicenseDecision(b *testing.B, instrumented bool) {
+	s, err := New(Config{Clock: func() time.Time { return time.Unix(800000000, 0) }})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !instrumented {
+		// Every recording site nil-checks, so stripping is just this.
+		s.met = nil
+		s.tracer = nil
+	}
+	h := s.Handler()
+	const target = "/v1/license?ctp=21125&dest=india&endUse=bench"
+
+	warm := httptest.NewRecorder()
+	h.ServeHTTP(warm, httptest.NewRequest("GET", target, nil))
+	if warm.Code != http.StatusOK {
+		b.Fatalf("warm request: %d", warm.Code)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", target, nil))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("iteration %d: %d", i, rec.Code)
+		}
+	}
+}
+
+// BenchmarkLicenseDecisionInstrumented measures the cached license path
+// with per-endpoint metrics and request tracing recording.
+func BenchmarkLicenseDecisionInstrumented(b *testing.B) { benchLicenseDecision(b, true) }
+
+// BenchmarkLicenseDecisionUninstrumented is the same path with the
+// observability layer disabled — the baseline the <5% overhead target in
+// BENCH_baseline.json is judged against.
+func BenchmarkLicenseDecisionUninstrumented(b *testing.B) { benchLicenseDecision(b, false) }

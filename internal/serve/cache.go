@@ -11,13 +11,14 @@ import (
 // what makes a cache hit byte-identical to the cold computation it
 // replaced.
 type LRU[K comparable, V any] struct {
-	mu       sync.Mutex
-	capacity int
-	entries  map[K]*lruNode[K, V]
-	head     *lruNode[K, V] // most recently used
-	tail     *lruNode[K, V] // least recently used
-	hits     uint64
-	misses   uint64
+	mu        sync.Mutex
+	capacity  int
+	entries   map[K]*lruNode[K, V]
+	head      *lruNode[K, V] // most recently used
+	tail      *lruNode[K, V] // least recently used
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
 type lruNode[K comparable, V any] struct {
@@ -83,16 +84,18 @@ func (l *LRU[K, V]) Len() int {
 
 // CacheStats is a point-in-time accounting of one cache.
 type CacheStats struct {
-	Size   int    `json:"size"`
-	Hits   uint64 `json:"hits"`
-	Misses uint64 `json:"misses"`
+	Size      int    `json:"size"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
 }
 
-// Stats returns the cache's current size and cumulative hit/miss counts.
+// Stats returns the cache's current size and cumulative hit/miss/eviction
+// counts.
 func (l *LRU[K, V]) Stats() CacheStats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return CacheStats{Size: len(l.entries), Hits: l.hits, Misses: l.misses}
+	return CacheStats{Size: len(l.entries), Hits: l.hits, Misses: l.misses, Evictions: l.evictions}
 }
 
 // pushFront links n as the new head. Callers hold l.mu.
@@ -140,4 +143,5 @@ func (l *LRU[K, V]) evictOldest() {
 	}
 	l.unlink(n)
 	delete(l.entries, n.key)
+	l.evictions++
 }

@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -167,6 +168,45 @@ func (c *Client) Threshold(ctx context.Context, date float64, project bool) (*se
 func (c *Client) Healthz(ctx context.Context) (*serve.HealthResponse, error) {
 	var out serve.HealthResponse
 	if err := c.get(ctx, "/v1/healthz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Metrics fetches the service's metric registry as a JSON snapshot.
+func (c *Client) Metrics(ctx context.Context) (*obs.Snapshot, error) {
+	var out obs.Snapshot
+	if err := c.get(ctx, "/v1/metrics", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// MetricsText fetches the raw Prometheus text exposition from /metrics.
+func (c *Client) MetricsText(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		return "", fmt.Errorf("client: reading response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(body))}
+	}
+	return string(body), nil
+}
+
+// Traces fetches the service's recent request traces, newest first.
+func (c *Client) Traces(ctx context.Context) (*serve.TracesResponse, error) {
+	var out serve.TracesResponse
+	if err := c.get(ctx, "/v1/traces", nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

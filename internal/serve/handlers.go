@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,6 +13,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/catalog"
+	"repro/internal/obs"
 	"repro/internal/regime"
 	"repro/internal/report"
 	"repro/internal/safeguards"
@@ -102,7 +104,7 @@ func (s *Server) handleLicensePost(w http.ResponseWriter, r *http.Request) {
 		}
 		out := BatchResponse{Decisions: make([]BatchItem, len(req.Requests))}
 		for i, lr := range req.Requests {
-			d, _, err := s.decide(lr)
+			d, _, err := s.decide(r.Context(), lr)
 			if err != nil {
 				out.Decisions[i] = BatchItem{Error: err.Error()}
 				continue
@@ -113,7 +115,7 @@ func (s *Server) handleLicensePost(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.answerLicense(w, req.LicenseRequest)
+	s.answerLicense(w, r, req.LicenseRequest)
 }
 
 func (s *Server) handleLicenseGet(w http.ResponseWriter, r *http.Request) {
@@ -150,13 +152,13 @@ func (s *Server) handleLicenseGet(w http.ResponseWriter, r *http.Request) {
 		}
 		req.Date = d
 	}
-	s.answerLicense(w, req)
+	s.answerLicense(w, r, req)
 }
 
 // answerLicense runs one decision and writes it, with an X-Cache header
 // recording whether the LRU answered.
-func (s *Server) answerLicense(w http.ResponseWriter, req LicenseRequest) {
-	d, cached, err := s.decide(req)
+func (s *Server) answerLicense(w http.ResponseWriter, r *http.Request, req LicenseRequest) {
+	d, cached, err := s.decide(r.Context(), req)
 	if err != nil {
 		writeError(w, statusOf(err), "%v", err)
 		return
@@ -171,8 +173,10 @@ func (s *Server) answerLicense(w http.ResponseWriter, req LicenseRequest) {
 
 // decide resolves one license request to a decision, read-through the LRU.
 // The returned *LicenseResponse is shared with the cache and must not be
-// mutated.
-func (s *Server) decide(req LicenseRequest) (*LicenseResponse, bool, error) {
+// mutated. Under an active trace it emits cache.lookup and
+// safeguards.evaluate child spans; the spans only describe the
+// computation and never alter it.
+func (s *Server) decide(ctx context.Context, req LicenseRequest) (*LicenseResponse, bool, error) {
 	var rated units.Mtops
 	sysName := ""
 	switch {
@@ -209,13 +213,21 @@ func (s *Server) decide(req LicenseRequest) (*LicenseResponse, bool, error) {
 	key := strings.Join([]string{
 		sysName, canonicalFloat(float64(rated)), dest, endUse, canonicalFloat(float64(th)),
 	}, "\x1f")
-	if d, ok := s.decisions.Get(key); ok {
+	lookup := obs.Child(ctx, "cache.lookup")
+	d, ok := s.decisions.Get(key)
+	if ok {
+		lookup.SetAttr("result", "hit")
+		lookup.End()
 		return d, true, nil
 	}
+	lookup.SetAttr("result", "miss")
+	lookup.End()
 
+	eval := obs.Child(ctx, "safeguards.evaluate")
 	decision, err := safeguards.Evaluate(safeguards.License{
 		Destination: dest, CTP: rated, EndUse: endUse,
 	}, th)
+	eval.End()
 	if err != nil {
 		return nil, false, httpErr(http.StatusBadRequest, "%v", err)
 	}
@@ -445,7 +457,7 @@ func (s *Server) handleThreshold(w http.ResponseWriter, r *http.Request) {
 	}
 	project := q.Get("project") == "true" || q.Get("project") == "1"
 
-	snap, err := s.snapshotAt(date)
+	snap, err := s.snapshotAt(r.Context(), date)
 	if err != nil {
 		code := http.StatusUnprocessableEntity
 		if !errors.Is(err, threshold.ErrInvalidDate) &&
@@ -470,16 +482,27 @@ func (s *Server) handleThreshold(w http.ResponseWriter, r *http.Request) {
 // snapshotAt returns the framework snapshot for a date, read-through the
 // LRU. The study date is answered from the memoized report substrate, so
 // the daemon, the exhibit pipeline, and the test suite share one
-// computation. Returned snapshots are immutable by contract.
-func (s *Server) snapshotAt(date float64) (*threshold.Snapshot, error) {
+// computation. Returned snapshots are immutable by contract. Under an
+// active trace it emits cache.lookup and snapshot.take child spans.
+func (s *Server) snapshotAt(ctx context.Context, date float64) (*threshold.Snapshot, error) {
 	if date == report.StudyDate {
-		return report.StudySnapshot()
+		span := obs.Child(ctx, "report.studySnapshot")
+		snap, err := report.StudySnapshot()
+		span.End()
+		return snap, err
 	}
 	key := canonicalFloat(date)
+	lookup := obs.Child(ctx, "cache.lookup")
 	if snap, ok := s.snapshots.Get(key); ok {
+		lookup.SetAttr("result", "hit")
+		lookup.End()
 		return snap, nil
 	}
+	lookup.SetAttr("result", "miss")
+	lookup.End()
+	take := obs.Child(ctx, "snapshot.take")
 	snap, err := threshold.Take(date)
+	take.End()
 	if err != nil {
 		return nil, err
 	}
@@ -566,4 +589,45 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Decisions:     s.decisions.Stats(),
 		Snapshots:     s.snapshots.Stats(),
 	})
+}
+
+// ---- observability endpoints ---------------------------------------------
+
+// handleMetricsProm serves the registry in Prometheus text exposition
+// format. The rendering is deterministic — families and series in sorted
+// order, fixed histogram shape — so two scrapes of an idle daemon are
+// byte-identical.
+func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	if s.met == nil {
+		writeError(w, http.StatusNotFound, "metrics disabled")
+		return
+	}
+	var buf bytes.Buffer
+	if err := s.met.reg.WriteProm(&buf); err != nil {
+		writeError(w, http.StatusInternalServerError, "metrics rendering failed: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// handleMetricsJSON serves the same registry as a JSON snapshot.
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	if s.met == nil {
+		writeError(w, http.StatusNotFound, "metrics disabled")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.met.reg.Snapshot())
+}
+
+// handleTraces serves the ring buffer of recently completed traces,
+// newest first.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		writeError(w, http.StatusNotFound, "tracing disabled")
+		return
+	}
+	traces := s.tracer.Recent()
+	writeJSON(w, http.StatusOK, TracesResponse{Count: len(traces), Traces: traces})
 }

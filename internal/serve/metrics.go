@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// obsRoutes are the route labels per-endpoint metrics are pre-registered
+// under. Pre-registration (rather than on-demand creation) keeps the
+// request hot path free of registry lookups and makes the /metrics
+// exposition shape a constant from the first scrape: every family is
+// present, at zero, before any traffic arrives.
+var obsRoutes = []string{
+	"/metrics",
+	"/v1/apps",
+	"/v1/catalog",
+	"/v1/healthz",
+	"/v1/license",
+	"/v1/metrics",
+	"/v1/threshold",
+	"/v1/traces",
+	"other",
+}
+
+// statusClasses are the response status classes counted per route.
+var statusClasses = []string{"2xx", "3xx", "4xx", "5xx"}
+
+// routeOf maps a request path to its route label. Unknown paths collapse
+// into "other" so an URL-shaped scan cannot grow the metric space.
+func routeOf(path string) string {
+	for _, r := range obsRoutes {
+		if r != "other" && path == r {
+			return r
+		}
+	}
+	return "other"
+}
+
+// selfObserved reports whether a route is one of the observability
+// endpoints. Those are exempt from their own instruments — a /metrics
+// scrape that counted itself would make two consecutive scrapes of an
+// idle daemon differ, and a traced /v1/traces request would change the
+// very ring it reports — so reading the telemetry never changes it.
+func selfObserved(route string) bool {
+	return route == "/metrics" || route == "/v1/metrics" || route == "/v1/traces"
+}
+
+// classIdx buckets a status code into its statusClasses index.
+func classIdx(code int) int {
+	switch {
+	case code >= 200 && code < 300:
+		return 0
+	case code >= 300 && code < 400:
+		return 1
+	case code >= 400 && code < 500:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// routeInstruments is one route's hot-path instrument set: the latency
+// histogram plus one counter per status class, indexed by classIdx so a
+// request records itself without building a lookup key.
+type routeInstruments struct {
+	latency *obs.Histogram
+	classes [4]*obs.Counter
+}
+
+// serverMetrics is the service's instrument set, created once at New. A
+// nil *serverMetrics disables recording entirely (the benchmarks use that
+// to price the instrumentation); every recording site nil-checks.
+type serverMetrics struct {
+	reg      *obs.Registry
+	inFlight *obs.Gauge
+	semWait  *obs.Histogram
+	panics   *obs.Counter
+	routes   map[string]*routeInstruments
+}
+
+// newServerMetrics registers the full instrument set and the read-through
+// cache statistics of the two LRUs.
+func newServerMetrics(s *Server) *serverMetrics {
+	reg := obs.NewRegistry()
+	m := &serverMetrics{
+		reg:      reg,
+		inFlight: reg.Gauge("http_in_flight", "requests admitted past the semaphore and not yet answered"),
+		semWait:  reg.Histogram("http_semaphore_wait_ns", "time spent queued for an in-flight slot"),
+		panics:   reg.Counter("http_panics_total", "handler panics recovered by the middleware"),
+		routes:   make(map[string]*routeInstruments, len(obsRoutes)),
+	}
+	for _, route := range obsRoutes {
+		if selfObserved(route) {
+			continue
+		}
+		ri := &routeInstruments{
+			latency: reg.Histogram("http_request_ns", "request latency through the full middleware stack",
+				obs.L("route", route)),
+		}
+		for i, class := range statusClasses {
+			ri.classes[i] = reg.Counter("http_requests_total", "requests answered, by route and status class",
+				obs.L("route", route), obs.L("class", class))
+		}
+		m.routes[route] = ri
+	}
+	registerCacheMetrics(reg, "decisions", s.decisions.Stats)
+	registerCacheMetrics(reg, "snapshots", s.snapshots.Stats)
+	obs.RegisterBuildInfo(reg, obs.BuildInfo())
+	return m
+}
+
+// registerCacheMetrics exposes one LRU's statistics as read-at-scrape
+// metrics, so the exposition always reflects the cache's own accounting
+// with no double bookkeeping on the request path.
+func registerCacheMetrics(reg *obs.Registry, name string, stats func() CacheStats) {
+	l := obs.L("cache", name)
+	reg.Func("cache_entries", "entries currently cached", obs.KindGauge,
+		func() float64 { return float64(stats().Size) }, l)
+	reg.Func("cache_hits_total", "lookups answered from the cache", obs.KindCounter,
+		func() float64 { return float64(stats().Hits) }, l)
+	reg.Func("cache_misses_total", "lookups that fell through to computation", obs.KindCounter,
+		func() float64 { return float64(stats().Misses) }, l)
+	reg.Func("cache_evictions_total", "entries dropped to stay within capacity", obs.KindCounter,
+		func() float64 { return float64(stats().Evictions) }, l)
+}
+
+// requestDone records one answered request. route must be a routeOf
+// result; self-observed routes never reach here.
+func (m *serverMetrics) requestDone(route string, code int, durNs int64) {
+	if m == nil {
+		return
+	}
+	ri, ok := m.routes[route]
+	if !ok {
+		return
+	}
+	ri.classes[classIdx(code)].Inc()
+	if durNs < 0 {
+		durNs = 0
+	}
+	ri.latency.Observe(uint64(durNs))
+}
+
+// statusText renders a status code for a span attribute without
+// allocating for the codes the service actually answers.
+func statusText(code int) string {
+	switch code {
+	case http.StatusOK:
+		return "200"
+	case http.StatusBadRequest:
+		return "400"
+	case http.StatusNotFound:
+		return "404"
+	case http.StatusRequestEntityTooLarge:
+		return "413"
+	case http.StatusUnprocessableEntity:
+		return "422"
+	case http.StatusInternalServerError:
+		return "500"
+	case http.StatusServiceUnavailable:
+		return "503"
+	}
+	return strconv.Itoa(code)
+}

@@ -1,8 +1,12 @@
 package serve
 
 import (
+	"context"
+	"log/slog"
 	"net/http"
 	"strconv"
+
+	"repro/internal/obs"
 )
 
 // statusWriter records the status code and whether a body write happened,
@@ -31,19 +35,35 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 }
 
 // middleware wraps the endpoint mux with, outermost first: request-ID
-// assignment and logging, a panic guard, the in-flight semaphore, and the
-// per-request timeout. The semaphore queues excess requests rather than
-// rejecting them — a request waits for a slot until its client gives up —
-// so MaxInFlight bounds concurrency, not throughput.
+// assignment, tracing, observability, structured logging, a panic guard,
+// the in-flight semaphore, and the per-request timeout. The semaphore
+// queues excess requests rather than rejecting them — a request waits for
+// a slot until its client gives up — so MaxInFlight bounds concurrency,
+// not throughput.
+//
+// An inbound X-Request-Id header is echoed (and used as the trace ID) so
+// client-side and server-side traces correlate; otherwise the request is
+// assigned the next value of the admission counter. The observability
+// endpoints themselves (/metrics, /v1/metrics, /v1/traces) pass through
+// unrecorded and untraced, which is what keeps a scrape from perturbing
+// the telemetry it reads.
 func (s *Server) middleware(h http.Handler) http.Handler {
 	if s.cfg.RequestTimeout > 0 {
 		h = http.TimeoutHandler(h, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
 	}
 	inner := h
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		id := s.requests.Add(1)
-		w.Header().Set("X-Request-Id", strconv.FormatUint(id, 10))
+		seq := s.requests.Add(1)
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = strconv.FormatUint(seq, 10)
+		}
+		w.Header().Set("X-Request-Id", id)
 
+		route := routeOf(r.URL.Path)
+		observed := !selfObserved(route)
+
+		semStart := s.clock()
 		select {
 		case s.sem <- struct{}{}:
 		case <-r.Context().Done():
@@ -51,25 +71,74 @@ func (s *Server) middleware(h http.Handler) http.Handler {
 				ErrorResponse{Error: "server at capacity; client gave up waiting"})
 			return
 		}
+		if observed && s.met != nil {
+			s.met.semWait.ObserveDuration(s.clock().Sub(semStart))
+			s.met.inFlight.Add(1)
+		}
 		s.inFlight.Add(1)
 		defer func() {
 			s.inFlight.Add(-1)
+			if observed && s.met != nil {
+				s.met.inFlight.Add(-1)
+			}
 			<-s.sem
 		}()
+
+		var span *obs.Span
+		if observed && s.tracer != nil {
+			var ctx context.Context
+			ctx, span = s.tracer.StartRoot(r.Context(), id, r.Method+" "+route)
+			span.SetAttr("target", r.URL.RequestURI())
+			r = r.WithContext(ctx)
+		}
 
 		sw := &statusWriter{ResponseWriter: w}
 		start := s.clock()
 		defer func() {
+			dur := s.clock().Sub(start)
 			if rec := recover(); rec != nil {
 				if !sw.wrote {
 					writeJSON(sw, http.StatusInternalServerError,
 						ErrorResponse{Error: "internal error"})
 				}
-				s.logf("req=%d PANIC %v %s %s", id, rec, r.Method, r.URL.Path)
+				if observed && s.met != nil {
+					s.met.panics.Inc()
+					s.met.requestDone(route, http.StatusInternalServerError, int64(dur))
+				}
+				span.SetAttr("panic", "true")
+				span.End()
+				if s.logger != nil {
+					s.logger.LogAttrs(r.Context(), slog.LevelError, "panic",
+						slog.String("req", id), slog.String("route", route),
+						slog.String("method", r.Method), slog.Any("value", rec))
+				}
 				return
 			}
-			s.logf("req=%d %s %s %d %s", id, r.Method, r.URL.RequestURI(), sw.code,
-				s.clock().Sub(start))
+			if observed && s.met != nil {
+				s.met.requestDone(route, sw.code, int64(dur))
+			}
+			cache := sw.Header().Get("X-Cache")
+			if span != nil {
+				span.SetAttr("status", statusText(sw.code))
+				if cache != "" {
+					span.SetAttr("cache", cache)
+				}
+				span.End()
+			}
+			if s.logger != nil {
+				attrs := []slog.Attr{
+					slog.String("req", id),
+					slog.String("method", r.Method),
+					slog.String("route", route),
+					slog.String("target", r.URL.RequestURI()),
+					slog.Int("status", sw.code),
+					slog.Duration("duration", dur),
+				}
+				if cache != "" {
+					attrs = append(attrs, slog.String("cache", cache))
+				}
+				s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+			}
 		}()
 		inner.ServeHTTP(sw, r)
 	})

@@ -13,6 +13,9 @@
 //	GET  /v1/apps       filterable application-requirement queries
 //	GET  /v1/threshold  the basic-premises snapshot (+ projections)
 //	GET  /v1/healthz    liveness, counters, cache statistics
+//	GET  /metrics       Prometheus text exposition (deterministic order)
+//	GET  /v1/metrics    the same registry as a JSON snapshot
+//	GET  /v1/traces     ring buffer of recent request traces
 //
 // The service is layered over the memoized exhibit substrates of
 // internal/report (the study-date snapshot is computed once per process,
@@ -31,7 +34,7 @@ package serve
 import (
 	"context"
 	"errors"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"strconv"
@@ -39,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/threshold"
 	"repro/internal/trend"
 )
@@ -51,6 +55,7 @@ const (
 	DefaultMaxBatch       = 256
 	DefaultCacheSize      = 4096
 	DefaultDrainTimeout   = 5 * time.Second
+	DefaultTraceCapacity  = 64
 )
 
 // maxBodyBytes caps request bodies; a license batch at the default limits
@@ -66,15 +71,17 @@ type Config struct {
 	MaxBatch       int           // largest accepted /v1/license batch
 	CacheSize      int           // capacity of each LRU cache
 	DrainTimeout   time.Duration // how long Shutdown waits for in-flight requests
+	TraceCapacity  int           // completed traces kept for /v1/traces; < 0 disables tracing
 
 	// Clock supplies the service's notion of time (request durations,
-	// uptime). Tests inject a fixed or scripted clock; nil means the wall
-	// clock.
+	// uptime, span timing). Tests inject a fixed or scripted clock; nil
+	// means the wall clock.
 	Clock func() time.Time
 
-	// Logger receives one line per request (id, method, path, status,
-	// duration). Nil disables request logging.
-	Logger *log.Logger
+	// Logger receives one structured record per request (request ID,
+	// route, status, duration, cache state as attrs). Nil disables
+	// request logging.
+	Logger *slog.Logger
 }
 
 // Server is the query service: an http.Handler plus the caches and
@@ -82,9 +89,12 @@ type Config struct {
 type Server struct {
 	cfg     Config
 	clock   func() time.Time
-	logger  *log.Logger
+	logger  *slog.Logger
 	start   time.Time
 	handler http.Handler
+
+	met    *serverMetrics // nil disables metric recording
+	tracer *obs.Tracer    // nil disables tracing
 
 	sem      chan struct{}
 	requests atomic.Uint64 // request ids / total admitted
@@ -132,6 +142,9 @@ func New(cfg Config) (*Server, error) {
 		//hpcvet:allow detrand the daemon's documented default is the wall clock; deterministic callers inject Config.Clock
 		clock = time.Now
 	}
+	if cfg.TraceCapacity == 0 {
+		cfg.TraceCapacity = DefaultTraceCapacity
+	}
 	s := &Server{
 		cfg:       cfg,
 		clock:     clock,
@@ -139,6 +152,10 @@ func New(cfg Config) (*Server, error) {
 		sem:       make(chan struct{}, cfg.MaxInFlight),
 		decisions: NewLRU[string, *LicenseResponse](cfg.CacheSize),
 		snapshots: NewLRU[string, *threshold.Snapshot](cfg.CacheSize),
+	}
+	s.met = newServerMetrics(s)
+	if cfg.TraceCapacity > 0 {
+		s.tracer = obs.NewTracer(cfg.TraceCapacity, clock)
 	}
 	s.start = clock()
 	s.handler = s.middleware(s.routes())
@@ -158,6 +175,9 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/apps", s.handleApps)
 	mux.HandleFunc("GET /v1/threshold", s.handleThreshold)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetricsProm)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetricsJSON)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	return mux
 }
 
@@ -200,13 +220,6 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 		return err
 	}
 	return s.Serve(ctx, ln)
-}
-
-// logf writes one request-log line if a logger is configured.
-func (s *Server) logf(format string, args ...interface{}) {
-	if s.logger != nil {
-		s.logger.Printf(format, args...)
-	}
 }
 
 // canonicalFloat renders a float the one way cache keys use.

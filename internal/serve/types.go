@@ -7,6 +7,7 @@ import (
 	"net/url"
 	"strconv"
 
+	"repro/internal/obs"
 	"repro/internal/units"
 )
 
@@ -302,6 +303,13 @@ type HealthResponse struct {
 	InFlight      int        `json:"inFlight"`
 	Decisions     CacheStats `json:"decisionCache"`
 	Snapshots     CacheStats `json:"snapshotCache"`
+}
+
+// TracesResponse is the /v1/traces answer: recently completed request
+// traces, newest first.
+type TracesResponse struct {
+	Count  int         `json:"count"`
+	Traces []obs.Trace `json:"traces"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.
