@@ -41,9 +41,11 @@ echo "== /metrics scrape stability against a live daemon =="
 scrapedir=$(mktemp -d)
 go build -o "$scrapedir/hpcexportd" ./cmd/hpcexportd
 go build -o "$scrapedir/exportctl" ./cmd/exportctl
+scrapepid=""
+chaospid=""
+trap 'kill $scrapepid $chaospid 2>/dev/null || true; rm -rf "$scrapedir"' EXIT
 "$scrapedir/hpcexportd" -addr localhost:18095 -quiet &
 scrapepid=$!
-trap 'kill "$scrapepid" 2>/dev/null || true; rm -rf "$scrapedir"' EXIT
 up=0
 for _ in $(seq 1 50); do
 	if "$scrapedir/exportctl" -scrape -serve http://localhost:18095 > /dev/null 2>&1; then
@@ -63,6 +65,37 @@ fi
 "$scrapedir/exportctl" -scrape -serve http://localhost:18095 > "$scrapedir/scrape2"
 diff "$scrapedir/scrape1" "$scrapedir/scrape2"
 kill "$scrapepid"
+scrapepid=""
+
+echo "== chaos: exportctl converges against a faulted daemon =="
+# Seed 90 schedules error, error, poison for /v1/threshold: the single
+# review below needs two retries and then converges on a degraded
+# (cache-bypassed) recomputation — retry loop and fallback both proven.
+"$scrapedir/hpcexportd" -addr localhost:18096 -quiet -fault-seed 90 -fault-profile chaos 2> /dev/null &
+chaospid=$!
+up=0
+for _ in $(seq 1 50); do
+	# /metrics is exempt from injection, so readiness polling consumes
+	# no slots of the fault schedule.
+	if "$scrapedir/exportctl" -scrape -serve http://localhost:18096 > /dev/null 2>&1; then
+		up=1
+		break
+	fi
+	sleep 0.1
+done
+if [ "$up" != 1 ]; then
+	echo "ci.sh: faulted daemon never came up for the chaos check" >&2
+	exit 1
+fi
+# The review must converge through the client's retries despite the
+# chaos profile (30% injected errors), and the fault counters the
+# daemon accumulated must then match the seed-90 schedule exactly.
+"$scrapedir/exportctl" -serve http://localhost:18096 -date 1995.45 -attempts 8 > /dev/null
+"$scrapedir/exportctl" -scrape -serve http://localhost:18096 |
+	grep -E '^(fault_injected_total|degraded_responses_total)' > "$scrapedir/faults"
+diff "$scrapedir/faults" ci/fault_counters.golden
+kill "$chaospid"
+chaospid=""
 
 # Fuzz smoke (not run in CI — native fuzzing is wall-clock heavy; run
 # locally before touching the parsers or the service request path):

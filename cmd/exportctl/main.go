@@ -10,16 +10,22 @@
 //	exportctl -date 1995.45 -capability   # include Table 16
 //	exportctl -project            # add the frontier projection
 //	exportctl -serve http://localhost:8095   # query a running hpcexportd
+//	exportctl -serve ... -attempts 8         # more retries against a flaky daemon
 //	exportctl -metrics            # pretty-print a daemon's metric snapshot
 //	exportctl -scrape             # raw /metrics text exposition
 //	exportctl -version            # print build information and exit
+//
+// Remote queries run through the resilient service client: bounded
+// retries with jittered backoff and per-attempt timeouts, so a daemon
+// under fault injection (hpcexportd -fault-profile) still converges.
+// -attempts raises the per-call attempt budget; when any retries were
+// needed, a summary goes to stderr.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 	"time"
 
@@ -38,6 +44,7 @@ func main() {
 		serveURL   = flag.String("serve", "", "query a running hpcexportd at this base URL instead of computing locally")
 		metrics    = flag.Bool("metrics", false, "pretty-print a running daemon's metric snapshot and exit")
 		scrape     = flag.Bool("scrape", false, "print a running daemon's raw /metrics exposition and exit")
+		attempts   = flag.Int("attempts", 0, "attempt budget per remote call, first try included (0 = client default)")
 		version    = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -52,7 +59,7 @@ func main() {
 		if base == "" {
 			base = "http://" + serve.DefaultAddr
 		}
-		if err := remoteMetrics(base, *scrape); err != nil {
+		if err := remoteMetrics(base, *scrape, *attempts); err != nil {
 			fmt.Fprintln(os.Stderr, "exportctl:", err)
 			os.Exit(1)
 		}
@@ -64,7 +71,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "exportctl: -capability is computed locally; drop it when using -serve")
 			os.Exit(1)
 		}
-		if err := remoteReview(*serveURL, *date, *project); err != nil {
+		if err := remoteReview(*serveURL, *date, *project, *attempts); err != nil {
 			fmt.Fprintln(os.Stderr, "exportctl:", err)
 			os.Exit(1)
 		}
@@ -155,13 +162,27 @@ func yn(b bool) string {
 	return "no"
 }
 
+// remoteClient builds the resilient service client for one command run.
+func remoteClient(base string, attempts int) (*client.Client, error) {
+	return client.NewWithOptions(base, client.Options{MaxAttempts: attempts})
+}
+
+// reportRetries notes on stderr when a command needed retries to finish.
+func reportRetries(api *client.Client) {
+	if rs := api.RetryStats(); rs.Retries > 0 {
+		fmt.Fprintf(os.Stderr, "exportctl: %d of %d attempts were retries (%d transient failures)\n",
+			rs.Retries, rs.Attempts, rs.Failures)
+	}
+}
+
 // remoteMetrics prints a running daemon's telemetry: the raw text
 // exposition under -scrape, otherwise a pretty-printed snapshot.
-func remoteMetrics(base string, raw bool) error {
-	api, err := client.New(base, &http.Client{Timeout: 30 * time.Second})
+func remoteMetrics(base string, raw bool, attempts int) error {
+	api, err := remoteClient(base, attempts)
 	if err != nil {
 		return err
 	}
+	defer reportRetries(api)
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
 
@@ -197,11 +218,12 @@ func remoteMetrics(base string, raw bool) error {
 
 // remoteReview prints the review by querying a running hpcexportd through
 // the service client instead of computing the snapshot locally.
-func remoteReview(base string, date float64, project bool) error {
-	api, err := client.New(base, &http.Client{Timeout: 30 * time.Second})
+func remoteReview(base string, date float64, project bool, attempts int) error {
+	api, err := remoteClient(base, attempts)
 	if err != nil {
 		return err
 	}
+	defer reportRetries(api)
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
 	snap, err := api.Threshold(ctx, date, project)

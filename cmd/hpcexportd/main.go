@@ -10,6 +10,7 @@
 //	hpcexportd -inflight 128 -timeout 5s -batch 512 -cache 65536
 //	hpcexportd -quiet                  # no per-request log lines
 //	hpcexportd -debug-addr localhost:6060   # pprof on a separate listener
+//	hpcexportd -fault-seed 7 -fault-profile chaos   # deterministic fault injection
 //	hpcexportd -version                # print build info and exit
 //
 // The daemon drains gracefully on SIGTERM or SIGINT: the listener closes
@@ -19,6 +20,14 @@
 // Profiling endpoints (net/http/pprof) are never mounted on the public
 // listener; they appear only on the loopback-intended -debug-addr
 // listener when one is given.
+//
+// -fault-profile mounts deterministic fault injection (see README
+// "Running under faults"): a preset (none, flaky, slow, chaos) or a spec
+// like "error=0.3,latency=0.2,delay=2ms,poison=0.1", optionally with
+// per-route overrides ("error=0.1;/v1/license:error=0.5"). The same
+// -fault-seed replays the identical fault sequence; injected errors
+// answer 503 with X-Fault-Injected, poisoned arrivals recompute without
+// caches and mark X-Degraded, and /v1/healthz reports the fault totals.
 //
 // Endpoints (see README "Serving the framework" for curl examples):
 //
@@ -46,6 +55,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/serve"
 )
@@ -61,6 +71,8 @@ func main() {
 		drain     = flag.Duration("drain", serve.DefaultDrainTimeout, "shutdown drain window")
 		traces    = flag.Int("traces", serve.DefaultTraceCapacity, "completed traces kept for /v1/traces; negative disables tracing")
 		quiet     = flag.Bool("quiet", false, "disable per-request logging")
+		faultSeed = flag.Uint64("fault-seed", 0, "seed for the deterministic fault schedule (with -fault-profile)")
+		faultSpec = flag.String("fault-profile", "", "fault profile: none, flaky, slow, chaos, or an error=/latency=/delay=/poison= spec; empty disables injection")
 		version   = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -74,6 +86,24 @@ func main() {
 	if !*quiet {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
+
+	var plan *fault.Plan
+	if *faultSpec != "" {
+		prof, err := fault.Parse(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hpcexportd:", err)
+			os.Exit(1)
+		}
+		if plan, err = fault.NewPlan(*faultSeed, prof); err != nil {
+			fmt.Fprintln(os.Stderr, "hpcexportd:", err)
+			os.Exit(1)
+		}
+		if prof.String() != "none" {
+			fmt.Fprintf(os.Stderr, "hpcexportd: fault injection active: seed %d, profile %s\n",
+				*faultSeed, prof)
+		}
+	}
+
 	s, err := serve.New(serve.Config{
 		Addr:           *addr,
 		MaxInFlight:    *inflight,
@@ -84,6 +114,7 @@ func main() {
 		TraceCapacity:  *traces,
 		Clock:          time.Now,
 		Logger:         logger,
+		Fault:          plan,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hpcexportd:", err)

@@ -53,6 +53,7 @@ import (
 	"repro/internal/crit"
 	"repro/internal/ctp"
 	"repro/internal/design"
+	"repro/internal/fault"
 	"repro/internal/future"
 	"repro/internal/glossary"
 	"repro/internal/hydro"
@@ -355,8 +356,16 @@ type (
 	Server = serve.Server
 	// ServiceClient is the typed Go client for a running query service.
 	ServiceClient = client.Client
+	// ServiceClientOptions configures a ServiceClient's transport and
+	// resilience policy (retries, backoff, circuit breaker, timeouts).
+	ServiceClientOptions = client.Options
 	// ServiceLicenseRequest is one license query against the service.
 	ServiceLicenseRequest = serve.LicenseRequest
+	// FaultProfile is a per-route fault mix for deterministic injection.
+	FaultProfile = fault.Profile
+	// FaultPlan deals a profile's faults as a seed-reproducible schedule;
+	// mount one via ServeConfig.Fault.
+	FaultPlan = fault.Plan
 )
 
 // Query-service entry points.
@@ -365,6 +374,13 @@ var (
 	NewServer = serve.New
 	// NewServiceClient builds a client for a service base URL.
 	NewServiceClient = client.New
+	// NewServiceClientWithOptions builds a client with an explicit
+	// resilience policy.
+	NewServiceClientWithOptions = client.NewWithOptions
+	// ParseFaultProfile parses a fault preset or spec string.
+	ParseFaultProfile = fault.Parse
+	// NewFaultPlan binds a fault profile to a seed.
+	NewFaultPlan = fault.NewPlan
 )
 
 // TrendSeries re-exports the trend machinery for custom analyses.

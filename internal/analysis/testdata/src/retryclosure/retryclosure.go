@@ -1,0 +1,71 @@
+// Package retryclosure is an hpcvet fixture: the checkers must see
+// through retry and backoff closures. A retry driver changes how often
+// code runs, never what it may do — an error swallowed or a global
+// random jitter draw inside an attempt closure is exactly as wrong as
+// in straight-line code, and far easier to miss in review.
+package retryclosure
+
+import (
+	"math/rand"
+	"time"
+)
+
+// retry calls op up to attempts times, stopping at the first nil error —
+// the shape of the service client's roundTrip loop.
+func retry(attempts int, op func(attempt int) error) error {
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = op(i); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// send is an in-module fallible kernel, the stand-in for one HTTP attempt.
+func send(i int) error { return nil }
+
+// DropInAttempt loses an in-module error inside the attempt closure, so
+// the driver retries on nothing and reports success after failures:
+// flagged.
+func DropInAttempt(attempts int) error {
+	return retry(attempts, func(i int) error {
+		send(i)
+		return nil
+	})
+}
+
+// GlobalJitter draws backoff jitter from the process-global source
+// inside the attempt closure — the exact bug that makes a replayed
+// retry schedule diverge between runs: flagged.
+func GlobalJitter(attempts int) error {
+	return retry(attempts, func(i int) error {
+		time.Sleep(time.Duration(rand.Float64() * float64(time.Millisecond)))
+		return send(i)
+	})
+}
+
+// WallClockBackoff reads the wall clock inside the closure to decide
+// whether to keep trying, smuggling nondeterminism past the driver:
+// flagged.
+func WallClockBackoff(deadline time.Time) error {
+	return retry(8, func(i int) error {
+		if time.Now().After(deadline) {
+			return nil
+		}
+		return send(i)
+	})
+}
+
+// Propagated returns the attempt's error to the driver and threads an
+// explicitly seeded generator for jitter, the service-client idiom:
+// clean.
+func Propagated(attempts int, seed int64, sleep func(time.Duration)) error {
+	rng := rand.New(rand.NewSource(seed))
+	return retry(attempts, func(i int) error {
+		if i > 0 {
+			sleep(time.Duration(rng.Float64() * float64(time.Millisecond)))
+		}
+		return send(i)
+	})
+}

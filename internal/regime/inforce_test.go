@@ -1,0 +1,60 @@
+package regime
+
+import "testing"
+
+// TestThresholdInForceBoundaries pins ThresholdInForce at every edge the
+// degraded (cache-bypassed) recomputation path can hit: before the first
+// regime, exactly on each transition date, a hair before each transition,
+// across skipped events (proposals and the PC decontrol), and far past
+// the last adoption.
+func TestThresholdInForceBoundaries(t *testing.T) {
+	cases := []struct {
+		date float64
+		want float64 // Mtops; ignored when ok is false
+		ok   bool
+		why  string
+	}{
+		{1900, 0, false, "long before any regime"},
+		{1984.0, 0, false, "pre-bilateral-arrangement"},
+		{1984.49, 0, false, "a hair before the 1984 accord"},
+		{1984.5, 120, true, "exactly on the 1984 accord"},
+		{1985.05, 120, true, "the PC decontrol (1 Mtops) is not a supercomputer line"},
+		{1988.93, 120, true, "the 1988 definition was only proposed"},
+		{1990.08, 120, true, "the 1990 three-tier definition was only proposed"},
+		{1991.44, 120, true, "a hair before the renegotiated accord"},
+		{1991.45, 195, true, "exactly on the renegotiated accord"},
+		{1993.75, 195, true, "the TPCC 2,000 was only proposed"},
+		{1994.14, 195, true, "a hair before the 1994 amendment"},
+		{1994.15, 1500, true, "exactly on the 1994 amendment"},
+		{1995.15, 1500, true, "the 1995 review carries no threshold"},
+		{1999.9, 1500, true, "after the timeline's last event"},
+		{2100, 1500, true, "far future: last adopted line persists"},
+	}
+	for _, tc := range cases {
+		got, ok := ThresholdInForce(tc.date)
+		if ok != tc.ok {
+			t.Errorf("ThresholdInForce(%g) ok = %v, want %v (%s)", tc.date, ok, tc.ok, tc.why)
+			continue
+		}
+		if ok && float64(got) != tc.want {
+			t.Errorf("ThresholdInForce(%g) = %v, want %g Mtops (%s)", tc.date, got, tc.want, tc.why)
+		}
+	}
+}
+
+// TestThresholdInForceNeverProposed sweeps the whole timeline range and
+// checks the in-force threshold only ever takes adopted values — a
+// proposal leaking into force would silently change license decisions
+// for every date between publication and adoption.
+func TestThresholdInForceNeverProposed(t *testing.T) {
+	adopted := map[float64]bool{120: true, 195: true, 1500: true}
+	for date := 1984.5; date <= 1996.0; date += 0.01 {
+		got, ok := ThresholdInForce(date)
+		if !ok {
+			t.Fatalf("no threshold in force at %.2f", date)
+		}
+		if !adopted[float64(got)] {
+			t.Fatalf("ThresholdInForce(%.2f) = %v, not an adopted supercomputer line", date, got)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package safeguards
+
+import (
+	"testing"
+
+	"repro/internal/regime"
+	"repro/internal/units"
+)
+
+// TestExactlyAtThresholdIsControlled pins the control boundary for every
+// tier: a system rated exactly at the threshold is controlled (the
+// regime's "at or above" reading), while one epsilon below needs no
+// supercomputer license. The degradation fallback recomputes this path
+// directly, so the edge must hold without the cache in front of it.
+func TestExactlyAtThresholdIsControlled(t *testing.T) {
+	const th = 1500
+	dests := map[string]Outcome{
+		"Japan":  Notify,
+		"France": Approve,
+		"Sweden": Approve,
+		"India":  Approve,
+		"Iran":   Deny,
+	}
+	for dest, want := range dests {
+		at, err := Evaluate(License{Destination: dest, CTP: th}, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if at.Outcome == NoLicense {
+			t.Errorf("%s at exactly %d Mtops escaped control", dest, th)
+		}
+		if at.Outcome != want {
+			t.Errorf("%s at threshold: %v, want %v", dest, at.Outcome, want)
+		}
+		below, err := Evaluate(License{Destination: dest, CTP: th - 0.001}, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if below.Outcome != NoLicense {
+			t.Errorf("%s an epsilon below threshold still controlled: %v", dest, below.Outcome)
+		}
+	}
+}
+
+// TestBoundaryAcrossRegimeTransitions cross-checks the two packages the
+// fallback path composes: the same system, one day each side of a regime
+// transition, flips between controlled and free exactly when the
+// in-force threshold changes.
+func TestBoundaryAcrossRegimeTransitions(t *testing.T) {
+	cases := []struct {
+		ctp                   units.Mtops
+		before, after         float64
+		ctrlBefore, ctrlAfter bool
+	}{
+		// The 1994 amendment raised 195 → 1,500: a 1,000-Mtops machine
+		// was controlled in January 1994 and free in March.
+		{1000, 1994.14, 1994.15, true, false},
+		// A 1,500-Mtops machine sits exactly on the new line: still
+		// controlled after the raise.
+		{1500, 1994.14, 1994.15, true, true},
+		// The 1991 accord raised 120 → 195: 150 Mtops flips free.
+		{150, 1991.44, 1991.45, true, false},
+		// 195 Mtops lands exactly on the new line: controlled both sides.
+		{195, 1991.44, 1991.45, true, true},
+	}
+	for _, tc := range cases {
+		for _, leg := range []struct {
+			date string
+			at   float64
+			ctrl bool
+		}{
+			{"before", tc.before, tc.ctrlBefore},
+			{"after", tc.after, tc.ctrlAfter},
+		} {
+			th, ok := regime.ThresholdInForce(leg.at)
+			if !ok {
+				t.Fatalf("no threshold in force at %g", leg.at)
+			}
+			d, err := Evaluate(License{Destination: "India", CTP: tc.ctp}, th)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if controlled := d.Outcome != NoLicense; controlled != leg.ctrl {
+				t.Errorf("%v Mtops %s transition (%.2f, line %v): controlled=%v, want %v",
+					tc.ctp, leg.date, leg.at, th, controlled, leg.ctrl)
+			}
+		}
+	}
+}

@@ -1,0 +1,234 @@
+// Chaos e2e suite: a live httptest daemon under a seeded fault plan,
+// hammered concurrently by the retrying client. It lives in the external
+// test package because it drives internal/serve/client, which imports
+// internal/serve.
+package serve_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/serve"
+	"repro/internal/serve/client"
+)
+
+const (
+	chaosSeed    = 42
+	chaosWorkers = 32
+	chaosPerW    = 8
+	chaosTotal   = chaosWorkers * chaosPerW
+)
+
+// chaosPlan builds a fresh plan for the chaos profile (30% errors, 20%
+// latency, 10% poison) at the given seed.
+func chaosPlan(t testing.TB, seed uint64) *fault.Plan {
+	t.Helper()
+	prof, err := fault.Parse("chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := fault.NewPlan(seed, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// chaosServer starts a faulted daemon whose injected latency costs no
+// wall time.
+func chaosServer(t testing.TB, plan *fault.Plan) (*httptest.Server, *serve.Server) {
+	t.Helper()
+	s, err := serve.New(serve.Config{
+		Clock: func() time.Time { return time.Unix(800000000, 0) },
+		Fault: plan,
+		Sleep: func(time.Duration) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts, s
+}
+
+// chaosRequest is the i-th of the 256 distinct license queries the
+// hammer issues: unique (ctp, destination) pairs under one explicit
+// threshold, so no two responses are interchangeable.
+func chaosRequest(i int) serve.LicenseRequest {
+	dests := []string{
+		"japan", "france", "sweden", "india",
+		"iran", "united states", "taiwan", "russia",
+	}
+	return serve.LicenseRequest{
+		CTP:         serve.CTPValue(500 + 37*i),
+		Destination: dests[i%len(dests)],
+		Threshold:   1500,
+	}
+}
+
+// chaosOutcome is everything one hammer run must reproduce exactly:
+// the server's fault accounting, the schedule slots consumed, and the
+// client's attempt count.
+type chaosOutcome struct {
+	faults   serve.FaultStats
+	taken    uint64
+	attempts uint64
+}
+
+// runChaosHammer drives chaosTotal logical requests from chaosWorkers
+// goroutines through the retrying client until every one has succeeded,
+// then returns the run's accounting.
+func runChaosHammer(t *testing.T, seed uint64) chaosOutcome {
+	t.Helper()
+	plan := chaosPlan(t, seed)
+	ts, _ := chaosServer(t, plan)
+
+	// The breaker is disabled: under 30% injected errors a shared breaker
+	// would trip on legitimate chaos and add real-clock cooldowns. Its
+	// correctness is pinned by the fake-clocked retry suite instead.
+	c, err := client.NewWithOptions(ts.URL, client.Options{
+		MaxAttempts:      8,
+		BaseBackoff:      time.Millisecond,
+		MaxBackoff:       time.Millisecond,
+		Sleep:            func(time.Duration) {},
+		BreakerThreshold: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, chaosTotal)
+	for w := 0; w < chaosWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < chaosPerW; i++ {
+				req := chaosRequest(w*chaosPerW + i)
+				ok := false
+				for try := 0; try < 50 && !ok; try++ {
+					if _, err := c.License(context.Background(), req); err == nil {
+						ok = true
+					}
+				}
+				if !ok {
+					errc <- fmt.Errorf("request %d never succeeded", w*chaosPerW+i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	attempts := c.RetryStats().Attempts
+	hz, err := c.Healthz(context.Background())
+	if err != nil {
+		t.Fatalf("healthz after hammer: %v", err)
+	}
+	if hz.Faults == nil {
+		t.Fatal("faulted daemon reported no fault counters")
+	}
+	return chaosOutcome{faults: *hz.Faults, taken: plan.Taken("/v1/license"), attempts: attempts}
+}
+
+// TestChaosConvergesDeterministically is the tentpole's counter proof:
+// with every request retried to success, the total arrivals on the
+// hammered route are fixed by the seed alone — the slot index just past
+// the 256th non-error slot — so the fault counters and the client's
+// attempt count are interleaving-independent, and two runs with the same
+// seed agree exactly. Run under -race, the 32 concurrent workers also
+// make this a data-race hunt over the whole injection/degradation path.
+func TestChaosConvergesDeterministically(t *testing.T) {
+	// Walk the schedule to predict the run: every client attempt consumes
+	// one slot; error slots force a retry, latency and poison slots still
+	// answer. M = arrivals needed for chaosTotal successes.
+	var expect chaosOutcome
+	ref := chaosPlan(t, chaosSeed)
+	successes := 0
+	for slot := uint64(0); successes < chaosTotal; slot++ {
+		switch ref.At("/v1/license", slot).Kind {
+		case fault.Error:
+			expect.faults.InjectedErrors++
+		case fault.Latency:
+			expect.faults.InjectedLatency++
+			successes++
+		case fault.Poison:
+			expect.faults.PoisonedLookups++
+			successes++
+		default:
+			successes++
+		}
+		expect.taken = slot + 1
+	}
+	expect.faults.Degraded = expect.faults.PoisonedLookups
+	expect.attempts = expect.taken
+	if expect.faults.InjectedErrors == 0 || expect.faults.PoisonedLookups == 0 {
+		t.Fatalf("degenerate chaos schedule: %+v", expect.faults)
+	}
+
+	first := runChaosHammer(t, chaosSeed)
+	if first != expect {
+		t.Errorf("run 1 = %+v, want %+v", first, expect)
+	}
+	second := runChaosHammer(t, chaosSeed)
+	if second != first {
+		t.Errorf("same seed diverged: run 1 %+v, run 2 %+v", first, second)
+	}
+}
+
+// TestChaosResponsesByteIdentical fetches every hammer query from a
+// faulted and an unfaulted daemon and requires the successful bodies to
+// match byte for byte — injected latency and poisoned caches may never
+// change an answer.
+func TestChaosResponsesByteIdentical(t *testing.T) {
+	faulted, _ := chaosServer(t, chaosPlan(t, chaosSeed))
+	plain, _ := chaosServer(t, nil)
+
+	fetch := func(ts *httptest.Server, target string) (int, string) {
+		resp, err := ts.Client().Get(ts.URL + target)
+		if err != nil {
+			t.Fatalf("GET %s: %v", target, err)
+		}
+		defer func() { _ = resp.Body.Close() }()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", target, err)
+		}
+		return resp.StatusCode, string(b)
+	}
+
+	for i := 0; i < chaosTotal; i++ {
+		target := "/v1/license?" + chaosRequest(i).Values().Encode()
+		code, want := fetch(plain, target)
+		if code != http.StatusOK {
+			t.Fatalf("unfaulted %s: %d: %s", target, code, want)
+		}
+		got := ""
+		for try := 0; ; try++ {
+			if try >= 50 {
+				t.Fatalf("%s: no success in 50 tries", target)
+			}
+			code, body := fetch(faulted, target)
+			if code == http.StatusOK {
+				got = body
+				break
+			}
+			if code != http.StatusServiceUnavailable {
+				t.Fatalf("faulted %s: unexpected %d: %s", target, code, body)
+			}
+		}
+		if got != want {
+			t.Errorf("%s: faulted body differs from unfaulted:\n got: %s\nwant: %s", target, got, want)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package client
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func licenseReq() serve.LicenseRequest {
+	return serve.LicenseRequest{CTP: 1000, Destination: "india", Date: 1995.45}
+}
+
+func TestNewValidatesBaseURL(t *testing.T) {
+	for _, base := range []string{"", "not a url", "localhost:8095", "http://"} {
+		if _, err := New(base, nil); err == nil {
+			t.Errorf("New(%q) accepted", base)
+		}
+	}
+	if _, err := New("http://localhost:8095", nil); err != nil {
+		t.Fatalf("New rejected a good base: %v", err)
+	}
+}
+
+func TestNewRejectsNegativeMaxAttempts(t *testing.T) {
+	if _, err := NewWithOptions("http://localhost:8095", Options{MaxAttempts: -1}); err == nil {
+		t.Fatal("negative MaxAttempts accepted")
+	}
+}
+
+// TestDefaultClientHasTimeouts is the regression test for the old
+// fallback to http.DefaultClient, which has no timeout and would hang
+// forever on a stalled server: the default transport must bound both the
+// whole exchange and connection establishment.
+func TestDefaultClientHasTimeouts(t *testing.T) {
+	c, err := New("http://localhost:8095", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.http.Timeout <= 0 {
+		t.Error("default client has no overall timeout")
+	}
+	tr, ok := c.http.Transport.(*http.Transport)
+	if !ok {
+		t.Fatalf("default transport is %T, want *http.Transport", c.http.Transport)
+	}
+	if tr.DialContext == nil {
+		t.Error("default transport has no dialing timeout configured")
+	}
+	if tr.ResponseHeaderTimeout <= 0 {
+		t.Error("default transport waits forever for response headers")
+	}
+}
+
+// TestStalledServerReturnsWithinDeadline opens a listener that accepts
+// connections but never writes a byte — the pathological server the old
+// http.DefaultClient fallback hung on — and checks that the per-attempt
+// timeout surfaces an error promptly.
+func TestStalledServerReturnsWithinDeadline(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				<-done // hold the connection open, never respond
+				_ = c.Close()
+			}(conn)
+		}
+	}()
+
+	c, err := NewWithOptions("http://"+ln.Addr().String(), Options{
+		MaxAttempts:       2,
+		PerAttemptTimeout: 150 * time.Millisecond,
+		BaseBackoff:       time.Millisecond,
+		MaxBackoff:        time.Millisecond,
+		Sleep:             func(time.Duration) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = c.Healthz(context.Background())
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("call against a stalled server succeeded")
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("stalled server held the client for %v", elapsed)
+	}
+}

@@ -1,0 +1,366 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// fakeClock is an injectable clock whose Sleep advances time instead of
+// waiting, so every backoff and breaker cooldown in this suite elapses
+// instantly — the whole file runs in well under a second of wall time.
+type fakeClock struct {
+	mu    sync.Mutex
+	now   time.Time
+	slept []time.Duration
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(1995, 6, 15, 0, 0, 0, 0, time.UTC)}
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+}
+
+func (f *fakeClock) Sleep(d time.Duration) {
+	f.mu.Lock()
+	f.slept = append(f.slept, d)
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+}
+
+func (f *fakeClock) Slept() []time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]time.Duration(nil), f.slept...)
+}
+
+// scriptTransport answers attempt i with script[i] (an HTTP status, or a
+// negative value for a transport error); past the end it repeats the last
+// entry. No network is involved, so attempts are instant.
+type scriptTransport struct {
+	mu     sync.Mutex
+	script []int
+	calls  int
+}
+
+var errScriptedTransport = errors.New("scripted transport failure")
+
+func (s *scriptTransport) RoundTrip(*http.Request) (*http.Response, error) {
+	s.mu.Lock()
+	i := s.calls
+	s.calls++
+	s.mu.Unlock()
+	if i >= len(s.script) {
+		i = len(s.script) - 1
+	}
+	code := s.script[i]
+	if code < 0 {
+		return nil, errScriptedTransport
+	}
+	body := `{}`
+	if code < 200 || code > 299 {
+		body = `{"error":"scripted failure"}`
+	}
+	return &http.Response{
+		StatusCode: code,
+		Header:     make(http.Header),
+		Body:       io.NopCloser(strings.NewReader(body)),
+	}, nil
+}
+
+func (s *scriptTransport) Calls() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+// scripted builds a fake-clocked client over a scripted transport.
+func scripted(t *testing.T, script []int, opts Options) (*Client, *scriptTransport, *fakeClock) {
+	t.Helper()
+	st := &scriptTransport{script: script}
+	fc := newFakeClock()
+	opts.HTTPClient = &http.Client{Transport: st}
+	opts.Clock = fc.Now
+	opts.Sleep = fc.Sleep
+	if opts.PerAttemptTimeout == 0 {
+		opts.PerAttemptTimeout = -1 // deadlines are meaningless under a fake clock
+	}
+	c, err := NewWithOptions("http://fake.test", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, st, fc
+}
+
+func TestRetrySchedules(t *testing.T) {
+	cases := []struct {
+		name        string
+		script      []int
+		maxAttempts int
+		wantErr     bool
+		wantStatus  int // APIError status expected when wantErr
+		wantCalls   int
+	}{
+		{name: "first try works", script: []int{200}, maxAttempts: 4, wantCalls: 1},
+		{name: "two 503s then success", script: []int{503, 503, 200}, maxAttempts: 4, wantCalls: 3},
+		{name: "transport errors then success", script: []int{-1, -1, 200}, maxAttempts: 4, wantCalls: 3},
+		{name: "500 and 429 retry too", script: []int{500, 429, 200}, maxAttempts: 4, wantCalls: 3},
+		{name: "exhaustion surfaces the last 503", script: []int{503}, maxAttempts: 3, wantErr: true, wantStatus: 503, wantCalls: 3},
+		{name: "404 is never retried", script: []int{404, 200}, maxAttempts: 4, wantErr: true, wantStatus: 404, wantCalls: 1},
+		{name: "400 is never retried", script: []int{400, 200}, maxAttempts: 4, wantErr: true, wantStatus: 400, wantCalls: 1},
+		{name: "retries disabled", script: []int{503, 200}, maxAttempts: 1, wantErr: true, wantStatus: 503, wantCalls: 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, st, fc := scripted(t, tc.script, Options{MaxAttempts: tc.maxAttempts})
+			_, err := c.Healthz(context.Background())
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("call succeeded")
+				}
+				var apiErr *APIError
+				if tc.wantStatus != 0 {
+					if !errors.As(err, &apiErr) || apiErr.Status != tc.wantStatus {
+						t.Fatalf("error %v, want APIError status %d", err, tc.wantStatus)
+					}
+				}
+			} else if err != nil {
+				t.Fatalf("call failed: %v", err)
+			}
+			if got := st.Calls(); got != tc.wantCalls {
+				t.Errorf("attempts = %d, want %d", got, tc.wantCalls)
+			}
+			st2 := c.RetryStats()
+			if int(st2.Attempts) != tc.wantCalls {
+				t.Errorf("RetryStats.Attempts = %d, want %d", st2.Attempts, tc.wantCalls)
+			}
+			if int(st2.Retries) != tc.wantCalls-1 {
+				t.Errorf("RetryStats.Retries = %d, want %d", st2.Retries, tc.wantCalls-1)
+			}
+			if len(fc.Slept()) != tc.wantCalls-1 {
+				t.Errorf("backoff pauses = %d, want %d", len(fc.Slept()), tc.wantCalls-1)
+			}
+		})
+	}
+}
+
+func TestNonIdempotentPostNotRetried(t *testing.T) {
+	c, st, _ := scripted(t, []int{503, 200}, Options{MaxAttempts: 4})
+	var out struct{}
+	err := c.post(context.Background(), "/v1/anything", map[string]string{"k": "v"}, &out, false)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 503 {
+		t.Fatalf("error %v, want the first 503 surfaced unretried", err)
+	}
+	if st.Calls() != 1 {
+		t.Fatalf("non-idempotent POST made %d attempts", st.Calls())
+	}
+}
+
+func TestIdempotentLicensePostRetries(t *testing.T) {
+	c, st, _ := scripted(t, []int{503, 200}, Options{MaxAttempts: 4})
+	if _, err := c.License(context.Background(), licenseReq()); err != nil {
+		t.Fatalf("License: %v", err)
+	}
+	if st.Calls() != 2 {
+		t.Fatalf("license POST made %d attempts, want 2", st.Calls())
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	base, max := 100*time.Millisecond, 2*time.Second
+	for seed := uint64(0); seed < 100; seed++ {
+		c, err := NewWithOptions("http://fake.test", Options{
+			BaseBackoff: base, MaxBackoff: max, JitterSeed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for attempt := 1; attempt <= 12; attempt++ {
+			cap := base << uint(attempt-1)
+			if cap > max || cap <= 0 {
+				cap = max
+			}
+			d := c.backoff(attempt)
+			if d < 0 || d >= cap {
+				t.Fatalf("seed %d attempt %d: backoff %v outside [0, %v)", seed, attempt, d, cap)
+			}
+		}
+	}
+}
+
+func TestBreakerOpensFailsFastAndRecovers(t *testing.T) {
+	cooldown := 10 * time.Second
+	c, st, fc := scripted(t, []int{503}, Options{
+		MaxAttempts: 1, BreakerThreshold: 3, BreakerCooldown: cooldown,
+	})
+	ctx := context.Background()
+
+	// Three consecutive failures open the breaker.
+	for i := 0; i < 3; i++ {
+		if _, err := c.Healthz(ctx); err == nil {
+			t.Fatal("scripted failure succeeded")
+		}
+	}
+	rs := c.RetryStats()
+	if rs.BreakerState != "open" || rs.BreakerOpens != 1 {
+		t.Fatalf("after 3 failures: %+v", rs)
+	}
+
+	// While open, calls fail fast without touching the transport.
+	before := st.Calls()
+	_, err := c.Healthz(ctx)
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open breaker returned %v", err)
+	}
+	if st.Calls() != before {
+		t.Fatal("fast-fail still hit the transport")
+	}
+
+	// After the cooldown, one half-open probe goes through; the scripted
+	// 503 reopens the breaker.
+	fc.Advance(cooldown)
+	if _, err := c.Healthz(ctx); err == nil {
+		t.Fatal("failing probe succeeded")
+	}
+	if st.Calls() != before+1 {
+		t.Fatalf("probe attempts = %d, want %d", st.Calls()-before, 1)
+	}
+	if rs := c.RetryStats(); rs.BreakerState != "open" || rs.BreakerOpens != 2 {
+		t.Fatalf("after failed probe: %+v", rs)
+	}
+
+	// A successful probe closes it for good.
+	st.mu.Lock()
+	st.script = []int{200}
+	st.mu.Unlock()
+	fc.Advance(cooldown)
+	if _, err := c.Healthz(ctx); err != nil {
+		t.Fatalf("recovering probe failed: %v", err)
+	}
+	if rs := c.RetryStats(); rs.BreakerState != "closed" {
+		t.Fatalf("after recovery: %+v", rs)
+	}
+}
+
+func TestHalfOpenAdmitsSingleProbe(t *testing.T) {
+	fc := newFakeClock()
+	c, err := NewWithOptions("http://fake.test", Options{
+		BreakerThreshold: 1, BreakerCooldown: time.Second, Clock: fc.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.breakerResult(false) // threshold 1: open immediately
+	fc.Advance(time.Second)
+	if err := c.breakerAllow(); err != nil {
+		t.Fatalf("post-cooldown probe rejected: %v", err)
+	}
+	// A second caller while the probe is in flight must be rejected.
+	if err := c.breakerAllow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("second half-open caller got %v, want ErrCircuitOpen", err)
+	}
+	c.breakerResult(true)
+	if err := c.breakerAllow(); err != nil {
+		t.Fatalf("closed breaker rejected: %v", err)
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	c, _, _ := scripted(t, []int{503}, Options{MaxAttempts: 1, BreakerThreshold: -1})
+	ctx := context.Background()
+	for i := 0; i < 50; i++ {
+		if _, err := c.Healthz(ctx); errors.Is(err, ErrCircuitOpen) {
+			t.Fatalf("disabled breaker opened after %d failures", i)
+		}
+	}
+}
+
+// TestRetryPropertySoak is the seeded 500-case property test: random
+// failure prefixes, attempt budgets, and backoff shapes, each case
+// checking the attempt cap, the success condition, the retry accounting,
+// and the jitter bounds of every pause. The fake clock makes all of it —
+// hundreds of simulated backoff-seconds — run in far under a second.
+func TestRetryPropertySoak(t *testing.T) {
+	start := time.Now()
+	for seed := uint64(0); seed < 500; seed++ {
+		rng := fault.Stream(seed*2654435761 + 1)
+		maxAttempts := 1 + int(rng()*6) // 1..6
+		failures := int(rng() * 8)      // 0..7 leading failures
+		base := time.Duration(1+int(rng()*50)) * time.Millisecond
+		max := base * time.Duration(1+int(rng()*32))
+
+		script := make([]int, 0, failures+1)
+		for i := 0; i < failures; i++ {
+			if rng() < 0.5 {
+				script = append(script, 503)
+			} else {
+				script = append(script, -1)
+			}
+		}
+		script = append(script, 200)
+
+		c, st, fc := scripted(t, script, Options{
+			MaxAttempts: maxAttempts, BaseBackoff: base, MaxBackoff: max,
+			BreakerThreshold: -1, JitterSeed: seed,
+		})
+		_, err := c.Healthz(context.Background())
+
+		wantCalls := failures + 1
+		if wantCalls > maxAttempts {
+			wantCalls = maxAttempts
+		}
+		if got := st.Calls(); got != wantCalls {
+			t.Fatalf("seed %d: attempts %d, want %d", seed, got, wantCalls)
+		}
+		if shouldSucceed := failures < maxAttempts; shouldSucceed != (err == nil) {
+			t.Fatalf("seed %d: err=%v with %d failures in %d attempts", seed, err, failures, maxAttempts)
+		}
+		rs := c.RetryStats()
+		if int(rs.Retries) != wantCalls-1 {
+			t.Fatalf("seed %d: retries %d, want %d", seed, rs.Retries, wantCalls-1)
+		}
+		slept := fc.Slept()
+		if len(slept) != wantCalls-1 {
+			t.Fatalf("seed %d: %d pauses for %d retries", seed, len(slept), wantCalls-1)
+		}
+		for i, d := range slept {
+			cap := base << uint(i)
+			if cap > max || cap <= 0 {
+				cap = max
+			}
+			if d < 0 || d >= cap {
+				t.Fatalf("seed %d retry %d: pause %v outside [0, %v)", seed, i+1, d, cap)
+			}
+		}
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("500-case soak took %v; the fake clock should keep it under 1s", elapsed)
+	}
+}
+
+func TestRoundTripCancelledContext(t *testing.T) {
+	c, _, _ := scripted(t, []int{503}, Options{MaxAttempts: 4})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Healthz(ctx); err == nil {
+		t.Fatal("cancelled context succeeded")
+	}
+}

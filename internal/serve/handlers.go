@@ -213,15 +213,26 @@ func (s *Server) decide(ctx context.Context, req LicenseRequest) (*LicenseRespon
 	key := strings.Join([]string{
 		sysName, canonicalFloat(float64(rated)), dest, endUse, canonicalFloat(float64(th)),
 	}, "\x1f")
+	// A degraded request treats the cache as poisoned: no read (the entry
+	// cannot be trusted) and no write (this computation must not displace
+	// good entries). Because cached decisions are immutable and a hit is
+	// byte-identical to the cold computation, the fallback answer matches
+	// the cached one exactly.
+	degraded := isDegraded(ctx)
 	lookup := obs.Child(ctx, "cache.lookup")
-	d, ok := s.decisions.Get(key)
-	if ok {
-		lookup.SetAttr("result", "hit")
+	if degraded {
+		lookup.SetAttr("result", "bypass")
 		lookup.End()
-		return d, true, nil
+	} else {
+		d, ok := s.decisions.Get(key)
+		if ok {
+			lookup.SetAttr("result", "hit")
+			lookup.End()
+			return d, true, nil
+		}
+		lookup.SetAttr("result", "miss")
+		lookup.End()
 	}
-	lookup.SetAttr("result", "miss")
-	lookup.End()
 
 	eval := obs.Child(ctx, "safeguards.evaluate")
 	decision, err := safeguards.Evaluate(safeguards.License{
@@ -244,7 +255,9 @@ func (s *Server) decide(ctx context.Context, req LicenseRequest) (*LicenseRespon
 	for _, sg := range decision.Safeguards {
 		resp.Safeguards = append(resp.Safeguards, sg.String())
 	}
-	s.decisions.Put(key, resp)
+	if !degraded {
+		s.decisions.Put(key, resp)
+	}
 	return resp, false, nil
 }
 
@@ -485,6 +498,17 @@ func (s *Server) handleThreshold(w http.ResponseWriter, r *http.Request) {
 // computation. Returned snapshots are immutable by contract. Under an
 // active trace it emits cache.lookup and snapshot.take child spans.
 func (s *Server) snapshotAt(ctx context.Context, date float64) (*threshold.Snapshot, error) {
+	// Degraded requests treat the study-date memo and the LRU as poisoned
+	// and recompute from the framework directly. threshold.Take is a pure
+	// function of its date, so the recomputed snapshot renders
+	// byte-identically to the memoized one.
+	if isDegraded(ctx) {
+		take := obs.Child(ctx, "snapshot.take")
+		take.SetAttr("degraded", "true")
+		snap, err := threshold.Take(date)
+		take.End()
+		return snap, err
+	}
 	if date == report.StudyDate {
 		span := obs.Child(ctx, "report.studySnapshot")
 		snap, err := report.StudySnapshot()
@@ -581,14 +605,25 @@ func snapshotDTO(snap *threshold.Snapshot) *ThresholdResponse {
 // ---- /v1/healthz ---------------------------------------------------------
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{
+	resp := HealthResponse{
 		Status:        "ok",
 		UptimeSeconds: s.clock().Sub(s.start).Seconds(),
 		Requests:      s.requests.Load(),
 		InFlight:      int(s.inFlight.Load()),
 		Decisions:     s.decisions.Stats(),
 		Snapshots:     s.snapshots.Stats(),
-	})
+	}
+	// Under a mounted fault plan, health reports the injection totals and
+	// flips to "degraded" once any response has been served cache-bypassed
+	// (sticky for the life of the process, like the counters themselves).
+	if s.fault != nil {
+		ft := s.met.faultTotals()
+		resp.Faults = &ft
+		if ft.Degraded > 0 {
+			resp.Status = "degraded"
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // ---- observability endpoints ---------------------------------------------

@@ -4,6 +4,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -78,6 +79,12 @@ type serverMetrics struct {
 	semWait  *obs.Histogram
 	panics   *obs.Counter
 	routes   map[string]*routeInstruments
+
+	// Fault-injection instruments, registered only when a fault plan is
+	// mounted so an unfaulted daemon's exposition shape is unchanged.
+	// faults indexes [kind-1] for Error, Latency, Poison.
+	faults   map[string]*[3]*obs.Counter
+	degraded *obs.Counter
 }
 
 // newServerMetrics registers the full instrument set and the read-through
@@ -105,10 +112,64 @@ func newServerMetrics(s *Server) *serverMetrics {
 		}
 		m.routes[route] = ri
 	}
+	if s.cfg.Fault != nil {
+		m.faults = make(map[string]*[3]*obs.Counter)
+		m.degraded = reg.Counter("degraded_responses_total",
+			"requests served cache-bypassed because a poison fault fired")
+		for _, route := range obsRoutes {
+			if !faultInjectable(route) {
+				continue
+			}
+			var kinds [3]*obs.Counter
+			for i, kind := range []string{"error", "latency", "poison"} {
+				kinds[i] = reg.Counter("fault_injected_total", "faults injected, by route and kind",
+					obs.L("route", route), obs.L("kind", kind))
+			}
+			m.faults[route] = &kinds
+		}
+	}
 	registerCacheMetrics(reg, "decisions", s.decisions.Stats)
 	registerCacheMetrics(reg, "snapshots", s.snapshots.Stats)
 	obs.RegisterBuildInfo(reg, obs.BuildInfo())
 	return m
+}
+
+// faultInjected records one injected fault. kind must be a real fault
+// (never fault.None); unknown routes and a nil receiver are ignored.
+func (m *serverMetrics) faultInjected(route string, kind fault.Kind) {
+	if m == nil || m.faults == nil {
+		return
+	}
+	if kinds, ok := m.faults[route]; ok && kind >= fault.Error && kind <= fault.Poison {
+		kinds[kind-1].Inc()
+	}
+}
+
+// degradedResponse records one cache-bypassed (poisoned) response.
+func (m *serverMetrics) degradedResponse() {
+	if m == nil || m.degraded == nil {
+		return
+	}
+	m.degraded.Inc()
+}
+
+// faultTotals sums the fault counters across routes for /v1/healthz.
+func (m *serverMetrics) faultTotals() FaultStats {
+	var fs FaultStats
+	if m == nil || m.faults == nil {
+		return fs
+	}
+	for _, route := range obsRoutes {
+		kinds, ok := m.faults[route]
+		if !ok {
+			continue
+		}
+		fs.InjectedErrors += kinds[fault.Error-1].Value()
+		fs.InjectedLatency += kinds[fault.Latency-1].Value()
+		fs.PoisonedLookups += kinds[fault.Poison-1].Value()
+	}
+	fs.Degraded = m.degraded.Value()
+	return fs
 }
 
 // registerCacheMetrics exposes one LRU's statistics as read-at-scrape

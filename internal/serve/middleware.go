@@ -140,6 +140,15 @@ func (s *Server) middleware(h http.Handler) http.Handler {
 				s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
 			}
 		}()
+		// Fault injection sits inside the full bookkeeping stack, so an
+		// injected 503 or delay is metered, traced, and logged exactly
+		// like an organic one.
+		if s.fault != nil && faultInjectable(route) {
+			var handled bool
+			if r, handled = s.injectFault(sw, r, route, span); handled {
+				return
+			}
+		}
 		inner.ServeHTTP(sw, r)
 	})
 }

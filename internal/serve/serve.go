@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/threshold"
 	"repro/internal/trend"
@@ -82,6 +83,19 @@ type Config struct {
 	// route, status, duration, cache state as attrs). Nil disables
 	// request logging.
 	Logger *slog.Logger
+
+	// Fault, when non-nil, mounts deterministic fault injection in the
+	// middleware: each arrival on an injectable route consumes the plan's
+	// next schedule slot and may be answered with an injected 503,
+	// delayed, or served with poisoned caches (degraded mode). The
+	// observability endpoints and /v1/healthz are never injected, so
+	// scrapes and health probes neither consume schedule slots nor lose
+	// reachability. Nil disables injection entirely.
+	Fault *fault.Plan
+
+	// Sleep performs injected latency pauses. Nil means time.Sleep; the
+	// chaos tests inject a recorder so injected delays cost no wall time.
+	Sleep func(time.Duration)
 }
 
 // Server is the query service: an http.Handler plus the caches and
@@ -95,6 +109,9 @@ type Server struct {
 
 	met    *serverMetrics // nil disables metric recording
 	tracer *obs.Tracer    // nil disables tracing
+
+	fault *fault.Plan         // nil disables fault injection
+	sleep func(time.Duration) // performs injected latency
 
 	sem      chan struct{}
 	requests atomic.Uint64 // request ids / total admitted
@@ -145,10 +162,16 @@ func New(cfg Config) (*Server, error) {
 	if cfg.TraceCapacity == 0 {
 		cfg.TraceCapacity = DefaultTraceCapacity
 	}
+	sleep := cfg.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
 	s := &Server{
 		cfg:       cfg,
 		clock:     clock,
 		logger:    cfg.Logger,
+		fault:     cfg.Fault,
+		sleep:     sleep,
 		sem:       make(chan struct{}, cfg.MaxInFlight),
 		decisions: NewLRU[string, *LicenseResponse](cfg.CacheSize),
 		snapshots: NewLRU[string, *threshold.Snapshot](cfg.CacheSize),

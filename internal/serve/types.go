@@ -295,14 +295,17 @@ type ThresholdResponse struct {
 	Projection         *ProjectionDTO      `json:"projection,omitempty"`
 }
 
-// HealthResponse is the /v1/healthz answer.
+// HealthResponse is the /v1/healthz answer. Status is "ok", or
+// "degraded" once a mounted fault plan has forced any cache-bypassed
+// response; Faults is present only while a fault plan is mounted.
 type HealthResponse struct {
-	Status        string     `json:"status"`
-	UptimeSeconds float64    `json:"uptimeSeconds"`
-	Requests      uint64     `json:"requests"`
-	InFlight      int        `json:"inFlight"`
-	Decisions     CacheStats `json:"decisionCache"`
-	Snapshots     CacheStats `json:"snapshotCache"`
+	Status        string      `json:"status"`
+	UptimeSeconds float64     `json:"uptimeSeconds"`
+	Requests      uint64      `json:"requests"`
+	InFlight      int         `json:"inFlight"`
+	Decisions     CacheStats  `json:"decisionCache"`
+	Snapshots     CacheStats  `json:"snapshotCache"`
+	Faults        *FaultStats `json:"faults,omitempty"`
 }
 
 // TracesResponse is the /v1/traces answer: recently completed request
