@@ -16,8 +16,12 @@ fi
 echo "== go vet ./... =="
 go vet ./...
 
-echo "== hpcvet ./... =="
-go run ./cmd/hpcvet ./...
+echo "== hpcvet ./... (json + baseline + stats) =="
+# One run does triple duty: -format json proves the machine-readable path,
+# -baseline diffs the findings against the committed grandfather list
+# (new findings fail; burned-down entries are reported on stderr), and
+# -stats prints per-checker finding counts and wall-clock timing.
+go run ./cmd/hpcvet -format json -baseline ci/hpcvet_baseline.json -stats ./... > /dev/null
 
 echo "== go vet ./cmd/hpcexportd ./internal/obs =="
 go vet ./cmd/hpcexportd ./internal/obs

@@ -1,22 +1,34 @@
 // hpcvet runs the repository's domain-aware static-analysis suite: unit
 // safety for Mtops/Mflops, panic-free library code, deterministic
-// computation paths, map-order-free exhibit emission, and no silently
-// dropped in-module errors. See internal/analysis for checker semantics
-// and the //hpcvet:allow suppression syntax.
+// computation paths, map-order-free exhibit emission, no silently dropped
+// in-module errors, and — since v2 — the whole-program checkers: taintdet
+// (nondeterminism flowing interprocedurally into exhibits, cache keys, or
+// /v1 responses), locksafe (mutex discipline), goleak (unbounded
+// goroutines), and allowaudit (stale suppressions). See internal/analysis
+// for checker semantics and the //hpcvet:allow suppression syntax.
 //
 // Usage:
 //
 //	hpcvet [flags] [patterns...]
 //
-//	hpcvet ./...               # vet the whole module (the default)
-//	hpcvet ./internal/...      # one subtree
+//	hpcvet ./...                    # vet the whole module (the default)
+//	hpcvet ./internal/...           # one subtree
 //	hpcvet -checks unitcast,errdrop ./...
-//	hpcvet -json ./...         # machine-readable findings
-//	hpcvet -list               # describe the checkers
+//	hpcvet -format json ./...       # machine-readable findings
+//	hpcvet -baseline ci/hpcvet_baseline.json ./...
+//	hpcvet -stats ./...             # per-checker counts and timing to stderr
+//	hpcvet -list                    # describe the checkers
 //
-// Exit code contract, for CI and tooling: 0 means the code is clean,
-// 1 means at least one finding was reported, 2 means the analysis itself
-// could not run (bad flags, unknown checker, parse or type error).
+// With -baseline, findings matching an entry in the baseline file are
+// grandfathered: they are dropped from the output and do not fail the run,
+// but entries that no longer match anything are reported to stderr as
+// burned-down debt. -write-baseline regenerates the file from the current
+// findings (for the initial grandfathering or after a deliberate burndown).
+//
+// Exit code contract, for CI and tooling: 0 means the code is clean
+// (modulo baseline), 1 means at least one new finding was reported, 2
+// means the analysis itself could not run (bad flags, unknown checker,
+// parse or type error).
 package main
 
 import (
@@ -26,6 +38,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"time"
 
 	"repro/internal/analysis"
 )
@@ -38,11 +52,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("hpcvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		asJSON = fs.Bool("json", false, "emit findings as a JSON array")
-		checks = fs.String("checks", "", "comma-separated checker names (default: all)")
-		list   = fs.Bool("list", false, "list the checkers and exit")
+		format    = fs.String("format", "text", "output format: text or json")
+		asJSON    = fs.Bool("json", false, "shorthand for -format json")
+		checks    = fs.String("checks", "", "comma-separated checker names (default: all)")
+		list      = fs.Bool("list", false, "list the checkers and exit")
+		baseline  = fs.String("baseline", "", "baseline file of grandfathered findings")
+		writeBase = fs.Bool("write-baseline", false, "rewrite the -baseline file from current findings and exit")
+		stats     = fs.Bool("stats", false, "print per-checker finding counts and timing to stderr")
+		workers   = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel analysis workers (1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *asJSON {
+		*format = "json"
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(stderr, "hpcvet: unknown format %q (valid: text, json)\n", *format)
 		return 2
 	}
 	if *list {
@@ -54,6 +80,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	selected, err := analysis.Select(*checks)
 	if err != nil {
 		fmt.Fprintln(stderr, "hpcvet:", err)
+		return 2
+	}
+	if *writeBase && *baseline == "" {
+		fmt.Fprintln(stderr, "hpcvet: -write-baseline requires -baseline")
 		return 2
 	}
 	patterns := fs.Args()
@@ -77,18 +107,53 @@ func run(args []string, stdout, stderr io.Writer) int {
 			patterns[i] = filepath.Join(cwd, p)
 		}
 	}
+	loadStart := time.Now()
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
 		fmt.Fprintln(stderr, "hpcvet:", err)
 		return 2
 	}
-	findings := analysis.Run(pkgs, selected)
+	prog := analysis.NewProgram(loader, pkgs)
+	loadDur := time.Since(loadStart)
+
+	runStart := time.Now()
+	findings := analysis.Run(prog, selected, analysis.Options{Workers: *workers})
+	runDur := time.Since(runStart)
+
+	if *writeBase {
+		if err := analysis.WriteBaseline(*baseline, loader.ModRoot, findings); err != nil {
+			fmt.Fprintln(stderr, "hpcvet:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "hpcvet: wrote %d finding(s) to %s\n", len(findings), *baseline)
+		return 0
+	}
+
+	var grandfathered int
+	if *baseline != "" {
+		base, err := analysis.LoadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(stderr, "hpcvet:", err)
+			return 2
+		}
+		var old []analysis.Finding
+		allFindings := findings
+		findings, old = base.Filter(loader.ModRoot, allFindings)
+		grandfathered = len(old)
+		if stale := base.Stale(loader.ModRoot, allFindings); len(stale) > 0 {
+			fmt.Fprintf(stderr, "hpcvet: %d baseline entr(ies) no longer match any finding — burned down; remove them from %s:\n", len(stale), *baseline)
+			for _, e := range stale {
+				fmt.Fprintf(stderr, "  %s [%s] %s\n", e.File, e.Check, e.Message)
+			}
+		}
+	}
+
 	for i := range findings {
 		if rel, err := filepath.Rel(cwd, findings[i].Pos.Filename); err == nil {
 			findings[i].Pos.Filename = rel
 		}
 	}
-	if *asJSON {
+	if *format == "json" {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "\t")
 		if findings == nil {
@@ -103,8 +168,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, f)
 		}
 	}
+	if *stats {
+		counts := map[string]int{}
+		for _, f := range findings {
+			counts[f.Check]++
+		}
+		fmt.Fprintf(stderr, "hpcvet: %d package(s), load %s, analysis %s (%d worker(s))\n",
+			len(pkgs), loadDur.Round(time.Millisecond), runDur.Round(time.Millisecond), *workers)
+		for _, c := range selected {
+			fmt.Fprintf(stderr, "  %-10s %d finding(s)\n", c.Name(), counts[c.Name()])
+		}
+		if n := counts["hpcvet"]; n > 0 {
+			fmt.Fprintf(stderr, "  %-10s %d finding(s)\n", "hpcvet", n)
+		}
+		if grandfathered > 0 {
+			fmt.Fprintf(stderr, "  grandfathered by baseline: %d\n", grandfathered)
+		}
+	}
 	if len(findings) > 0 {
-		if !*asJSON {
+		if *format != "json" {
 			fmt.Fprintf(stderr, "hpcvet: %d finding(s)\n", len(findings))
 		}
 		return 1

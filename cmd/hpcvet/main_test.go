@@ -34,7 +34,10 @@ func TestListExitsZero(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("-list exited %d: %s", code, errOut.String())
 	}
-	for _, name := range []string{"unitcast", "panicfree", "detrand", "maporder", "errdrop"} {
+	for _, name := range []string{
+		"unitcast", "panicfree", "detrand", "maporder", "errdrop",
+		"taintdet", "locksafe", "goleak", "allowaudit",
+	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %q:\n%s", name, out.String())
 		}
@@ -45,6 +48,18 @@ func TestUnknownCheckerExitsTwo(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run([]string{"-checks", "bogus"}, &out, &errOut); code != 2 {
 		t.Errorf("unknown checker exited %d, want 2", code)
+	}
+	for _, name := range analysis.CheckerNames() {
+		if !strings.Contains(errOut.String(), name) {
+			t.Errorf("unknown-checker error omits valid name %q:\n%s", name, errOut.String())
+		}
+	}
+}
+
+func TestUnknownFormatExitsTwo(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-format", "xml"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown format exited %d, want 2", code)
 	}
 }
 
@@ -72,5 +87,86 @@ func TestCleanPackageExitsZero(t *testing.T) {
 	}
 	if out.String() != "" {
 		t.Errorf("clean package produced output: %s", out.String())
+	}
+}
+
+// TestFormatJSONMatchesJSONFlag: -format json and the legacy -json
+// shorthand are the same machine-readable output.
+func TestFormatJSONMatchesJSONFlag(t *testing.T) {
+	chdirModuleRoot(t)
+	fixture := "./internal/analysis/testdata/src/panicfree"
+	var a, b, errOut strings.Builder
+	if code := run([]string{"-format", "json", fixture}, &a, &errOut); code != 1 {
+		t.Fatalf("-format json exited %d (stderr: %s)", code, errOut.String())
+	}
+	if code := run([]string{"-json", fixture}, &b, &errOut); code != 1 {
+		t.Fatalf("-json exited %d (stderr: %s)", code, errOut.String())
+	}
+	if a.String() != b.String() {
+		t.Errorf("-format json and -json diverge:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+// TestBaselineWorkflow drives the grandfather-then-burn-down loop: write a
+// baseline from a dirty fixture, rerun against it (clean), then check a
+// narrower run reports the surviving entries as burned-down debt.
+func TestBaselineWorkflow(t *testing.T) {
+	chdirModuleRoot(t)
+	fixture := "./internal/analysis/testdata/src/panicfree"
+	base := filepath.Join(t.TempDir(), "baseline.json")
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-baseline", base, "-write-baseline", fixture}, &out, &errOut); code != 0 {
+		t.Fatalf("-write-baseline exited %d: %s", code, errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-baseline", base, fixture}, &out, &errOut); code != 0 {
+		t.Fatalf("baselined run exited %d:\n%s%s", code, out.String(), errOut.String())
+	}
+	if out.String() != "" {
+		t.Errorf("grandfathered findings still printed:\n%s", out.String())
+	}
+
+	// A run that no longer produces the finding reports the entry as
+	// burned down but stays clean.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-baseline", base, "-checks", "errdrop", fixture}, &out, &errOut); code != 0 {
+		t.Fatalf("burndown run exited %d:\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "burned down") {
+		t.Errorf("stale baseline entry not reported:\n%s", errOut.String())
+	}
+}
+
+// TestMissingBaselineIsEmpty: a nonexistent baseline file behaves as an
+// empty baseline, so a dirty fixture still fails.
+func TestMissingBaselineIsEmpty(t *testing.T) {
+	chdirModuleRoot(t)
+	var out, errOut strings.Builder
+	code := run([]string{"-baseline", filepath.Join(t.TempDir(), "nope.json"),
+		"./internal/analysis/testdata/src/panicfree"}, &out, &errOut)
+	if code != 1 {
+		t.Errorf("dirty fixture with missing baseline exited %d, want 1", code)
+	}
+}
+
+// TestStatsGoToStderr: -stats prints per-checker counts and timing on
+// stderr, leaving stdout machine-clean.
+func TestStatsGoToStderr(t *testing.T) {
+	chdirModuleRoot(t)
+	var out, errOut strings.Builder
+	if code := run([]string{"-stats", "-format", "json", "./internal/units"}, &out, &errOut); code != 0 {
+		t.Fatalf("-stats run exited %d: %s", code, errOut.String())
+	}
+	for _, want := range []string{"analysis", "taintdet", "finding(s)"} {
+		if !strings.Contains(errOut.String(), want) {
+			t.Errorf("-stats output missing %q:\n%s", want, errOut.String())
+		}
+	}
+	if strings.Contains(out.String(), "finding(s)") {
+		t.Error("-stats leaked into stdout")
 	}
 }

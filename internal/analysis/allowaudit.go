@@ -1,0 +1,52 @@
+package analysis
+
+import "fmt"
+
+// AllowAudit flags //hpcvet:allow comments that no longer suppress
+// anything. A suppression is a standing claim — "a finding fires here and
+// this is why it is acceptable" — and when the code underneath it changes,
+// the claim can silently stop being true: the allow rots into noise that
+// future readers mistake for a live waiver. Auditing suppressions keeps
+// the allow inventory exactly as large as the set of accepted findings.
+//
+// The audit is engine-integrated: it needs to know which allows matched a
+// raw finding of any selected checker, which only the runner sees after
+// suppression. Run on a Pass is therefore a no-op; the runner calls
+// auditAllows once per package instead. An allow is stale only when its
+// named check actually ran — selecting a single checker does not condemn
+// every other checker's suppressions.
+type AllowAudit struct{}
+
+// Name implements Checker.
+func (AllowAudit) Name() string { return "allowaudit" }
+
+// Doc implements Checker.
+func (AllowAudit) Doc() string {
+	return "//hpcvet:allow comments that suppress nothing are stale and reported"
+}
+
+// Run implements Checker. The real work happens in auditAllows, driven by
+// the runner after suppression; see the type comment.
+func (AllowAudit) Run(*Pass) {}
+
+// auditAllows returns one finding per well-formed allow whose check ran
+// and that suppressed nothing. Allows for the allowaudit check itself are
+// exempt from the audit: they exist to waive stale-allow findings, which
+// are generated here and cannot feed back without a cycle.
+func auditAllows(allows *allowSet, selected map[string]bool) []Finding {
+	var out []Finding
+	for _, e := range allows.entries {
+		if e.used || !selected[e.check] || e.check == "allowaudit" {
+			continue
+		}
+		f := Finding{
+			Pos:     e.pos,
+			Check:   "allowaudit",
+			Message: fmt.Sprintf("stale //hpcvet:allow %s: no %s finding fires on the covered lines; delete the comment or fix the drift", e.check, e.check),
+		}
+		if !allows.suppressed(f) {
+			out = append(out, f)
+		}
+	}
+	return out
+}

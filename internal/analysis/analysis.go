@@ -5,29 +5,46 @@
 // The paper's framework collapses every judgment onto one scalar — CTP in
 // Mtops — and the historical record shows what a single confused unit or
 // an irreproducible exhibit costs. The checkers here enforce, mechanically,
-// the invariants the codebase otherwise maintains by vigilance:
+// the invariants the codebase otherwise maintains by vigilance.
 //
-//   - unitcast:  cross-unit conversions between units.Mtops and
-//     units.Mflops must go through helpers in internal/units
-//     (FromMflops64 and friends), never through bare casts or
-//     float64 laundering;
-//   - panicfree: library packages return errors; panic is reserved for
-//     package main and tests;
-//   - detrand:   computation paths take explicit seeded *rand.Rand values
-//     and injected clocks — the process-global math/rand source
-//     and time.Now make snapshots and Monte Carlo exhibits
-//     irreproducible;
-//   - maporder:  map iteration order must not feed the report emitters
-//     that regenerate the paper's tables and figures;
-//   - errdrop:   error results of in-module calls are handled or
-//     discarded explicitly, never silently.
+// Since v2 the engine is whole-program: the loader pulls in every
+// module-local dependency from source, a module-wide call graph is built
+// over all of them (see callgraph.go), and interprocedural facts — most
+// importantly the determinism-taint summaries of taint.go — are computed
+// once per Program and shared by every pass. Checkers implement
+//
+//	Run(pass *Pass)
+//
+// and report through pass.Reportf; the runner owns suppression, the
+// stale-suppression audit, ordering, and parallel per-package execution
+// on a parpool.Pool.
+//
+// The line-local checkers (unitcast, panicfree, detrand, maporder,
+// errdrop) are joined by four whole-program ones:
+//
+//   - taintdet:   determinism taint — time.Now, the global math/rand
+//     source, map iteration order, and environment reads must
+//     not flow, through any call chain or closure, into the
+//     report emitters, the decision-cache keys, or the /v1
+//     response bodies;
+//   - locksafe:   mutex discipline — Lock without Unlock on some path,
+//     double unlock, locks copied by value, WaitGroup.Add
+//     inside the spawned goroutine;
+//   - goleak:     goroutines spawned in library code outside parpool with
+//     no visible bound (no WaitGroup, channel, or context);
+//   - allowaudit: a //hpcvet:allow comment that suppresses nothing is
+//     itself a finding, so suppressions cannot rot.
 //
 // A finding can be suppressed, with a reason, by an
 //
 //	//hpcvet:allow <check> <reason...>
 //
-// comment on the offending line or on the line directly above it. An
-// allow comment without a reason is itself reported.
+// comment on the offending line or on the line directly above the
+// offending statement; in the line-above form the allow covers the
+// statement's whole line span, so multi-line calls need only one comment.
+// Two allows may share one comment: each occurrence of the marker starts
+// a new allow. An allow without a reason, or naming an unknown check, is
+// itself reported.
 package analysis
 
 import (
@@ -36,11 +53,14 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+
+	"repro/internal/parpool"
 )
 
 // Finding is one diagnostic: a position, the checker that produced it, and
-// a message. Findings are what cmd/hpcvet prints and what the golden tests
-// under testdata compare against.
+// a message. Findings are what cmd/hpcvet prints, what the golden tests
+// under testdata compare against, and what the committed baseline
+// grandfathers.
 type Finding struct {
 	Pos     token.Position `json:"pos"`
 	Check   string         `json:"check"`
@@ -53,17 +73,37 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
 }
 
-// Checker is one analysis pass. Check inspects a loaded, type-checked
-// package and returns its raw findings; the runner handles suppression
-// comments and ordering.
+// Pass is one checker's view of one package within a Program. Everything
+// a checker learns beyond the package itself — the call graph, the taint
+// summaries, the other loaded packages — comes through Prog.
+type Pass struct {
+	Prog *Program
+	Pkg  *Package
+
+	check    string
+	findings []Finding
+}
+
+// Reportf records a finding at pos under the running checker's name.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.findings = append(p.findings, Finding{
+		Pos:     p.Pkg.Fset.Position(pos),
+		Check:   p.check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Checker is one analysis pass. Run inspects pass.Pkg (with whole-program
+// facts available through pass.Prog) and reports through pass.Reportf;
+// the runner handles suppression comments and ordering.
 type Checker interface {
 	// Name is the short identifier used in output, -checks selections,
 	// and //hpcvet:allow comments.
 	Name() string
 	// Doc is a one-line description for -list output.
 	Doc() string
-	// Check returns the findings for one package.
-	Check(pkg *Package) []Finding
+	// Run inspects one package and reports findings on the pass.
+	Run(pass *Pass)
 }
 
 // Checkers returns the full suite in stable order.
@@ -74,11 +114,26 @@ func Checkers() []Checker {
 		DetRand{},
 		MapOrder{},
 		ErrDrop{},
+		TaintDet{},
+		LockSafe{},
+		GoLeak{},
+		AllowAudit{},
 	}
+}
+
+// CheckerNames returns the registered checker names in suite order.
+func CheckerNames() []string {
+	var names []string
+	for _, c := range Checkers() {
+		names = append(names, c.Name())
+	}
+	return names
 }
 
 // Select resolves a comma-separated list of checker names ("unitcast,
 // errdrop") against the registry. An empty selection means every checker.
+// An unknown name is an error that spells out the valid names, so a typo
+// in a CI invocation cannot silently select nothing.
 func Select(names string) ([]Checker, error) {
 	all := Checkers()
 	if strings.TrimSpace(names) == "" {
@@ -96,27 +151,70 @@ func Select(names string) ([]Checker, error) {
 		}
 		c, ok := byName[n]
 		if !ok {
-			return nil, fmt.Errorf("analysis: unknown checker %q", n)
+			return nil, fmt.Errorf("analysis: unknown checker %q (valid: %s)",
+				n, strings.Join(CheckerNames(), ", "))
 		}
 		out = append(out, c)
 	}
 	return out, nil
 }
 
-// Run applies the checkers to every package, filters suppressed findings,
-// and returns the remainder sorted by position. Malformed allow comments
-// are reported as findings of the pseudo-check "hpcvet".
-func Run(pkgs []*Package, checks []Checker) []Finding {
+// Options configures one Run.
+type Options struct {
+	// Workers sets the parpool worker count for per-package parallelism;
+	// <= 1 runs inline. The findings are byte-identical at any count.
+	Workers int
+}
+
+// Run applies the checkers to every target package of the program,
+// filters suppressed findings, audits the suppressions themselves, and
+// returns the remainder sorted by position. Malformed allow comments are
+// reported as findings of the pseudo-check "hpcvet".
+//
+// Packages are analyzed in parallel on a parpool.Pool (one contiguous
+// block of packages per worker); each package's findings land in its own
+// slot, so the merged, sorted output does not depend on the worker count.
+func Run(prog *Program, checks []Checker, opt Options) []Finding {
+	pkgs := prog.Pkgs
+	perPkg := make([][]Finding, len(pkgs))
+	task := func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var fs []Finding
+			for _, c := range checks {
+				if _, isAudit := c.(AllowAudit); isAudit {
+					continue // engine-integrated; see below
+				}
+				pass := &Pass{Prog: prog, Pkg: pkgs[i], check: c.Name()}
+				c.Run(pass)
+				fs = append(fs, pass.findings...)
+			}
+			perPkg[i] = fs
+		}
+	}
+	if opt.Workers > 1 && len(pkgs) > 1 {
+		pool := parpool.New(opt.Workers)
+		pool.Run(len(pkgs), task)
+		pool.Close()
+	} else {
+		task(0, 0, len(pkgs))
+	}
+
+	selected := map[string]bool{}
+	for _, c := range checks {
+		selected[c.Name()] = true
+	}
+
 	var out []Finding
-	for _, pkg := range pkgs {
+	for i, pkg := range pkgs {
 		allows, bad := collectAllows(pkg)
 		out = append(out, bad...)
-		for _, c := range checks {
-			for _, f := range c.Check(pkg) {
-				if !allows.suppressed(f) {
-					out = append(out, f)
-				}
+		for _, f := range perPkg[i] {
+			if !allows.suppressed(f) {
+				out = append(out, f)
 			}
+		}
+		if selected["allowaudit"] {
+			out = append(out, auditAllows(allows, selected)...)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -142,11 +240,28 @@ type allowKey struct {
 	check string
 }
 
-// allowSet is the parsed //hpcvet:allow suppressions of one package.
-type allowSet map[allowKey]bool
+// allowEntry is one well-formed //hpcvet:allow comment: where it sits,
+// which check it names, and whether any finding actually used it.
+type allowEntry struct {
+	pos   token.Position
+	check string
+	used  bool
+}
 
-func (s allowSet) suppressed(f Finding) bool {
-	return s[allowKey{f.Pos.Filename, f.Pos.Line, f.Check}]
+// allowSet maps every covered (file, line, check) site to its entry.
+type allowSet struct {
+	byKey   map[allowKey]*allowEntry
+	entries []*allowEntry // in comment order
+}
+
+// suppressed reports whether the finding is covered by an allow, marking
+// the covering entry as used.
+func (s *allowSet) suppressed(f Finding) bool {
+	e, ok := s.byKey[allowKey{f.Pos.Filename, f.Pos.Line, f.Check}]
+	if ok {
+		e.used = true
+	}
+	return ok
 }
 
 // allowPrefix introduces a suppression comment.
@@ -154,44 +269,92 @@ const allowPrefix = "//hpcvet:allow"
 
 // collectAllows parses every //hpcvet:allow comment in the package. A
 // well-formed allow names a check and gives a non-empty reason; it covers
-// findings of that check on its own line (trailing comment) and on the
-// line directly below (comment on its own line). Malformed allows are
-// returned as findings so they cannot silently fail to suppress.
-func collectAllows(pkg *Package) (allowSet, []Finding) {
-	allows := allowSet{}
+// findings of that check on its own line (trailing comment) and, when it
+// sits on a line of its own, the whole line span of the statement starting
+// directly below it — so a multi-line call needs only one comment above
+// it. Several allows may share one comment line; each occurrence of the
+// marker starts a new allow. Malformed allows are returned as findings so
+// they cannot silently fail to suppress.
+func collectAllows(pkg *Package) (*allowSet, []Finding) {
+	allows := &allowSet{byKey: map[allowKey]*allowEntry{}}
 	var bad []Finding
 	for _, file := range pkg.Files {
+		spans := stmtSpans(pkg, file)
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
 				if !strings.HasPrefix(c.Text, allowPrefix) {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				rest := strings.TrimPrefix(c.Text, allowPrefix)
-				fields := strings.Fields(rest)
-				if len(fields) < 2 {
-					bad = append(bad, Finding{
-						Pos:     pos,
-						Check:   "hpcvet",
-						Message: "malformed //hpcvet:allow: want \"//hpcvet:allow <check> <reason>\"",
-					})
-					continue
+				for _, clause := range splitAllows(c.Text) {
+					fields := strings.Fields(clause)
+					if len(fields) < 2 {
+						bad = append(bad, Finding{
+							Pos:     pos,
+							Check:   "hpcvet",
+							Message: "malformed //hpcvet:allow: want \"//hpcvet:allow <check> <reason>\"",
+						})
+						continue
+					}
+					check := fields[0]
+					if !knownCheck(check) {
+						bad = append(bad, Finding{
+							Pos:     pos,
+							Check:   "hpcvet",
+							Message: fmt.Sprintf("//hpcvet:allow names unknown check %q", check),
+						})
+						continue
+					}
+					e := &allowEntry{pos: pos, check: check}
+					allows.entries = append(allows.entries, e)
+					cover := func(line int) {
+						k := allowKey{pos.Filename, line, check}
+						if _, dup := allows.byKey[k]; !dup {
+							allows.byKey[k] = e
+						}
+					}
+					cover(pos.Line)
+					last := pos.Line + 1
+					if end, ok := spans[pos.Line+1]; ok && end > last {
+						last = end
+					}
+					for line := pos.Line + 1; line <= last; line++ {
+						cover(line)
+					}
 				}
-				check := fields[0]
-				if !knownCheck(check) {
-					bad = append(bad, Finding{
-						Pos:     pos,
-						Check:   "hpcvet",
-						Message: fmt.Sprintf("//hpcvet:allow names unknown check %q", check),
-					})
-					continue
-				}
-				allows[allowKey{pos.Filename, pos.Line, check}] = true
-				allows[allowKey{pos.Filename, pos.Line + 1, check}] = true
 			}
 		}
 	}
 	return allows, bad
+}
+
+// splitAllows cuts a comment's text into its //hpcvet:allow clauses, so
+// two allows stacked in one comment both register.
+func splitAllows(text string) []string {
+	var out []string
+	for _, part := range strings.Split(text, allowPrefix)[1:] {
+		out = append(out, part)
+	}
+	return out
+}
+
+// stmtSpans maps the starting line of every statement and declaration in
+// the file to the last line of its widest node, so a line-above allow can
+// cover a multi-line statement in full.
+func stmtSpans(pkg *Package, file *ast.File) map[int]int {
+	spans := map[int]int{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n.(type) {
+		case ast.Stmt, ast.Decl:
+			start := pkg.Fset.Position(n.Pos()).Line
+			end := pkg.Fset.Position(n.End()).Line
+			if end > spans[start] {
+				spans[start] = end
+			}
+		}
+		return true
+	})
+	return spans
 }
 
 // knownCheck reports whether name is a registered checker.

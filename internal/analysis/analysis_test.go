@@ -18,7 +18,10 @@ func TestCheckersAreRegisteredOnce(t *testing.T) {
 			t.Errorf("checker %q has no doc line", name)
 		}
 	}
-	for _, want := range []string{"unitcast", "panicfree", "detrand", "maporder", "errdrop"} {
+	for _, want := range []string{
+		"unitcast", "panicfree", "detrand", "maporder", "errdrop",
+		"taintdet", "locksafe", "goleak", "allowaudit",
+	} {
 		if !seen[want] {
 			t.Errorf("checker %q missing from the registry", want)
 		}
@@ -37,8 +40,14 @@ func TestSelect(t *testing.T) {
 	if len(two) != 2 || two[0].Name() != "unitcast" || two[1].Name() != "errdrop" {
 		t.Errorf("Select kept order badly: %v", two)
 	}
-	if _, err := Select("nosuchcheck"); err == nil {
-		t.Error("Select accepted an unknown checker")
+	_, err = Select("nosuchcheck")
+	if err == nil {
+		t.Fatal("Select accepted an unknown checker")
+	}
+	for _, name := range CheckerNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-checker error omits valid name %q: %v", name, err)
+		}
 	}
 }
 
@@ -94,7 +103,7 @@ func TestUnitcastSkipsUnitsPackage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, f := range Run(pkgs, []Checker{UnitCast{}}) {
+	for _, f := range Run(NewProgram(l, pkgs), []Checker{UnitCast{}}, Options{}) {
 		t.Errorf("unexpected finding in internal/units: %s", f)
 	}
 }
@@ -113,7 +122,7 @@ func TestMapOrderScopedToReportFeeders(t *testing.T) {
 	if pkgs[0].Imports("repro/internal/report") {
 		t.Skip("fixture assumption broken: top500 now imports report")
 	}
-	for _, f := range Run(pkgs, []Checker{MapOrder{}}) {
+	for _, f := range Run(NewProgram(l, pkgs), []Checker{MapOrder{}}, Options{}) {
 		t.Errorf("maporder fired outside the report-feeding scope: %s", f)
 	}
 }
@@ -127,7 +136,7 @@ func TestFindingsAreSorted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	findings := Run(pkgs, Checkers())
+	findings := Run(NewProgram(l, pkgs), Checkers(), Options{})
 	if len(findings) < 2 {
 		t.Fatalf("fixture produced %d findings, want several", len(findings))
 	}

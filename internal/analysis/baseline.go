@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// BaselineEntry identifies one grandfathered finding. Line and column are
+// deliberately absent: a baseline that pins exact positions churns on every
+// unrelated edit above the finding, so entries match on file, check, and
+// message only. The count field absorbs duplicates (the same message at two
+// sites in one file).
+type BaselineEntry struct {
+	File    string `json:"file"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+	Count   int    `json:"count"`
+}
+
+// Baseline is a set of grandfathered findings loaded from a committed JSON
+// file. Findings that match an entry are filtered out of hpcvet's output;
+// findings with no entry are new and fail the run. An entry that matches
+// nothing is stale debt that has been burned down — the file should shrink.
+type Baseline struct {
+	entries map[baselineKey]int
+}
+
+type baselineKey struct {
+	file, check, message string
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty baseline,
+// not an error, so fresh checkouts and fresh checkers both work.
+func LoadBaseline(path string) (*Baseline, error) {
+	b := &Baseline{entries: map[baselineKey]int{}}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return b, nil
+		}
+		return nil, err
+	}
+	var entries []BaselineEntry
+	if len(strings.TrimSpace(string(data))) > 0 {
+		if err := json.Unmarshal(data, &entries); err != nil {
+			return nil, fmt.Errorf("baseline %s: %v", path, err)
+		}
+	}
+	for _, e := range entries {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		b.entries[baselineKey{e.File, e.Check, e.Message}] += n
+	}
+	return b, nil
+}
+
+// baselineFile normalizes a finding position to the module-root-relative
+// slash path used in baseline entries, so the baseline is stable across
+// checkouts and operating systems.
+func baselineFile(modRoot, file string) string {
+	if modRoot != "" {
+		if rel, err := filepath.Rel(modRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	return filepath.ToSlash(file)
+}
+
+// Filter splits findings into new (not covered by the baseline) and
+// grandfathered (matched an entry). Each entry absorbs at most Count
+// findings; extras are new.
+func (b *Baseline) Filter(modRoot string, findings []Finding) (fresh, old []Finding) {
+	budget := make(map[baselineKey]int, len(b.entries))
+	for k, n := range b.entries {
+		budget[k] = n
+	}
+	for _, f := range findings {
+		k := baselineKey{baselineFile(modRoot, f.Pos.Filename), f.Check, f.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			old = append(old, f)
+		} else {
+			fresh = append(fresh, f)
+		}
+	}
+	return fresh, old
+}
+
+// Stale returns the entries that matched no finding in the given set —
+// fully burned-down debt whose lines should be deleted from the file.
+func (b *Baseline) Stale(modRoot string, findings []Finding) []BaselineEntry {
+	budget := make(map[baselineKey]int, len(b.entries))
+	for k, n := range b.entries {
+		budget[k] = n
+	}
+	for _, f := range findings {
+		k := baselineKey{baselineFile(modRoot, f.Pos.Filename), f.Check, f.Message}
+		if budget[k] > 0 {
+			budget[k]--
+		}
+	}
+	var out []BaselineEntry
+	for k, n := range budget {
+		if n > 0 {
+			out = append(out, BaselineEntry{File: k.file, Check: k.check, Message: k.message, Count: n})
+		}
+	}
+	sortBaseline(out)
+	return out
+}
+
+// WriteBaseline serializes the given findings as a baseline file.
+func WriteBaseline(path, modRoot string, findings []Finding) error {
+	counts := map[baselineKey]int{}
+	for _, f := range findings {
+		counts[baselineKey{baselineFile(modRoot, f.Pos.Filename), f.Check, f.Message}]++
+	}
+	entries := make([]BaselineEntry, 0, len(counts))
+	for k, n := range counts {
+		entries = append(entries, BaselineEntry{File: k.file, Check: k.check, Message: k.message, Count: n})
+	}
+	sortBaseline(entries)
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Len reports the number of distinct baseline entries.
+func (b *Baseline) Len() int { return len(b.entries) }
+
+func sortBaseline(entries []BaselineEntry) {
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+}

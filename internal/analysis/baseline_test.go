@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func bf(file string, line int, check, msg string) Finding {
+	return Finding{Pos: token.Position{Filename: file, Line: line, Column: 1}, Check: check, Message: msg}
+}
+
+// TestBaselineMatchesIgnoringPosition: entries match on file, check, and
+// message — a finding that moved lines is still grandfathered, a finding
+// with a new message is new.
+func TestBaselineMatchesIgnoringPosition(t *testing.T) {
+	root := t.TempDir()
+	path := filepath.Join(root, "base.json")
+	findings := []Finding{
+		bf(filepath.Join(root, "a.go"), 10, "detrand", "old message"),
+	}
+	if err := WriteBaseline(path, root, findings); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Len() != 1 {
+		t.Fatalf("baseline has %d entries, want 1", base.Len())
+	}
+
+	moved := bf(filepath.Join(root, "a.go"), 99, "detrand", "old message")
+	changed := bf(filepath.Join(root, "a.go"), 10, "detrand", "new message")
+	fresh, old := base.Filter(root, []Finding{moved, changed})
+	if len(old) != 1 || old[0].Pos.Line != 99 {
+		t.Errorf("moved finding not grandfathered: old=%v", old)
+	}
+	if len(fresh) != 1 || fresh[0].Message != "new message" {
+		t.Errorf("changed finding not treated as new: fresh=%v", fresh)
+	}
+}
+
+// TestBaselineCountBudget: an entry with count 2 absorbs exactly two
+// findings; the third is new.
+func TestBaselineCountBudget(t *testing.T) {
+	root := t.TempDir()
+	path := filepath.Join(root, "base.json")
+	dup := func(line int) Finding { return bf(filepath.Join(root, "b.go"), line, "errdrop", "dropped") }
+	if err := WriteBaseline(path, root, []Finding{dup(1), dup(2)}); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, old := base.Filter(root, []Finding{dup(1), dup(2), dup(3)})
+	if len(old) != 2 || len(fresh) != 1 {
+		t.Errorf("count budget misapplied: %d grandfathered, %d new (want 2, 1)", len(old), len(fresh))
+	}
+}
+
+// TestBaselineStale: entries that no longer match anything surface as
+// burned-down debt.
+func TestBaselineStale(t *testing.T) {
+	root := t.TempDir()
+	path := filepath.Join(root, "base.json")
+	if err := WriteBaseline(path, root, []Finding{bf(filepath.Join(root, "c.go"), 5, "goleak", "leak")}); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := base.Stale(root, nil)
+	if len(stale) != 1 || stale[0].Check != "goleak" {
+		t.Errorf("stale = %v, want the goleak entry", stale)
+	}
+	if stale := base.Stale(root, []Finding{bf(filepath.Join(root, "c.go"), 50, "goleak", "leak")}); len(stale) != 0 {
+		t.Errorf("matched entry reported stale: %v", stale)
+	}
+}
+
+// TestLoadBaselineMissingFile: absence is an empty baseline, not an error.
+func TestLoadBaselineMissingFile(t *testing.T) {
+	base, err := LoadBaseline(filepath.Join(t.TempDir(), "missing.json"))
+	if err != nil || base.Len() != 0 {
+		t.Fatalf("missing file: len=%d err=%v, want empty baseline", base.Len(), err)
+	}
+}
+
+// TestLoadBaselineRejectsGarbage: a corrupt file is an error, not a
+// silently empty baseline that would grandfather nothing.
+func TestLoadBaselineRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Error("corrupt baseline loaded without error")
+	}
+}

@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// CallGraph is the module-wide static call graph: one node per function
+// or method declared in a loaded module package, one edge per resolvable
+// call site. Calls made inside function literals are attributed to the
+// enclosing declaration — a closure is part of the function that builds
+// it — so "A calls B through a task closure handed to parpool" appears as
+// an A → B edge like any other.
+//
+// Calls whose callee cannot be resolved statically (through a function
+// value, an interface method, or a field) set Dynamic on the caller
+// instead of an edge. Interprocedural passes treat a dynamic caller as a
+// frontier: facts flow through the resolved edges and stop, soundly
+// pessimistic, at the unresolved ones.
+type CallGraph struct {
+	nodes map[*types.Func]*CallNode
+	order []*CallNode // stable: source order of the declarations
+}
+
+// CallNode is one declared function or method in the call graph.
+type CallNode struct {
+	Fn      *types.Func   // the declared object (generic origin for methods)
+	Pkg     *Package      // the declaring package
+	Decl    *ast.FuncDecl // the declaration, body included
+	Dynamic bool          // has at least one unresolvable call site
+
+	callees []*CallNode
+	callers []*CallNode
+}
+
+// Callees returns the resolved direct callees in first-call-site order.
+func (n *CallNode) Callees() []*CallNode { return n.callees }
+
+// Callers returns the nodes with an edge into n, in declaration order.
+func (n *CallNode) Callers() []*CallNode { return n.callers }
+
+// Node resolves a declared function to its node, or nil for functions
+// outside the loaded module packages.
+func (g *CallGraph) Node(fn *types.Func) *CallNode {
+	if fn == nil {
+		return nil
+	}
+	return g.nodes[fn.Origin()]
+}
+
+// Nodes returns every node in declaration order.
+func (g *CallGraph) Nodes() []*CallNode { return g.order }
+
+// ReachableFrom returns the set of declared functions reachable from the
+// given roots over resolved edges, roots included.
+func (g *CallGraph) ReachableFrom(roots ...*types.Func) map[*types.Func]bool {
+	seen := map[*types.Func]bool{}
+	var visit func(n *CallNode)
+	visit = func(n *CallNode) {
+		if n == nil || seen[n.Fn] {
+			return
+		}
+		seen[n.Fn] = true
+		for _, c := range n.callees {
+			visit(c)
+		}
+	}
+	for _, r := range roots {
+		visit(g.Node(r))
+	}
+	return seen
+}
+
+// buildCallGraph constructs the graph over every loaded module package.
+func buildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{nodes: map[*types.Func]*CallNode{}}
+	// First pass: one node per declaration, in deterministic order (the
+	// package list is sorted by path, files by name, decls by position).
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			if pkg.isTestFile(file) {
+				continue
+			}
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &CallNode{Fn: fn.Origin(), Pkg: pkg, Decl: fd}
+				g.nodes[n.Fn] = n
+				g.order = append(g.order, n)
+			}
+		}
+	}
+	// Second pass: edges from every call site, closures included.
+	for _, n := range g.order {
+		seen := map[*CallNode]bool{}
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee, kind := StaticCallee(n.Pkg, call)
+			switch kind {
+			case calleeDynamic:
+				n.Dynamic = true
+			case calleeFunc:
+				if target := g.Node(callee); target != nil && !seen[target] {
+					seen[target] = true
+					n.callees = append(n.callees, target)
+					target.callers = append(target.callers, n)
+				}
+			}
+			return true
+		})
+	}
+	for _, n := range g.order {
+		sort.Slice(n.callers, func(i, j int) bool {
+			return n.callers[i].Decl.Pos() < n.callers[j].Decl.Pos()
+		})
+	}
+	return g
+}
+
+// calleeKind classifies a call site for the graph builder.
+type calleeKind int
+
+const (
+	calleeNone    calleeKind = iota // conversion, builtin, or closure literal
+	calleeFunc                      // a statically resolved function or method
+	calleeDynamic                   // a call through a value: unresolvable
+)
+
+// StaticCallee resolves a call expression to the declared function it
+// invokes, when that resolution is static: a plain identifier, a package
+// selector, or a concrete method selector. Conversions, builtins, and
+// immediately-invoked function literals resolve to none; everything else
+// — function-typed variables, fields, interface methods — is dynamic.
+func StaticCallee(pkg *Package, call *ast.CallExpr) (*types.Func, calleeKind) {
+	fun := ast.Unparen(call.Fun)
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		return nil, calleeNone // a conversion, not a call
+	}
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		switch obj := pkg.Info.Uses[fun].(type) {
+		case *types.Func:
+			return obj.Origin(), calleeFunc
+		case *types.Builtin:
+			return nil, calleeNone
+		case nil:
+			return nil, calleeNone
+		default:
+			return nil, calleeDynamic // a function-typed variable
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			if sel, isSel := pkg.Info.Selections[fun]; isSel {
+				if _, isIface := sel.Recv().Underlying().(*types.Interface); isIface {
+					return nil, calleeDynamic // interface dispatch
+				}
+			}
+			return fn.Origin(), calleeFunc
+		}
+		return nil, calleeDynamic // a function-typed field
+	case *ast.FuncLit:
+		return nil, calleeNone // analyzed inline by the passes
+	default:
+		return nil, calleeDynamic
+	}
+}

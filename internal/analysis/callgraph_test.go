@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestCallGraphEdges: the module-wide graph records static call edges in
+// both directions, and closures are attributed to their enclosing
+// declaration rather than becoming orphan nodes.
+func TestCallGraphEdges(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "taintdet"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := NewProgram(l, pkgs)
+
+	byName := map[string]*CallNode{}
+	for _, n := range prog.CallGraph.Nodes() {
+		if n.Pkg == pkgs[0] {
+			byName[n.Fn.Name()] = n
+		}
+	}
+	for _, want := range []string{"nowMillis", "stamp", "EmitStamp", "keys", "EmitKeys"} {
+		if byName[want] == nil {
+			t.Fatalf("call graph is missing node %q", want)
+		}
+	}
+
+	hasCallee := func(from, to *CallNode) bool {
+		for _, c := range from.Callees() {
+			if c == to {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasCallee(byName["stamp"], byName["nowMillis"]) {
+		t.Error("stamp → nowMillis edge missing")
+	}
+	// EmitStamp only reaches stamp through its closure; the closure's
+	// calls must be attributed to EmitStamp.
+	if !hasCallee(byName["EmitStamp"], byName["stamp"]) {
+		t.Error("EmitStamp → stamp edge (via closure) missing")
+	}
+	hasCaller := func(of, want *CallNode) bool {
+		for _, c := range of.Callers() {
+			if c == want {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasCaller(byName["nowMillis"], byName["stamp"]) {
+		t.Error("nowMillis's callers do not include stamp")
+	}
+
+	reach := prog.CallGraph.ReachableFrom(byName["EmitStamp"].Fn)
+	if !reach[byName["nowMillis"].Fn] {
+		t.Error("nowMillis not reachable from EmitStamp")
+	}
+	if reach[byName["EmitKeys"].Fn] {
+		t.Error("EmitKeys spuriously reachable from EmitStamp")
+	}
+}

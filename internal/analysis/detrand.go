@@ -1,7 +1,6 @@
 package analysis
 
 import (
-	"fmt"
 	"go/ast"
 	"go/types"
 )
@@ -42,12 +41,12 @@ func (DetRand) Doc() string {
 	return "computation paths take seeded *rand.Rand values and injected clocks"
 }
 
-// Check implements Checker.
-func (DetRand) Check(pkg *Package) []Finding {
+// Run implements Checker.
+func (DetRand) Run(pass *Pass) {
+	pkg := pass.Pkg
 	if pkg.IsMain {
-		return nil
+		return
 	}
-	var out []Finding
 	pkg.inspect(func(file *ast.File, n ast.Node) bool {
 		sel, ok := n.(*ast.SelectorExpr)
 		if !ok {
@@ -64,23 +63,14 @@ func (DetRand) Check(pkg *Package) []Finding {
 		switch fn.Pkg().Path() {
 		case "math/rand", "math/rand/v2":
 			if globalRandFuncs[fn.Name()] {
-				out = append(out, Finding{
-					Pos:   pkg.position(sel.Pos()),
-					Check: "detrand",
-					Message: fmt.Sprintf("%s.%s draws from the process-global source; thread an explicitly seeded *rand.Rand instead",
-						fn.Pkg().Name(), fn.Name()),
-				})
+				pass.Reportf(sel.Pos(), "%s.%s draws from the process-global source; thread an explicitly seeded *rand.Rand instead",
+					fn.Pkg().Name(), fn.Name())
 			}
 		case "time":
 			if fn.Name() == "Now" {
-				out = append(out, Finding{
-					Pos:     pkg.position(sel.Pos()),
-					Check:   "detrand",
-					Message: "time.Now in a computation path is irreproducible; inject a clock (func() time.Time) the caller controls",
-				})
+				pass.Reportf(sel.Pos(), "time.Now in a computation path is irreproducible; inject a clock (func() time.Time) the caller controls")
 			}
 		}
 		return true
 	})
-	return out
 }

@@ -1,7 +1,6 @@
 package analysis
 
 import (
-	"fmt"
 	"go/ast"
 	"go/types"
 )
@@ -14,7 +13,14 @@ import (
 // handled or discarded explicitly (`_ = f()`), which leaves a visible,
 // greppable decision in the code. Out-of-module callees (fmt.Println and
 // friends) follow the usual Go conventions and are not this checker's
-// business; deferred calls are likewise exempt.
+// business.
+//
+// Deferred drops count too: both the direct form (`defer w.Flush()`) and
+// drops inside a deferred closure body (`defer func() { w.Flush() }()`)
+// are exactly as silent as a straight-line drop, and cleanup errors are
+// where corrupted exhibits hide. Historically the direct deferred form
+// was exempt and the closure form rode on the whole-file walk; both are
+// now explicit, fixture-pinned contract.
 type ErrDrop struct{}
 
 // Name implements Checker.
@@ -22,13 +28,13 @@ func (ErrDrop) Name() string { return "errdrop" }
 
 // Doc implements Checker.
 func (ErrDrop) Doc() string {
-	return "error results of in-module calls are handled or discarded explicitly"
+	return "error results of in-module calls are handled or discarded explicitly, deferred calls included"
 }
 
-// Check implements Checker.
-func (ErrDrop) Check(pkg *Package) []Finding {
-	var out []Finding
-	flag := func(call *ast.CallExpr) {
+// Run implements Checker.
+func (ErrDrop) Run(pass *Pass) {
+	pkg := pass.Pkg
+	flag := func(call *ast.CallExpr, how string) {
 		callee, name := moduleCallee(pkg, call)
 		if callee == nil {
 			return
@@ -37,24 +43,21 @@ func (ErrDrop) Check(pkg *Package) []Finding {
 		if !ok || !returnsError(sig) {
 			return
 		}
-		out = append(out, Finding{
-			Pos:     pkg.position(call.Pos()),
-			Check:   "errdrop",
-			Message: fmt.Sprintf("error result of %s discarded; handle it or assign it explicitly", name),
-		})
+		pass.Reportf(call.Pos(), "error result of %s %s; handle it or assign it explicitly", name, how)
 	}
 	pkg.inspect(func(file *ast.File, n ast.Node) bool {
 		switch stmt := n.(type) {
 		case *ast.ExprStmt:
 			if call, ok := stmt.X.(*ast.CallExpr); ok {
-				flag(call)
+				flag(call, "discarded")
 			}
 		case *ast.GoStmt:
-			flag(stmt.Call)
+			flag(stmt.Call, "discarded")
+		case *ast.DeferStmt:
+			flag(stmt.Call, "discarded by defer")
 		}
 		return true
 	})
-	return out
 }
 
 // moduleCallee resolves the called object when it is declared inside this

@@ -40,7 +40,7 @@ func TestFixtures(t *testing.T) {
 				t.Fatal(err)
 			}
 			var b strings.Builder
-			for _, f := range Run(pkgs, Checkers()) {
+			for _, f := range Run(NewProgram(loader, pkgs), Checkers(), Options{}) {
 				rel, err := filepath.Rel(dir, f.Pos.Filename)
 				if err != nil {
 					rel = f.Pos.Filename
@@ -79,7 +79,59 @@ func TestRepoIsClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, f := range Run(pkgs, Checkers()) {
+	for _, f := range Run(NewProgram(loader, pkgs), Checkers(), Options{}) {
 		t.Errorf("%s", f)
+	}
+}
+
+// TestSelfCheck pins the tentpole's dogfood requirement explicitly: the
+// analyzer's own packages pass the analyzer. TestRepoIsClean subsumes this,
+// but a failure here points straight at the engine.
+func TestSelfCheck(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(loader.ModRoot+"/internal/analysis", loader.ModRoot+"/cmd/hpcvet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range Run(NewProgram(loader, pkgs), Checkers(), Options{}) {
+		t.Errorf("hpcvet is not clean on itself: %s", f)
+	}
+}
+
+// TestParallelRunsAreDeterministic: findings must be byte-identical at any
+// worker count — the per-package slot merge, not scheduling, decides order.
+func TestParallelRunsAreDeterministic(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(dir + "/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := NewProgram(loader, pkgs)
+	render := func(fs []Finding) string {
+		var b strings.Builder
+		for _, f := range fs {
+			fmt.Fprintln(&b, f)
+		}
+		return b.String()
+	}
+	seq := render(Run(prog, Checkers(), Options{Workers: 1}))
+	if seq == "" {
+		t.Fatal("fixture corpus produced no findings; the determinism check is vacuous")
+	}
+	for _, workers := range []int{2, 3, 8} {
+		par := render(Run(prog, Checkers(), Options{Workers: workers}))
+		if par != seq {
+			t.Errorf("findings diverge at %d workers:\n--- sequential ---\n%s--- parallel ---\n%s", workers, seq, par)
+		}
 	}
 }

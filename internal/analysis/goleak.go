@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GoLeak flags goroutines spawned in library packages with no visible
+// bound. The repository's concurrency contract routes fork-join work
+// through parpool, whose workers are owned, counted, and joined; a bare
+// `go` in a library package with no WaitGroup, no channel, and no context
+// is a goroutine nobody can wait for or cancel — it outlives the call,
+// leaks under -race soak tests, and turns graceful shutdown into a data
+// race. Package main may spawn fire-and-forget goroutines (the process
+// is the bound), and internal/parpool is the sanctioned runtime.
+//
+// A spawn counts as bounded when the goroutine's body (or the called
+// function's arguments) visibly ties it to a join: it signals a
+// WaitGroup, sends on / closes / receives from a channel, selects, or
+// watches a context. The check is syntactic on the spawned body —
+// deliberately shallow, so the bound stays readable at the spawn site.
+type GoLeak struct{}
+
+// Name implements Checker.
+func (GoLeak) Name() string { return "goleak" }
+
+// Doc implements Checker.
+func (GoLeak) Doc() string {
+	return "library goroutines outside parpool must carry a visible bound (WaitGroup, channel, or context)"
+}
+
+// Run implements Checker.
+func (GoLeak) Run(pass *Pass) {
+	pkg := pass.Pkg
+	if pkg.IsMain || pkg.Path == pkg.ModPath+"/internal/parpool" {
+		return
+	}
+	pkg.inspect(func(file *ast.File, n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if goBounded(pkg, g) {
+			return true
+		}
+		pass.Reportf(g.Pos(),
+			"goroutine has no visible bound (no WaitGroup, channel, or context); it cannot be joined or cancelled — use parpool or tie it to a join")
+		return true
+	})
+}
+
+// goBounded reports whether the spawn carries a visible join or cancel.
+func goBounded(pkg *Package, g *ast.GoStmt) bool {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return bodyBounded(pkg, lit.Body)
+	}
+	// A named function: a channel, context, or WaitGroup among the
+	// arguments (or the receiver) is the caller handing over a bound.
+	for _, arg := range g.Call.Args {
+		if boundType(pkg.Info.TypeOf(arg)) {
+			return true
+		}
+	}
+	if sel, ok := ast.Unparen(g.Call.Fun).(*ast.SelectorExpr); ok {
+		if boundType(pkg.Info.TypeOf(sel.X)) {
+			return true
+		}
+	}
+	return false
+}
+
+// bodyBounded scans a spawned body for join evidence.
+func bodyBounded(pkg *Package, body *ast.BlockStmt) bool {
+	bounded := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if bounded {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			bounded = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				bounded = true
+			}
+		case *ast.RangeStmt:
+			if t := pkg.Info.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					bounded = true
+				}
+			}
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				if fun.Name == "close" {
+					if _, isBuiltin := pkg.Info.Uses[fun].(*types.Builtin); isBuiltin {
+						bounded = true
+					}
+				}
+			case *ast.SelectorExpr:
+				if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil {
+					if fn.Pkg().Path() == "sync" && (fn.Name() == "Done" || fn.Name() == "Add") &&
+						recvTypeName(recvOf(fn)) == "WaitGroup" {
+						bounded = true
+					}
+					if fn.Pkg().Path() == "context" || strings.HasPrefix(fn.Pkg().Path(), "context/") {
+						bounded = true
+					}
+				}
+				if boundType(pkg.Info.TypeOf(fun.X)) {
+					bounded = true
+				}
+			}
+		}
+		return !bounded
+	})
+	return bounded
+}
+
+// boundType reports whether t is a channel, a context.Context, or a
+// *sync.WaitGroup — the types that carry a join or cancel across a call.
+func boundType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if _, isChan := t.Underlying().(*types.Chan); isChan {
+		return true
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() == nil {
+			return false
+		}
+		if obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup" {
+			return true
+		}
+		if obj.Pkg().Path() == "context" && obj.Name() == "Context" {
+			return true
+		}
+	}
+	return false
+}

@@ -168,6 +168,19 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	return pkgs, nil
 }
 
+// Loaded returns every module package the loader has parsed and
+// type-checked so far — the requested targets plus all module-local
+// source dependencies — sorted by import path. NewProgram builds its
+// whole-program facts over this set.
+func (l *Loader) Loaded() []*Package {
+	var out []*Package
+	for _, pkg := range l.cache {
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
 // hasGoFiles reports whether dir directly contains at least one non-test
 // Go source file.
 func hasGoFiles(dir string) bool {

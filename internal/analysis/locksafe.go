@@ -1,0 +1,484 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockSafe enforces the mutex discipline the concurrent serving stack
+// depends on. PRs 2-5 grew a parpool barrier, a mutexed LRU, and a
+// breaker-guarded client; all of them promise "same seed ⇒ same bytes
+// under any interleaving", and that promise dies quietly when a lock
+// leaks. Four shapes are flagged:
+//
+//   - a Lock (or RLock) that some path exits without the matching Unlock
+//     — an early return between Lock and a non-deferred Unlock is the
+//     classic leak;
+//   - a second Unlock on a path where the mutex is already unlocked;
+//   - a lock-bearing value (sync.Mutex, RWMutex, WaitGroup, Cond, Once —
+//     directly or embedded in a struct or array) received or copied by
+//     value, which silently forks the lock state;
+//   - WaitGroup.Add called inside the spawned goroutine it is meant to
+//     count, which races the Wait.
+//
+// The path analysis is three-valued (locked / unlocked / unknown) and
+// merges at joins, so a conditionally-held lock is never reported as
+// either leak or double-unlock; only definite misuse fires.
+type LockSafe struct{}
+
+// Name implements Checker.
+func (LockSafe) Name() string { return "locksafe" }
+
+// Doc implements Checker.
+func (LockSafe) Doc() string {
+	return "every Lock unlocks on every path; no double unlock, by-value lock copies, or Add inside the waited goroutine"
+}
+
+// Run implements Checker.
+func (LockSafe) Run(pass *Pass) {
+	pkg := pass.Pkg
+	for _, file := range pkg.Files {
+		if pkg.isTestFile(file) {
+			continue
+		}
+		// Every function body — declarations and literals alike — gets an
+		// independent path walk; a closure owns its own lock discipline.
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					lw := &lockWalker{pass: pass, reported: map[token.Pos]bool{}}
+					lw.checkValueRecv(n)
+					end := lw.block(n.Body, lockEnv{})
+					lw.atExit(end, n.Type)
+				}
+			case *ast.FuncLit:
+				lw := &lockWalker{pass: pass, reported: map[token.Pos]bool{}}
+				end := lw.block(n.Body, lockEnv{})
+				lw.atExit(end, n.Type)
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					checkAddInGoroutine(pass, lit)
+				}
+			case *ast.AssignStmt:
+				checkLockCopy(pass, n)
+			case *ast.DeclStmt:
+				if gd, ok := n.Decl.(*ast.GenDecl); ok {
+					for _, spec := range gd.Specs {
+						if vs, ok := spec.(*ast.ValueSpec); ok {
+							checkLockCopySpec(pass, vs)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// lockVal is the three-valued state of one mutex.
+type lockVal int
+
+const (
+	lockUnknown lockVal = iota
+	lockHeld
+	lockFree
+)
+
+// lockEnv maps a rendered mutex expression (plus a ":r" suffix for the
+// read side of an RWMutex) to its state, the position of the responsible
+// Lock, and whether an Unlock is deferred.
+type lockEnv map[string]*lockState
+
+type lockState struct {
+	val      lockVal
+	lockPos  token.Pos
+	deferred bool
+}
+
+func (e lockEnv) clone() lockEnv {
+	out := lockEnv{}
+	for k, v := range e {
+		c := *v
+		out[k] = &c
+	}
+	return out
+}
+
+// mergeEnvs joins branch states: agreement survives, disagreement decays
+// to unknown (so neither leak nor double-unlock fires on a conditional).
+func mergeEnvs(envs ...lockEnv) lockEnv {
+	out := lockEnv{}
+	keys := map[string]bool{}
+	for _, e := range envs {
+		for k := range e {
+			keys[k] = true
+		}
+	}
+	for k := range keys {
+		var merged *lockState
+		for _, e := range envs {
+			s, ok := e[k]
+			if !ok {
+				s = &lockState{val: lockUnknown}
+			}
+			if merged == nil {
+				c := *s
+				merged = &c
+				continue
+			}
+			if merged.val != s.val {
+				merged.val = lockUnknown
+			}
+			merged.deferred = merged.deferred && s.deferred
+			if s.lockPos > merged.lockPos {
+				merged.lockPos = s.lockPos
+			}
+		}
+		out[k] = merged
+	}
+	return out
+}
+
+// lockWalker carries the reporting state of one function body.
+type lockWalker struct {
+	pass     *Pass
+	reported map[token.Pos]bool // one report per Lock site
+}
+
+func (w *lockWalker) block(b *ast.BlockStmt, env lockEnv) lockEnv {
+	for _, s := range b.List {
+		env = w.stmt(s, env)
+	}
+	return env
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, env lockEnv) lockEnv {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return w.block(s, env)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			w.lockOp(call, env)
+		}
+		return env
+	case *ast.DeferStmt:
+		for _, key := range deferredUnlocks(w.pass.Pkg, s.Call) {
+			st, ok := env[key]
+			if !ok {
+				st = &lockState{val: lockUnknown}
+				env[key] = st
+			}
+			st.deferred = true
+		}
+		return env
+	case *ast.ReturnStmt:
+		w.checkExit(env, s.Pos())
+		return env
+	case *ast.IfStmt:
+		if s.Init != nil {
+			env = w.stmt(s.Init, env)
+		}
+		thenEnv := w.stmt(s.Body, env.clone())
+		elseEnv := env.clone()
+		if s.Else != nil {
+			elseEnv = w.stmt(s.Else, elseEnv)
+		}
+		return mergeEnvs(thenEnv, elseEnv)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			env = w.stmt(s.Init, env)
+		}
+		bodyEnv := w.stmt(s.Body, env.clone())
+		return mergeEnvs(env, bodyEnv)
+	case *ast.RangeStmt:
+		bodyEnv := w.stmt(s.Body, env.clone())
+		return mergeEnvs(env, bodyEnv)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.branches(s, env)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, env)
+	}
+	return env
+}
+
+// branches walks every clause of a switch or select from the same entry
+// state and merges the exits; a missing default keeps the entry state in
+// the merge.
+func (w *lockWalker) branches(s ast.Stmt, env lockEnv) lockEnv {
+	var body *ast.BlockStmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			env = w.stmt(s.Init, env)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			env = w.stmt(s.Init, env)
+		}
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	exits := []lockEnv{env}
+	for _, clause := range body.List {
+		ce := env.clone()
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			for _, inner := range c.Body {
+				ce = w.stmt(inner, ce)
+			}
+		case *ast.CommClause:
+			if c.Comm != nil {
+				ce = w.stmt(c.Comm, ce)
+			}
+			for _, inner := range c.Body {
+				ce = w.stmt(inner, ce)
+			}
+		}
+		exits = append(exits, ce)
+	}
+	return mergeEnvs(exits...)
+}
+
+// lockOp interprets a Lock/Unlock family call against the environment.
+func (w *lockWalker) lockOp(call *ast.CallExpr, env lockEnv) {
+	key, op, ok := mutexOp(w.pass.Pkg, call)
+	if !ok {
+		return
+	}
+	st, present := env[key]
+	if !present {
+		st = &lockState{val: lockUnknown}
+		env[key] = st
+	}
+	switch op {
+	case "Lock", "RLock":
+		st.val = lockHeld
+		st.lockPos = call.Pos()
+	case "Unlock":
+		if st.val == lockFree {
+			w.pass.Reportf(call.Pos(),
+				"%s is already unlocked on this path; the second %s panics at runtime", keyName(key), op)
+		}
+		st.val = lockFree
+	case "RUnlock":
+		// Read locks count, so a second RUnlock after two RLocks is
+		// legal; only the leak side is tracked for the read state.
+		st.val = lockFree
+	}
+}
+
+// checkExit fires on a path leaving the function while a mutex is
+// definitely held with no deferred unlock.
+func (w *lockWalker) checkExit(env lockEnv, _ token.Pos) {
+	for key, st := range env {
+		if st.val == lockHeld && !st.deferred && !w.reported[st.lockPos] {
+			w.reported[st.lockPos] = true
+			w.pass.Reportf(st.lockPos,
+				"%s.Lock is not released on every path; defer the Unlock or unlock before returning", keyName(key))
+		}
+	}
+}
+
+// atExit handles falling off the end of a body, which is an implicit
+// return for functions without results.
+func (w *lockWalker) atExit(env lockEnv, ft *ast.FuncType) {
+	if ft.Results == nil || len(ft.Results.List) == 0 {
+		w.checkExit(env, token.NoPos)
+	}
+}
+
+// mutexOp recognizes a Lock/Unlock/RLock/RUnlock call on a sync.Mutex or
+// sync.RWMutex and returns a stable key for the receiver. The read side
+// keys separately from the write side.
+func mutexOp(pkg *Package, call *ast.CallExpr) (key, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	op = fn.Name()
+	switch op {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	key = types.ExprString(sel.X)
+	if op == "RLock" || op == "RUnlock" {
+		key += ":r"
+	}
+	return key, op, true
+}
+
+// keyName strips the read-side suffix for messages.
+func keyName(key string) string {
+	if len(key) > 2 && key[len(key)-2:] == ":r" {
+		return key[:len(key)-2] + " (read side)"
+	}
+	return key
+}
+
+// deferredUnlocks extracts the mutex keys a defer statement releases,
+// both directly (defer mu.Unlock()) and through a closure body
+// (defer func() { mu.Unlock() }()).
+func deferredUnlocks(pkg *Package, call *ast.CallExpr) []string {
+	var keys []string
+	record := func(c *ast.CallExpr) {
+		if key, op, ok := mutexOp(pkg, c); ok && (op == "Unlock" || op == "RUnlock") {
+			keys = append(keys, key)
+		}
+	}
+	record(call)
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok {
+				record(c)
+			}
+			return true
+		})
+	}
+	return keys
+}
+
+// checkAddInGoroutine flags WaitGroup.Add inside the goroutine the group
+// is counting: the spawned body may not have run Add yet when the parent
+// reaches Wait, so Wait can return early.
+func checkAddInGoroutine(pass *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit && n != ast.Node(lit) {
+			return false // a nested closure is a different goroutine's business
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" || fn.Name() != "Add" {
+			return true
+		}
+		if recvTypeName(recvOf(fn)) != "WaitGroup" {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"WaitGroup.Add inside the spawned goroutine races the Wait; call Add before the go statement")
+		return true
+	})
+}
+
+// recvOf returns a method's receiver type, or nil for plain functions.
+func recvOf(fn *types.Func) types.Type {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return sig.Recv().Type()
+	}
+	return types.Typ[types.Invalid]
+}
+
+// lockBearer names the sync type a by-value type carries, descending
+// through structs and arrays ("" when it carries none). Pointers are
+// fine: the lock state stays shared.
+func lockBearer(t types.Type) string {
+	return lockBearerSeen(t, map[types.Type]bool{})
+}
+
+func lockBearerSeen(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Cond", "Once":
+				return "sync." + obj.Name()
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name := lockBearerSeen(u.Field(i).Type(), seen); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return lockBearerSeen(u.Elem(), seen)
+	}
+	return ""
+}
+
+// checkValueRecv flags by-value receivers and parameters that carry a
+// lock: every call forks the lock state.
+func (w *lockWalker) checkValueRecv(decl *ast.FuncDecl) {
+	flagField := func(field *ast.Field, what string) {
+		t := w.pass.Pkg.Info.TypeOf(field.Type)
+		if t == nil {
+			return
+		}
+		if _, isPtr := t.(*types.Pointer); isPtr {
+			return
+		}
+		if name := lockBearer(t); name != "" {
+			w.pass.Reportf(field.Pos(),
+				"%s carries %s by value; every call copies the lock state — take a pointer", what, name)
+		}
+	}
+	if decl.Recv != nil {
+		for _, field := range decl.Recv.List {
+			flagField(field, "receiver")
+		}
+	}
+	if decl.Type.Params != nil {
+		for _, field := range decl.Type.Params.List {
+			flagField(field, "parameter")
+		}
+	}
+}
+
+// checkLockCopy flags assignments that copy an existing lock-bearing
+// value. A fresh composite literal or constructor result is
+// initialization, not a copy, and stays legal.
+func checkLockCopy(pass *Pass, s *ast.AssignStmt) {
+	for i, rhs := range s.Rhs {
+		if i >= len(s.Lhs) {
+			break
+		}
+		reportLockCopy(pass, rhs)
+	}
+}
+
+func checkLockCopySpec(pass *Pass, vs *ast.ValueSpec) {
+	for _, v := range vs.Values {
+		reportLockCopy(pass, v)
+	}
+}
+
+func reportLockCopy(pass *Pass, rhs ast.Expr) {
+	e := ast.Unparen(rhs)
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return // literals, calls, conversions: not a copy of live state
+	}
+	t := pass.Pkg.Info.TypeOf(e)
+	if t == nil {
+		return
+	}
+	if _, isPtr := t.(*types.Pointer); isPtr {
+		return
+	}
+	if name := lockBearer(t); name != "" {
+		pass.Reportf(rhs.Pos(),
+			"assignment copies a value carrying %s; the copy's lock state diverges — use a pointer", name)
+	}
+}

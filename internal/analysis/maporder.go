@@ -23,13 +23,13 @@ func (MapOrder) Doc() string {
 	return "no map-ordered iteration in packages feeding the report emitters"
 }
 
-// Check implements Checker.
-func (MapOrder) Check(pkg *Package) []Finding {
+// Run implements Checker.
+func (MapOrder) Run(pass *Pass) {
+	pkg := pass.Pkg
 	reportPath := pkg.ModPath + "/internal/report"
 	if pkg.Path != reportPath && !pkg.Imports(reportPath) {
-		return nil
+		return
 	}
-	var out []Finding
 	pkg.inspect(func(file *ast.File, n ast.Node) bool {
 		rng, ok := n.(*ast.RangeStmt)
 		if !ok {
@@ -40,13 +40,8 @@ func (MapOrder) Check(pkg *Package) []Finding {
 			return true
 		}
 		if _, ok := t.Underlying().(*types.Map); ok {
-			out = append(out, Finding{
-				Pos:     pkg.position(rng.Pos()),
-				Check:   "maporder",
-				Message: "range over a map in a report-feeding package; iteration order varies per run — sort the keys and range the slice",
-			})
+			pass.Reportf(rng.Pos(), "range over a map in a report-feeding package; iteration order varies per run — sort the keys and range the slice")
 		}
 		return true
 	})
-	return out
 }

@@ -22,12 +22,12 @@ func (PanicFree) Doc() string {
 	return "library packages return errors; panic is reserved for package main and tests"
 }
 
-// Check implements Checker.
-func (PanicFree) Check(pkg *Package) []Finding {
+// Run implements Checker.
+func (PanicFree) Run(pass *Pass) {
+	pkg := pass.Pkg
 	if pkg.IsMain {
-		return nil
+		return
 	}
-	var out []Finding
 	pkg.inspect(func(file *ast.File, n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -40,12 +40,7 @@ func (PanicFree) Check(pkg *Package) []Finding {
 		if _, ok := pkg.Info.Uses[ident].(*types.Builtin); !ok {
 			return true // a shadowed local named panic, not the builtin
 		}
-		out = append(out, Finding{
-			Pos:     pkg.position(call.Pos()),
-			Check:   "panicfree",
-			Message: "panic in library code; return an error the caller can handle",
-		})
+		pass.Reportf(call.Pos(), "panic in library code; return an error the caller can handle")
 		return true
 	})
-	return out
 }

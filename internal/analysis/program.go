@@ -1,0 +1,35 @@
+package analysis
+
+import "go/token"
+
+// Program is the whole-program view one Run analyzes: the target packages
+// findings are reported for, every module package the loader pulled in as
+// a source dependency (interprocedural facts need their bodies too), the
+// call graph over all of them, and the lazily-computed determinism-taint
+// summaries.
+type Program struct {
+	ModPath string
+	Fset    *token.FileSet
+	Pkgs    []*Package // reporting targets, in load order
+	All     []*Package // every loaded module package, sorted by path
+
+	CallGraph *CallGraph
+
+	taint *taintFacts
+}
+
+// NewProgram assembles a program from a loader and the target packages it
+// resolved. The call graph spans every loaded module package, not just
+// the targets, so facts flow through helpers the targets merely import.
+func NewProgram(l *Loader, targets []*Package) *Program {
+	all := l.Loaded()
+	prog := &Program{
+		ModPath:   l.ModPath,
+		Fset:      l.Fset,
+		Pkgs:      targets,
+		All:       all,
+		CallGraph: buildCallGraph(all),
+	}
+	prog.taint = computeTaintFacts(prog)
+	return prog
+}

@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+)
+
+// TaintDet is the whole-program determinism-taint checker. The paper's
+// framework stakes its policy argument on reproducibility — same seed,
+// same bytes — and the line-local detrand and maporder checkers only see
+// a source at its birthplace. TaintDet follows the value: a wall-clock
+// read, a global random draw, a map-ordered iteration, or an environment
+// read must not flow — through any chain of module calls, returns, and
+// closures — into a report emitter, a decision-cache key, or a /v1
+// response body. The summaries of taint.go carry flows across function
+// boundaries; this pass walks each function of the package with those
+// summaries applied at every call site and fires where taint meets a
+// sink, naming the original source and the chain it traveled.
+type TaintDet struct{}
+
+// Name implements Checker.
+func (TaintDet) Name() string { return "taintdet" }
+
+// Doc implements Checker.
+func (TaintDet) Doc() string {
+	return "no determinism taint (time, global rand, map order, env) may reach emitters, cache keys, or /v1 bodies"
+}
+
+// Run implements Checker. The walk re-encounters closures and arguments
+// more than once (bodies are walked twice for loop-carried taint), so
+// findings are deduplicated before they reach the pass.
+func (TaintDet) Run(pass *Pass) {
+	facts := pass.Prog.taint
+	type hit struct {
+		pos token.Pos
+		msg string
+	}
+	seen := map[string]bool{}
+	var hits []hit
+	for _, n := range pass.Prog.CallGraph.Nodes() {
+		if n.Pkg != pass.Pkg {
+			continue
+		}
+		w := facts.newWalker(n.Pkg, n.Decl, func(pos token.Pos, format string, args ...interface{}) {
+			msg := fmt.Sprintf(format, args...)
+			key := fmt.Sprintf("%d|%s", pos, msg)
+			if !seen[key] {
+				seen[key] = true
+				hits = append(hits, hit{pos: pos, msg: msg})
+			}
+		})
+		w.walk()
+	}
+	for _, h := range hits {
+		pass.Reportf(h.pos, "%s", h.msg)
+	}
+}

@@ -1,0 +1,20 @@
+// Package allowaudit is an hpcvet fixture: a //hpcvet:allow that
+// suppresses a live finding is fine, but one covering code that no longer
+// triggers its check is rot — flagged by allowaudit at the comment.
+package allowaudit
+
+import "time"
+
+// Live still triggers detrand, so its allow earns its keep: clean.
+func Live() time.Time {
+	//hpcvet:allow detrand fixture demonstrates a live suppression
+	return time.Now()
+}
+
+// Stale was presumably fixed after the allow was written — the comment
+// now covers an injected clock that detrand never flags: the allow
+// itself is the finding.
+func Stale(clock func() time.Time) time.Time {
+	//hpcvet:allow detrand leftover from before the clock was injected
+	return clock()
+}

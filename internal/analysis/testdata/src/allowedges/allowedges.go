@@ -1,0 +1,30 @@
+// Package allowedges is an hpcvet fixture for suppression-comment edge
+// cases: a line-above allow covering a multi-line statement, and two
+// allows stacked in one comment covering two checks on one line.
+package allowedges
+
+import "time"
+
+// describe is an in-module fallible callee for the stacked-allow case.
+func describe(t time.Time) error { return nil }
+
+// pick forces its arguments onto separate lines.
+func pick(a, b time.Time) time.Time { return a }
+
+// MultiLine: the allow sits above a statement that spans four lines; the
+// time.Now references on the inner lines are still covered: clean.
+func MultiLine() time.Time {
+	//hpcvet:allow detrand the whole multi-line statement is covered
+	return pick(
+		time.Now(),
+		time.Now(),
+	)
+}
+
+// Stacked: one comment carries two allows, one per check firing on the
+// line below — the errdrop on the dropped error and the detrand on the
+// clock read: clean.
+func Stacked() {
+	//hpcvet:allow errdrop fixture drops on purpose //hpcvet:allow detrand and reads the clock on purpose
+	describe(time.Now())
+}

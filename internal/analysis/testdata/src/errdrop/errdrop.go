@@ -32,6 +32,23 @@ func Handle(m *linsolve.CSR, dst, x []float64) error {
 	return mayFail()
 }
 
+// DeferDrop loses cleanup errors both ways defer allows: the direct
+// deferred call and the drop inside a deferred closure body are each
+// flagged — cleanup errors are where corrupted exhibits hide.
+func DeferDrop() {
+	defer mayFail()
+	defer func() {
+		mayFail()
+	}()
+}
+
+// DeferHandled discards explicitly inside the closure: clean.
+func DeferHandled() {
+	defer func() {
+		_ = mayFail()
+	}()
+}
+
 // Allowed records why the error cannot matter, in both comment positions:
 // clean.
 func Allowed() {

@@ -1,0 +1,60 @@
+// Package goleak is an hpcvet fixture: goroutines spawned in library code
+// with no visible bound — nothing to join, nothing to cancel — flagged;
+// goroutines tied to a WaitGroup, a channel, or a context, clean.
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+// sideEffect is a bound-free helper a leaked goroutine might run.
+func sideEffect() {}
+
+// FireAndForget spawns a closure nothing can join or cancel: flagged.
+func FireAndForget() {
+	go func() {
+		sideEffect()
+	}()
+}
+
+// NamedLeak spawns a named call with no bounding argument: flagged.
+func NamedLeak() {
+	go sideEffect()
+}
+
+// Joined counts the goroutine on a WaitGroup: clean.
+func Joined(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sideEffect()
+	}()
+}
+
+// Signalled reports completion on a channel the caller receives: clean.
+func Signalled() <-chan int {
+	done := make(chan int, 1)
+	go func() {
+		sideEffect()
+		done <- 1
+	}()
+	return done
+}
+
+// Cancellable threads a context the caller can cancel: clean.
+func Cancellable(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// NamedBounded passes a channel into the named callee: clean.
+func NamedBounded(results chan<- int) {
+	go produce(results)
+}
+
+// produce owns the send side of the caller's channel.
+func produce(results chan<- int) {
+	results <- 1
+}

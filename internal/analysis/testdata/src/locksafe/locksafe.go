@@ -1,0 +1,98 @@
+// Package locksafe is an hpcvet fixture: mutex misuse — a Lock that some
+// path never releases, double unlock, lock-bearing values copied, and
+// WaitGroup.Add racing its own Wait — flagged; the disciplined forms,
+// clean.
+package locksafe
+
+import "sync"
+
+// Leaky returns with the mutex held when cond is true: flagged at the
+// Lock site.
+func Leaky(mu *sync.Mutex, cond bool) {
+	mu.Lock()
+	if cond {
+		return
+	}
+	mu.Unlock()
+}
+
+// Deferred releases on every path the idiomatic way: clean.
+func Deferred(mu *sync.Mutex) int {
+	mu.Lock()
+	defer mu.Unlock()
+	return 1
+}
+
+// Branched unlocks explicitly on both paths: clean.
+func Branched(mu *sync.Mutex, cond bool) {
+	mu.Lock()
+	if cond {
+		mu.Unlock()
+		return
+	}
+	mu.Unlock()
+}
+
+// Double unlocks an already-released mutex: flagged at the second Unlock.
+func Double(mu *sync.Mutex) {
+	mu.Lock()
+	mu.Unlock()
+	mu.Unlock()
+}
+
+// ReadPairs takes and releases the read lock twice in sequence — read
+// locks count, so this is legal: clean.
+func ReadPairs(mu *sync.RWMutex) {
+	mu.RLock()
+	mu.RUnlock()
+	mu.RLock()
+	mu.RUnlock()
+}
+
+// Guarded carries a mutex; copying it copies the lock state.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Get uses a value receiver on a lock-bearing type: flagged.
+func (g Guarded) Get() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// Set takes the pointer: clean.
+func (g *Guarded) Set(n int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n = n
+}
+
+// Snapshot copies a lock-bearing value through a dereference: flagged at
+// the assignment.
+func Snapshot(g *Guarded) int {
+	cp := *g
+	return cp.n
+}
+
+// AddInside grows the WaitGroup from inside the goroutine it counts —
+// the Wait can win the race and return early: flagged at the Add.
+func AddInside(wg *sync.WaitGroup, work func()) {
+	go func() {
+		wg.Add(1)
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// AddOutside counts before spawning: clean.
+func AddOutside(wg *sync.WaitGroup, work func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}

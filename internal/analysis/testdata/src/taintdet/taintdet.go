@@ -1,0 +1,67 @@
+// Package taintdet is an hpcvet fixture: nondeterminism flowing
+// interprocedurally — through named calls and closures — into the report
+// emitters, flagged; sorted or injected-clock flows, clean.
+package taintdet
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/report"
+)
+
+// nowMillis reads the wall clock; the taint starts here. (detrand flags
+// the read itself; taintdet tracks where the value goes.)
+func nowMillis() int64 { return time.Now().UnixMilli() }
+
+// stamp launders the clock through a second call and a format verb.
+func stamp() string { return fmt.Sprintf("t=%d", nowMillis()) }
+
+// EmitStamp routes the wall clock through two named calls and a closure
+// into a table row: flagged, with the full chain in the message.
+func EmitStamp(t *report.Table) {
+	label := func() string { return stamp() }
+	t.AddRow("run", label())
+}
+
+// keys collects map keys in iteration order; the order taint rides the
+// returned slice out of the helper.
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// EmitKeys ranges the helper's unsorted slice into rows: flagged.
+func EmitKeys(t *report.Table, m map[string]int) {
+	for _, k := range keys(m) {
+		t.AddRow(k, m[k])
+	}
+}
+
+// EmitSortedKeys sorts the same slice first: clean.
+func EmitSortedKeys(t *report.Table, m map[string]int) {
+	ks := keys(m)
+	sort.Strings(ks)
+	for _, k := range ks {
+		t.AddRow(k, m[k])
+	}
+}
+
+// tag reads the environment, the third taint source.
+func tag() string { return os.Getenv("HPC_FIXTURE_TAG") }
+
+// EmitTag routes an environment read into a row: flagged.
+func EmitTag(t *report.Table) {
+	t.AddRow("tag", tag())
+}
+
+// EmitClocked takes the clock as an injected dependency: clean — the
+// caller owns the determinism decision.
+func EmitClocked(t *report.Table, clock func() time.Time) {
+	t.AddRow("at", fmt.Sprintf("%d", clock().Unix()))
+}

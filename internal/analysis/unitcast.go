@@ -1,7 +1,6 @@
 package analysis
 
 import (
-	"fmt"
 	"go/ast"
 	"go/types"
 )
@@ -105,12 +104,12 @@ func (UnitCast) Doc() string {
 	return "cross-unit Mtops/Mflops conversions must use internal/units helpers"
 }
 
-// Check implements Checker.
-func (UnitCast) Check(pkg *Package) []Finding {
+// Run implements Checker.
+func (UnitCast) Run(pass *Pass) {
+	pkg := pass.Pkg
 	if pkg.Path == unitsPath(pkg) {
-		return nil
+		return
 	}
-	var out []Finding
 	pkg.inspect(func(file *ast.File, n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -127,25 +126,16 @@ func (UnitCast) Check(pkg *Package) []Finding {
 		arg := call.Args[0]
 		sk := classifyUnit(pkg, pkg.Info.TypeOf(arg))
 		if sk == tk.other() {
-			out = append(out, Finding{
-				Pos:   pkg.position(call.Pos()),
-				Check: "unitcast",
-				Message: fmt.Sprintf("direct conversion from %s to %s; use units.FromMflops64 or a helper in internal/units",
-					sk, tk),
-			})
+			pass.Reportf(call.Pos(), "direct conversion from %s to %s; use units.FromMflops64 or a helper in internal/units",
+				sk, tk)
 			return true
 		}
 		if hit := launderedUnit(pkg, arg, tk.other()); hit != nil {
-			out = append(out, Finding{
-				Pos:   pkg.position(hit.Pos()),
-				Check: "unitcast",
-				Message: fmt.Sprintf("%s value reaches a %s conversion through arithmetic; convert with units.FromMflops64 or a helper in internal/units",
-					tk.other(), tk),
-			})
+			pass.Reportf(hit.Pos(), "%s value reaches a %s conversion through arithmetic; convert with units.FromMflops64 or a helper in internal/units",
+				tk.other(), tk)
 		}
 		return true
 	})
-	return out
 }
 
 // launderedUnit looks inside a conversion argument for a value of the
