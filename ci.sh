@@ -101,9 +101,40 @@ diff "$scrapedir/faults" ci/fault_counters.golden
 kill "$chaospid"
 chaospid=""
 
+echo "== hpcloadgen smoke (closed loop vs BENCH_throughput.json) =="
+# A short closed-loop run against a fresh daemon, compared against the
+# committed throughput baseline with a generous tolerance: this catches
+# order-of-magnitude collapses (a lost cache, a serialized batch path),
+# not machine-to-machine variance. The committed baseline was measured
+# with -duration 5s -conc 16 -batch-size 256 on the reference box.
+go build -o "$scrapedir/hpcloadgen" ./cmd/hpcloadgen
+"$scrapedir/hpcexportd" -addr localhost:18097 -quiet &
+loadpid=$!
+trap 'kill $scrapepid $chaospid $loadpid 2>/dev/null || true; rm -rf "$scrapedir"' EXIT
+up=0
+for _ in $(seq 1 50); do
+	if "$scrapedir/exportctl" -scrape -serve http://localhost:18097 > /dev/null 2>&1; then
+		up=1
+		break
+	fi
+	sleep 0.1
+done
+if [ "$up" != 1 ]; then
+	echo "ci.sh: daemon never came up for the loadgen smoke" >&2
+	exit 1
+fi
+"$scrapedir/hpcloadgen" -serve http://localhost:18097 \
+	-duration 1s -warmup 300ms -conc 8 -scenario get,batch -batch-size 256 \
+	-o "$scrapedir/throughput.json" -against BENCH_throughput.json -tolerance 0.95
+kill "$loadpid"
+loadpid=""
+
 # Fuzz smoke (not run in CI — native fuzzing is wall-clock heavy; run
 # locally before touching the parsers or the service request path):
 #   go test -fuzz=FuzzParseCTP -fuzztime=30s ./internal/ctp
 #   go test -fuzz=FuzzLicenseRequest -fuzztime=30s ./internal/serve
+#   go test -fuzz=FuzzAppendLicenseResponse -fuzztime=30s ./internal/serve
+#   go test -fuzz=FuzzParseLicensePostBody -fuzztime=30s ./internal/serve
+#   go test -fuzz=FuzzParseLicenseQuery -fuzztime=30s ./internal/serve
 
 echo "ci.sh: all checks passed"

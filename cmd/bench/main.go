@@ -9,10 +9,13 @@
 //	go run ./cmd/bench -o /tmp/now.json    # write elsewhere
 //	go run ./cmd/bench -benchtime 100ms    # steadier timings
 //	go run ./cmd/bench -against BENCH_baseline.json -o /tmp/now.json
+//	go run ./cmd/bench -against BENCH_baseline.json -alloc-strict
 //
 // With -against, the run prints a per-benchmark speedup column versus
 // the given baseline and exits nonzero if any shared benchmark
-// regressed by more than the -tolerance factor.
+// regressed by more than the -tolerance factor; -alloc-strict
+// additionally fails the run if any shared benchmark's allocs/op
+// increased, so zero-allocation hot paths cannot silently rot.
 package main
 
 import (
@@ -43,11 +46,12 @@ var benchLine = regexp.MustCompile(
 
 func main() {
 	var (
-		out       = flag.String("o", "BENCH_baseline.json", "output file")
-		benchtime = flag.String("benchtime", "1x", "go test -benchtime value")
-		pattern   = flag.String("bench", ".", "go test -bench pattern")
-		against   = flag.String("against", "", "baseline file to compare against (optional)")
-		tolerance = flag.Float64("tolerance", 0, "fail if ns/op regresses by more than this factor (0 = report only)")
+		out         = flag.String("o", "BENCH_baseline.json", "output file")
+		benchtime   = flag.String("benchtime", "1x", "go test -benchtime value")
+		pattern     = flag.String("bench", ".", "go test -bench pattern")
+		against     = flag.String("against", "", "baseline file to compare against (optional)")
+		tolerance   = flag.Float64("tolerance", 0, "fail if ns/op regresses by more than this factor (0 = report only)")
+		allocStrict = flag.Bool("alloc-strict", false, "with -against, fail if any shared benchmark's allocs/op increased")
 	)
 	flag.Parse()
 
@@ -75,7 +79,7 @@ func main() {
 	fmt.Printf("bench: wrote %d benchmarks to %s\n", len(records), *out)
 
 	if *against != "" {
-		if !compare(*against, records, *tolerance) {
+		if !compare(*against, records, *tolerance, *allocStrict) {
 			os.Exit(1)
 		}
 	}
@@ -121,8 +125,10 @@ func atof(s string) float64 { v, _ := strconv.ParseFloat(s, 64); return v }
 func atoi(s string) int64   { v, _ := strconv.ParseInt(s, 10, 64); return v }
 
 // compare prints per-benchmark speedups versus a baseline file and
-// reports whether the run stays within tolerance.
-func compare(path string, now map[string]Record, tolerance float64) bool {
+// reports whether the run stays within tolerance. With allocStrict, an
+// allocs/op increase on any shared benchmark is a failure on its own —
+// the guard that keeps zero-alloc hot paths from silently rotting.
+func compare(path string, now map[string]Record, tolerance float64, allocStrict bool) bool {
 	buf, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
@@ -152,11 +158,15 @@ func compare(path string, now map[string]Record, tolerance float64) bool {
 			marker = "  REGRESSED"
 			ok = false
 		}
+		if allocStrict && n.AllocsPerOp > b.AllocsPerOp {
+			marker += "  ALLOCS REGRESSED"
+			ok = false
+		}
 		fmt.Printf("%-60s %10.0f -> %10.0f ns/op  %5.2fx  allocs %d -> %d%s\n",
 			name, b.NsPerOp, n.NsPerOp, speedup, b.AllocsPerOp, n.AllocsPerOp, marker)
 	}
 	if !ok {
-		fmt.Fprintf(os.Stderr, "bench: regression beyond %.2fx tolerance versus %s\n", tolerance, path)
+		fmt.Fprintf(os.Stderr, "bench: regression versus %s\n", path)
 	}
 	return ok
 }

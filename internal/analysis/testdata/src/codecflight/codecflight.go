@@ -1,0 +1,90 @@
+// Package codecflight is an hpcvet fixture: the checkers must see
+// through the hot-path shapes introduced with the zero-allocation
+// license path — append-style codec helpers and singleflight fill
+// closures. An encoder helper changes how bytes are rendered, and a
+// flight group changes how often a fill runs; neither changes what the
+// code may do, so a dropped error or an ambient clock read inside them
+// is exactly as wrong as in straight-line code.
+package codecflight
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/report"
+)
+
+// flightDo is a miniature singleflight driver, the shape of the serve
+// package's coalescing layer: first caller computes, the rest share.
+func flightDo(calls map[string]func() ([]byte, error), key string, fill func() ([]byte, error)) ([]byte, error) {
+	if prior, ok := calls[key]; ok {
+		return prior()
+	}
+	calls[key] = fill
+	return fill()
+}
+
+// encode is an in-module fallible codec kernel, the stand-in for an
+// append-style response encoder.
+func encode(dst []byte, v string) ([]byte, error) { return append(dst, v...), nil }
+
+// validate is an in-module fallible check, the stand-in for a canonical-
+// form verification pass over encoded bytes.
+func validate(buf []byte) error { return nil }
+
+// DropInFill loses the validator's error inside the fill closure, so
+// every coalesced waiter shares a silently unverified result: flagged.
+func DropInFill(calls map[string]func() ([]byte, error), key string) []byte {
+	out, _ := flightDo(calls, key, func() ([]byte, error) {
+		buf, err := encode(nil, key)
+		if err != nil {
+			return nil, err
+		}
+		validate(buf)
+		return buf, nil
+	})
+	return out
+}
+
+// StampInFill reads the wall clock inside the fill closure — the exact
+// bug that makes a cached decision's bytes depend on when the leader
+// happened to run, breaking the hit-equals-cold contract: flagged.
+func StampInFill(calls map[string]func() ([]byte, error), key string) ([]byte, error) {
+	return flightDo(calls, key, func() ([]byte, error) {
+		return encode(nil, key+time.Now().Format(time.RFC3339))
+	})
+}
+
+// renderStamp launders a clock read through an append-style helper; the
+// taint rides the returned buffer out of the codec layer.
+func renderStamp(dst []byte) []byte {
+	return append(dst, fmt.Sprintf("t=%d", time.Now().UnixMilli())...)
+}
+
+// EmitRendered routes the codec helper's tainted bytes into a table
+// row: flagged, with the chain in the message.
+func EmitRendered(t *report.Table) {
+	t.AddRow("rendered", string(renderStamp(nil)))
+}
+
+// Propagated returns the encoder's error through the closure to the
+// flight driver and renders only its inputs, the serve-package idiom:
+// clean.
+func Propagated(calls map[string]func() ([]byte, error), key string, v string) ([]byte, error) {
+	return flightDo(calls, key, func() ([]byte, error) {
+		buf, err := encode(nil, v)
+		if err != nil {
+			return nil, err
+		}
+		return buf, nil
+	})
+}
+
+// EmitPure renders a pure function of its arguments into a row: clean.
+func EmitPure(t *report.Table, key string, n int) {
+	buf, err := encode(nil, fmt.Sprintf("%s=%d", key, n))
+	if err != nil {
+		return
+	}
+	t.AddRow(key, string(buf))
+}

@@ -42,6 +42,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/parpool"
 	"repro/internal/units"
 )
 
@@ -228,7 +229,17 @@ var (
 // CTP = TP₁ + Σᵢ₌₂ Cᵢ·TPᵢ with Cᵢ = 0.75 (shared memory) or 0.75·κ(B)
 // (distributed memory).
 func (s System) CTP() (units.Mtops, error) {
-	var tps []float64
+	return s.ctpInto(nil)
+}
+
+// ctpInto is CTP with a caller-supplied element scratch slice: the
+// expanded per-element TPs are built in scratch's storage when it is large
+// enough, so a batch rater can rate many systems with one allocation.
+func (s System) ctpInto(scratch []float64) (units.Mtops, error) {
+	tps := scratch[:0]
+	if n := s.Elements(); cap(tps) < n {
+		tps = make([]float64, 0, n)
+	}
 	for _, g := range s.Groups {
 		if g.Count <= 0 {
 			return 0, fmt.Errorf("%w: group %q count %d", ErrBadCount, g.Element.Name, g.Count)
@@ -252,6 +263,29 @@ func (s System) CTP() (units.Mtops, error) {
 		total += c * tp
 	}
 	return units.Mtops(total), nil
+}
+
+// RateOn rates a whole slice of systems, splitting the slice across the
+// pool's workers. Each index is rated independently into its own slot
+// (deterministic at any worker count), and each worker reuses one element
+// scratch buffer across its block, so a warm batch rating allocates per
+// worker, not per system. A nil pool rates inline.
+func RateOn(p *parpool.Pool, systems []System) ([]units.Mtops, []error) {
+	if len(systems) == 0 {
+		return nil, nil
+	}
+	out := make([]units.Mtops, len(systems))
+	errs := make([]error, len(systems))
+	p.Run(len(systems), func(_, lo, hi int) {
+		var scratch []float64
+		for i := lo; i < hi; i++ {
+			if n := systems[i].Elements(); n > cap(scratch) {
+				scratch = make([]float64, 0, n)
+			}
+			out[i], errs[i] = systems[i].ctpInto(scratch)
+		}
+	})
+	return out, errs
 }
 
 // Elements returns the total number of computing elements in the system.

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"math/bits"
 	"sync/atomic"
 	"time"
@@ -99,4 +100,38 @@ func BucketUpper(k int) uint64 {
 		return ^uint64(0)
 	}
 	return 1<<uint(k) - 1
+}
+
+// Quantile returns an upper bound on the q-quantile of the observed
+// distribution: the inclusive upper bound of the first bucket at which
+// the cumulative count reaches ⌈q·Count⌉. With power-of-two buckets the
+// bound is within 2x of the true quantile — the right resolution for
+// latency reporting (p50/p99), where the interesting signal is orders of
+// magnitude, not percent. q outside [0, 1] clamps; an empty histogram
+// reports 0. The read is not atomic against concurrent Observes: each
+// bucket load is, but the set of loads is a smear, which is fine for the
+// monitoring and load-report paths this serves.
+func (h *Histogram) Quantile(q float64) uint64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for k := 0; k < HistBuckets; k++ {
+		cum += h.buckets[k].Load()
+		if cum >= target {
+			return BucketUpper(k)
+		}
+	}
+	return BucketUpper(HistBuckets - 1)
 }

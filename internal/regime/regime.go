@@ -62,56 +62,64 @@ type Event struct {
 // equivalents (the paper: Mtops are "roughly equivalent" to Mflops with
 // adjustments; the 1991 conversion set the supercomputer line at 195
 // Mtops where the prior practice clustered near 100–160 Mflops).
+// Callers receive a fresh copy and may mutate it freely.
 func Timeline() []Event {
-	return []Event{
-		{
-			Date: 1984.5, Kind: Arrangement,
-			Citation:  "U.S.–Japan Supercomputer Control Regime",
-			Summary:   "joint regulation of a named list of the ten or so highest-performing computers; 100 Mflops working line",
-			Threshold: 120,
-		},
-		{
-			Date: 1985.05, Kind: Adopted,
-			Citation:  "Commerce decontrol of first-wave PCs (January 1985)",
-			Summary:   "IBM PC-XT class made freely exportable — the first concession to uncontrollability",
-			Threshold: 1,
-		},
-		{
-			Date: 1988.93, Kind: Proposed,
-			Citation:  "53 FR 48932 (December 5, 1988)",
-			Summary:   "first published supercomputer definition at 160 Mflops, the Cray-1's theoretical peak",
-			Threshold: 195,
-		},
-		{
-			Date: 1990.08, Kind: Proposed,
-			Citation:  "55 FR 3017 (January 29, 1990)",
-			Summary:   "revised definition with three tiers at 100, 150, and 300 Mflops keyed to safeguard levels",
-			Threshold: 360,
-		},
-		{
-			Date: 1991.45, Kind: Adopted,
-			Citation:  "renegotiated U.S.–Japan accord (March–June 1991)",
-			Summary:   "safeguard arrangements required at 195 Mtops; named-machine list abandoned for the CTP metric",
-			Threshold: 195,
-		},
-		{
-			Date: 1993.75, Kind: Proposed,
-			Citation:  "TPCC report (September 30, 1993)",
-			Summary:   "proposed raising the supercomputer threshold from 195 to 2,000 Mtops",
-			Threshold: 2000,
-		},
-		{
-			Date: 1994.15, Kind: Adopted,
-			Citation:  "59 FR 8848 (February 24, 1994)",
-			Summary:   "threshold raised to 1,500 Mtops after negotiation with Japan fell short of the 2,000 goal",
-			Threshold: 1500,
-		},
-		{
-			Date: 1995.15, Kind: Arrangement,
-			Citation: "Administration computer-control review (February 1995)",
-			Summary:  "the review this study contributed to",
-		},
-	}
+	out := make([]Event, len(timeline))
+	copy(out, timeline)
+	return out
+}
+
+// timeline is the immutable backing array of Timeline. ThresholdInForce
+// reads it directly so the in-force lookup — on the license hot path of
+// internal/serve — allocates nothing.
+var timeline = []Event{
+	{
+		Date: 1984.5, Kind: Arrangement,
+		Citation:  "U.S.–Japan Supercomputer Control Regime",
+		Summary:   "joint regulation of a named list of the ten or so highest-performing computers; 100 Mflops working line",
+		Threshold: 120,
+	},
+	{
+		Date: 1985.05, Kind: Adopted,
+		Citation:  "Commerce decontrol of first-wave PCs (January 1985)",
+		Summary:   "IBM PC-XT class made freely exportable — the first concession to uncontrollability",
+		Threshold: 1,
+	},
+	{
+		Date: 1988.93, Kind: Proposed,
+		Citation:  "53 FR 48932 (December 5, 1988)",
+		Summary:   "first published supercomputer definition at 160 Mflops, the Cray-1's theoretical peak",
+		Threshold: 195,
+	},
+	{
+		Date: 1990.08, Kind: Proposed,
+		Citation:  "55 FR 3017 (January 29, 1990)",
+		Summary:   "revised definition with three tiers at 100, 150, and 300 Mflops keyed to safeguard levels",
+		Threshold: 360,
+	},
+	{
+		Date: 1991.45, Kind: Adopted,
+		Citation:  "renegotiated U.S.–Japan accord (March–June 1991)",
+		Summary:   "safeguard arrangements required at 195 Mtops; named-machine list abandoned for the CTP metric",
+		Threshold: 195,
+	},
+	{
+		Date: 1993.75, Kind: Proposed,
+		Citation:  "TPCC report (September 30, 1993)",
+		Summary:   "proposed raising the supercomputer threshold from 195 to 2,000 Mtops",
+		Threshold: 2000,
+	},
+	{
+		Date: 1994.15, Kind: Adopted,
+		Citation:  "59 FR 8848 (February 24, 1994)",
+		Summary:   "threshold raised to 1,500 Mtops after negotiation with Japan fell short of the 2,000 goal",
+		Threshold: 1500,
+	},
+	{
+		Date: 1995.15, Kind: Arrangement,
+		Citation: "Administration computer-control review (February 1995)",
+		Summary:  "the review this study contributed to",
+	},
 }
 
 // ThresholdInForce returns the supercomputer control threshold in legal
@@ -124,7 +132,7 @@ func Timeline() []Event {
 func ThresholdInForce(date float64) (units.Mtops, bool) {
 	var out units.Mtops
 	found := false
-	for _, e := range Timeline() {
+	for _, e := range timeline {
 		if e.Date > date {
 			break
 		}

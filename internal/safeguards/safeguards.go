@@ -22,6 +22,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/parpool"
 	"repro/internal/units"
 )
 
@@ -221,50 +222,120 @@ func (d Decision) String() string {
 // ErrBadLicense reports a malformed application.
 var ErrBadLicense = errors.New("safeguards: malformed license application")
 
+// tierRule is the precomputed disposition of an at-or-above-threshold sale
+// to one destination tier. The regime's per-tier branch is a pure function
+// of the tier, so it is evaluated once here and applied by table lookup.
+// The safeguard slices are shared across every Decision that cites them
+// and must never be mutated; they are built with cap == len, so appending
+// to a Decision's slice copies rather than writing through.
+type tierRule struct {
+	outcome    Outcome
+	safeguards []Safeguard
+	rationale  string
+}
+
+// tierRules indexes the disposition table by Tier.
+var tierRules = [...]tierRule{
+	SupplierState: {
+		outcome:   Notify,
+		rationale: "transfer between supplier states under the bilateral arrangement",
+	},
+	MajorAlly: {
+		outcome:    Approve,
+		safeguards: []Safeguard{EndUseConfirmation},
+		rationale:  "minimal requirements for major allies",
+	},
+	PlanRequired: {
+		outcome:    Approve,
+		safeguards: []Safeguard{EndUseConfirmation, AccessControl, AuditSoftware},
+		rationale:  "security safeguards plan required",
+	},
+	CertificationRequired: {
+		outcome: Approve,
+		safeguards: []Safeguard{EndUseConfirmation, AccessControl, AuditSoftware,
+			Surveillance24h, GovernmentCertification},
+		rationale: "safeguards plan plus importing-government certification",
+	},
+	Restricted: {
+		outcome: Deny,
+		safeguards: []Safeguard{EndUseConfirmation, AccessControl, AuditSoftware,
+			Surveillance24h, GovernmentCertification},
+		rationale: "licenses for restricted destinations are generally denied",
+	},
+}
+
+// Rule returns the tier's at-or-above-threshold disposition: the outcome,
+// the attached safeguard conditions, and the rationale Evaluate would
+// record. The returned safeguard slice is shared and must not be mutated.
+func Rule(t Tier) (Outcome, []Safeguard, string) {
+	if t < 0 || int(t) >= len(tierRules) {
+		t = CertificationRequired
+	}
+	r := &tierRules[t]
+	return r.outcome, r.safeguards, r.rationale
+}
+
 // Evaluate applies the regime to an application under the control
-// threshold in force.
+// threshold in force. The returned decision's Safeguards slice is shared
+// with the package's disposition table and must not be mutated.
 func Evaluate(l License, thresholdMtops units.Mtops) (Decision, error) {
+	var d Decision
+	if err := EvaluateInto(&d, l, thresholdMtops); err != nil {
+		return Decision{}, err
+	}
+	return d, nil
+}
+
+// EvaluateInto applies the regime to an application, writing the decision
+// into *d. It is Evaluate without the per-call Decision copy: the batch
+// evaluator fills a caller-owned slice element directly. On error *d is
+// reset to the zero Decision. The Safeguards slice of a filled decision is
+// shared with the package's disposition table and must not be mutated.
+func EvaluateInto(d *Decision, l License, thresholdMtops units.Mtops) error {
+	*d = Decision{}
 	if l.Destination == "" {
-		return Decision{}, fmt.Errorf("%w: empty destination", ErrBadLicense)
+		return fmt.Errorf("%w: empty destination", ErrBadLicense)
 	}
 	if l.CTP <= 0 {
-		return Decision{}, fmt.Errorf("%w: non-positive CTP %v", ErrBadLicense, l.CTP)
+		return fmt.Errorf("%w: non-positive CTP %v", ErrBadLicense, l.CTP)
 	}
 	if thresholdMtops <= 0 {
-		return Decision{}, fmt.Errorf("%w: non-positive threshold %v", ErrBadLicense, thresholdMtops)
+		return fmt.Errorf("%w: non-positive threshold %v", ErrBadLicense, thresholdMtops)
 	}
-	d := Decision{License: l, Tier: TierOf(l.Destination), Threshold: thresholdMtops}
+	d.License = l
+	d.Tier = TierOf(l.Destination)
+	d.Threshold = thresholdMtops
 
 	if l.CTP < thresholdMtops {
 		d.Outcome = NoLicense
 		d.Rationale = fmt.Sprintf("rated below the %s supercomputer threshold", thresholdMtops)
-		return d, nil
+		return nil
 	}
 
-	switch d.Tier {
-	case SupplierState:
-		d.Outcome = Notify
-		d.Rationale = "transfer between supplier states under the bilateral arrangement"
-	case MajorAlly:
-		d.Outcome = Approve
-		d.Safeguards = []Safeguard{EndUseConfirmation}
-		d.Rationale = "minimal requirements for major allies"
-	case PlanRequired:
-		d.Outcome = Approve
-		d.Safeguards = []Safeguard{EndUseConfirmation, AccessControl, AuditSoftware}
-		d.Rationale = "security safeguards plan required"
-	case CertificationRequired:
-		d.Outcome = Approve
-		d.Safeguards = []Safeguard{EndUseConfirmation, AccessControl, AuditSoftware,
-			Surveillance24h, GovernmentCertification}
-		d.Rationale = "safeguards plan plus importing-government certification"
-	case Restricted:
-		d.Outcome = Deny
-		d.Safeguards = []Safeguard{EndUseConfirmation, AccessControl, AuditSoftware,
-			Surveillance24h, GovernmentCertification}
-		d.Rationale = "licenses for restricted destinations are generally denied"
+	r := &tierRules[d.Tier]
+	d.Outcome = r.outcome
+	d.Safeguards = r.safeguards
+	d.Rationale = r.rationale
+	return nil
+}
+
+// EvaluateOn rates a whole slice of applications under one threshold,
+// splitting the slice across the pool's workers. Each index is evaluated
+// independently into its own slot, so the result is deterministic at any
+// worker count; requests are independent and one malformed application
+// only fails its own slot. A nil pool evaluates inline.
+func EvaluateOn(p *parpool.Pool, ls []License, thresholdMtops units.Mtops) ([]Decision, []error) {
+	if len(ls) == 0 {
+		return nil, nil
 	}
-	return d, nil
+	ds := make([]Decision, len(ls))
+	errs := make([]error, len(ls))
+	p.Run(len(ls), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			errs[i] = EvaluateInto(&ds[i], ls[i], thresholdMtops)
+		}
+	})
+	return ds, errs
 }
 
 // RequiredLevel returns how many distinct safeguard conditions a tier

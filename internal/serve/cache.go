@@ -98,6 +98,81 @@ func (l *LRU[K, V]) Stats() CacheStats {
 	return CacheStats{Size: len(l.entries), Hits: l.hits, Misses: l.misses, Evictions: l.evictions}
 }
 
+// cachedDecision is one license decision as the decision cache stores
+// it: the immutable response struct plus its exact wire rendering, so a
+// warm hit writes precomputed bytes instead of re-encoding. body is the
+// full response body including the trailing newline; clen is the
+// preformatted Content-Length header value, shaped as the one-element
+// slice http.Header wants so the hit path assigns it without allocating.
+type cachedDecision struct {
+	resp *LicenseResponse
+	body []byte
+	clen []string
+}
+
+// decisionLRU specializes the generic LRU for the license hot path: the
+// instantiated cache plus byte-slice keyed lookups. Indexing the entries
+// map with string(key) compiles to an allocation-free lookup, so a warm
+// GET never materializes its cache key as a string.
+type decisionLRU struct {
+	LRU[string, *cachedDecision]
+}
+
+// newDecisionLRU returns a decisionLRU holding at most capacity entries.
+func newDecisionLRU(capacity int) *decisionLRU {
+	if capacity < 1 {
+		capacity = 1
+	}
+	l := &decisionLRU{}
+	l.capacity = capacity
+	l.entries = make(map[string]*lruNode[string, *cachedDecision], capacity)
+	return l
+}
+
+// GetBytes is Get for a byte-slice key, allocation-free on hit and miss.
+func (l *decisionLRU) GetBytes(key []byte) (*cachedDecision, bool) {
+	l.mu.Lock()
+	n, ok := l.entries[string(key)]
+	if !ok {
+		l.misses++
+		l.mu.Unlock()
+		return nil, false
+	}
+	l.hits++
+	l.moveToFront(n)
+	v := n.val
+	l.mu.Unlock()
+	return v, true
+}
+
+// GetBatch looks up every key under one lock acquisition, filling out
+// (which must be at least as long as keys) and returning the hit count.
+// Missing keys leave their slot nil. Empty keys mark slots that resolved
+// to an error before the lookup; they are skipped without touching the
+// hit/miss accounting, since no cache lookup ever happens for them.
+func (l *decisionLRU) GetBatch(keys [][]byte, out []*cachedDecision) int {
+	l.mu.Lock()
+	hits := 0
+	for i, key := range keys {
+		if len(key) == 0 {
+			out[i] = nil
+			continue
+		}
+		n, ok := l.entries[string(key)]
+		if !ok {
+			l.misses++
+			out[i] = nil
+			continue
+		}
+		l.hits++
+		l.moveToFront(n)
+		out[i] = n.val
+		hits++
+	}
+	l.mu.Unlock()
+	return hits
+}
+
 // pushFront links n as the new head. Callers hold l.mu.
 func (l *LRU[K, V]) pushFront(n *lruNode[K, V]) {
 	n.prev = nil

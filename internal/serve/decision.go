@@ -1,0 +1,273 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/obs"
+	"repro/internal/regime"
+	"repro/internal/report"
+	"repro/internal/safeguards"
+	"repro/internal/units"
+)
+
+// Shared header values for the license hot path. http.Header is a plain
+// map, so assigning these package-level slices directly writes a response
+// header without allocating; the slices are never mutated.
+var (
+	headerJSON      = []string{"application/json"}
+	headerCacheHit  = []string{"hit"}
+	headerCacheMiss = []string{"miss"}
+)
+
+// keySep separates the fields of a canonical decision cache key.
+const keySep = 0x1f
+
+// batchParallelMin is the number of uncached batch items below which the
+// fill loop runs inline: handing a handful of evaluations to the worker
+// pool costs more in coordination than the evaluations themselves.
+const batchParallelMin = 32
+
+// fillArgs is a resolved license request: the canonicalized inputs a
+// decision is a pure function of. It is passed by pointer through the
+// cache-fill path instead of being captured in a closure, which is what
+// keeps the warm path free of closure allocations.
+type fillArgs struct {
+	sysName string
+	dest    string
+	endUse  string
+	rated   units.Mtops
+	th      units.Mtops
+}
+
+// batchSlot is one batch item's state as it moves through the three batch
+// phases (resolve, batched cache lookup, parallel fill).
+type batchSlot struct {
+	args   fillArgs
+	dec    *cachedDecision
+	errMsg string
+	ok     bool // resolved without error
+}
+
+// scratch is the pooled per-request workspace of the license endpoints:
+// the parsed request, the canonical cache key, the body read/assembly
+// buffer, and the batch working set all live here, so a warm request
+// borrows memory instead of allocating it. Byte and slice capacities are
+// retained across uses; pointer-bearing fields are cleared on return to
+// the pool so a pooled scratch never pins request data.
+type scratch struct {
+	req  LicenseRequest
+	pb   licensePostBody
+	args fillArgs
+	key  []byte
+	buf  []byte
+
+	keys  [][]byte
+	slots []batchSlot
+	decs  []*cachedDecision
+}
+
+var scratchPool = sync.Pool{New: func() interface{} { return &scratch{} }}
+
+func getScratch() *scratch { return scratchPool.Get().(*scratch) }
+
+func putScratch(sc *scratch) {
+	sc.req = LicenseRequest{}
+	sc.pb = licensePostBody{}
+	sc.args = fillArgs{}
+	for i := range sc.slots {
+		sc.slots[i].args = fillArgs{}
+		sc.slots[i].dec = nil
+		sc.slots[i].errMsg = ""
+	}
+	for i := range sc.decs {
+		sc.decs[i] = nil
+	}
+	scratchPool.Put(sc)
+}
+
+// tierSkeleton is one row of the precomputed decision table: the
+// wire-ready strings of a country tier's outcome, safeguard package, and
+// rationale, derived once at init from safeguards.Rule so a cache fill
+// renders a tier's strings by table lookup instead of re-deriving them.
+// The safeguards slice is shared by every decision in the tier and is
+// immutable by the same contract that makes cached decisions immutable.
+type tierSkeleton struct {
+	tier       string
+	outcome    string
+	safeguards []string
+	rationale  string
+}
+
+var tierSkeletons = buildTierSkeletons()
+
+func buildTierSkeletons() [safeguards.Restricted + 1]tierSkeleton {
+	var out [safeguards.Restricted + 1]tierSkeleton
+	for t := safeguards.SupplierState; t <= safeguards.Restricted; t++ {
+		outcome, sgs, rationale := safeguards.Rule(t)
+		row := tierSkeleton{tier: t.String(), outcome: outcome.String(), rationale: rationale}
+		for _, sg := range sgs {
+			row.safeguards = append(row.safeguards, sg.String())
+		}
+		out[t] = row
+	}
+	return out
+}
+
+// resolveLicense canonicalizes one request into fill arguments: system
+// lookup or explicit CTP, the threshold in force at the request's date,
+// and the trimmed/lowercased destination. The error messages and their
+// order are part of the API's observable behavior and match the original
+// serial path exactly.
+func (s *Server) resolveLicense(req *LicenseRequest, a *fillArgs) *statusError {
+	a.sysName = ""
+	switch {
+	case req.System != "" && req.CTP != 0:
+		return httpErr(http.StatusBadRequest, "give a system name or a ctp rating, not both")
+	case req.System != "":
+		sys, ok := s.lookupSystem(req.System)
+		if !ok {
+			return httpErr(http.StatusNotFound, "unknown system %q", req.System)
+		}
+		a.rated, a.sysName = sys.CTP, sys.Name
+	case req.CTP != 0:
+		a.rated = units.Mtops(req.CTP)
+	default:
+		return httpErr(http.StatusBadRequest, "missing system name or ctp rating")
+	}
+
+	a.th = units.Mtops(req.Threshold)
+	if a.th == 0 {
+		date := req.Date
+		if date == 0 {
+			date = report.StudyDate
+		}
+		inForce, ok := regime.ThresholdInForce(date)
+		if !ok {
+			return httpErr(http.StatusUnprocessableEntity,
+				"no control threshold in force at %.2f; give one explicitly", date)
+		}
+		a.th = inForce
+	}
+
+	a.dest = strings.ToLower(strings.TrimSpace(req.Destination))
+	a.endUse = strings.TrimSpace(req.EndUse)
+	return nil
+}
+
+// lookupSystem resolves a catalog system by exact name through the
+// index built at New, falling back to catalog.Lookup's substring scan
+// for partial names. The index and the scan's exact-match phase agree by
+// construction, so this only short-circuits, never reroutes.
+func (s *Server) lookupSystem(name string) (catalog.System, bool) {
+	if sys, ok := s.systemsByName[name]; ok {
+		return sys, true
+	}
+	return catalog.Lookup(name)
+}
+
+// appendDecisionKey renders the canonical decision cache key
+// (system, rated CTP, destination, end use, threshold) into dst.
+func appendDecisionKey(dst []byte, a *fillArgs) []byte {
+	dst = append(dst, a.sysName...)
+	dst = append(dst, keySep)
+	dst = appendCanonicalFloat(dst, float64(a.rated))
+	dst = append(dst, keySep)
+	dst = append(dst, a.dest...)
+	dst = append(dst, keySep)
+	dst = append(dst, a.endUse...)
+	dst = append(dst, keySep)
+	dst = appendCanonicalFloat(dst, float64(a.th))
+	return dst
+}
+
+// buildDecision evaluates one resolved request against the safeguards
+// regime and shapes the wire response, sharing the tier's precomputed
+// outcome strings and safeguard slice from the decision table.
+func buildDecision(a *fillArgs) (*LicenseResponse, *statusError) {
+	dec, err := safeguards.Evaluate(safeguards.License{
+		Destination: a.dest, CTP: a.rated, EndUse: a.endUse,
+	}, a.th)
+	if err != nil {
+		return nil, httpErr(http.StatusBadRequest, "%v", err)
+	}
+	resp := &LicenseResponse{
+		System:         a.sysName,
+		Destination:    a.dest,
+		EndUse:         a.endUse,
+		CTPMtops:       float64(a.rated),
+		ThresholdMtops: float64(a.th),
+		Outcome:        dec.Outcome.String(),
+		Rationale:      dec.Rationale,
+	}
+	if int(dec.Tier) >= 0 && int(dec.Tier) < len(tierSkeletons) {
+		row := &tierSkeletons[dec.Tier]
+		resp.Tier = row.tier
+		if len(dec.Safeguards) > 0 {
+			resp.Safeguards = row.safeguards
+		}
+	} else {
+		resp.Tier = dec.Tier.String()
+		for _, sg := range dec.Safeguards {
+			resp.Safeguards = append(resp.Safeguards, sg.String())
+		}
+	}
+	return resp, nil
+}
+
+// encodeCached renders a response to its cached wire form: the exact
+// bytes writeJSON would produce (trailing newline included) plus the
+// preformatted Content-Length value. The hand-rolled encoder produces
+// bytes identical to encoding/json — a property the differential fuzz
+// test enforces — and the stdlib remains as the fallback for inputs the
+// fast path declines.
+func encodeCached(resp *LicenseResponse) (*cachedDecision, error) {
+	body, ok := appendLicenseResponse(nil, resp)
+	if !ok {
+		var err error
+		body, err = json.Marshal(resp)
+		if err != nil {
+			return nil, err
+		}
+	}
+	body = append(body, '\n')
+	return &cachedDecision{resp: resp, body: body, clen: []string{strconv.Itoa(len(body))}}, nil
+}
+
+// evalDecision computes and encodes one decision without touching the
+// cache; the degraded (poisoned-cache) path uses it directly.
+func (s *Server) evalDecision(ctx context.Context, a *fillArgs) (*cachedDecision, *statusError) {
+	eval := obs.Child(ctx, "safeguards.evaluate")
+	resp, herr := buildDecision(a)
+	eval.End()
+	if herr != nil {
+		return nil, herr
+	}
+	d, err := encodeCached(resp)
+	if err != nil {
+		return nil, httpErr(http.StatusInternalServerError, "response encoding failed")
+	}
+	return d, nil
+}
+
+// fillDecision is the coalescing leader's computation: evaluate, encode,
+// and publish to the LRU. The Put happens before flightDo removes the
+// in-flight call, so any request arriving after the fill completes finds
+// the cache warm — there is no window where neither the flight map nor
+// the cache answers.
+func (s *Server) fillDecision(ctx context.Context, skey string, a *fillArgs) (*cachedDecision, error) {
+	if s.flightBarrier != nil {
+		s.flightBarrier(skey)
+	}
+	d, herr := s.evalDecision(ctx, a)
+	if herr != nil {
+		return nil, herr
+	}
+	s.decisions.Put(skey, d)
+	return d, nil
+}

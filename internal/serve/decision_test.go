@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"net/http"
+	"reflect"
+	"testing"
+
+	"repro/internal/safeguards"
+	"repro/internal/units"
+)
+
+// TestBuildDecisionMatchesDirectEvaluation replays the pre-table response
+// construction — safeguards.Evaluate plus per-field String() derivation —
+// across destination tiers, above/below-threshold ratings, and the error
+// cases, and requires buildDecision's table-backed answer to be deeply
+// equal. The decision table is a rendering cache, not a semantic change.
+func TestBuildDecisionMatchesDirectEvaluation(t *testing.T) {
+	dests := []string{"japan", "france", "india", "israel", "iran", "iraq", "china", "russia", "north korea", "unheard-of-land"}
+	ctps := []units.Mtops{10, 1900, 2000, 21125, 500000}
+	ths := []units.Mtops{1900, 2000, 7000, 10000}
+	endUses := []string{"", "weather modeling", "nuclear simulation"}
+
+	checked := 0
+	for _, dest := range dests {
+		for _, ctp := range ctps {
+			for _, th := range ths {
+				for _, endUse := range endUses {
+					a := fillArgs{sysName: "", dest: dest, endUse: endUse, rated: ctp, th: th}
+					got, herr := buildDecision(&a)
+					dec, err := safeguards.Evaluate(safeguards.License{
+						Destination: dest, CTP: ctp, EndUse: endUse,
+					}, th)
+					if err != nil {
+						if herr == nil {
+							t.Fatalf("%s/%v/%v: direct eval errors (%v), buildDecision does not", dest, ctp, th, err)
+						}
+						continue
+					}
+					if herr != nil {
+						t.Fatalf("%s/%v/%v: buildDecision errors (%v), direct eval does not", dest, ctp, th, herr)
+					}
+					want := &LicenseResponse{
+						Destination:    dest,
+						EndUse:         endUse,
+						Tier:           dec.Tier.String(),
+						CTPMtops:       float64(ctp),
+						ThresholdMtops: float64(th),
+						Outcome:        dec.Outcome.String(),
+						Rationale:      dec.Rationale,
+					}
+					for _, sg := range dec.Safeguards {
+						want.Safeguards = append(want.Safeguards, sg.String())
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("%s/%v/%v/%q:\n got %+v\nwant %+v", dest, ctp, th, endUse, got, want)
+					}
+					checked++
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no successful evaluations compared")
+	}
+
+	// Error cases surface as 400s with the evaluator's message.
+	for _, a := range []fillArgs{
+		{dest: "", rated: 100, th: 2000},
+		{dest: "japan", rated: -1, th: 2000},
+		{dest: "japan", rated: 100, th: -5},
+	} {
+		if _, herr := buildDecision(&a); herr == nil || herr.code != http.StatusBadRequest {
+			t.Errorf("%+v: want a 400, got %v", a, herr)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCoalescedFillsAreByteIdentical drives N concurrent requests for the
+// same cold decision key through the full handler stack while the
+// flightBarrier test hook holds the leader between winning the key and
+// computing. Exactly one request must evaluate (the leader, X-Cache:
+// miss); the other N-1 must coalesce (X-Cache: hit) and return bodies
+// byte-identical to the leader's — the hit≡cold contract extended to
+// coalesced waiters.
+func TestCoalescedFillsAreByteIdentical(t *testing.T) {
+	const n = 8
+	s := newTestServer(t)
+	release := make(chan struct{})
+	s.flightBarrier = func(key string) { <-release }
+	h := s.Handler()
+
+	var wg sync.WaitGroup
+	recs := make([]*httptest.ResponseRecorder, n)
+	for i := range recs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := httptest.NewRequest("GET", "/v1/license?ctp=21125&dest=india&endUse=coalesce", nil)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			recs[i] = rec
+		}(i)
+	}
+
+	// Wait for the leader to reach the barrier and every other request to
+	// register as a coalesced waiter, then release the fill.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.met.flightWaiters.Value() < n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters = %d after 5s, want %d", s.met.flightWaiters.Value(), n-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := s.met.flightLeaders.Value(); got != 1 {
+		t.Errorf("leader fills = %d, want 1", got)
+	}
+	if got := s.met.flightWaiters.Value(); got != n-1 {
+		t.Errorf("coalesced waits = %d, want %d", got, n-1)
+	}
+	var hits, misses int
+	for i, rec := range recs {
+		if rec.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+		switch rec.Header().Get("X-Cache") {
+		case "hit":
+			hits++
+		case "miss":
+			misses++
+		default:
+			t.Errorf("request %d: X-Cache = %q", i, rec.Header().Get("X-Cache"))
+		}
+		if !bytes.Equal(rec.Body.Bytes(), recs[0].Body.Bytes()) {
+			t.Errorf("request %d body differs from request 0", i)
+		}
+	}
+	if misses != 1 || hits != n-1 {
+		t.Errorf("X-Cache split = %d miss / %d hit, want 1 / %d", misses, hits, n-1)
+	}
+
+	// The decision is now cached: a fresh request is a plain cache hit
+	// with the same bytes and no new flight activity.
+	rec := do(t, h, "GET", "/v1/license?ctp=21125&dest=india&endUse=coalesce", "")
+	if rec.Header().Get("X-Cache") != "hit" {
+		t.Errorf("post-coalesce request: X-Cache = %q, want hit", rec.Header().Get("X-Cache"))
+	}
+	if !bytes.Equal(rec.Body.Bytes(), recs[0].Body.Bytes()) {
+		t.Error("post-coalesce body differs from coalesced bodies")
+	}
+	if got := s.met.flightLeaders.Value(); got != 1 {
+		t.Errorf("leader fills after warm hit = %d, want 1", got)
+	}
+}
+
+// TestCoalescedErrorNotCached holds a leader whose fill fails (unknown
+// threshold date), verifies every waiter receives the same error status,
+// and confirms the failure is not cached: errors propagate to the
+// coalesced cohort but never poison the decision cache.
+func TestCoalescedErrorNotCached(t *testing.T) {
+	const n = 4
+	s := newTestServer(t)
+	release := make(chan struct{})
+	s.flightBarrier = func(key string) { <-release }
+	h := s.Handler()
+
+	// A negative CTP resolves cleanly (it is a present rating) but fails
+	// inside the fill when safeguards evaluation rejects the non-positive
+	// value — the error path that must reach every coalesced waiter.
+	target := "/v1/license?ctp=-5&dest=india&endUse=err"
+
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	bodies := make([][]byte, n)
+	for i := range codes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := httptest.NewRequest("GET", target, nil)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			codes[i] = rec.Code
+			bodies[i] = rec.Body.Bytes()
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.met.flightWaiters.Value()+s.met.flightLeaders.Value() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("no flight activity after 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	for i, code := range codes {
+		if code != codes[0] {
+			t.Errorf("request %d: status %d, want %d (same as leader)", i, code, codes[0])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Errorf("request %d error body differs", i)
+		}
+	}
+	if codes[0] == http.StatusOK {
+		// The chosen request shape must actually fail; if the regime
+		// answers it, the test is vacuous.
+		t.Fatalf("expected an error response, got 200: %s", bodies[0])
+	}
+	if got := s.decisions.Len(); got != 0 {
+		t.Errorf("decision cache holds %d entries after failed fills, want 0", got)
+	}
+}

@@ -10,30 +10,59 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/apps"
 	"repro/internal/catalog"
 	"repro/internal/obs"
-	"repro/internal/regime"
 	"repro/internal/report"
-	"repro/internal/safeguards"
 	"repro/internal/threshold"
-	"repro/internal/units"
 )
 
-// writeJSON marshals v and writes it with the given status. Marshaling
+// jsonScratch is a pooled encode buffer for writeJSON: the bytes.Buffer
+// and the json.Encoder bound to it survive across requests, so the cold
+// and non-license endpoints reuse encoder state instead of re-marshaling
+// into fresh buffers.
+type jsonScratch struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonPool = sync.Pool{New: func() interface{} {
+	js := &jsonScratch{}
+	js.enc = json.NewEncoder(&js.buf)
+	return js
+}}
+
+// writeJSON encodes v and writes it with the given status. Encoding
 // happens before the header goes out so an encoding failure can still
-// become a 500 instead of a torn body.
+// become a 500 instead of a torn body, and the finished length goes out
+// as Content-Length on every endpoint.
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {
-	buf, err := json.Marshal(v)
-	if err != nil {
+	js := jsonPool.Get().(*jsonScratch)
+	js.buf.Reset()
+	if err := js.enc.Encode(v); err != nil {
+		jsonPool.Put(js)
 		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
+	b := js.buf.Bytes()
+	h := w.Header()
+	h["Content-Type"] = headerJSON
+	h.Set("Content-Length", strconv.Itoa(len(b)))
 	w.WriteHeader(code)
-	buf = append(buf, '\n')
-	_, _ = w.Write(buf)
+	_, _ = w.Write(b)
+	jsonPool.Put(js)
+}
+
+// writeRawJSON writes an already-encoded JSON body (trailing newline
+// included) with the given status.
+func writeRawJSON(w http.ResponseWriter, code int, body []byte) {
+	h := w.Header()
+	h["Content-Type"] = headerJSON
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(code)
+	_, _ = w.Write(body)
 }
 
 // writeError writes a JSON error body with the given status.
@@ -74,191 +103,279 @@ type licensePostBody struct {
 	Requests []LicenseRequest `json:"requests"`
 }
 
+// readBody reads the request body into the scratch buffer, enforcing
+// maxBodyBytes, without io.ReadAll's per-request growth allocations.
+func readBody(sc *scratch, w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	rd := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	buf := sc.buf[:0]
+	if cap(buf) == 0 {
+		buf = make([]byte, 0, 4096)
+	}
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := rd.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err != nil {
+			sc.buf = buf
+			if err == io.EOF {
+				return buf, nil
+			}
+			return nil, err
+		}
+	}
+}
+
 func (s *Server) handleLicensePost(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	sc := getScratch()
+	defer putScratch(sc)
+	body, err := readBody(sc, w, r)
 	if err != nil {
 		writeError(w, http.StatusRequestEntityTooLarge, "request body too large or unreadable")
 		return
 	}
-	dec := json.NewDecoder(bytes.NewReader(body))
-	dec.DisallowUnknownFields()
-	var req licensePostBody
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "malformed license request: %v", err)
-		return
-	}
-	if dec.More() {
-		writeError(w, http.StatusBadRequest, "malformed license request: trailing data")
-		return
+	sc.pb = licensePostBody{}
+	if !parseLicensePostBody(body, &sc.pb) {
+		// The fast parser accepts only bodies it can prove the stdlib
+		// would decode identically; everything else re-runs the verbatim
+		// stdlib path, preserving its exact acceptance rules and error
+		// text.
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		sc.pb = licensePostBody{}
+		if err := dec.Decode(&sc.pb); err != nil {
+			writeError(w, http.StatusBadRequest, "malformed license request: %v", err)
+			return
+		}
+		if dec.More() {
+			writeError(w, http.StatusBadRequest, "malformed license request: trailing data")
+			return
+		}
 	}
 
-	if req.Requests != nil {
-		if req.LicenseRequest != (LicenseRequest{}) {
+	if sc.pb.Requests != nil {
+		if sc.pb.LicenseRequest != (LicenseRequest{}) {
 			writeError(w, http.StatusBadRequest, "give a single request or a batch, not both")
 			return
 		}
-		if len(req.Requests) > s.cfg.MaxBatch {
+		if len(sc.pb.Requests) > s.cfg.MaxBatch {
 			writeError(w, http.StatusRequestEntityTooLarge,
-				"batch of %d exceeds the %d-request limit", len(req.Requests), s.cfg.MaxBatch)
+				"batch of %d exceeds the %d-request limit", len(sc.pb.Requests), s.cfg.MaxBatch)
 			return
 		}
-		out := BatchResponse{Decisions: make([]BatchItem, len(req.Requests))}
-		for i, lr := range req.Requests {
-			d, _, err := s.decide(r.Context(), lr)
-			if err != nil {
-				out.Decisions[i] = BatchItem{Error: err.Error()}
-				continue
-			}
-			out.Decisions[i] = BatchItem{Decision: d}
-		}
-		writeJSON(w, http.StatusOK, out)
+		s.answerBatch(w, r, sc)
 		return
 	}
 
-	s.answerLicense(w, r, req.LicenseRequest)
+	s.answerLicense(w, r, &sc.pb.LicenseRequest, sc)
 }
 
 func (s *Server) handleLicenseGet(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	req := LicenseRequest{
-		System:      q.Get("system"),
-		Destination: q.Get("dest"),
-		EndUse:      q.Get("endUse"),
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.req = LicenseRequest{}
+	if herr := parseLicenseQuery(r.URL.RawQuery, &sc.req); herr != nil {
+		writeError(w, herr.code, "%v", herr.err)
+		return
 	}
-	if req.Destination == "" {
-		req.Destination = q.Get("destination")
-	}
-	if v := q.Get("ctp"); v != "" {
-		m, err := units.ParseMtops(v)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad ctp: %v", err)
-			return
-		}
-		req.CTP = CTPValue(m)
-	}
-	if v := q.Get("threshold"); v != "" {
-		m, err := units.ParseMtops(v)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad threshold: %v", err)
-			return
-		}
-		req.Threshold = CTPValue(m)
-	}
-	if v := q.Get("date"); v != "" {
-		d, err := strconv.ParseFloat(v, 64)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad date %q", v)
-			return
-		}
-		req.Date = d
-	}
-	s.answerLicense(w, r, req)
+	s.answerLicense(w, r, &sc.req, sc)
 }
 
-// answerLicense runs one decision and writes it, with an X-Cache header
-// recording whether the LRU answered.
-func (s *Server) answerLicense(w http.ResponseWriter, r *http.Request, req LicenseRequest) {
-	d, cached, err := s.decide(r.Context(), req)
+// writeDecision writes a cached decision's precomputed bytes with the
+// given X-Cache state. Every header is assigned as a shared or
+// precomputed slice, so a warm hit writes its response without a single
+// heap allocation.
+func writeDecision(w http.ResponseWriter, d *cachedDecision, cacheState []string) {
+	h := w.Header()
+	h["Content-Type"] = headerJSON
+	h["X-Cache"] = cacheState
+	h["Content-Length"] = d.clen
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(d.body)
+}
+
+// answerLicense resolves and answers one decision, with an X-Cache
+// header recording whether the LRU (or a coalesced in-flight fill)
+// answered. The warm path — parse, resolve, key render, LRU hit, header
+// and body writes — performs zero heap allocations; the benchmark suite
+// pins that with testing.AllocsPerRun.
+//
+// A degraded request treats the cache as poisoned: no read (the entry
+// cannot be trusted), no write (this computation must not displace good
+// entries), and no coalescing (a waiter would be handed a cacheable
+// result). Because cached decisions are immutable and a hit is
+// byte-identical to the cold computation, the fallback answer matches
+// the cached one exactly.
+func (s *Server) answerLicense(w http.ResponseWriter, r *http.Request, req *LicenseRequest, sc *scratch) {
+	if herr := s.resolveLicense(req, &sc.args); herr != nil {
+		writeError(w, herr.code, "%v", herr.err)
+		return
+	}
+	ctx := r.Context()
+	sc.key = appendDecisionKey(sc.key[:0], &sc.args)
+	lookup := obs.Child(ctx, "cache.lookup")
+	if isDegraded(ctx) {
+		lookup.SetAttr("result", "bypass")
+		lookup.End()
+		d, herr := s.evalDecision(ctx, &sc.args)
+		if herr != nil {
+			writeError(w, herr.code, "%v", herr.err)
+			return
+		}
+		writeDecision(w, d, headerCacheMiss)
+		return
+	}
+	if d, ok := s.decisions.GetBytes(sc.key); ok {
+		lookup.SetAttr("result", "hit")
+		lookup.End()
+		writeDecision(w, d, headerCacheHit)
+		return
+	}
+	lookup.SetAttr("result", "miss")
+	lookup.End()
+	d, coalesced, err := s.flightDo(ctx, sc.key, &sc.args)
 	if err != nil {
 		writeError(w, statusOf(err), "%v", err)
 		return
 	}
-	if cached {
-		w.Header().Set("X-Cache", "hit")
-	} else {
-		w.Header().Set("X-Cache", "miss")
+	if coalesced {
+		// A coalesced waiter was answered by another request's
+		// computation, exactly as a cache hit would have answered it.
+		writeDecision(w, d, headerCacheHit)
+		return
 	}
-	writeJSON(w, http.StatusOK, d)
+	writeDecision(w, d, headerCacheMiss)
 }
 
-// decide resolves one license request to a decision, read-through the LRU.
-// The returned *LicenseResponse is shared with the cache and must not be
-// mutated. Under an active trace it emits cache.lookup and
-// safeguards.evaluate child spans; the spans only describe the
-// computation and never alter it.
-func (s *Server) decide(ctx context.Context, req LicenseRequest) (*LicenseResponse, bool, error) {
-	var rated units.Mtops
-	sysName := ""
-	switch {
-	case req.System != "" && req.CTP != 0:
-		return nil, false, httpErr(http.StatusBadRequest, "give a system name or a ctp rating, not both")
-	case req.System != "":
-		sys, ok := catalog.Lookup(req.System)
-		if !ok {
-			return nil, false, httpErr(http.StatusNotFound, "unknown system %q", req.System)
+// answerBatch answers a batch in three vectorized phases: resolve every
+// item, look every canonical key up under one cache lock, then fill the
+// misses — in parallel on the batch pool when enough evaluations remain
+// — and assemble the response from the items' precomputed bytes. Each
+// phase touches its shared structure (cache, flight group) once per
+// batch rather than once per item, and duplicate keys within one batch
+// coalesce to a single evaluation through the same singleflight group
+// the GET path uses.
+func (s *Server) answerBatch(w http.ResponseWriter, r *http.Request, sc *scratch) {
+	ctx := r.Context()
+	reqs := sc.pb.Requests
+	n := len(reqs)
+	if cap(sc.slots) < n {
+		sc.slots = make([]batchSlot, n)
+	} else {
+		sc.slots = sc.slots[:n]
+	}
+	if cap(sc.keys) < n {
+		keys := make([][]byte, n)
+		copy(keys, sc.keys[:cap(sc.keys)])
+		sc.keys = keys
+	} else {
+		sc.keys = sc.keys[:n]
+	}
+	if cap(sc.decs) < n {
+		sc.decs = make([]*cachedDecision, n)
+	} else {
+		sc.decs = sc.decs[:n]
+	}
+	slots := sc.slots
+
+	// Phase 1: resolve every request to canonical fill arguments; items
+	// that fail resolution carry their error and an empty key.
+	for i := range reqs {
+		slots[i].dec = nil
+		slots[i].errMsg = ""
+		slots[i].ok = false
+		if herr := s.resolveLicense(&reqs[i], &slots[i].args); herr != nil {
+			slots[i].errMsg = herr.Error()
+			sc.keys[i] = sc.keys[i][:0]
+			continue
 		}
-		rated, sysName = sys.CTP, sys.Name
-	case req.CTP != 0:
-		rated = units.Mtops(req.CTP)
-	default:
-		return nil, false, httpErr(http.StatusBadRequest, "missing system name or ctp rating")
+		slots[i].ok = true
+		sc.keys[i] = appendDecisionKey(sc.keys[i][:0], &slots[i].args)
 	}
 
-	th := units.Mtops(req.Threshold)
-	if th == 0 {
-		date := req.Date
-		if date == 0 {
-			date = report.StudyDate
-		}
-		inForce, ok := regime.ThresholdInForce(date)
-		if !ok {
-			return nil, false, httpErr(http.StatusUnprocessableEntity,
-				"no control threshold in force at %.2f; give one explicitly", date)
-		}
-		th = inForce
-	}
-
-	dest := strings.ToLower(strings.TrimSpace(req.Destination))
-	endUse := strings.TrimSpace(req.EndUse)
-	key := strings.Join([]string{
-		sysName, canonicalFloat(float64(rated)), dest, endUse, canonicalFloat(float64(th)),
-	}, "\x1f")
-	// A degraded request treats the cache as poisoned: no read (the entry
-	// cannot be trusted) and no write (this computation must not displace
-	// good entries). Because cached decisions are immutable and a hit is
-	// byte-identical to the cold computation, the fallback answer matches
-	// the cached one exactly.
+	// Phase 2: one batched cache lookup under a single lock acquisition.
 	degraded := isDegraded(ctx)
 	lookup := obs.Child(ctx, "cache.lookup")
+	pending := 0
 	if degraded {
 		lookup.SetAttr("result", "bypass")
-		lookup.End()
-	} else {
-		d, ok := s.decisions.Get(key)
-		if ok {
-			lookup.SetAttr("result", "hit")
-			lookup.End()
-			return d, true, nil
+		for i := range slots {
+			if slots[i].ok {
+				pending++
+			}
 		}
-		lookup.SetAttr("result", "miss")
-		lookup.End()
+	} else {
+		lookup.SetAttr("result", "batch")
+		s.decisions.GetBatch(sc.keys, sc.decs)
+		for i := range slots {
+			if !slots[i].ok {
+				continue
+			}
+			if sc.decs[i] != nil {
+				slots[i].dec = sc.decs[i]
+				continue
+			}
+			pending++
+		}
+	}
+	lookup.End()
+
+	// Phase 3: fill the remaining evaluations, splitting them across the
+	// batch pool when enough remain to amortize the handoff.
+	if pending > 0 {
+		eval := obs.Child(ctx, "safeguards.evaluate")
+		fill := func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				sl := &slots[i]
+				if !sl.ok || sl.dec != nil {
+					continue
+				}
+				if degraded {
+					d, herr := s.evalDecision(ctx, &sl.args)
+					if herr != nil {
+						sl.errMsg = herr.Error()
+						continue
+					}
+					sl.dec = d
+					continue
+				}
+				d, _, err := s.flightDo(ctx, sc.keys[i], &sl.args)
+				if err != nil {
+					sl.errMsg = err.Error()
+					continue
+				}
+				sl.dec = d
+			}
+		}
+		if p := s.batchPool(); p != nil && pending >= batchParallelMin {
+			p.Run(n, func(_, lo, hi int) { fill(lo, hi) })
+		} else {
+			fill(0, n)
+		}
+		eval.End()
 	}
 
-	eval := obs.Child(ctx, "safeguards.evaluate")
-	decision, err := safeguards.Evaluate(safeguards.License{
-		Destination: dest, CTP: rated, EndUse: endUse,
-	}, th)
-	eval.End()
-	if err != nil {
-		return nil, false, httpErr(http.StatusBadRequest, "%v", err)
+	// Assemble the response from the items' precomputed bytes,
+	// byte-identical to marshaling the equivalent BatchResponse.
+	body := append(sc.buf[:0], `{"decisions":[`...)
+	for i := range slots {
+		if i > 0 {
+			body = append(body, ',')
+		}
+		if d := slots[i].dec; d != nil {
+			body = append(body, `{"decision":`...)
+			body = append(body, d.body[:len(d.body)-1]...)
+			body = append(body, '}')
+		} else {
+			body = append(body, `{"error":`...)
+			body = appendJSONString(body, slots[i].errMsg)
+			body = append(body, '}')
+		}
 	}
-	resp := &LicenseResponse{
-		System:         sysName,
-		Destination:    dest,
-		EndUse:         endUse,
-		Tier:           decision.Tier.String(),
-		CTPMtops:       float64(rated),
-		ThresholdMtops: float64(th),
-		Outcome:        decision.Outcome.String(),
-		Rationale:      decision.Rationale,
-	}
-	for _, sg := range decision.Safeguards {
-		resp.Safeguards = append(resp.Safeguards, sg.String())
-	}
-	if !degraded {
-		s.decisions.Put(key, resp)
-	}
-	return resp, false, nil
+	body = append(body, ']', '}', '\n')
+	sc.buf = body
+	writeRawJSON(w, http.StatusOK, body)
 }
 
 // ---- /v1/catalog ---------------------------------------------------------

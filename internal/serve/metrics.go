@@ -80,6 +80,12 @@ type serverMetrics struct {
 	panics   *obs.Counter
 	routes   map[string]*routeInstruments
 
+	// Singleflight accounting for the decision cache: how many cold
+	// fills were computed as coalescing leader, and how many requests
+	// rode along on another request's in-flight computation.
+	flightLeaders *obs.Counter
+	flightWaiters *obs.Counter
+
 	// Fault-injection instruments, registered only when a fault plan is
 	// mounted so an unfaulted daemon's exposition shape is unchanged.
 	// faults indexes [kind-1] for Error, Latency, Poison.
@@ -98,6 +104,10 @@ func newServerMetrics(s *Server) *serverMetrics {
 		panics:   reg.Counter("http_panics_total", "handler panics recovered by the middleware"),
 		routes:   make(map[string]*routeInstruments, len(obsRoutes)),
 	}
+	m.flightLeaders = reg.Counter("singleflight_leader_fills_total",
+		"cold decision fills computed as the coalescing leader")
+	m.flightWaiters = reg.Counter("singleflight_coalesced_waits_total",
+		"decision requests coalesced onto another request's in-flight fill")
 	for _, route := range obsRoutes {
 		if selfObserved(route) {
 			continue
@@ -132,6 +142,22 @@ func newServerMetrics(s *Server) *serverMetrics {
 	registerCacheMetrics(reg, "snapshots", s.snapshots.Stats)
 	obs.RegisterBuildInfo(reg, obs.BuildInfo())
 	return m
+}
+
+// flightLead records one cold fill computed as coalescing leader.
+func (m *serverMetrics) flightLead() {
+	if m == nil {
+		return
+	}
+	m.flightLeaders.Inc()
+}
+
+// flightWait records one request coalesced onto an in-flight fill.
+func (m *serverMetrics) flightWait() {
+	if m == nil {
+		return
+	}
+	m.flightWaiters.Inc()
 }
 
 // faultInjected records one injected fault. kind must be a real fault

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"sync"
+)
+
+// flightGroup coalesces concurrent cold fills of one canonical decision
+// key: the first arrival becomes the leader and computes, everyone else
+// blocks on the leader's result. Combined with the immutability of
+// cached decisions, this extends the hit≡cold byte-identity contract to
+// coalesced waiters — they share the leader's *cachedDecision, so their
+// bodies are identical by construction — while a thundering herd on one
+// cold key costs exactly one evaluation.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+// flightCall is one in-flight fill. done closes after dec and err are
+// final.
+type flightCall struct {
+	done chan struct{}
+	dec  *cachedDecision
+	err  error
+}
+
+// flightDo runs the fill for key, coalescing with an in-flight leader if
+// one exists. coalesced reports whether this caller waited on another's
+// computation. The key is only materialized as a string on the leader
+// path; waiters index the map allocation-free.
+func (s *Server) flightDo(ctx context.Context, key []byte, a *fillArgs) (dec *cachedDecision, coalesced bool, err error) {
+	g := &s.flights
+	g.mu.Lock()
+	if c, ok := g.calls[string(key)]; ok {
+		g.mu.Unlock()
+		s.met.flightWait()
+		<-c.done
+		return c.dec, true, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	skey := string(key)
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	g.calls[skey] = c
+	g.mu.Unlock()
+
+	filled := false
+	defer func() {
+		// A panicking fill (impossible by construction, but the waiters
+		// must not hang on it) surfaces as a 500 to every waiter.
+		if !filled {
+			c.err = httpErr(http.StatusInternalServerError, "license fill failed")
+		}
+		g.mu.Lock()
+		delete(g.calls, skey)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	s.met.flightLead()
+	c.dec, c.err = s.fillDecision(ctx, skey, a)
+	filled = true
+	return c.dec, false, c.err
+}
