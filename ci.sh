@@ -129,6 +129,73 @@ fi
 kill "$loadpid"
 loadpid=""
 
+echo "== hpcvet ./internal/wal (durability gates) =="
+go run ./cmd/hpcvet ./internal/wal
+
+echo "== wal fuzz smoke (record codec + segment replay) =="
+# A short native-fuzz burst per target: enough to catch a fresh framing
+# or recovery panic without the wall-clock cost of a real campaign. The
+# committed corpora under internal/wal/testdata/fuzz replay in the
+# ordinary `go test` runs above regardless.
+go test -run '^$' -fuzz 'FuzzWALRecord$' -fuzztime 3s ./internal/wal > /dev/null
+go test -run '^$' -fuzz 'FuzzSegmentReplay$' -fuzztime 3s ./internal/wal > /dev/null
+
+echo "== wal: kill -9 mid-traffic, restart, byte-identical warm answers =="
+# The durability contract, end to end against the real binary: decide a
+# set of queries under -fsync always, kill the daemon without ceremony,
+# restart over the same -data-dir, and require every first answer to be
+# a warm-start cache hit byte-identical to the pre-crash response.
+waldir="$scrapedir/waldata"
+walpid=""
+trap 'kill $scrapepid $chaospid $loadpid $walpid 2>/dev/null || true; rm -rf "$scrapedir"' EXIT
+"$scrapedir/hpcexportd" -addr localhost:18098 -quiet -data-dir "$waldir" -fsync always &
+walpid=$!
+up=0
+for _ in $(seq 1 50); do
+	if curl -fsS http://localhost:18098/v1/healthz > /dev/null 2>&1; then
+		up=1
+		break
+	fi
+	sleep 0.1
+done
+if [ "$up" != 1 ]; then
+	echo "ci.sh: wal daemon never came up" >&2
+	exit 1
+fi
+for i in 1 2 3 4 5; do
+	curl -fsS "http://localhost:18098/v1/license?ctp=21125&dest=india&endUse=crash$i" \
+		> "$scrapedir/wal_before_$i"
+done
+kill -9 "$walpid"
+wait "$walpid" 2> /dev/null || true
+walpid=""
+"$scrapedir/hpcexportd" -addr localhost:18098 -quiet -data-dir "$waldir" -fsync always &
+walpid=$!
+up=0
+for _ in $(seq 1 50); do
+	if curl -fsS http://localhost:18098/v1/healthz > /dev/null 2>&1; then
+		up=1
+		break
+	fi
+	sleep 0.1
+done
+if [ "$up" != 1 ]; then
+	echo "ci.sh: wal daemon never came back after kill -9" >&2
+	exit 1
+fi
+for i in 1 2 3 4 5; do
+	curl -fsS -D "$scrapedir/wal_headers" \
+		"http://localhost:18098/v1/license?ctp=21125&dest=india&endUse=crash$i" \
+		> "$scrapedir/wal_after_$i"
+	if ! grep -qi '^x-cache: hit' "$scrapedir/wal_headers"; then
+		echo "ci.sh: restarted daemon answered query $i cold (no warm-start hit)" >&2
+		exit 1
+	fi
+	diff "$scrapedir/wal_before_$i" "$scrapedir/wal_after_$i"
+done
+kill "$walpid"
+walpid=""
+
 # Fuzz smoke (not run in CI — native fuzzing is wall-clock heavy; run
 # locally before touching the parsers or the service request path):
 #   go test -fuzz=FuzzParseCTP -fuzztime=30s ./internal/ctp
@@ -136,5 +203,7 @@ loadpid=""
 #   go test -fuzz=FuzzAppendLicenseResponse -fuzztime=30s ./internal/serve
 #   go test -fuzz=FuzzParseLicensePostBody -fuzztime=30s ./internal/serve
 #   go test -fuzz=FuzzParseLicenseQuery -fuzztime=30s ./internal/serve
+#   go test -fuzz=FuzzWALRecord -fuzztime=30s ./internal/wal
+#   go test -fuzz=FuzzSegmentReplay -fuzztime=30s ./internal/wal
 
 echo "ci.sh: all checks passed"

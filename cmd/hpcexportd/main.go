@@ -11,6 +11,8 @@
 //	hpcexportd -quiet                  # no per-request log lines
 //	hpcexportd -debug-addr localhost:6060   # pprof on a separate listener
 //	hpcexportd -fault-seed 7 -fault-profile chaos   # deterministic fault injection
+//	hpcexportd -data-dir /var/lib/hpcexportd        # durable decision log + warm start
+//	hpcexportd -data-dir d -fsync every=64 -snapshot-every 4096
 //	hpcexportd -version                # print build info and exit
 //
 // The daemon drains gracefully on SIGTERM or SIGINT: the listener closes
@@ -29,6 +31,17 @@
 // answer 503 with X-Fault-Injected, poisoned arrivals recompute without
 // caches and mark X-Degraded, and /v1/healthz reports the fault totals.
 //
+// -data-dir mounts the durable decision log (see README "Durability and
+// warm-start"): every license decision is committed to a checksummed
+// append-only segment, and on restart the daemon replays the log into
+// its decision cache so the first response to a previously-decided
+// request is byte-identical to the pre-restart one. -fsync picks the
+// durability barrier (always, never, or every=N records), and
+// -snapshot-every bounds replay time by compacting the live decision set
+// into a snapshot every N commits. A mounted log also enables GET
+// /v1/watch, a Server-Sent-Events stream of threshold-regime transitions
+// and injected fault/degraded events.
+//
 // Endpoints (see README "Serving the framework" for curl examples):
 //
 //	POST /v1/license    {"system":"Cray C916","destination":"india"}
@@ -37,6 +50,7 @@
 //	GET  /v1/apps      ?mission=cryptology&deployed=false
 //	GET  /v1/threshold  ?date=1995.45&project=true
 //	GET  /v1/healthz
+//	GET  /v1/watch      ?since=N — SSE regime/fault event stream (needs -data-dir)
 //	GET  /metrics       Prometheus text exposition
 //	GET  /v1/metrics    the same registry as JSON
 //	GET  /v1/traces     recent request traces
@@ -58,6 +72,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -73,6 +88,9 @@ func main() {
 		quiet     = flag.Bool("quiet", false, "disable per-request logging")
 		faultSeed = flag.Uint64("fault-seed", 0, "seed for the deterministic fault schedule (with -fault-profile)")
 		faultSpec = flag.String("fault-profile", "", "fault profile: none, flaky, slow, chaos, or an error=/latency=/delay=/poison= spec; empty disables injection")
+		dataDir   = flag.String("data-dir", "", "directory for the durable decision log; empty runs without durability")
+		fsyncSpec = flag.String("fsync", "always", "decision-log durability barrier: always, never, or every=N (with -data-dir)")
+		snapEvery = flag.Int("snapshot-every", serve.DefaultSnapshotEvery, "decision commits between snapshot compactions (with -data-dir)")
 		version   = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -104,6 +122,29 @@ func main() {
 		}
 	}
 
+	var log *wal.Log
+	if *dataDir != "" {
+		policy, err := wal.ParseFsyncPolicy(*fsyncSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hpcexportd:", err)
+			os.Exit(1)
+		}
+		if log, err = wal.Open(wal.Options{Dir: *dataDir, Fsync: policy}); err != nil {
+			fmt.Fprintln(os.Stderr, "hpcexportd:", err)
+			os.Exit(1)
+		}
+		defer func() { _ = log.Close() }()
+		rec := log.Recovery()
+		fmt.Fprintf(os.Stderr,
+			"hpcexportd: decision log %s: %d records recovered (%d from snapshot, %d segments, fsync %s)\n",
+			*dataDir, len(rec.Records), rec.SnapshotRecords, rec.Segments, policy)
+		if rec.TornRecords > 0 || rec.CorruptRecords > 0 || rec.DroppedSnapshots > 0 {
+			fmt.Fprintf(os.Stderr,
+				"hpcexportd: decision log recovery skipped damage: %d torn, %d corrupt, %d unreadable snapshots\n",
+				rec.TornRecords, rec.CorruptRecords, rec.DroppedSnapshots)
+		}
+	}
+
 	s, err := serve.New(serve.Config{
 		Addr:           *addr,
 		MaxInFlight:    *inflight,
@@ -115,6 +156,8 @@ func main() {
 		Clock:          time.Now,
 		Logger:         logger,
 		Fault:          plan,
+		WAL:            log,
+		SnapshotEvery:  *snapEvery,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hpcexportd:", err)

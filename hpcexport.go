@@ -74,6 +74,7 @@ import (
 	"repro/internal/top500"
 	"repro/internal/trend"
 	"repro/internal/units"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -366,6 +367,18 @@ type (
 	// FaultPlan deals a profile's faults as a seed-reproducible schedule;
 	// mount one via ServeConfig.Fault.
 	FaultPlan = fault.Plan
+	// DecisionLog is the durable decision audit log (hpcwal); mount one
+	// via ServeConfig.WAL for warm-start replay and /v1/watch.
+	DecisionLog = wal.Log
+	// DecisionLogOptions configures a DecisionLog (directory, segment
+	// size, fsync policy).
+	DecisionLogOptions = wal.Options
+	// FsyncPolicy sets the log's durability barrier: always, never, or
+	// every N records.
+	FsyncPolicy = wal.FsyncPolicy
+	// WatchEvent is one /v1/watch commit-stream event: a threshold-regime
+	// transition or an injected fault/degraded notice.
+	WatchEvent = wal.Event
 )
 
 // Query-service entry points.
@@ -381,6 +394,11 @@ var (
 	ParseFaultProfile = fault.Parse
 	// NewFaultPlan binds a fault profile to a seed.
 	NewFaultPlan = fault.NewPlan
+	// OpenDecisionLog opens (or creates) a durable decision log in a
+	// directory, recovering any prior records.
+	OpenDecisionLog = wal.Open
+	// ParseFsyncPolicy parses "always", "never", or "every=N".
+	ParseFsyncPolicy = wal.ParseFsyncPolicy
 )
 
 // TrendSeries re-exports the trend machinery for custom analyses.

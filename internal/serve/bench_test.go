@@ -5,6 +5,8 @@ import (
 	"net/http/httptest"
 	"testing"
 	"time"
+
+	"repro/internal/wal"
 )
 
 // BenchmarkServeLicenseCached measures the steady-state cost of a license
@@ -82,3 +84,68 @@ func BenchmarkLicenseDecisionInstrumented(b *testing.B) { benchLicenseDecision(b
 // observability layer disabled — the baseline the <5% overhead target in
 // BENCH_baseline.json is judged against.
 func BenchmarkLicenseDecisionUninstrumented(b *testing.B) { benchLicenseDecision(b, false) }
+
+// benchFirstRequest prices what a restarted daemon's first answer to a
+// previously-decided query costs: server construction (including WAL
+// recovery and warm-start replay when warm is true) plus the first
+// request. Warm serves it from the replayed cache; cold recomputes.
+// The pair is the measured value of the durability layer's warm start.
+func benchFirstRequest(b *testing.B, warm bool) {
+	const target = "/v1/license?ctp=21125&dest=india&endUse=bench"
+	dir := b.TempDir()
+	if warm {
+		// Populate the log once, outside the timer.
+		s, l := newWALServer(b, dir, nil)
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", target, nil))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("seed request: %d", rec.Code)
+		}
+		if err := l.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	wantCache := "miss"
+	if warm {
+		wantCache = "hit"
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var s *Server
+		var l *wal.Log
+		if warm {
+			s, l = newWALServer(b, dir, nil)
+		} else {
+			var err error
+			s, err = New(Config{Clock: testClock})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", target, nil))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("first request: %d", rec.Code)
+		}
+		if got := rec.Header().Get("X-Cache"); got != wantCache {
+			b.Fatalf("first request X-Cache=%q, want %q", got, wantCache)
+		}
+		if l != nil {
+			b.StopTimer()
+			if err := l.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkFirstRequestWarmStart is boot-plus-first-answer with a
+// populated decision log: recovery, replay, and a cache hit.
+func BenchmarkFirstRequestWarmStart(b *testing.B) { benchFirstRequest(b, true) }
+
+// BenchmarkFirstRequestColdStart is the same boot without a log: the
+// first answer pays the full decision computation.
+func BenchmarkFirstRequestColdStart(b *testing.B) { benchFirstRequest(b, false) }

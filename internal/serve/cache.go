@@ -104,10 +104,14 @@ func (l *LRU[K, V]) Stats() CacheStats {
 // full response body including the trailing newline; clen is the
 // preformatted Content-Length header value, shaped as the one-element
 // slice http.Header wants so the hit path assigns it without allocating.
+// hash is the FNV-1a-64 digest of body — the fingerprint the decision
+// log records so warm-start replay can prove a recomputed body is
+// byte-identical to the one served before the restart.
 type cachedDecision struct {
 	resp *LicenseResponse
 	body []byte
 	clen []string
+	hash uint64
 }
 
 // decisionLRU specializes the generic LRU for the license hot path: the
@@ -171,6 +175,19 @@ func (l *decisionLRU) GetBatch(keys [][]byte, out []*cachedDecision) int {
 	}
 	l.mu.Unlock()
 	return hits
+}
+
+// forEach visits every cached decision, most recently used first, under
+// the cache lock without touching the hit/miss accounting or recency.
+// Iteration follows the recency list, not the entries map, so visit
+// order is a deterministic function of the cache's history. The snapshot
+// compactor is the only caller; fn must not re-enter the cache.
+func (l *decisionLRU) forEach(fn func(key string, d *cachedDecision)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for n := l.head; n != nil; n = n.next {
+		fn(n.key, n.val)
+	}
 }
 
 // pushFront links n as the new head. Callers hold l.mu.

@@ -19,6 +19,7 @@
 package client
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -306,57 +307,69 @@ func (c *Client) pause(ctx context.Context, d time.Duration) error {
 
 // breakerAllow admits or rejects an attempt. An open breaker rejects
 // until the cooldown elapses, then flips half-open and admits exactly one
-// probe; further calls are rejected until the probe reports back.
-func (c *Client) breakerAllow() error {
+// probe; further calls are rejected until the probe reports back. probe
+// is true only for the attempt that owns the half-open verdict — the
+// caller must hand the same flag back to breakerResult, so a stale
+// response from an attempt admitted before the breaker opened can never
+// resolve (or un-arm) a probe it does not own.
+func (c *Client) breakerAllow() (probe bool, err error) {
 	if c.brThreshold <= 0 {
-		return nil
+		return false, nil
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	switch c.brState {
 	case brClosed:
-		return nil
+		return false, nil
 	case brOpen:
 		if c.clock().Sub(c.brOpenedAt) < c.brCooldown {
 			c.fastFails.Inc()
-			return fmt.Errorf("%w: cooling down", ErrCircuitOpen)
+			return false, fmt.Errorf("%w: cooling down", ErrCircuitOpen)
 		}
 		c.brState = brHalfOpen
 		c.brProbe = true
-		return nil
+		return true, nil
 	default: // half-open
 		if c.brProbe {
 			c.fastFails.Inc()
-			return fmt.Errorf("%w: probe in flight", ErrCircuitOpen)
+			return false, fmt.Errorf("%w: probe in flight", ErrCircuitOpen)
 		}
 		c.brProbe = true
-		return nil
+		return true, nil
 	}
 }
 
-// breakerResult records an attempt's outcome. Any success closes the
-// breaker; a failed half-open probe reopens it; threshold consecutive
-// failures open it.
-func (c *Client) breakerResult(ok bool) {
+// breakerResult records an attempt's outcome. Only the probe's result
+// resolves a half-open breaker: probe success closes it, probe failure
+// reopens it. A non-probe success resets the consecutive-failure count
+// but leaves the state machine alone — before the ownership flag, a
+// queued retry's late success racing the probe would close the breaker
+// and clear the probe latch, double-counting one healthy response and
+// letting a second "probe" through. Threshold consecutive non-probe
+// failures open a closed breaker.
+func (c *Client) breakerResult(ok, probe bool) {
 	if c.brThreshold <= 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if ok {
-		c.brState = brClosed
-		c.brFailures = 0
+	if probe {
 		c.brProbe = false
-		return
-	}
-	c.brFailures++
-	if c.brState == brHalfOpen {
+		if ok {
+			c.brState = brClosed
+			c.brFailures = 0
+			return
+		}
 		c.brState = brOpen
 		c.brOpenedAt = c.clock()
-		c.brProbe = false
 		c.breakerOpens.Inc()
 		return
 	}
+	if ok {
+		c.brFailures = 0
+		return
+	}
+	c.brFailures++
 	if c.brState == brClosed && c.brFailures >= c.brThreshold {
 		c.brState = brOpen
 		c.brOpenedAt = c.clock()
@@ -389,7 +402,8 @@ func (c *Client) roundTrip(ctx context.Context, method, u, contentType string, b
 				return nil, fmt.Errorf("client: retry cancelled: %w", err)
 			}
 		}
-		if err := c.breakerAllow(); err != nil {
+		probe, err := c.breakerAllow()
+		if err != nil {
 			if lastErr != nil {
 				return nil, fmt.Errorf("%w (last error: %w)", err, lastErr)
 			}
@@ -397,12 +411,12 @@ func (c *Client) roundTrip(ctx context.Context, method, u, contentType string, b
 		}
 		respBody, retryable, err := c.attempt(ctx, method, u, contentType, body)
 		if err == nil {
-			c.breakerResult(true)
+			c.breakerResult(true, probe)
 			return respBody, nil
 		}
 		// A non-retryable status (4xx) is a healthy server declining the
 		// request: it resets the breaker rather than charging it.
-		c.breakerResult(!retryable)
+		c.breakerResult(!retryable, probe)
 		if retryable {
 			c.failures.Inc()
 		}
@@ -625,4 +639,94 @@ func (c *Client) Traces(ctx context.Context) (*serve.TracesResponse, error) {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// WatchEvent is one decoded /v1/watch event: a threshold-regime
+// transition or an injected fault/degraded notice.
+type WatchEvent = serve.WatchEvent
+
+// maxWatchLineBytes bounds one SSE line; events are small JSON objects,
+// so anything near this is a protocol violation, not a big event.
+const maxWatchLineBytes = 1 << 20
+
+// ErrWatchStopped is the sentinel a Watch callback returns to end the
+// stream cleanly: Watch unsubscribes and returns nil.
+var ErrWatchStopped = errors.New("client: watch stopped by callback")
+
+// streamClient derives a transport for long-lived streams from the
+// configured HTTP client: same connection behavior, but without the
+// overall exchange timeout, which would sever a healthy watch stream the
+// moment it outlived DefaultHTTPTimeout. Lifetime is governed by the
+// caller's context instead.
+func (c *Client) streamClient() *http.Client {
+	return &http.Client{
+		Transport:     c.http.Transport,
+		CheckRedirect: c.http.CheckRedirect,
+		Jar:           c.http.Jar,
+	}
+}
+
+// Watch subscribes to the server's /v1/watch commit stream and invokes
+// fn for every event, in order, until the context is cancelled, the
+// server drains (graceful shutdown ends the stream; Watch returns nil),
+// or fn returns an error. since > 0 asks the server to replay its
+// ring-buffered backlog of events with Seq > since first, so a
+// reconnecting watcher resumes from its last-seen cursor.
+//
+// Watch is a single long-lived exchange: it does not retry (a resumption
+// policy belongs to the caller, who owns the cursor) and bypasses the
+// breaker (a healthy stream held open for hours must not be mistaken for
+// an outcome worth accounting). A callback error other than
+// ErrWatchStopped is returned as-is; ErrWatchStopped maps to nil.
+func (c *Client) Watch(ctx context.Context, since uint64, fn func(WatchEvent) error) error {
+	u := c.base + "/v1/watch"
+	if since > 0 {
+		u += "?since=" + strconv.FormatUint(since, 10)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.streamClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("client: watch connect: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+		apiErr := &APIError{Status: resp.StatusCode}
+		var e serve.ErrorResponse
+		if jerr := json.Unmarshal(b, &e); jerr == nil && e.Error != "" {
+			apiErr.Message = e.Error
+		} else {
+			apiErr.Message = strings.TrimSpace(string(b))
+		}
+		return apiErr
+	}
+	scan := bufio.NewScanner(resp.Body)
+	scan.Buffer(make([]byte, 0, 4096), maxWatchLineBytes)
+	for scan.Scan() {
+		line := scan.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue // id:/event:/comment frames; data carries the payload
+		}
+		var ev WatchEvent
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
+			return fmt.Errorf("client: decoding watch event: %w", err)
+		}
+		if err := fn(ev); err != nil {
+			if errors.Is(err, ErrWatchStopped) {
+				return nil
+			}
+			return err
+		}
+	}
+	if err := scan.Err(); err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return fmt.Errorf("client: watch stream: %w", err)
+	}
+	return nil
 }

@@ -268,18 +268,80 @@ func TestHalfOpenAdmitsSingleProbe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.breakerResult(false) // threshold 1: open immediately
+	c.breakerResult(false, false) // threshold 1: open immediately
 	fc.Advance(time.Second)
-	if err := c.breakerAllow(); err != nil {
+	probe, err := c.breakerAllow()
+	if err != nil {
 		t.Fatalf("post-cooldown probe rejected: %v", err)
 	}
+	if !probe {
+		t.Fatal("post-cooldown attempt not marked as the probe")
+	}
 	// A second caller while the probe is in flight must be rejected.
-	if err := c.breakerAllow(); !errors.Is(err, ErrCircuitOpen) {
+	if _, err := c.breakerAllow(); !errors.Is(err, ErrCircuitOpen) {
 		t.Fatalf("second half-open caller got %v, want ErrCircuitOpen", err)
 	}
-	c.breakerResult(true)
-	if err := c.breakerAllow(); err != nil {
-		t.Fatalf("closed breaker rejected: %v", err)
+	c.breakerResult(true, true)
+	if probe, err := c.breakerAllow(); err != nil || probe {
+		t.Fatalf("closed breaker: probe=%v err=%v, want plain admission", probe, err)
+	}
+}
+
+// TestHalfOpenProbeOwnsTheVerdict is the regression test for the
+// half-open double-count race: an attempt admitted while the breaker was
+// still closed could have its late success land after the breaker opened
+// and a probe was dispatched. The old breakerResult treated any success
+// as the probe's — it closed the breaker and cleared the probe latch, so
+// one healthy response both resolved half-open AND re-armed a second
+// probe. Now only the result flagged as the probe's resolves the state.
+func TestHalfOpenProbeOwnsTheVerdict(t *testing.T) {
+	fc := newFakeClock()
+	c, err := NewWithOptions("http://fake.test", Options{
+		BreakerThreshold: 1, BreakerCooldown: time.Second, Clock: fc.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c.breakerResult(false, false) // open the breaker
+	fc.Advance(time.Second)
+	if probe, err := c.breakerAllow(); err != nil || !probe {
+		t.Fatalf("probe admission: probe=%v err=%v", probe, err)
+	}
+
+	// The stale success from a pre-open attempt races in. It must NOT
+	// close the breaker or clear the probe latch.
+	c.breakerResult(true, false)
+	if rs := c.RetryStats(); rs.BreakerState != "half-open" {
+		t.Fatalf("stale success resolved the probe: state=%s", rs.BreakerState)
+	}
+	if _, err := c.breakerAllow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("stale success re-armed a second probe: %v", err)
+	}
+
+	// A stale failure must not hijack the verdict either.
+	c.breakerResult(false, false)
+	if rs := c.RetryStats(); rs.BreakerState != "half-open" {
+		t.Fatalf("stale failure moved the state machine: state=%s", rs.BreakerState)
+	}
+
+	// The actual probe's failure is what reopens the breaker — exactly
+	// one more open, not one per raced result.
+	opens := c.RetryStats().BreakerOpens
+	c.breakerResult(false, true)
+	rs := c.RetryStats()
+	if rs.BreakerState != "open" || rs.BreakerOpens != opens+1 {
+		t.Fatalf("after probe failure: %+v (opens before: %d)", rs, opens)
+	}
+
+	// And after the next cooldown the probe's success closes it.
+	fc.Advance(time.Second)
+	if probe, err := c.breakerAllow(); err != nil || !probe {
+		t.Fatalf("second probe admission: probe=%v err=%v", probe, err)
+	}
+	c.breakerResult(true, true)
+	if rs := c.RetryStats(); rs.BreakerState != "closed" {
+		t.Fatalf("probe success left state %s", rs.BreakerState)
 	}
 }
 

@@ -236,7 +236,12 @@ func encodeCached(resp *LicenseResponse) (*cachedDecision, error) {
 		}
 	}
 	body = append(body, '\n')
-	return &cachedDecision{resp: resp, body: body, clen: []string{strconv.Itoa(len(body))}}, nil
+	return &cachedDecision{
+		resp: resp,
+		body: body,
+		clen: []string{strconv.Itoa(len(body))},
+		hash: bodyHash(body),
+	}, nil
 }
 
 // evalDecision computes and encodes one decision without touching the
@@ -269,5 +274,10 @@ func (s *Server) fillDecision(ctx context.Context, skey string, a *fillArgs) (*c
 		return nil, herr
 	}
 	s.decisions.Put(skey, d)
+	// The decision is committed: write it through to the audit log. This
+	// sits on the cold path only — warm hits never reach fillDecision —
+	// so the log's latency prices cache fills, not the zero-alloc hot
+	// path.
+	s.walCommit(skey, a, d)
 	return d, nil
 }

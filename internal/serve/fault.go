@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/wal"
 )
 
 // degradedKey marks a request whose caches are poisoned for this arrival.
@@ -50,6 +51,7 @@ func (s *Server) injectFault(w http.ResponseWriter, r *http.Request, route strin
 	w.Header().Set("X-Fault-Injected", d.Kind.String())
 	span.SetAttr("fault", d.Kind.String())
 	s.met.faultInjected(route, d.Kind)
+	s.publishFaultEvent(route, d.Kind)
 	switch d.Kind {
 	case fault.Error:
 		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "injected fault"})
@@ -62,6 +64,21 @@ func (s *Server) injectFault(w http.ResponseWriter, r *http.Request, route strin
 		r = r.WithContext(withDegraded(r.Context()))
 	}
 	return r, false
+}
+
+// publishFaultEvent surfaces an injected fault on the watch stream when
+// a decision log is mounted. Poison faults publish as degraded — the
+// observable consequence — and everything else under its fault kind.
+func (s *Server) publishFaultEvent(route string, kind fault.Kind) {
+	if s.wal == nil {
+		return
+	}
+	ev := wal.Event{Kind: wal.EventFault, Route: route, Detail: kind.String()}
+	if kind == fault.Poison {
+		ev.Kind = wal.EventDegraded
+		ev.Detail = "cache-bypass"
+	}
+	s.wal.Events().Publish(ev)
 }
 
 // FaultStats is the cumulative fault-injection accounting /v1/healthz

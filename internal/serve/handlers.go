@@ -740,6 +740,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			resp.Status = "degraded"
 		}
 	}
+	resp.WAL = s.walHealth()
 	writeJSON(w, http.StatusOK, resp)
 }
 

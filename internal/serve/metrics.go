@@ -140,8 +140,41 @@ func newServerMetrics(s *Server) *serverMetrics {
 	}
 	registerCacheMetrics(reg, "decisions", s.decisions.Stats)
 	registerCacheMetrics(reg, "snapshots", s.snapshots.Stats)
+	if s.wal != nil {
+		registerWALMetrics(reg, s)
+	}
 	obs.RegisterBuildInfo(reg, obs.BuildInfo())
 	return m
+}
+
+// registerWALMetrics exposes the mounted decision log's accounting as
+// read-at-scrape metrics. Registered only when a WAL is mounted, so a
+// logless daemon's exposition shape — and the idle-scrape byte-identity
+// the obs tests pin — is unchanged. In a WAL-mounted daemon idle scrapes
+// remain byte-identical (the instruments read counters that only move
+// with traffic); the documented exemption is /v1/watch delivery, whose
+// counters advance as events stream.
+func registerWALMetrics(reg *obs.Registry, s *Server) {
+	reg.Func("wal_appends_total", "decision records committed to the log", obs.KindCounter,
+		func() float64 { return float64(s.wal.Stats().Appends) })
+	reg.Func("wal_fsyncs_total", "durability barriers issued by the log", obs.KindCounter,
+		func() float64 { return float64(s.wal.Stats().Fsyncs) })
+	reg.Func("wal_rotations_total", "segment rotations", obs.KindCounter,
+		func() float64 { return float64(s.wal.Stats().Rotations) })
+	reg.Func("snapshot_compactions_total", "snapshot compactions completed", obs.KindCounter,
+		func() float64 { return float64(s.wal.Stats().Compactions) })
+	reg.Func("wal_replayed_records", "decisions admitted to the cache by warm-start replay", obs.KindGauge,
+		func() float64 { return float64(s.walReplayed.Load()) })
+	reg.Func("wal_replay_mismatches_total", "log records rejected at replay (unparseable or hash mismatch)", obs.KindCounter,
+		func() float64 { return float64(s.walMismatches.Load()) })
+	reg.Func("wal_append_errors_total", "decision commits the log failed to persist", obs.KindCounter,
+		func() float64 { return float64(s.walAppendErrs.Load()) })
+	reg.Func("watch_subscribers", "live /v1/watch streams", obs.KindGauge,
+		func() float64 { return float64(s.watchers.Load()) })
+	reg.Func("watch_events_total", "events delivered to /v1/watch streams", obs.KindCounter,
+		func() float64 { return float64(s.watchEvents.Load()) })
+	reg.Func("watch_dropped_total", "events dropped at slow /v1/watch subscribers", obs.KindCounter,
+		func() float64 { return float64(s.wal.Events().Dropped()) })
 }
 
 // flightLead records one cold fill computed as coalescing leader.

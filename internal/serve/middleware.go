@@ -60,6 +60,22 @@ func (s *Server) middleware(h http.Handler) http.Handler {
 		}
 		w.Header().Set("X-Request-Id", id)
 
+		// /v1/watch is a long-lived event stream and takes a different
+		// path through the stack: no TimeoutHandler (its deadline and
+		// non-Flusher writer are incompatible with streaming), no
+		// in-flight semaphore slot (watchers would starve the query
+		// endpoints), no per-route latency instruments (a stream's
+		// "latency" is its lifetime). It has its own concurrency bound
+		// and its own metrics, registered only when a WAL is mounted.
+		if r.URL.Path == "/v1/watch" {
+			if r.Method != http.MethodGet {
+				writeError(w, http.StatusMethodNotAllowed, "watch supports GET only")
+				return
+			}
+			s.handleWatch(w, r)
+			return
+		}
+
 		route := routeOf(r.URL.Path)
 		observed := !selfObserved(route)
 

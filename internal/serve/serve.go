@@ -49,6 +49,7 @@ import (
 	"repro/internal/parpool"
 	"repro/internal/threshold"
 	"repro/internal/trend"
+	"repro/internal/wal"
 )
 
 // Defaults applied by New for zero Config fields.
@@ -60,6 +61,8 @@ const (
 	DefaultCacheSize      = 4096
 	DefaultDrainTimeout   = 5 * time.Second
 	DefaultTraceCapacity  = 64
+	DefaultSnapshotEvery  = 1024
+	DefaultMaxWatchers    = 16
 )
 
 // maxBodyBytes caps request bodies; a license batch at the default limits
@@ -100,6 +103,23 @@ type Config struct {
 	// Sleep performs injected latency pauses. Nil means time.Sleep; the
 	// chaos tests inject a recorder so injected delays cost no wall time.
 	Sleep func(time.Duration)
+
+	// WAL, when non-nil, mounts the durable decision log: every cached
+	// license decision is written through to it, its recovery stream is
+	// replayed into the decision cache at New (warm start), and the
+	// /v1/watch endpoint streams its commit events. The caller owns the
+	// log's lifecycle (Open before New, Close after Serve returns).
+	WAL *wal.Log
+
+	// SnapshotEvery triggers snapshot compaction after that many logged
+	// decisions; 0 means DefaultSnapshotEvery when a WAL is mounted, and
+	// a negative value disables compaction.
+	SnapshotEvery int
+
+	// MaxWatchers bounds concurrent /v1/watch streams (they bypass the
+	// in-flight semaphore precisely so they cannot starve it, and need
+	// their own limit). 0 means DefaultMaxWatchers.
+	MaxWatchers int
 }
 
 // Server is the query service: an http.Handler plus the caches and
@@ -116,6 +136,20 @@ type Server struct {
 
 	fault *fault.Plan         // nil disables fault injection
 	sleep func(time.Duration) // performs injected latency
+
+	// wal is the mounted decision log (nil when Config.WAL is nil), with
+	// the serve layer's accounting of its integration: replay admissions,
+	// replay rejections, append failures, commits since the last snapshot,
+	// the single-compactor latch, live watch streams, and delivered watch
+	// events.
+	wal           *wal.Log
+	walReplayed   atomic.Uint64
+	walMismatches atomic.Uint64
+	walAppendErrs atomic.Uint64
+	walSinceSnap  atomic.Uint64
+	walSnapBusy   atomic.Bool
+	watchers      atomic.Int64
+	watchEvents   atomic.Uint64
 
 	sem      chan struct{}
 	requests atomic.Uint64 // request ids / total admitted
@@ -191,12 +225,22 @@ func New(cfg Config) (*Server, error) {
 	if sleep == nil {
 		sleep = time.Sleep
 	}
+	if cfg.WAL != nil && cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = DefaultSnapshotEvery
+	}
+	if cfg.MaxWatchers == 0 {
+		cfg.MaxWatchers = DefaultMaxWatchers
+	}
+	if cfg.MaxWatchers < 1 {
+		return nil, errors.New("serve: MaxWatchers must be at least 1")
+	}
 	s := &Server{
 		cfg:       cfg,
 		clock:     clock,
 		logger:    cfg.Logger,
 		fault:     cfg.Fault,
 		sleep:     sleep,
+		wal:       cfg.WAL,
 		sem:       make(chan struct{}, cfg.MaxInFlight),
 		decisions: newDecisionLRU(cfg.CacheSize),
 		snapshots: NewLRU[string, *threshold.Snapshot](cfg.CacheSize),
@@ -205,6 +249,11 @@ func New(cfg Config) (*Server, error) {
 	s.systemsByName = make(map[string]catalog.System, len(all))
 	for _, sys := range all {
 		s.systemsByName[sys.Name] = sys
+	}
+	// Warm start precedes metric registration so the read-at-scrape WAL
+	// instruments report the replay's accounting from the first scrape.
+	if s.wal != nil {
+		s.warmStart()
 	}
 	s.met = newServerMetrics(s)
 	if cfg.TraceCapacity > 0 {
@@ -249,6 +298,13 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+	}
+	// Close the event hub before draining: every /v1/watch stream observes
+	// its channel close and returns, so long-lived watchers never hold the
+	// drain open. (wal.Log.Close is idempotent about this — the daemon
+	// closing the log afterwards is fine.)
+	if s.wal != nil {
+		s.wal.Events().Close()
 	}
 	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer cancel()

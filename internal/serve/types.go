@@ -306,6 +306,25 @@ type HealthResponse struct {
 	Decisions     CacheStats  `json:"decisionCache"`
 	Snapshots     CacheStats  `json:"snapshotCache"`
 	Faults        *FaultStats `json:"faults,omitempty"`
+	WAL           *WALHealth  `json:"wal,omitempty"`
+}
+
+// WALHealth is the decision log's accounting as /v1/healthz reports it,
+// present only while a log is mounted: the log's own operation counters,
+// the warm-start replay outcome, and the watch-stream state.
+type WALHealth struct {
+	Appends       uint64 `json:"appends"`
+	Fsyncs        uint64 `json:"fsyncs"`
+	Rotations     uint64 `json:"rotations"`
+	Compactions   uint64 `json:"compactions"`
+	Segment       uint64 `json:"segment"`
+	Replayed      uint64 `json:"replayed"`
+	Mismatches    uint64 `json:"replayMismatches"`
+	AppendErrors  uint64 `json:"appendErrors"`
+	TornRecords   int    `json:"tornRecords"`
+	CorruptRecs   int    `json:"corruptRecords"`
+	Watchers      int    `json:"watchers"`
+	DroppedEvents uint64 `json:"droppedEvents"`
 }
 
 // TracesResponse is the /v1/traces answer: recently completed request

@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"context"
+	"hash/fnv"
+	"log/slog"
+	"strconv"
+	"strings"
+
+	"repro/internal/units"
+	"repro/internal/wal"
+)
+
+// The WAL integration: every committed (cached) license decision is
+// written through to the mounted decision log, and on boot the log's
+// recovery stream is replayed into the decision LRU so a restarted
+// daemon's first responses are byte-identical to its pre-restart ones.
+//
+// The log stores no response bodies — only the canonical decision key
+// (which encodes every input the decision is a pure function of), the
+// regime applied, and the FNV-1a-64 digest of the exact body served.
+// Replay recomputes each decision from its key and admits it to the
+// cache only when the recomputed body's digest matches the logged one:
+// a decision that cannot be reproduced bit-for-bit (a corrupted key, a
+// code change that altered rendering) is counted and logged, never
+// served. Degraded (cache-bypassed) responses are never logged, because
+// they are never committed to the cache.
+
+// bodyHash digests a rendered response body the way the WAL records it.
+func bodyHash(body []byte) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(body)
+	return h.Sum64()
+}
+
+// parseDecisionKey inverts appendDecisionKey: it splits a canonical
+// cache key back into fill arguments. A key whose shape does not parse
+// returns false; the caller counts it as unreplayable. (User-supplied
+// fields could in principle contain the separator byte — such a key
+// fails the shape check or the hash check, so it degrades to a cold
+// cache entry rather than a wrong one.)
+func parseDecisionKey(key string, a *fillArgs) bool {
+	parts := strings.Split(key, string(rune(keySep)))
+	if len(parts) != 5 {
+		return false
+	}
+	rated, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return false
+	}
+	th, err := strconv.ParseFloat(parts[4], 64)
+	if err != nil {
+		return false
+	}
+	a.sysName = parts[0]
+	a.rated = units.Mtops(rated)
+	a.dest = parts[2]
+	a.endUse = parts[3]
+	a.th = units.Mtops(th)
+	return true
+}
+
+// warmStart replays the mounted log's recovery stream into the decision
+// cache. Records replay in log order, so the cache converges to
+// last-write-wins exactly as it would have under the original request
+// stream. Returns the number of admitted entries.
+func (s *Server) warmStart() int {
+	rec := s.wal.Recovery()
+	admitted := 0
+	var a fillArgs
+	for i := range rec.Records {
+		r := &rec.Records[i]
+		if r.Kind != wal.KindDecision {
+			continue
+		}
+		if !parseDecisionKey(r.Key, &a) {
+			s.walMismatches.Add(1)
+			s.logWALSkip(r.Key, "unparseable key")
+			continue
+		}
+		resp, herr := buildDecision(&a)
+		if herr != nil {
+			s.walMismatches.Add(1)
+			s.logWALSkip(r.Key, "decision no longer evaluates")
+			continue
+		}
+		d, err := encodeCached(resp)
+		if err != nil {
+			s.walMismatches.Add(1)
+			s.logWALSkip(r.Key, "encode failed")
+			continue
+		}
+		if d.hash != r.Hash {
+			s.walMismatches.Add(1)
+			s.logWALSkip(r.Key, "body hash mismatch")
+			continue
+		}
+		s.decisions.Put(r.Key, d)
+		admitted++
+	}
+	s.walReplayed.Store(uint64(admitted))
+	if s.logger != nil {
+		s.logger.LogAttrs(context.Background(), slog.LevelInfo, "wal warm start",
+			slog.Int("replayed", admitted),
+			slog.Int("records", len(rec.Records)),
+			slog.Uint64("mismatches", s.walMismatches.Load()),
+			slog.Int("torn", rec.TornRecords),
+			slog.Int("corrupt", rec.CorruptRecords),
+			slog.Int("droppedSnapshots", rec.DroppedSnapshots))
+	}
+	return admitted
+}
+
+// logWALSkip records one unreplayable log record.
+func (s *Server) logWALSkip(key, reason string) {
+	if s.logger == nil {
+		return
+	}
+	s.logger.LogAttrs(context.Background(), slog.LevelWarn, "wal replay skip",
+		slog.String("reason", reason), slog.String("key", key))
+}
+
+// walCommit writes one freshly cached decision through to the log and
+// triggers snapshot compaction when enough commits have accumulated.
+// Append failures are counted and logged, never surfaced to the request:
+// the decision has already been served and cached, and the audit trail
+// degrades explicitly (wal_append_errors_total) rather than taking the
+// service down with it.
+func (s *Server) walCommit(skey string, a *fillArgs, d *cachedDecision) {
+	if s.wal == nil {
+		return
+	}
+	err := s.wal.Append(wal.Record{
+		Kind:   wal.KindDecision,
+		Key:    skey,
+		Regime: float64(a.th),
+		Hash:   d.hash,
+	})
+	if err != nil {
+		s.walAppendErrs.Add(1)
+		if s.logger != nil {
+			s.logger.LogAttrs(context.Background(), slog.LevelError, "wal append failed",
+				slog.String("key", skey), slog.Any("err", err))
+		}
+		return
+	}
+	if every := s.cfg.SnapshotEvery; every > 0 {
+		if n := s.walSinceSnap.Add(1); int(n) >= every {
+			s.maybeSnapshot()
+		}
+	}
+}
+
+// maybeSnapshot runs one snapshot compaction if no other request is
+// already running one. The live set is collected from the decision LRU
+// in recency order; the log sorts it by key before writing, so the
+// snapshot bytes are independent of both recency and map order.
+func (s *Server) maybeSnapshot() {
+	if !s.walSnapBusy.CompareAndSwap(false, true) {
+		return
+	}
+	defer s.walSnapBusy.Store(false)
+	s.walSinceSnap.Store(0)
+
+	var a fillArgs
+	records := make([]wal.Record, 0, s.decisions.Len())
+	s.decisions.forEach(func(key string, d *cachedDecision) {
+		if !parseDecisionKey(key, &a) {
+			return
+		}
+		records = append(records, wal.Record{
+			Kind:   wal.KindDecision,
+			Key:    key,
+			Regime: float64(a.th),
+			Hash:   d.hash,
+		})
+	})
+	if err := s.wal.Snapshot(records); err != nil {
+		s.walAppendErrs.Add(1)
+		if s.logger != nil {
+			s.logger.LogAttrs(context.Background(), slog.LevelError, "wal snapshot failed",
+				slog.Any("err", err))
+		}
+	}
+}
+
+// walHealth summarizes the log for /v1/healthz.
+func (s *Server) walHealth() *WALHealth {
+	if s.wal == nil {
+		return nil
+	}
+	st := s.wal.Stats()
+	rec := s.wal.Recovery()
+	return &WALHealth{
+		Appends:       st.Appends,
+		Fsyncs:        st.Fsyncs,
+		Rotations:     st.Rotations,
+		Compactions:   st.Compactions,
+		Segment:       st.Segment,
+		Replayed:      s.walReplayed.Load(),
+		Mismatches:    s.walMismatches.Load(),
+		AppendErrors:  s.walAppendErrs.Load(),
+		TornRecords:   rec.TornRecords,
+		CorruptRecs:   rec.CorruptRecords,
+		Watchers:      s.wal.Events().Subscribers(),
+		DroppedEvents: s.wal.Events().Dropped(),
+	}
+}

@@ -1,0 +1,90 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkWALAppend measures the commit path without a durability
+// barrier: frame encoding, CRC, and the buffered kernel write. This is
+// the cost every cold decision pays on top of evaluation.
+func BenchmarkWALAppend(b *testing.B) {
+	l, err := Open(Options{Dir: b.TempDir(), Fsync: FsyncNever})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+	rec := Record{
+		Kind:   KindDecision,
+		Key:    "paragon-xp\x1f42.2\x1fIN\x1fcivil\x1f10600",
+		Regime: 10600,
+		Hash:   0x9e3779b97f4a7c15,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWALAppendFsync is the same commit with an fsync per append —
+// the durable default, dominated by the disk barrier.
+func BenchmarkWALAppendFsync(b *testing.B) {
+	l, err := Open(Options{Dir: b.TempDir(), Fsync: FsyncAlways})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+	rec := Record{
+		Kind:   KindDecision,
+		Key:    "paragon-xp\x1f42.2\x1fIN\x1fcivil\x1f10600",
+		Regime: 10600,
+		Hash:   0x9e3779b97f4a7c15,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWALRecovery measures a warm start over a populated log.
+func BenchmarkWALRecovery(b *testing.B) {
+	dir := b.TempDir()
+	l, err := Open(Options{Dir: dir, Fsync: FsyncNever})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		rec := Record{
+			Kind:   KindDecision,
+			Key:    fmt.Sprintf("sys-%04d\x1f1.5\x1fUS\x1fcivil\x1f2000", i),
+			Regime: 2000,
+			Hash:   uint64(i),
+		}
+		if err := l.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l2, err := Open(Options{Dir: dir, Fsync: FsyncNever})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(l2.Recovery().Records) != 2000 {
+			b.Fatalf("recovered %d records", len(l2.Recovery().Records))
+		}
+		if err := l2.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

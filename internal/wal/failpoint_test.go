@@ -1,0 +1,127 @@
+package wal
+
+import (
+	"os"
+	"sync"
+)
+
+// The crash/corruption harness. A crashEnv plugs into Options.opener and
+// hands every segment a testWriter that tracks which bytes a real crash
+// would preserve: everything up to the last *honored* fsync. Crash()
+// then rewrites the files to exactly that state — optionally keeping a
+// torn prefix of the unsynced tail, or flipping a bit — so recovery runs
+// against the same shapes of damage a kill -9 or a dying disk produces.
+type crashEnv struct {
+	mu        sync.Mutex
+	dropFsync bool // Sync reports success but preserves nothing
+	writers   []*testWriter
+}
+
+// testWriter is the failpoint segmentFile: a real file whose durability
+// horizon is tracked explicitly instead of trusted.
+type testWriter struct {
+	env    *crashEnv
+	path   string
+	f      *os.File
+	synced int64 // bytes a crash would preserve
+	size   int64 // bytes written
+}
+
+func (e *crashEnv) open(path string, reuseLen int64) (segmentFile, error) {
+	if reuseLen >= 0 {
+		if err := os.Truncate(path, reuseLen); err != nil && !os.IsNotExist(err) {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	start := reuseLen
+	if start < 0 {
+		start = 0
+	}
+	w := &testWriter{env: e, path: path, f: f, synced: start, size: start}
+	e.mu.Lock()
+	e.writers = append(e.writers, w)
+	e.mu.Unlock()
+	return w, nil
+}
+
+func (w *testWriter) Write(p []byte) (int, error) {
+	n, err := w.f.Write(p)
+	w.size += int64(n)
+	return n, err
+}
+
+// Sync honors or drops the barrier depending on the environment's
+// failpoint. A dropped fsync still returns nil — the caller believes its
+// bytes are safe, which is precisely the lie the recovery tests need.
+func (w *testWriter) Sync() error {
+	if w.env.dropFsync {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.synced = w.size
+	return nil
+}
+
+func (w *testWriter) Close() error { return w.f.Close() }
+
+// crashOpts shapes the damage Crash applies to the live (last-opened)
+// segment beyond losing its unsynced tail.
+type crashOpts struct {
+	keepUnsynced int64 // bytes of the unsynced tail that survive (torn write)
+	flipAt       int64 // offset whose low bit is flipped; -1 = none
+}
+
+// Crash abandons the log without Close and rewrites every segment file
+// to its crash-visible state: synced bytes survive, unsynced bytes are
+// lost except for keepUnsynced bytes of the live segment's tail (a torn
+// final write). flipAt then simulates media corruption. The *Log that
+// was writing through this env must simply be dropped — calling Close
+// would sync, which is the opposite of a crash.
+func (e *crashEnv) Crash(opts crashOpts) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, w := range e.writers {
+		_ = w.f.Close()
+		keep := w.synced
+		if i == len(e.writers)-1 {
+			extra := opts.keepUnsynced
+			if extra > w.size-w.synced {
+				extra = w.size - w.synced
+			}
+			keep += extra
+		}
+		if err := os.Truncate(w.path, keep); err != nil {
+			if os.IsNotExist(err) {
+				continue // compacted away before the crash
+			}
+			return err
+		}
+	}
+	if opts.flipAt >= 0 {
+		last := e.writers[len(e.writers)-1]
+		data, err := os.ReadFile(last.path)
+		if err != nil {
+			return err
+		}
+		if opts.flipAt < int64(len(data)) {
+			data[opts.flipAt] ^= 0x01
+			if err := os.WriteFile(last.path, data, 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// livePath returns the path of the most recently opened segment.
+func (e *crashEnv) livePath() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.writers[len(e.writers)-1].path
+}

@@ -1,0 +1,162 @@
+package wal
+
+import "sync"
+
+// EventKind classifies hub events.
+type EventKind string
+
+const (
+	// EventRegime is a threshold-regime transition: two consecutive
+	// committed decisions were evaluated under different control
+	// thresholds.
+	EventRegime EventKind = "regime"
+	// EventFault is an injected fault observed by the serve layer.
+	EventFault EventKind = "fault"
+	// EventDegraded is a degraded (cache/memo-bypassed) response.
+	EventDegraded EventKind = "degraded"
+)
+
+// Event is one entry of the commit/event stream behind /v1/watch. Seq is
+// assigned by the hub at publish time and is strictly increasing for the
+// life of the process; it is the cursor clients pass back as ?since= to
+// resume after a dropped connection.
+type Event struct {
+	Seq       uint64    `json:"seq"`
+	Kind      EventKind `json:"kind"`
+	Key       string    `json:"key,omitempty"`
+	Mtops     float64   `json:"mtops,omitempty"`
+	PrevMtops float64   `json:"prev_mtops,omitempty"`
+	Route     string    `json:"route,omitempty"`
+	Detail    string    `json:"detail,omitempty"`
+}
+
+// Hub fans committed events out to watch subscribers. Publish never
+// blocks: a subscriber that cannot keep up has events dropped and
+// counted rather than stalling the commit path. A bounded ring of recent
+// events backs ?since= resumption.
+type Hub struct {
+	mu     sync.Mutex
+	seq    uint64
+	ring   []Event // ring buffer of the most recent events
+	start  int     // index of the oldest event in ring
+	count  int     // live events in ring
+	subs   map[*Subscriber]struct{}
+	drops  uint64
+	closed bool
+}
+
+// Subscriber is one watch stream. Events arrive on C; the channel closes
+// when the hub closes (daemon shutdown) or the subscriber unsubscribes.
+type Subscriber struct {
+	C chan Event
+}
+
+// NewHub builds a hub whose resumption ring holds the given number of
+// recent events.
+func NewHub(ring int) *Hub {
+	if ring < 1 {
+		ring = 1
+	}
+	return &Hub{
+		ring: make([]Event, ring),
+		subs: make(map[*Subscriber]struct{}),
+	}
+}
+
+// Publish assigns the event its sequence number, records it in the
+// resumption ring, and fans it out. Slow subscribers lose the event (the
+// drop is counted) instead of blocking the caller.
+func (h *Hub) Publish(ev Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.seq++
+	ev.Seq = h.seq
+	if h.count == len(h.ring) {
+		h.ring[h.start] = ev
+		h.start = (h.start + 1) % len(h.ring)
+	} else {
+		h.ring[(h.start+h.count)%len(h.ring)] = ev
+		h.count++
+	}
+	for sub := range h.subs {
+		select {
+		case sub.C <- ev:
+		default:
+			h.drops++
+		}
+	}
+}
+
+// Subscribe registers a new subscriber whose channel buffers buf events,
+// and returns it along with the ring-buffered backlog of events with
+// sequence numbers greater than since (pass 0 for live-only). The
+// backlog is returned rather than queued so the caller can interleave it
+// with live events without loss or duplication: every ringed event after
+// since is either in the backlog or will arrive on C.
+func (h *Hub) Subscribe(since uint64, buf int) (*Subscriber, []Event) {
+	if buf < 1 {
+		buf = 1
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var backlog []Event
+	for i := 0; i < h.count; i++ {
+		ev := h.ring[(h.start+i)%len(h.ring)]
+		if ev.Seq > since {
+			backlog = append(backlog, ev)
+		}
+	}
+	sub := &Subscriber{C: make(chan Event, buf)}
+	if h.closed {
+		close(sub.C)
+		return sub, backlog
+	}
+	h.subs[sub] = struct{}{}
+	return sub, backlog
+}
+
+// Unsubscribe removes the subscriber and closes its channel.
+func (h *Hub) Unsubscribe(sub *Subscriber) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.subs[sub]; !ok {
+		return
+	}
+	delete(h.subs, sub)
+	close(sub.C)
+}
+
+// Close shuts the hub down: every subscriber channel closes and further
+// publishes are dropped. Watch handlers observe the close and return, so
+// graceful drain does not wait out long-lived streams.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for sub := range h.subs {
+		delete(h.subs, sub)
+		close(sub.C)
+	}
+}
+
+// Subscribers returns the live subscriber count (the watch_subscribers
+// gauge reads it at scrape time).
+func (h *Hub) Subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// Dropped returns the cumulative count of events lost to slow
+// subscribers.
+func (h *Hub) Dropped() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.drops
+}
