@@ -196,6 +196,51 @@ done
 kill "$walpid"
 walpid=""
 
+echo "== slo: burn-rate engine pages and the flight recorder pins under faults =="
+# A daemon with an SLO profile mounted and every request answered by an
+# injected 503: the availability signal must burn past the page
+# threshold (slo_state 2) by the first scrape — the scrape itself runs
+# the evaluation — and the flight recorder must hold the faulted
+# requests as pinned anomaly groups.
+slopid=""
+trap 'kill $scrapepid $chaospid $loadpid $walpid $slopid 2>/dev/null || true; rm -rf "$scrapedir"' EXIT
+"$scrapedir/hpcexportd" -addr localhost:18099 -quiet \
+	-slo availability=0.99,latency=50ms -fault-seed 7 -fault-profile error=1 2> /dev/null &
+slopid=$!
+up=0
+for _ in $(seq 1 50); do
+	# /v1/healthz is exempt from injection, so readiness polling consumes
+	# no slots of the fault schedule.
+	if curl -fsS http://localhost:18099/v1/healthz > /dev/null 2>&1; then
+		up=1
+		break
+	fi
+	sleep 0.1
+done
+if [ "$up" != 1 ]; then
+	echo "ci.sh: slo daemon never came up" >&2
+	exit 1
+fi
+for i in 1 2 3 4 5 6 7 8; do
+	curl -s -o /dev/null "http://localhost:18099/v1/license?ctp=500&dest=india&endUse=burn$i"
+done
+"$scrapedir/exportctl" -scrape -serve http://localhost:18099 > "$scrapedir/slo_scrape"
+if ! grep -q '^slo_state{route="/v1/license",signal="availability"} 2' "$scrapedir/slo_scrape"; then
+	echo "ci.sh: all-error traffic did not page the availability signal" >&2
+	exit 1
+fi
+if ! curl -fsS http://localhost:18099/v1/slo | grep -q '"state":"page"'; then
+	echo "ci.sh: /v1/slo does not report the page verdict" >&2
+	exit 1
+fi
+"$scrapedir/exportctl" -flightrec -serve http://localhost:18099 > "$scrapedir/slo_flightrec"
+if ! grep -q 'trigger request:5xx' "$scrapedir/slo_flightrec"; then
+	echo "ci.sh: flight recorder holds no pinned 5xx capture" >&2
+	exit 1
+fi
+kill "$slopid"
+slopid=""
+
 # Fuzz smoke (not run in CI — native fuzzing is wall-clock heavy; run
 # locally before touching the parsers or the service request path):
 #   go test -fuzz=FuzzParseCTP -fuzztime=30s ./internal/ctp

@@ -13,6 +13,8 @@
 //	exportctl -serve ... -attempts 8         # more retries against a flaky daemon
 //	exportctl -metrics            # pretty-print a daemon's metric snapshot
 //	exportctl -scrape             # raw /metrics text exposition
+//	exportctl -slo                # burn-rate SLO verdicts (daemon needs -slo)
+//	exportctl -flightrec          # flight-recorder captures and pinned anomalies
 //	exportctl -version            # print build information and exit
 //
 // Remote queries run through the resilient service client: bounded
@@ -44,6 +46,8 @@ func main() {
 		serveURL   = flag.String("serve", "", "query a running hpcexportd at this base URL instead of computing locally")
 		metrics    = flag.Bool("metrics", false, "pretty-print a running daemon's metric snapshot and exit")
 		scrape     = flag.Bool("scrape", false, "print a running daemon's raw /metrics exposition and exit")
+		sloFlag    = flag.Bool("slo", false, "print a running daemon's burn-rate SLO evaluation and exit")
+		flightrec  = flag.Bool("flightrec", false, "print a running daemon's flight-recorder contents and exit")
 		attempts   = flag.Int("attempts", 0, "attempt budget per remote call, first try included (0 = client default)")
 		version    = flag.Bool("version", false, "print build information and exit")
 	)
@@ -54,12 +58,21 @@ func main() {
 		return
 	}
 
-	if *metrics || *scrape {
+	if *metrics || *scrape || *sloFlag || *flightrec {
 		base := *serveURL
 		if base == "" {
 			base = "http://" + serve.DefaultAddr
 		}
-		if err := remoteMetrics(base, *scrape, *attempts); err != nil {
+		var err error
+		switch {
+		case *sloFlag:
+			err = remoteSLO(base, *attempts)
+		case *flightrec:
+			err = remoteFlightRec(base, *attempts)
+		default:
+			err = remoteMetrics(base, *scrape, *attempts)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "exportctl:", err)
 			os.Exit(1)
 		}
@@ -214,6 +227,95 @@ func remoteMetrics(base string, raw bool, attempts int) error {
 		}
 	}
 	return nil
+}
+
+// remoteSLO prints a running daemon's burn-rate evaluation: one line per
+// route and signal with the three window burns and the verdict.
+func remoteSLO(base string, attempts int) error {
+	api, err := remoteClient(base, attempts)
+	if err != nil {
+		return err
+	}
+	defer reportRetries(api)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	resp, err := api.SLO(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("SLO evaluation from %s (profile %s)\n", base, resp.Profile)
+	fmt.Println("==========================")
+	for _, r := range resp.Routes {
+		fmt.Printf("%s  (%s)\n", r.Route, r.Objective)
+		for _, sig := range r.Signals {
+			fmt.Printf("  %-13s %-5s", sig.Signal, sig.State)
+			for _, w := range sig.Windows {
+				fmt.Printf("  %s burn %.2f budget %.3f", w.Window, w.Burn, w.Budget)
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+// remoteFlightRec prints a running daemon's flight recorder: the pinned
+// anomaly groups first (they are why anyone looks), then the rolling
+// window of recent captures, newest first.
+func remoteFlightRec(base string, attempts int) error {
+	api, err := remoteClient(base, attempts)
+	if err != nil {
+		return err
+	}
+	defer reportRetries(api)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	resp, err := api.FlightRec(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("flight recorder from %s: %d captures, %d pinned groups\n",
+		base, resp.Count, len(resp.Pins))
+	fmt.Println("==========================")
+	for _, p := range resp.Pins {
+		fmt.Printf("pin #%d  trigger %s\n", p.Seq, p.Trigger)
+		for i := range p.Captures {
+			printCapture(&p.Captures[i])
+		}
+	}
+	if len(resp.Pins) > 0 && len(resp.Captures) > 0 {
+		fmt.Println("recent captures:")
+	}
+	for i := range resp.Captures {
+		printCapture(&resp.Captures[i])
+	}
+	return nil
+}
+
+// printCapture renders one flight-recorder capture on a single line.
+func printCapture(c *obs.Capture) {
+	fmt.Printf("  #%-6d %-4s %-16s %d  %8.2fms", c.Seq, c.Method, c.Route,
+		c.Status, float64(c.LatencyNs)/1e6)
+	if c.TraceID != "" {
+		fmt.Printf("  trace %s", c.TraceID)
+	}
+	if c.Fault != "" {
+		fmt.Printf("  fault %s", c.Fault)
+	}
+	if c.Degraded {
+		fmt.Print("  degraded")
+	}
+	if c.WAL != "" {
+		fmt.Printf("  wal %s", c.WAL)
+	}
+	if c.Breaker != "" {
+		fmt.Printf("  breaker %q", c.Breaker)
+	}
+	if len(c.Anomalies) > 0 {
+		fmt.Printf("  anomalies %v", c.Anomalies)
+	}
+	fmt.Println()
 }
 
 // remoteReview prints the review by querying a running hpcexportd through

@@ -13,6 +13,8 @@
 //	hpcexportd -fault-seed 7 -fault-profile chaos   # deterministic fault injection
 //	hpcexportd -data-dir /var/lib/hpcexportd        # durable decision log + warm start
 //	hpcexportd -data-dir d -fsync every=64 -snapshot-every 4096
+//	hpcexportd -slo availability=0.99,latency=50ms      # burn-rate SLO engine
+//	hpcexportd -flightrec 512          # flight-recorder ring capacity (-1 disables)
 //	hpcexportd -version                # print build info and exit
 //
 // The daemon drains gracefully on SIGTERM or SIGINT: the listener closes
@@ -42,6 +44,21 @@
 // /v1/watch, a Server-Sent-Events stream of threshold-regime transitions
 // and injected fault/degraded events.
 //
+// -slo mounts the burn-rate SLO engine (see README "SLOs and the flight
+// recorder"): a profile like "availability=0.999,latency=50ms" with
+// optional per-route overrides ("...;/v1/healthz:off") sets error-budget
+// objectives per route, evaluated over 5m/1h/6h windows at every scrape.
+// GET /v1/slo reports burn rates and page/ticket verdicts, /metrics
+// gains slo_burn_rate / slo_budget_remaining / slo_state gauges, and SLO
+// state transitions are published on /v1/watch when a log is mounted.
+//
+// The flight recorder is always on: a fixed ring of recent request
+// captures, dumpable at GET /v1/flightrec, in which anomalous requests
+// (5xx, over-objective latency, degraded recompute, WAL regime
+// transition) are pinned together with the captures that preceded them
+// so the context survives ring wrap. -flightrec resizes the ring; a
+// negative capacity disables capture entirely.
+//
 // Endpoints (see README "Serving the framework" for curl examples):
 //
 //	POST /v1/license    {"system":"Cray C916","destination":"india"}
@@ -54,6 +71,8 @@
 //	GET  /metrics       Prometheus text exposition
 //	GET  /v1/metrics    the same registry as JSON
 //	GET  /v1/traces     recent request traces
+//	GET  /v1/slo        burn-rate evaluation (needs -slo)
+//	GET  /v1/flightrec  flight-recorder captures and pinned anomalies
 package main
 
 import (
@@ -72,6 +91,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/slo"
 	"repro/internal/wal"
 )
 
@@ -91,6 +111,8 @@ func main() {
 		dataDir   = flag.String("data-dir", "", "directory for the durable decision log; empty runs without durability")
 		fsyncSpec = flag.String("fsync", "always", "decision-log durability barrier: always, never, or every=N (with -data-dir)")
 		snapEvery = flag.Int("snapshot-every", serve.DefaultSnapshotEvery, "decision commits between snapshot compactions (with -data-dir)")
+		sloSpec   = flag.String("slo", "", "SLO profile, e.g. availability=0.999,latency=50ms;/v1/healthz:off; empty disables the burn-rate engine")
+		flightCap = flag.Int("flightrec", 0, "flight-recorder ring capacity; 0 uses the default, negative disables capture")
 		version   = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -119,6 +141,18 @@ func main() {
 		if prof.String() != "none" {
 			fmt.Fprintf(os.Stderr, "hpcexportd: fault injection active: seed %d, profile %s\n",
 				*faultSeed, prof)
+		}
+	}
+
+	var sloProf slo.Profile
+	if *sloSpec != "" {
+		var err error
+		if sloProf, err = slo.Parse(*sloSpec); err != nil {
+			fmt.Fprintln(os.Stderr, "hpcexportd:", err)
+			os.Exit(1)
+		}
+		if sloProf.Active() {
+			fmt.Fprintf(os.Stderr, "hpcexportd: SLO engine active: %s\n", sloProf)
 		}
 	}
 
@@ -158,6 +192,8 @@ func main() {
 		Fault:          plan,
 		WAL:            log,
 		SnapshotEvery:  *snapEvery,
+		SLO:            sloProf,
+		FlightCapacity: *flightCap,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hpcexportd:", err)

@@ -1,0 +1,69 @@
+// Package flightcapture is an hpcvet fixture: the checkers must see
+// through flight-recorder capture closures. A recorder changes where a
+// request's record ends up, never what building it may do — an error
+// swallowed while sealing a capture, or a wall-clock read smuggled into
+// its latency field, is exactly as wrong inside the builder closure as
+// in straight-line code, and the deferred shape makes it easy to miss.
+package flightcapture
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// record builds one capture via the builder closure and hands it to the
+// ring — the shape of the middleware's deferred capture seal.
+func record(r *obs.Recorder, build func() obs.Capture) {
+	r.Record(build())
+}
+
+// seal is an in-module fallible kernel, the stand-in for flushing a
+// capture's side channel (a WAL annotation, say).
+func seal(c *obs.Capture) error { return nil }
+
+// DropInBuilder loses an in-module error inside the builder closure, so
+// a capture whose side channel failed records as if it succeeded:
+// flagged.
+func DropInBuilder(r *obs.Recorder) {
+	record(r, func() obs.Capture {
+		c := obs.Capture{Route: "/v1/license"}
+		seal(&c)
+		return c
+	})
+}
+
+// WallClockLatency reads the wall clock inside the builder to price the
+// capture's latency — the exact bug that makes a replayed request
+// stream produce different flight-recorder bytes: flagged.
+func WallClockLatency(r *obs.Recorder, start time.Time) {
+	record(r, func() obs.Capture {
+		return obs.Capture{LatencyNs: uint64(time.Now().Sub(start))}
+	})
+}
+
+// GlobalSampleDraw decides whether a capture is anomalous with a draw
+// from the process-global source, smuggling nondeterminism into what
+// the ring pins: flagged.
+func GlobalSampleDraw(r *obs.Recorder) {
+	record(r, func() obs.Capture {
+		c := obs.Capture{Route: "/v1/license"}
+		if rand.Float64() < 0.01 {
+			c.Anomalies = append(c.Anomalies, "sampled")
+		}
+		return c
+	})
+}
+
+// Injected threads a caller-controlled clock for latency and propagates
+// the seal error to the caller, the middleware idiom: clean.
+func Injected(r *obs.Recorder, clock func() time.Time, start time.Time) error {
+	var err error
+	record(r, func() obs.Capture {
+		c := obs.Capture{Route: "/v1/license", LatencyNs: uint64(clock().Sub(start))}
+		err = seal(&c)
+		return c
+	})
+	return err
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// exemplarSlot holds the exemplar for one histogram bucket: the trace ID
+// of the largest value observed into that bucket since the store was
+// armed.
+type exemplarSlot struct {
+	set     bool
+	value   uint64
+	traceID string
+}
+
+// Exemplars links histogram buckets to trace IDs: one slot per bucket,
+// each remembering the slowest (largest-valued) observation that landed
+// there, so a fat tail bucket in the exposition points straight at a
+// concrete trace in /v1/traces. A strictly-greater replacement rule makes
+// the store deterministic under sequential traffic: ties keep the first
+// trace seen. Safe for concurrent use.
+type Exemplars struct {
+	mu    sync.Mutex
+	slots [HistBuckets]exemplarSlot
+}
+
+// Observe records one observation with its trace ID. Observations with
+// an empty trace ID are ignored — an exemplar that points nowhere is
+// noise.
+func (e *Exemplars) Observe(v uint64, traceID string) {
+	if e == nil || traceID == "" {
+		return
+	}
+	k := bits.Len64(v) // same bucket rule as Histogram.Observe
+	e.mu.Lock()
+	if s := &e.slots[k]; !s.set || v > s.value {
+		s.set = true
+		s.value = v
+		s.traceID = traceID
+	}
+	e.mu.Unlock()
+}
+
+// snapshot copies the slot array under the lock.
+func (e *Exemplars) snapshot() [HistBuckets]exemplarSlot {
+	e.mu.Lock()
+	s := e.slots
+	e.mu.Unlock()
+	return s
+}
+
+// AttachExemplars arms exemplar collection on a previously registered
+// histogram, identified by name and labels, and returns the store. The
+// text exposition then appends an OpenMetrics-style exemplar suffix to
+// each bucket line that has one; buckets without exemplars render
+// exactly as before, so an armed-but-idle registry still scrapes
+// byte-identically. A nil registry, unknown name, or non-histogram
+// instrument returns a detached (working, unexposed) store, keeping the
+// call panic-free like every other registration path.
+func (r *Registry) AttachExemplars(name string, labels ...Label) *Exemplars {
+	e := &Exemplars{}
+	if r == nil {
+		return e
+	}
+	key := name + renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.metrics[key]
+	if !ok || m.hist == nil {
+		return e
+	}
+	if m.exemplars == nil {
+		m.exemplars = e
+	}
+	return m.exemplars
+}

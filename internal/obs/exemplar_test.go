@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestExemplarsSlowestWinsFirstTieKept(t *testing.T) {
+	var e Exemplars
+	e.Observe(20, "t-slow")
+	e.Observe(18, "t-slower-no") // smaller: kept out
+	e.Observe(20, "t-tie")       // tie: first wins
+	e.Observe(25, "t-slowest")   // strictly greater: replaces
+	e.Observe(7, "t-other-bucket")
+	e.Observe(100, "") // empty trace ID: ignored
+
+	s := e.snapshot()
+	k20 := 5 // 20 is 5 bits → bucket 5 [16,31]
+	if !s[k20].set || s[k20].traceID != "t-slowest" || s[k20].value != 25 {
+		t.Errorf("bucket 5 exemplar = %+v, want t-slowest/25", s[k20])
+	}
+	k7 := 3 // 7 is 3 bits → bucket 3 [4,7]
+	if !s[k7].set || s[k7].traceID != "t-other-bucket" {
+		t.Errorf("bucket 3 exemplar = %+v, want t-other-bucket", s[k7])
+	}
+	k100 := 7
+	if s[k100].set {
+		t.Errorf("empty-trace observation must be ignored, got %+v", s[k100])
+	}
+}
+
+func TestAttachExemplarsRendersSuffixOnlyWhenSet(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("req_latency_ns", "request latency", L("route", "/v1/license"))
+
+	// Armed but idle: exposition must be byte-identical to unarmed.
+	var before bytes.Buffer
+	if err := reg.WriteProm(&before); err != nil {
+		t.Fatal(err)
+	}
+	ex := reg.AttachExemplars("req_latency_ns", L("route", "/v1/license"))
+	var armed bytes.Buffer
+	if err := reg.WriteProm(&armed); err != nil {
+		t.Fatal(err)
+	}
+	if before.String() != armed.String() {
+		t.Fatalf("arming exemplars changed an idle exposition:\n--- before\n%s\n--- armed\n%s", before.String(), armed.String())
+	}
+
+	h.Observe(20)
+	ex.Observe(20, "trace-abc")
+	var after bytes.Buffer
+	if err := reg.WriteProm(&after); err != nil {
+		t.Fatal(err)
+	}
+	want := `req_latency_ns_bucket{route="/v1/license",le="31"} 1 # {trace_id="trace-abc"} 20`
+	if !strings.Contains(after.String(), want) {
+		t.Errorf("exposition missing exemplar suffix %q:\n%s", want, after.String())
+	}
+	// Exactly one bucket line carries a suffix.
+	if n := strings.Count(after.String(), " # {trace_id="); n != 1 {
+		t.Errorf("got %d exemplar suffixes, want 1", n)
+	}
+
+	// Snapshot carries the exemplar too.
+	snap := reg.Snapshot()
+	var found bool
+	for _, m := range snap.Metrics {
+		for _, e := range m.Exemplars {
+			if e.TraceID == "trace-abc" && e.Value == 20 && e.Upper == 31 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("snapshot missing the exemplar: %+v", snap)
+	}
+}
+
+func TestAttachExemplarsDetachedPaths(t *testing.T) {
+	var nilReg *Registry
+	if ex := nilReg.AttachExemplars("x"); ex == nil {
+		t.Fatal("nil registry must return a detached store, got nil")
+	}
+	reg := NewRegistry()
+	reg.Counter("a_total", "a counter")
+	if ex := reg.AttachExemplars("a_total"); ex == nil {
+		t.Fatal("non-histogram attach must return a detached store, got nil")
+	}
+	if ex := reg.AttachExemplars("missing"); ex == nil {
+		t.Fatal("unknown-name attach must return a detached store, got nil")
+	}
+	// Attaching twice returns the same store.
+	reg.Histogram("h", "a histogram")
+	e1 := reg.AttachExemplars("h")
+	e2 := reg.AttachExemplars("h")
+	if e1 != e2 {
+		t.Error("second attach returned a different store")
+	}
+}
+
+func TestExemplarsConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("h", "")
+	ex := reg.AttachExemplars("h")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				ex.Observe(uint64(i%1000), "t")
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			var b bytes.Buffer
+			_ = reg.WriteProm(&b)
+			_ = reg.Snapshot()
+		}
+	}()
+	wg.Wait()
+}

@@ -102,15 +102,17 @@ func BucketUpper(k int) uint64 {
 	return 1<<uint(k) - 1
 }
 
-// Quantile returns an upper bound on the q-quantile of the observed
-// distribution: the inclusive upper bound of the first bucket at which
-// the cumulative count reaches ⌈q·Count⌉. With power-of-two buckets the
-// bound is within 2x of the true quantile — the right resolution for
-// latency reporting (p50/p99), where the interesting signal is orders of
-// magnitude, not percent. q outside [0, 1] clamps; an empty histogram
-// reports 0. The read is not atomic against concurrent Observes: each
-// bucket load is, but the set of loads is a smear, which is fine for the
-// monitoring and load-report paths this serves.
+// Quantile returns an upper-bound estimate of the q-quantile of the
+// observed distribution. The target rank ⌈q·Count⌉ lands in one bucket;
+// within that bucket the estimate interpolates linearly between the
+// bucket's bounds, rounding up, so the result never understates the
+// bucket model's answer: rank at the very end of a bucket reports the
+// bucket's inclusive upper bound (q=1 is exactly the old
+// first-cumulative-bucket behavior), rank at the very start reports no
+// less than the bucket's lower bound. q outside [0, 1] clamps; an empty
+// histogram reports 0. The read is not atomic against concurrent
+// Observes: each bucket load is, but the set of loads is a smear, which
+// is fine for the monitoring, SLO, and load-report paths this serves.
 func (h *Histogram) Quantile(q float64) uint64 {
 	total := h.count.Load()
 	if total == 0 {
@@ -128,10 +130,24 @@ func (h *Histogram) Quantile(q float64) uint64 {
 	}
 	var cum uint64
 	for k := 0; k < HistBuckets; k++ {
-		cum += h.buckets[k].Load()
-		if cum >= target {
-			return BucketUpper(k)
+		n := h.buckets[k].Load()
+		if cum+n < target {
+			cum += n
+			continue
 		}
+		// The target rank is the (target−cum)-th of this bucket's n
+		// observations. Interpolate within [lower, upper] rounding up.
+		if k == 0 {
+			return 0 // bucket 0 holds exactly the value 0
+		}
+		lo := BucketUpper(k-1) + 1
+		hi := BucketUpper(k)
+		width := float64(hi - lo)
+		off := math.Ceil(float64(target-cum) / float64(n) * width)
+		if off >= width {
+			return hi // also guards float round-up past the bucket edge
+		}
+		return lo + uint64(off)
 	}
 	return BucketUpper(HistBuckets - 1)
 }

@@ -47,6 +47,114 @@ func TestHistogramBucketBoundaries(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileBoundaries(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		var h Histogram
+		if got := h.Quantile(0.5); got != 0 {
+			t.Errorf("empty Quantile(0.5) = %d, want 0", got)
+		}
+	})
+
+	t.Run("zero bucket", func(t *testing.T) {
+		var h Histogram
+		h.Observe(0)
+		h.Observe(0)
+		for _, q := range []float64{0, 0.5, 1} {
+			if got := h.Quantile(q); got != 0 {
+				t.Errorf("all-zero Quantile(%g) = %d, want 0", q, got)
+			}
+		}
+	})
+
+	t.Run("degenerate one-value bucket", func(t *testing.T) {
+		// Bucket 1 is [1,1]: interpolation has zero width and must pin
+		// to the single representable value.
+		var h Histogram
+		h.Observe(1)
+		h.Observe(1)
+		if got := h.Quantile(0.5); got != 1 {
+			t.Errorf("Quantile(0.5) = %d, want 1", got)
+		}
+	})
+
+	t.Run("full bucket rank hits the upper bound", func(t *testing.T) {
+		// 4 observations all in bucket 3 ([4,7]): q=1 targets rank 4,
+		// the end of the bucket, so the estimate is the inclusive upper
+		// bound — exactly the pre-interpolation answer.
+		var h Histogram
+		for i := 0; i < 4; i++ {
+			h.Observe(5)
+		}
+		if got := h.Quantile(1); got != BucketUpper(3) {
+			t.Errorf("Quantile(1) = %d, want %d", got, BucketUpper(3))
+		}
+	})
+
+	t.Run("interpolates within a bucket", func(t *testing.T) {
+		// 4 observations in bucket 5 ([16,31], width 15). Rank r of 4
+		// lands at 16 + ⌈r/4·15⌉: ranks 1..4 → 20, 24, 28, 31.
+		var h Histogram
+		for i := 0; i < 4; i++ {
+			h.Observe(20)
+		}
+		want := map[float64]uint64{0.25: 20, 0.5: 24, 0.75: 28, 1: 31}
+		for q, w := range want {
+			if got := h.Quantile(q); got != w {
+				t.Errorf("Quantile(%g) = %d, want %d", q, got, w)
+			}
+		}
+	})
+
+	t.Run("rank crosses bucket boundary", func(t *testing.T) {
+		// One observation each in buckets 1 and 2: the median is the
+		// full first bucket (upper bound 1); q just above 0.5 crosses
+		// into [2,3].
+		var h Histogram
+		h.Observe(1)
+		h.Observe(3)
+		if got := h.Quantile(0.5); got != 1 {
+			t.Errorf("Quantile(0.5) = %d, want 1", got)
+		}
+		if got := h.Quantile(0.75); got < 2 || got > 3 {
+			t.Errorf("Quantile(0.75) = %d, want within [2,3]", got)
+		}
+	})
+
+	t.Run("estimate never understates the bucket lower bound", func(t *testing.T) {
+		// 1000 observations in bucket 10 ([512,1023]): even rank 1 must
+		// not fall below the bucket's lower bound.
+		var h Histogram
+		for i := 0; i < 1000; i++ {
+			h.Observe(512)
+		}
+		if got := h.Quantile(0.001); got < 512 {
+			t.Errorf("Quantile(0.001) = %d, below bucket lower bound 512", got)
+		}
+		if got := h.Quantile(1); got != 1023 {
+			t.Errorf("Quantile(1) = %d, want 1023", got)
+		}
+	})
+
+	t.Run("top bucket does not overflow", func(t *testing.T) {
+		var h Histogram
+		h.Observe(math.MaxUint64)
+		if got := h.Quantile(1); got != math.MaxUint64 {
+			t.Errorf("Quantile(1) = %d, want MaxUint64", got)
+		}
+		if got := h.Quantile(0.01); got < 1<<63 {
+			t.Errorf("Quantile(0.01) = %d, below the top bucket's lower bound", got)
+		}
+	})
+
+	t.Run("clamps out-of-range q", func(t *testing.T) {
+		var h Histogram
+		h.Observe(5)
+		if lo, hi := h.Quantile(-3), h.Quantile(7); lo != h.Quantile(0) || hi != h.Quantile(1) {
+			t.Errorf("clamping broken: Quantile(-3)=%d Quantile(7)=%d", lo, hi)
+		}
+	})
+}
+
 func TestHistogramSumCountAndNegativeDuration(t *testing.T) {
 	var h Histogram
 	h.Observe(5)

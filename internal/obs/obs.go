@@ -82,6 +82,10 @@ type metric struct {
 	gauge   *Gauge
 	hist    *Histogram
 	fn      func() float64 // read at exposition time
+
+	// exemplars is non-nil only on histograms armed via AttachExemplars;
+	// buckets with an exemplar gain an OpenMetrics-style suffix.
+	exemplars *Exemplars
 }
 
 // key returns the registry key identifying this instrument.
@@ -242,11 +246,18 @@ func writeSamples(w io.Writer, m *metric) error {
 }
 
 // writeHistogram renders one histogram's bucket/sum/count lines. The le
-// label is appended after the instrument's own labels.
+// label is appended after the instrument's own labels. When exemplars
+// are armed, each bucket that has one gains an OpenMetrics-style
+// " # {trace_id=\"...\"} value" suffix; unarmed or empty buckets render
+// exactly as before, preserving idle-scrape byte-identity.
 func writeHistogram(w io.Writer, m *metric) error {
 	open, sep := "{", ""
 	if m.labels != "" {
 		open, sep = m.labels[:len(m.labels)-1], ","
+	}
+	var ex [HistBuckets]exemplarSlot
+	if m.exemplars != nil {
+		ex = m.exemplars.snapshot()
 	}
 	cum := uint64(0)
 	for k := 0; k < HistBuckets; k++ {
@@ -255,7 +266,11 @@ func writeHistogram(w io.Writer, m *metric) error {
 		if k == HistBuckets-1 {
 			le = "+Inf"
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket%s%sle=\"%s\"} %d\n", m.name, open, sep, le, cum); err != nil {
+		suffix := ""
+		if ex[k].set {
+			suffix = fmt.Sprintf(" # {trace_id=\"%s\"} %d", escapeLabel(ex[k].traceID), ex[k].value)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s%sle=\"%s\"} %d%s\n", m.name, open, sep, le, cum, suffix); err != nil {
 			return err
 		}
 	}
@@ -272,6 +287,14 @@ type BucketSnapshot struct {
 	Count uint64 `json:"count"` // observations in this bucket (not cumulative)
 }
 
+// ExemplarSnapshot is one bucket's exemplar in a snapshot: the trace ID
+// of the slowest observation recorded into that bucket.
+type ExemplarSnapshot struct {
+	Upper   uint64 `json:"upper"` // inclusive upper bound of the bucket
+	Value   uint64 `json:"value"` // the exemplar observation itself
+	TraceID string `json:"traceId"`
+}
+
 // MetricSnapshot is one instrument's state in a snapshot.
 type MetricSnapshot struct {
 	Name    string           `json:"name"`
@@ -282,6 +305,10 @@ type MetricSnapshot struct {
 	Count   uint64           `json:"count,omitempty"`   // histogram observation count
 	Sum     uint64           `json:"sum,omitempty"`     // histogram observation sum
 	Buckets []BucketSnapshot `json:"buckets,omitempty"` // non-empty histogram buckets
+
+	// Exemplars lists, for histograms armed via AttachExemplars, the
+	// trace ID of the slowest recent observation per non-empty bucket.
+	Exemplars []ExemplarSnapshot `json:"exemplars,omitempty"`
 }
 
 // Snapshot is a point-in-time JSON-friendly view of a registry, in the
@@ -317,6 +344,14 @@ func (r *Registry) Snapshot() Snapshot {
 			for k := 0; k < HistBuckets; k++ {
 				if n := m.hist.Bucket(k); n > 0 {
 					s.Buckets = append(s.Buckets, BucketSnapshot{Upper: BucketUpper(k), Count: n})
+				}
+			}
+			if m.exemplars != nil {
+				ex := m.exemplars.snapshot()
+				for k := 0; k < HistBuckets; k++ {
+					if ex[k].set {
+						s.Exemplars = append(s.Exemplars, ExemplarSnapshot{Upper: BucketUpper(k), Value: ex[k].value, TraceID: ex[k].traceID})
+					}
 				}
 			}
 		}

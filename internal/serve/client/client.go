@@ -632,6 +632,29 @@ func (c *Client) MetricsText(ctx context.Context) (string, error) {
 	return string(body), nil
 }
 
+// SLO fetches the service's burn-rate evaluation: per-route, per-signal
+// burn rates over the alerting windows, remaining error budget, and the
+// page/ticket verdicts. Fails with a 404 when the daemon was started
+// without an SLO profile.
+func (c *Client) SLO(ctx context.Context) (*serve.SLOResponse, error) {
+	var out serve.SLOResponse
+	if err := c.get(ctx, "/v1/slo", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// FlightRec fetches the flight recorder's current contents: the rolling
+// window of recent request captures plus the pinned anomaly groups that
+// survived ring wrap. Fails with a 404 when the recorder is disabled.
+func (c *Client) FlightRec(ctx context.Context) (*serve.FlightRecResponse, error) {
+	var out serve.FlightRecResponse
+	if err := c.get(ctx, "/v1/flightrec", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Traces fetches the service's recent request traces, newest first.
 func (c *Client) Traces(ctx context.Context) (*serve.TracesResponse, error) {
 	var out serve.TracesResponse

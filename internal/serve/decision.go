@@ -278,6 +278,6 @@ func (s *Server) fillDecision(ctx context.Context, skey string, a *fillArgs) (*c
 	// sits on the cold path only — warm hits never reach fillDecision —
 	// so the log's latency prices cache fills, not the zero-alloc hot
 	// path.
-	s.walCommit(skey, a, d)
+	s.walCommit(ctx, skey, a, d)
 	return d, nil
 }

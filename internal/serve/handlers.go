@@ -214,6 +214,7 @@ func (s *Server) answerLicense(w http.ResponseWriter, r *http.Request, req *Lice
 	}
 	ctx := r.Context()
 	sc.key = appendDecisionKey(sc.key[:0], &sc.args)
+	obs.CaptureStateFrom(ctx).SetKey(sc.key)
 	lookup := obs.Child(ctx, "cache.lookup")
 	if isDegraded(ctx) {
 		lookup.SetAttr("result", "bypass")
@@ -755,6 +756,9 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "metrics disabled")
 		return
 	}
+	// Evaluate the SLO engine at the scrape instant, so the slo_* gauges
+	// render the verdicts of this scrape, not a stale evaluation.
+	s.sloEval()
 	var buf bytes.Buffer
 	if err := s.met.reg.WriteProm(&buf); err != nil {
 		writeError(w, http.StatusInternalServerError, "metrics rendering failed: %v", err)
@@ -771,6 +775,7 @@ func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "metrics disabled")
 		return
 	}
+	s.sloEval()
 	writeJSON(w, http.StatusOK, s.met.reg.Snapshot())
 }
 

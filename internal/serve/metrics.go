@@ -17,9 +17,11 @@ var obsRoutes = []string{
 	"/metrics",
 	"/v1/apps",
 	"/v1/catalog",
+	"/v1/flightrec",
 	"/v1/healthz",
 	"/v1/license",
 	"/v1/metrics",
+	"/v1/slo",
 	"/v1/threshold",
 	"/v1/traces",
 	"other",
@@ -42,10 +44,16 @@ func routeOf(path string) string {
 // selfObserved reports whether a route is one of the observability
 // endpoints. Those are exempt from their own instruments — a /metrics
 // scrape that counted itself would make two consecutive scrapes of an
-// idle daemon differ, and a traced /v1/traces request would change the
-// very ring it reports — so reading the telemetry never changes it.
+// idle daemon differ, a traced /v1/traces request would change the very
+// ring it reports, and a /v1/flightrec dump that recorded itself would
+// push real captures out of the ring it is dumping — so reading the
+// telemetry never changes it.
 func selfObserved(route string) bool {
-	return route == "/metrics" || route == "/v1/metrics" || route == "/v1/traces"
+	switch route {
+	case "/metrics", "/v1/metrics", "/v1/traces", "/v1/slo", "/v1/flightrec":
+		return true
+	}
+	return false
 }
 
 // classIdx buckets a status code into its statusClasses index.
@@ -68,6 +76,15 @@ func classIdx(code int) int {
 type routeInstruments struct {
 	latency *obs.Histogram
 	classes [4]*obs.Counter
+
+	// SLO instrumentation, live only under an active SLO profile: slowNs
+	// is the route's latency objective in nanoseconds (0 when the route
+	// has none), slow counts requests over it, and exemplars links the
+	// latency histogram's buckets to the trace IDs of their slowest
+	// observations.
+	slowNs    uint64
+	slow      *obs.Counter
+	exemplars *obs.Exemplars
 }
 
 // serverMetrics is the service's instrument set, created once at New. A
@@ -119,6 +136,17 @@ func newServerMetrics(s *Server) *serverMetrics {
 		for i, class := range statusClasses {
 			ri.classes[i] = reg.Counter("http_requests_total", "requests answered, by route and status class",
 				obs.L("route", route), obs.L("class", class))
+		}
+		// SLO instrumentation registers only under an active profile, so
+		// an unjudged daemon's exposition shape — and its idle-scrape
+		// byte-identity against pre-SLO expositions — is unchanged.
+		if obj := s.cfg.SLO.For(route); s.cfg.SLO.Active() && obj.Availability > 0 {
+			ri.exemplars = reg.AttachExemplars("http_request_ns", obs.L("route", route))
+			if obj.Latency > 0 {
+				ri.slowNs = uint64(obj.Latency)
+				ri.slow = reg.Counter("slo_slow_requests_total",
+					"requests slower than the route's latency objective", obs.L("route", route))
+			}
 		}
 		m.routes[route] = ri
 	}
@@ -173,7 +201,7 @@ func registerWALMetrics(reg *obs.Registry, s *Server) {
 		func() float64 { return float64(s.watchers.Load()) })
 	reg.Func("watch_events_total", "events delivered to /v1/watch streams", obs.KindCounter,
 		func() float64 { return float64(s.watchEvents.Load()) })
-	reg.Func("watch_dropped_total", "events dropped at slow /v1/watch subscribers", obs.KindCounter,
+	reg.Func("watch_events_dropped_total", "events dropped at slow /v1/watch subscribers", obs.KindCounter,
 		func() float64 { return float64(s.wal.Events().Dropped()) })
 }
 
@@ -247,8 +275,9 @@ func registerCacheMetrics(reg *obs.Registry, name string, stats func() CacheStat
 }
 
 // requestDone records one answered request. route must be a routeOf
-// result; self-observed routes never reach here.
-func (m *serverMetrics) requestDone(route string, code int, durNs int64) {
+// result; self-observed routes never reach here. traceID feeds exemplar
+// collection when the route's histogram is armed.
+func (m *serverMetrics) requestDone(route string, code int, durNs int64, traceID string) {
 	if m == nil {
 		return
 	}
@@ -261,6 +290,10 @@ func (m *serverMetrics) requestDone(route string, code int, durNs int64) {
 		durNs = 0
 	}
 	ri.latency.Observe(uint64(durNs))
+	ri.exemplars.Observe(uint64(durNs), traceID)
+	if ri.slowNs > 0 && uint64(durNs) > ri.slowNs {
+		ri.slow.Inc()
+	}
 }
 
 // statusText renders a status code for a span attribute without

@@ -44,9 +44,9 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 // An inbound X-Request-Id header is echoed (and used as the trace ID) so
 // client-side and server-side traces correlate; otherwise the request is
 // assigned the next value of the admission counter. The observability
-// endpoints themselves (/metrics, /v1/metrics, /v1/traces) pass through
-// unrecorded and untraced, which is what keeps a scrape from perturbing
-// the telemetry it reads.
+// endpoints themselves (/metrics, /v1/metrics, /v1/traces, /v1/slo,
+// /v1/flightrec) pass through unrecorded, untraced, and uncaptured,
+// which is what keeps a scrape from perturbing the telemetry it reads.
 func (s *Server) middleware(h http.Handler) http.Handler {
 	if s.cfg.RequestTimeout > 0 {
 		h = http.TimeoutHandler(h, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
@@ -108,6 +108,15 @@ func (s *Server) middleware(h http.Handler) http.Handler {
 			r = r.WithContext(ctx)
 		}
 
+		// The flight recorder captures every observed request in full
+		// detail; the capture state travels in the context so the layers
+		// below (decision fill, WAL commit) can annotate it.
+		var cs *obs.CaptureState
+		if observed && s.flightrec != nil {
+			cs = obs.NewCaptureState(r.Method, route, id)
+			r = r.WithContext(obs.WithCaptureState(r.Context(), cs))
+		}
+
 		sw := &statusWriter{ResponseWriter: w}
 		start := s.clock()
 		defer func() {
@@ -119,8 +128,9 @@ func (s *Server) middleware(h http.Handler) http.Handler {
 				}
 				if observed && s.met != nil {
 					s.met.panics.Inc()
-					s.met.requestDone(route, http.StatusInternalServerError, int64(dur))
+					s.met.requestDone(route, http.StatusInternalServerError, int64(dur), id)
 				}
+				s.recordCapture(cs, sw, route, int64(dur), true)
 				span.SetAttr("panic", "true")
 				span.End()
 				if s.logger != nil {
@@ -131,8 +141,9 @@ func (s *Server) middleware(h http.Handler) http.Handler {
 				return
 			}
 			if observed && s.met != nil {
-				s.met.requestDone(route, sw.code, int64(dur))
+				s.met.requestDone(route, sw.code, int64(dur), id)
 			}
+			s.recordCapture(cs, sw, route, int64(dur), false)
 			cache := sw.Header().Get("X-Cache")
 			if span != nil {
 				span.SetAttr("status", statusText(sw.code))
@@ -167,4 +178,49 @@ func (s *Server) middleware(h http.Handler) http.Handler {
 		}
 		inner.ServeHTTP(sw, r)
 	})
+}
+
+// recordCapture seals one request's flight-recorder capture with the
+// response-side facts and the anomaly verdicts: a recovered panic, a
+// server-error status, latency over the route's SLO objective, or a
+// degraded (cache-bypassed) response. Any anomaly — these or one added
+// below the middleware, like a WAL regime transition — makes the
+// recorder pin the capture with its surrounding context. A nil capture
+// state (self-observed route, or recorder disabled) is a no-op.
+func (s *Server) recordCapture(cs *obs.CaptureState, sw *statusWriter, route string, durNs int64, panicked bool) {
+	if cs == nil || s.flightrec == nil {
+		return
+	}
+	if durNs < 0 {
+		durNs = 0
+	}
+	h := sw.Header()
+	injected := h.Get("X-Fault-Injected")
+	degraded := h.Get("X-Degraded") != ""
+	var anomalies []string
+	if panicked {
+		anomalies = append(anomalies, "panic")
+	}
+	if sw.code >= 500 {
+		anomalies = append(anomalies, "5xx")
+	}
+	if ns := s.slowNsFor(route); ns > 0 && uint64(durNs) > ns {
+		anomalies = append(anomalies, "slow")
+	}
+	if degraded {
+		anomalies = append(anomalies, "degraded")
+	}
+	s.flightrec.Record(cs.Finish(sw.code, uint64(durNs), injected, degraded, anomalies))
+}
+
+// slowNsFor returns the route's latency objective in nanoseconds, 0 when
+// the route has none (or no SLO profile is mounted).
+func (s *Server) slowNsFor(route string) uint64 {
+	if s.met == nil {
+		return 0
+	}
+	if ri, ok := s.met.routes[route]; ok {
+		return ri.slowNs
+	}
+	return 0
 }

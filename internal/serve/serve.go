@@ -16,6 +16,8 @@
 //	GET  /metrics       Prometheus text exposition (deterministic order)
 //	GET  /v1/metrics    the same registry as a JSON snapshot
 //	GET  /v1/traces     ring buffer of recent request traces
+//	GET  /v1/slo        burn-rate verdicts per judged route (needs Config.SLO)
+//	GET  /v1/flightrec  flight-recorder captures and pinned anomaly groups
 //
 // The service is layered over the memoized exhibit substrates of
 // internal/report (the study-date snapshot is computed once per process,
@@ -47,6 +49,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/parpool"
+	"repro/internal/slo"
 	"repro/internal/threshold"
 	"repro/internal/trend"
 	"repro/internal/wal"
@@ -120,6 +123,24 @@ type Config struct {
 	// in-flight semaphore precisely so they cannot starve it, and need
 	// their own limit). 0 means DefaultMaxWatchers.
 	MaxWatchers int
+
+	// SLO, when active, mounts the burn-rate engine: every judged route
+	// gets multi-window burn rates over its availability (and optional
+	// latency) objective, evaluated read-at-scrape, served at /v1/slo,
+	// exposed as slo_* gauges in /metrics, and published to the watch
+	// stream on state transitions. Exemplar collection on the per-route
+	// latency histograms is armed with it. An inactive profile leaves
+	// the exposition byte-identical to a pre-SLO daemon's.
+	SLO slo.Profile
+
+	// SLOSampleEvery is the minimum spacing between retained burn-rate
+	// history samples; 0 selects the engine default (15s).
+	SLOSampleEvery time.Duration
+
+	// FlightCapacity sizes the flight recorder's capture ring; 0 selects
+	// obs.DefaultRecorderCapacity, negative disables the recorder (and
+	// /v1/flightrec answers 404).
+	FlightCapacity int
 }
 
 // Server is the query service: an http.Handler plus the caches and
@@ -133,6 +154,18 @@ type Server struct {
 
 	met    *serverMetrics // nil disables metric recording
 	tracer *obs.Tracer    // nil disables tracing
+
+	// slo is the mounted burn-rate engine (nil without an active SLO
+	// profile); flightrec is the always-on black-box recorder (nil only
+	// when Config.FlightCapacity is negative).
+	slo       *slo.Engine
+	flightrec *obs.Recorder
+
+	// walRegimeKnown/walRegimeBits track the threshold regime of the last
+	// committed decision, so the capture of the commit that changes it
+	// records the transition as a breaker anomaly.
+	walRegimeKnown atomic.Bool
+	walRegimeBits  atomic.Uint64
 
 	fault *fault.Plan         // nil disables fault injection
 	sleep func(time.Duration) // performs injected latency
@@ -250,12 +283,23 @@ func New(cfg Config) (*Server, error) {
 	for _, sys := range all {
 		s.systemsByName[sys.Name] = sys
 	}
+	if err := cfg.SLO.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.FlightCapacity >= 0 {
+		s.flightrec = obs.NewRecorder(cfg.FlightCapacity)
+	}
 	// Warm start precedes metric registration so the read-at-scrape WAL
 	// instruments report the replay's accounting from the first scrape.
 	if s.wal != nil {
 		s.warmStart()
 	}
 	s.met = newServerMetrics(s)
+	// The SLO engine mounts after the instrument set it reads from, so
+	// its sources and gauges can bind to the registered counters.
+	if cfg.SLO.Active() {
+		s.initSLO()
+	}
 	if cfg.TraceCapacity > 0 {
 		s.tracer = obs.NewTracer(cfg.TraceCapacity, clock)
 	}
@@ -280,6 +324,8 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetricsProm)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetricsJSON)
 	mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	mux.HandleFunc("GET /v1/slo", s.handleSLO)
+	mux.HandleFunc("GET /v1/flightrec", s.handleFlightRec)
 	return mux
 }
 

@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"repro/internal/obs"
+	"repro/internal/slo"
 	"repro/internal/units"
 )
 
@@ -332,6 +333,25 @@ type WALHealth struct {
 type TracesResponse struct {
 	Count  int         `json:"count"`
 	Traces []obs.Trace `json:"traces"`
+}
+
+// SLOResponse is the /v1/slo answer: the mounted profile in its
+// canonical spec form plus one fresh read-at-request evaluation (the
+// instant, and per route, per signal, the burn rate and remaining budget
+// of every window alongside the ok/warn/page verdict).
+type SLOResponse struct {
+	Profile string `json:"profile"`
+	slo.Evaluation
+}
+
+// FlightRecResponse is the /v1/flightrec answer: the flight recorder's
+// live capture ring newest-first, plus the pinned anomaly groups —
+// captures frozen when an anomaly fired, preserved across ring wrap —
+// oldest first.
+type FlightRecResponse struct {
+	Count    int            `json:"count"`
+	Captures []obs.Capture  `json:"captures"`
+	Pins     []obs.PinGroup `json:"pins"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.

@@ -4,9 +4,11 @@ import (
 	"context"
 	"hash/fnv"
 	"log/slog"
+	"math"
 	"strconv"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/units"
 	"repro/internal/wal"
 )
@@ -125,11 +127,15 @@ func (s *Server) logWALSkip(key, reason string) {
 // Append failures are counted and logged, never surfaced to the request:
 // the decision has already been served and cached, and the audit trail
 // degrades explicitly (wal_append_errors_total) rather than taking the
-// service down with it.
-func (s *Server) walCommit(skey string, a *fillArgs, d *cachedDecision) {
+// service down with it. The request's flight-recorder capture gets the
+// commit outcome, and the commit that changes the threshold regime
+// records the transition as a breaker anomaly — so the capture that
+// crossed a control boundary is pinned with its surrounding context.
+func (s *Server) walCommit(ctx context.Context, skey string, a *fillArgs, d *cachedDecision) {
 	if s.wal == nil {
 		return
 	}
+	cs := obs.CaptureStateFrom(ctx)
 	err := s.wal.Append(wal.Record{
 		Kind:   wal.KindDecision,
 		Key:    skey,
@@ -138,11 +144,24 @@ func (s *Server) walCommit(skey string, a *fillArgs, d *cachedDecision) {
 	})
 	if err != nil {
 		s.walAppendErrs.Add(1)
+		cs.SetWAL("append-error")
 		if s.logger != nil {
 			s.logger.LogAttrs(context.Background(), slog.LevelError, "wal append failed",
 				slog.String("key", skey), slog.Any("err", err))
 		}
 		return
+	}
+	cs.SetWAL("committed")
+	bits := math.Float64bits(float64(a.th))
+	if s.walRegimeKnown.Load() {
+		if prev := s.walRegimeBits.Swap(bits); prev != bits {
+			cs.SetBreaker("regime " + canonicalFloat(math.Float64frombits(prev)) +
+				"->" + canonicalFloat(float64(a.th)))
+			cs.AddAnomaly("regime-transition")
+		}
+	} else {
+		s.walRegimeBits.Store(bits)
+		s.walRegimeKnown.Store(true)
 	}
 	if every := s.cfg.SnapshotEvery; every > 0 {
 		if n := s.walSinceSnap.Add(1); int(n) >= every {

@@ -18,7 +18,7 @@ import (
 // endpoints, and http.TimeoutHandler's deadline (plus its non-Flusher
 // ResponseWriter) is incompatible with streaming. They get their own
 // concurrency bound (Config.MaxWatchers) and their own instruments
-// (watch_subscribers, watch_events_total, watch_dropped_total),
+// (watch_subscribers, watch_events_total, watch_events_dropped_total),
 // registered only when a WAL is mounted — which is also why this
 // endpoint is exempt from the idle-scrape byte-identity rule only in
 // WAL-mounted deployments, as documented in DESIGN.md.

@@ -14,6 +14,9 @@ const (
 	EventFault EventKind = "fault"
 	// EventDegraded is a degraded (cache/memo-bypassed) response.
 	EventDegraded EventKind = "degraded"
+	// EventSLO is an SLO state transition (ok→warn→page and back)
+	// reported by the burn-rate engine.
+	EventSLO EventKind = "slo"
 )
 
 // Event is one entry of the commit/event stream behind /v1/watch. Seq is
