@@ -241,6 +241,101 @@ fi
 kill "$slopid"
 slopid=""
 
+echo "== cluster: gateway over 3 backends, kill -9 one mid-traffic, drain and rejoin =="
+# The routing contract end to end against the real binaries: three
+# backends and one gateway, a spread of keyed traffic, then one backend
+# killed without ceremony. The gateway must drain it (exportctl -cluster
+# converges on 2/3 healthy), keep answering every key, and — after the
+# backend restarts — rejoin it, all with zero hedge-identity mismatches.
+# The backends run unfaulted: a fault plan leaves a backend's healthz
+# sticky-degraded, which is the drain test's job in-process, not here.
+go build -o "$scrapedir/hpcexportgw" ./cmd/hpcexportgw
+gwpid=""
+b1pid=""
+b2pid=""
+b3pid=""
+trap 'kill $scrapepid $chaospid $loadpid $walpid $slopid $gwpid $b1pid $b2pid $b3pid 2>/dev/null || true; rm -rf "$scrapedir"' EXIT
+"$scrapedir/hpcexportd" -addr localhost:18101 -quiet &
+b1pid=$!
+"$scrapedir/hpcexportd" -addr localhost:18102 -quiet &
+b2pid=$!
+"$scrapedir/hpcexportd" -addr localhost:18103 -quiet &
+b3pid=$!
+"$scrapedir/hpcexportgw" -addr localhost:18100 -quiet \
+	-backends http://localhost:18101,http://localhost:18102,http://localhost:18103 \
+	-probe-every 200ms -rejoin-after 2 &
+gwpid=$!
+up=0
+for _ in $(seq 1 50); do
+	if curl -fsS http://localhost:18100/v1/healthz 2> /dev/null | grep -q '"healthy":3'; then
+		up=1
+		break
+	fi
+	sleep 0.1
+done
+if [ "$up" != 1 ]; then
+	echo "ci.sh: gateway never converged on 3 healthy backends" >&2
+	exit 1
+fi
+# Keyed traffic across the ring: distinct (ctp, dest) pairs spread over
+# all three owners; every response must come back 200 through the front.
+for i in $(seq 1 20); do
+	curl -fsS "http://localhost:18100/v1/license?ctp=$((500 + 37 * i))&dest=india" > /dev/null
+done
+kill -9 "$b2pid"
+wait "$b2pid" 2> /dev/null || true
+b2pid=""
+# Traffic keeps flowing while the prober notices the corpse; the client's
+# retries ride out the detection window.
+for i in $(seq 1 20); do
+	"$scrapedir/exportctl" -serve http://localhost:18100 -date 1995.45 -attempts 8 > /dev/null 2>&1 || true
+	curl -fsS --retry 5 --retry-all-errors --retry-delay 0 \
+		"http://localhost:18100/v1/license?ctp=$((500 + 37 * i))&dest=india" > /dev/null
+done
+converged=0
+for _ in $(seq 1 50); do
+	if "$scrapedir/exportctl" -cluster -serve http://localhost:18100 2> /dev/null |
+		grep -q '2/3 backends healthy'; then
+		converged=1
+		break
+	fi
+	sleep 0.1
+done
+if [ "$converged" != 1 ]; then
+	echo "ci.sh: exportctl -cluster never converged on 2/3 healthy after kill -9" >&2
+	"$scrapedir/exportctl" -cluster -serve http://localhost:18100 >&2 || true
+	exit 1
+fi
+"$scrapedir/hpcexportd" -addr localhost:18102 -quiet &
+b2pid=$!
+rejoined=0
+for _ in $(seq 1 50); do
+	if curl -fsS http://localhost:18100/metrics 2> /dev/null |
+		grep -q '^gateway_backend_rejoins_total{backend="http://localhost:18102"} [1-9]'; then
+		rejoined=1
+		break
+	fi
+	sleep 0.1
+done
+if [ "$rejoined" != 1 ]; then
+	echo "ci.sh: restarted backend never rejoined the ring" >&2
+	"$scrapedir/exportctl" -cluster -serve http://localhost:18100 >&2 || true
+	exit 1
+fi
+# The whole episode — hedges under a dying backend included — must end
+# with zero byte-identity mismatches.
+curl -fsS http://localhost:18100/metrics > "$scrapedir/gw_metrics"
+if ! grep -q '^gateway_hedge_mismatch_total 0$' "$scrapedir/gw_metrics"; then
+	echo "ci.sh: gateway reports hedge byte-identity mismatches:" >&2
+	grep '^gateway_hedge' "$scrapedir/gw_metrics" >&2 || true
+	exit 1
+fi
+kill "$gwpid" "$b1pid" "$b2pid" "$b3pid" 2> /dev/null || true
+gwpid=""
+b1pid=""
+b2pid=""
+b3pid=""
+
 # Fuzz smoke (not run in CI — native fuzzing is wall-clock heavy; run
 # locally before touching the parsers or the service request path):
 #   go test -fuzz=FuzzParseCTP -fuzztime=30s ./internal/ctp

@@ -15,6 +15,7 @@
 //	exportctl -scrape             # raw /metrics text exposition
 //	exportctl -slo                # burn-rate SLO verdicts (daemon needs -slo)
 //	exportctl -flightrec          # flight-recorder captures and pinned anomalies
+//	exportctl -cluster            # per-backend health from a running hpcexportgw
 //	exportctl -version            # print build information and exit
 //
 // Remote queries run through the resilient service client: bounded
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/gateway"
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/serve/client"
@@ -48,6 +50,7 @@ func main() {
 		scrape     = flag.Bool("scrape", false, "print a running daemon's raw /metrics exposition and exit")
 		sloFlag    = flag.Bool("slo", false, "print a running daemon's burn-rate SLO evaluation and exit")
 		flightrec  = flag.Bool("flightrec", false, "print a running daemon's flight-recorder contents and exit")
+		cluster    = flag.Bool("cluster", false, "print a running hpcexportgw's per-backend cluster health and exit")
 		attempts   = flag.Int("attempts", 0, "attempt budget per remote call, first try included (0 = client default)")
 		version    = flag.Bool("version", false, "print build information and exit")
 	)
@@ -58,13 +61,19 @@ func main() {
 		return
 	}
 
-	if *metrics || *scrape || *sloFlag || *flightrec {
+	if *metrics || *scrape || *sloFlag || *flightrec || *cluster {
 		base := *serveURL
 		if base == "" {
-			base = "http://" + serve.DefaultAddr
+			if *cluster {
+				base = "http://" + gateway.DefaultAddr
+			} else {
+				base = "http://" + serve.DefaultAddr
+			}
 		}
 		var err error
 		switch {
+		case *cluster:
+			err = remoteCluster(base, *attempts)
 		case *sloFlag:
 			err = remoteSLO(base, *attempts)
 		case *flightrec:
@@ -316,6 +325,42 @@ func printCapture(c *obs.Capture) {
 		fmt.Printf("  anomalies %v", c.Anomalies)
 	}
 	fmt.Println()
+}
+
+// remoteCluster prints a gateway's aggregated cluster view: the verdict
+// line, the hedge counters (the byte-identity contract's scoreboard),
+// and one row per backend with its routing state and probe history.
+func remoteCluster(base string, attempts int) error {
+	api, err := remoteClient(base, attempts)
+	if err != nil {
+		return err
+	}
+	defer reportRetries(api)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	var hr gateway.HealthResponse
+	if err := api.GetJSON(ctx, "/v1/healthz", nil, &hr); err != nil {
+		return err
+	}
+	if hr.Members == 0 && len(hr.Backends) == 0 {
+		return fmt.Errorf("%s answers /v1/healthz but reports no cluster members — point -cluster at an hpcexportgw, not a backend", base)
+	}
+	fmt.Printf("cluster via %s: %s — %d/%d backends healthy, %d requests, up %.0fs\n",
+		base, hr.Status, hr.Healthy, hr.Members, hr.Requests, hr.UptimeSeconds)
+	fmt.Printf("hedged reads: %d, byte mismatches: %d\n", hr.Hedges, hr.HedgeMismatches)
+	fmt.Println("==========================")
+	fmt.Printf("%-30s %-9s %-12s %9s %7s %7s %8s\n",
+		"backend", "state", "last", "requests", "errors", "drains", "rejoins")
+	for _, b := range hr.Backends {
+		last := b.LastStatus
+		if last == "" {
+			last = "-"
+		}
+		fmt.Printf("%-30s %-9s %-12s %9d %7d %7d %8d\n",
+			b.URL, b.State, last, b.Requests, b.Errors, b.Drains, b.Rejoins)
+	}
+	return nil
 }
 
 // remoteReview prints the review by querying a running hpcexportd through

@@ -1,0 +1,206 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+
+	"repro/internal/serve"
+)
+
+// Scatter-gather for /v1/license batches: items partition by the ring
+// owner of their canonical decision key, sub-batches fan out to the
+// owners in parallel, and the answers reassemble in request order. The
+// per-item bytes a backend renders are position-independent, so the
+// reassembled body is byte-identical to the same batch answered by a
+// single node — a property the cluster acceptance test pins against a
+// single-node run of the same seeded mix.
+
+// unroutedKey is the sentinel routing key for batch items that fail
+// resolution: they have no canonical key, but they must still reach a
+// backend (exactly one, deterministically) to render their canonical
+// per-item error.
+const unroutedKey = "\x00unrouted"
+
+// batchShard is one owner's slice of a batch.
+type batchShard struct {
+	key  string // routing key: first item's canonical key
+	idx  []int  // original positions, ascending
+	reqs []serve.LicenseRequest
+
+	res   *proxyResult
+	items [][]byte
+	err   error
+}
+
+func (g *Gateway) scatterGather(w http.ResponseWriter, r *http.Request, reqs []serve.LicenseRequest, rawBody []byte) {
+	g.batches.Inc()
+
+	// Partition by owner, shards ordered by first appearance so the
+	// fan-out is independent of map iteration order.
+	var order []*batchShard
+	byOwner := make(map[string]*batchShard)
+	var keyBuf []byte
+	for i := range reqs {
+		var key string
+		if kb, ok := serve.ResolveDecisionKey(keyBuf[:0], &reqs[i]); ok {
+			keyBuf = kb
+			key = string(kb)
+		} else {
+			key = unroutedKey
+		}
+		owner := ""
+		if b := g.ownerFor(key, nil); b != nil {
+			owner = b.url
+		}
+		sh, ok := byOwner[owner]
+		if !ok {
+			sh = &batchShard{key: key}
+			byOwner[owner] = sh
+			order = append(order, sh)
+		}
+		sh.idx = append(sh.idx, i)
+		sh.reqs = append(sh.reqs, reqs[i])
+	}
+	g.batchFanout.Add(uint64(len(order)))
+
+	// One shard holds the whole batch: forward the original bytes — the
+	// answer passes through untouched.
+	if len(order) == 1 {
+		res, err := g.forwardKeyed(r.Context(), order[0].key, http.MethodPost, "/v1/license", rawBody, r.Header, "")
+		if err != nil {
+			writeError(w, http.StatusBadGateway, "gateway: %v", err)
+			return
+		}
+		writeProxyResult(w, res)
+		return
+	}
+
+	ctx := r.Context()
+	inbound := r.Header
+	g.pool.Run(len(order), func(_, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			sh := order[s]
+			body, err := encodeBatch(sh.reqs)
+			if err != nil {
+				sh.err = err
+				continue
+			}
+			sh.res, sh.err = g.forwardKeyed(ctx, sh.key, http.MethodPost, "/v1/license", body, inbound, "")
+			if sh.err != nil || sh.res.status != http.StatusOK {
+				continue
+			}
+			items, ok := splitBatchItems(sh.res.body)
+			if !ok || len(items) != len(sh.idx) {
+				sh.err = errUnsplittable
+				continue
+			}
+			sh.items = items
+		}
+	})
+
+	for _, sh := range order {
+		if sh.err != nil {
+			writeError(w, http.StatusBadGateway, "gateway: batch shard failed: %v", sh.err)
+			return
+		}
+		if sh.res.status != http.StatusOK {
+			// A backend rejected its sub-batch outright; relay its answer
+			// (the canonical error) rather than inventing one.
+			writeProxyResult(w, sh.res)
+			return
+		}
+	}
+
+	// Reassemble in request order, byte-identical to a single node's
+	// rendering of the same batch.
+	items := make([][]byte, len(reqs))
+	for _, sh := range order {
+		for j, pos := range sh.idx {
+			items[pos] = sh.items[j]
+		}
+	}
+	body := append([]byte(nil), batchBodyPrefix...)
+	for i, it := range items {
+		if i > 0 {
+			body = append(body, ',')
+		}
+		body = append(body, it...)
+	}
+	body = append(body, ']', '}', '\n')
+	writeRawJSON(w, http.StatusOK, body)
+}
+
+var errUnsplittable = jsonError("backend batch response did not parse")
+
+type jsonError string
+
+func (e jsonError) Error() string { return string(e) }
+
+// encodeBatch renders a sub-batch body with the canonical encoder, the
+// stdlib as fallback for values the fast path declines.
+func encodeBatch(reqs []serve.LicenseRequest) ([]byte, error) {
+	if body, ok := serve.AppendBatchRequest(nil, reqs); ok {
+		return body, nil
+	}
+	return json.Marshal(serve.BatchRequest{Requests: reqs})
+}
+
+// batchBodyPrefix is the backends' batch response framing; the split and
+// reassembly both depend on it, so a framing change fails loudly here.
+const batchBodyPrefix = `{"decisions":[`
+
+// splitBatchItems splits a backend batch response into its per-item
+// JSON values, verbatim. It is a framing scanner, not a JSON parser: it
+// tracks only string/escape state and bracket depth, so each item's
+// bytes pass through untouched.
+func splitBatchItems(body []byte) ([][]byte, bool) {
+	if !bytes.HasPrefix(body, []byte(batchBodyPrefix)) {
+		return nil, false
+	}
+	rest := bytes.TrimSuffix(body[len(batchBodyPrefix):], []byte("\n"))
+	if !bytes.HasSuffix(rest, []byte("]}")) {
+		return nil, false
+	}
+	rest = rest[:len(rest)-2]
+	if len(rest) == 0 {
+		return nil, true
+	}
+	var items [][]byte
+	depth, start := 0, 0
+	inStr, esc := false, false
+	for i := 0; i < len(rest); i++ {
+		c := rest[i]
+		if inStr {
+			switch {
+			case esc:
+				esc = false
+			case c == '\\':
+				esc = true
+			case c == '"':
+				inStr = false
+			}
+			continue
+		}
+		switch c {
+		case '"':
+			inStr = true
+		case '{', '[':
+			depth++
+		case '}', ']':
+			depth--
+			if depth < 0 {
+				return nil, false
+			}
+		case ',':
+			if depth == 0 {
+				items = append(items, rest[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 || inStr {
+		return nil, false
+	}
+	return append(items, rest[start:]), true
+}

@@ -1,0 +1,124 @@
+package gateway
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestSplitBatchItemsRoundTrip pins the framing scanner: a batch body
+// splits into its per-item values verbatim, and rejoining them under the
+// canonical framing reproduces the original bytes exactly.
+func TestSplitBatchItemsRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want []string
+	}{
+		{
+			name: "decisions and errors",
+			body: `{"decisions":[{"decision":{"license":true,"ctp":21125}},{"error":"unknown system"},{"decision":{"note":"x"}}]}` + "\n",
+			want: []string{`{"decision":{"license":true,"ctp":21125}}`, `{"error":"unknown system"}`, `{"decision":{"note":"x"}}`},
+		},
+		{
+			name: "single item",
+			body: `{"decisions":[{"decision":{"a":1}}]}` + "\n",
+			want: []string{`{"decision":{"a":1}}`},
+		},
+		{
+			name: "empty batch",
+			body: `{"decisions":[]}` + "\n",
+			want: nil,
+		},
+		{
+			name: "braces brackets and commas inside strings",
+			body: `{"decisions":[{"error":"no, really: }]{[\" fine"},{"decision":[1,[2,3],{"s":"a,b"}]}]}` + "\n",
+			want: []string{`{"error":"no, really: }]{[\" fine"}`, `{"decision":[1,[2,3],{"s":"a,b"}]}`},
+		},
+		{
+			name: "trailing backslash escapes",
+			body: `{"decisions":[{"error":"path c:\\"},{"decision":{"q":"\\\","}}]}` + "\n",
+			want: []string{`{"error":"path c:\\"}`, `{"decision":{"q":"\\\","}}`},
+		},
+		{
+			name: "no trailing newline",
+			body: `{"decisions":[{"decision":{"a":1}},{"decision":{"b":2}}]}`,
+			want: []string{`{"decision":{"a":1}}`, `{"decision":{"b":2}}`},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			items, ok := splitBatchItems([]byte(tc.body))
+			if !ok {
+				t.Fatalf("split rejected %q", tc.body)
+			}
+			if len(items) != len(tc.want) {
+				t.Fatalf("got %d items, want %d: %q", len(items), len(tc.want), items)
+			}
+			for i := range items {
+				if string(items[i]) != tc.want[i] {
+					t.Errorf("item %d = %q, want %q", i, items[i], tc.want[i])
+				}
+			}
+			// Rejoin under the canonical framing and compare to the body
+			// (modulo the trailing newline the server always appends).
+			rejoined := append([]byte(nil), batchBodyPrefix...)
+			rejoined = append(rejoined, bytes.Join(items, []byte(","))...)
+			rejoined = append(rejoined, ']', '}', '\n')
+			wantBody := tc.body
+			if !bytes.HasSuffix([]byte(wantBody), []byte("\n")) {
+				wantBody += "\n"
+			}
+			if string(rejoined) != wantBody {
+				t.Errorf("rejoin = %q, want %q", rejoined, wantBody)
+			}
+		})
+	}
+}
+
+// TestSplitBatchItemsRejects pins the scanner's strictness: anything
+// that is not exactly the backends' batch framing fails the split
+// (the gateway then refuses to reassemble rather than corrupting).
+func TestSplitBatchItemsRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"{}\n",
+		`{"decision":{"a":1}}` + "\n",         // single-decision body, not a batch
+		`{"decisions":[{"a":1}}` + "\n",       // missing closing bracket
+		`{"decisions":[{"a":1}]` + "\n",       // missing closing brace
+		`{"decisions":[{"a":1}]}extra` + "\n", // trailing junk
+		`{"decisions":[{"a":1]}]}` + "\n",     // unbalanced nesting
+		`{"decisions":[{"s":"unterminated]}` + "\n",           // string never closes
+		`{"DECISIONS":[{"a":1}]}` + "\n",                      // wrong field case
+		`{"decisions":[{"a":1}],"requests":[{"b":2}]}` + "\n", // second field after the array
+	}
+	for _, body := range bad {
+		if items, ok := splitBatchItems([]byte(body)); ok {
+			t.Errorf("split accepted %q as %q", body, items)
+		}
+	}
+}
+
+// TestEncodeBatchRoundTrips pins the sub-batch encoder against the
+// server's own acceptance rules: whatever encodeBatch renders, the
+// backend's decoder must read back as the same batch.
+func TestEncodeBatchRoundTrips(t *testing.T) {
+	reqs := []serve.LicenseRequest{
+		{CTP: 21125, Destination: "india"},
+		{System: "Intel Paragon XP/S 150", Destination: "france", EndUse: "weather"},
+		{CTP: 1500.5, Destination: "japan", Threshold: 2000, Date: 1995.5},
+	}
+	body, err := encodeBatch(reqs)
+	if err != nil {
+		t.Fatalf("encodeBatch: %v", err)
+	}
+	_, batch, isBatch, ok := serve.DecodeLicenseBody(body)
+	if !ok || !isBatch {
+		t.Fatalf("server decoder rejected encoded batch %q (ok=%v isBatch=%v)", body, ok, isBatch)
+	}
+	if !reflect.DeepEqual(batch, reqs) {
+		t.Fatalf("round trip changed the batch:\n got %+v\nwant %+v", batch, reqs)
+	}
+}

@@ -753,3 +753,79 @@ func (c *Client) Watch(ctx context.Context, since uint64, fn func(WatchEvent) er
 	}
 	return nil
 }
+
+// WatchResume subscribes like Watch but owns the resumption policy:
+// whenever the stream ends without the callback stopping it — a server
+// drain, a restart, a severed connection — it reconnects and resumes
+// from the sequence number of the last event it delivered, passed as the
+// ?since cursor, so the server's backlog replay hands back exactly the
+// events this watcher has not seen. Resuming from the cursor (never from
+// zero) is what makes a watcher restart-transparent: no event is
+// re-delivered and none is skipped, as long as the outage stays inside
+// the server's backlog ring.
+//
+// Reconnects that deliver no events count against the client's attempt
+// budget with jittered backoff between them; any delivered event resets
+// the budget. A server that refuses the stream outright (an APIError,
+// e.g. no decision log mounted) fails immediately — retrying cannot
+// help. As with Watch, fn returning ErrWatchStopped ends the stream and
+// returns nil; any other callback error is returned as-is.
+func (c *Client) WatchResume(ctx context.Context, since uint64, fn func(WatchEvent) error) error {
+	cursor := since
+	idle := 0
+	for {
+		delivered := false
+		var fnErr error
+		err := c.Watch(ctx, cursor, func(ev WatchEvent) error {
+			if ev.Seq > cursor {
+				cursor = ev.Seq
+			}
+			delivered = true
+			if err := fn(ev); err != nil {
+				fnErr = err
+				return err
+			}
+			return nil
+		})
+		if fnErr != nil {
+			if errors.Is(fnErr, ErrWatchStopped) {
+				return nil
+			}
+			return fnErr
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		var apiErr *APIError
+		if errors.As(err, &apiErr) {
+			return err
+		}
+		if delivered {
+			idle = 0
+		} else {
+			idle++
+			if idle >= c.maxAttempts {
+				if err != nil {
+					return fmt.Errorf("client: watch resume: %d idle reconnects: %w", idle, err)
+				}
+				return fmt.Errorf("client: watch resume: %d consecutive connections delivered nothing", idle)
+			}
+		}
+		attempt := idle
+		if attempt < 1 {
+			attempt = 1
+		}
+		if perr := c.pause(ctx, c.backoff(attempt)); perr != nil {
+			return perr
+		}
+	}
+}
+
+// GetJSON performs one GET against an arbitrary path on the configured
+// base URL and decodes the JSON answer into out, through the client's
+// full retry/breaker machinery. It exists for endpoints the typed
+// methods do not cover — a gateway's aggregated /v1/healthz, say —
+// without hand-rolling a second HTTP client.
+func (c *Client) GetJSON(ctx context.Context, path string, query url.Values, out interface{}) error {
+	return c.get(ctx, path, query, out)
+}

@@ -1,0 +1,186 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scriptedStream is a fake /v1/watch endpoint with a per-connection
+// script: each connection records the ?since cursor it was asked to
+// resume from, emits its scripted events, and either severs the stream
+// mid-flight or ends it cleanly. It exists to pin WatchResume's cursor
+// arithmetic without real WAL timing in the loop.
+type scriptedStream struct {
+	mu     sync.Mutex
+	sinces []string // the ?since query of each connection, in order
+	script func(conn int, w http.ResponseWriter)
+}
+
+func (s *scriptedStream) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	conn := len(s.sinces)
+	s.sinces = append(s.sinces, r.URL.Query().Get("since"))
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/event-stream")
+	s.script(conn, w)
+}
+
+func (s *scriptedStream) cursors() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.sinces...)
+}
+
+// emit writes one SSE event frame and flushes it to the client.
+func emit(w http.ResponseWriter, seq uint64) {
+	_, _ = fmt.Fprintf(w, "id: %d\nevent: decision\ndata: {\"seq\":%d,\"kind\":\"decision\",\"key\":\"k%d\"}\n\n", seq, seq, seq)
+	w.(http.Flusher).Flush()
+}
+
+func resumeClient(t *testing.T, url string) *Client {
+	t.Helper()
+	c, err := NewWithOptions(url, Options{
+		MaxAttempts: 3,
+		Sleep:       func(time.Duration) {}, // reconnect backoff costs no wall time
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestWatchResumeCursorsFromLastSeen is the reconnect regression test:
+// a stream severed mid-events must be resumed from the last delivered
+// sequence number — ?since=<cursor>, never ?since=0 — so the server's
+// backlog replay hands back exactly the unseen events: nothing is
+// re-delivered, nothing is skipped.
+func TestWatchResumeCursorsFromLastSeen(t *testing.T) {
+	stream := &scriptedStream{script: func(conn int, w http.ResponseWriter) {
+		switch conn {
+		case 0:
+			// Two events, then the connection is killed mid-stream (the
+			// aborted handler severs the TCP stream, exactly like a
+			// crashed daemon).
+			emit(w, 1)
+			emit(w, 2)
+			panic(http.ErrAbortHandler)
+		default:
+			// The restarted daemon replays from the cursor: it must have
+			// been asked for since=2, so it serves 3 and ends cleanly.
+			emit(w, 3)
+		}
+	}}
+	ts := httptest.NewServer(stream)
+	defer ts.Close()
+	c := resumeClient(t, ts.URL)
+
+	var seqs []uint64
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := c.WatchResume(ctx, 0, func(ev WatchEvent) error {
+		seqs = append(seqs, ev.Seq)
+		if ev.Seq >= 3 {
+			return ErrWatchStopped
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("WatchResume: %v", err)
+	}
+	if want := []uint64{1, 2, 3}; len(seqs) != len(want) || seqs[0] != 1 || seqs[1] != 2 || seqs[2] != 3 {
+		t.Fatalf("delivered %v, want %v (exactly once each)", seqs, want)
+	}
+	cursors := stream.cursors()
+	if len(cursors) != 2 {
+		t.Fatalf("server saw %d connections (%v), want 2", len(cursors), cursors)
+	}
+	if cursors[0] != "" {
+		t.Errorf("first connection since = %q, want none", cursors[0])
+	}
+	if cursors[1] != "2" {
+		t.Errorf("reconnect since = %q, want \"2\" (the last seen cursor, not 0)", cursors[1])
+	}
+}
+
+// TestWatchResumeInitialCursorIsHonored pins that an explicit starting
+// cursor is passed through on the very first connection.
+func TestWatchResumeInitialCursorIsHonored(t *testing.T) {
+	stream := &scriptedStream{script: func(conn int, w http.ResponseWriter) {
+		emit(w, 8)
+	}}
+	ts := httptest.NewServer(stream)
+	defer ts.Close()
+	c := resumeClient(t, ts.URL)
+	err := c.WatchResume(context.Background(), 7, func(ev WatchEvent) error {
+		return ErrWatchStopped
+	})
+	if err != nil {
+		t.Fatalf("WatchResume: %v", err)
+	}
+	if cursors := stream.cursors(); cursors[0] != "7" {
+		t.Fatalf("first connection since = %q, want \"7\"", cursors[0])
+	}
+}
+
+// TestWatchResumeGivesUpAfterIdleReconnects pins the failure budget:
+// connections that deliver nothing burn attempts; delivering anything
+// resets them. Three idle streams with MaxAttempts=3 is an error.
+func TestWatchResumeGivesUpAfterIdleReconnects(t *testing.T) {
+	stream := &scriptedStream{script: func(conn int, w http.ResponseWriter) {
+		// Every connection ends cleanly having delivered nothing.
+	}}
+	ts := httptest.NewServer(stream)
+	defer ts.Close()
+	c := resumeClient(t, ts.URL)
+	err := c.WatchResume(context.Background(), 0, func(WatchEvent) error { return nil })
+	if err == nil {
+		t.Fatal("WatchResume returned nil after only idle streams")
+	}
+	if got := len(stream.cursors()); got != 3 {
+		t.Fatalf("server saw %d connections, want MaxAttempts=3", got)
+	}
+}
+
+// TestWatchResumeSurfacesAPIErrors pins that a refused stream (no
+// decision log mounted, say) is returned immediately: reconnecting
+// cannot help, and the caller needs the typed error.
+func TestWatchResumeSurfacesAPIErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		_, _ = w.Write([]byte(`{"error":"no decision log mounted"}` + "\n"))
+	}))
+	defer ts.Close()
+	c := resumeClient(t, ts.URL)
+	err := c.WatchResume(context.Background(), 0, func(WatchEvent) error { return nil })
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("WatchResume = %v, want APIError 404", err)
+	}
+}
+
+// TestWatchResumeCallbackErrorStopsForGood pins that a non-sentinel
+// callback error ends the loop without a reconnect.
+func TestWatchResumeCallbackErrorStopsForGood(t *testing.T) {
+	stream := &scriptedStream{script: func(conn int, w http.ResponseWriter) {
+		emit(w, 1)
+		emit(w, 2)
+	}}
+	ts := httptest.NewServer(stream)
+	defer ts.Close()
+	c := resumeClient(t, ts.URL)
+	boom := errors.New("downstream full")
+	err := c.WatchResume(context.Background(), 0, func(ev WatchEvent) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("WatchResume = %v, want the callback's error", err)
+	}
+	if got := len(stream.cursors()); got != 1 {
+		t.Fatalf("server saw %d connections after a callback error, want 1", got)
+	}
+}

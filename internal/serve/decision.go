@@ -119,18 +119,26 @@ func buildTierSkeletons() [safeguards.Restricted + 1]tierSkeleton {
 	return out
 }
 
-// resolveLicense canonicalizes one request into fill arguments: system
-// lookup or explicit CTP, the threshold in force at the request's date,
-// and the trimmed/lowercased destination. The error messages and their
-// order are part of the API's observable behavior and match the original
-// serial path exactly.
+// resolveLicense canonicalizes one request into fill arguments through
+// the server's catalog index.
 func (s *Server) resolveLicense(req *LicenseRequest, a *fillArgs) *statusError {
+	return resolveLicenseArgs(s.systemsByName, req, a)
+}
+
+// resolveLicenseArgs canonicalizes one request into fill arguments:
+// system lookup or explicit CTP, the threshold in force at the request's
+// date, and the trimmed/lowercased destination. The error messages and
+// their order are part of the API's observable behavior and match the
+// original serial path exactly. It is the shared core of the server's
+// resolution and the exported ResolveDecisionKey hook the gateway keys
+// its routing on.
+func resolveLicenseArgs(byName map[string]catalog.System, req *LicenseRequest, a *fillArgs) *statusError {
 	a.sysName = ""
 	switch {
 	case req.System != "" && req.CTP != 0:
 		return httpErr(http.StatusBadRequest, "give a system name or a ctp rating, not both")
 	case req.System != "":
-		sys, ok := s.lookupSystem(req.System)
+		sys, ok := lookupSystemIn(byName, req.System)
 		if !ok {
 			return httpErr(http.StatusNotFound, "unknown system %q", req.System)
 		}
@@ -165,7 +173,11 @@ func (s *Server) resolveLicense(req *LicenseRequest, a *fillArgs) *statusError {
 // for partial names. The index and the scan's exact-match phase agree by
 // construction, so this only short-circuits, never reroutes.
 func (s *Server) lookupSystem(name string) (catalog.System, bool) {
-	if sys, ok := s.systemsByName[name]; ok {
+	return lookupSystemIn(s.systemsByName, name)
+}
+
+func lookupSystemIn(byName map[string]catalog.System, name string) (catalog.System, bool) {
+	if sys, ok := byName[name]; ok {
 		return sys, true
 	}
 	return catalog.Lookup(name)
